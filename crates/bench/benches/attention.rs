@@ -1,0 +1,88 @@
+//! Criterion benchmark of decode-time attention over each KV-cache backend —
+//! the CPU analogue of the paper's SDPA comparison (Fig. 7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use million_kvcache::{
+    AttendParams, CacheLayout, FullPrecisionCache, KiviCache, KiviConfig, KvCache, KvQuantCache,
+    KvQuantConfig, PqCacheConfig, PqKvCache,
+};
+use million_quant::pq::{PqCodebook, PqConfig, PqTrainOptions};
+use million_tensor::init::{normal_matrix, seeded_rng};
+use std::sync::Arc;
+
+const HEAD_DIM: usize = 64;
+
+fn filled<C: KvCache>(mut cache: C, tokens: usize) -> C {
+    let mut rng = seeded_rng(7);
+    let keys = normal_matrix(&mut rng, tokens, HEAD_DIM, 0.0, 1.0);
+    let values = normal_matrix(&mut rng, tokens, HEAD_DIM, 0.0, 1.0);
+    cache.append(&keys, &values);
+    cache
+}
+
+fn pq_cache(tokens: usize) -> PqKvCache {
+    let mut rng = seeded_rng(8);
+    let samples = normal_matrix(&mut rng, 1024, HEAD_DIM, 0.0, 1.0);
+    let config = PqConfig::new(16, 8).expect("valid");
+    let cb = Arc::new(
+        PqCodebook::train(&config, &samples, &PqTrainOptions::default(), 0).expect("train"),
+    );
+    filled(
+        PqKvCache::new(
+            CacheLayout::new(1, HEAD_DIM),
+            PqCacheConfig::new(cb.clone(), cb, 0),
+        ),
+        tokens,
+    )
+}
+
+fn bench_attention(c: &mut Criterion) {
+    let layout = CacheLayout::new(1, HEAD_DIM);
+    let query: Vec<f32> = (0..HEAD_DIM).map(|i| (i as f32 * 0.21).cos()).collect();
+    let scale = 1.0 / (HEAD_DIM as f32).sqrt();
+
+    let mut group = c.benchmark_group("decode_attention");
+    for &tokens in &[2048usize, 8192] {
+        let full = filled(FullPrecisionCache::new(layout), tokens);
+        let kivi = filled(KiviCache::new(layout, KiviConfig::default()), tokens);
+        let kvq = {
+            let mut cache = filled(
+                KvQuantCache::new(layout, KvQuantConfig::default()),
+                tokens,
+            );
+            cache.flush();
+            cache
+        };
+        let pq = pq_cache(tokens);
+
+        let caches: Vec<(&str, &dyn KvCache)> = vec![
+            ("fp16", &full),
+            ("kivi-4b", &kivi),
+            ("kvquant-4b", &kvq),
+            ("million-pq", &pq),
+        ];
+        for (name, cache) in caches {
+            group.bench_with_input(BenchmarkId::new(name, tokens), &tokens, |b, _| {
+                let mut out = vec![0.0f32; HEAD_DIM];
+                b.iter(|| {
+                    cache.attend(
+                        &AttendParams::new(0, std::hint::black_box(&query), scale, tokens),
+                        &mut out,
+                    );
+                    out[0]
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_attention
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion benchmark of end-to-end decoding with the MILLION engine versus
+//! the fp16 cache on the CPU substrate (the CPU analogue of Table IV).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use million::{MillionConfig, MillionEngine};
+use million_eval::corpus::{CorpusConfig, SyntheticCorpus};
+use million_model::{build_caches, CacheSpec, ModelConfig, Sampler, Transformer};
+
+fn setup() -> (MillionEngine, Vec<u32>) {
+    let config = ModelConfig::tiny_for_tests();
+    let model = Transformer::new(config.clone(), 9);
+    let corpus = SyntheticCorpus::new(CorpusConfig::wikitext2_like(config.vocab_size));
+    let calibration = corpus.generate(256);
+    let engine = MillionEngine::new(
+        model,
+        MillionConfig::four_bit(config.head_dim()).with_sync_quant(),
+        &calibration,
+    )
+    .expect("engine builds");
+    let prompt = corpus.generate(192);
+    (engine, prompt)
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let (engine, prompt) = setup();
+    let gen_tokens = 16usize;
+
+    let mut group = c.benchmark_group("e2e_decode");
+    group.bench_with_input(BenchmarkId::new("fp16", prompt.len()), &prompt, |b, p| {
+        b.iter(|| {
+            let mut sampler = Sampler::greedy();
+            engine.generate_reference(std::hint::black_box(p), gen_tokens, &mut sampler)
+        })
+    });
+    group.bench_with_input(
+        BenchmarkId::new("million-4b", prompt.len()),
+        &prompt,
+        |b, p| {
+            b.iter(|| {
+                let mut sampler = Sampler::greedy();
+                engine.generate(std::hint::black_box(p), gen_tokens, &mut sampler)
+            })
+        },
+    );
+    // Prefill-only comparison: how much does building the quantized cache
+    // cost relative to the fp16 cache?
+    group.bench_function("prefill_fp16_cache", |b| {
+        b.iter(|| {
+            let mut caches = build_caches(engine.model().config(), &CacheSpec::Full);
+            engine
+                .model()
+                .prefill(std::hint::black_box(&prompt), &mut caches, None)
+        })
+    });
+    group.bench_function("prefill_million_cache", |b| {
+        b.iter(|| {
+            let mut caches = build_caches(engine.model().config(), &engine.cache_spec());
+            engine
+                .model()
+                .prefill(std::hint::black_box(&prompt), &mut caches, None)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_decode
+}
+criterion_main!(benches);

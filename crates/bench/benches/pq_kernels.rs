@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks for the PQ kernels behind MILLION:
+//! codebook training, encoding, decoding, LUT construction and ADC scoring.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use million_quant::bitpack::PackedCodes;
+use million_quant::pq::{PqCodebook, PqConfig, PqTrainOptions, ValueAccumulator};
+use million_tensor::init::{normal_matrix, seeded_rng};
+
+const HEAD_DIM: usize = 128;
+const TOKENS: usize = 4096;
+
+fn setup() -> (PqCodebook, million_quant::pq::PqCodes, Vec<f32>) {
+    let mut rng = seeded_rng(0);
+    let samples = normal_matrix(&mut rng, 2048, HEAD_DIM, 0.0, 1.0);
+    let config = PqConfig::new(32, 8).expect("valid config");
+    let codebook =
+        PqCodebook::train(&config, &samples, &PqTrainOptions::default(), 0).expect("train");
+    let data = normal_matrix(&mut rng, TOKENS, HEAD_DIM, 0.0, 1.0);
+    let codes = codebook.encode_matrix(&data);
+    let query: Vec<f32> = (0..HEAD_DIM).map(|i| (i as f32 * 0.13).sin()).collect();
+    (codebook, codes, query)
+}
+
+fn bench_pq(c: &mut Criterion) {
+    let (codebook, codes, query) = setup();
+    let mut rng = seeded_rng(1);
+    let vector = normal_matrix(&mut rng, 1, HEAD_DIM, 0.0, 1.0);
+
+    c.bench_function("pq_encode_single_vector", |b| {
+        b.iter(|| codebook.encode(std::hint::black_box(vector.row(0))))
+    });
+
+    c.bench_function("pq_decode_single_vector", |b| {
+        let enc = codebook.encode(vector.row(0));
+        b.iter(|| codebook.decode(std::hint::black_box(&enc)))
+    });
+
+    c.bench_function("pq_score_lut_build", |b| {
+        b.iter(|| codebook.score_lut(std::hint::black_box(&query)))
+    });
+
+    c.bench_function("pq_adc_scores_4096_tokens", |b| {
+        let lut = codebook.score_lut(&query);
+        b.iter_batched(
+            || Vec::with_capacity(TOKENS),
+            |mut out| {
+                lut.scores(&codes, &mut out);
+                out
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("pq_value_mass_accumulation_4096_tokens", |b| {
+        b.iter(|| {
+            let mut acc = ValueAccumulator::for_codebook(&codebook);
+            for t in 0..codes.len() {
+                acc.add_indexed(1.0 / (t + 1) as f32, &codes, t);
+            }
+            let mut out = vec![0.0f32; HEAD_DIM];
+            acc.finish_into(&codebook, &mut out);
+            out
+        })
+    });
+
+    c.bench_function("bitpack_pack_unpack_8k_codes", |b| {
+        let raw: Vec<u16> = (0..8192).map(|i| (i % 4096) as u16).collect();
+        b.iter(|| {
+            let packed = PackedCodes::pack(std::hint::black_box(&raw), 12).expect("pack");
+            packed.unpack()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_pq
+}
+criterion_main!(benches);

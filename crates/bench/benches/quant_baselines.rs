@@ -1,0 +1,69 @@
+//! Criterion benchmark of the quantization/de-quantization primitives used by
+//! the baselines (uniform integer, non-uniform k-means, outlier isolation)
+//! versus PQ encoding — the cost the paper's asynchronous stream hides.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use million_quant::nuq::{NuqGranularity, NuqMatrix};
+use million_quant::outlier::extract_outliers;
+use million_quant::pq::{PqCodebook, PqConfig, PqTrainOptions};
+use million_quant::uniform::{Granularity, QuantizedMatrix, Symmetry};
+use million_tensor::init::{normal_matrix, seeded_rng};
+
+fn bench_quant(c: &mut Criterion) {
+    let mut rng = seeded_rng(3);
+    let data = normal_matrix(&mut rng, 512, 128, 0.0, 1.0);
+
+    c.bench_function("uniform_int4_per_channel_quantize", |b| {
+        b.iter(|| {
+            QuantizedMatrix::quantize(
+                std::hint::black_box(&data),
+                4,
+                Symmetry::Asymmetric,
+                Granularity::PerChannel,
+            )
+            .expect("quantize")
+        })
+    });
+
+    c.bench_function("uniform_int4_dequantize", |b| {
+        let q = QuantizedMatrix::quantize(&data, 4, Symmetry::Asymmetric, Granularity::PerChannel)
+            .expect("quantize");
+        b.iter(|| q.dequantize())
+    });
+
+    c.bench_function("nuq_4bit_per_channel_quantize", |b| {
+        b.iter(|| {
+            NuqMatrix::quantize(std::hint::black_box(&data), 4, NuqGranularity::PerChannel, 0)
+                .expect("quantize")
+        })
+    });
+
+    c.bench_function("outlier_isolation_1pct", |b| {
+        b.iter(|| extract_outliers(std::hint::black_box(&data), 0.01))
+    });
+
+    c.bench_function("pq_encode_512_tokens", |b| {
+        let config = PqConfig::new(32, 8).expect("valid");
+        let codebook =
+            PqCodebook::train(&config, &data, &PqTrainOptions::default(), 0).expect("train");
+        b.iter(|| codebook.encode_matrix(std::hint::black_box(&data)))
+    });
+
+    c.bench_function("pq_codebook_training_32x8", |b| {
+        let config = PqConfig::new(32, 8).expect("valid");
+        let options = PqTrainOptions::default();
+        b.iter(|| {
+            PqCodebook::train(&config, std::hint::black_box(&data), &options, 0).expect("train")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_quant
+}
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Experiment E9 — ablation of the asynchronous quantization stream.
+//!
+//! Two views: (a) measured wall-clock of the CPU engine decoding with the
+//! background quantization worker on and off, and (b) the GPU cost model's
+//! prediction for the same ablation (the `quant` operator moves off the
+//! critical path).
+
+use std::time::Instant;
+
+use million::{MillionConfig, MillionEngine};
+use million_bench::{build_model, print_table, wikitext_stream, write_json};
+use million_model::{ModelConfig, Sampler};
+use million_perfsim::{tpot_ms, GpuSpec, KvCacheMethod, ModelGeometry};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AblationRecord {
+    mode: String,
+    cpu_ms_per_token: f64,
+    tokens_generated: usize,
+    async_batches: usize,
+}
+
+fn measure(async_quant: bool) -> AblationRecord {
+    let config = ModelConfig::llama2_7b_sim();
+    let model = build_model(&config, 55);
+    let calibration = wikitext_stream(&config, 256);
+    let mut engine_cfg = MillionConfig::four_bit(config.head_dim());
+    engine_cfg.async_quant = async_quant;
+    let engine = MillionEngine::new(model, engine_cfg, &calibration).expect("engine builds");
+
+    let prompt = wikitext_stream(&config, 256);
+    let gen_tokens = 48;
+    let mut sampler = Sampler::greedy();
+    let start = Instant::now();
+    let result = engine.generate(&prompt, gen_tokens, &mut sampler);
+    let elapsed = start.elapsed().as_secs_f64() * 1e3;
+    AblationRecord {
+        mode: if async_quant { "async" } else { "sync" }.into(),
+        cpu_ms_per_token: elapsed / gen_tokens as f64,
+        tokens_generated: result.tokens.len(),
+        async_batches: result.async_batches,
+    }
+}
+
+fn main() {
+    // (a) CPU engine measurement.
+    let sync = measure(false);
+    let async_ = measure(true);
+    print_table(
+        "Ablation — asynchronous quantization stream (CPU engine, llama-2-7b-sim)",
+        &["mode", "ms / token (CPU)", "tokens", "worker batches"],
+        &[
+            vec![
+                sync.mode.clone(),
+                format!("{:.2}", sync.cpu_ms_per_token),
+                sync.tokens_generated.to_string(),
+                sync.async_batches.to_string(),
+            ],
+            vec![
+                async_.mode.clone(),
+                format!("{:.2}", async_.cpu_ms_per_token),
+                async_.tokens_generated.to_string(),
+                async_.async_batches.to_string(),
+            ],
+        ],
+    );
+
+    // (b) GPU cost-model prediction.
+    let gpu = GpuSpec::a40();
+    let geom = ModelGeometry::llama2_7b();
+    let mut rows = Vec::new();
+    for ctx in [4096usize, 16_384, 32_768] {
+        let sync_method = KvCacheMethod::MillionPq {
+            m: 32,
+            nbits: 12,
+            async_quant: false,
+        };
+        let t_sync = tpot_ms(&gpu, &geom, &sync_method, ctx, 16).unwrap();
+        let t_async = tpot_ms(&gpu, &geom, &KvCacheMethod::million_4bit(), ctx, 16).unwrap();
+        rows.push(vec![
+            ctx.to_string(),
+            format!("{t_sync:.2}"),
+            format!("{t_async:.2}"),
+            format!("{:.1}%", (t_sync - t_async) / t_sync * 100.0),
+        ]);
+    }
+    print_table(
+        "Ablation — asynchronous quantization (A40 cost model, TPOT ms)",
+        &["context", "sync quant", "async quant", "saved"],
+        &rows,
+    );
+    write_json("ablation_async_quant", &[sync, async_]);
+    println!(
+        "\nExpected shape: moving quantization off the critical path saves a small,\nroughly constant slice of each decode step; it never changes the tokens\nproduced (see the engine integration tests)."
+    );
+}

@@ -1,0 +1,99 @@
+//! Experiment E7 — Fig. 7: per-operator latency breakdown and SDPA / end-to-
+//! end speedup of MILLION over the fp16 baseline as context grows.
+
+use million_bench::{print_table, write_json};
+use million_perfsim::{decode_step_breakdown, Breakdown, GpuSpec, KvCacheMethod, ModelGeometry};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SpeedupPoint {
+    prefill_len: usize,
+    sdpa_speedup: Option<f64>,
+    e2e_speedup: Option<f64>,
+}
+
+const FIG7_OPS: [&str; 8] = [
+    "cat",
+    "causal_mask",
+    "contiguous",
+    "o_proj",
+    "qkv_proj",
+    "repeat_kv",
+    "rotary_emb",
+    "sdpa",
+];
+
+fn breakdown_row(label: &str, b: &Option<Breakdown>) -> Vec<String> {
+    let mut row = vec![label.to_string()];
+    match b {
+        Some(b) => {
+            for op in FIG7_OPS {
+                row.push(format!("{:.3}", b.op_ms(op)));
+            }
+            row.push(format!("{:.2}", b.total_ms()));
+        }
+        None => {
+            for _ in 0..FIG7_OPS.len() + 1 {
+                row.push("OOM".into());
+            }
+        }
+    }
+    row
+}
+
+fn main() {
+    let gpu = GpuSpec::a40();
+    let geom = ModelGeometry::llama2_7b();
+    let prefill_lengths = [
+        128usize, 256, 512, 1024, 2048, 4096, 8192, 16_384, 32_768, 65_536, 80_000,
+    ];
+
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for &ctx in &prefill_lengths {
+        let base = decode_step_breakdown(&gpu, &geom, &KvCacheMethod::Fp16, ctx);
+        let ours = decode_step_breakdown(&gpu, &geom, &KvCacheMethod::million_4bit(), ctx);
+        rows.push(breakdown_row(&format!("baseline @{ctx}"), &base));
+        rows.push(breakdown_row(&format!("MILLION  @{ctx}"), &ours));
+        let point = match (&base, &ours) {
+            (Some(b), Some(m)) => SpeedupPoint {
+                prefill_len: ctx,
+                sdpa_speedup: Some(b.sdpa_ms() / m.sdpa_ms()),
+                e2e_speedup: Some(b.total_ms() / m.total_ms()),
+            },
+            _ => SpeedupPoint {
+                prefill_len: ctx,
+                sdpa_speedup: None,
+                e2e_speedup: None,
+            },
+        };
+        speedups.push(point);
+    }
+
+    let mut headers: Vec<&str> = vec!["configuration"];
+    headers.extend(FIG7_OPS);
+    headers.push("total");
+    print_table("Fig. 7 (top) — per-operator decode latency (ms)", &headers, &rows);
+
+    let speedup_rows: Vec<Vec<String>> = speedups
+        .iter()
+        .map(|p| {
+            vec![
+                p.prefill_len.to_string(),
+                p.sdpa_speedup
+                    .map_or("OOM(baseline)".into(), |s| format!("{s:.2}x")),
+                p.e2e_speedup
+                    .map_or("OOM(baseline)".into(), |s| format!("{s:.2}x")),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 7 (bottom) — MILLION speedup over baseline",
+        &["prefill length", "SDPA speedup", "E2E speedup"],
+        &speedup_rows,
+    );
+    write_json("fig7_latency_breakdown", &speedups);
+    println!(
+        "\nExpected shape (paper): MILLION's gains come from `sdpa` and `cat`; both\nspeedups grow with context (2.01x SDPA / 2.09x E2E at 32K in the paper) and\nthe baseline hits out-of-memory at 64K+ while MILLION keeps running."
+    );
+}

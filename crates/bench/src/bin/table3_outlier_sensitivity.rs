@@ -1,0 +1,155 @@
+//! Experiment E4 — Table III: how much does keeping the top-1 % outliers in
+//! full precision help each quantizer?
+//!
+//! Two complementary views are reported:
+//!
+//! 1. **End-to-end (perplexity)** — KVQuant with and without 1 % sparse
+//!    outliers, and MILLION without outlier handling, evaluated with the
+//!    Table II harness. (The paper's "MILLION + 1 %" row exists only as a
+//!    sensitivity probe; its cache variant is emulated below.)
+//! 2. **Representation-level sensitivity** — on captured KV tensors, the
+//!    reconstruction error of each quantizer with and without the 1 %
+//!    isolation. The "sensitivity" column is the relative error reduction,
+//!    the analogue of the paper's PPL-reduction percentage: large for
+//!    KVQuant, negligible for MILLION (outlier-immunity).
+
+use million::MillionConfig;
+use million_bench::{build_model, print_table, wikitext_stream, write_json};
+use million_eval::perplexity::{evaluate_perplexity_against, teacher_log_probs};
+use million_kvcache::KvQuantConfig;
+use million_model::{build_caches, CacheSpec, KvCapture, ModelConfig};
+use million_quant::nuq::{NuqGranularity, NuqMatrix};
+use million_quant::outlier::extract_outliers;
+use million_quant::pq::{PqCodebook, PqTrainOptions};
+use million_tensor::Matrix;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SensitivityRow {
+    method: String,
+    error_plain: f64,
+    error_with_1pct: f64,
+    sensitivity_pct: f64,
+}
+
+/// Mean squared reconstruction error of KVQuant-style NUQ on `data`.
+fn nuq_error(data: &Matrix, bits: u8, outlier_fraction: f64) -> f64 {
+    let (clean, outliers) = extract_outliers(data, outlier_fraction);
+    let quantized = NuqMatrix::quantize(&clean, bits, NuqGranularity::PerChannel, 5).unwrap();
+    let mut restored = quantized.dequantize();
+    outliers.restore_into(&mut restored);
+    restored.mse(data)
+}
+
+/// Mean squared reconstruction error of MILLION's PQ on `data`.
+fn pq_error(data: &Matrix, config: &MillionConfig, outlier_fraction: f64) -> f64 {
+    let (clean, outliers) = extract_outliers(data, outlier_fraction);
+    let codebook =
+        PqCodebook::train(&config.pq, &clean, &PqTrainOptions::default(), 5).unwrap();
+    let mut restored = codebook.decode_matrix(&codebook.encode_matrix(&clean));
+    outliers.restore_into(&mut restored);
+    restored.mse(data)
+}
+
+fn main() {
+    let config = ModelConfig::llama2_7b_sim();
+    let model = build_model(&config, 21);
+    let stream = wikitext_stream(&config, 160);
+
+    // --- Part 1: end-to-end perplexity sensitivity for KVQuant.
+    let teacher = teacher_log_probs(&model, &stream, 16);
+    let mut ppl_rows = Vec::new();
+    for bits in [3u8, 4u8] {
+        let plain = evaluate_perplexity_against(
+            &model,
+            &CacheSpec::KvQuant(KvQuantConfig {
+                bits,
+                outlier_fraction: 0.0,
+                requant_block: 64,
+                seed: 3,
+            }),
+            &stream,
+            16,
+            &teacher,
+        );
+        let isolated = evaluate_perplexity_against(
+            &model,
+            &CacheSpec::KvQuant(KvQuantConfig {
+                bits,
+                outlier_fraction: 0.01,
+                requant_block: 64,
+                seed: 3,
+            }),
+            &stream,
+            16,
+            &teacher,
+        );
+        let sensitivity = (plain.ppl - isolated.ppl) / plain.ppl * 100.0;
+        ppl_rows.push(vec![
+            format!("KVQuant-{bits}b"),
+            format!("{:.3}", plain.ppl),
+            format!("{:.3}", isolated.ppl),
+            format!("{:+.2}%", sensitivity),
+        ]);
+    }
+    print_table(
+        "Table III (a) — end-to-end PPL with / without 1% outliers (KVQuant)",
+        &["method", "ppl plain", "ppl +1% outliers", "sensitivity"],
+        &ppl_rows,
+    );
+
+    // --- Part 2: representation-level sensitivity on captured keys.
+    let mut caches = build_caches(&config, &CacheSpec::Full);
+    let mut capture = KvCapture::new(config.n_layers, config.head_dim(), 256);
+    let _ = model.prefill(&stream, &mut caches, Some(&mut capture));
+    let keys = capture.key_head_vectors(0);
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    let cases: Vec<(String, f64, f64)> = vec![
+        (
+            "KVQuant-3b".into(),
+            nuq_error(&keys, 3, 0.0),
+            nuq_error(&keys, 3, 0.01),
+        ),
+        (
+            "KVQuant-4b".into(),
+            nuq_error(&keys, 4, 0.0),
+            nuq_error(&keys, 4, 0.01),
+        ),
+        (
+            "MILLION-3b".into(),
+            pq_error(&keys, &MillionConfig::three_bit(config.head_dim()), 0.0),
+            pq_error(&keys, &MillionConfig::three_bit(config.head_dim()), 0.01),
+        ),
+        (
+            "MILLION-4b".into(),
+            pq_error(&keys, &MillionConfig::four_bit(config.head_dim()), 0.0),
+            pq_error(&keys, &MillionConfig::four_bit(config.head_dim()), 0.01),
+        ),
+    ];
+    for (method, plain, isolated) in cases {
+        let sensitivity = (plain - isolated) / plain.max(f64::MIN_POSITIVE) * 100.0;
+        rows.push(vec![
+            method.clone(),
+            format!("{plain:.5}"),
+            format!("{isolated:.5}"),
+            format!("{sensitivity:+.2}%"),
+        ]);
+        records.push(SensitivityRow {
+            method,
+            error_plain: plain,
+            error_with_1pct: isolated,
+            sensitivity_pct: sensitivity,
+        });
+    }
+    print_table(
+        "Table III (b) — key reconstruction error with / without 1% outliers",
+        &["method", "error plain", "error +1% outliers", "sensitivity"],
+        &rows,
+    );
+    write_json("table3_outlier_sensitivity", &records);
+    println!(
+        "\nExpected shape (paper): KVQuant's error/PPL improves substantially once 1% of\nentries are isolated (sensitivity 26-53%), while MILLION's changes by well\nunder 1% — it is already immune to the outliers."
+    );
+}

@@ -1,0 +1,169 @@
+//! KV distribution analysis (Fig. 2 and Fig. 3 of the paper).
+//!
+//! Fig. 2 plots the magnitude distribution of key/value caches and shows that
+//! key outliers concentrate in a few channels; Fig. 3 plots the channel-wise
+//! standard deviation and shows "standard deviation outliers" for keys but
+//! not values. Both statistics are computed here from captured KV tensors.
+
+use million_tensor::ops::{channel_abs_max, channel_std};
+use million_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Per-channel statistics of one captured KV tensor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelStats {
+    /// Absolute maximum per channel (Fig. 2's outlier picture).
+    pub abs_max: Vec<f32>,
+    /// Standard deviation per channel (Fig. 3).
+    pub std: Vec<f32>,
+    /// Global minimum.
+    pub global_min: f32,
+    /// Global maximum.
+    pub global_max: f32,
+}
+
+impl ChannelStats {
+    /// Computes statistics over a `[tokens, channels]` matrix.
+    pub fn compute(data: &Matrix) -> Self {
+        let mut global_min = f32::INFINITY;
+        let mut global_max = f32::NEG_INFINITY;
+        for &v in data.as_slice() {
+            global_min = global_min.min(v);
+            global_max = global_max.max(v);
+        }
+        if !global_min.is_finite() {
+            global_min = 0.0;
+            global_max = 0.0;
+        }
+        Self {
+            abs_max: channel_abs_max(data),
+            std: channel_std(data),
+            global_min,
+            global_max,
+        }
+    }
+
+    /// Number of channels whose standard deviation exceeds
+    /// `factor ×` the median channel standard deviation — the "standard
+    /// deviation outliers" of Fig. 3.
+    pub fn std_outlier_channels(&self, factor: f32) -> usize {
+        if self.std.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.std.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median = sorted[sorted.len() / 2].max(f32::MIN_POSITIVE);
+        self.std.iter().filter(|&&s| s > median * factor).count()
+    }
+
+    /// Ratio of the largest channel standard deviation to the median one; a
+    /// large value indicates strong channel anisotropy.
+    pub fn std_anisotropy(&self) -> f32 {
+        if self.std.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.std.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median = sorted[sorted.len() / 2].max(f32::MIN_POSITIVE);
+        sorted[sorted.len() - 1] / median
+    }
+}
+
+/// Key and value channel statistics for every layer of a model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KvDistributionReport {
+    /// Model name the capture came from.
+    pub model: String,
+    /// Per-layer key statistics.
+    pub key_stats: Vec<ChannelStats>,
+    /// Per-layer value statistics.
+    pub value_stats: Vec<ChannelStats>,
+}
+
+impl KvDistributionReport {
+    /// Builds a report from per-layer key/value capture matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices have different lengths.
+    pub fn from_captures(model: impl Into<String>, keys: &[Matrix], values: &[Matrix]) -> Self {
+        assert_eq!(keys.len(), values.len(), "per-layer capture count mismatch");
+        Self {
+            model: model.into(),
+            key_stats: keys.iter().map(ChannelStats::compute).collect(),
+            value_stats: values.iter().map(ChannelStats::compute).collect(),
+        }
+    }
+
+    /// Number of layers in the report.
+    pub fn n_layers(&self) -> usize {
+        self.key_stats.len()
+    }
+
+    /// Returns `true` if keys show more channel anisotropy than values on
+    /// average — the headline observation of Fig. 3.
+    pub fn keys_more_anisotropic_than_values(&self) -> bool {
+        let avg = |stats: &[ChannelStats]| -> f32 {
+            if stats.is_empty() {
+                return 0.0;
+            }
+            stats.iter().map(ChannelStats::std_anisotropy).sum::<f32>() / stats.len() as f32
+        };
+        avg(&self.key_stats) > avg(&self.value_stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use million_tensor::init::{normal_matrix, seeded_rng};
+
+    #[test]
+    fn stats_detect_injected_channel_outlier() {
+        let mut data = normal_matrix(&mut seeded_rng(0), 200, 16, 0.0, 1.0);
+        for r in 0..data.rows() {
+            let v = data.get(r, 5) * 10.0;
+            data.set(r, 5, v);
+        }
+        let stats = ChannelStats::compute(&data);
+        let max_std_channel = stats
+            .std
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(max_std_channel, 5);
+        assert!(stats.std_outlier_channels(3.0) >= 1);
+        assert!(stats.std_anisotropy() > 5.0);
+    }
+
+    #[test]
+    fn isotropic_data_has_no_outlier_channels() {
+        let data = normal_matrix(&mut seeded_rng(1), 500, 32, 0.0, 1.0);
+        let stats = ChannelStats::compute(&data);
+        assert_eq!(stats.std_outlier_channels(3.0), 0);
+        assert!(stats.std_anisotropy() < 2.0);
+    }
+
+    #[test]
+    fn report_compares_keys_and_values() {
+        let mut keys = normal_matrix(&mut seeded_rng(2), 300, 16, 0.0, 1.0);
+        for r in 0..keys.rows() {
+            let v = keys.get(r, 2) * 8.0;
+            keys.set(r, 2, v);
+        }
+        let values = normal_matrix(&mut seeded_rng(3), 300, 16, 0.0, 1.0);
+        let report =
+            KvDistributionReport::from_captures("test", &[keys.clone()], &[values.clone()]);
+        assert_eq!(report.n_layers(), 1);
+        assert!(report.keys_more_anisotropic_than_values());
+    }
+
+    #[test]
+    fn empty_matrix_is_handled() {
+        let stats = ChannelStats::compute(&Matrix::zeros(0, 8));
+        assert_eq!(stats.global_min, 0.0);
+        assert_eq!(stats.std.len(), 8);
+    }
+}

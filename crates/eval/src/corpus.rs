@@ -1,0 +1,175 @@
+//! Seeded synthetic corpora.
+//!
+//! Real language has a Zipfian unigram distribution and strong local
+//! (Markov) structure; the synthetic streams here reproduce both so that the
+//! KV caches produced while processing them have realistic token-frequency
+//! statistics. Perplexity experiments always compare a quantized cache
+//! against the fp16 cache of the *same* model on the *same* stream, so the
+//! absolute entropy of the stream does not matter.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Zipf};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a synthetic corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// Vocabulary size (must match the model's).
+    pub vocab_size: usize,
+    /// Number of candidate successors per token (Markov branching factor).
+    pub branching: usize,
+    /// Zipf exponent of the marginal token distribution (≈1.0 for text).
+    pub zipf_exponent: f64,
+    /// Probability of ignoring the Markov structure and drawing a fresh token.
+    pub jump_probability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CorpusConfig {
+    /// A Wikitext-2-like stream: moderately predictable prose.
+    pub fn wikitext2_like(vocab_size: usize) -> Self {
+        Self {
+            vocab_size,
+            branching: 24,
+            zipf_exponent: 1.05,
+            jump_probability: 0.12,
+            seed: 20_240_001,
+        }
+    }
+
+    /// A PTB-like stream: smaller effective vocabulary, choppier structure.
+    pub fn ptb_like(vocab_size: usize) -> Self {
+        Self {
+            vocab_size,
+            branching: 12,
+            zipf_exponent: 1.2,
+            jump_probability: 0.2,
+            seed: 20_240_002,
+        }
+    }
+}
+
+/// A deterministic synthetic token stream generator.
+#[derive(Debug, Clone)]
+pub struct SyntheticCorpus {
+    config: CorpusConfig,
+}
+
+impl SyntheticCorpus {
+    /// Creates a corpus generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vocabulary has fewer than 4 tokens or branching is zero.
+    pub fn new(config: CorpusConfig) -> Self {
+        assert!(config.vocab_size >= 4, "vocabulary too small");
+        assert!(config.branching > 0, "branching must be > 0");
+        assert!(
+            config.zipf_exponent > 0.0,
+            "zipf exponent must be positive"
+        );
+        Self { config }
+    }
+
+    /// The configuration of this corpus.
+    pub fn config(&self) -> &CorpusConfig {
+        &self.config
+    }
+
+    /// Deterministic successor table entry: the `rank`-th most likely token
+    /// following `token`.
+    fn successor(&self, token: u32, rank: u64) -> u32 {
+        // Splitmix-style hash keeps the "grammar" fixed across runs.
+        let mut h = (token as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(rank.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add(self.config.seed);
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+        (h % self.config.vocab_size as u64) as u32
+    }
+
+    /// Generates a token stream of the requested length.
+    pub fn generate(&self, len: usize) -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x5EED);
+        let zipf_marginal = Zipf::new(self.config.vocab_size as u64, self.config.zipf_exponent)
+            .expect("valid zipf");
+        let zipf_branch = Zipf::new(self.config.branching as u64, self.config.zipf_exponent)
+            .expect("valid zipf");
+
+        let mut out = Vec::with_capacity(len);
+        let mut current: u32 = (zipf_marginal.sample(&mut rng) as u64 - 1) as u32;
+        for _ in 0..len {
+            out.push(current);
+            current = if rng.gen_bool(self.config.jump_probability) {
+                (zipf_marginal.sample(&mut rng) as u64 - 1) as u32
+            } else {
+                let rank = zipf_branch.sample(&mut rng) as u64 - 1;
+                self.successor(current, rank)
+            };
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let corpus = SyntheticCorpus::new(CorpusConfig::wikitext2_like(512));
+        assert_eq!(corpus.generate(100), corpus.generate(100));
+    }
+
+    #[test]
+    fn different_corpora_differ() {
+        let wiki = SyntheticCorpus::new(CorpusConfig::wikitext2_like(512)).generate(200);
+        let ptb = SyntheticCorpus::new(CorpusConfig::ptb_like(512)).generate(200);
+        assert_ne!(wiki, ptb);
+    }
+
+    #[test]
+    fn tokens_stay_in_vocabulary() {
+        let corpus = SyntheticCorpus::new(CorpusConfig::ptb_like(64));
+        assert!(corpus.generate(1000).iter().all(|&t| (t as usize) < 64));
+    }
+
+    #[test]
+    fn marginal_distribution_is_skewed() {
+        // Zipfian text: the most frequent token should appear far more often
+        // than the median token.
+        let corpus = SyntheticCorpus::new(CorpusConfig::wikitext2_like(256));
+        let stream = corpus.generate(20_000);
+        let mut counts = vec![0usize; 256];
+        for &t in &stream {
+            counts[t as usize] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        assert!(counts[0] > counts[64] * 3);
+    }
+
+    #[test]
+    fn stream_has_local_structure() {
+        // With a small branching factor, bigram diversity is far below the
+        // independence baseline.
+        let corpus = SyntheticCorpus::new(CorpusConfig::ptb_like(256));
+        let stream = corpus.generate(5_000);
+        let mut bigrams = std::collections::HashSet::new();
+        for w in stream.windows(2) {
+            bigrams.insert((w[0], w[1]));
+        }
+        assert!(bigrams.len() < 4_000, "got {} distinct bigrams", bigrams.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "vocabulary too small")]
+    fn tiny_vocab_panics() {
+        let mut cfg = CorpusConfig::wikitext2_like(512);
+        cfg.vocab_size = 2;
+        let _ = SyntheticCorpus::new(cfg);
+    }
+}

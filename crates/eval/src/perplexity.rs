@@ -1,0 +1,335 @@
+//! Teacher-forced perplexity through a (possibly quantized) KV cache.
+//!
+//! Table II of the paper reports Wikitext-2/PTB perplexity of each
+//! quantization scheme next to the fp16 baseline; what the table actually
+//! communicates is the *degradation caused by cache quantization*. Because
+//! this reproduction uses synthetic (untrained) weights, scoring the raw
+//! ground-truth tokens would not discriminate quantizers — an untrained
+//! model is equally bad at predicting them with or without quantization.
+//!
+//! Instead, the harness scores every position against the **reference
+//! distribution of the same model running with an fp16 cache**:
+//!
+//! * the reported "perplexity" is `exp(cross-entropy vs the fp16 reference)`;
+//! * for the fp16 cache itself this equals `exp(predictive entropy)` — the
+//!   baseline row of the table;
+//! * for any lossy cache it equals `exp(entropy + KL(fp16 ‖ method))`, so the
+//!   increase over the baseline is exactly the KL divergence introduced by
+//!   cache quantization.
+//!
+//! Every next-token prediction past the seed prefix attends over the cached
+//! history through the configured backend, so cache error propagates into
+//! the logits exactly as it would during real decoding.
+
+use million_model::{build_caches, total_cache_bytes, CacheSpec, Transformer};
+use million_tensor::ops::log_softmax;
+use serde::{Deserialize, Serialize};
+
+/// Result of one perplexity evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerplexityReport {
+    /// Cache backend label (e.g. "fp16", "million").
+    pub cache: String,
+    /// `exp(cross-entropy against the fp16 reference)`; equals the reference
+    /// entropy for the fp16 cache itself.
+    pub ppl: f64,
+    /// Mean KL divergence (nats) of this backend's predictions from the fp16
+    /// reference predictions. Zero for the fp16 cache.
+    pub kl_vs_fp16: f64,
+    /// Mean negative log-likelihood (nats) of the actual stream tokens — the
+    /// classic perplexity numerator, reported for completeness.
+    pub token_nll: f64,
+    /// Number of scored positions.
+    pub scored_tokens: usize,
+    /// KV-cache bytes at the end of the evaluation (all layers).
+    pub kv_bytes: usize,
+}
+
+impl PerplexityReport {
+    /// Relative perplexity increase versus a baseline report, in percent.
+    pub fn degradation_vs(&self, baseline: &PerplexityReport) -> f64 {
+        (self.ppl - baseline.ppl) / baseline.ppl * 100.0
+    }
+}
+
+/// Log-probability vectors of the fp16-cache reference model at every scored
+/// position (one `Vec<f32>` of vocabulary size per position).
+pub type TeacherLogProbs = Vec<Vec<f32>>;
+
+/// Runs the model with a full-precision cache and collects its log-softmax
+/// predictions at every scored position (positions `seed_len-1 .. len-2`,
+/// each predicting the next stream token).
+///
+/// # Panics
+///
+/// Panics if `seed_len == 0` or `tokens.len() < seed_len + 2`.
+pub fn teacher_log_probs(
+    model: &Transformer,
+    tokens: &[u32],
+    seed_len: usize,
+) -> TeacherLogProbs {
+    collect_log_probs(model, &CacheSpec::Full, tokens, seed_len)
+}
+
+fn collect_log_probs(
+    model: &Transformer,
+    spec: &CacheSpec,
+    tokens: &[u32],
+    seed_len: usize,
+) -> TeacherLogProbs {
+    assert!(seed_len > 0, "seed_len must be at least 1");
+    assert!(
+        tokens.len() >= seed_len + 2,
+        "need at least two tokens to score after the seed"
+    );
+    let mut caches = build_caches(model.config(), spec);
+    let prefill_logits = model.prefill(&tokens[..seed_len], &mut caches, None);
+    let mut out = Vec::with_capacity(tokens.len() - seed_len);
+    out.push(log_softmax(prefill_logits.row(seed_len - 1)));
+    for &token in tokens.iter().take(tokens.len() - 1).skip(seed_len) {
+        let logits = model.decode_step(token, &mut caches);
+        out.push(log_softmax(&logits));
+    }
+    out
+}
+
+/// Evaluates one cache backend against precomputed fp16 reference
+/// distributions (use [`teacher_log_probs`] to obtain them once and evaluate
+/// many backends cheaply).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`teacher_log_probs`], or if the
+/// teacher was computed with a different `seed_len` / stream length.
+pub fn evaluate_perplexity_against(
+    model: &Transformer,
+    spec: &CacheSpec,
+    tokens: &[u32],
+    seed_len: usize,
+    teacher: &TeacherLogProbs,
+) -> PerplexityReport {
+    assert_eq!(
+        teacher.len(),
+        tokens.len() - seed_len,
+        "teacher distributions do not match the stream"
+    );
+
+    let mut caches = build_caches(model.config(), spec);
+    let prefill_logits = model.prefill(&tokens[..seed_len], &mut caches, None);
+
+    let mut cross_entropy_sum = 0.0f64;
+    let mut kl_sum = 0.0f64;
+    let mut nll_sum = 0.0f64;
+    let mut scored = 0usize;
+
+    let mut score_position = |method_lp: &[f32], teacher_lp: &[f32], target: u32| {
+        let mut ce = 0.0f64;
+        let mut kl = 0.0f64;
+        for (t, m) in teacher_lp.iter().zip(method_lp.iter()) {
+            let p = f64::from(*t).exp();
+            if p > 0.0 {
+                ce -= p * f64::from(*m);
+                kl += p * (f64::from(*t) - f64::from(*m));
+            }
+        }
+        cross_entropy_sum += ce;
+        kl_sum += kl;
+        nll_sum += -f64::from(method_lp[target as usize]);
+        scored += 1;
+    };
+
+    // First post-seed token comes from the prefill logits.
+    score_position(
+        &log_softmax(prefill_logits.row(seed_len - 1)),
+        &teacher[0],
+        tokens[seed_len],
+    );
+
+    // Teacher-forced decode for the rest: feeding token i produces the
+    // distribution over token i+1, computed through the cache backend.
+    for i in seed_len..tokens.len() - 1 {
+        let logits = model.decode_step(tokens[i], &mut caches);
+        score_position(&log_softmax(&logits), &teacher[i - seed_len + 1], tokens[i + 1]);
+    }
+
+    let n = scored as f64;
+    PerplexityReport {
+        cache: spec.label().to_string(),
+        ppl: (cross_entropy_sum / n).exp(),
+        kl_vs_fp16: kl_sum / n,
+        token_nll: nll_sum / n,
+        scored_tokens: scored,
+        kv_bytes: total_cache_bytes(&caches),
+    }
+}
+
+/// Convenience wrapper: computes the fp16 reference and evaluates `spec`
+/// against it in one call.
+///
+/// # Panics
+///
+/// Panics if `tokens.len() < seed_len + 2` or `seed_len == 0`.
+pub fn evaluate_perplexity(
+    model: &Transformer,
+    spec: &CacheSpec,
+    tokens: &[u32],
+    seed_len: usize,
+) -> PerplexityReport {
+    let teacher = teacher_log_probs(model, tokens, seed_len);
+    evaluate_perplexity_against(model, spec, tokens, seed_len, &teacher)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{CorpusConfig, SyntheticCorpus};
+    use million_kvcache::{KiviConfig, KvQuantConfig};
+    use million_model::KvCapture;
+    use million_model::{ModelConfig, PqSpec};
+    use million_quant::pq::{PqCodebook, PqConfig, PqTrainOptions};
+    use std::sync::Arc;
+
+    fn model_and_tokens() -> (Transformer, Vec<u32>) {
+        let config = ModelConfig::tiny_for_tests();
+        let model = Transformer::new(config.clone(), 11);
+        let corpus = SyntheticCorpus::new(CorpusConfig::wikitext2_like(config.vocab_size));
+        (model, corpus.generate(96))
+    }
+
+    fn trained_pq_spec(model: &Transformer, tokens: &[u32], m: usize, nbits: u8) -> PqSpec {
+        // Calibrate codebooks on the KV produced by a short prefill.
+        let config = model.config().clone();
+        let mut caches = build_caches(&config, &CacheSpec::Full);
+        let mut capture = KvCapture::new(config.n_layers, config.head_dim(), 512);
+        let _ = model.prefill(&tokens[..64], &mut caches, Some(&mut capture));
+        let pq_config = PqConfig::new(m, nbits).unwrap();
+        let opts = PqTrainOptions::default();
+        let mut key_cbs = Vec::new();
+        let mut value_cbs = Vec::new();
+        for l in 0..config.n_layers {
+            key_cbs.push(Arc::new(
+                PqCodebook::train(&pq_config, &capture.key_head_vectors(l), &opts, 1).unwrap(),
+            ));
+            value_cbs.push(Arc::new(
+                PqCodebook::train(&pq_config, &capture.value_head_vectors(l), &opts, 2).unwrap(),
+            ));
+        }
+        PqSpec {
+            key_codebooks: key_cbs,
+            value_codebooks: value_cbs,
+            residual_len: 0,
+            auto_encode: true,
+        }
+    }
+
+    #[test]
+    fn baseline_has_zero_kl_and_finite_ppl() {
+        let (model, tokens) = model_and_tokens();
+        let report = evaluate_perplexity(&model, &CacheSpec::Full, &tokens, 8);
+        assert!(report.ppl.is_finite() && report.ppl > 1.0);
+        assert!(report.kl_vs_fp16.abs() < 1e-6);
+        assert_eq!(report.scored_tokens, tokens.len() - 8);
+    }
+
+    #[test]
+    fn lossy_caches_never_beat_the_reference() {
+        // Cross-entropy against the fp16 reference is entropy + KL, so every
+        // lossy backend must score at least the baseline.
+        let (model, tokens) = model_and_tokens();
+        let teacher = teacher_log_probs(&model, &tokens, 8);
+        let baseline =
+            evaluate_perplexity_against(&model, &CacheSpec::Full, &tokens, 8, &teacher);
+        for spec in [
+            CacheSpec::Kivi(KiviConfig::default()),
+            CacheSpec::KvQuant(KvQuantConfig::default()),
+            CacheSpec::Pq(trained_pq_spec(&model, &tokens, 16, 8)),
+        ] {
+            let report = evaluate_perplexity_against(&model, &spec, &tokens, 8, &teacher);
+            assert!(
+                report.ppl >= baseline.ppl - 1e-6,
+                "{}: {} < baseline {}",
+                report.cache,
+                report.ppl,
+                baseline.ppl
+            );
+            assert!(report.kl_vs_fp16 >= -1e-6);
+        }
+    }
+
+    #[test]
+    fn million_ppl_is_close_to_baseline() {
+        let (model, tokens) = model_and_tokens();
+        let teacher = teacher_log_probs(&model, &tokens, 8);
+        let baseline =
+            evaluate_perplexity_against(&model, &CacheSpec::Full, &tokens, 8, &teacher);
+        let spec = CacheSpec::Pq(trained_pq_spec(&model, &tokens, 16, 8));
+        let million = evaluate_perplexity_against(&model, &spec, &tokens, 8, &teacher);
+        let degradation = million.degradation_vs(&baseline);
+        assert!(
+            degradation < 10.0,
+            "MILLION degradation {degradation:.2}% too large (ppl {} vs {})",
+            million.ppl,
+            baseline.ppl
+        );
+    }
+
+    #[test]
+    fn million_beats_low_bit_kvquant() {
+        let (model, tokens) = model_and_tokens();
+        let teacher = teacher_log_probs(&model, &tokens, 8);
+        let million = evaluate_perplexity_against(
+            &model,
+            &CacheSpec::Pq(trained_pq_spec(&model, &tokens, 16, 8)),
+            &tokens,
+            8,
+            &teacher,
+        );
+        let kvquant = evaluate_perplexity_against(
+            &model,
+            &CacheSpec::KvQuant(KvQuantConfig {
+                bits: 2,
+                ..KvQuantConfig::default()
+            }),
+            &tokens,
+            8,
+            &teacher,
+        );
+        assert!(
+            million.kl_vs_fp16 < kvquant.kl_vs_fp16,
+            "million KL {:.4} vs kvquant-2b KL {:.4}",
+            million.kl_vs_fp16,
+            kvquant.kl_vs_fp16
+        );
+    }
+
+    #[test]
+    fn quantized_caches_use_less_memory() {
+        let (model, tokens) = model_and_tokens();
+        let teacher = teacher_log_probs(&model, &tokens, 8);
+        let baseline =
+            evaluate_perplexity_against(&model, &CacheSpec::Full, &tokens, 8, &teacher);
+        let kivi = evaluate_perplexity_against(
+            &model,
+            &CacheSpec::Kivi(KiviConfig::default()),
+            &tokens,
+            8,
+            &teacher,
+        );
+        let million = evaluate_perplexity_against(
+            &model,
+            &CacheSpec::Pq(trained_pq_spec(&model, &tokens, 8, 8)),
+            &tokens,
+            8,
+            &teacher,
+        );
+        assert!(kivi.kv_bytes < baseline.kv_bytes);
+        assert!(million.kv_bytes < baseline.kv_bytes / 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed_len must be at least 1")]
+    fn zero_seed_panics() {
+        let (model, tokens) = model_and_tokens();
+        let _ = evaluate_perplexity(&model, &CacheSpec::Full, &tokens, 0);
+    }
+}

@@ -1,0 +1,565 @@
+//! The MILLION KV cache: product-quantized history + dense recent window.
+//!
+//! Decode-time attention over this cache follows Eq. (7) of the paper:
+//!
+//! 1. the quantized history is scored through a per-query lookup table
+//!    (`q × Cᵀ` per subspace) without de-quantizing any key;
+//! 2. softmax mass over the history is accumulated per value centroid and the
+//!    centroids are mixed once ([`million_quant::pq::ValueAccumulator`]);
+//! 3. the dense recent window (including the current token) is attended in
+//!    full precision;
+//! 4. both segments are combined with an online softmax.
+
+use std::sync::Arc;
+
+use million_tensor::alibi::alibi_bias;
+use million_tensor::ops::dot;
+use million_tensor::{Matrix, OnlineSoftmax};
+use million_quant::pq::{PqCodebook, PqCodes, ValueAccumulator};
+
+use crate::traits::{head_slice, AttendParams, CacheLayout, KvCache};
+
+/// Configuration of a [`PqKvCache`].
+#[derive(Debug, Clone)]
+pub struct PqCacheConfig {
+    /// Codebook used for keys (dimension must equal `head_dim`).
+    pub key_codebook: Arc<PqCodebook>,
+    /// Codebook used for values (dimension must equal `head_dim`).
+    pub value_codebook: Arc<PqCodebook>,
+    /// Number of most recent tokens kept in full precision. The paper sets
+    /// this to 0 for its stress evaluations; the asynchronous engine uses it
+    /// as the staging buffer for not-yet-quantized tokens.
+    pub residual_len: usize,
+    /// When `true` (default), [`KvCache::append`] immediately encodes tokens
+    /// that fall out of the residual window. The asynchronous engine sets
+    /// this to `false` and feeds codes back via [`PqKvCache::absorb_encoded`].
+    pub auto_encode: bool,
+}
+
+impl PqCacheConfig {
+    /// Convenience constructor with `auto_encode = true`.
+    pub fn new(
+        key_codebook: Arc<PqCodebook>,
+        value_codebook: Arc<PqCodebook>,
+        residual_len: usize,
+    ) -> Self {
+        Self {
+            key_codebook,
+            value_codebook,
+            residual_len,
+            auto_encode: true,
+        }
+    }
+}
+
+/// PQ codes for a block of tokens, one [`PqCodes`] sequence per KV head.
+///
+/// Produced by [`PqKvCache::encode_tokens`] (synchronously or from a worker
+/// thread) and consumed by [`PqKvCache::absorb_encoded`].
+#[derive(Debug, Clone)]
+pub struct EncodedTokens {
+    /// Per-head key codes; every entry holds the same number of tokens.
+    pub key_codes: Vec<PqCodes>,
+    /// Per-head value codes; same shape as `key_codes`.
+    pub value_codes: Vec<PqCodes>,
+}
+
+impl EncodedTokens {
+    /// Number of tokens in this block.
+    pub fn len(&self) -> usize {
+        self.key_codes.first().map_or(0, |c| c.len())
+    }
+
+    /// Returns `true` when the block holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Product-quantized KV cache (the MILLION backend).
+pub struct PqKvCache {
+    layout: CacheLayout,
+    config: PqCacheConfig,
+    /// Per-head key codes of the quantized prefix.
+    key_codes: Vec<PqCodes>,
+    /// Per-head value codes of the quantized prefix.
+    value_codes: Vec<PqCodes>,
+    /// Per-head dense recent keys, `[recent_len, head_dim]` row-major.
+    recent_keys: Vec<Vec<f32>>,
+    /// Per-head dense recent values.
+    recent_values: Vec<Vec<f32>>,
+    /// Tokens in the quantized prefix.
+    quantized_len: usize,
+    /// Tokens in the dense suffix.
+    recent_len: usize,
+}
+
+impl std::fmt::Debug for PqKvCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PqKvCache")
+            .field("layout", &self.layout)
+            .field("quantized_len", &self.quantized_len)
+            .field("recent_len", &self.recent_len)
+            .finish()
+    }
+}
+
+impl PqKvCache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either codebook's dimension differs from `layout.head_dim`.
+    pub fn new(layout: CacheLayout, config: PqCacheConfig) -> Self {
+        assert_eq!(
+            config.key_codebook.dim(),
+            layout.head_dim,
+            "key codebook dimension must equal head_dim"
+        );
+        assert_eq!(
+            config.value_codebook.dim(),
+            layout.head_dim,
+            "value codebook dimension must equal head_dim"
+        );
+        let key_codes = (0..layout.n_kv_heads)
+            .map(|_| PqCodes::new(config.key_codebook.config()))
+            .collect();
+        let value_codes = (0..layout.n_kv_heads)
+            .map(|_| PqCodes::new(config.value_codebook.config()))
+            .collect();
+        Self {
+            layout,
+            config,
+            key_codes,
+            value_codes,
+            recent_keys: vec![Vec::new(); layout.n_kv_heads],
+            recent_values: vec![Vec::new(); layout.n_kv_heads],
+            quantized_len: 0,
+            recent_len: 0,
+        }
+    }
+
+    /// Number of tokens currently stored as PQ codes.
+    pub fn quantized_len(&self) -> usize {
+        self.quantized_len
+    }
+
+    /// Number of tokens currently stored densely.
+    pub fn recent_len(&self) -> usize {
+        self.recent_len
+    }
+
+    /// Encodes a block of `[tokens, n_kv_heads * head_dim]` keys/values into
+    /// per-head PQ codes. This is a pure function of the codebooks and is
+    /// safe to call from a worker thread (the asynchronous quantization
+    /// stream of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrices do not match the layout.
+    pub fn encode_tokens(
+        key_codebook: &PqCodebook,
+        value_codebook: &PqCodebook,
+        layout: &CacheLayout,
+        keys: &Matrix,
+        values: &Matrix,
+    ) -> EncodedTokens {
+        assert_eq!(keys.shape(), values.shape(), "keys/values shape mismatch");
+        assert_eq!(keys.cols(), layout.width(), "KV width mismatch");
+        let mut key_codes: Vec<PqCodes> = (0..layout.n_kv_heads)
+            .map(|_| PqCodes::new(key_codebook.config()))
+            .collect();
+        let mut value_codes: Vec<PqCodes> = (0..layout.n_kv_heads)
+            .map(|_| PqCodes::new(value_codebook.config()))
+            .collect();
+        for t in 0..keys.rows() {
+            let k_row = keys.row(t);
+            let v_row = values.row(t);
+            for h in 0..layout.n_kv_heads {
+                key_codes[h].push(&key_codebook.encode(head_slice(k_row, layout, h)));
+                value_codes[h].push(&value_codebook.encode(head_slice(v_row, layout, h)));
+            }
+        }
+        EncodedTokens {
+            key_codes,
+            value_codes,
+        }
+    }
+
+    /// Appends a block of already-encoded tokens and drops the corresponding
+    /// oldest dense tokens from the recent window.
+    ///
+    /// This is how the asynchronous quantization stream hands its results
+    /// back to the cache: the dense copies stay visible to `attend` until the
+    /// codes arrive, so attention never misses a token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block has more tokens than the recent window currently
+    /// holds, or if its head count differs from the layout.
+    pub fn absorb_encoded(&mut self, encoded: EncodedTokens) {
+        let n = encoded.len();
+        if n == 0 {
+            return;
+        }
+        assert_eq!(
+            encoded.key_codes.len(),
+            self.layout.n_kv_heads,
+            "encoded block head count mismatch"
+        );
+        assert!(
+            n <= self.recent_len,
+            "cannot absorb {n} encoded tokens with only {} dense tokens pending",
+            self.recent_len
+        );
+        let d = self.layout.head_dim;
+        for h in 0..self.layout.n_kv_heads {
+            self.key_codes[h].append(&encoded.key_codes[h]);
+            self.value_codes[h].append(&encoded.value_codes[h]);
+            self.recent_keys[h].drain(0..n * d);
+            self.recent_values[h].drain(0..n * d);
+        }
+        self.quantized_len += n;
+        self.recent_len -= n;
+    }
+
+    /// Returns the dense recent keys/values that are *eligible* for encoding
+    /// (everything beyond the configured residual window) as
+    /// `[tokens, n_kv_heads * head_dim]` matrices, without removing them.
+    ///
+    /// The asynchronous engine sends these to the quantization worker.
+    pub fn encodable_dense(&self) -> Option<(Matrix, Matrix)> {
+        if self.recent_len <= self.config.residual_len {
+            return None;
+        }
+        let n = self.recent_len - self.config.residual_len;
+        let d = self.layout.head_dim;
+        let width = self.layout.width();
+        let mut keys = Matrix::zeros(n, width);
+        let mut values = Matrix::zeros(n, width);
+        for t in 0..n {
+            for h in 0..self.layout.n_kv_heads {
+                let k_src = &self.recent_keys[h][t * d..(t + 1) * d];
+                let v_src = &self.recent_values[h][t * d..(t + 1) * d];
+                keys.row_mut(t)[h * d..(h + 1) * d].copy_from_slice(k_src);
+                values.row_mut(t)[h * d..(h + 1) * d].copy_from_slice(v_src);
+            }
+        }
+        Some((keys, values))
+    }
+
+    /// Fraction of fp16 storage still needed: `memory_bytes / fp16 bytes`.
+    pub fn compression_ratio(&self) -> f64 {
+        let fp16 = (self.len() * self.layout.fp16_bytes_per_token()).max(1);
+        self.memory_bytes() as f64 / fp16 as f64
+    }
+
+    fn encode_overflow(&mut self) {
+        if let Some((keys, values)) = self.encodable_dense() {
+            let encoded = Self::encode_tokens(
+                &self.config.key_codebook,
+                &self.config.value_codebook,
+                &self.layout,
+                &keys,
+                &values,
+            );
+            self.absorb_encoded(encoded);
+        }
+    }
+}
+
+impl KvCache for PqKvCache {
+    fn layout(&self) -> CacheLayout {
+        self.layout
+    }
+
+    fn len(&self) -> usize {
+        self.quantized_len + self.recent_len
+    }
+
+    fn append(&mut self, keys: &Matrix, values: &Matrix) {
+        assert_eq!(keys.shape(), values.shape(), "keys/values shape mismatch");
+        assert_eq!(keys.cols(), self.layout.width(), "KV width mismatch");
+        for t in 0..keys.rows() {
+            let k_row = keys.row(t);
+            let v_row = values.row(t);
+            for h in 0..self.layout.n_kv_heads {
+                self.recent_keys[h].extend_from_slice(head_slice(k_row, &self.layout, h));
+                self.recent_values[h].extend_from_slice(head_slice(v_row, &self.layout, h));
+            }
+        }
+        self.recent_len += keys.rows();
+        if self.config.auto_encode {
+            self.encode_overflow();
+        }
+    }
+
+    fn attend(&self, params: &AttendParams<'_>, out: &mut [f32]) {
+        let d = self.layout.head_dim;
+        assert_eq!(params.query.len(), d, "query length mismatch");
+        assert_eq!(out.len(), d, "output length mismatch");
+        assert!(params.head < self.layout.n_kv_heads, "head out of range");
+        let h = params.head;
+
+        let mut merger = OnlineSoftmax::new(d);
+
+        // --- Quantized history: LUT scores + per-centroid mass accumulation.
+        if self.quantized_len > 0 {
+            let lut = self.config.key_codebook.score_lut(params.query);
+            let codes = &self.key_codes[h];
+            let mut scores = Vec::with_capacity(self.quantized_len);
+            lut.scores(codes, &mut scores);
+            let mut max_score = f32::NEG_INFINITY;
+            for (t, s) in scores.iter_mut().enumerate() {
+                *s *= params.scale;
+                if let Some(slope) = params.alibi_slope {
+                    *s += alibi_bias(slope, params.query_pos, t);
+                }
+                max_score = max_score.max(*s);
+            }
+            let mut sum_exp = 0.0f32;
+            let mut acc = ValueAccumulator::for_codebook(&self.config.value_codebook);
+            let vcodes = &self.value_codes[h];
+            for (t, &s) in scores.iter().enumerate() {
+                let w = (s - max_score).exp();
+                sum_exp += w;
+                acc.add_indexed(w, vcodes, t);
+            }
+            let mut segment = vec![0.0f32; d];
+            acc.finish_into(&self.config.value_codebook, &mut segment);
+            merger.merge_segment(max_score, sum_exp, &segment);
+        }
+
+        // --- Dense recent window (full precision).
+        let keys = &self.recent_keys[h];
+        let values = &self.recent_values[h];
+        for t in 0..self.recent_len {
+            let global_pos = self.quantized_len + t;
+            let k = &keys[t * d..(t + 1) * d];
+            let mut score = dot(params.query, k) * params.scale;
+            if let Some(slope) = params.alibi_slope {
+                score += alibi_bias(slope, params.query_pos, global_pos);
+            }
+            merger.push(score, &values[t * d..(t + 1) * d]);
+        }
+
+        // --- Current token (second term of Eq. 7), always full precision.
+        if let Some((cur_key, cur_value)) = params.current {
+            merger.push(dot(params.query, cur_key) * params.scale, cur_value);
+        }
+
+        out.copy_from_slice(&merger.finish());
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let codes: usize = self
+            .key_codes
+            .iter()
+            .chain(self.value_codes.iter())
+            .map(|c| c.memory_bytes())
+            .sum();
+        // Dense residual accounted at fp16 like the baseline.
+        let dense = 2 * self.recent_len * self.layout.width() * 2;
+        codes + dense
+    }
+
+    fn kind(&self) -> &'static str {
+        "million-pq"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::full::FullPrecisionCache;
+    use million_quant::pq::{PqConfig, PqTrainOptions};
+    use million_tensor::init::{normal_matrix, seeded_rng};
+
+    const HEAD_DIM: usize = 16;
+    const HEADS: usize = 2;
+
+    fn layout() -> CacheLayout {
+        CacheLayout::new(HEADS, HEAD_DIM)
+    }
+
+    fn trained_codebooks(seed: u64) -> (Arc<PqCodebook>, Arc<PqCodebook>) {
+        let mut rng = seeded_rng(seed);
+        let samples = normal_matrix(&mut rng, 600, HEAD_DIM, 0.0, 1.0);
+        let config = PqConfig::new(8, 6).unwrap();
+        let key = PqCodebook::train(&config, &samples, &PqTrainOptions::default(), seed).unwrap();
+        let samples_v = normal_matrix(&mut rng, 600, HEAD_DIM, 0.0, 1.0);
+        let value =
+            PqCodebook::train(&config, &samples_v, &PqTrainOptions::default(), seed + 1).unwrap();
+        (Arc::new(key), Arc::new(value))
+    }
+
+    fn random_kv(seed: u64, tokens: usize) -> (Matrix, Matrix) {
+        let mut rng = seeded_rng(seed);
+        let width = layout().width();
+        (
+            normal_matrix(&mut rng, tokens, width, 0.0, 1.0),
+            normal_matrix(&mut rng, tokens, width, 0.0, 1.0),
+        )
+    }
+
+    fn attend_all(cache: &dyn KvCache, query: &[f32], head: usize) -> Vec<f32> {
+        let mut out = vec![0.0; HEAD_DIM];
+        cache.attend(
+            &AttendParams::new(
+                head,
+                query,
+                1.0 / (HEAD_DIM as f32).sqrt(),
+                cache.len().saturating_sub(1),
+            ),
+            &mut out,
+        );
+        out
+    }
+
+    #[test]
+    fn pq_attention_approximates_full_precision() {
+        let (kc, vc) = trained_codebooks(0);
+        let mut pq = PqKvCache::new(layout(), PqCacheConfig::new(kc, vc, 0));
+        let mut full = FullPrecisionCache::new(layout());
+        let (k, v) = random_kv(1, 96);
+        pq.append(&k, &v);
+        full.append(&k, &v);
+
+        let query: Vec<f32> = (0..HEAD_DIM).map(|i| (i as f32 * 0.37).sin()).collect();
+        for head in 0..HEADS {
+            let exact = attend_all(&full, &query, head);
+            let approx = attend_all(&pq, &query, head);
+            let err: f32 = exact
+                .iter()
+                .zip(approx.iter())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f32::max);
+            assert!(err < 0.35, "head {head}: max abs error {err} too large");
+        }
+    }
+
+    #[test]
+    fn residual_window_keeps_recent_tokens_dense() {
+        let (kc, vc) = trained_codebooks(2);
+        let mut pq = PqKvCache::new(layout(), PqCacheConfig::new(kc, vc, 8));
+        let (k, v) = random_kv(3, 20);
+        pq.append(&k, &v);
+        assert_eq!(pq.len(), 20);
+        assert_eq!(pq.recent_len(), 8);
+        assert_eq!(pq.quantized_len(), 12);
+    }
+
+    #[test]
+    fn zero_residual_quantizes_everything() {
+        let (kc, vc) = trained_codebooks(4);
+        let mut pq = PqKvCache::new(layout(), PqCacheConfig::new(kc, vc, 0));
+        let (k, v) = random_kv(5, 10);
+        pq.append(&k, &v);
+        assert_eq!(pq.recent_len(), 0);
+        assert_eq!(pq.quantized_len(), 10);
+    }
+
+    #[test]
+    fn manual_encode_path_matches_auto_path() {
+        let (kc, vc) = trained_codebooks(6);
+        let mut auto = PqKvCache::new(layout(), PqCacheConfig::new(kc.clone(), vc.clone(), 0));
+        let mut manual_cfg = PqCacheConfig::new(kc.clone(), vc.clone(), 0);
+        manual_cfg.auto_encode = false;
+        let mut manual = PqKvCache::new(layout(), manual_cfg);
+
+        let (k, v) = random_kv(7, 32);
+        auto.append(&k, &v);
+        manual.append(&k, &v);
+        assert_eq!(manual.recent_len(), 32);
+        // Simulate the async worker: encode everything, then absorb.
+        let (dk, dv) = manual.encodable_dense().expect("tokens pending");
+        let encoded = PqKvCache::encode_tokens(&kc, &vc, &layout(), &dk, &dv);
+        manual.absorb_encoded(encoded);
+        assert_eq!(manual.quantized_len(), 32);
+
+        let query: Vec<f32> = (0..HEAD_DIM).map(|i| 0.1 * i as f32 - 0.5).collect();
+        for head in 0..HEADS {
+            let a = attend_all(&auto, &query, head);
+            let m = attend_all(&manual, &query, head);
+            for (x, y) in a.iter().zip(m.iter()) {
+                assert!((x - y).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn absorb_more_than_pending_panics() {
+        let (kc, vc) = trained_codebooks(8);
+        let mut cfg = PqCacheConfig::new(kc.clone(), vc.clone(), 0);
+        cfg.auto_encode = false;
+        let mut cache = PqKvCache::new(layout(), cfg);
+        let (k, v) = random_kv(9, 4);
+        cache.append(&k, &v);
+        let encoded = PqKvCache::encode_tokens(&kc, &vc, &layout(), &k, &v);
+        cache.absorb_encoded(encoded.clone());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut c2 = cache;
+            c2.absorb_encoded(encoded);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn memory_is_much_smaller_than_fp16() {
+        let (kc, vc) = trained_codebooks(10);
+        let mut pq = PqKvCache::new(layout(), PqCacheConfig::new(kc, vc, 0));
+        let mut full = FullPrecisionCache::new(layout());
+        let (k, v) = random_kv(11, 256);
+        pq.append(&k, &v);
+        full.append(&k, &v);
+        // 8 subspaces x 6 bits = 48 bits per 16-dim head vector vs 256 bits fp16:
+        // > 5x compression expected.
+        assert!(pq.memory_bytes() * 5 < full.memory_bytes());
+        assert!(pq.compression_ratio() < 0.25);
+        assert_eq!(pq.kind(), "million-pq");
+    }
+
+    #[test]
+    fn alibi_bias_is_applied_across_segments() {
+        let (kc, vc) = trained_codebooks(12);
+        let mut pq = PqKvCache::new(layout(), PqCacheConfig::new(kc, vc, 4));
+        let (k, v) = random_kv(13, 32);
+        pq.append(&k, &v);
+        let query: Vec<f32> = vec![0.2; HEAD_DIM];
+        let mut with_bias = vec![0.0; HEAD_DIM];
+        let mut without_bias = vec![0.0; HEAD_DIM];
+        pq.attend(
+            &AttendParams::new(0, &query, 0.25, 31).with_alibi(0.5),
+            &mut with_bias,
+        );
+        pq.attend(&AttendParams::new(0, &query, 0.25, 31), &mut without_bias);
+        assert_ne!(with_bias, without_bias);
+    }
+
+    #[test]
+    fn empty_cache_attend_is_zero() {
+        let (kc, vc) = trained_codebooks(14);
+        let pq = PqKvCache::new(layout(), PqCacheConfig::new(kc, vc, 0));
+        let query = vec![1.0; HEAD_DIM];
+        let out = attend_all(&pq, &query, 0);
+        assert!(out.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn incremental_decode_appends_match_bulk_append() {
+        let (kc, vc) = trained_codebooks(15);
+        let mut bulk = PqKvCache::new(layout(), PqCacheConfig::new(kc.clone(), vc.clone(), 0));
+        let mut step = PqKvCache::new(layout(), PqCacheConfig::new(kc, vc, 0));
+        let (k, v) = random_kv(16, 24);
+        bulk.append(&k, &v);
+        for t in 0..24 {
+            step.append(&k.slice_rows(t..t + 1), &v.slice_rows(t..t + 1));
+        }
+        let query: Vec<f32> = (0..HEAD_DIM).map(|i| (i as f32).cos()).collect();
+        let a = attend_all(&bulk, &query, 1);
+        let b = attend_all(&step, &query, 1);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Engine configuration.
+
+use million_quant::pq::{PqConfig, PqTrainOptions};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a [`crate::MillionEngine`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MillionConfig {
+    /// Product-quantization geometry per head vector (`M` subspaces of
+    /// `nbits`-bit codes).
+    pub pq: PqConfig,
+    /// Number of most recent tokens kept in full precision during decoding.
+    /// The paper's stress evaluations use 0; the asynchronous pipeline keeps
+    /// the not-yet-encoded tokens here regardless.
+    pub residual_len: usize,
+    /// Run PQ encoding on a background worker thread (the paper's
+    /// low-priority CUDA stream) instead of on the decode critical path.
+    pub async_quant: bool,
+    /// Maximum number of calibration tokens sampled per layer for codebook
+    /// training.
+    pub calibration_tokens: usize,
+    /// k-means options used during codebook training.
+    #[serde(skip, default = "PqTrainOptions::default")]
+    pub train_options: PqTrainOptions,
+    /// Seed for codebook training.
+    pub seed: u64,
+}
+
+impl MillionConfig {
+    /// A configuration with an explicit PQ geometry and default pipeline
+    /// settings.
+    pub fn new(pq: PqConfig) -> Self {
+        Self {
+            pq,
+            residual_len: 0,
+            async_quant: true,
+            calibration_tokens: 2048,
+            train_options: PqTrainOptions::default(),
+            seed: 0,
+        }
+    }
+
+    /// 4-bit-per-channel configuration for a model with the given head
+    /// dimension: `M = head_dim / 2`, 8-bit codes (the paper's `(64, 8)`
+    /// point at `head_dim = 128`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head_dim` is not divisible by 2.
+    pub fn four_bit(head_dim: usize) -> Self {
+        assert!(head_dim % 2 == 0, "head_dim must be even");
+        Self::new(PqConfig::new(head_dim / 2, 8).expect("valid PQ config"))
+    }
+
+    /// 3-bit-per-channel configuration: `M = head_dim / 4`, 12-bit codes (the
+    /// paper's `(32, 12)` point at `head_dim = 128`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head_dim` is not divisible by 4.
+    pub fn three_bit(head_dim: usize) -> Self {
+        assert!(head_dim % 4 == 0, "head_dim must be divisible by 4");
+        Self::new(PqConfig::new(head_dim / 4, 12).expect("valid PQ config"))
+    }
+
+    /// 2-bit-per-channel configuration: `M = head_dim / 8`, 16-bit codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head_dim` is not divisible by 8.
+    pub fn two_bit(head_dim: usize) -> Self {
+        assert!(head_dim % 8 == 0, "head_dim must be divisible by 8");
+        Self::new(PqConfig::new(head_dim / 8, 16).expect("valid PQ config"))
+    }
+
+    /// Effective bits per KV channel for a given head dimension.
+    pub fn bits_per_channel(&self, head_dim: usize) -> f64 {
+        self.pq.bits_per_channel(head_dim)
+    }
+
+    /// Disables the asynchronous quantization worker (ablation E9).
+    pub fn with_sync_quant(mut self) -> Self {
+        self.async_quant = false;
+        self
+    }
+
+    /// Sets the dense recent-window length.
+    pub fn with_residual_len(mut self, residual_len: usize) -> Self {
+        self.residual_len = residual_len;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_hit_their_bit_budgets() {
+        assert!((MillionConfig::four_bit(128).bits_per_channel(128) - 4.0).abs() < 1e-9);
+        assert!((MillionConfig::three_bit(128).bits_per_channel(128) - 3.0).abs() < 1e-9);
+        assert!((MillionConfig::two_bit(128).bits_per_channel(128) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_configuration_at_head_dim_128_matches_footnote() {
+        // Footnote 2 of the paper: (M, nbits) = (64, 8) and (32, 12).
+        let four = MillionConfig::four_bit(128);
+        assert_eq!(four.pq.m, 64);
+        assert_eq!(four.pq.nbits, 8);
+        let three = MillionConfig::three_bit(128);
+        assert_eq!(three.pq.m, 32);
+        assert_eq!(three.pq.nbits, 12);
+    }
+
+    #[test]
+    fn builders_toggle_pipeline_options() {
+        let cfg = MillionConfig::four_bit(32)
+            .with_sync_quant()
+            .with_residual_len(16);
+        assert!(!cfg.async_quant);
+        assert_eq!(cfg.residual_len, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by 4")]
+    fn three_bit_rejects_odd_head_dim() {
+        let _ = MillionConfig::three_bit(30);
+    }
+}

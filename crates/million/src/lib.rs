@@ -1,0 +1,96 @@
+//! # MILLION — outlier-immunized KV-cache product quantization
+//!
+//! End-to-end engine tying together the substrates of this workspace, in the
+//! shape of the system described in the DAC 2025 paper *"MILLION: MasterIng
+//! Long-Context LLM Inference Via Outlier-Immunized KV Product
+//! QuaNtization"*:
+//!
+//! 1. **Offline codebook training** ([`trainer`]) — run the model over a
+//!    calibration stream, sample its keys/values, and fit per-layer product
+//!    quantization codebooks.
+//! 2. **Prefill with KV quantization** — the prompt is processed with
+//!    full-precision attention, then its KV is encoded into PQ codes.
+//! 3. **Decode with KV quantization** — attention over the history is
+//!    computed directly on the codes through per-query lookup tables; the
+//!    current token stays full precision and is merged with an online
+//!    softmax.
+//! 4. **Asynchronous quantization** ([`async_quant`]) — freshly generated KV
+//!    is encoded on a background worker (the paper's low-priority CUDA
+//!    stream) so encoding never blocks the decode critical path.
+//!
+//! ```no_run
+//! use million::{MillionConfig, MillionEngine};
+//! use million_model::{ModelConfig, Sampler, Transformer};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = ModelConfig::llama2_7b_sim();
+//! let model = Transformer::new(config.clone(), 42);
+//! let calibration: Vec<u32> = (0..512).map(|i| (i * 7 % config.vocab_size as u32)).collect();
+//! let engine = MillionEngine::new(model, MillionConfig::four_bit(config.head_dim()), &calibration)?;
+//! let mut sampler = Sampler::greedy();
+//! let result = engine.generate(&[1, 2, 3, 4], 32, &mut sampler);
+//! println!("generated {} tokens, cache is {:.1}% of fp16",
+//!          result.tokens.len(), result.compression_ratio() * 100.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod async_quant;
+pub mod config;
+pub mod engine;
+pub mod trainer;
+
+pub use async_quant::QuantWorker;
+pub use config::MillionConfig;
+pub use engine::{GenerationResult, MillionEngine};
+pub use trainer::{train_codebooks, TrainedCodebooks};
+
+/// Errors produced by the MILLION engine.
+#[derive(Debug)]
+pub enum MillionError {
+    /// Codebook training failed (propagated from the quantization crate).
+    Quant(million_quant::QuantError),
+    /// The engine was configured inconsistently with the model.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for MillionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MillionError::Quant(e) => write!(f, "codebook training failed: {e}"),
+            MillionError::InvalidConfig(msg) => write!(f, "invalid engine configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MillionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MillionError::Quant(e) => Some(e),
+            MillionError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<million_quant::QuantError> for MillionError {
+    fn from(e: million_quant::QuantError) -> Self {
+        MillionError::Quant(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_source() {
+        let err: MillionError =
+            million_quant::QuantError::InvalidConfig("nbits".into()).into();
+        assert!(err.to_string().contains("nbits"));
+        assert!(std::error::Error::source(&err).is_some());
+        let err = MillionError::InvalidConfig("bad".into());
+        assert!(std::error::Error::source(&err).is_none());
+    }
+}

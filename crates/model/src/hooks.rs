@@ -1,0 +1,147 @@
+//! KV capture hooks used for offline codebook training and for the KV
+//! distribution analysis (Fig. 2 / Fig. 3 of the paper).
+
+use million_tensor::Matrix;
+
+/// Records the (post-positional-embedding) keys and values produced by every
+/// layer during prefill, up to a per-layer token budget.
+///
+/// The recorded matrices have shape `[tokens, n_kv_heads * head_dim]`; the
+/// [`KvCapture::head_vectors`] helper reshapes them into one row per
+/// `(token, head)` pair, which is the sample layout expected by PQ codebook
+/// training (codebooks operate on `head_dim`-dimensional vectors).
+#[derive(Debug, Clone)]
+pub struct KvCapture {
+    max_tokens_per_layer: usize,
+    head_dim: usize,
+    keys: Vec<Matrix>,
+    values: Vec<Matrix>,
+}
+
+impl KvCapture {
+    /// Creates a capture buffer for `n_layers` layers, keeping at most
+    /// `max_tokens_per_layer` token rows per layer.
+    pub fn new(n_layers: usize, head_dim: usize, max_tokens_per_layer: usize) -> Self {
+        Self {
+            max_tokens_per_layer,
+            head_dim,
+            keys: vec![Matrix::default(); n_layers],
+            values: vec![Matrix::default(); n_layers],
+        }
+    }
+
+    /// Number of layers tracked.
+    pub fn n_layers(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Records a block of keys/values for `layer`. Rows beyond the per-layer
+    /// budget are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range or shapes mismatch.
+    pub fn record(&mut self, layer: usize, keys: &Matrix, values: &Matrix) {
+        assert!(layer < self.keys.len(), "layer index out of range");
+        assert_eq!(keys.shape(), values.shape(), "keys/values shape mismatch");
+        let remaining = self
+            .max_tokens_per_layer
+            .saturating_sub(self.keys[layer].rows());
+        if remaining == 0 {
+            return;
+        }
+        let take = remaining.min(keys.rows());
+        self.keys[layer]
+            .append_rows(&keys.slice_rows(0..take))
+            .expect("consistent widths");
+        self.values[layer]
+            .append_rows(&values.slice_rows(0..take))
+            .expect("consistent widths");
+    }
+
+    /// Raw captured keys for one layer, `[tokens, n_kv_heads * head_dim]`.
+    pub fn keys(&self, layer: usize) -> &Matrix {
+        &self.keys[layer]
+    }
+
+    /// Raw captured values for one layer.
+    pub fn values(&self, layer: usize) -> &Matrix {
+        &self.values[layer]
+    }
+
+    /// Captured tokens for one layer.
+    pub fn tokens(&self, layer: usize) -> usize {
+        self.keys[layer].rows()
+    }
+
+    /// Reshapes a captured `[tokens, n_kv_heads * head_dim]` matrix into
+    /// `[tokens * n_kv_heads, head_dim]` — one row per (token, head) pair.
+    pub fn head_vectors(&self, data: &Matrix) -> Matrix {
+        let d = self.head_dim;
+        let heads = data.cols() / d;
+        let mut out = Matrix::zeros(data.rows() * heads, d);
+        for t in 0..data.rows() {
+            let row = data.row(t);
+            for h in 0..heads {
+                out.row_mut(t * heads + h)
+                    .copy_from_slice(&row[h * d..(h + 1) * d]);
+            }
+        }
+        out
+    }
+
+    /// Key training samples (one row per token-head pair) for one layer.
+    pub fn key_head_vectors(&self, layer: usize) -> Matrix {
+        self.head_vectors(&self.keys[layer])
+    }
+
+    /// Value training samples (one row per token-head pair) for one layer.
+    pub fn value_head_vectors(&self, layer: usize) -> Matrix {
+        self.head_vectors(&self.values[layer])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_respects_budget() {
+        let mut cap = KvCapture::new(2, 4, 10);
+        let block = Matrix::from_fn(6, 8, |r, c| (r * 8 + c) as f32);
+        cap.record(0, &block, &block);
+        cap.record(0, &block, &block);
+        cap.record(0, &block, &block);
+        assert_eq!(cap.tokens(0), 10);
+        assert_eq!(cap.tokens(1), 0);
+    }
+
+    #[test]
+    fn head_vectors_reshape_preserves_values() {
+        let cap = KvCapture::new(1, 2, 100);
+        let block = Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let reshaped = cap.head_vectors(&block);
+        assert_eq!(reshaped.shape(), (2, 2));
+        assert_eq!(reshaped.row(0), &[1.0, 2.0]);
+        assert_eq!(reshaped.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn per_layer_capture_is_independent() {
+        let mut cap = KvCapture::new(3, 4, 100);
+        let block = Matrix::from_fn(5, 8, |_, _| 1.0);
+        cap.record(2, &block, &block);
+        assert_eq!(cap.tokens(0), 0);
+        assert_eq!(cap.tokens(2), 5);
+        assert_eq!(cap.key_head_vectors(2).shape(), (10, 4));
+        assert_eq!(cap.value_head_vectors(2).shape(), (10, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "layer index out of range")]
+    fn out_of_range_layer_panics() {
+        let mut cap = KvCapture::new(1, 4, 10);
+        let block = Matrix::zeros(1, 8);
+        cap.record(5, &block, &block);
+    }
+}

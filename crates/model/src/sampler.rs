@@ -1,0 +1,123 @@
+//! Token sampling strategies for the decode loop.
+
+use million_tensor::ops::{argmax, softmax_in_place};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Decoding strategy applied to the logits of each generated token.
+#[derive(Debug, Clone)]
+pub enum Sampler {
+    /// Always pick the highest-probability token (deterministic).
+    Greedy,
+    /// Temperature sampling restricted to the `top_k` most likely tokens.
+    TopK {
+        /// Softmax temperature (must be > 0).
+        temperature: f32,
+        /// Number of candidates kept.
+        top_k: usize,
+        /// RNG used for sampling (seeded for reproducibility).
+        rng: StdRng,
+    },
+}
+
+impl Sampler {
+    /// Creates a greedy sampler.
+    pub fn greedy() -> Self {
+        Sampler::Greedy
+    }
+
+    /// Creates a seeded top-k temperature sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temperature <= 0` or `top_k == 0`.
+    pub fn top_k(temperature: f32, top_k: usize, seed: u64) -> Self {
+        assert!(temperature > 0.0, "temperature must be positive");
+        assert!(top_k > 0, "top_k must be positive");
+        Sampler::TopK {
+            temperature,
+            top_k,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Picks the next token id from a logit vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits` is empty.
+    pub fn sample(&mut self, logits: &[f32]) -> u32 {
+        assert!(!logits.is_empty(), "cannot sample from empty logits");
+        match self {
+            Sampler::Greedy => argmax(logits) as u32,
+            Sampler::TopK {
+                temperature,
+                top_k,
+                rng,
+            } => {
+                let k = (*top_k).min(logits.len());
+                let mut indexed: Vec<(usize, f32)> =
+                    logits.iter().copied().enumerate().collect();
+                indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                indexed.truncate(k);
+                let mut probs: Vec<f32> =
+                    indexed.iter().map(|(_, l)| l / *temperature).collect();
+                softmax_in_place(&mut probs);
+                let draw: f32 = rng.gen_range(0.0..1.0);
+                let mut cumulative = 0.0;
+                for ((token, _), p) in indexed.iter().zip(probs.iter()) {
+                    cumulative += p;
+                    if draw <= cumulative {
+                        return *token as u32;
+                    }
+                }
+                indexed.last().map(|(t, _)| *t as u32).unwrap_or(0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_picks_argmax() {
+        let mut s = Sampler::greedy();
+        assert_eq!(s.sample(&[0.1, 5.0, -2.0]), 1);
+    }
+
+    #[test]
+    fn top_k_with_k1_is_greedy() {
+        let mut s = Sampler::top_k(1.0, 1, 0);
+        for _ in 0..10 {
+            assert_eq!(s.sample(&[0.0, 10.0, 1.0, -1.0]), 1);
+        }
+    }
+
+    #[test]
+    fn top_k_is_deterministic_per_seed() {
+        let logits: Vec<f32> = (0..32).map(|i| (i % 7) as f32 * 0.3).collect();
+        let mut a = Sampler::top_k(0.8, 8, 42);
+        let mut b = Sampler::top_k(0.8, 8, 42);
+        let seq_a: Vec<u32> = (0..20).map(|_| a.sample(&logits)).collect();
+        let seq_b: Vec<u32> = (0..20).map(|_| b.sample(&logits)).collect();
+        assert_eq!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn top_k_only_returns_top_candidates() {
+        let logits = vec![10.0, 9.0, -100.0, -100.0];
+        let mut s = Sampler::top_k(1.0, 2, 7);
+        for _ in 0..50 {
+            let t = s.sample(&logits);
+            assert!(t == 0 || t == 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be positive")]
+    fn zero_temperature_panics() {
+        let _ = Sampler::top_k(0.0, 4, 0);
+    }
+}

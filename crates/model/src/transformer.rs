@@ -1,0 +1,469 @@
+//! Decoder-only transformer with pluggable KV-cache backends.
+//!
+//! The forward pass mirrors the structure in Fig. 1 of the paper:
+//!
+//! * **prefill** processes the whole prompt at once, computes attention in
+//!   full precision, and *then* hands the keys/values to the cache backend
+//!   (which may quantize them) — step ③/④ of Fig. 4;
+//! * **decode** produces one token at a time; attention over the history goes
+//!   through the cache backend ([`million_kvcache::KvCache::attend`]) while
+//!   the current token's key/value is merged at full precision (Eq. 7).
+
+use million_kvcache::{AttendParams, CacheLayout, KvCache};
+use million_tensor::alibi::alibi_slopes;
+use million_tensor::ops::{
+    apply_causal_mask, gelu_in_place, layer_norm, rms_norm, silu_in_place, softmax_in_place,
+};
+use million_tensor::{Matrix, Rope};
+
+use crate::config::{ModelConfig, NormKind, Positional};
+use crate::hooks::KvCapture;
+use crate::weights::ModelWeights;
+
+/// A decoder-only transformer instantiated from a [`ModelConfig`] and
+/// deterministic synthetic weights.
+///
+/// # Example
+///
+/// ```
+/// use million_model::{build_caches, CacheSpec, ModelConfig, Transformer};
+///
+/// let config = ModelConfig::tiny_for_tests();
+/// let model = Transformer::new(config.clone(), 0);
+/// let mut caches = build_caches(&config, &CacheSpec::Full);
+/// let logits = model.prefill(&[1, 2, 3], &mut caches, None);
+/// assert_eq!(logits.shape(), (3, config.vocab_size));
+/// let next = model.decode_step(4, &mut caches);
+/// assert_eq!(next.len(), config.vocab_size);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Transformer {
+    config: ModelConfig,
+    weights: ModelWeights,
+    rope: Option<Rope>,
+    alibi: Option<Vec<f32>>,
+}
+
+impl Transformer {
+    /// Builds a model with seeded synthetic weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: ModelConfig, seed: u64) -> Self {
+        let weights = ModelWeights::initialize(&config, seed);
+        Self::from_weights(config, weights)
+    }
+
+    /// Builds a model from externally constructed weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn from_weights(config: ModelConfig, weights: ModelWeights) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid model config: {e}"));
+        let rope = match config.positional {
+            Positional::Rope {
+                theta,
+                position_scale,
+            } => Some(Rope::new(config.head_dim(), theta, position_scale)),
+            _ => None,
+        };
+        let alibi = match config.positional {
+            Positional::Alibi => Some(alibi_slopes(config.n_heads)),
+            _ => None,
+        };
+        Self {
+            config,
+            weights,
+            rope,
+            alibi,
+        }
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// The model's weights.
+    pub fn weights(&self) -> &ModelWeights {
+        &self.weights
+    }
+
+    /// The per-layer cache geometry this model expects.
+    pub fn cache_layout(&self) -> CacheLayout {
+        CacheLayout::new(self.config.n_kv_heads, self.config.head_dim())
+    }
+
+    fn norm_in_place(&self, x: &mut [f32], weight: &[f32], bias: &[f32]) {
+        match self.config.norm {
+            NormKind::RmsNorm => rms_norm(x, weight, 1e-6),
+            NormKind::LayerNorm => layer_norm(x, weight, bias, 1e-6),
+        }
+    }
+
+    fn activate_in_place(&self, x: &mut [f32]) {
+        match self.config.norm {
+            // Llama-family models pair RMSNorm with SiLU, GPT/MPT-family pair
+            // LayerNorm with GELU; we follow the same convention.
+            NormKind::RmsNorm => silu_in_place(x),
+            NormKind::LayerNorm => gelu_in_place(x),
+        }
+    }
+
+    /// Embeds a token sequence starting at absolute position `start_pos`.
+    fn embed(&self, tokens: &[u32], start_pos: usize) -> Matrix {
+        let d = self.config.d_model;
+        let mut x = Matrix::zeros(tokens.len(), d);
+        for (i, &t) in tokens.iter().enumerate() {
+            assert!(
+                (t as usize) < self.config.vocab_size,
+                "token id {t} outside vocabulary"
+            );
+            x.row_mut(i).copy_from_slice(self.weights.embedding.row(t as usize));
+            if let Some(pe) = &self.weights.position_embedding {
+                let pos = (start_pos + i).min(pe.rows() - 1);
+                let pe_row = pe.row(pos);
+                for (a, b) in x.row_mut(i).iter_mut().zip(pe_row.iter()) {
+                    *a += b;
+                }
+            }
+        }
+        x
+    }
+
+    fn apply_rope_block(&self, data: &mut Matrix, heads: usize, start_pos: usize) {
+        if let Some(rope) = &self.rope {
+            let hd = self.config.head_dim();
+            for t in 0..data.rows() {
+                let row = data.row_mut(t);
+                for h in 0..heads {
+                    rope.apply(&mut row[h * hd..(h + 1) * hd], start_pos + t);
+                }
+            }
+        }
+    }
+
+    /// Processes a whole prompt, filling the caches and returning the logits
+    /// of every position (`[tokens, vocab]`).
+    ///
+    /// Attention during prefill is computed from the full-precision keys and
+    /// values; the (possibly lossy) cache backends only see the KV *after*
+    /// the attention output has been produced, exactly as in the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `caches.len() != n_layers`, if any cache is non-empty, or if
+    /// the prompt is empty or exceeds `max_seq_len`.
+    pub fn prefill<C: KvCache>(
+        &self,
+        tokens: &[u32],
+        caches: &mut [C],
+        mut capture: Option<&mut KvCapture>,
+    ) -> Matrix {
+        assert_eq!(
+            caches.len(),
+            self.config.n_layers,
+            "one cache per layer required"
+        );
+        assert!(!tokens.is_empty(), "prefill requires at least one token");
+        assert!(
+            tokens.len() <= self.config.max_seq_len,
+            "prompt longer than max_seq_len"
+        );
+        assert!(
+            caches.iter().all(|c| c.is_empty()),
+            "prefill requires empty caches"
+        );
+
+        let n = tokens.len();
+        let d = self.config.d_model;
+        let hd = self.config.head_dim();
+        let n_heads = self.config.n_heads;
+        let group = self.config.group_size();
+        let scale = 1.0 / (hd as f32).sqrt();
+
+        let mut x = self.embed(tokens, 0);
+
+        for (l, layer) in self.weights.layers.iter().enumerate() {
+            // --- Attention block.
+            let mut h = x.clone();
+            for r in 0..n {
+                self.norm_in_place(h.row_mut(r), &layer.attn_norm_weight, &layer.attn_norm_bias);
+            }
+            let mut q = h.matmul(&layer.wq);
+            let mut k = h.matmul(&layer.wk);
+            let v = h.matmul(&layer.wv);
+            self.apply_rope_block(&mut q, n_heads, 0);
+            self.apply_rope_block(&mut k, self.config.n_kv_heads, 0);
+
+            if let Some(cap) = capture.as_deref_mut() {
+                cap.record(l, &k, &v);
+            }
+
+            let mut attn = Matrix::zeros(n, d);
+            for qh in 0..n_heads {
+                let kvh = qh / group;
+                let q_h = Matrix::from_fn(n, hd, |t, c| q.get(t, qh * hd + c));
+                let k_h = Matrix::from_fn(n, hd, |t, c| k.get(t, kvh * hd + c));
+                let v_h = Matrix::from_fn(n, hd, |t, c| v.get(t, kvh * hd + c));
+                let mut scores = q_h.matmul_transposed(&k_h);
+                scores.scale(scale);
+                if let Some(slopes) = &self.alibi {
+                    let slope = slopes[qh];
+                    for i in 0..n {
+                        let row = scores.row_mut(i);
+                        for (j, s) in row.iter_mut().enumerate().take(i + 1) {
+                            *s -= slope * (i - j) as f32;
+                        }
+                    }
+                }
+                apply_causal_mask(&mut scores);
+                for i in 0..n {
+                    softmax_in_place(scores.row_mut(i));
+                }
+                let out_h = scores.matmul(&v_h);
+                for t in 0..n {
+                    attn.row_mut(t)[qh * hd..(qh + 1) * hd].copy_from_slice(out_h.row(t));
+                }
+            }
+            let attn_out = attn.matmul(&layer.wo);
+            x.add_assign(&attn_out);
+
+            // Hand the full-precision KV to the (possibly lossy) cache.
+            caches[l].append(&k, &v);
+
+            // --- Feed-forward block.
+            let mut h2 = x.clone();
+            for r in 0..n {
+                self.norm_in_place(h2.row_mut(r), &layer.ffn_norm_weight, &layer.ffn_norm_bias);
+            }
+            let mut inner = h2.matmul(&layer.w_in);
+            for r in 0..n {
+                self.activate_in_place(inner.row_mut(r));
+            }
+            let ffn_out = inner.matmul(&layer.w_out);
+            x.add_assign(&ffn_out);
+        }
+
+        for r in 0..n {
+            self.norm_in_place(
+                x.row_mut(r),
+                &self.weights.final_norm_weight,
+                &self.weights.final_norm_bias,
+            );
+        }
+        x.matmul_transposed(&self.weights.embedding)
+    }
+
+    /// Generates the logits for one new token, reading history through the
+    /// caches and appending the new token's KV to them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `caches.len() != n_layers` or the token id is out of range.
+    pub fn decode_step<C: KvCache>(&self, token: u32, caches: &mut [C]) -> Vec<f32> {
+        assert_eq!(
+            caches.len(),
+            self.config.n_layers,
+            "one cache per layer required"
+        );
+        let d = self.config.d_model;
+        let hd = self.config.head_dim();
+        let n_heads = self.config.n_heads;
+        let group = self.config.group_size();
+        let kv_width = self.config.kv_width();
+        let scale = 1.0 / (hd as f32).sqrt();
+        let pos = caches[0].len();
+
+        let mut x = self.embed(&[token], pos).into_vec();
+
+        for (l, layer) in self.weights.layers.iter().enumerate() {
+            // --- Attention block.
+            let mut h = x.clone();
+            self.norm_in_place(&mut h, &layer.attn_norm_weight, &layer.attn_norm_bias);
+            let hm = Matrix::from_row(&h);
+            let mut q = hm.matmul(&layer.wq).into_vec();
+            let mut k = hm.matmul(&layer.wk).into_vec();
+            let v = hm.matmul(&layer.wv).into_vec();
+            if let Some(rope) = &self.rope {
+                for qh in 0..n_heads {
+                    rope.apply(&mut q[qh * hd..(qh + 1) * hd], pos);
+                }
+                for kh in 0..self.config.n_kv_heads {
+                    rope.apply(&mut k[kh * hd..(kh + 1) * hd], pos);
+                }
+            }
+
+            let mut attn = vec![0.0f32; d];
+            for qh in 0..n_heads {
+                let kvh = qh / group;
+                let mut params = AttendParams::new(kvh, &q[qh * hd..(qh + 1) * hd], scale, pos)
+                    .with_current(&k[kvh * hd..(kvh + 1) * hd], &v[kvh * hd..(kvh + 1) * hd]);
+                if let Some(slopes) = &self.alibi {
+                    params = params.with_alibi(slopes[qh]);
+                }
+                caches[l].attend(&params, &mut attn[qh * hd..(qh + 1) * hd]);
+            }
+            let attn_out = Matrix::from_row(&attn).matmul(&layer.wo);
+            for (a, b) in x.iter_mut().zip(attn_out.row(0).iter()) {
+                *a += b;
+            }
+
+            // Cache the new token's KV after the attention output is produced.
+            let k_mat = Matrix::from_vec(1, kv_width, k).expect("kv width");
+            let v_mat = Matrix::from_vec(1, kv_width, v).expect("kv width");
+            caches[l].append(&k_mat, &v_mat);
+
+            // --- Feed-forward block.
+            let mut h2 = x.clone();
+            self.norm_in_place(&mut h2, &layer.ffn_norm_weight, &layer.ffn_norm_bias);
+            let mut inner = Matrix::from_row(&h2).matmul(&layer.w_in).into_vec();
+            self.activate_in_place(&mut inner);
+            let ffn_out = Matrix::from_row(&inner).matmul(&layer.w_out);
+            for (a, b) in x.iter_mut().zip(ffn_out.row(0).iter()) {
+                *a += b;
+            }
+        }
+
+        self.norm_in_place(
+            &mut x,
+            &self.weights.final_norm_weight,
+            &self.weights.final_norm_bias,
+        );
+        Matrix::from_row(&x)
+            .matmul_transposed(&self.weights.embedding)
+            .into_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache_factory::{build_caches, CacheSpec};
+    use million_tensor::ops::log_softmax;
+
+    fn prompt() -> Vec<u32> {
+        vec![5, 17, 42, 3, 99, 7, 64, 21]
+    }
+
+    #[test]
+    fn prefill_produces_finite_logits_for_all_presets() {
+        for config in [
+            ModelConfig::tiny_for_tests(),
+            ModelConfig::tiny_gqa_for_tests(),
+        ] {
+            let model = Transformer::new(config.clone(), 1);
+            let mut caches = build_caches(&config, &CacheSpec::Full);
+            let logits = model.prefill(&prompt(), &mut caches, None);
+            assert_eq!(logits.shape(), (8, config.vocab_size));
+            assert!(logits.as_slice().iter().all(|v| v.is_finite()));
+            assert!(caches.iter().all(|c| c.len() == 8));
+        }
+    }
+
+    #[test]
+    fn positional_variants_all_run() {
+        for positional in [
+            Positional::Absolute,
+            Positional::Alibi,
+            Positional::Rope {
+                theta: 10_000.0,
+                position_scale: 4.0,
+            },
+        ] {
+            let mut config = ModelConfig::tiny_for_tests();
+            config.positional = positional;
+            config.norm = NormKind::LayerNorm;
+            let model = Transformer::new(config.clone(), 2);
+            let mut caches = build_caches(&config, &CacheSpec::Full);
+            let logits = model.prefill(&prompt(), &mut caches, None);
+            assert!(logits.as_slice().iter().all(|v| v.is_finite()));
+            let next = model.decode_step(11, &mut caches);
+            assert!(next.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn decode_with_full_cache_matches_prefill_logits() {
+        // Teacher-forced decoding over a full-precision cache must produce the
+        // same next-token distribution as running the whole sequence through
+        // prefill (the causal factorisation is exact).
+        let config = ModelConfig::tiny_for_tests();
+        let model = Transformer::new(config.clone(), 3);
+        let tokens = prompt();
+
+        let mut caches_full = build_caches(&config, &CacheSpec::Full);
+        let prefill_logits = model.prefill(&tokens, &mut caches_full, None);
+
+        let mut caches_step = build_caches(&config, &CacheSpec::Full);
+        let _ = model.prefill(&tokens[..1], &mut caches_step, None);
+        let mut step_logits = Vec::new();
+        for &t in &tokens[1..] {
+            step_logits.push(model.decode_step(t, &mut caches_step));
+        }
+        // Compare the logits of the last position.
+        let last_prefill = prefill_logits.row(tokens.len() - 1);
+        let last_step = step_logits.last().unwrap();
+        for (a, b) in last_prefill.iter().zip(last_step.iter()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn gqa_maps_query_heads_onto_shared_kv_heads() {
+        let config = ModelConfig::tiny_gqa_for_tests();
+        let model = Transformer::new(config.clone(), 4);
+        let mut caches = build_caches(&config, &CacheSpec::Full);
+        let _ = model.prefill(&prompt(), &mut caches, None);
+        assert_eq!(caches[0].layout().n_kv_heads, 1);
+        let logits = model.decode_step(9, &mut caches);
+        assert!(logits.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn capture_records_post_rope_keys() {
+        let config = ModelConfig::tiny_for_tests();
+        let model = Transformer::new(config.clone(), 5);
+        let mut caches = build_caches(&config, &CacheSpec::Full);
+        let mut capture = KvCapture::new(config.n_layers, config.head_dim(), 64);
+        let _ = model.prefill(&prompt(), &mut caches, Some(&mut capture));
+        for l in 0..config.n_layers {
+            assert_eq!(capture.tokens(l), 8);
+            assert_eq!(capture.keys(l).cols(), config.kv_width());
+        }
+    }
+
+    #[test]
+    fn logits_are_a_valid_distribution_after_softmax() {
+        let config = ModelConfig::tiny_for_tests();
+        let model = Transformer::new(config.clone(), 6);
+        let mut caches = build_caches(&config, &CacheSpec::Full);
+        let logits = model.prefill(&prompt(), &mut caches, None);
+        let lp = log_softmax(logits.row(3));
+        let sum: f32 = lp.iter().map(|l| l.exp()).sum();
+        assert!((sum - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefill requires empty caches")]
+    fn prefill_twice_panics() {
+        let config = ModelConfig::tiny_for_tests();
+        let model = Transformer::new(config.clone(), 7);
+        let mut caches = build_caches(&config, &CacheSpec::Full);
+        let _ = model.prefill(&prompt(), &mut caches, None);
+        let _ = model.prefill(&prompt(), &mut caches, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside vocabulary")]
+    fn out_of_vocab_token_panics() {
+        let config = ModelConfig::tiny_for_tests();
+        let model = Transformer::new(config.clone(), 8);
+        let mut caches = build_caches(&config, &CacheSpec::Full);
+        let _ = model.prefill(&[100_000], &mut caches, None);
+    }
+}

@@ -1,0 +1,132 @@
+//! Per-operator cost records and roofline helpers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::gpu::GpuSpec;
+
+/// Cost of one operator in one decode step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpCost {
+    /// Operator name (uses the paper's Fig. 7 labels where applicable:
+    /// `qkv_proj`, `rotary_emb`, `sdpa`, `cat`, `o_proj`, ...).
+    pub name: String,
+    /// Estimated wall-clock time in milliseconds.
+    pub time_ms: f64,
+    /// Bytes moved through device memory.
+    pub bytes: f64,
+    /// Floating-point (or integer) operations executed.
+    pub flops: f64,
+}
+
+impl OpCost {
+    /// Builds a cost record from a roofline estimate: the op takes the larger
+    /// of its memory time and its compute time, plus one kernel launch.
+    pub fn roofline(
+        gpu: &GpuSpec,
+        name: impl Into<String>,
+        bytes: f64,
+        tensor_flops: f64,
+        cuda_core_flops: f64,
+    ) -> Self {
+        let time_s = gpu
+            .memory_time_s(bytes)
+            .max(gpu.tensor_time_s(tensor_flops))
+            .max(gpu.cuda_core_time_s(cuda_core_flops))
+            + gpu.launch_time_s();
+        Self {
+            name: name.into(),
+            time_ms: time_s * 1e3,
+            bytes,
+            flops: tensor_flops + cuda_core_flops,
+        }
+    }
+
+    /// Builds a fixed-latency cost record (framework / scheduling overhead).
+    pub fn fixed(name: impl Into<String>, time_ms: f64) -> Self {
+        Self {
+            name: name.into(),
+            time_ms,
+            bytes: 0.0,
+            flops: 0.0,
+        }
+    }
+}
+
+/// Full decode-step latency breakdown for one configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Breakdown {
+    /// Method label (e.g. "fp16", "million-4b").
+    pub method: String,
+    /// Context length this breakdown was computed for.
+    pub context_len: usize,
+    /// Per-operator costs, aggregated over all layers.
+    pub ops: Vec<OpCost>,
+}
+
+impl Breakdown {
+    /// Total decode-step latency in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.ops.iter().map(|o| o.time_ms).sum()
+    }
+
+    /// Latency of one named operator (0 if absent).
+    pub fn op_ms(&self, name: &str) -> f64 {
+        self.ops
+            .iter()
+            .filter(|o| o.name == name)
+            .map(|o| o.time_ms)
+            .sum()
+    }
+
+    /// Latency of the attention operator (`sdpa`), the paper's headline
+    /// per-operator comparison.
+    pub fn sdpa_ms(&self) -> f64 {
+        self.op_ms("sdpa")
+    }
+
+    /// Names of all operators in this breakdown.
+    pub fn op_names(&self) -> Vec<&str> {
+        self.ops.iter().map(|o| o.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roofline_is_memory_bound_for_big_transfers() {
+        let gpu = GpuSpec::a40();
+        let op = OpCost::roofline(&gpu, "sdpa", 10e9, 1e9, 0.0);
+        // 10 GB over 696 GB/s is ~14.4 ms, far above the compute time.
+        assert!((op.time_ms - 14.37).abs() < 0.5);
+    }
+
+    #[test]
+    fn roofline_is_compute_bound_for_big_gemms() {
+        let gpu = GpuSpec::a40();
+        let op = OpCost::roofline(&gpu, "gemm", 1e6, 10e12, 0.0);
+        assert!(op.time_ms > 60.0);
+    }
+
+    #[test]
+    fn cuda_core_work_is_slower_than_tensor_work() {
+        let gpu = GpuSpec::a40();
+        let tensor = OpCost::roofline(&gpu, "a", 0.0, 1e12, 0.0);
+        let cuda = OpCost::roofline(&gpu, "b", 0.0, 0.0, 1e12);
+        assert!(cuda.time_ms > tensor.time_ms);
+    }
+
+    #[test]
+    fn breakdown_totals_and_lookup() {
+        let b = Breakdown {
+            method: "fp16".into(),
+            context_len: 1024,
+            ops: vec![OpCost::fixed("sdpa", 2.0), OpCost::fixed("cat", 1.0)],
+        };
+        assert!((b.total_ms() - 3.0).abs() < 1e-12);
+        assert!((b.sdpa_ms() - 2.0).abs() < 1e-12);
+        assert_eq!(b.op_ms("missing"), 0.0);
+        assert_eq!(b.op_names(), vec!["sdpa", "cat"]);
+    }
+}

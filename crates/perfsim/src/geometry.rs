@@ -1,0 +1,127 @@
+//! Full-size model geometries used by the performance model.
+//!
+//! The accuracy experiments run scaled-down models on the CPU, but the
+//! performance model works with the real checkpoint dimensions because only
+//! those produce the byte counts the paper's Table IV / Fig. 7 are about.
+
+use serde::{Deserialize, Serialize};
+
+/// Architecture dimensions of a full-size decoder-only model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelGeometry {
+    /// Name used in reports.
+    pub name: String,
+    /// Hidden width.
+    pub d_model: usize,
+    /// Number of layers.
+    pub n_layers: usize,
+    /// Number of query heads.
+    pub n_heads: usize,
+    /// Number of KV heads (GQA).
+    pub n_kv_heads: usize,
+    /// Feed-forward inner width.
+    pub d_ff: usize,
+    /// Vocabulary size.
+    pub vocab_size: usize,
+}
+
+impl ModelGeometry {
+    /// Llama-2-7B: the model used for the paper's system evaluation.
+    pub fn llama2_7b() -> Self {
+        Self {
+            name: "Llama-2-7B".into(),
+            d_model: 4096,
+            n_layers: 32,
+            n_heads: 32,
+            n_kv_heads: 32,
+            d_ff: 11008,
+            vocab_size: 32000,
+        }
+    }
+
+    /// Llama-2-13B, for scaling studies.
+    pub fn llama2_13b() -> Self {
+        Self {
+            name: "Llama-2-13B".into(),
+            d_model: 5120,
+            n_layers: 40,
+            n_heads: 40,
+            n_kv_heads: 40,
+            d_ff: 13824,
+            vocab_size: 32000,
+        }
+    }
+
+    /// MPT-7B (ALiBi), for completeness of Table I.
+    pub fn mpt_7b() -> Self {
+        Self {
+            name: "MPT-7B".into(),
+            d_model: 4096,
+            n_layers: 32,
+            n_heads: 32,
+            n_kv_heads: 32,
+            d_ff: 16384,
+            vocab_size: 50432,
+        }
+    }
+
+    /// Channels per head.
+    pub fn head_dim(&self) -> usize {
+        self.d_model / self.n_heads
+    }
+
+    /// Width of the per-layer KV projection output.
+    pub fn kv_width(&self) -> usize {
+        self.n_kv_heads * self.head_dim()
+    }
+
+    /// Approximate parameter count (embeddings + layers).
+    pub fn parameter_count(&self) -> f64 {
+        let attn = 2.0 * (self.d_model * self.d_model) as f64
+            + 2.0 * (self.d_model * self.kv_width()) as f64;
+        // Llama-style gated FFN has three projections.
+        let ffn = 3.0 * (self.d_model * self.d_ff) as f64;
+        let per_layer = attn + ffn;
+        per_layer * self.n_layers as f64 + 2.0 * (self.vocab_size * self.d_model) as f64
+    }
+
+    /// Bytes of fp16 model weights.
+    pub fn weight_bytes_fp16(&self) -> f64 {
+        self.parameter_count() * 2.0
+    }
+
+    /// Bytes of fp16 KV cache for `context_len` tokens across all layers.
+    pub fn kv_bytes_fp16(&self, context_len: usize) -> f64 {
+        2.0 * (context_len * self.n_layers * self.kv_width()) as f64 * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn llama2_7b_has_roughly_7b_parameters() {
+        let geom = ModelGeometry::llama2_7b();
+        let params = geom.parameter_count();
+        assert!(params > 6.0e9 && params < 7.5e9, "got {params}");
+        assert_eq!(geom.head_dim(), 128);
+    }
+
+    #[test]
+    fn kv_bytes_match_paper_arithmetic() {
+        // Llama-2-7B at 32K tokens: 2 (K and V) * 32768 * 32 layers * 4096
+        // channels * 2 bytes = 17.18 GB.
+        let geom = ModelGeometry::llama2_7b();
+        let gb = geom.kv_bytes_fp16(32_768) / 1e9;
+        assert!((gb - 17.18).abs() < 0.2, "got {gb}");
+    }
+
+    #[test]
+    fn bigger_models_have_more_parameters() {
+        assert!(
+            ModelGeometry::llama2_13b().parameter_count()
+                > ModelGeometry::llama2_7b().parameter_count()
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! GPU hardware descriptions used by the roofline model.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of one GPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Marketing name, used in reports.
+    pub name: String,
+    /// Peak HBM/GDDR bandwidth in GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Peak fp16 tensor-core throughput in TFLOP/s (used for GEMMs).
+    pub fp16_tflops: f64,
+    /// Peak fp32 CUDA-core throughput in TFLOP/s (used for de-quantization
+    /// and other element-wise work, per the paper's observation that integer
+    /// de-quantization runs on general-purpose cores).
+    pub cuda_core_tflops: f64,
+    /// Usable device memory in GiB.
+    pub memory_gb: f64,
+    /// Fixed overhead per kernel launch in microseconds.
+    pub kernel_launch_us: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA A40 (the GPU used in the paper's Section IV-C).
+    pub fn a40() -> Self {
+        Self {
+            name: "NVIDIA A40".into(),
+            mem_bandwidth_gbps: 696.0,
+            fp16_tflops: 149.7,
+            cuda_core_tflops: 37.4,
+            memory_gb: 44.99,
+            kernel_launch_us: 6.0,
+        }
+    }
+
+    /// NVIDIA A100-80GB, provided for what-if sweeps.
+    pub fn a100_80gb() -> Self {
+        Self {
+            name: "NVIDIA A100 80GB".into(),
+            mem_bandwidth_gbps: 2039.0,
+            fp16_tflops: 312.0,
+            cuda_core_tflops: 19.5,
+            memory_gb: 79.0,
+            kernel_launch_us: 6.0,
+        }
+    }
+
+    /// Consumer RTX 4090, provided for what-if sweeps.
+    pub fn rtx4090() -> Self {
+        Self {
+            name: "NVIDIA RTX 4090".into(),
+            mem_bandwidth_gbps: 1008.0,
+            fp16_tflops: 165.2,
+            cuda_core_tflops: 82.6,
+            memory_gb: 23.5,
+            kernel_launch_us: 5.0,
+        }
+    }
+
+    /// Seconds needed to stream `bytes` from device memory.
+    pub fn memory_time_s(&self, bytes: f64) -> f64 {
+        bytes / (self.mem_bandwidth_gbps * 1e9)
+    }
+
+    /// Seconds needed to execute `flops` on the tensor cores.
+    pub fn tensor_time_s(&self, flops: f64) -> f64 {
+        flops / (self.fp16_tflops * 1e12)
+    }
+
+    /// Seconds needed to execute `flops` on the CUDA cores.
+    pub fn cuda_core_time_s(&self, flops: f64) -> f64 {
+        flops / (self.cuda_core_tflops * 1e12)
+    }
+
+    /// Kernel launch overhead in seconds.
+    pub fn launch_time_s(&self) -> f64 {
+        self.kernel_launch_us * 1e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a40_matches_published_specs() {
+        let gpu = GpuSpec::a40();
+        assert!((gpu.mem_bandwidth_gbps - 696.0).abs() < 1.0);
+        assert!(gpu.memory_gb > 40.0 && gpu.memory_gb < 48.0);
+    }
+
+    #[test]
+    fn time_helpers_scale_linearly() {
+        let gpu = GpuSpec::a40();
+        assert!((gpu.memory_time_s(2e9) / gpu.memory_time_s(1e9) - 2.0).abs() < 1e-9);
+        assert!((gpu.tensor_time_s(2e12) / gpu.tensor_time_s(1e12) - 2.0).abs() < 1e-9);
+        assert!(gpu.cuda_core_time_s(1e12) > gpu.tensor_time_s(1e12));
+    }
+
+    #[test]
+    fn presets_are_distinct() {
+        assert_ne!(GpuSpec::a40(), GpuSpec::a100_80gb());
+        assert_ne!(GpuSpec::a40(), GpuSpec::rtx4090());
+    }
+}

@@ -1,0 +1,38 @@
+//! Analytic GPU performance model for KV-cache quantization methods.
+//!
+//! The paper's system experiments (Table IV and Fig. 7) were measured on an
+//! NVIDIA A40. This crate reproduces them with a roofline-style cost model:
+//! every decode-step operator is assigned a time equal to
+//! `max(bytes / bandwidth, flops / throughput) + launch overhead`, and each
+//! KV-cache method changes (a) how many bytes the attention and cache-append
+//! operators move and (b) how much extra de-quantization work lands on the
+//! CUDA cores.
+//!
+//! Absolute milliseconds are **not** claimed to match the paper — the model
+//! is calibrated with a small number of documented constants
+//! ([`method::MethodOverheads`]) so that the *shape* of the results holds:
+//! who wins, roughly by how much, and where out-of-memory points appear.
+//!
+//! ```
+//! use million_perfsim::{decode_step_breakdown, GpuSpec, KvCacheMethod, ModelGeometry};
+//!
+//! let gpu = GpuSpec::a40();
+//! let geom = ModelGeometry::llama2_7b();
+//! let baseline = decode_step_breakdown(&gpu, &geom, &KvCacheMethod::Fp16, 32_768).unwrap();
+//! let million = decode_step_breakdown(&gpu, &geom, &KvCacheMethod::million_4bit(), 32_768).unwrap();
+//! assert!(million.total_ms() < baseline.total_ms());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod geometry;
+pub mod gpu;
+pub mod method;
+pub mod tpot;
+
+pub use cost::{Breakdown, OpCost};
+pub use geometry::ModelGeometry;
+pub use gpu::GpuSpec;
+pub use method::{KvCacheMethod, MethodOverheads};
+pub use tpot::{decode_step_breakdown, memory_required_gb, tpot_ms, TpotPoint};

@@ -1,0 +1,337 @@
+//! Decode-step latency breakdown, TPOT and memory modelling.
+//!
+//! These functions regenerate Table IV (time-per-output-token vs prefill
+//! length) and Fig. 7 (per-operator latency breakdown, SDPA/E2E speedup,
+//! out-of-memory points) of the paper.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cost::{Breakdown, OpCost};
+use crate::geometry::ModelGeometry;
+use crate::gpu::GpuSpec;
+use crate::method::{KvCacheMethod, MethodOverheads};
+
+/// Approximate activation / framework working set during decoding, in GB.
+const ACTIVATION_GB: f64 = 4.0;
+
+/// Device memory needed to decode with `context_len` cached tokens, in GB.
+///
+/// Includes fp16 weights, the method's cache storage, its working-set
+/// multiplier (de-quantization buffers, mirrors), and a fixed activation
+/// budget.
+pub fn memory_required_gb(
+    geom: &ModelGeometry,
+    method: &KvCacheMethod,
+    context_len: usize,
+) -> f64 {
+    let weights = geom.weight_bytes_fp16();
+    let kv = method.kv_bytes_per_token_layer(geom.kv_width(), geom.head_dim())
+        * (context_len * geom.n_layers) as f64;
+    // For the baseline the cache itself *is* the fp16 footprint, so counting a
+    // workspace on top of it would double-count; the quantized methods add
+    // their de-quantization buffers / mirrors.
+    let workspace = if matches!(method, KvCacheMethod::Fp16) {
+        0.0
+    } else {
+        geom.kv_bytes_fp16(context_len) * method.workspace_fp16_kv_multiplier()
+    };
+    (weights + kv + workspace) / 1e9 + ACTIVATION_GB
+}
+
+/// Latency breakdown of a single decode step at a given context length.
+///
+/// Returns `None` when the configuration does not fit in device memory.
+pub fn decode_step_breakdown(
+    gpu: &GpuSpec,
+    geom: &ModelGeometry,
+    method: &KvCacheMethod,
+    context_len: usize,
+) -> Option<Breakdown> {
+    decode_step_breakdown_with(gpu, geom, method, context_len, &MethodOverheads::default())
+}
+
+/// [`decode_step_breakdown`] with explicit calibration constants.
+pub fn decode_step_breakdown_with(
+    gpu: &GpuSpec,
+    geom: &ModelGeometry,
+    method: &KvCacheMethod,
+    context_len: usize,
+    overheads: &MethodOverheads,
+) -> Option<Breakdown> {
+    if memory_required_gb(geom, method, context_len) > gpu.memory_gb {
+        return None;
+    }
+
+    let layers = geom.n_layers as f64;
+    let d = geom.d_model as f64;
+    let d_ff = geom.d_ff as f64;
+    let kv_width = geom.kv_width() as f64;
+    let vocab = geom.vocab_size as f64;
+    let ctx = context_len as f64;
+
+    let mut ops = Vec::new();
+
+    // --- Weight-streaming GEMMs (batch 1 decoding is memory bound on weights).
+    let qkv_bytes = layers * (d * d + 2.0 * d * kv_width) * 2.0;
+    ops.push(OpCost::roofline(
+        gpu,
+        "qkv_proj",
+        qkv_bytes,
+        layers * 2.0 * (d * d + 2.0 * d * kv_width),
+        0.0,
+    ));
+    let o_bytes = layers * d * d * 2.0;
+    ops.push(OpCost::roofline(
+        gpu,
+        "o_proj",
+        o_bytes,
+        layers * 2.0 * d * d,
+        0.0,
+    ));
+    let ffn_bytes = layers * 3.0 * d * d_ff * 2.0;
+    ops.push(OpCost::roofline(
+        gpu,
+        "ffn",
+        ffn_bytes,
+        layers * 2.0 * 3.0 * d * d_ff,
+        0.0,
+    ));
+    ops.push(OpCost::roofline(
+        gpu,
+        "lm_head",
+        d * vocab * 2.0,
+        2.0 * d * vocab,
+        0.0,
+    ));
+
+    // --- Positional / bookkeeping operators (small, constant).
+    ops.push(OpCost::roofline(gpu, "rotary_emb", layers * d * 4.0, 0.0, layers * d * 8.0));
+    ops.push(OpCost::roofline(gpu, "causal_mask", layers * ctx * 4.0, 0.0, layers * ctx));
+    ops.push(OpCost::roofline(gpu, "repeat_kv", layers * kv_width * 4.0, 0.0, 0.0));
+    ops.push(OpCost::roofline(gpu, "contiguous", layers * d * 8.0, 0.0, 0.0));
+
+    // --- Attention over the cache (the operator the paper optimises).
+    let kv_bytes_per_token = method.kv_bytes_per_token_layer(geom.kv_width(), geom.head_dim());
+    let cache_bytes = kv_bytes_per_token * ctx * layers;
+    let dequant_flops =
+        method.dequant_ops_per_element() * 2.0 * ctx * kv_width * layers;
+    let attention_flops = 4.0 * ctx * d * layers; // QK^T and PV, tensor cores.
+    let (sdpa_bytes, lut_flops) = match method {
+        KvCacheMethod::MillionPq { m, nbits, .. } => {
+            // Codes are read through gather-style accesses (modelled with an
+            // access-efficiency factor) and the per-layer codebooks are
+            // streamed once to build the lookup tables.
+            let k = (1usize << *nbits) as f64;
+            let codebook_bytes = layers * 2.0 * (*m as f64) * k * geom.head_dim() as f64
+                / (*m as f64)
+                * 4.0;
+            let flops = layers
+                * (2.0 * d * k
+                    + 2.0 * ctx * (*m as f64) * (kv_width / geom.head_dim() as f64));
+            (
+                cache_bytes / overheads.lut_gather_efficiency + codebook_bytes,
+                flops,
+            )
+        }
+        _ => (cache_bytes, 0.0),
+    };
+    ops.push(OpCost::roofline(
+        gpu,
+        "sdpa",
+        sdpa_bytes,
+        attention_flops,
+        dequant_flops + lut_flops,
+    ));
+
+    // --- Cache append ("cat"): the stock fp16 path re-allocates and copies
+    // the whole cache every step; quantized methods append in place.
+    let cat_bytes = if method.cat_reallocates() {
+        2.0 * cache_bytes
+    } else {
+        kv_bytes_per_token * layers * 2.0
+    };
+    ops.push(OpCost::roofline(gpu, "cat", cat_bytes, 0.0, 0.0));
+
+    // --- Method-specific fixed overheads (calibration constants).
+    ops.push(OpCost::fixed("framework", overheads.framework_ms));
+    match method {
+        KvCacheMethod::Fp16 => {}
+        KvCacheMethod::Kivi { .. } => ops.push(OpCost::fixed("quant", overheads.kivi_fixed_ms)),
+        KvCacheMethod::KvQuant { .. } => {
+            ops.push(OpCost::fixed("quant", overheads.kvquant_fixed_ms))
+        }
+        KvCacheMethod::MillionPq { async_quant, .. } => {
+            ops.push(OpCost::fixed("lut_softmax", overheads.million_fixed_ms));
+            if !async_quant {
+                ops.push(OpCost::fixed("quant", overheads.million_sync_quant_ms));
+            }
+        }
+    }
+
+    Some(Breakdown {
+        method: method.label(),
+        context_len,
+        ops,
+    })
+}
+
+/// One row of the TPOT table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TpotPoint {
+    /// Method label.
+    pub method: String,
+    /// Prefill (context) length.
+    pub prefill_len: usize,
+    /// Average time per output token in milliseconds, `None` when the
+    /// configuration runs out of device memory.
+    pub tpot_ms: Option<f64>,
+}
+
+/// Average time-per-output-token over `gen_tokens` generated tokens following
+/// a prefill of `prefill_len` tokens (the Table IV protocol: 100 generated
+/// tokens).
+pub fn tpot_ms(
+    gpu: &GpuSpec,
+    geom: &ModelGeometry,
+    method: &KvCacheMethod,
+    prefill_len: usize,
+    gen_tokens: usize,
+) -> Option<f64> {
+    let gen_tokens = gen_tokens.max(1);
+    let mut total = 0.0;
+    for i in 0..gen_tokens {
+        let breakdown = decode_step_breakdown(gpu, geom, method, prefill_len + i)?;
+        total += breakdown.total_ms();
+    }
+    Some(total / gen_tokens as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (GpuSpec, ModelGeometry) {
+        (GpuSpec::a40(), ModelGeometry::llama2_7b())
+    }
+
+    #[test]
+    fn baseline_tpot_grows_with_context() {
+        let (gpu, geom) = setup();
+        let t1k = tpot_ms(&gpu, &geom, &KvCacheMethod::Fp16, 1024, 16).unwrap();
+        let t32k = tpot_ms(&gpu, &geom, &KvCacheMethod::Fp16, 32_768, 16).unwrap();
+        assert!(t32k > 2.5 * t1k, "expected steep growth: {t1k} -> {t32k}");
+    }
+
+    #[test]
+    fn million_beats_baseline_at_all_context_lengths() {
+        let (gpu, geom) = setup();
+        for ctx in [1024usize, 4096, 16_384, 32_768] {
+            let base = tpot_ms(&gpu, &geom, &KvCacheMethod::Fp16, ctx, 8).unwrap();
+            let ours = tpot_ms(&gpu, &geom, &KvCacheMethod::million_4bit(), ctx, 8).unwrap();
+            assert!(ours < base, "ctx {ctx}: {ours} !< {base}");
+        }
+    }
+
+    #[test]
+    fn end_to_end_speedup_at_32k_is_about_2x() {
+        let (gpu, geom) = setup();
+        let base = tpot_ms(&gpu, &geom, &KvCacheMethod::Fp16, 32_768, 8).unwrap();
+        let ours = tpot_ms(&gpu, &geom, &KvCacheMethod::million_4bit(), 32_768, 8).unwrap();
+        let speedup = base / ours;
+        assert!(
+            speedup > 1.6 && speedup < 2.8,
+            "speedup {speedup} outside the paper's ballpark (2.09x)"
+        );
+    }
+
+    #[test]
+    fn sdpa_speedup_grows_with_context() {
+        let (gpu, geom) = setup();
+        let ratio = |ctx: usize| {
+            let base = decode_step_breakdown(&gpu, &geom, &KvCacheMethod::Fp16, ctx).unwrap();
+            let ours =
+                decode_step_breakdown(&gpu, &geom, &KvCacheMethod::million_4bit(), ctx).unwrap();
+            base.sdpa_ms() / ours.sdpa_ms()
+        };
+        assert!(ratio(32_768) > ratio(2048));
+    }
+
+    #[test]
+    fn kivi_runs_out_of_memory_at_16k_like_the_paper() {
+        let (gpu, geom) = setup();
+        let kivi = KvCacheMethod::Kivi { bits: 4 };
+        assert!(tpot_ms(&gpu, &geom, &kivi, 8192, 4).is_some());
+        assert!(tpot_ms(&gpu, &geom, &kivi, 16_384, 4).is_none());
+        // The fp16 baseline still fits at 32K on the A40.
+        assert!(tpot_ms(&gpu, &geom, &KvCacheMethod::Fp16, 32_768, 4).is_some());
+    }
+
+    #[test]
+    fn baseline_runs_out_of_memory_at_extreme_context() {
+        // Fig. 7 marks the baseline as OOM at 65536/80000 tokens.
+        let (gpu, geom) = setup();
+        assert!(decode_step_breakdown(&gpu, &geom, &KvCacheMethod::Fp16, 80_000).is_none());
+        assert!(
+            decode_step_breakdown(&gpu, &geom, &KvCacheMethod::million_4bit(), 80_000).is_some()
+        );
+    }
+
+    #[test]
+    fn kvquant_is_slowest_at_short_context() {
+        let (gpu, geom) = setup();
+        let kvq = tpot_ms(
+            &gpu,
+            &geom,
+            &KvCacheMethod::KvQuant {
+                bits: 4,
+                outlier_fraction: 0.0,
+            },
+            1024,
+            4,
+        )
+        .unwrap();
+        let base = tpot_ms(&gpu, &geom, &KvCacheMethod::Fp16, 1024, 4).unwrap();
+        let kivi = tpot_ms(&gpu, &geom, &KvCacheMethod::Kivi { bits: 4 }, 1024, 4).unwrap();
+        assert!(kvq > base);
+        assert!(kvq > kivi);
+    }
+
+    #[test]
+    fn async_quantization_is_faster_than_sync() {
+        let (gpu, geom) = setup();
+        let sync = KvCacheMethod::MillionPq {
+            m: 32,
+            nbits: 12,
+            async_quant: false,
+        };
+        let t_async = tpot_ms(&gpu, &geom, &KvCacheMethod::million_4bit(), 4096, 4).unwrap();
+        let t_sync = tpot_ms(&gpu, &geom, &sync, 4096, 4).unwrap();
+        assert!(t_async < t_sync);
+    }
+
+    #[test]
+    fn breakdown_contains_the_fig7_operators() {
+        let (gpu, geom) = setup();
+        let b = decode_step_breakdown(&gpu, &geom, &KvCacheMethod::Fp16, 4096).unwrap();
+        for op in ["cat", "causal_mask", "contiguous", "o_proj", "qkv_proj", "repeat_kv", "rotary_emb", "sdpa"] {
+            assert!(b.op_names().contains(&op), "missing operator {op}");
+        }
+    }
+
+    #[test]
+    fn memory_model_matches_hand_arithmetic_for_fp16() {
+        let (_, geom) = setup();
+        // weights ~13.5 GB + KV at 32K ~17.2 GB + 4 GB activations ~ 34.7 GB
+        let gb = memory_required_gb(&geom, &KvCacheMethod::Fp16, 32_768);
+        assert!(gb > 30.0 && gb < 40.0, "got {gb}");
+    }
+
+    #[test]
+    fn absolute_tpot_is_in_a_plausible_range() {
+        // Sanity guard: the calibrated model should land in the same order of
+        // magnitude as Table IV (tens of milliseconds per token).
+        let (gpu, geom) = setup();
+        let t = tpot_ms(&gpu, &geom, &KvCacheMethod::Fp16, 1024, 4).unwrap();
+        assert!(t > 15.0 && t < 80.0, "got {t}");
+    }
+}

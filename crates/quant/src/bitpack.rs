@@ -1,0 +1,304 @@
+//! Arbitrary-width bit packing for quantization codes.
+//!
+//! MILLION stores PQ centroid indices packed to `nbits` bits (the paper uses
+//! 8-bit and 12-bit subspace codes; integer baselines use 2–4 bits). Packing
+//! matters for two reasons: it is what the memory accounting of the
+//! performance model is based on, and it mirrors the `float4`-granularity
+//! loads the CUDA kernel performs.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// A bit-packed vector of unsigned codes, each `bits` wide (1..=16).
+///
+/// # Example
+///
+/// ```
+/// use million_quant::bitpack::PackedCodes;
+///
+/// let packed = PackedCodes::pack(&[3, 1, 2, 0], 2).unwrap();
+/// assert_eq!(packed.len(), 4);
+/// assert_eq!(packed.byte_len(), 1); // 4 codes x 2 bits = 1 byte
+/// assert_eq!(packed.unpack(), vec![3, 1, 2, 0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PackedCodes {
+    bits: u8,
+    len: usize,
+    data: Vec<u8>,
+}
+
+impl PackedCodes {
+    /// Packs `codes` using `bits` bits per code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::QuantError::InvalidConfig`] if `bits` is 0 or > 16, or
+    /// if any code does not fit in `bits` bits.
+    pub fn pack(codes: &[u16], bits: u8) -> Result<Self, crate::QuantError> {
+        if bits == 0 || bits > 16 {
+            return Err(crate::QuantError::InvalidConfig(format!(
+                "bit width {bits} not in 1..=16"
+            )));
+        }
+        let max = max_code(bits);
+        let mut packed = Self::with_capacity(bits, codes.len());
+        for &c in codes {
+            if c > max {
+                return Err(crate::QuantError::InvalidConfig(format!(
+                    "code {c} does not fit in {bits} bits"
+                )));
+            }
+            packed.push(c);
+        }
+        Ok(packed)
+    }
+
+    /// Creates an empty packed vector that will hold `bits`-wide codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 16.
+    pub fn with_capacity(bits: u8, capacity: usize) -> Self {
+        assert!((1..=16).contains(&bits), "bit width must be in 1..=16");
+        Self {
+            bits,
+            len: 0,
+            data: Vec::with_capacity((capacity * bits as usize).div_ceil(8)),
+        }
+    }
+
+    /// Number of bits per code.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Number of codes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when no codes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of bytes of packed storage actually used.
+    pub fn byte_len(&self) -> usize {
+        (self.len * self.bits as usize).div_ceil(8)
+    }
+
+    /// Appends one code.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the code does not fit in the configured width.
+    pub fn push(&mut self, code: u16) {
+        debug_assert!(code <= max_code(self.bits), "code exceeds bit width");
+        let bit_offset = self.len * self.bits as usize;
+        let needed_bytes = (bit_offset + self.bits as usize).div_ceil(8);
+        if self.data.len() < needed_bytes {
+            self.data.resize(needed_bytes, 0);
+        }
+        let mut remaining = self.bits as usize;
+        let mut value = code as u32;
+        let mut byte = bit_offset / 8;
+        let mut shift = bit_offset % 8;
+        while remaining > 0 {
+            let avail = 8 - shift;
+            let take = avail.min(remaining);
+            let mask = ((1u32 << take) - 1) as u8;
+            self.data[byte] |= (((value & ((1 << take) - 1)) as u8) & mask) << shift;
+            value >>= take;
+            remaining -= take;
+            byte += 1;
+            shift = 0;
+        }
+        self.len += 1;
+    }
+
+    /// Appends every code in `codes`.
+    pub fn extend_from_slice(&mut self, codes: &[u16]) {
+        for &c in codes {
+            self.push(c);
+        }
+    }
+
+    /// Reads the code at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    #[inline]
+    pub fn get(&self, index: usize) -> u16 {
+        assert!(index < self.len, "packed code index out of bounds");
+        let bit_offset = index * self.bits as usize;
+        let mut remaining = self.bits as usize;
+        let mut out: u32 = 0;
+        let mut got = 0usize;
+        let mut byte = bit_offset / 8;
+        let mut shift = bit_offset % 8;
+        while remaining > 0 {
+            let avail = 8 - shift;
+            let take = avail.min(remaining);
+            let bits = ((self.data[byte] as u32) >> shift) & ((1 << take) - 1);
+            out |= bits << got;
+            got += take;
+            remaining -= take;
+            byte += 1;
+            shift = 0;
+        }
+        out as u16
+    }
+
+    /// Unpacks every code into a fresh vector.
+    pub fn unpack(&self) -> Vec<u16> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// Returns the packed bytes as a cheaply cloneable [`Bytes`] buffer.
+    pub fn to_bytes(&self) -> Bytes {
+        Bytes::copy_from_slice(&self.data)
+    }
+
+    /// Iterator over the stored codes.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            packed: self,
+            index: 0,
+        }
+    }
+}
+
+/// Iterator returned by [`PackedCodes::iter`].
+#[derive(Debug)]
+pub struct Iter<'a> {
+    packed: &'a PackedCodes,
+    index: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = u16;
+
+    fn next(&mut self) -> Option<u16> {
+        if self.index >= self.packed.len() {
+            return None;
+        }
+        let v = self.packed.get(self.index);
+        self.index += 1;
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.packed.len() - self.index;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+/// Largest code representable in `bits` bits.
+#[inline]
+pub fn max_code(bits: u8) -> u16 {
+    if bits >= 16 {
+        u16::MAX
+    } else {
+        (1u16 << bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pack_rejects_bad_width() {
+        assert!(PackedCodes::pack(&[0], 0).is_err());
+        assert!(PackedCodes::pack(&[0], 17).is_err());
+        assert!(PackedCodes::pack(&[0], 16).is_ok());
+    }
+
+    #[test]
+    fn pack_rejects_oversized_code() {
+        assert!(PackedCodes::pack(&[4], 2).is_err());
+        assert!(PackedCodes::pack(&[3], 2).is_ok());
+    }
+
+    #[test]
+    fn roundtrip_8_bit() {
+        let codes: Vec<u16> = (0..=255).collect();
+        let packed = PackedCodes::pack(&codes, 8).unwrap();
+        assert_eq!(packed.byte_len(), 256);
+        assert_eq!(packed.unpack(), codes);
+    }
+
+    #[test]
+    fn roundtrip_12_bit_crosses_byte_boundaries() {
+        let codes: Vec<u16> = (0..1000).map(|i| (i * 7 % 4096) as u16).collect();
+        let packed = PackedCodes::pack(&codes, 12).unwrap();
+        assert_eq!(packed.byte_len(), (1000 * 12usize).div_ceil(8));
+        assert_eq!(packed.unpack(), codes);
+    }
+
+    #[test]
+    fn roundtrip_odd_widths() {
+        for bits in [1u8, 3, 5, 6, 7, 11, 13, 15] {
+            let max = max_code(bits);
+            let codes: Vec<u16> = (0..200).map(|i| (i * 13) as u16 % (max + 1)).collect();
+            let packed = PackedCodes::pack(&codes, bits).unwrap();
+            assert_eq!(packed.unpack(), codes, "width {bits}");
+        }
+    }
+
+    #[test]
+    fn byte_len_matches_expected_compression() {
+        // 4-bit codes: two codes per byte.
+        let packed = PackedCodes::pack(&[1, 2, 3, 4, 5], 4).unwrap();
+        assert_eq!(packed.byte_len(), 3);
+    }
+
+    #[test]
+    fn iterator_yields_all_codes() {
+        let codes = vec![9u16, 0, 511, 256];
+        let packed = PackedCodes::pack(&codes, 9).unwrap();
+        let collected: Vec<u16> = packed.iter().collect();
+        assert_eq!(collected, codes);
+        assert_eq!(packed.iter().len(), 4);
+    }
+
+    #[test]
+    fn to_bytes_length_matches() {
+        let packed = PackedCodes::pack(&[1, 2, 3], 4).unwrap();
+        assert_eq!(packed.to_bytes().len(), packed.byte_len());
+    }
+
+    #[test]
+    fn max_code_values() {
+        assert_eq!(max_code(1), 1);
+        assert_eq!(max_code(8), 255);
+        assert_eq!(max_code(12), 4095);
+        assert_eq!(max_code(16), u16::MAX);
+    }
+
+    proptest! {
+        #[test]
+        fn pack_unpack_roundtrip(bits in 1u8..=16, raw in proptest::collection::vec(0u16..u16::MAX, 0..300)) {
+            let max = max_code(bits);
+            let codes: Vec<u16> = raw.iter().map(|&c| c % (max as u32 as u16).wrapping_add(1).max(1)).collect();
+            let codes: Vec<u16> = if max == u16::MAX { raw.clone() } else { codes };
+            let packed = PackedCodes::pack(&codes, bits).unwrap();
+            prop_assert_eq!(packed.unpack(), codes);
+        }
+
+        #[test]
+        fn incremental_push_equals_bulk_pack(bits in 2u8..=12, n in 0usize..200) {
+            let max = max_code(bits);
+            let codes: Vec<u16> = (0..n).map(|i| (i as u16 * 31) % (max + 1)).collect();
+            let bulk = PackedCodes::pack(&codes, bits).unwrap();
+            let mut inc = PackedCodes::with_capacity(bits, n);
+            inc.extend_from_slice(&codes);
+            prop_assert_eq!(bulk, inc);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Sparse full-precision outlier isolation.
+//!
+//! KVQuant stores the top ~1 % largest-magnitude entries of the KV cache in
+//! a sparse full-precision side structure and quantizes the remainder. The
+//! paper's Table III uses the same mechanism to probe how sensitive each
+//! quantizer is to outliers: MILLION barely benefits (it is
+//! "outlier-immunized"), KVQuant benefits enormously.
+
+use million_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Sparse store of isolated outlier entries in COO format.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SparseOutliers {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(u32, u32, f32)>,
+}
+
+impl SparseOutliers {
+    /// Number of isolated entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when no entries were isolated.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Fraction of the original matrix that was isolated.
+    pub fn fraction(&self) -> f64 {
+        let total = self.rows * self.cols;
+        if total == 0 {
+            0.0
+        } else {
+            self.entries.len() as f64 / total as f64
+        }
+    }
+
+    /// Bytes used by the sparse store (row, col, value per entry).
+    pub fn memory_bytes(&self) -> usize {
+        self.entries.len() * (4 + 4 + 4)
+    }
+
+    /// Iterates over `(row, col, value)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        self.entries
+            .iter()
+            .map(|&(r, c, v)| (r as usize, c as usize, v))
+    }
+
+    /// Writes the stored outlier values back into `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has a different shape from the matrix the outliers
+    /// were extracted from.
+    pub fn restore_into(&self, data: &mut Matrix) {
+        assert_eq!(
+            data.shape(),
+            (self.rows, self.cols),
+            "outlier restore shape mismatch"
+        );
+        for &(r, c, v) in &self.entries {
+            data.set(r as usize, c as usize, v);
+        }
+    }
+
+    /// Adds the contribution of the outliers of one row to a dot product:
+    /// `sum_j outlier(row, j) * query[j]` minus the contribution of the value
+    /// that replaced the outlier (always 0 after [`extract_outliers`]).
+    pub fn row_dot(&self, row: usize, query: &[f32]) -> f32 {
+        let mut acc = 0.0;
+        for &(r, c, v) in &self.entries {
+            if r as usize == row {
+                acc += v * query[c as usize];
+            }
+        }
+        acc
+    }
+}
+
+/// Splits `data` into a dense "cleaned" matrix (outliers replaced by zero)
+/// and a [`SparseOutliers`] store containing the top `fraction` of entries by
+/// absolute value.
+///
+/// `fraction` is clamped to `[0, 1]`. A fraction of `0.01` reproduces the
+/// "1 % outliers" configuration of KVQuant and Table III.
+pub fn extract_outliers(data: &Matrix, fraction: f64) -> (Matrix, SparseOutliers) {
+    let (rows, cols) = data.shape();
+    let total = rows * cols;
+    let fraction = fraction.clamp(0.0, 1.0);
+    let count = ((total as f64) * fraction).round() as usize;
+    let mut cleaned = data.clone();
+    let mut store = SparseOutliers {
+        rows,
+        cols,
+        entries: Vec::new(),
+    };
+    if count == 0 || total == 0 {
+        return (cleaned, store);
+    }
+
+    // Select the magnitude threshold via a partial sort of |values|.
+    let mut magnitudes: Vec<f32> = data.as_slice().iter().map(|v| v.abs()).collect();
+    let threshold_idx = total - count;
+    magnitudes.select_nth_unstable_by(threshold_idx.saturating_sub(1).min(total - 1), |a, b| {
+        a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let threshold = if threshold_idx == 0 {
+        -1.0
+    } else {
+        magnitudes[threshold_idx - 1]
+    };
+
+    for r in 0..rows {
+        for c in 0..cols {
+            if store.entries.len() >= count {
+                break;
+            }
+            let v = data.get(r, c);
+            if v.abs() > threshold {
+                store.entries.push((r as u32, c as u32, v));
+                cleaned.set(r, c, 0.0);
+            }
+        }
+    }
+    (cleaned, store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use million_tensor::init::{normal_matrix, seeded_rng};
+
+    #[test]
+    fn zero_fraction_extracts_nothing() {
+        let m = normal_matrix(&mut seeded_rng(0), 8, 8, 0.0, 1.0);
+        let (cleaned, outliers) = extract_outliers(&m, 0.0);
+        assert!(outliers.is_empty());
+        assert_eq!(cleaned.as_slice(), m.as_slice());
+    }
+
+    #[test]
+    fn extracts_roughly_requested_fraction() {
+        let m = normal_matrix(&mut seeded_rng(1), 50, 40, 0.0, 1.0);
+        let (_, outliers) = extract_outliers(&m, 0.01);
+        let expected = (2000.0_f64 * 0.01).round() as usize;
+        assert!(
+            (outliers.len() as i64 - expected as i64).abs() <= 2,
+            "got {} expected about {}",
+            outliers.len(),
+            expected
+        );
+    }
+
+    #[test]
+    fn extracted_entries_are_the_largest() {
+        let mut m = normal_matrix(&mut seeded_rng(2), 10, 10, 0.0, 1.0);
+        m.set(3, 4, 100.0);
+        m.set(7, 1, -200.0);
+        let (cleaned, outliers) = extract_outliers(&m, 0.02);
+        assert_eq!(outliers.len(), 2);
+        let vals: Vec<f32> = outliers.iter().map(|(_, _, v)| v).collect();
+        assert!(vals.contains(&100.0));
+        assert!(vals.contains(&-200.0));
+        assert_eq!(cleaned.get(3, 4), 0.0);
+        assert_eq!(cleaned.get(7, 1), 0.0);
+    }
+
+    #[test]
+    fn restore_recovers_original() {
+        let m = normal_matrix(&mut seeded_rng(3), 16, 16, 0.0, 3.0);
+        let (mut cleaned, outliers) = extract_outliers(&m, 0.05);
+        outliers.restore_into(&mut cleaned);
+        for (a, b) in cleaned.as_slice().iter().zip(m.as_slice()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn full_fraction_cleans_everything() {
+        let m = normal_matrix(&mut seeded_rng(4), 4, 4, 0.0, 1.0);
+        let (cleaned, outliers) = extract_outliers(&m, 1.0);
+        assert_eq!(outliers.len(), 16);
+        assert!(cleaned.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn row_dot_accumulates_only_that_row() {
+        let mut m = Matrix::zeros(3, 3);
+        m.set(0, 0, 10.0);
+        m.set(2, 1, 5.0);
+        let (_, outliers) = extract_outliers(&m, 0.25);
+        let q = vec![1.0, 2.0, 3.0];
+        assert_eq!(outliers.row_dot(0, &q), 10.0);
+        assert_eq!(outliers.row_dot(2, &q), 10.0);
+        assert_eq!(outliers.row_dot(1, &q), 0.0);
+    }
+
+    #[test]
+    fn memory_and_fraction_accounting() {
+        let m = normal_matrix(&mut seeded_rng(5), 20, 10, 0.0, 1.0);
+        let (_, outliers) = extract_outliers(&m, 0.1);
+        assert_eq!(outliers.memory_bytes(), outliers.len() * 12);
+        assert!((outliers.fraction() - 0.1).abs() < 0.02);
+    }
+}

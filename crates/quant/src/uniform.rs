@@ -1,0 +1,457 @@
+//! Uniform integer quantization (Eq. 2 / Eq. 3 of the paper).
+//!
+//! This module implements asymmetric and symmetric integer quantization at
+//! the granularities discussed in the paper's motivation section:
+//! per-tensor, per-channel (column-wise), per-token (row-wise) and group-wise
+//! along the token dimension. KIVI is built from per-channel keys and
+//! per-token values; the motivation experiments (outliers blowing up the
+//! quantization range) use per-tensor quantization.
+
+use million_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::bitpack::{max_code, PackedCodes};
+use crate::QuantError;
+
+/// Whether the integer grid is symmetric around zero or shifted by a zero
+/// point (asymmetric), following Section II-B of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Symmetry {
+    /// `[-max|x|, +max|x|]` grid, zero point fixed at the centre code.
+    Symmetric,
+    /// `[min(x), max(x)]` grid with an explicit zero point.
+    Asymmetric,
+}
+
+/// Quantization granularity: which elements share a scale/zero-point pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Granularity {
+    /// One scale for the whole tensor.
+    PerTensor,
+    /// One scale per column (channel). Matches KIVI's key quantization.
+    PerChannel,
+    /// One scale per row (token). Matches KIVI's value quantization.
+    PerToken,
+    /// One scale per `group_size` consecutive rows within each column.
+    GroupWise {
+        /// Number of tokens that share a scale.
+        group_size: usize,
+    },
+}
+
+/// Scale/zero-point pair for one quantization group.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantParams {
+    /// Multiplicative step size.
+    pub scale: f32,
+    /// Code representing real value zero.
+    pub zero_point: f32,
+}
+
+impl QuantParams {
+    /// Derives parameters from the min/max of the data being quantized.
+    pub fn from_range(min: f32, max: f32, bits: u8, symmetry: Symmetry) -> Self {
+        let levels = max_code(bits) as f32;
+        match symmetry {
+            Symmetry::Asymmetric => {
+                let range = max - min;
+                if range <= f32::EPSILON * max.abs().max(1.0) {
+                    // Degenerate (constant) data: map everything to code 0 and
+                    // reconstruct the constant exactly.
+                    return QuantParams {
+                        scale: 1.0,
+                        zero_point: -min,
+                    };
+                }
+                let scale = range / levels;
+                QuantParams {
+                    scale,
+                    zero_point: (-min / scale).round(),
+                }
+            }
+            Symmetry::Symmetric => {
+                let amax = min.abs().max(max.abs()).max(f32::MIN_POSITIVE);
+                // One code is reserved for the sign: 2^n - 2 usable levels.
+                let usable = (levels - 1.0).max(1.0);
+                let scale = 2.0 * amax / usable;
+                QuantParams {
+                    scale,
+                    zero_point: (usable / 2.0).round(),
+                }
+            }
+        }
+    }
+
+    /// Quantizes one value to its integer code.
+    #[inline]
+    pub fn quantize(&self, x: f32, bits: u8) -> u16 {
+        let q = (x / self.scale + self.zero_point).round();
+        q.clamp(0.0, max_code(bits) as f32) as u16
+    }
+
+    /// Reconstructs a real value from its integer code.
+    #[inline]
+    pub fn dequantize(&self, code: u16) -> f32 {
+        (code as f32 - self.zero_point) * self.scale
+    }
+}
+
+/// A uniformly quantized `[rows, cols]` matrix together with everything
+/// needed to reconstruct it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantizedMatrix {
+    rows: usize,
+    cols: usize,
+    bits: u8,
+    granularity: Granularity,
+    params: Vec<QuantParams>,
+    codes: PackedCodes,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes `data` with the requested bit width, symmetry and
+    /// granularity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidConfig`] for a zero/too-large bit width or
+    /// a zero group size.
+    pub fn quantize(
+        data: &Matrix,
+        bits: u8,
+        symmetry: Symmetry,
+        granularity: Granularity,
+    ) -> Result<Self, QuantError> {
+        if bits == 0 || bits > 16 {
+            return Err(QuantError::InvalidConfig(format!(
+                "bit width {bits} not in 1..=16"
+            )));
+        }
+        if let Granularity::GroupWise { group_size } = granularity {
+            if group_size == 0 {
+                return Err(QuantError::InvalidConfig("group_size must be > 0".into()));
+            }
+        }
+        let (rows, cols) = data.shape();
+        let mut params = Vec::new();
+        let mut codes = PackedCodes::with_capacity(bits, rows * cols);
+
+        match granularity {
+            Granularity::PerTensor => {
+                let (min, max) = min_max(data.as_slice());
+                let p = QuantParams::from_range(min, max, bits, symmetry);
+                params.push(p);
+                for &v in data.as_slice() {
+                    codes.push(p.quantize(v, bits));
+                }
+            }
+            Granularity::PerToken => {
+                for r in 0..rows {
+                    let row = data.row(r);
+                    let (min, max) = min_max(row);
+                    let p = QuantParams::from_range(min, max, bits, symmetry);
+                    params.push(p);
+                    for &v in row {
+                        codes.push(p.quantize(v, bits));
+                    }
+                }
+            }
+            Granularity::PerChannel => {
+                // One parameter per column; codes still stored row-major.
+                for c in 0..cols {
+                    let col = data.column(c);
+                    let (min, max) = min_max(&col);
+                    params.push(QuantParams::from_range(min, max, bits, symmetry));
+                }
+                for r in 0..rows {
+                    for (c, &v) in data.row(r).iter().enumerate() {
+                        codes.push(params[c].quantize(v, bits));
+                    }
+                }
+            }
+            Granularity::GroupWise { group_size } => {
+                // Parameters per (group, channel): groups are blocks of
+                // `group_size` consecutive rows.
+                let n_groups = rows.div_ceil(group_size).max(1);
+                for g in 0..n_groups {
+                    let start = g * group_size;
+                    let end = (start + group_size).min(rows);
+                    for c in 0..cols {
+                        let mut min = f32::INFINITY;
+                        let mut max = f32::NEG_INFINITY;
+                        for r in start..end {
+                            let v = data.get(r, c);
+                            min = min.min(v);
+                            max = max.max(v);
+                        }
+                        if !min.is_finite() {
+                            min = 0.0;
+                            max = 0.0;
+                        }
+                        params.push(QuantParams::from_range(min, max, bits, symmetry));
+                    }
+                }
+                for r in 0..rows {
+                    let g = r / group_size;
+                    for (c, &v) in data.row(r).iter().enumerate() {
+                        codes.push(params[g * cols + c].quantize(v, bits));
+                    }
+                }
+            }
+        }
+
+        Ok(Self {
+            rows,
+            cols,
+            bits,
+            granularity,
+            params,
+            codes,
+        })
+    }
+
+    /// Bit width of the stored codes.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Shape of the original matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Granularity the matrix was quantized with.
+    pub fn granularity(&self) -> Granularity {
+        self.granularity
+    }
+
+    /// Bytes used by codes plus scale/zero-point metadata (2 x f32 each).
+    pub fn memory_bytes(&self) -> usize {
+        self.codes.byte_len() + self.params.len() * 8
+    }
+
+    /// Reconstructs the full-precision matrix.
+    pub fn dequantize(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(r, c, self.dequantize_element(r, c));
+            }
+        }
+        out
+    }
+
+    /// Reconstructs a single element without materialising the whole matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    #[inline]
+    pub fn dequantize_element(&self, row: usize, col: usize) -> f32 {
+        let code = self.codes.get(row * self.cols + col);
+        let p = match self.granularity {
+            Granularity::PerTensor => &self.params[0],
+            Granularity::PerToken => &self.params[row],
+            Granularity::PerChannel => &self.params[col],
+            Granularity::GroupWise { group_size } => {
+                &self.params[(row / group_size) * self.cols + col]
+            }
+        };
+        p.dequantize(code)
+    }
+
+    /// Reconstructs one row into the provided buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != cols` or `row` is out of bounds.
+    pub fn dequantize_row_into(&self, row: usize, out: &mut [f32]) {
+        assert_eq!(out.len(), self.cols, "output buffer length mismatch");
+        for (c, slot) in out.iter_mut().enumerate() {
+            *slot = self.dequantize_element(row, c);
+        }
+    }
+
+    /// Root-mean-square reconstruction error against the original data.
+    pub fn rms_error(&self, original: &Matrix) -> f64 {
+        self.dequantize().mse(original).sqrt()
+    }
+}
+
+fn min_max(values: &[f32]) -> (f32, f32) {
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    for &v in values {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    if !min.is_finite() {
+        (0.0, 0.0)
+    } else {
+        (min, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use million_tensor::init::{normal_matrix, seeded_rng};
+    use proptest::prelude::*;
+
+    fn sample_matrix(seed: u64) -> Matrix {
+        normal_matrix(&mut seeded_rng(seed), 64, 16, 0.0, 1.0)
+    }
+
+    #[test]
+    fn rejects_zero_bits() {
+        let m = sample_matrix(0);
+        assert!(
+            QuantizedMatrix::quantize(&m, 0, Symmetry::Asymmetric, Granularity::PerTensor)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn rejects_zero_group_size() {
+        let m = sample_matrix(0);
+        assert!(QuantizedMatrix::quantize(
+            &m,
+            4,
+            Symmetry::Asymmetric,
+            Granularity::GroupWise { group_size: 0 }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn eight_bit_reconstruction_is_tight() {
+        let m = sample_matrix(1);
+        let q =
+            QuantizedMatrix::quantize(&m, 8, Symmetry::Asymmetric, Granularity::PerTensor).unwrap();
+        assert!(q.rms_error(&m) < 0.02);
+    }
+
+    #[test]
+    fn more_bits_means_less_error() {
+        let m = sample_matrix(2);
+        let e4 = QuantizedMatrix::quantize(&m, 4, Symmetry::Asymmetric, Granularity::PerTensor)
+            .unwrap()
+            .rms_error(&m);
+        let e8 = QuantizedMatrix::quantize(&m, 8, Symmetry::Asymmetric, Granularity::PerTensor)
+            .unwrap()
+            .rms_error(&m);
+        assert!(e8 < e4);
+    }
+
+    #[test]
+    fn outlier_channel_hurts_per_tensor_but_not_per_channel() {
+        // Reproduces the paper's motivation: a single large-magnitude channel
+        // destroys per-tensor low-bit quantization but per-channel scales
+        // absorb it.
+        let mut m = sample_matrix(3);
+        for r in 0..m.rows() {
+            let v = m.get(r, 0) * 50.0;
+            m.set(r, 0, v);
+        }
+        let per_tensor =
+            QuantizedMatrix::quantize(&m, 4, Symmetry::Asymmetric, Granularity::PerTensor)
+                .unwrap();
+        let per_channel =
+            QuantizedMatrix::quantize(&m, 4, Symmetry::Asymmetric, Granularity::PerChannel)
+                .unwrap();
+        // Compare error on the non-outlier channels only.
+        let mut pt_err = 0.0f64;
+        let mut pc_err = 0.0f64;
+        let pt = per_tensor.dequantize();
+        let pc = per_channel.dequantize();
+        for r in 0..m.rows() {
+            for c in 1..m.cols() {
+                pt_err += ((pt.get(r, c) - m.get(r, c)) as f64).powi(2);
+                pc_err += ((pc.get(r, c) - m.get(r, c)) as f64).powi(2);
+            }
+        }
+        assert!(
+            pc_err * 4.0 < pt_err,
+            "per-channel ({pc_err:.4}) should be far better than per-tensor ({pt_err:.4})"
+        );
+    }
+
+    #[test]
+    fn per_token_and_group_wise_roundtrip() {
+        let m = sample_matrix(4);
+        for granularity in [
+            Granularity::PerToken,
+            Granularity::GroupWise { group_size: 16 },
+            Granularity::GroupWise { group_size: 100 }, // larger than rows
+        ] {
+            let q = QuantizedMatrix::quantize(&m, 8, Symmetry::Asymmetric, granularity).unwrap();
+            assert_eq!(q.shape(), m.shape());
+            assert!(q.rms_error(&m) < 0.05, "granularity {granularity:?}");
+        }
+    }
+
+    #[test]
+    fn symmetric_quantization_roundtrips_zero_exactly() {
+        let m = Matrix::from_vec(1, 4, vec![0.0, 1.0, -1.0, 0.5]).unwrap();
+        let q =
+            QuantizedMatrix::quantize(&m, 8, Symmetry::Symmetric, Granularity::PerTensor).unwrap();
+        let d = q.dequantize();
+        assert!(d.get(0, 0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn memory_accounting_reflects_bit_width() {
+        let m = sample_matrix(5);
+        let q4 = QuantizedMatrix::quantize(&m, 4, Symmetry::Asymmetric, Granularity::PerTensor)
+            .unwrap();
+        let q8 = QuantizedMatrix::quantize(&m, 8, Symmetry::Asymmetric, Granularity::PerTensor)
+            .unwrap();
+        assert!(q4.memory_bytes() < q8.memory_bytes());
+        assert_eq!(q8.memory_bytes(), m.len() + 8);
+    }
+
+    #[test]
+    fn dequantize_row_into_matches_full_dequantize() {
+        let m = sample_matrix(6);
+        let q = QuantizedMatrix::quantize(&m, 6, Symmetry::Asymmetric, Granularity::PerChannel)
+            .unwrap();
+        let full = q.dequantize();
+        let mut row = vec![0.0; m.cols()];
+        q.dequantize_row_into(10, &mut row);
+        assert_eq!(row.as_slice(), full.row(10));
+    }
+
+    #[test]
+    fn constant_matrix_quantizes_exactly() {
+        let m = Matrix::from_fn(8, 8, |_, _| 3.25);
+        let q =
+            QuantizedMatrix::quantize(&m, 2, Symmetry::Asymmetric, Granularity::PerTensor).unwrap();
+        let d = q.dequantize();
+        for &v in d.as_slice() {
+            assert!((v - 3.25).abs() < 1e-3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn reconstruction_error_bounded_by_scale(
+            seed in 0u64..100,
+            bits in 3u8..9,
+        ) {
+            let m = normal_matrix(&mut seeded_rng(seed), 16, 8, 0.0, 2.0);
+            let q = QuantizedMatrix::quantize(&m, bits, Symmetry::Asymmetric, Granularity::PerToken).unwrap();
+            let d = q.dequantize();
+            for r in 0..m.rows() {
+                let row = m.row(r);
+                let (min, max) = super::min_max(row);
+                let scale = (max - min) / (max_code(bits) as f32);
+                for c in 0..m.cols() {
+                    let err = (d.get(r, c) - m.get(r, c)).abs();
+                    prop_assert!(err <= scale * 0.51 + 1e-5,
+                        "error {err} exceeds half-step {scale}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! ALiBi (Attention with Linear Biases) slopes and bias computation.
+//!
+//! MPT-7B in Table I of the paper uses ALiBi instead of RoPE: attention
+//! scores receive a per-head linear penalty proportional to the distance
+//! between the query and the key, and no rotation is applied to Q/K.
+
+/// Returns the per-head ALiBi slopes for `n_heads` heads.
+///
+/// Follows the geometric sequence of the original ALiBi paper: for a power of
+/// two the slopes are `2^(-8/n * i)`; otherwise the closest power of two is
+/// used and interleaved extra slopes are appended.
+///
+/// # Example
+///
+/// ```
+/// let slopes = million_tensor::alibi::alibi_slopes(8);
+/// assert_eq!(slopes.len(), 8);
+/// assert!(slopes[0] > slopes[7]);
+/// ```
+pub fn alibi_slopes(n_heads: usize) -> Vec<f32> {
+    fn power_of_two_slopes(n: usize) -> Vec<f32> {
+        let start = 2.0f32.powf(-8.0 / n as f32);
+        (0..n).map(|i| start.powi(i as i32 + 1)).collect()
+    }
+
+    if n_heads == 0 {
+        return Vec::new();
+    }
+    if n_heads.is_power_of_two() {
+        power_of_two_slopes(n_heads)
+    } else {
+        let closest = n_heads.next_power_of_two() / 2;
+        let mut slopes = power_of_two_slopes(closest);
+        let extra = power_of_two_slopes(2 * closest);
+        slopes.extend(extra.into_iter().step_by(2).take(n_heads - closest));
+        slopes
+    }
+}
+
+/// Bias added to the attention score of head `head` for a query at position
+/// `q_pos` attending to a key at position `k_pos`.
+///
+/// Keys further in the past receive a more negative bias; the current token
+/// gets zero bias.
+#[inline]
+pub fn alibi_bias(slope: f32, q_pos: usize, k_pos: usize) -> f32 {
+    debug_assert!(k_pos <= q_pos, "ALiBi is applied causally");
+    -slope * (q_pos - k_pos) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_heads_gives_empty() {
+        assert!(alibi_slopes(0).is_empty());
+    }
+
+    #[test]
+    fn power_of_two_heads_are_geometric() {
+        let s = alibi_slopes(4);
+        assert_eq!(s.len(), 4);
+        let ratio = s[1] / s[0];
+        assert!((s[2] / s[1] - ratio).abs() < 1e-6);
+        assert!((s[3] / s[2] - ratio).abs() < 1e-6);
+    }
+
+    #[test]
+    fn non_power_of_two_heads_supported() {
+        let s = alibi_slopes(6);
+        assert_eq!(s.len(), 6);
+        assert!(s.iter().all(|&x| x > 0.0 && x < 1.0));
+    }
+
+    #[test]
+    fn slopes_are_monotonically_decreasing_for_power_of_two() {
+        let s = alibi_slopes(16);
+        for w in s.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+    }
+
+    #[test]
+    fn bias_is_zero_for_current_token_and_negative_for_past() {
+        assert_eq!(alibi_bias(0.5, 10, 10), 0.0);
+        assert!(alibi_bias(0.5, 10, 3) < 0.0);
+        assert!((alibi_bias(0.25, 8, 4) + 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,139 @@
+//! Deterministic weight initialisation helpers.
+//!
+//! All randomness in the repository flows through seeded [`rand::rngs::StdRng`]
+//! instances so every experiment is reproducible bit-for-bit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+
+use crate::Matrix;
+
+/// Creates a seeded RNG. Thin wrapper so downstream crates do not need to
+/// depend on `rand` directly for the common case.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Samples a `[rows, cols]` matrix with i.i.d. normal entries.
+///
+/// # Panics
+///
+/// Panics if `std` is not finite or negative.
+pub fn normal_matrix(rng: &mut StdRng, rows: usize, cols: usize, mean: f32, std: f32) -> Matrix {
+    assert!(std.is_finite() && std >= 0.0, "std must be finite and >= 0");
+    let dist = Normal::new(mean, std.max(f32::MIN_POSITIVE)).expect("valid normal");
+    Matrix::from_fn(rows, cols, |_, _| dist.sample(rng))
+}
+
+/// Xavier/Glorot-style initialisation for a `[fan_in, fan_out]` projection.
+pub fn xavier_matrix(rng: &mut StdRng, fan_in: usize, fan_out: usize) -> Matrix {
+    let std = (2.0 / (fan_in + fan_out) as f32).sqrt();
+    normal_matrix(rng, fan_in, fan_out, 0.0, std)
+}
+
+/// Scales a set of output channels (columns) of a projection matrix by
+/// per-channel factors, used to inject the channel-wise outliers observed in
+/// the key cache of real LLMs (Fig. 2 / Fig. 3 of the paper).
+///
+/// `channel_scales` maps column index to multiplier; columns not present are
+/// left untouched.
+pub fn scale_channels(weights: &mut Matrix, channel_scales: &[(usize, f32)]) {
+    for &(col, factor) in channel_scales {
+        if col >= weights.cols() {
+            continue;
+        }
+        for r in 0..weights.rows() {
+            let v = weights.get(r, col);
+            weights.set(r, col, v * factor);
+        }
+    }
+}
+
+/// Draws `count` distinct channel indices in `0..cols` with log-normal-ish
+/// outlier magnitudes in `[min_scale, max_scale]`, mirroring how a handful of
+/// key channels in real models carry much larger magnitudes than the rest.
+pub fn sample_outlier_channels(
+    rng: &mut StdRng,
+    cols: usize,
+    count: usize,
+    min_scale: f32,
+    max_scale: f32,
+) -> Vec<(usize, f32)> {
+    let count = count.min(cols);
+    let mut chosen = Vec::with_capacity(count);
+    let mut used = vec![false; cols];
+    while chosen.len() < count {
+        let c = rng.gen_range(0..cols);
+        if used[c] {
+            continue;
+        }
+        used[c] = true;
+        let t: f32 = rng.gen_range(0.0..1.0);
+        // Square the interpolation factor so most outliers are moderate and a
+        // few are extreme, matching the long-tailed magnitudes in Fig. 2.
+        let scale = min_scale + (max_scale - min_scale) * t * t;
+        chosen.push((c, scale));
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let a = normal_matrix(&mut seeded_rng(7), 4, 4, 0.0, 1.0);
+        let b = normal_matrix(&mut seeded_rng(7), 4, 4, 0.0, 1.0);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = normal_matrix(&mut seeded_rng(1), 4, 4, 0.0, 1.0);
+        let b = normal_matrix(&mut seeded_rng(2), 4, 4, 0.0, 1.0);
+        assert_ne!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn xavier_has_reasonable_scale() {
+        let m = xavier_matrix(&mut seeded_rng(3), 256, 256);
+        let std = {
+            let mean: f32 = m.as_slice().iter().sum::<f32>() / m.len() as f32;
+            (m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / m.len() as f32)
+                .sqrt()
+        };
+        let expected = (2.0f32 / 512.0).sqrt();
+        assert!((std - expected).abs() < expected * 0.2);
+    }
+
+    #[test]
+    fn scale_channels_only_touches_selected_columns() {
+        let mut m = Matrix::from_fn(2, 3, |_, _| 1.0);
+        scale_channels(&mut m, &[(1, 10.0), (99, 5.0)]);
+        assert_eq!(m.column(0), vec![1.0, 1.0]);
+        assert_eq!(m.column(1), vec![10.0, 10.0]);
+        assert_eq!(m.column(2), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn outlier_channels_are_distinct_and_bounded() {
+        let mut rng = seeded_rng(11);
+        let chans = sample_outlier_channels(&mut rng, 64, 8, 4.0, 20.0);
+        assert_eq!(chans.len(), 8);
+        let mut seen = std::collections::HashSet::new();
+        for (c, s) in chans {
+            assert!(c < 64);
+            assert!((4.0..=20.0).contains(&s));
+            assert!(seen.insert(c), "channel {c} repeated");
+        }
+    }
+
+    #[test]
+    fn outlier_count_clamped_to_cols() {
+        let mut rng = seeded_rng(5);
+        let chans = sample_outlier_channels(&mut rng, 3, 10, 2.0, 4.0);
+        assert_eq!(chans.len(), 3);
+    }
+}

@@ -1,0 +1,266 @@
+//! Online (streaming) softmax accumulator.
+//!
+//! The MILLION decode path computes attention in two segments — the
+//! quantized history and the full-precision recent window (including the
+//! current token) — and merges them with an online softmax exactly as in
+//! Eq. (7) of the paper. The accumulator here is the flash-decoding style
+//! `(max, sum, weighted value)` triple that allows segments to be processed
+//! in any order without materialising the full score vector.
+
+/// Streaming softmax-weighted-average accumulator.
+///
+/// Feeding `(score, value)` pairs (or whole segments) produces the same
+/// result as computing `softmax(scores) @ values` over the concatenation of
+/// everything fed, up to floating-point rounding.
+///
+/// # Example
+///
+/// ```
+/// use million_tensor::OnlineSoftmax;
+///
+/// let values = [[1.0_f32, 0.0], [0.0, 1.0]];
+/// let scores = [0.3_f32, -0.2];
+///
+/// // Reference: full softmax.
+/// let mut probs = scores.to_vec();
+/// million_tensor::ops::softmax_in_place(&mut probs);
+/// let expected = [
+///     probs[0] * values[0][0] + probs[1] * values[1][0],
+///     probs[0] * values[0][1] + probs[1] * values[1][1],
+/// ];
+///
+/// // Streaming: one token at a time.
+/// let mut acc = OnlineSoftmax::new(2);
+/// acc.push(scores[0], &values[0]);
+/// acc.push(scores[1], &values[1]);
+/// let out = acc.finish();
+/// assert!((out[0] - expected[0]).abs() < 1e-6);
+/// assert!((out[1] - expected[1]).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineSoftmax {
+    max_score: f32,
+    sum_exp: f32,
+    acc: Vec<f32>,
+}
+
+impl OnlineSoftmax {
+    /// Creates an accumulator producing vectors of dimension `dim`.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            max_score: f32::NEG_INFINITY,
+            sum_exp: 0.0,
+            acc: vec![0.0; dim],
+        }
+    }
+
+    /// Output dimensionality.
+    pub fn dim(&self) -> usize {
+        self.acc.len()
+    }
+
+    /// Returns `true` if nothing has been accumulated yet.
+    pub fn is_empty(&self) -> bool {
+        self.sum_exp == 0.0
+    }
+
+    /// Current running maximum score (`-inf` when empty).
+    pub fn max_score(&self) -> f32 {
+        self.max_score
+    }
+
+    /// Current running sum of exponentials (relative to [`Self::max_score`]).
+    pub fn sum_exp(&self) -> f32 {
+        self.sum_exp
+    }
+
+    /// Adds a single `(score, value)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value.len() != self.dim()`.
+    pub fn push(&mut self, score: f32, value: &[f32]) {
+        assert_eq!(value.len(), self.acc.len(), "value dimension mismatch");
+        if score == f32::NEG_INFINITY {
+            return;
+        }
+        if score > self.max_score {
+            let rescale = if self.max_score == f32::NEG_INFINITY {
+                0.0
+            } else {
+                (self.max_score - score).exp()
+            };
+            self.sum_exp *= rescale;
+            for a in &mut self.acc {
+                *a *= rescale;
+            }
+            self.max_score = score;
+        }
+        let w = (score - self.max_score).exp();
+        self.sum_exp += w;
+        crate::ops::axpy(w, value, &mut self.acc);
+    }
+
+    /// Merges a pre-reduced segment described by its own `(max, sum_exp,
+    /// weighted accumulator)` triple, e.g. produced by another accumulator or
+    /// by a batched kernel over the quantized history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc.len() != self.dim()`.
+    pub fn merge_segment(&mut self, max_score: f32, sum_exp: f32, acc: &[f32]) {
+        assert_eq!(acc.len(), self.acc.len(), "segment dimension mismatch");
+        if sum_exp <= 0.0 || max_score == f32::NEG_INFINITY {
+            return;
+        }
+        if max_score > self.max_score {
+            let rescale = if self.max_score == f32::NEG_INFINITY {
+                0.0
+            } else {
+                (self.max_score - max_score).exp()
+            };
+            self.sum_exp *= rescale;
+            for a in &mut self.acc {
+                *a *= rescale;
+            }
+            self.max_score = max_score;
+        }
+        let w = (max_score - self.max_score).exp();
+        self.sum_exp += w * sum_exp;
+        crate::ops::axpy(w, acc, &mut self.acc);
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &OnlineSoftmax) {
+        self.merge_segment(other.max_score, other.sum_exp, &other.acc);
+    }
+
+    /// Finalises the accumulator, returning `softmax(scores) @ values`.
+    ///
+    /// Returns a zero vector when nothing was accumulated.
+    pub fn finish(self) -> Vec<f32> {
+        if self.sum_exp == 0.0 {
+            return self.acc;
+        }
+        let inv = 1.0 / self.sum_exp;
+        self.acc.into_iter().map(|a| a * inv).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::softmax_in_place;
+    use proptest::prelude::*;
+
+    fn reference(scores: &[f32], values: &[Vec<f32>]) -> Vec<f32> {
+        let mut probs = scores.to_vec();
+        softmax_in_place(&mut probs);
+        let dim = values[0].len();
+        let mut out = vec![0.0; dim];
+        for (p, v) in probs.iter().zip(values.iter()) {
+            for (o, x) in out.iter_mut().zip(v.iter()) {
+                *o += p * x;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn empty_accumulator_finishes_to_zero() {
+        let acc = OnlineSoftmax::new(3);
+        assert!(acc.is_empty());
+        assert_eq!(acc.finish(), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn single_element_returns_value() {
+        let mut acc = OnlineSoftmax::new(2);
+        acc.push(5.0, &[1.5, -2.0]);
+        let out = acc.finish();
+        assert!((out[0] - 1.5).abs() < 1e-6);
+        assert!((out[1] + 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn neg_infinity_scores_are_ignored() {
+        let mut acc = OnlineSoftmax::new(1);
+        acc.push(f32::NEG_INFINITY, &[100.0]);
+        acc.push(0.0, &[2.0]);
+        let out = acc.finish();
+        assert!((out[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_of_two_segments_matches_full_softmax() {
+        let scores = vec![0.1, -0.5, 2.0, 1.0, -3.0];
+        let values: Vec<Vec<f32>> = (0..5).map(|i| vec![i as f32, 1.0 - i as f32]).collect();
+        let expected = reference(&scores, &values);
+
+        let mut left = OnlineSoftmax::new(2);
+        for i in 0..3 {
+            left.push(scores[i], &values[i]);
+        }
+        let mut right = OnlineSoftmax::new(2);
+        for i in 3..5 {
+            right.push(scores[i], &values[i]);
+        }
+        left.merge(&right);
+        let out = left.finish();
+        for (o, e) in out.iter().zip(expected.iter()) {
+            assert!((o - e).abs() < 1e-5, "{o} vs {e}");
+        }
+    }
+
+    #[test]
+    fn merge_segment_with_zero_sum_is_noop() {
+        let mut acc = OnlineSoftmax::new(1);
+        acc.push(1.0, &[3.0]);
+        acc.merge_segment(f32::NEG_INFINITY, 0.0, &[99.0]);
+        let out = acc.finish();
+        assert!((out[0] - 3.0).abs() < 1e-6);
+    }
+
+    proptest! {
+        #[test]
+        fn streaming_matches_batch(
+            scores in proptest::collection::vec(-20.0f32..20.0, 1..40),
+            dim in 1usize..8,
+        ) {
+            let values: Vec<Vec<f32>> = (0..scores.len())
+                .map(|i| (0..dim).map(|d| ((i * 7 + d * 3) % 11) as f32 - 5.0).collect())
+                .collect();
+            let expected = reference(&scores, &values);
+            let mut acc = OnlineSoftmax::new(dim);
+            for (s, v) in scores.iter().zip(values.iter()) {
+                acc.push(*s, v);
+            }
+            let out = acc.finish();
+            for (o, e) in out.iter().zip(expected.iter()) {
+                prop_assert!((o - e).abs() < 1e-3);
+            }
+        }
+
+        #[test]
+        fn merge_order_does_not_matter(
+            scores in proptest::collection::vec(-10.0f32..10.0, 2..30),
+            split in 1usize..29,
+        ) {
+            let split = split.min(scores.len() - 1);
+            let values: Vec<Vec<f32>> = (0..scores.len()).map(|i| vec![(i % 5) as f32]).collect();
+
+            let mut a = OnlineSoftmax::new(1);
+            let mut b = OnlineSoftmax::new(1);
+            for i in 0..split { a.push(scores[i], &values[i]); }
+            for i in split..scores.len() { b.push(scores[i], &values[i]); }
+
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            let x = ab.finish()[0];
+            let y = ba.finish()[0];
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! Element-wise and reduction operations used throughout the inference path.
+
+use crate::Matrix;
+
+/// Dot product of two equally sized slices.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if the slices have different lengths; in release
+/// builds the shorter length is used.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "dot length mismatch");
+    let mut acc = 0.0f32;
+    // Unrolled-by-4 accumulation keeps the compiler's auto-vectoriser happy.
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc += a[j] * b[j] + a[j + 1] * b[j + 1] + a[j + 2] * b[j + 2] + a[j + 3] * b[j + 3];
+    }
+    for j in chunks * 4..a.len() {
+        acc += a[j] * b[j];
+    }
+    acc
+}
+
+/// `y += alpha * x` for equally sized slices.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Squared Euclidean distance between two equally sized slices.
+#[inline]
+pub fn squared_distance(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "squared_distance length mismatch");
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b.iter()) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Numerically stable in-place softmax.
+///
+/// Empty slices are left untouched.
+pub fn softmax_in_place(values: &mut [f32]) {
+    if values.is_empty() {
+        return;
+    }
+    let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in values.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        let inv = 1.0 / sum;
+        for v in values.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Numerically stable log-softmax, returning a new vector.
+pub fn log_softmax(values: &[f32]) -> Vec<f32> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let log_sum: f32 = values.iter().map(|v| (v - max).exp()).sum::<f32>().ln();
+    values.iter().map(|v| v - max - log_sum).collect()
+}
+
+/// Index of the maximum element. Returns 0 for an empty slice.
+pub fn argmax(values: &[f32]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// SiLU (swish) activation applied in place.
+pub fn silu_in_place(values: &mut [f32]) {
+    for v in values.iter_mut() {
+        *v = *v / (1.0 + (-*v).exp());
+    }
+}
+
+/// Tanh-approximated GELU activation applied in place.
+pub fn gelu_in_place(values: &mut [f32]) {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_56;
+    for v in values.iter_mut() {
+        let x = *v;
+        let inner = SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x);
+        *v = 0.5 * x * (1.0 + inner.tanh());
+    }
+}
+
+/// RMS normalisation of a single vector with learned gain `weight`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != weight.len()`.
+pub fn rms_norm(x: &mut [f32], weight: &[f32], eps: f32) {
+    assert_eq!(x.len(), weight.len(), "rms_norm length mismatch");
+    if x.is_empty() {
+        return;
+    }
+    let mean_sq: f32 = x.iter().map(|v| v * v).sum::<f32>() / x.len() as f32;
+    let inv = 1.0 / (mean_sq + eps).sqrt();
+    for (v, w) in x.iter_mut().zip(weight.iter()) {
+        *v = *v * inv * w;
+    }
+}
+
+/// Layer normalisation of a single vector with learned gain and bias.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn layer_norm(x: &mut [f32], weight: &[f32], bias: &[f32], eps: f32) {
+    assert_eq!(x.len(), weight.len(), "layer_norm weight length mismatch");
+    assert_eq!(x.len(), bias.len(), "layer_norm bias length mismatch");
+    if x.is_empty() {
+        return;
+    }
+    let n = x.len() as f32;
+    let mean: f32 = x.iter().sum::<f32>() / n;
+    let var: f32 = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    let inv = 1.0 / (var + eps).sqrt();
+    for ((v, w), b) in x.iter_mut().zip(weight.iter()).zip(bias.iter()) {
+        *v = (*v - mean) * inv * w + b;
+    }
+}
+
+/// Applies a causal mask in place to a `[q_len, k_len]` score matrix where the
+/// last query row attends to all `k_len` keys.
+///
+/// Entry `(i, j)` is masked (set to `-inf`) when key `j` is in the future of
+/// query `i`, i.e. `j > offset + i` with `offset = k_len - q_len`.
+///
+/// # Panics
+///
+/// Panics if `k_len < q_len`.
+pub fn apply_causal_mask(scores: &mut Matrix) {
+    let (q_len, k_len) = scores.shape();
+    assert!(k_len >= q_len, "causal mask requires k_len >= q_len");
+    let offset = k_len - q_len;
+    for i in 0..q_len {
+        let row = scores.row_mut(i);
+        for (j, s) in row.iter_mut().enumerate() {
+            if j > offset + i {
+                *s = f32::NEG_INFINITY;
+            }
+        }
+    }
+}
+
+/// Per-channel standard deviation of a `[tokens, channels]` matrix.
+pub fn channel_std(data: &Matrix) -> Vec<f32> {
+    let (rows, cols) = data.shape();
+    if rows == 0 {
+        return vec![0.0; cols];
+    }
+    let mut mean = vec![0.0f64; cols];
+    for row in data.iter_rows() {
+        for (m, &v) in mean.iter_mut().zip(row.iter()) {
+            *m += v as f64;
+        }
+    }
+    for m in &mut mean {
+        *m /= rows as f64;
+    }
+    let mut var = vec![0.0f64; cols];
+    for row in data.iter_rows() {
+        for ((v, &x), m) in var.iter_mut().zip(row.iter()).zip(mean.iter()) {
+            let d = x as f64 - *m;
+            *v += d * d;
+        }
+    }
+    var.iter().map(|v| (v / rows as f64).sqrt() as f32).collect()
+}
+
+/// Per-channel absolute maximum of a `[tokens, channels]` matrix.
+pub fn channel_abs_max(data: &Matrix) -> Vec<f32> {
+    let cols = data.cols();
+    let mut out = vec![0.0f32; cols];
+    for row in data.iter_rows() {
+        for (o, &v) in out.iter_mut().zip(row.iter()) {
+            *o = o.max(v.abs());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dot_matches_naive() {
+        let a: Vec<f32> = (0..11).map(|v| v as f32).collect();
+        let b: Vec<f32> = (0..11).map(|v| (v * 2) as f32).collect();
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - naive).abs() < 1e-4);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let mut v = vec![1.0, 2.0, 3.0];
+        softmax_in_place(&mut v);
+        assert!((v.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(v[2] > v[1] && v[1] > v[0]);
+    }
+
+    #[test]
+    fn softmax_handles_extreme_values() {
+        let mut v = vec![1e4, -1e4, 0.0];
+        softmax_in_place(&mut v);
+        assert!(v.iter().all(|x| x.is_finite()));
+        assert!((v[0] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_empty_is_noop() {
+        let mut v: Vec<f32> = vec![];
+        softmax_in_place(&mut v);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax() {
+        let v = vec![0.5, -1.0, 2.0, 0.0];
+        let ls = log_softmax(&v);
+        let mut s = v.clone();
+        softmax_in_place(&mut s);
+        for (l, p) in ls.iter().zip(s.iter()) {
+            assert!((l.exp() - p).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn argmax_picks_largest() {
+        assert_eq!(argmax(&[0.1, 0.9, 0.5]), 1);
+        assert_eq!(argmax(&[]), 0);
+    }
+
+    #[test]
+    fn rms_norm_produces_unit_rms() {
+        let mut x = vec![3.0, -4.0, 12.0, 5.0];
+        let w = vec![1.0; 4];
+        rms_norm(&mut x, &w, 1e-6);
+        let rms: f32 = (x.iter().map(|v| v * v).sum::<f32>() / 4.0).sqrt();
+        assert!((rms - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layer_norm_zero_mean_unit_var() {
+        let mut x = vec![1.0, 2.0, 3.0, 4.0];
+        let w = vec![1.0; 4];
+        let b = vec![0.0; 4];
+        layer_norm(&mut x, &w, &b, 1e-6);
+        let mean: f32 = x.iter().sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+    }
+
+    #[test]
+    fn silu_and_gelu_fixed_points() {
+        let mut v = vec![0.0f32];
+        silu_in_place(&mut v);
+        assert_eq!(v[0], 0.0);
+        let mut v = vec![0.0f32];
+        gelu_in_place(&mut v);
+        assert_eq!(v[0], 0.0);
+    }
+
+    #[test]
+    fn causal_mask_blocks_future() {
+        let mut scores = Matrix::from_fn(2, 4, |_, _| 1.0);
+        apply_causal_mask(&mut scores);
+        // first query row (global position 2) can see keys 0..=2
+        assert!(scores.get(0, 3).is_infinite());
+        assert!(scores.get(0, 2).is_finite());
+        // second query row (global position 3) sees everything
+        assert!(scores.get(1, 3).is_finite());
+    }
+
+    #[test]
+    fn channel_statistics() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, -2.0, 3.0, 2.0]).unwrap();
+        let std = channel_std(&m);
+        let amax = channel_abs_max(&m);
+        assert!((std[0] - 1.0).abs() < 1e-5);
+        assert!((std[1] - 2.0).abs() < 1e-5);
+        assert_eq!(amax, vec![3.0, 2.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn softmax_is_probability_distribution(v in proptest::collection::vec(-50.0f32..50.0, 1..64)) {
+            let mut s = v.clone();
+            softmax_in_place(&mut s);
+            let sum: f32 = s.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+        }
+
+        #[test]
+        fn dot_is_commutative(a in proptest::collection::vec(-10.0f32..10.0, 1..32)) {
+            let b: Vec<f32> = a.iter().rev().copied().collect();
+            prop_assert!((dot(&a, &b) - dot(&b, &a)).abs() < 1e-3);
+        }
+
+        #[test]
+        fn squared_distance_nonnegative(a in proptest::collection::vec(-5.0f32..5.0, 1..16)) {
+            let b: Vec<f32> = a.iter().map(|x| x + 1.0).collect();
+            prop_assert!(squared_distance(&a, &b) >= 0.0);
+            prop_assert!(squared_distance(&a, &a) < 1e-9);
+        }
+    }
+}

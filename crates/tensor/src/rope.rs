@@ -1,0 +1,185 @@
+//! Rotary positional embeddings (RoPE) with optional linear position scaling.
+//!
+//! Llama-2, Longchat and Yarn-Llama in Table I of the paper all use RoPE;
+//! Longchat/Yarn extend the context window by interpolating positions, which
+//! is modelled here with a `position_scale` factor (positions are divided by
+//! the factor before computing the rotation angles).
+
+use serde::{Deserialize, Serialize};
+
+/// Precomputed rotary embedding applier for one head dimension.
+///
+/// # Example
+///
+/// ```
+/// use million_tensor::Rope;
+///
+/// let rope = Rope::new(8, 10_000.0, 1.0);
+/// let mut q = vec![1.0_f32; 8];
+/// let original = q.clone();
+/// rope.apply(&mut q, 0);
+/// // position 0 is the identity rotation
+/// assert_eq!(q, original);
+/// rope.apply(&mut q, 5);
+/// assert_ne!(q, original);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Rope {
+    head_dim: usize,
+    inv_freq: Vec<f32>,
+    position_scale: f32,
+}
+
+impl Rope {
+    /// Creates a RoPE applier for vectors of length `head_dim` (must be even)
+    /// with the given base `theta` (10 000 for Llama-2) and position scaling
+    /// factor (1.0 = no scaling; >1.0 compresses positions as in
+    /// Longchat/Yarn-style context extension).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head_dim` is odd or zero, or if `position_scale <= 0`.
+    pub fn new(head_dim: usize, theta: f32, position_scale: f32) -> Self {
+        assert!(head_dim > 0 && head_dim % 2 == 0, "head_dim must be even");
+        assert!(position_scale > 0.0, "position_scale must be positive");
+        let half = head_dim / 2;
+        let inv_freq = (0..half)
+            .map(|i| 1.0 / theta.powf(2.0 * i as f32 / head_dim as f32))
+            .collect();
+        Self {
+            head_dim,
+            inv_freq,
+            position_scale,
+        }
+    }
+
+    /// Head dimension this applier was built for.
+    pub fn head_dim(&self) -> usize {
+        self.head_dim
+    }
+
+    /// Applies the rotation for absolute position `pos` to `x` in place.
+    ///
+    /// The layout follows the "half-split" convention used by Llama: element
+    /// `i` pairs with element `i + head_dim/2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != head_dim`.
+    pub fn apply(&self, x: &mut [f32], pos: usize) {
+        assert_eq!(x.len(), self.head_dim, "rope input length mismatch");
+        let half = self.head_dim / 2;
+        let p = pos as f32 / self.position_scale;
+        for i in 0..half {
+            let angle = p * self.inv_freq[i];
+            let (sin, cos) = angle.sin_cos();
+            let a = x[i];
+            let b = x[i + half];
+            x[i] = a * cos - b * sin;
+            x[i + half] = a * sin + b * cos;
+        }
+    }
+
+    /// Applies the rotation to every row of a `[tokens, head_dim]` block where
+    /// row `i` sits at absolute position `start_pos + i`.
+    pub fn apply_block(&self, rows: &mut [f32], start_pos: usize) {
+        assert_eq!(rows.len() % self.head_dim, 0, "block not a multiple of head_dim");
+        for (i, row) in rows.chunks_exact_mut(self.head_dim).enumerate() {
+            self.apply(row, start_pos + i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::dot;
+    use proptest::prelude::*;
+
+    #[test]
+    #[should_panic(expected = "head_dim must be even")]
+    fn odd_head_dim_panics() {
+        let _ = Rope::new(7, 10_000.0, 1.0);
+    }
+
+    #[test]
+    fn position_zero_is_identity() {
+        let rope = Rope::new(16, 10_000.0, 1.0);
+        let mut x: Vec<f32> = (0..16).map(|v| v as f32).collect();
+        let orig = x.clone();
+        rope.apply(&mut x, 0);
+        for (a, b) in x.iter().zip(orig.iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let rope = Rope::new(8, 10_000.0, 1.0);
+        let mut x = vec![1.0, -2.0, 0.5, 3.0, -1.0, 0.25, 2.0, -0.5];
+        let norm_before: f32 = x.iter().map(|v| v * v).sum();
+        rope.apply(&mut x, 123);
+        let norm_after: f32 = x.iter().map(|v| v * v).sum();
+        assert!((norm_before - norm_after).abs() < 1e-4);
+    }
+
+    #[test]
+    fn dot_product_depends_only_on_relative_position() {
+        // <rope(q, m), rope(k, n)> must only depend on m - n.
+        let rope = Rope::new(8, 10_000.0, 1.0);
+        let q = vec![0.3, -0.7, 1.2, 0.1, -0.4, 0.9, 0.2, -1.1];
+        let k = vec![1.0, 0.5, -0.2, 0.8, 0.3, -0.6, 0.4, 0.7];
+
+        let score = |m: usize, n: usize| {
+            let mut qq = q.clone();
+            let mut kk = k.clone();
+            rope.apply(&mut qq, m);
+            rope.apply(&mut kk, n);
+            dot(&qq, &kk)
+        };
+        assert!((score(10, 4) - score(16, 10)).abs() < 1e-3);
+        assert!((score(5, 5) - score(42, 42)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn position_scaling_compresses_angles() {
+        let base = Rope::new(8, 10_000.0, 1.0);
+        let scaled = Rope::new(8, 10_000.0, 4.0);
+        let x = vec![1.0; 8];
+        let mut a = x.clone();
+        let mut b = x.clone();
+        base.apply(&mut a, 4);
+        scaled.apply(&mut b, 16); // 16 / 4 == 4
+        for (p, q) in a.iter().zip(b.iter()) {
+            assert!((p - q).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn apply_block_matches_per_row() {
+        let rope = Rope::new(4, 10_000.0, 1.0);
+        let mut block = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let mut rows = block.clone();
+        rope.apply_block(&mut block, 7);
+        rope.apply(&mut rows[0..4], 7);
+        rope.apply(&mut rows[4..8], 8);
+        for (a, b) in block.iter().zip(rows.iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn norm_preserved_for_random_vectors(
+            pos in 0usize..4096,
+            v in proptest::collection::vec(-5.0f32..5.0, 16),
+        ) {
+            let rope = Rope::new(16, 10_000.0, 1.0);
+            let mut x = v.clone();
+            rope.apply(&mut x, pos);
+            let before: f32 = v.iter().map(|a| a * a).sum();
+            let after: f32 = x.iter().map(|a| a * a).sum();
+            prop_assert!((before - after).abs() < 1e-2 * before.max(1.0));
+        }
+    }
+}

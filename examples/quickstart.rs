@@ -1,0 +1,65 @@
+//! Quickstart: build a model, calibrate MILLION's codebooks, generate text
+//! with a product-quantized KV cache and report the memory saving.
+//!
+//! Run with `cargo run --release -p million --example quickstart`.
+
+use million::{MillionConfig, MillionEngine};
+use million_eval::corpus::{CorpusConfig, SyntheticCorpus};
+use million_model::{ModelConfig, Sampler, Transformer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A scaled-down Llama-2-style model with synthetic weights (RoPE,
+    //    RMSNorm, channel-wise key outliers — see DESIGN.md).
+    let config = ModelConfig::llama2_7b_sim();
+    let model = Transformer::new(config.clone(), 42);
+    println!(
+        "model: {} ({} layers, d_model {}, head_dim {})",
+        config.name,
+        config.n_layers,
+        config.d_model,
+        config.head_dim()
+    );
+
+    // 2. Offline codebook calibration on a synthetic Wikitext-like stream.
+    let corpus = SyntheticCorpus::new(CorpusConfig::wikitext2_like(config.vocab_size));
+    let calibration = corpus.generate(512);
+    let engine_config = MillionConfig::four_bit(config.head_dim());
+    println!(
+        "calibrating PQ codebooks: M = {}, nbits = {} ({} bits/channel)",
+        engine_config.pq.m,
+        engine_config.pq.nbits,
+        engine_config.bits_per_channel(config.head_dim())
+    );
+    let engine = MillionEngine::new(model, engine_config, &calibration)?;
+
+    // 3. Generate with the quantized cache (asynchronous quantization on).
+    let prompt = corpus.generate(256);
+    let mut sampler = Sampler::top_k(0.8, 16, 7);
+    let result = engine.generate(&prompt, 64, &mut sampler);
+
+    // 4. Compare against the fp16 reference generation of the same model.
+    let mut greedy_a = Sampler::greedy();
+    let mut greedy_b = Sampler::greedy();
+    let reference = engine.generate_reference(&prompt, 64, &mut greedy_a);
+    let quantized = engine.generate(&prompt, 64, &mut greedy_b).tokens;
+    let agreement = reference
+        .iter()
+        .zip(quantized.iter())
+        .filter(|(a, b)| a == b)
+        .count();
+
+    println!("\nprompt tokens        : {}", result.prefill_tokens);
+    println!("generated tokens     : {:?} ...", &result.tokens[..8.min(result.tokens.len())]);
+    println!("KV cache             : {} bytes", result.kv_bytes);
+    println!("fp16 cache would be  : {} bytes", result.fp16_kv_bytes);
+    println!(
+        "compression          : {:.1}% of fp16 ({:.1}x smaller)",
+        result.compression_ratio() * 100.0,
+        1.0 / result.compression_ratio()
+    );
+    println!(
+        "greedy agreement with fp16 reference: {agreement}/64 tokens"
+    );
+    println!("asynchronous quantization batches absorbed: {}", result.async_batches);
+    Ok(())
+}
