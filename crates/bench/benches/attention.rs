@@ -46,10 +46,7 @@ fn bench_attention(c: &mut Criterion) {
         let full = filled(FullPrecisionCache::new(layout), tokens);
         let kivi = filled(KiviCache::new(layout, KiviConfig::default()), tokens);
         let kvq = {
-            let mut cache = filled(
-                KvQuantCache::new(layout, KvQuantConfig::default()),
-                tokens,
-            );
+            let mut cache = filled(KvQuantCache::new(layout, KvQuantConfig::default()), tokens);
             cache.flush();
             cache
         };

@@ -33,8 +33,13 @@ fn bench_quant(c: &mut Criterion) {
 
     c.bench_function("nuq_4bit_per_channel_quantize", |b| {
         b.iter(|| {
-            NuqMatrix::quantize(std::hint::black_box(&data), 4, NuqGranularity::PerChannel, 0)
-                .expect("quantize")
+            NuqMatrix::quantize(
+                std::hint::black_box(&data),
+                4,
+                NuqGranularity::PerChannel,
+                0,
+            )
+            .expect("quantize")
         })
     });
 

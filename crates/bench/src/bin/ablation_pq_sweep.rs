@@ -70,7 +70,13 @@ fn main() {
 
     print_table(
         "Ablation — PQ (M, nbits) sweep on llama-2-7b-sim",
-        &["(M, nbits)", "bits/channel", "ppl", "KL vs fp16", "kv bytes"],
+        &[
+            "(M, nbits)",
+            "bits/channel",
+            "ppl",
+            "KL vs fp16",
+            "kv bytes",
+        ],
         &rows,
     );
     write_json("ablation_pq_sweep", &records);

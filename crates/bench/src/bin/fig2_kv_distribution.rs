@@ -18,7 +18,9 @@ fn main() {
         let mut capture = KvCapture::new(config.n_layers, config.head_dim(), 384);
         let _ = model.prefill(&stream, &mut caches, Some(&mut capture));
 
-        let keys: Vec<_> = (0..config.n_layers).map(|l| capture.keys(l).clone()).collect();
+        let keys: Vec<_> = (0..config.n_layers)
+            .map(|l| capture.keys(l).clone())
+            .collect();
         let values: Vec<_> = (0..config.n_layers)
             .map(|l| capture.values(l).clone())
             .collect();

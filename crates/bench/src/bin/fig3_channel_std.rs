@@ -54,7 +54,12 @@ fn main() {
         }
         print_table(
             &format!("Fig. 3 — channel-wise std ({})", config.name),
-            &["tensor", "max/median std", "outlier channels (>3x)", "largest channels"],
+            &[
+                "tensor",
+                "max/median std",
+                "outlier channels (>3x)",
+                "largest channels",
+            ],
             &rows,
         );
     }

@@ -5,7 +5,7 @@
 //! same model (see `million-eval::longbench` for the substitution).
 
 use million::MillionConfig;
-use million_bench::{build_model, print_table, wikitext_stream, trained_million_spec, write_json};
+use million_bench::{build_model, print_table, trained_million_spec, wikitext_stream, write_json};
 use million_eval::longbench::{default_suite, run_longbench};
 use million_model::ModelConfig;
 use serde::Serialize;

@@ -73,7 +73,11 @@ fn main() {
     let mut headers: Vec<&str> = vec!["configuration"];
     headers.extend(FIG7_OPS);
     headers.push("total");
-    print_table("Fig. 7 (top) — per-operator decode latency (ms)", &headers, &rows);
+    print_table(
+        "Fig. 7 (top) — per-operator decode latency (ms)",
+        &headers,
+        &rows,
+    );
 
     let speedup_rows: Vec<Vec<String>> = speedups
         .iter()

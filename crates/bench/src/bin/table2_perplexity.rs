@@ -7,7 +7,9 @@
 //! `million-eval::perplexity` for the substitution rationale).
 
 use million::MillionConfig;
-use million_bench::{build_model, print_table, ptb_stream, trained_million_spec, wikitext_stream, write_json};
+use million_bench::{
+    build_model, print_table, ptb_stream, trained_million_spec, wikitext_stream, write_json,
+};
 use million_eval::perplexity::{evaluate_perplexity_against, teacher_log_probs};
 use million_kvcache::KvQuantConfig;
 use million_model::{CacheSpec, ModelConfig};
@@ -46,10 +48,16 @@ fn main() {
     for config in &models {
         let model = build_model(config, 21);
         let calibration = wikitext_stream(config, 256);
-        let (_cb3, million3) =
-            trained_million_spec(&model, &MillionConfig::three_bit(config.head_dim()), &calibration);
-        let (_cb4, million4) =
-            trained_million_spec(&model, &MillionConfig::four_bit(config.head_dim()), &calibration);
+        let (_cb3, million3) = trained_million_spec(
+            &model,
+            &MillionConfig::three_bit(config.head_dim()),
+            &calibration,
+        );
+        let (_cb4, million4) = trained_million_spec(
+            &model,
+            &MillionConfig::four_bit(config.head_dim()),
+            &calibration,
+        );
 
         for (corpus_name, stream) in [
             ("wikitext-2", wikitext_stream(config, STREAM_LEN)),

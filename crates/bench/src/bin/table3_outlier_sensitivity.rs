@@ -44,8 +44,7 @@ fn nuq_error(data: &Matrix, bits: u8, outlier_fraction: f64) -> f64 {
 /// Mean squared reconstruction error of MILLION's PQ on `data`.
 fn pq_error(data: &Matrix, config: &MillionConfig, outlier_fraction: f64) -> f64 {
     let (clean, outliers) = extract_outliers(data, outlier_fraction);
-    let codebook =
-        PqCodebook::train(&config.pq, &clean, &PqTrainOptions::default(), 5).unwrap();
+    let codebook = PqCodebook::train(&config.pq, &clean, &PqTrainOptions::default(), 5).unwrap();
     let mut restored = codebook.decode_matrix(&codebook.encode_matrix(&clean));
     outliers.restore_into(&mut restored);
     restored.mse(data)

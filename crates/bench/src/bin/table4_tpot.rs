@@ -48,7 +48,10 @@ fn main() {
         tpot_ms(&gpu, &geom, &KvCacheMethod::Fp16, 32_768, 100),
         tpot_ms(&gpu, &geom, &KvCacheMethod::million_4bit(), 32_768, 100),
     ) {
-        println!("\nEnd-to-end speedup at 32K context: {:.2}x (paper: 2.09x)", base / ours);
+        println!(
+            "\nEnd-to-end speedup at 32K context: {:.2}x (paper: 2.09x)",
+            base / ours
+        );
     }
     write_json("table4_tpot", &records);
     println!(

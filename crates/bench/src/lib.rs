@@ -26,7 +26,11 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     let line = |cells: &[String]| {
         let mut out = String::new();
         for (i, cell) in cells.iter().enumerate() {
-            out.push_str(&format!("{:width$}  ", cell, width = widths.get(i).copied().unwrap_or(8)));
+            out.push_str(&format!(
+                "{:width$}  ",
+                cell,
+                width = widths.get(i).copied().unwrap_or(8)
+            ));
         }
         println!("{}", out.trim_end());
     };

@@ -154,8 +154,11 @@ mod tests {
             keys.set(r, 2, v);
         }
         let values = normal_matrix(&mut seeded_rng(3), 300, 16, 0.0, 1.0);
-        let report =
-            KvDistributionReport::from_captures("test", &[keys.clone()], &[values.clone()]);
+        let report = KvDistributionReport::from_captures(
+            "test",
+            std::slice::from_ref(&keys),
+            std::slice::from_ref(&values),
+        );
         assert_eq!(report.n_layers(), 1);
         assert!(report.keys_more_anisotropic_than_values());
     }

@@ -66,10 +66,7 @@ impl SyntheticCorpus {
     pub fn new(config: CorpusConfig) -> Self {
         assert!(config.vocab_size >= 4, "vocabulary too small");
         assert!(config.branching > 0, "branching must be > 0");
-        assert!(
-            config.zipf_exponent > 0.0,
-            "zipf exponent must be positive"
-        );
+        assert!(config.zipf_exponent > 0.0, "zipf exponent must be positive");
         Self { config }
     }
 
@@ -97,8 +94,8 @@ impl SyntheticCorpus {
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x5EED);
         let zipf_marginal = Zipf::new(self.config.vocab_size as u64, self.config.zipf_exponent)
             .expect("valid zipf");
-        let zipf_branch = Zipf::new(self.config.branching as u64, self.config.zipf_exponent)
-            .expect("valid zipf");
+        let zipf_branch =
+            Zipf::new(self.config.branching as u64, self.config.zipf_exponent).expect("valid zipf");
 
         let mut out = Vec::with_capacity(len);
         let mut current: u32 = (zipf_marginal.sample(&mut rng) as u64 - 1) as u32;
@@ -162,7 +159,11 @@ mod tests {
         for w in stream.windows(2) {
             bigrams.insert((w[0], w[1]));
         }
-        assert!(bigrams.len() < 4_000, "got {} distinct bigrams", bigrams.len());
+        assert!(
+            bigrams.len() < 4_000,
+            "got {} distinct bigrams",
+            bigrams.len()
+        );
     }
 
     #[test]

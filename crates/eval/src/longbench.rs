@@ -87,8 +87,9 @@ impl LongBenchTask {
                 // Hide a 6-token passkey at a random position and append a
                 // query marker at the end.
                 let marker = (vocab_size - 1) as u32;
-                let passkey: Vec<u32> =
-                    (0..6).map(|_| rng.gen_range(0..vocab_size as u32 / 2)).collect();
+                let passkey: Vec<u32> = (0..6)
+                    .map(|_| rng.gen_range(0..vocab_size as u32 / 2))
+                    .collect();
                 let insert_at = rng.gen_range(8..self.context_len.saturating_sub(16).max(9));
                 for (offset, &tok) in [marker].iter().chain(passkey.iter()).enumerate() {
                     prompt[insert_at + offset] = tok;
@@ -103,8 +104,7 @@ impl LongBenchTask {
                 while i + 3 <= prompt.len() {
                     prompt[i] = rng.gen_range(0..vocab_size as u32 / 4);
                     prompt[i + 1] = marker;
-                    prompt[i + 2] =
-                        vocab_size as u32 / 2 + rng.gen_range(0..vocab_size as u32 / 4);
+                    prompt[i + 2] = vocab_size as u32 / 2 + rng.gen_range(0..vocab_size as u32 / 4);
                     i += 3;
                 }
             }
@@ -268,8 +268,7 @@ mod tests {
     fn default_suite_covers_all_tasks() {
         let suite = default_suite(128, 0);
         assert_eq!(suite.len(), 4);
-        let names: std::collections::HashSet<_> =
-            suite.iter().map(|t| t.kind.name()).collect();
+        let names: std::collections::HashSet<_> = suite.iter().map(|t| t.kind.name()).collect();
         assert_eq!(names.len(), 4);
     }
 

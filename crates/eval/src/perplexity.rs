@@ -63,11 +63,7 @@ pub type TeacherLogProbs = Vec<Vec<f32>>;
 /// # Panics
 ///
 /// Panics if `seed_len == 0` or `tokens.len() < seed_len + 2`.
-pub fn teacher_log_probs(
-    model: &Transformer,
-    tokens: &[u32],
-    seed_len: usize,
-) -> TeacherLogProbs {
+pub fn teacher_log_probs(model: &Transformer, tokens: &[u32], seed_len: usize) -> TeacherLogProbs {
     collect_log_probs(model, &CacheSpec::Full, tokens, seed_len)
 }
 
@@ -86,6 +82,9 @@ fn collect_log_probs(
     let prefill_logits = model.prefill(&tokens[..seed_len], &mut caches, None);
     let mut out = Vec::with_capacity(tokens.len() - seed_len);
     out.push(log_softmax(prefill_logits.row(seed_len - 1)));
+    // Teacher-forced continuation, one decode step at a time: long streams
+    // would otherwise materialise a [tokens, vocab] logits matrix on top of
+    // the log-prob accumulator.
     for &token in tokens.iter().take(tokens.len() - 1).skip(seed_len) {
         let logits = model.decode_step(token, &mut caches);
         out.push(log_softmax(&logits));
@@ -149,7 +148,11 @@ pub fn evaluate_perplexity_against(
     // distribution over token i+1, computed through the cache backend.
     for i in seed_len..tokens.len() - 1 {
         let logits = model.decode_step(tokens[i], &mut caches);
-        score_position(&log_softmax(&logits), &teacher[i - seed_len + 1], tokens[i + 1]);
+        score_position(
+            &log_softmax(&logits),
+            &teacher[i - seed_len + 1],
+            tokens[i + 1],
+        );
     }
 
     let n = scored as f64;
@@ -237,8 +240,7 @@ mod tests {
         // lossy backend must score at least the baseline.
         let (model, tokens) = model_and_tokens();
         let teacher = teacher_log_probs(&model, &tokens, 8);
-        let baseline =
-            evaluate_perplexity_against(&model, &CacheSpec::Full, &tokens, 8, &teacher);
+        let baseline = evaluate_perplexity_against(&model, &CacheSpec::Full, &tokens, 8, &teacher);
         for spec in [
             CacheSpec::Kivi(KiviConfig::default()),
             CacheSpec::KvQuant(KvQuantConfig::default()),
@@ -260,8 +262,7 @@ mod tests {
     fn million_ppl_is_close_to_baseline() {
         let (model, tokens) = model_and_tokens();
         let teacher = teacher_log_probs(&model, &tokens, 8);
-        let baseline =
-            evaluate_perplexity_against(&model, &CacheSpec::Full, &tokens, 8, &teacher);
+        let baseline = evaluate_perplexity_against(&model, &CacheSpec::Full, &tokens, 8, &teacher);
         let spec = CacheSpec::Pq(trained_pq_spec(&model, &tokens, 16, 8));
         let million = evaluate_perplexity_against(&model, &spec, &tokens, 8, &teacher);
         let degradation = million.degradation_vs(&baseline);
@@ -306,8 +307,7 @@ mod tests {
     fn quantized_caches_use_less_memory() {
         let (model, tokens) = model_and_tokens();
         let teacher = teacher_log_probs(&model, &tokens, 8);
-        let baseline =
-            evaluate_perplexity_against(&model, &CacheSpec::Full, &tokens, 8, &teacher);
+        let baseline = evaluate_perplexity_against(&model, &CacheSpec::Full, &tokens, 8, &teacher);
         let kivi = evaluate_perplexity_against(
             &model,
             &CacheSpec::Kivi(KiviConfig::default()),

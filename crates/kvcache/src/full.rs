@@ -132,6 +132,13 @@ impl KvCache for FullPrecisionCache {
         2 * self.len * self.layout.width() * self.element_bytes
     }
 
+    fn reset(&mut self) {
+        self.len = 0;
+        for head in self.keys.iter_mut().chain(self.values.iter_mut()) {
+            head.clear();
+        }
+    }
+
     fn kind(&self) -> &'static str {
         "fp16"
     }
@@ -189,7 +196,7 @@ mod tests {
             .map(|t| dot(&query, cache.key(1, t)) * scale)
             .collect();
         softmax_in_place(&mut scores);
-        let mut expected = vec![0.0f32; 8];
+        let mut expected = [0.0f32; 8];
         for (t, &p) in scores.iter().enumerate() {
             for (e, &x) in expected.iter_mut().zip(cache.value(1, t)) {
                 *e += p * x;

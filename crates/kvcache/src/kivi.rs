@@ -10,10 +10,10 @@
 //! the overhead MILLION's lookup-table attention avoids; the cost difference
 //! is modelled in `million-perfsim` and measured in the Criterion benches.
 
+use million_quant::uniform::{Granularity, QuantizedMatrix, Symmetry};
 use million_tensor::alibi::alibi_bias;
 use million_tensor::ops::dot;
 use million_tensor::{Matrix, OnlineSoftmax};
-use million_quant::uniform::{Granularity, QuantizedMatrix, Symmetry};
 
 use crate::traits::{head_slice, AttendParams, CacheLayout, KvCache};
 
@@ -71,10 +71,7 @@ impl KiviCache {
     /// Panics if `config.group_size == 0` or `config.bits` is 0 or > 16.
     pub fn new(layout: CacheLayout, config: KiviConfig) -> Self {
         assert!(config.group_size > 0, "group_size must be > 0");
-        assert!(
-            (1..=16).contains(&config.bits),
-            "bits must be in 1..=16"
-        );
+        assert!((1..=16).contains(&config.bits), "bits must be in 1..=16");
         Self {
             layout,
             config,
@@ -86,9 +83,7 @@ impl KiviCache {
     /// Number of tokens currently sitting in the full-precision residual.
     pub fn residual_len(&self) -> usize {
         let d = self.layout.head_dim;
-        self.heads
-            .first()
-            .map_or(0, |h| h.residual_keys.len() / d)
+        self.heads.first().map_or(0, |h| h.residual_keys.len() / d)
     }
 
     /// Number of complete quantized groups per head.
@@ -212,6 +207,15 @@ impl KvCache for KiviCache {
             bytes += (head.residual_keys.len() + head.residual_values.len()) * 2;
         }
         bytes
+    }
+
+    fn reset(&mut self) {
+        self.len = 0;
+        for head in &mut self.heads {
+            head.groups.clear();
+            head.residual_keys.clear();
+            head.residual_values.clear();
+        }
     }
 
     fn kind(&self) -> &'static str {
@@ -338,7 +342,7 @@ mod tests {
     #[test]
     fn empty_cache_attend_is_zero() {
         let cache = KiviCache::new(layout(), KiviConfig::default());
-        let out = attend(&cache, &vec![1.0; HEAD_DIM], 0);
+        let out = attend(&cache, &[1.0; HEAD_DIM], 0);
         assert!(out.iter().all(|&x| x == 0.0));
     }
 

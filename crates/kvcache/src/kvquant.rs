@@ -9,11 +9,11 @@
 //! and re-quantized every `requant_block` tokens — the same batching KVQuant
 //! applies to amortise its calibration cost.
 
+use million_quant::nuq::{NuqGranularity, NuqMatrix};
+use million_quant::outlier::{extract_outliers, SparseOutliers};
 use million_tensor::alibi::alibi_bias;
 use million_tensor::ops::dot;
 use million_tensor::{Matrix, OnlineSoftmax};
-use million_quant::nuq::{NuqGranularity, NuqMatrix};
-use million_quant::outlier::{extract_outliers, SparseOutliers};
 
 use crate::traits::{head_slice, AttendParams, CacheLayout, KvCache};
 
@@ -203,7 +203,8 @@ impl KvCache for KvQuantCache {
                 // Add back the sparse full-precision outliers: the dense part
                 // stores zero at an outlier position, so the correction is the
                 // outlier value times the query channel.
-                let mut score = dot(params.query, &key_buf) + block.key_outliers.row_dot(r, params.query);
+                let mut score =
+                    dot(params.query, &key_buf) + block.key_outliers.row_dot(r, params.query);
                 score *= params.scale;
                 if let Some(slope) = params.alibi_slope {
                     score += alibi_bias(slope, params.query_pos, pos);
@@ -251,6 +252,15 @@ impl KvCache for KvQuantCache {
             bytes += (head.pending_keys.len() + head.pending_values.len()) * 2;
         }
         bytes
+    }
+
+    fn reset(&mut self) {
+        self.len = 0;
+        for head in &mut self.heads {
+            head.blocks.clear();
+            head.pending_keys.clear();
+            head.pending_values.clear();
+        }
     }
 
     fn kind(&self) -> &'static str {
@@ -412,7 +422,7 @@ mod tests {
     #[test]
     fn empty_cache_attend_is_zero() {
         let cache = KvQuantCache::new(layout(), KvQuantConfig::default());
-        let out = attend(&cache, &vec![0.5; HEAD_DIM], 1);
+        let out = attend(&cache, &[0.5; HEAD_DIM], 1);
         assert!(out.iter().all(|&x| x == 0.0));
     }
 

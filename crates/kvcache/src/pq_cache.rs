@@ -12,10 +12,10 @@
 
 use std::sync::Arc;
 
+use million_quant::pq::{PqCodebook, PqCodes, ValueAccumulator};
 use million_tensor::alibi::alibi_bias;
 use million_tensor::ops::dot;
 use million_tensor::{Matrix, OnlineSoftmax};
-use million_quant::pq::{PqCodebook, PqCodes, ValueAccumulator};
 
 use crate::traits::{head_slice, AttendParams, CacheLayout, KvCache};
 
@@ -361,6 +361,24 @@ impl KvCache for PqKvCache {
         // Dense residual accounted at fp16 like the baseline.
         let dense = 2 * self.recent_len * self.layout.width() * 2;
         codes + dense
+    }
+
+    fn reset(&mut self) {
+        self.key_codes = (0..self.layout.n_kv_heads)
+            .map(|_| PqCodes::new(self.config.key_codebook.config()))
+            .collect();
+        self.value_codes = (0..self.layout.n_kv_heads)
+            .map(|_| PqCodes::new(self.config.value_codebook.config()))
+            .collect();
+        for head in self
+            .recent_keys
+            .iter_mut()
+            .chain(self.recent_values.iter_mut())
+        {
+            head.clear();
+        }
+        self.quantized_len = 0;
+        self.recent_len = 0;
     }
 
     fn kind(&self) -> &'static str {

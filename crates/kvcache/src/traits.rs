@@ -128,6 +128,12 @@ pub trait KvCache: Send {
     /// shared, token-count-independent state such as codebooks).
     fn memory_bytes(&self) -> usize;
 
+    /// Drops every cached token, returning the cache to its freshly
+    /// constructed state while keeping configuration and any shared state
+    /// (codebooks). Lets a serving session be reused for a new conversation
+    /// without re-allocating backends.
+    fn reset(&mut self);
+
     /// Short human-readable backend name (e.g. `"fp16"`, `"million-pq"`).
     fn kind(&self) -> &'static str;
 }
@@ -151,6 +157,10 @@ impl<T: KvCache + ?Sized> KvCache for Box<T> {
 
     fn memory_bytes(&self) -> usize {
         (**self).memory_bytes()
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
     }
 
     fn kind(&self) -> &'static str {

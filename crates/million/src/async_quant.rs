@@ -3,26 +3,34 @@
 //!
 //! During decoding, freshly generated keys/values are staged densely in the
 //! recent window of each layer's [`million_kvcache::PqKvCache`]. Instead of
-//! encoding them on the critical path, the engine ships them to this worker;
-//! the worker encodes them into PQ codes and posts the result back. The
-//! engine absorbs finished blocks at the *start of the next decode step*,
-//! which mirrors the paper's observation that cached codes are not needed
-//! until the next token's attention — so quantization never blocks decoding
-//! and attention never misses a token (the dense copy stays visible until
-//! the codes arrive).
+//! encoding them on the critical path, the session ships them to this worker;
+//! the worker encodes them into PQ codes and posts the result back. Sessions
+//! absorb finished blocks at the *start of the next decode step*, which
+//! mirrors the paper's observation that cached codes are not needed until the
+//! next token's attention — so quantization never blocks decoding and
+//! attention never misses a token (the dense copy stays visible until the
+//! codes arrive).
+//!
+//! One worker can serve many concurrent [`crate::InferenceSession`]s: every
+//! request and result carries a `session` tag, and the
+//! [`crate::BatchScheduler`] routes finished blocks back to the session that
+//! submitted them.
 
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use million_kvcache::pq_cache::EncodedTokens;
 use million_kvcache::{CacheLayout, PqKvCache};
 use million_quant::pq::PqCodebook;
 use million_tensor::Matrix;
 
-/// A request to encode a block of dense keys/values belonging to one layer.
+/// A request to encode a block of dense keys/values belonging to one layer of
+/// one session.
 #[derive(Debug, Clone)]
 pub struct EncodeRequest {
+    /// Session the block belongs to (0 for a standalone session).
+    pub session: usize,
     /// Layer the block belongs to.
     pub layer: usize,
     /// `[tokens, n_kv_heads * head_dim]` keys (positional embedding applied).
@@ -34,6 +42,8 @@ pub struct EncodeRequest {
 /// A finished encode job.
 #[derive(Debug, Clone)]
 pub struct EncodeResult {
+    /// Session the block belongs to (0 for a standalone session).
+    pub session: usize,
     /// Layer the block belongs to.
     pub layer: usize,
     /// Number of tokens encoded.
@@ -42,7 +52,8 @@ pub struct EncodeResult {
     pub encoded: EncodedTokens,
 }
 
-/// Background PQ-encoding worker with per-layer codebooks.
+/// Background PQ-encoding worker with per-layer codebooks, shared by one or
+/// more sessions of the same engine.
 #[derive(Debug)]
 pub struct QuantWorker {
     request_tx: Option<Sender<EncodeRequest>>,
@@ -68,8 +79,8 @@ impl QuantWorker {
             value_codebooks.len(),
             "key/value codebook count mismatch"
         );
-        let (request_tx, request_rx) = unbounded::<EncodeRequest>();
-        let (result_tx, result_rx) = unbounded::<EncodeResult>();
+        let (request_tx, request_rx) = channel::<EncodeRequest>();
+        let (result_tx, result_rx) = channel::<EncodeResult>();
         let handle = std::thread::Builder::new()
             .name("million-quant-worker".into())
             .spawn(move || {
@@ -82,6 +93,7 @@ impl QuantWorker {
                         &req.values,
                     );
                     let result = EncodeResult {
+                        session: req.session,
                         layer: req.layer,
                         tokens: req.keys.rows(),
                         encoded,
@@ -122,14 +134,9 @@ impl QuantWorker {
     /// Collects every finished block without waiting.
     pub fn try_drain(&mut self) -> Vec<EncodeResult> {
         let mut out = Vec::new();
-        loop {
-            match self.result_rx.try_recv() {
-                Ok(result) => {
-                    self.in_flight -= 1;
-                    out.push(result);
-                }
-                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
-            }
+        while let Ok(result) = self.result_rx.try_recv() {
+            self.in_flight -= 1;
+            out.push(result);
         }
         out
     }
@@ -192,6 +199,7 @@ mod tests {
         let keys = normal_matrix(&mut rng, 5, 16, 0.0, 1.0);
         let values = normal_matrix(&mut rng, 5, 16, 0.0, 1.0);
         worker.submit(EncodeRequest {
+            session: 0,
             layer: 1,
             keys,
             values,
@@ -216,6 +224,7 @@ mod tests {
         let keys = normal_matrix(&mut rng, 12, 8, 0.0, 1.0);
         let values = normal_matrix(&mut rng, 12, 8, 0.0, 1.0);
         worker.submit(EncodeRequest {
+            session: 0,
             layer: 0,
             keys: keys.clone(),
             values: values.clone(),
@@ -229,6 +238,24 @@ mod tests {
             sync.key_codes[0].read_into(t, &mut b);
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn session_tags_round_trip_through_the_worker() {
+        let layout = CacheLayout::new(1, 8);
+        let mut worker = QuantWorker::spawn(vec![codebook(10, 8)], vec![codebook(11, 8)], layout);
+        let mut rng = seeded_rng(12);
+        for session in [3usize, 7, 5] {
+            worker.submit(EncodeRequest {
+                session,
+                layer: 0,
+                keys: normal_matrix(&mut rng, 2, 8, 0.0, 1.0),
+                values: normal_matrix(&mut rng, 2, 8, 0.0, 1.0),
+            });
+        }
+        let mut tags: Vec<usize> = worker.drain_all().iter().map(|r| r.session).collect();
+        tags.sort_unstable();
+        assert_eq!(tags, vec![3, 5, 7]);
     }
 
     #[test]

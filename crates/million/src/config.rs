@@ -48,7 +48,7 @@ impl MillionConfig {
     ///
     /// Panics if `head_dim` is not divisible by 2.
     pub fn four_bit(head_dim: usize) -> Self {
-        assert!(head_dim % 2 == 0, "head_dim must be even");
+        assert!(head_dim.is_multiple_of(2), "head_dim must be even");
         Self::new(PqConfig::new(head_dim / 2, 8).expect("valid PQ config"))
     }
 
@@ -59,7 +59,10 @@ impl MillionConfig {
     ///
     /// Panics if `head_dim` is not divisible by 4.
     pub fn three_bit(head_dim: usize) -> Self {
-        assert!(head_dim % 4 == 0, "head_dim must be divisible by 4");
+        assert!(
+            head_dim.is_multiple_of(4),
+            "head_dim must be divisible by 4"
+        );
         Self::new(PqConfig::new(head_dim / 4, 12).expect("valid PQ config"))
     }
 
@@ -69,7 +72,10 @@ impl MillionConfig {
     ///
     /// Panics if `head_dim` is not divisible by 8.
     pub fn two_bit(head_dim: usize) -> Self {
-        assert!(head_dim % 8 == 0, "head_dim must be divisible by 8");
+        assert!(
+            head_dim.is_multiple_of(8),
+            "head_dim must be divisible by 8"
+        );
         Self::new(PqConfig::new(head_dim / 8, 16).expect("valid PQ config"))
     }
 

@@ -1,26 +1,34 @@
 //! The end-to-end MILLION inference engine.
+//!
+//! The engine holds the immutable, shareable state — the transformer and the
+//! trained PQ codebooks. All decoding goes through persistent
+//! [`InferenceSession`]s ([`MillionEngine::session`]); the one-shot
+//! [`MillionEngine::generate`] / [`MillionEngine::generate_reference`] calls
+//! are thin compatibility wrappers that build a session, run it, and drop it.
 
-use million_kvcache::{KvCache, PqCacheConfig, PqKvCache};
 use million_model::{build_caches, CacheSpec, Sampler, Transformer};
 
-use crate::async_quant::{EncodeRequest, QuantWorker};
 use crate::config::MillionConfig;
+use crate::session::{GenerationOptions, InferenceSession};
 use crate::trainer::{train_codebooks, TrainedCodebooks};
 use crate::MillionError;
 
 /// Outcome of one generation call.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GenerationResult {
-    /// The generated token ids (length = requested new tokens).
+    /// The generated token ids (length = requested new tokens, or fewer if a
+    /// stop token fired).
     pub tokens: Vec<u32>,
-    /// Number of prompt tokens that were prefetched.
+    /// Prompt tokens the session has consumed in total — the prompt length
+    /// for a one-shot `generate`, the sum over turns for a multi-turn
+    /// session.
     pub prefill_tokens: usize,
     /// KV-cache bytes across all layers at the end of generation.
     pub kv_bytes: usize,
     /// What an fp16 cache of the same length would have used.
     pub fp16_kv_bytes: usize,
-    /// Number of encoded blocks received from the asynchronous quantization
-    /// worker (0 when running synchronously).
+    /// Encoded blocks received from the asynchronous quantization worker
+    /// during this call (0 when running synchronously).
     pub async_batches: usize,
     /// Tokens still held densely (not yet quantized) at the end.
     pub residual_tokens: usize,
@@ -36,8 +44,10 @@ impl GenerationResult {
     }
 }
 
-/// MILLION engine: a transformer plus trained PQ codebooks plus the decode
-/// pipeline (LUT attention, recent window, asynchronous quantization).
+/// MILLION engine: a transformer plus trained PQ codebooks. Decode state
+/// (caches, positions, the asynchronous quantization stream) lives in
+/// [`InferenceSession`]s, so one engine serves any number of concurrent
+/// sequences.
 #[derive(Debug)]
 pub struct MillionEngine {
     model: Transformer,
@@ -105,32 +115,25 @@ impl MillionEngine {
         &self.codebooks
     }
 
+    /// Opens a new standalone inference session. With
+    /// [`MillionConfig::async_quant`] set, the session spawns its own
+    /// quantization worker; use a [`crate::BatchScheduler`] to share one
+    /// worker across many sessions.
+    pub fn session(&self) -> InferenceSession<'_> {
+        InferenceSession::new(self, 0, false)
+    }
+
     /// Cache specification equivalent to this engine's decode pipeline, for
     /// use with the evaluation harnesses (perplexity, LongBench).
     pub fn cache_spec(&self) -> CacheSpec {
-        CacheSpec::Pq(
-            self.codebooks
-                .to_pq_spec(self.config.residual_len, true),
-        )
-    }
-
-    fn build_pq_caches(&self, auto_encode: bool) -> Vec<PqKvCache> {
-        let layout = self.model.cache_layout();
-        (0..self.model.config().n_layers)
-            .map(|l| {
-                let mut cfg = PqCacheConfig::new(
-                    self.codebooks.key[l].clone(),
-                    self.codebooks.value[l].clone(),
-                    self.config.residual_len,
-                );
-                cfg.auto_encode = auto_encode;
-                PqKvCache::new(layout, cfg)
-            })
-            .collect()
+        CacheSpec::Pq(self.codebooks.to_pq_spec(self.config.residual_len, true))
     }
 
     /// Generates `max_new_tokens` tokens after `prompt`, using the configured
     /// decode pipeline (asynchronous or synchronous quantization).
+    ///
+    /// Compatibility wrapper: equivalent to opening a [`Self::session`],
+    /// prefilling, and generating once.
     ///
     /// # Panics
     ///
@@ -141,11 +144,9 @@ impl MillionEngine {
         max_new_tokens: usize,
         sampler: &mut Sampler,
     ) -> GenerationResult {
-        if self.config.async_quant {
-            self.generate_async(prompt, max_new_tokens, sampler)
-        } else {
-            self.generate_sync(prompt, max_new_tokens, sampler)
-        }
+        let mut session = self.session();
+        session.prefill(prompt);
+        session.generate_with(&GenerationOptions::max_tokens(max_new_tokens), sampler)
     }
 
     /// Generates with a full-precision cache — the fp16 reference used by the
@@ -168,136 +169,6 @@ impl MillionEngine {
         }
         tokens
     }
-
-    fn finish_result(
-        &self,
-        tokens: Vec<u32>,
-        prompt_len: usize,
-        caches: &[PqKvCache],
-        async_batches: usize,
-    ) -> GenerationResult {
-        let layout = self.model.cache_layout();
-        let total_tokens: usize = caches.first().map_or(0, |c| c.len());
-        GenerationResult {
-            tokens,
-            prefill_tokens: prompt_len,
-            kv_bytes: caches.iter().map(|c| c.memory_bytes()).sum(),
-            fp16_kv_bytes: total_tokens * layout.fp16_bytes_per_token() * caches.len(),
-            async_batches,
-            residual_tokens: caches.first().map_or(0, |c| c.recent_len()),
-        }
-    }
-
-    fn generate_sync(
-        &self,
-        prompt: &[u32],
-        max_new_tokens: usize,
-        sampler: &mut Sampler,
-    ) -> GenerationResult {
-        let mut caches = self.build_pq_caches(true);
-        let logits = self.model.prefill(prompt, &mut caches, None);
-        let mut tokens = Vec::with_capacity(max_new_tokens);
-        let mut next = sampler.sample(logits.row(prompt.len() - 1));
-        tokens.push(next);
-        for _ in 1..max_new_tokens {
-            let logits = self.model.decode_step(next, &mut caches);
-            next = sampler.sample(&logits);
-            tokens.push(next);
-        }
-        self.finish_result(tokens, prompt.len(), &caches, 0)
-    }
-
-    fn generate_async(
-        &self,
-        prompt: &[u32],
-        max_new_tokens: usize,
-        sampler: &mut Sampler,
-    ) -> GenerationResult {
-        let n_layers = self.model.config().n_layers;
-        let mut caches = self.build_pq_caches(false);
-
-        // Prefill: full-precision attention, then synchronous encoding of the
-        // prompt KV (Fig. 4, steps ③ and ④), each layer with its own codebooks.
-        let logits = self.model.prefill(prompt, &mut caches, None);
-        for (layer, cache) in caches.iter_mut().enumerate() {
-            if let Some((keys, values)) = cache.encodable_dense() {
-                let encoded = PqKvCache::encode_tokens(
-                    &self.codebooks.key[layer],
-                    &self.codebooks.value[layer],
-                    &self.model.cache_layout(),
-                    &keys,
-                    &values,
-                );
-                cache.absorb_encoded(encoded);
-            }
-        }
-
-        // Decode with the background quantization stream.
-        let mut worker = QuantWorker::spawn(
-            self.codebooks.key.clone(),
-            self.codebooks.value.clone(),
-            self.model.cache_layout(),
-        );
-        let mut sent = vec![0usize; n_layers];
-        let mut async_batches = 0usize;
-
-        let mut tokens = Vec::with_capacity(max_new_tokens);
-        let mut next = sampler.sample(logits.row(prompt.len() - 1));
-        tokens.push(next);
-
-        for _ in 1..max_new_tokens {
-            // 1. Absorb every block the worker finished since the last step.
-            for result in worker.try_drain() {
-                sent[result.layer] -= result.tokens;
-                caches[result.layer].absorb_encoded(result.encoded);
-                async_batches += 1;
-            }
-
-            // 2. Run the decode step (attention sees quantized history +
-            //    dense not-yet-encoded tokens + the current token).
-            let logits = self.model.decode_step(next, &mut caches);
-            next = sampler.sample(&logits);
-            tokens.push(next);
-
-            // 3. Ship newly staged tokens to the worker, one batch in flight
-            //    per layer to keep ordering trivial.
-            for (layer, cache) in caches.iter().enumerate() {
-                if sent[layer] == 0 {
-                    if let Some((keys, values)) = cache.encodable_dense() {
-                        sent[layer] = keys.rows();
-                        worker.submit(EncodeRequest {
-                            layer,
-                            keys,
-                            values,
-                        });
-                    }
-                }
-            }
-        }
-
-        // Let the stream drain, then flush anything that was never shipped
-        // (only one batch per layer is kept in flight during decoding), so
-        // the final memory accounting reflects the steady state.
-        for result in worker.drain_all() {
-            sent[result.layer] -= result.tokens;
-            caches[result.layer].absorb_encoded(result.encoded);
-            async_batches += 1;
-        }
-        for (layer, cache) in caches.iter_mut().enumerate() {
-            if let Some((keys, values)) = cache.encodable_dense() {
-                let encoded = PqKvCache::encode_tokens(
-                    &self.codebooks.key[layer],
-                    &self.codebooks.value[layer],
-                    &self.model.cache_layout(),
-                    &keys,
-                    &values,
-                );
-                cache.absorb_encoded(encoded);
-            }
-        }
-
-        self.finish_result(tokens, prompt.len(), &caches, async_batches)
-    }
 }
 
 #[cfg(test)]
@@ -305,18 +176,7 @@ mod tests {
     use super::*;
     use million_model::ModelConfig;
 
-    fn engine(async_quant: bool, seed: u64) -> MillionEngine {
-        let config = ModelConfig::tiny_for_tests();
-        let model = Transformer::new(config.clone(), seed);
-        let calibration: Vec<u32> = (0..96).map(|i| ((i * 13 + 5) % config.vocab_size) as u32).collect();
-        let mut engine_cfg = MillionConfig::four_bit(config.head_dim());
-        engine_cfg.async_quant = async_quant;
-        MillionEngine::new(model, engine_cfg, &calibration).expect("engine builds")
-    }
-
-    fn prompt() -> Vec<u32> {
-        vec![3, 9, 27, 81, 11, 33, 99, 41, 2, 6, 18, 54]
-    }
+    use crate::test_fixtures::{engine, prompt};
 
     #[test]
     fn sync_generation_produces_requested_tokens_and_compresses() {
@@ -325,7 +185,11 @@ mod tests {
         let result = engine.generate(&prompt(), 16, &mut sampler);
         assert_eq!(result.tokens.len(), 16);
         assert_eq!(result.prefill_tokens, prompt().len());
-        assert!(result.compression_ratio() < 0.35, "ratio {}", result.compression_ratio());
+        assert!(
+            result.compression_ratio() < 0.35,
+            "ratio {}",
+            result.compression_ratio()
+        );
         assert_eq!(result.async_batches, 0);
     }
 
@@ -363,7 +227,7 @@ mod tests {
         let engine = engine(true, 2);
         let mut sampler = Sampler::greedy();
         let result = engine.generate(&prompt(), 24, &mut sampler);
-        // After drain_all at the end, at most the configured residual remains
+        // After the final flush, at most the configured residual remains
         // dense (residual_len = 0 for this engine).
         assert_eq!(result.residual_tokens, 0);
         assert!(result.kv_bytes > 0);
@@ -375,7 +239,9 @@ mod tests {
         let mut sampler = Sampler::greedy();
         let reference = engine.generate_reference(&prompt(), 8, &mut sampler);
         assert_eq!(reference.len(), 8);
-        assert!(reference.iter().all(|&t| (t as usize) < engine.model().config().vocab_size));
+        assert!(reference
+            .iter()
+            .all(|&t| (t as usize) < engine.model().config().vocab_size));
     }
 
     #[test]
@@ -390,7 +256,10 @@ mod tests {
             .zip(quantized.iter())
             .filter(|(a, b)| a == b)
             .count();
-        assert!(agree >= 12, "agreement {agree}/16: {reference:?} vs {quantized:?}");
+        assert!(
+            agree >= 12,
+            "agreement {agree}/16: {reference:?} vs {quantized:?}"
+        );
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //! 1. **Offline codebook training** ([`trainer`]) — run the model over a
 //!    calibration stream, sample its keys/values, and fit per-layer product
 //!    quantization codebooks.
-//! 2. **Prefill with KV quantization** — the prompt is processed with
-//!    full-precision attention, then its KV is encoded into PQ codes.
+//! 2. **Persistent sessions** ([`session`]) — an [`InferenceSession`] owns a
+//!    sequence's quantized KV caches across prefill, decoding, and follow-up
+//!    turns, streaming one token (plus telemetry) per [`InferenceSession::step`].
 //! 3. **Decode with KV quantization** — attention over the history is
 //!    computed directly on the codes through per-query lookup tables; the
 //!    current token stays full precision and is merged with an online
@@ -17,34 +18,57 @@
 //! 4. **Asynchronous quantization** ([`async_quant`]) — freshly generated KV
 //!    is encoded on a background worker (the paper's low-priority CUDA
 //!    stream) so encoding never blocks the decode critical path.
+//! 5. **Multi-session serving** ([`scheduler`]) — a [`BatchScheduler`]
+//!    round-robin interleaves decode steps of many concurrent sessions
+//!    through one shared quantization worker.
+//!
+//! ## Quickstart: a streaming chat session
 //!
 //! ```no_run
-//! use million::{MillionConfig, MillionEngine};
-//! use million_model::{ModelConfig, Sampler, Transformer};
+//! use million::{GenerationOptions, MillionConfig, MillionEngine, StopCriteria};
+//! use million_model::{ModelConfig, Transformer};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let config = ModelConfig::llama2_7b_sim();
 //! let model = Transformer::new(config.clone(), 42);
 //! let calibration: Vec<u32> = (0..512).map(|i| (i * 7 % config.vocab_size as u32)).collect();
 //! let engine = MillionEngine::new(model, MillionConfig::four_bit(config.head_dim()), &calibration)?;
-//! let mut sampler = Sampler::greedy();
-//! let result = engine.generate(&[1, 2, 3, 4], 32, &mut sampler);
-//! println!("generated {} tokens, cache is {:.1}% of fp16",
-//!          result.tokens.len(), result.compression_ratio() * 100.0);
+//!
+//! // One persistent session per user; its PQ-compressed cache survives turns.
+//! let mut session = engine.session();
+//! session.prefill(&[1, 2, 3, 4]);
+//! for step in session.stream(GenerationOptions::max_tokens(32).with_stop(StopCriteria::eos(0))) {
+//!     println!("token {} @ {} (cache {} B, {} batches quantized in background)",
+//!              step.token, step.position, step.kv_bytes, step.async_batches);
+//! }
+//!
+//! // A follow-up turn attends to the already-quantized history — nothing is
+//! // re-prefetched or re-encoded.
+//! session.append_prompt(&[9, 8, 7]);
+//! let reply = session.generate(&GenerationOptions::max_tokens(16));
+//! println!("turn 2: {} tokens, cache at {:.1}% of fp16",
+//!          reply.tokens.len(), reply.compression_ratio() * 100.0);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! To serve several users at once, admit their prompts to a
+//! [`BatchScheduler`] instead (see `examples/multi_user_serving.rs`).
 
 #![warn(missing_docs)]
 
 pub mod async_quant;
 pub mod config;
 pub mod engine;
+pub mod scheduler;
+pub mod session;
 pub mod trainer;
 
 pub use async_quant::QuantWorker;
 pub use config::MillionConfig;
 pub use engine::{GenerationResult, MillionEngine};
+pub use scheduler::{BatchScheduler, SessionReport};
+pub use session::{GenerationOptions, InferenceSession, SessionStream, StepResult, StopCriteria};
 pub use trainer::{train_codebooks, TrainedCodebooks};
 
 /// Errors produced by the MILLION engine.
@@ -81,13 +105,36 @@ impl From<million_quant::QuantError> for MillionError {
 }
 
 #[cfg(test)]
+pub(crate) mod test_fixtures {
+    use million_model::{ModelConfig, Transformer};
+
+    use crate::{MillionConfig, MillionEngine};
+
+    /// The tiny engine shared by the engine/session/scheduler test modules.
+    pub(crate) fn engine(async_quant: bool, seed: u64) -> MillionEngine {
+        let config = ModelConfig::tiny_for_tests();
+        let model = Transformer::new(config.clone(), seed);
+        let calibration: Vec<u32> = (0..96)
+            .map(|i| ((i * 13 + 5) % config.vocab_size) as u32)
+            .collect();
+        let mut engine_cfg = MillionConfig::four_bit(config.head_dim());
+        engine_cfg.async_quant = async_quant;
+        MillionEngine::new(model, engine_cfg, &calibration).expect("engine builds")
+    }
+
+    /// A short fixed prompt within the tiny model's vocabulary.
+    pub(crate) fn prompt() -> Vec<u32> {
+        vec![3, 9, 27, 81, 11, 33, 99, 41, 2, 6, 18, 54]
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn error_display_and_source() {
-        let err: MillionError =
-            million_quant::QuantError::InvalidConfig("nbits".into()).into();
+        let err: MillionError = million_quant::QuantError::InvalidConfig("nbits".into()).into();
         assert!(err.to_string().contains("nbits"));
         assert!(std::error::Error::source(&err).is_some());
         let err = MillionError::InvalidConfig("bad".into());

@@ -1,0 +1,301 @@
+//! Multi-session batch scheduling: the serving layer over
+//! [`InferenceSession`].
+//!
+//! A [`BatchScheduler`] owns N concurrent sessions of one engine and
+//! round-robin interleaves their decode steps. All sessions share a single
+//! [`QuantWorker`] — the software analogue of the paper's one low-priority
+//! CUDA stream serving the whole GPU — and the scheduler routes finished
+//! encode blocks back to the session that staged them using the session tag
+//! on every [`crate::async_quant::EncodeResult`].
+//!
+//! Sessions keep fully independent KV caches, so interleaving never changes
+//! *what* attention sees for a given session — with synchronous quantization
+//! the scheduler is token-for-token identical to running the same sessions
+//! serially, and with the asynchronous stream it differs only in encode
+//! timing (exactly the transient the paper's Fig. 4 design permits).
+
+use million_model::Sampler;
+
+use crate::async_quant::QuantWorker;
+use crate::engine::MillionEngine;
+use crate::session::{GenerationOptions, InferenceSession, StepResult};
+
+/// Final state of one scheduled session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReport {
+    /// Scheduler-assigned session id (index of [`BatchScheduler::add_session`]
+    /// calls).
+    pub session: usize,
+    /// Every token the session generated.
+    pub tokens: Vec<u32>,
+    /// Prompt tokens the session consumed.
+    pub prompt_tokens: usize,
+    /// Final KV-cache bytes across all layers.
+    pub kv_bytes: usize,
+    /// What an fp16 cache of the same length would use.
+    pub fp16_kv_bytes: usize,
+    /// Encoded blocks the session absorbed from the shared worker.
+    pub async_batches: usize,
+    /// Whether generation ended on a stop token (as opposed to the length
+    /// budget).
+    pub stopped_early: bool,
+}
+
+struct Slot<'e> {
+    session: InferenceSession<'e>,
+    sampler: Sampler,
+    options: GenerationOptions,
+    tokens: Vec<u32>,
+    stopped_early: bool,
+    done: bool,
+}
+
+/// Round-robin scheduler interleaving decode steps of N concurrent sessions
+/// through one shared quantization worker.
+pub struct BatchScheduler<'e> {
+    engine: &'e MillionEngine,
+    worker: Option<QuantWorker>,
+    slots: Vec<Slot<'e>>,
+}
+
+impl<'e> BatchScheduler<'e> {
+    /// Creates an empty scheduler for `engine`. The shared quantization
+    /// worker is spawned lazily with the first session when the engine runs
+    /// asynchronously.
+    pub fn new(engine: &'e MillionEngine) -> Self {
+        Self {
+            engine,
+            worker: None,
+            slots: Vec::new(),
+        }
+    }
+
+    /// Admits a new session: prefills `prompt` and queues it for decoding
+    /// under `options`. Returns the session id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prompt is empty or exceeds the model's context window.
+    pub fn add_session(
+        &mut self,
+        prompt: &[u32],
+        options: GenerationOptions,
+        sampler: Sampler,
+    ) -> usize {
+        let id = self.slots.len();
+        if self.engine.config().async_quant && self.worker.is_none() {
+            self.worker = Some(QuantWorker::spawn(
+                self.engine.codebooks().key.clone(),
+                self.engine.codebooks().value.clone(),
+                self.engine.model().cache_layout(),
+            ));
+        }
+        let mut session = InferenceSession::new(self.engine, id, true);
+        session.prefill(prompt);
+        self.slots.push(Slot {
+            session,
+            sampler,
+            options,
+            tokens: Vec::new(),
+            stopped_early: false,
+            done: false,
+        });
+        id
+    }
+
+    /// Number of sessions still decoding.
+    pub fn active_sessions(&self) -> usize {
+        self.slots.iter().filter(|s| !s.done).count()
+    }
+
+    /// Total sessions admitted.
+    pub fn total_sessions(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Aggregate KV-cache bytes across all sessions.
+    pub fn kv_bytes(&self) -> usize {
+        self.slots.iter().map(|s| s.session.kv_bytes()).sum()
+    }
+
+    /// Aggregate fp16-equivalent bytes across all sessions.
+    pub fn fp16_kv_bytes(&self) -> usize {
+        self.slots.iter().map(|s| s.session.fp16_kv_bytes()).sum()
+    }
+
+    /// Runs one scheduling round: every active session decodes exactly one
+    /// token. Returns `(session_id, step)` for each token produced this
+    /// round; an empty vector means every session is finished.
+    pub fn step_round(&mut self) -> Vec<(usize, StepResult)> {
+        let mut produced = Vec::new();
+        for idx in 0..self.slots.len() {
+            if self.slots[idx].done {
+                continue;
+            }
+            // Route everything the shared worker finished so far to its
+            // owning session (absorb-before-attend, as in the single-session
+            // loop).
+            self.route_finished();
+            let slot = &mut self.slots[idx];
+            let mut step = slot.session.step_with(&mut slot.sampler);
+            slot.tokens.push(step.token);
+            if slot.options.stop.matches(step.token) {
+                step.matched_stop = true;
+                slot.stopped_early = true;
+                slot.done = true;
+            } else if slot.tokens.len() >= slot.options.max_new_tokens {
+                slot.done = true;
+            }
+            // Ship the tokens this step staged through the shared worker.
+            let requests = self.slots[idx].session.take_encode_requests();
+            if let Some(worker) = &mut self.worker {
+                for request in requests {
+                    worker.submit(request);
+                }
+            }
+            produced.push((idx, step));
+        }
+        produced
+    }
+
+    /// Decodes every session to completion and returns the per-session
+    /// reports (indexed by session id).
+    pub fn run_to_completion(mut self) -> Vec<SessionReport> {
+        while !self.step_round().is_empty() {}
+        self.finish()
+    }
+
+    /// Flushes the shared quantization stream and returns the per-session
+    /// reports (indexed by session id).
+    pub fn finish(mut self) -> Vec<SessionReport> {
+        if let Some(worker) = &mut self.worker {
+            for result in worker.drain_all() {
+                self.slots[result.session].session.absorb(result);
+            }
+        }
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .map(|(id, slot)| {
+                slot.session.flush();
+                SessionReport {
+                    session: id,
+                    tokens: std::mem::take(&mut slot.tokens),
+                    prompt_tokens: slot.session.prompt_tokens(),
+                    kv_bytes: slot.session.kv_bytes(),
+                    fp16_kv_bytes: slot.session.fp16_kv_bytes(),
+                    async_batches: slot.session.async_batches(),
+                    stopped_early: slot.stopped_early,
+                }
+            })
+            .collect()
+    }
+
+    fn route_finished(&mut self) {
+        if let Some(worker) = &mut self.worker {
+            for result in worker.try_drain() {
+                self.slots[result.session].session.absorb(result);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::test_fixtures::engine;
+    use crate::{GenerationOptions, StopCriteria};
+
+    fn prompts() -> Vec<Vec<u32>> {
+        vec![
+            vec![3, 9, 27, 81, 11, 33],
+            vec![5, 10, 20, 40, 80],
+            vec![7, 14, 28, 56, 112, 97, 61],
+            vec![2, 4, 8, 16, 32, 64],
+        ]
+    }
+
+    #[test]
+    fn scheduler_matches_serial_execution_in_sync_mode() {
+        let engine = engine(false, 0);
+        let mut scheduler = BatchScheduler::new(&engine);
+        for p in prompts() {
+            scheduler.add_session(&p, GenerationOptions::max_tokens(10), Sampler::greedy());
+        }
+        assert_eq!(scheduler.total_sessions(), 4);
+        let reports = scheduler.run_to_completion();
+
+        for (p, report) in prompts().iter().zip(reports.iter()) {
+            let mut session = engine.session();
+            session.prefill(p);
+            let serial = session.generate(&GenerationOptions::max_tokens(10));
+            assert_eq!(report.tokens, serial.tokens, "prompt {p:?}");
+        }
+    }
+
+    #[test]
+    fn scheduler_drives_async_sessions_through_shared_worker() {
+        let engine = engine(true, 1);
+        let mut scheduler = BatchScheduler::new(&engine);
+        for p in prompts() {
+            scheduler.add_session(&p, GenerationOptions::max_tokens(16), Sampler::greedy());
+        }
+        let reports = scheduler.run_to_completion();
+        assert_eq!(reports.len(), 4);
+        for report in &reports {
+            assert_eq!(report.tokens.len(), 16);
+            assert!(report.kv_bytes > 0);
+            assert!(report.kv_bytes < report.fp16_kv_bytes);
+        }
+        // The shared worker actually carried traffic for the batch.
+        assert!(reports.iter().map(|r| r.async_batches).sum::<usize>() > 0);
+    }
+
+    #[test]
+    fn sessions_finish_independently_on_stop_tokens() {
+        let engine = engine(false, 2);
+        // Discover what the first session's second token will be, then stop
+        // on it; the other session runs to its full budget.
+        let p = prompts();
+        let mut probe = engine.session();
+        probe.prefill(&p[0]);
+        let probed: Vec<u32> = probe
+            .stream(GenerationOptions::max_tokens(2))
+            .map(|s| s.token)
+            .collect();
+        let target = probed[1];
+        let expected_len = probed.iter().position(|&t| t == target).unwrap() + 1;
+
+        let mut scheduler = BatchScheduler::new(&engine);
+        scheduler.add_session(
+            &p[0],
+            GenerationOptions::max_tokens(12).with_stop(StopCriteria::eos(target)),
+            Sampler::greedy(),
+        );
+        scheduler.add_session(&p[1], GenerationOptions::max_tokens(12), Sampler::greedy());
+        let mut rounds = 0;
+        while !scheduler.step_round().is_empty() {
+            rounds += 1;
+        }
+        assert_eq!(rounds, 12);
+        let reports = scheduler.finish();
+        assert_eq!(reports[0].tokens.len(), expected_len);
+        assert!(reports[0].stopped_early);
+        assert_eq!(reports[1].tokens.len(), 12);
+        assert!(!reports[1].stopped_early);
+    }
+
+    #[test]
+    fn aggregate_accounting_sums_over_sessions() {
+        let engine = engine(false, 3);
+        let mut scheduler = BatchScheduler::new(&engine);
+        for p in prompts() {
+            scheduler.add_session(&p, GenerationOptions::max_tokens(4), Sampler::greedy());
+        }
+        let _ = scheduler.step_round();
+        assert!(scheduler.kv_bytes() > 0);
+        assert!(scheduler.kv_bytes() < scheduler.fp16_kv_bytes());
+        assert_eq!(scheduler.active_sessions(), 4);
+    }
+}

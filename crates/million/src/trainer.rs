@@ -62,7 +62,7 @@ pub fn train_codebooks(
     }
     let model_config = model.config();
     let head_dim = model_config.head_dim();
-    if head_dim % config.pq.m != 0 {
+    if !head_dim.is_multiple_of(config.pq.m) {
         return Err(QuantError::ShapeMismatch(format!(
             "head_dim {head_dim} is not divisible by M = {}",
             config.pq.m
@@ -173,7 +173,8 @@ mod tests {
         let config = ModelConfig::tiny_for_tests();
         let model = Transformer::new(config.clone(), 4);
         let engine_cfg = MillionConfig::four_bit(config.head_dim());
-        let cbs = train_codebooks(&model, &calibration(config.vocab_size, 60), &engine_cfg).unwrap();
+        let cbs =
+            train_codebooks(&model, &calibration(config.vocab_size, 60), &engine_cfg).unwrap();
         let spec = cbs.to_pq_spec(7, false);
         assert_eq!(spec.residual_len, 7);
         assert!(!spec.auto_encode);

@@ -148,10 +148,7 @@ mod tests {
         let keys = normal_matrix(&mut seeded_rng(1), 4, config.kv_width(), 0.0, 1.0);
         caches[0].append(&keys, &keys);
         caches[1].append(&keys, &keys);
-        assert_eq!(
-            total_cache_bytes(&caches),
-            2 * caches[0].memory_bytes()
-        );
+        assert_eq!(total_cache_bytes(&caches), 2 * caches[0].memory_bytes());
     }
 
     #[test]

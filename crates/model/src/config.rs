@@ -95,13 +95,13 @@ impl ModelConfig {
     ///
     /// Returns a human-readable description of the first inconsistency found.
     pub fn validate(&self) -> Result<(), String> {
-        if self.d_model % self.n_heads != 0 {
+        if !self.d_model.is_multiple_of(self.n_heads) {
             return Err(format!(
                 "d_model {} not divisible by n_heads {}",
                 self.d_model, self.n_heads
             ));
         }
-        if self.n_heads % self.n_kv_heads.max(1) != 0 {
+        if !self.n_heads.is_multiple_of(self.n_kv_heads.max(1)) {
             return Err(format!(
                 "n_heads {} not divisible by n_kv_heads {}",
                 self.n_heads, self.n_kv_heads
@@ -110,7 +110,7 @@ impl ModelConfig {
         if self.n_kv_heads == 0 || self.n_layers == 0 || self.vocab_size == 0 {
             return Err("n_kv_heads, n_layers and vocab_size must be nonzero".into());
         }
-        if self.head_dim() % 2 != 0 {
+        if !self.head_dim().is_multiple_of(2) {
             if let Positional::Rope { .. } = self.positional {
                 return Err("RoPE requires an even head_dim".into());
             }
@@ -268,7 +268,9 @@ mod tests {
     #[test]
     fn all_presets_validate() {
         for preset in ModelConfig::table1_presets() {
-            preset.validate().unwrap_or_else(|e| panic!("{}: {e}", preset.name));
+            preset
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", preset.name));
         }
         ModelConfig::tiny_for_tests().validate().unwrap();
         ModelConfig::tiny_gqa_for_tests().validate().unwrap();

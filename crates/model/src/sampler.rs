@@ -56,12 +56,10 @@ impl Sampler {
                 rng,
             } => {
                 let k = (*top_k).min(logits.len());
-                let mut indexed: Vec<(usize, f32)> =
-                    logits.iter().copied().enumerate().collect();
+                let mut indexed: Vec<(usize, f32)> = logits.iter().copied().enumerate().collect();
                 indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
                 indexed.truncate(k);
-                let mut probs: Vec<f32> =
-                    indexed.iter().map(|(_, l)| l / *temperature).collect();
+                let mut probs: Vec<f32> = indexed.iter().map(|(_, l)| l / *temperature).collect();
                 softmax_in_place(&mut probs);
                 let draw: f32 = rng.gen_range(0.0..1.0);
                 let mut cumulative = 0.0;

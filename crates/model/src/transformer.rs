@@ -123,7 +123,8 @@ impl Transformer {
                 (t as usize) < self.config.vocab_size,
                 "token id {t} outside vocabulary"
             );
-            x.row_mut(i).copy_from_slice(self.weights.embedding.row(t as usize));
+            x.row_mut(i)
+                .copy_from_slice(self.weights.embedding.row(t as usize));
             if let Some(pe) = &self.weights.position_embedding {
                 let pos = (start_pos + i).min(pe.rows() - 1);
                 let pe_row = pe.row(pos);
@@ -337,6 +338,39 @@ impl Transformer {
         Matrix::from_row(&x)
             .matmul_transposed(&self.weights.embedding)
             .into_vec()
+    }
+
+    /// Continues a sequence whose KV already lives in `caches`: feeds each of
+    /// `tokens` through the decode path (attending to the cached — possibly
+    /// quantized — history at its running position) and returns the logits of
+    /// every fed position as a `[tokens, vocab]` matrix.
+    ///
+    /// This is the cache-reuse counterpart of [`Self::prefill`]: a later
+    /// conversation turn or a teacher-forced evaluation segment extends the
+    /// existing caches instead of rebuilding them from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty, if `caches.len() != n_layers`, or if the
+    /// extended sequence would exceed `max_seq_len`.
+    pub fn extend<C: KvCache>(&self, tokens: &[u32], caches: &mut [C]) -> Matrix {
+        assert!(!tokens.is_empty(), "extend requires at least one token");
+        assert_eq!(
+            caches.len(),
+            self.config.n_layers,
+            "one cache per layer required"
+        );
+        let start = caches.first().map_or(0, |c| c.len());
+        assert!(
+            start + tokens.len() <= self.config.max_seq_len,
+            "extended sequence longer than max_seq_len"
+        );
+        let mut out = Matrix::zeros(tokens.len(), self.config.vocab_size);
+        for (i, &token) in tokens.iter().enumerate() {
+            let logits = self.decode_step(token, caches);
+            out.row_mut(i).copy_from_slice(&logits);
+        }
+        out
     }
 }
 

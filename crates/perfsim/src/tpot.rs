@@ -19,11 +19,7 @@ const ACTIVATION_GB: f64 = 4.0;
 /// Includes fp16 weights, the method's cache storage, its working-set
 /// multiplier (de-quantization buffers, mirrors), and a fixed activation
 /// budget.
-pub fn memory_required_gb(
-    geom: &ModelGeometry,
-    method: &KvCacheMethod,
-    context_len: usize,
-) -> f64 {
+pub fn memory_required_gb(geom: &ModelGeometry, method: &KvCacheMethod, context_len: usize) -> f64 {
     let weights = geom.weight_bytes_fp16();
     let kv = method.kv_bytes_per_token_layer(geom.kv_width(), geom.head_dim())
         * (context_len * geom.n_layers) as f64;
@@ -105,16 +101,39 @@ pub fn decode_step_breakdown_with(
     ));
 
     // --- Positional / bookkeeping operators (small, constant).
-    ops.push(OpCost::roofline(gpu, "rotary_emb", layers * d * 4.0, 0.0, layers * d * 8.0));
-    ops.push(OpCost::roofline(gpu, "causal_mask", layers * ctx * 4.0, 0.0, layers * ctx));
-    ops.push(OpCost::roofline(gpu, "repeat_kv", layers * kv_width * 4.0, 0.0, 0.0));
-    ops.push(OpCost::roofline(gpu, "contiguous", layers * d * 8.0, 0.0, 0.0));
+    ops.push(OpCost::roofline(
+        gpu,
+        "rotary_emb",
+        layers * d * 4.0,
+        0.0,
+        layers * d * 8.0,
+    ));
+    ops.push(OpCost::roofline(
+        gpu,
+        "causal_mask",
+        layers * ctx * 4.0,
+        0.0,
+        layers * ctx,
+    ));
+    ops.push(OpCost::roofline(
+        gpu,
+        "repeat_kv",
+        layers * kv_width * 4.0,
+        0.0,
+        0.0,
+    ));
+    ops.push(OpCost::roofline(
+        gpu,
+        "contiguous",
+        layers * d * 8.0,
+        0.0,
+        0.0,
+    ));
 
     // --- Attention over the cache (the operator the paper optimises).
     let kv_bytes_per_token = method.kv_bytes_per_token_layer(geom.kv_width(), geom.head_dim());
     let cache_bytes = kv_bytes_per_token * ctx * layers;
-    let dequant_flops =
-        method.dequant_ops_per_element() * 2.0 * ctx * kv_width * layers;
+    let dequant_flops = method.dequant_ops_per_element() * 2.0 * ctx * kv_width * layers;
     let attention_flops = 4.0 * ctx * d * layers; // QK^T and PV, tensor cores.
     let (sdpa_bytes, lut_flops) = match method {
         KvCacheMethod::MillionPq { m, nbits, .. } => {
@@ -122,12 +141,10 @@ pub fn decode_step_breakdown_with(
             // access-efficiency factor) and the per-layer codebooks are
             // streamed once to build the lookup tables.
             let k = (1usize << *nbits) as f64;
-            let codebook_bytes = layers * 2.0 * (*m as f64) * k * geom.head_dim() as f64
-                / (*m as f64)
-                * 4.0;
+            let codebook_bytes =
+                layers * 2.0 * (*m as f64) * k * geom.head_dim() as f64 / (*m as f64) * 4.0;
             let flops = layers
-                * (2.0 * d * k
-                    + 2.0 * ctx * (*m as f64) * (kv_width / geom.head_dim() as f64));
+                * (2.0 * d * k + 2.0 * ctx * (*m as f64) * (kv_width / geom.head_dim() as f64));
             (
                 cache_bytes / overheads.lut_gather_efficiency + codebook_bytes,
                 flops,
@@ -313,7 +330,16 @@ mod tests {
     fn breakdown_contains_the_fig7_operators() {
         let (gpu, geom) = setup();
         let b = decode_step_breakdown(&gpu, &geom, &KvCacheMethod::Fp16, 4096).unwrap();
-        for op in ["cat", "causal_mask", "contiguous", "o_proj", "qkv_proj", "repeat_kv", "rotary_emb", "sdpa"] {
+        for op in [
+            "cat",
+            "causal_mask",
+            "contiguous",
+            "o_proj",
+            "qkv_proj",
+            "repeat_kv",
+            "rotary_emb",
+            "sdpa",
+        ] {
             assert!(b.op_names().contains(&op), "missing operator {op}");
         }
     }

@@ -182,10 +182,10 @@ fn init_plus_plus(samples: &Matrix, k: usize, rng: &mut StdRng) -> Matrix {
             chosen
         };
         centroids.row_mut(c).copy_from_slice(samples.row(pick));
-        for i in 0..n {
+        for (i, slot) in min_dist.iter_mut().enumerate() {
             let d = squared_distance(samples.row(i), centroids.row(c));
-            if d < min_dist[i] {
-                min_dist[i] = d;
+            if d < *slot {
+                *slot = d;
             }
         }
     }

@@ -264,8 +264,8 @@ mod tests {
         let q = NuqMatrix::quantize(&m, 4, NuqGranularity::PerToken, 0).unwrap();
         let mut row = vec![0.0; 6];
         q.dequantize_row_into(3, &mut row);
-        for c in 0..6 {
-            assert_eq!(row[c], q.dequantize_element(3, c));
+        for (c, &v) in row.iter().enumerate() {
+            assert_eq!(v, q.dequantize_element(3, c));
         }
     }
 

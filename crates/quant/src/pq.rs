@@ -523,7 +523,11 @@ impl ValueAccumulator {
     pub fn finish_into(&self, codebook: &PqCodebook, out: &mut [f32]) {
         assert_eq!(out.len(), codebook.dim(), "output buffer length mismatch");
         assert_eq!(codebook.config().m, self.m, "codebook m mismatch");
-        assert_eq!(codebook.config().codebook_size(), self.k, "codebook k mismatch");
+        assert_eq!(
+            codebook.config().codebook_size(),
+            self.k,
+            "codebook k mismatch"
+        );
         let dsub = codebook.dsub();
         out.iter_mut().for_each(|v| *v = 0.0);
         for sub in 0..self.m {
@@ -646,7 +650,11 @@ mod tests {
             err += ((decoded.get(r, 0) - data.get(r, 0)) as f64).powi(2);
             mag += (data.get(r, 0) as f64).powi(2);
         }
-        assert!(err / mag < 0.05, "relative outlier-channel error too big: {}", err / mag);
+        assert!(
+            err / mag < 0.05,
+            "relative outlier-channel error too big: {}",
+            err / mag
+        );
     }
 
     #[test]
@@ -658,12 +666,12 @@ mod tests {
         let decoded = cb.decode_matrix(&codes);
         let mut lut_scores = Vec::new();
         lut.scores(&codes, &mut lut_scores);
-        for i in 0..codes.len() {
+        for (i, &score) in lut_scores.iter().enumerate() {
             let exact = dot(&query, decoded.row(i));
             assert!(
-                (lut_scores[i] - exact).abs() < 1e-3,
+                (score - exact).abs() < 1e-3,
                 "token {i}: {} vs {}",
-                lut_scores[i],
+                score,
                 exact
             );
         }

@@ -306,8 +306,7 @@ mod tests {
     fn rejects_zero_bits() {
         let m = sample_matrix(0);
         assert!(
-            QuantizedMatrix::quantize(&m, 0, Symmetry::Asymmetric, Granularity::PerTensor)
-                .is_err()
+            QuantizedMatrix::quantize(&m, 0, Symmetry::Asymmetric, Granularity::PerTensor).is_err()
         );
     }
 
@@ -354,8 +353,7 @@ mod tests {
             m.set(r, 0, v);
         }
         let per_tensor =
-            QuantizedMatrix::quantize(&m, 4, Symmetry::Asymmetric, Granularity::PerTensor)
-                .unwrap();
+            QuantizedMatrix::quantize(&m, 4, Symmetry::Asymmetric, Granularity::PerTensor).unwrap();
         let per_channel =
             QuantizedMatrix::quantize(&m, 4, Symmetry::Asymmetric, Granularity::PerChannel)
                 .unwrap();
@@ -402,10 +400,10 @@ mod tests {
     #[test]
     fn memory_accounting_reflects_bit_width() {
         let m = sample_matrix(5);
-        let q4 = QuantizedMatrix::quantize(&m, 4, Symmetry::Asymmetric, Granularity::PerTensor)
-            .unwrap();
-        let q8 = QuantizedMatrix::quantize(&m, 8, Symmetry::Asymmetric, Granularity::PerTensor)
-            .unwrap();
+        let q4 =
+            QuantizedMatrix::quantize(&m, 4, Symmetry::Asymmetric, Granularity::PerTensor).unwrap();
+        let q8 =
+            QuantizedMatrix::quantize(&m, 8, Symmetry::Asymmetric, Granularity::PerTensor).unwrap();
         assert!(q4.memory_bytes() < q8.memory_bytes());
         assert_eq!(q8.memory_bytes(), m.len() + 8);
     }

@@ -101,7 +101,11 @@ mod tests {
         let m = xavier_matrix(&mut seeded_rng(3), 256, 256);
         let std = {
             let mean: f32 = m.as_slice().iter().sum::<f32>() / m.len() as f32;
-            (m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / m.len() as f32)
+            (m.as_slice()
+                .iter()
+                .map(|v| (v - mean) * (v - mean))
+                .sum::<f32>()
+                / m.len() as f32)
                 .sqrt()
         };
         let expected = (2.0f32 / 512.0).sqrt();

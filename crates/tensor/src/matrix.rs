@@ -255,10 +255,7 @@ impl Matrix {
             }
         };
         if self.rows * other.cols * k >= PAR_THRESHOLD * 8 {
-            out.data
-                .par_chunks_mut(n)
-                .enumerate()
-                .for_each(compute_row);
+            out.data.par_chunks_mut(n).enumerate().for_each(compute_row);
         } else {
             out.data.chunks_mut(n).enumerate().for_each(compute_row);
         }
@@ -290,10 +287,7 @@ impl Matrix {
             }
         };
         if self.rows * n * k >= PAR_THRESHOLD * 8 {
-            out.data
-                .par_chunks_mut(n)
-                .enumerate()
-                .for_each(compute_row);
+            out.data.par_chunks_mut(n).enumerate().for_each(compute_row);
         } else {
             out.data.chunks_mut(n).enumerate().for_each(compute_row);
         }

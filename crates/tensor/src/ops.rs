@@ -95,7 +95,7 @@ pub fn silu_in_place(values: &mut [f32]) {
 
 /// Tanh-approximated GELU activation applied in place.
 pub fn gelu_in_place(values: &mut [f32]) {
-    const SQRT_2_OVER_PI: f32 = 0.797_884_56;
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
     for v in values.iter_mut() {
         let x = *v;
         let inner = SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x);
@@ -185,7 +185,9 @@ pub fn channel_std(data: &Matrix) -> Vec<f32> {
             *v += d * d;
         }
     }
-    var.iter().map(|v| (v / rows as f64).sqrt() as f32).collect()
+    var.iter()
+        .map(|v| (v / rows as f64).sqrt() as f32)
+        .collect()
 }
 
 /// Per-channel absolute maximum of a `[tokens, channels]` matrix.

@@ -40,7 +40,10 @@ impl Rope {
     ///
     /// Panics if `head_dim` is odd or zero, or if `position_scale <= 0`.
     pub fn new(head_dim: usize, theta: f32, position_scale: f32) -> Self {
-        assert!(head_dim > 0 && head_dim % 2 == 0, "head_dim must be even");
+        assert!(
+            head_dim > 0 && head_dim.is_multiple_of(2),
+            "head_dim must be even"
+        );
         assert!(position_scale > 0.0, "position_scale must be positive");
         let half = head_dim / 2;
         let inv_freq = (0..half)
@@ -83,7 +86,11 @@ impl Rope {
     /// Applies the rotation to every row of a `[tokens, head_dim]` block where
     /// row `i` sits at absolute position `start_pos + i`.
     pub fn apply_block(&self, rows: &mut [f32], start_pos: usize) {
-        assert_eq!(rows.len() % self.head_dim, 0, "block not a multiple of head_dim");
+        assert_eq!(
+            rows.len() % self.head_dim,
+            0,
+            "block not a multiple of head_dim"
+        );
         for (i, row) in rows.chunks_exact_mut(self.head_dim).enumerate() {
             self.apply(row, start_pos + i);
         }

@@ -18,11 +18,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut capture = KvCapture::new(config.n_layers, config.head_dim(), 384);
     let _ = model.prefill(&stream, &mut caches, Some(&mut capture));
 
-    let keys: Vec<_> = (0..config.n_layers).map(|l| capture.keys(l).clone()).collect();
-    let values: Vec<_> = (0..config.n_layers).map(|l| capture.values(l).clone()).collect();
+    let keys: Vec<_> = (0..config.n_layers)
+        .map(|l| capture.keys(l).clone())
+        .collect();
+    let values: Vec<_> = (0..config.n_layers)
+        .map(|l| capture.values(l).clone())
+        .collect();
     let report = KvDistributionReport::from_captures(config.name.clone(), &keys, &values);
 
-    println!("KV distribution of {} over {} tokens\n", config.name, stream.len());
+    println!(
+        "KV distribution of {} over {} tokens\n",
+        config.name,
+        stream.len()
+    );
     for layer in 0..report.n_layers() {
         let k: &ChannelStats = &report.key_stats[layer];
         let v: &ChannelStats = &report.value_stats[layer];

@@ -1,13 +1,15 @@
-//! Long-context scenario: a Longchat-style model answering after a long
-//! prompt, comparing the fp16 cache against MILLION's PQ cache for memory and
-//! output fidelity, plus the A40 cost model's latency prediction at the
-//! corresponding full-scale context length.
+//! Long-context chat scenario: a Longchat-style model carries one persistent
+//! session across several user turns. The first turn pays the long-document
+//! prefill once; every later turn rides on the already-quantized history via
+//! `append_prompt`, which is exactly the serving pattern MILLION's
+//! PQ-compressed cache exists for. The A40 cost model then predicts the
+//! latency at the corresponding full-scale context length.
 //!
 //! Run with `cargo run --release -p million --example long_context_chat`.
 
-use million::{MillionConfig, MillionEngine};
+use million::{GenerationOptions, MillionConfig, MillionEngine};
 use million_eval::corpus::{CorpusConfig, SyntheticCorpus};
-use million_model::{ModelConfig, Sampler, Transformer};
+use million_model::{ModelConfig, Transformer};
 use million_perfsim::{tpot_ms, GpuSpec, KvCacheMethod, ModelGeometry};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -22,31 +24,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &corpus.generate(512),
     )?;
 
-    // A "long document" prompt (scaled down so the CPU example stays snappy;
-    // raise it freely on a faster machine).
-    let prompt = corpus.generate(1024);
-    let gen_tokens = 48;
+    // Turn 1: a "long document" plus the first question (scaled down so the
+    // CPU example stays snappy; raise it freely on a faster machine).
+    let document = corpus.generate(1024);
+    let answer_len = 32;
 
-    let mut greedy_a = Sampler::greedy();
-    let mut greedy_b = Sampler::greedy();
-    let reference = engine.generate_reference(&prompt, gen_tokens, &mut greedy_a);
-    let result = engine.generate(&prompt, gen_tokens, &mut greedy_b);
-    let agreement = reference
-        .iter()
-        .zip(result.tokens.iter())
-        .filter(|(a, b)| a == b)
-        .count();
+    let mut session = engine.session();
+    let t0 = std::time::Instant::now();
+    session.prefill(&document);
+    let prefill_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let turn1 = session.generate(&GenerationOptions::max_tokens(answer_len));
 
     println!("long-context chat with {}", config.name);
-    println!("prompt length          : {} tokens", prompt.len());
-    println!("answer length          : {} tokens", result.tokens.len());
     println!(
-        "KV cache               : {:.1} KiB (fp16 would be {:.1} KiB, {:.1}x smaller)",
-        result.kv_bytes as f64 / 1024.0,
-        result.fp16_kv_bytes as f64 / 1024.0,
-        1.0 / result.compression_ratio()
+        "turn 1: {} document tokens prefilled in {prefill_ms:.0} ms,",
+        document.len()
     );
-    println!("agreement with fp16 run: {agreement}/{gen_tokens} tokens");
+    println!(
+        "        answered {} tokens; cache {:.1} KiB (fp16 would be {:.1} KiB, {:.1}x smaller)",
+        turn1.tokens.len(),
+        turn1.kv_bytes as f64 / 1024.0,
+        turn1.fp16_kv_bytes as f64 / 1024.0,
+        1.0 / turn1.compression_ratio()
+    );
+
+    // Turns 2..4: follow-up questions reuse the quantized document instead of
+    // re-prefilling it.
+    for turn in 2..=4 {
+        let question = corpus.generate(24);
+        let t = std::time::Instant::now();
+        session.append_prompt(&question);
+        let reply = session.generate(&GenerationOptions::max_tokens(answer_len));
+        let turn_ms = t.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "turn {turn}: +{} question tokens (no re-prefill), {} answer tokens in {turn_ms:.0} ms; \
+             cache now {} tokens at {:.1}% of fp16",
+            question.len(),
+            reply.tokens.len(),
+            session.cached_tokens(),
+            session.compression_ratio() * 100.0,
+        );
+    }
 
     // What this would mean on the real hardware of the paper.
     let gpu = GpuSpec::a40();

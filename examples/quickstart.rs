@@ -1,9 +1,10 @@
-//! Quickstart: build a model, calibrate MILLION's codebooks, generate text
-//! with a product-quantized KV cache and report the memory saving.
+//! Quickstart: build a model, calibrate MILLION's codebooks, then serve a
+//! streaming session whose product-quantized KV cache persists across decode
+//! steps — reporting the memory saving as it grows.
 //!
 //! Run with `cargo run --release -p million --example quickstart`.
 
-use million::{MillionConfig, MillionEngine};
+use million::{GenerationOptions, MillionConfig, MillionEngine};
 use million_eval::corpus::{CorpusConfig, SyntheticCorpus};
 use million_model::{ModelConfig, Sampler, Transformer};
 
@@ -32,12 +33,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let engine = MillionEngine::new(model, engine_config, &calibration)?;
 
-    // 3. Generate with the quantized cache (asynchronous quantization on).
+    // 3. Open a persistent session and stream tokens from it. The session
+    //    owns the quantized cache and the background quantization worker;
+    //    every step reports live telemetry.
     let prompt = corpus.generate(256);
-    let mut sampler = Sampler::top_k(0.8, 16, 7);
-    let result = engine.generate(&prompt, 64, &mut sampler);
+    let mut session = engine.session();
+    session.set_sampler(Sampler::top_k(0.8, 16, 7));
+    session.prefill(&prompt);
+    println!(
+        "\nstreaming 64 tokens from a {}-token prompt:",
+        prompt.len()
+    );
+    for step in session.stream(GenerationOptions::max_tokens(64)) {
+        if step.position % 16 == 0 {
+            println!(
+                "  position {:>4}: cache {:>7} B (fp16 {:>7} B), {} tokens awaiting encode",
+                step.position, step.kv_bytes, step.fp16_kv_bytes, step.residual_tokens
+            );
+        }
+    }
+    session.flush();
+    println!(
+        "session cache after turn 1: {:.1}% of fp16 ({:.1}x smaller), {} async batches",
+        session.compression_ratio() * 100.0,
+        1.0 / session.compression_ratio(),
+        session.async_batches()
+    );
 
-    // 4. Compare against the fp16 reference generation of the same model.
+    // 4. Compare one-shot generation against the fp16 reference of the same
+    //    model (the compatibility wrappers around sessions).
     let mut greedy_a = Sampler::greedy();
     let mut greedy_b = Sampler::greedy();
     let reference = engine.generate_reference(&prompt, 64, &mut greedy_a);
@@ -47,19 +71,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .zip(quantized.iter())
         .filter(|(a, b)| a == b)
         .count();
-
-    println!("\nprompt tokens        : {}", result.prefill_tokens);
-    println!("generated tokens     : {:?} ...", &result.tokens[..8.min(result.tokens.len())]);
-    println!("KV cache             : {} bytes", result.kv_bytes);
-    println!("fp16 cache would be  : {} bytes", result.fp16_kv_bytes);
-    println!(
-        "compression          : {:.1}% of fp16 ({:.1}x smaller)",
-        result.compression_ratio() * 100.0,
-        1.0 / result.compression_ratio()
-    );
-    println!(
-        "greedy agreement with fp16 reference: {agreement}/64 tokens"
-    );
-    println!("asynchronous quantization batches absorbed: {}", result.async_batches);
+    println!("greedy agreement with fp16 reference: {agreement}/64 tokens");
     Ok(())
 }

@@ -93,7 +93,11 @@ fn engine_cache_spec_plugs_into_the_eval_harnesses() {
     let report =
         evaluate_perplexity_against(engine.model(), &engine.cache_spec(), &stream, 8, &teacher);
     assert!(report.kl_vs_fp16 >= 0.0);
-    assert!(report.kl_vs_fp16 < 1.0, "KL {} too large", report.kl_vs_fp16);
+    assert!(
+        report.kl_vs_fp16 < 1.0,
+        "KL {} too large",
+        report.kl_vs_fp16
+    );
 }
 
 #[test]

@@ -1,0 +1,288 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset this workspace's benches use — `Criterion`
+//! configuration, `bench_function`, benchmark groups with
+//! `bench_with_input`, `Bencher::iter` / `iter_batched` — as a plain
+//! wall-clock harness: warm up for the configured time, then time
+//! `sample_size` samples and print min / mean / max per iteration. No
+//! statistics beyond that; the point is that `cargo bench` compiles and runs
+//! offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so `std::hint::black_box` style call sites can also use
+/// `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Benchmark harness configuration.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration before timing starts.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the target measurement duration (an upper bound here: sampling
+    /// stops early once it is exceeded).
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            config: BenchConfig {
+                sample_size: self.sample_size,
+                warm_up_time: self.warm_up_time,
+                measurement_time: self.measurement_time,
+            },
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    #[doc(hidden)]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+#[derive(Clone, Copy)]
+struct BenchConfig {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Runs a parameterised benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.label);
+        self.criterion.bench_function(&full, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (a no-op; reports are printed per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Identifier of a parameterised benchmark.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the vendored harness
+/// treats every variant identically (one setup per timed iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    config: BenchConfig,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let warm_up_end = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_up_end {
+            black_box(routine());
+        }
+        let measure_start = Instant::now();
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if measure_start.elapsed() > self.config.measurement_time {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; only `routine` is
+    /// timed.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let warm_up_end = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_up_end {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let measure_start = Instant::now();
+        for _ in 0..self.config.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+            if measure_start.elapsed() > self.config.measurement_time {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        let ns: Vec<f64> = self.samples.iter().map(|d| d.as_secs_f64() * 1e9).collect();
+        let min = ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = ns.iter().cloned().fold(0.0, f64::max);
+        let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+        println!(
+            "{name:<50} time: [{} {} {}]",
+            format_ns(min),
+            format_ns(mean),
+            format_ns(max)
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group, mirroring criterion's two macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(50));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn groups_and_batched_iteration_run() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(50));
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,190 @@
+//! Offline stand-in for the `rand_distr` crate: the [`Normal`] and [`Zipf`]
+//! distributions the workspace uses, over the vendored [`rand`] RNG.
+
+use rand::Rng;
+
+/// A distribution over values of type `T`, mirroring
+/// `rand_distr::Distribution`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned by [`Normal::new`] for invalid parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "standard deviation must be finite and non-negative")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Float types [`Normal`] can produce (`f32` / `f64`).
+pub trait Float: Copy {
+    /// `true` when the value is finite and non-negative.
+    fn valid_std(self) -> bool;
+    /// Lossy conversion from `f64`.
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64`.
+    fn to_f64(self) -> f64;
+}
+
+impl Float for f32 {
+    fn valid_std(self) -> bool {
+        self.is_finite() && self >= 0.0
+    }
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+}
+
+impl Float for f64 {
+    fn valid_std(self) -> bool {
+        self.is_finite() && self >= 0.0
+    }
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+/// Gaussian distribution sampled with the Box–Muller transform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+impl<F: Float> Normal<F> {
+    /// Creates a normal distribution with the given mean and standard
+    /// deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NormalError`] if `std_dev` is negative or not finite.
+    pub fn new(mean: F, std_dev: F) -> Result<Self, NormalError> {
+        if !std_dev.valid_std() {
+            return Err(NormalError);
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        // Box–Muller; one fresh pair of uniforms per draw keeps the
+        // distribution stateless (no cached spare).
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        F::from_f64(self.mean.to_f64() + self.std_dev.to_f64() * z)
+    }
+}
+
+/// Error returned by [`Zipf::new`] for invalid parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZipfError;
+
+impl std::fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Zipf requires n >= 1 and a positive exponent")
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
+/// Zipf distribution over ranks `1..=n` with `P(k) ∝ k^-s`, sampled from a
+/// precomputed cumulative table (the workspace's `n` is at most a vocabulary
+/// size, so the table stays small).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `1..=n` with exponent `s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZipfError`] if `n == 0` or `s` is not a positive finite
+    /// number.
+    pub fn new(n: u64, s: f64) -> Result<Self, ZipfError> {
+        if n == 0 || !s.is_finite() || s <= 0.0 {
+            return Err(ZipfError);
+        }
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut total = 0.0f64;
+        for k in 1..=n {
+            total += (k as f64).powf(-s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Ok(Self { cdf })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    /// Returns the sampled rank as a float in `1.0..=n`, matching
+    /// `rand_distr::Zipf`'s output convention.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_close() {
+        let dist = Normal::new(2.0f64, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn normal_rejects_negative_std() {
+        assert!(Normal::new(0.0f32, -1.0).is_err());
+    }
+
+    #[test]
+    fn zipf_ranks_are_in_range_and_skewed() {
+        let dist = Zipf::new(100, 1.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut rank1 = 0usize;
+        for _ in 0..5000 {
+            let r = dist.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&r));
+            if r == 1.0 {
+                rank1 += 1;
+            }
+        }
+        // Rank 1 should dominate: it carries ~19% of the mass at s = 1.1.
+        assert!(rank1 > 500, "rank-1 draws {rank1}");
+    }
+
+    #[test]
+    fn zipf_rejects_bad_parameters() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, 0.0).is_err());
+    }
+}

@@ -1,0 +1,215 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Provides the exact parallel-iterator subset this workspace uses —
+//! `(range).into_par_iter().map(..).collect()` and
+//! `slice.par_chunks_mut(n).enumerate().for_each(..)` — executed on scoped
+//! `std::thread` workers split into contiguous blocks. Work-stealing is not
+//! implemented; the workspace's loops are uniform enough that static
+//! partitioning is within noise of real rayon on these workloads.
+
+use std::ops::Range;
+
+/// Everything a caller needs to `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSliceMut};
+}
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The parallel iterator type produced.
+    type Iter;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Parallel iterator over a `usize` range.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    /// Maps every index through `f` in parallel.
+    pub fn map<T, F>(self, f: F) -> ParMap<F>
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+    {
+        ParMap {
+            range: self.range,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParRange::map`], awaiting a `collect`.
+pub struct ParMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<F> ParMap<F> {
+    /// Evaluates the map in parallel, preserving index order.
+    pub fn collect<C, T>(self) -> C
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+        C: From<Vec<T>>,
+    {
+        let n = self.range.len();
+        let nt = num_threads().min(n).max(1);
+        if nt <= 1 {
+            return self.range.map(&self.f).collect::<Vec<T>>().into();
+        }
+        let start = self.range.start;
+        let per = n.div_ceil(nt);
+        let f = &self.f;
+        let mut pieces: Vec<Vec<T>> = Vec::with_capacity(nt);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..nt)
+                .map(|t| {
+                    let lo = start + t * per;
+                    let hi = (lo + per).min(start + n);
+                    scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+                })
+                .collect();
+            for h in handles {
+                pieces.push(h.join().expect("rayon-shim worker panicked"));
+            }
+        });
+        let mut out = Vec::with_capacity(n);
+        for p in pieces {
+            out.extend(p);
+        }
+        out.into()
+    }
+}
+
+/// Parallel mutable chunk iteration over slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into chunks of `chunk_size` processed in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            data: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Parallel iterator over mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    data: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs every chunk with its index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate {
+            data: self.data,
+            chunk_size: self.chunk_size,
+        }
+    }
+
+    /// Applies `f` to every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// Enumerated variant of [`ParChunksMut`].
+pub struct ParChunksMutEnumerate<'a, T> {
+    data: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    /// Applies `f` to every `(index, chunk)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let chunks: Vec<(usize, &mut [T])> =
+            self.data.chunks_mut(self.chunk_size).enumerate().collect();
+        let n = chunks.len();
+        let nt = num_threads().min(n).max(1);
+        if nt <= 1 {
+            for pair in chunks {
+                f(pair);
+            }
+            return;
+        }
+        let per = n.div_ceil(nt);
+        let mut remaining = chunks;
+        let mut groups: Vec<Vec<(usize, &mut [T])>> = Vec::with_capacity(nt);
+        while !remaining.is_empty() {
+            let take = per.min(remaining.len());
+            let rest = remaining.split_off(take);
+            groups.push(remaining);
+            remaining = rest;
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            for group in groups {
+                scope.spawn(move || {
+                    for pair in group {
+                        f(pair);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_map_collect_preserves_order() {
+        let squares: Vec<usize> = (0..1000).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 1000);
+        for (i, &s) in squares.iter().enumerate() {
+            assert_eq!(s, i * i);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_chunk_once() {
+        let mut data = vec![0usize; 103];
+        data.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i + 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[100], 11);
+    }
+
+    #[test]
+    fn empty_range_collects_empty() {
+        let empty: Vec<u8> = (5..5).into_par_iter().map(|_| 0u8).collect();
+        assert!(empty.is_empty());
+    }
+}

@@ -1,0 +1,257 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! [`Serialize`] writes compact JSON straight into a `String` — enough for
+//! the experiment binaries' report files — and [`Deserialize`] is a marker
+//! (nothing in the workspace deserializes at runtime). The derive macros come
+//! from the vendored `serde_derive`.
+
+// Lets the derive-generated `::serde::...` paths resolve inside this crate's
+// own tests.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization into JSON text.
+pub trait Serialize {
+    /// Appends `self` as compact JSON to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Writes a JSON string literal (with escaping) into `out`.
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes an object key (with its leading comma when needed); used by the
+/// derive-generated code.
+pub fn json_key(out: &mut String, first: &mut bool, name: &str) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    write_json_string(out, name);
+    out.push(':');
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    out.push_str(&self.to_string());
+                } else {
+                    // JSON has no NaN/Infinity; serde_json emits null too.
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(out, self);
+    }
+}
+
+impl Serialize for char {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(out, &self.to_string());
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize_json(out);
+        out.push(',');
+        self.1.serialize_json(out);
+        out.push(']');
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize_json(out);
+        out.push(',');
+        self.1.serialize_json(out);
+        out.push(',');
+        self.2.serialize_json(out);
+        out.push(']');
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize, D: Serialize> Serialize for (A, B, C, D) {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize_json(out);
+        out.push(',');
+        self.1.serialize_json(out);
+        out.push(',');
+        self.2.serialize_json(out);
+        out.push(',');
+        self.3.serialize_json(out);
+        out.push(']');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json<T: Serialize + ?Sized>(v: &T) -> String {
+        let mut out = String::new();
+        v.serialize_json(&mut out);
+        out
+    }
+
+    #[test]
+    fn primitives_serialize() {
+        assert_eq!(json(&5u32), "5");
+        assert_eq!(json(&-3i64), "-3");
+        assert_eq!(json(&true), "true");
+        assert_eq!(json(&1.5f64), "1.5");
+        assert_eq!(json(&f32::NAN), "null");
+        assert_eq!(json("a\"b"), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn containers_serialize() {
+        assert_eq!(json(&vec![1u8, 2, 3]), "[1,2,3]");
+        assert_eq!(json(&Some(7usize)), "7");
+        assert_eq!(json(&Option::<u8>::None), "null");
+        assert_eq!(json(&std::sync::Arc::new(2u8)), "2");
+        assert_eq!(json(&(1u8, "x".to_string())), "[1,\"x\"]");
+    }
+
+    #[test]
+    fn derive_named_struct_and_enum() {
+        #[derive(Serialize)]
+        struct Point {
+            x: f32,
+            y: f32,
+            #[serde(skip)]
+            _scratch: u8,
+        }
+        #[derive(Serialize)]
+        enum Kind {
+            Plain,
+            Scaled { factor: f64 },
+            Pair(u8, u8),
+        }
+        assert_eq!(
+            json(&Point {
+                x: 1.0,
+                y: 2.0,
+                _scratch: 9
+            }),
+            "{\"x\":1,\"y\":2}"
+        );
+        assert_eq!(json(&Kind::Plain), "\"Plain\"");
+        assert_eq!(
+            json(&Kind::Scaled { factor: 0.5 }),
+            "{\"Scaled\":{\"factor\":0.5}}"
+        );
+        assert_eq!(json(&Kind::Pair(1, 2)), "{\"Pair\":[1,2]}");
+    }
+}

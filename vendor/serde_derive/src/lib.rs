@@ -1,0 +1,383 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! crates.io is unreachable in this build environment, so this proc-macro
+//! crate re-implements `#[derive(Serialize, Deserialize)]` for the shapes the
+//! workspace actually contains: non-generic structs with named fields, unit
+//! structs, tuple structs, and enums with unit / named / tuple variants.
+//! `Serialize` generates a real JSON writer (used by the experiment binaries
+//! through the vendored `serde_json`); `Deserialize` is a marker impl only —
+//! nothing in the workspace deserializes at runtime. The `#[serde(skip, ...)]`
+//! field attribute is honoured by omitting the field from the output.
+//!
+//! Parsing works directly on token trees (no `syn`/`quote` available); any
+//! unsupported shape — generics, unions — produces a `compile_error!` so
+//! failures are loud rather than silently wrong.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    /// Named fields that survive `#[serde(skip)]`, plus whether any were
+    /// skipped (controls `..` in match patterns).
+    Named(Vec<String>, bool),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Returns `true` if an attribute token group is `serde(...)` containing the
+/// `skip` option.
+fn attr_is_serde_skip(tokens: &[TokenTree]) -> bool {
+    // Shape inside the outer bracket group: `serde ( skip , ... )`.
+    let mut iter = tokens.iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Consumes leading `#[...]` attributes from `tokens[*i]`, reporting whether
+/// any was `#[serde(skip)]`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut skipped = false;
+    while *i + 1 < tokens.len() {
+        match (&tokens[*i], &tokens[*i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if attr_is_serde_skip(&inner) {
+                    skipped = true;
+                }
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+    skipped
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Advances past a type (or any token run) until a comma at angle-bracket
+/// depth zero, leaving `*i` on the comma (or at the end).
+fn skip_until_field_separator(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Parses `name: Type, ...` named fields from a brace group's tokens.
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Fields, String> {
+    let mut names = Vec::new();
+    let mut any_skipped = false;
+    let mut i = 0;
+    while i < tokens.len() {
+        let skipped = skip_attrs(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_vis(tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected ':' after field name, found {other:?}")),
+        }
+        skip_until_field_separator(tokens, &mut i);
+        i += 1; // past the comma (or end)
+        if skipped {
+            any_skipped = true;
+        } else {
+            names.push(name);
+        }
+    }
+    Ok(Fields::Named(names, any_skipped))
+}
+
+/// Counts tuple fields in a paren group's tokens (comma-separated at
+/// angle-depth zero).
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                parse_named_fields(&inner)?
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Fields::Tuple(count_tuple_fields(&inner))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` and the separating comma.
+        skip_until_field_separator(tokens, &mut i);
+        i += 1;
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "generic type {name} is not supported by the vendored serde_derive"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    parse_named_fields(&inner)?
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Tuple(count_tuple_fields(&inner))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unsupported struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let variants = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    parse_variants(&inner)?
+                }
+                other => return Err(format!("unsupported enum body: {other:?}")),
+            };
+            Ok(Item::Enum { name, variants })
+        }
+        other => Err(format!("cannot derive for a `{other}`")),
+    }
+}
+
+/// Emits statements serializing `{` named fields `}` given an accessor prefix
+/// (`&self.x` for structs, the bound name `x` for enum variants).
+fn named_fields_body(names: &[String], self_access: bool) -> String {
+    let mut code = String::from("out.push('{'); let mut first = true;\n");
+    for n in names {
+        let access = if self_access {
+            format!("&self.{n}")
+        } else {
+            n.clone()
+        };
+        code.push_str(&format!(
+            "::serde::json_key(out, &mut first, {n:?}); ::serde::Serialize::serialize_json({access}, out);\n"
+        ));
+    }
+    code.push_str("let _ = first; out.push('}');\n");
+    code
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let (name, body) = match &item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names, _) => named_fields_body(names, true),
+                Fields::Unit => "out.push_str(\"null\");".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::serialize_json(&self.0, out);".to_string(),
+                Fields::Tuple(n) => {
+                    let mut code = String::from("out.push('[');\n");
+                    for idx in 0..*n {
+                        if idx > 0 {
+                            code.push_str("out.push(',');\n");
+                        }
+                        code.push_str(&format!(
+                            "::serde::Serialize::serialize_json(&self.{idx}, out);\n"
+                        ));
+                    }
+                    code.push_str("out.push(']');\n");
+                    code
+                }
+            };
+            (name.clone(), body)
+        }
+        Item::Enum { name, variants } => {
+            if variants.is_empty() {
+                return compile_error("cannot serialize an empty enum");
+            }
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::write_json_string(out, {vn:?}),\n"
+                    )),
+                    Fields::Named(fields, skipped) => {
+                        let binders = fields.join(", ");
+                        let dots = if *skipped || fields.is_empty() {
+                            ", .."
+                        } else {
+                            ""
+                        };
+                        let dots = dots.trim_start_matches(',').trim();
+                        let pattern = if binders.is_empty() {
+                            format!("{name}::{vn} {{ .. }}")
+                        } else if dots.is_empty() {
+                            format!("{name}::{vn} {{ {binders} }}")
+                        } else {
+                            format!("{name}::{vn} {{ {binders}, {dots} }}")
+                        };
+                        let mut inner =
+                            format!("out.push('{{'); ::serde::write_json_string(out, {vn:?}); out.push(':');\n");
+                        inner.push_str("{ ");
+                        inner.push_str(&named_fields_body(fields, false));
+                        inner.push_str(" }\nout.push('}');");
+                        arms.push_str(&format!("{pattern} => {{ {inner} }}\n"));
+                    }
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let pattern = format!("{name}::{vn}({})", binders.join(", "));
+                        let mut inner =
+                            format!("out.push('{{'); ::serde::write_json_string(out, {vn:?}); out.push(':');\n");
+                        if *n == 1 {
+                            inner.push_str("::serde::Serialize::serialize_json(f0, out);\n");
+                        } else {
+                            inner.push_str("out.push('[');\n");
+                            for (idx, b) in binders.iter().enumerate() {
+                                if idx > 0 {
+                                    inner.push_str("out.push(',');\n");
+                                }
+                                inner.push_str(&format!(
+                                    "::serde::Serialize::serialize_json({b}, out);\n"
+                                ));
+                            }
+                            inner.push_str("out.push(']');\n");
+                        }
+                        inner.push_str("out.push('}');");
+                        arms.push_str(&format!("{pattern} => {{ {inner} }}\n"));
+                    }
+                }
+            }
+            (name.clone(), format!("match self {{ {arms} }}"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn serialize_json(&self, out: &mut ::std::string::String) {{\n{body}\n}}\n}}"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!("#[automatically_derived]\nimpl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}
