@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use million_kvcache::{
-    AttendParams, CacheLayout, FullPrecisionCache, KiviCache, KiviConfig, KvCache, KvQuantCache,
-    KvQuantConfig, PqCacheConfig, PqKvCache,
+    AttendParams, AttendScratch, CacheLayout, FullPrecisionCache, KiviCache, KiviConfig, KvCache,
+    KvQuantCache, KvQuantConfig, PqCacheConfig, PqKvCache,
 };
 use million_quant::pq::{PqCodebook, PqConfig, PqTrainOptions};
 use million_tensor::init::{normal_matrix, seeded_rng};
@@ -61,9 +61,11 @@ fn bench_attention(c: &mut Criterion) {
         for (name, cache) in caches {
             group.bench_with_input(BenchmarkId::new(name, tokens), &tokens, |b, _| {
                 let mut out = vec![0.0f32; HEAD_DIM];
+                let mut scratch = AttendScratch::new();
                 b.iter(|| {
                     cache.attend(
                         &AttendParams::new(0, std::hint::black_box(&query), scale, tokens),
+                        &mut scratch,
                         &mut out,
                     );
                     out[0]

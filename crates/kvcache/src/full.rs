@@ -2,9 +2,10 @@
 
 use million_tensor::alibi::alibi_bias;
 use million_tensor::ops::dot;
-use million_tensor::{Matrix, OnlineSoftmax};
+use million_tensor::Matrix;
 
-use crate::traits::{head_slice, AttendParams, CacheLayout, KvCache};
+use crate::scratch::AttendScratch;
+use crate::traits::{append_head_strided, AttendParams, CacheLayout, KvCache};
 
 /// Uncompressed per-head key/value storage.
 ///
@@ -15,7 +16,7 @@ use crate::traits::{head_slice, AttendParams, CacheLayout, KvCache};
 /// # Example
 ///
 /// ```
-/// use million_kvcache::{AttendParams, CacheLayout, FullPrecisionCache, KvCache};
+/// use million_kvcache::{AttendParams, AttendScratch, CacheLayout, FullPrecisionCache, KvCache};
 /// use million_tensor::Matrix;
 ///
 /// let layout = CacheLayout::new(1, 4);
@@ -25,8 +26,9 @@ use crate::traits::{head_slice, AttendParams, CacheLayout, KvCache};
 /// cache.append(&keys, &values);
 ///
 /// let mut out = vec![0.0; 4];
+/// let mut scratch = AttendScratch::new();
 /// let params = AttendParams::new(0, &[10.0, 0.0, 0.0, 0.0], 1.0, 1);
-/// cache.attend(&params, &mut out);
+/// cache.attend(&params, &mut scratch, &mut out);
 /// // The first key matches the query far better, so the output is close to the first value.
 /// assert!((out[0] - 1.0).abs() < 0.1);
 /// ```
@@ -91,26 +93,22 @@ impl KvCache for FullPrecisionCache {
     }
 
     fn append(&mut self, keys: &Matrix, values: &Matrix) {
-        assert_eq!(keys.shape(), values.shape(), "keys/values shape mismatch");
-        assert_eq!(keys.cols(), self.layout.width(), "KV width mismatch");
-        for t in 0..keys.rows() {
-            let k_row = keys.row(t);
-            let v_row = values.row(t);
-            for h in 0..self.layout.n_kv_heads {
-                self.keys[h].extend_from_slice(head_slice(k_row, &self.layout, h));
-                self.values[h].extend_from_slice(head_slice(v_row, &self.layout, h));
-            }
-        }
+        append_head_strided(
+            &self.layout,
+            keys,
+            values,
+            self.keys.iter_mut().zip(self.values.iter_mut()),
+        );
         self.len += keys.rows();
     }
 
-    fn attend(&self, params: &AttendParams<'_>, out: &mut [f32]) {
+    fn attend(&self, params: &AttendParams<'_>, scratch: &mut AttendScratch, out: &mut [f32]) {
         let d = self.layout.head_dim;
         assert_eq!(params.query.len(), d, "query length mismatch");
         assert_eq!(out.len(), d, "output length mismatch");
         assert!(params.head < self.layout.n_kv_heads, "head out of range");
 
-        let mut acc = OnlineSoftmax::new(d);
+        scratch.softmax.reset(d);
         let keys = &self.keys[params.head];
         let values = &self.values[params.head];
         for t in 0..self.len {
@@ -119,13 +117,15 @@ impl KvCache for FullPrecisionCache {
             if let Some(slope) = params.alibi_slope {
                 score += alibi_bias(slope, params.query_pos, t);
             }
-            acc.push(score, &values[t * d..(t + 1) * d]);
+            scratch.softmax.push(score, &values[t * d..(t + 1) * d]);
         }
         if let Some((cur_key, cur_value)) = params.current {
             // The current token attends to itself with zero ALiBi distance.
-            acc.push(dot(params.query, cur_key) * params.scale, cur_value);
+            scratch
+                .softmax
+                .push(dot(params.query, cur_key) * params.scale, cur_value);
         }
-        out.copy_from_slice(&acc.finish());
+        scratch.softmax.finish_into(out);
     }
 
     fn memory_bytes(&self) -> usize {
@@ -189,7 +189,12 @@ mod tests {
         let query: Vec<f32> = (0..8).map(|i| (i as f32 * 0.7).cos()).collect();
         let scale = 1.0 / (8f32).sqrt();
         let mut out = vec![0.0; 8];
-        cache.attend(&AttendParams::new(1, &query, scale, 11), &mut out);
+        let mut scratch = AttendScratch::new();
+        cache.attend(
+            &AttendParams::new(1, &query, scale, 11),
+            &mut scratch,
+            &mut out,
+        );
 
         // Reference computation.
         let mut scores: Vec<f32> = (0..12)
@@ -216,8 +221,10 @@ mod tests {
         let v = Matrix::from_vec(2, 4, vec![1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0]).unwrap();
         cache.append(&k, &v);
         let mut out = vec![0.0; 4];
+        let mut scratch = AttendScratch::new();
         cache.attend(
             &AttendParams::new(0, &[1.0, 0.0, 0.0, 0.0], 1.0, 1).with_alibi(2.0),
+            &mut scratch,
             &mut out,
         );
         // The recent token (index 1) has zero penalty, the older one -2.0.
@@ -238,7 +245,12 @@ mod tests {
     fn empty_cache_attend_returns_zero() {
         let cache = FullPrecisionCache::new(layout());
         let mut out = vec![1.0; 8];
-        cache.attend(&AttendParams::new(0, &[0.5; 8], 1.0, 0), &mut out);
+        let mut scratch = AttendScratch::new();
+        cache.attend(
+            &AttendParams::new(0, &[0.5; 8], 1.0, 0),
+            &mut scratch,
+            &mut out,
+        );
         assert!(out.iter().all(|&x| x == 0.0));
     }
 
@@ -250,8 +262,10 @@ mod tests {
         let key = [0.3, -0.1, 0.8, 0.0];
         let value = [1.0, 2.0, 3.0, 4.0];
         let mut out = vec![0.0; 4];
+        let mut scratch = AttendScratch::new();
         cache.attend(
             &AttendParams::new(0, &[1.0, 0.0, 0.0, 0.0], 1.0, 0).with_current(&key, &value),
+            &mut scratch,
             &mut out,
         );
         for (o, v) in out.iter().zip(value.iter()) {

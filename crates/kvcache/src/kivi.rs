@@ -13,9 +13,10 @@
 use million_quant::uniform::{Granularity, QuantizedMatrix, Symmetry};
 use million_tensor::alibi::alibi_bias;
 use million_tensor::ops::dot;
-use million_tensor::{Matrix, OnlineSoftmax};
+use million_tensor::Matrix;
 
-use crate::traits::{head_slice, AttendParams, CacheLayout, KvCache};
+use crate::scratch::{grown, AttendScratch};
+use crate::traits::{append_head_strided, AttendParams, CacheLayout, KvCache};
 
 /// Configuration of a [`KiviCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,25 +134,19 @@ impl KvCache for KiviCache {
     }
 
     fn append(&mut self, keys: &Matrix, values: &Matrix) {
-        assert_eq!(keys.shape(), values.shape(), "keys/values shape mismatch");
-        assert_eq!(keys.cols(), self.layout.width(), "KV width mismatch");
-        for t in 0..keys.rows() {
-            let k_row = keys.row(t);
-            let v_row = values.row(t);
-            for h in 0..self.layout.n_kv_heads {
-                self.heads[h]
-                    .residual_keys
-                    .extend_from_slice(head_slice(k_row, &self.layout, h));
-                self.heads[h]
-                    .residual_values
-                    .extend_from_slice(head_slice(v_row, &self.layout, h));
-            }
-        }
+        append_head_strided(
+            &self.layout,
+            keys,
+            values,
+            self.heads
+                .iter_mut()
+                .map(|h| (&mut h.residual_keys, &mut h.residual_values)),
+        );
         self.len += keys.rows();
         self.flush_full_groups();
     }
 
-    fn attend(&self, params: &AttendParams<'_>, out: &mut [f32]) {
+    fn attend(&self, params: &AttendParams<'_>, scratch: &mut AttendScratch, out: &mut [f32]) {
         let d = self.layout.head_dim;
         assert_eq!(params.query.len(), d, "query length mismatch");
         assert_eq!(out.len(), d, "output length mismatch");
@@ -159,21 +154,21 @@ impl KvCache for KiviCache {
         let head = &self.heads[params.head];
         let g = self.config.group_size;
 
-        let mut merger = OnlineSoftmax::new(d);
-        let mut key_buf = vec![0.0f32; d];
-        let mut value_buf = vec![0.0f32; d];
+        scratch.softmax.reset(d);
+        let key_buf = grown(&mut scratch.key_buf, d);
+        let value_buf = grown(&mut scratch.value_buf, d);
 
         // Quantized groups: de-quantize each row on the fly (KIVI's overhead).
         for (gi, group) in head.groups.iter().enumerate() {
             for r in 0..group.keys.shape().0 {
                 let pos = gi * g + r;
-                group.keys.dequantize_row_into(r, &mut key_buf);
-                let mut score = dot(params.query, &key_buf) * params.scale;
+                group.keys.dequantize_row_into(r, key_buf);
+                let mut score = dot(params.query, key_buf) * params.scale;
                 if let Some(slope) = params.alibi_slope {
                     score += alibi_bias(slope, params.query_pos, pos);
                 }
-                group.values.dequantize_row_into(r, &mut value_buf);
-                merger.push(score, &value_buf);
+                group.values.dequantize_row_into(r, value_buf);
+                scratch.softmax.push(score, value_buf);
             }
         }
 
@@ -187,14 +182,18 @@ impl KvCache for KiviCache {
             if let Some(slope) = params.alibi_slope {
                 score += alibi_bias(slope, params.query_pos, pos);
             }
-            merger.push(score, &head.residual_values[r * d..(r + 1) * d]);
+            scratch
+                .softmax
+                .push(score, &head.residual_values[r * d..(r + 1) * d]);
         }
 
         if let Some((cur_key, cur_value)) = params.current {
-            merger.push(dot(params.query, cur_key) * params.scale, cur_value);
+            scratch
+                .softmax
+                .push(dot(params.query, cur_key) * params.scale, cur_value);
         }
 
-        out.copy_from_slice(&merger.finish());
+        scratch.softmax.finish_into(out);
     }
 
     fn memory_bytes(&self) -> usize {
@@ -246,6 +245,7 @@ mod tests {
 
     fn attend(cache: &dyn KvCache, query: &[f32], head: usize) -> Vec<f32> {
         let mut out = vec![0.0; HEAD_DIM];
+        let mut scratch = AttendScratch::new();
         cache.attend(
             &AttendParams::new(
                 head,
@@ -253,6 +253,7 @@ mod tests {
                 1.0 / (HEAD_DIM as f32).sqrt(),
                 cache.len().saturating_sub(1),
             ),
+            &mut scratch,
             &mut out,
         );
         out

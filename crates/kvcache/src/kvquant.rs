@@ -13,9 +13,10 @@ use million_quant::nuq::{NuqGranularity, NuqMatrix};
 use million_quant::outlier::{extract_outliers, SparseOutliers};
 use million_tensor::alibi::alibi_bias;
 use million_tensor::ops::dot;
-use million_tensor::{Matrix, OnlineSoftmax};
+use million_tensor::Matrix;
 
-use crate::traits::{head_slice, AttendParams, CacheLayout, KvCache};
+use crate::scratch::{grown, AttendScratch};
+use crate::traits::{append_head_strided, AttendParams, CacheLayout, KvCache};
 
 /// Configuration of a [`KvQuantCache`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -167,56 +168,50 @@ impl KvCache for KvQuantCache {
     }
 
     fn append(&mut self, keys: &Matrix, values: &Matrix) {
-        assert_eq!(keys.shape(), values.shape(), "keys/values shape mismatch");
-        assert_eq!(keys.cols(), self.layout.width(), "KV width mismatch");
-        for t in 0..keys.rows() {
-            let k_row = keys.row(t);
-            let v_row = values.row(t);
-            for h in 0..self.layout.n_kv_heads {
-                self.heads[h]
-                    .pending_keys
-                    .extend_from_slice(head_slice(k_row, &self.layout, h));
-                self.heads[h]
-                    .pending_values
-                    .extend_from_slice(head_slice(v_row, &self.layout, h));
-            }
-        }
+        append_head_strided(
+            &self.layout,
+            keys,
+            values,
+            self.heads
+                .iter_mut()
+                .map(|h| (&mut h.pending_keys, &mut h.pending_values)),
+        );
         self.len += keys.rows();
         self.flush_pending(false);
     }
 
-    fn attend(&self, params: &AttendParams<'_>, out: &mut [f32]) {
+    fn attend(&self, params: &AttendParams<'_>, scratch: &mut AttendScratch, out: &mut [f32]) {
         let d = self.layout.head_dim;
         assert_eq!(params.query.len(), d, "query length mismatch");
         assert_eq!(out.len(), d, "output length mismatch");
         assert!(params.head < self.layout.n_kv_heads, "head out of range");
         let head = &self.heads[params.head];
 
-        let mut merger = OnlineSoftmax::new(d);
-        let mut key_buf = vec![0.0f32; d];
-        let mut value_buf = vec![0.0f32; d];
+        scratch.softmax.reset(d);
+        let key_buf = grown(&mut scratch.key_buf, d);
+        let value_buf = grown(&mut scratch.value_buf, d);
 
         let mut pos = 0usize;
         for block in &head.blocks {
             for r in 0..block.tokens {
-                block.keys.dequantize_row_into(r, &mut key_buf);
+                block.keys.dequantize_row_into(r, key_buf);
                 // Add back the sparse full-precision outliers: the dense part
                 // stores zero at an outlier position, so the correction is the
                 // outlier value times the query channel.
                 let mut score =
-                    dot(params.query, &key_buf) + block.key_outliers.row_dot(r, params.query);
+                    dot(params.query, key_buf) + block.key_outliers.row_dot(r, params.query);
                 score *= params.scale;
                 if let Some(slope) = params.alibi_slope {
                     score += alibi_bias(slope, params.query_pos, pos);
                 }
-                block.values.dequantize_row_into(r, &mut value_buf);
+                block.values.dequantize_row_into(r, value_buf);
                 // Restore isolated value outliers exactly.
                 for (row, col, val) in block.value_outliers.iter() {
                     if row == r {
                         value_buf[col] = val;
                     }
                 }
-                merger.push(score, &value_buf);
+                scratch.softmax.push(score, value_buf);
                 pos += 1;
             }
         }
@@ -229,15 +224,19 @@ impl KvCache for KvQuantCache {
             if let Some(slope) = params.alibi_slope {
                 score += alibi_bias(slope, params.query_pos, pos);
             }
-            merger.push(score, &head.pending_values[r * d..(r + 1) * d]);
+            scratch
+                .softmax
+                .push(score, &head.pending_values[r * d..(r + 1) * d]);
             pos += 1;
         }
 
         if let Some((cur_key, cur_value)) = params.current {
-            merger.push(dot(params.query, cur_key) * params.scale, cur_value);
+            scratch
+                .softmax
+                .push(dot(params.query, cur_key) * params.scale, cur_value);
         }
 
-        out.copy_from_slice(&merger.finish());
+        scratch.softmax.finish_into(out);
     }
 
     fn memory_bytes(&self) -> usize {
@@ -291,6 +290,7 @@ mod tests {
 
     fn attend(cache: &dyn KvCache, query: &[f32], head: usize) -> Vec<f32> {
         let mut out = vec![0.0; HEAD_DIM];
+        let mut scratch = AttendScratch::new();
         cache.attend(
             &AttendParams::new(
                 head,
@@ -298,6 +298,7 @@ mod tests {
                 1.0 / (HEAD_DIM as f32).sqrt(),
                 cache.len().saturating_sub(1),
             ),
+            &mut scratch,
             &mut out,
         );
         out

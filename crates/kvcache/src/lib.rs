@@ -25,10 +25,12 @@ pub mod full;
 pub mod kivi;
 pub mod kvquant;
 pub mod pq_cache;
+pub mod scratch;
 pub mod traits;
 
 pub use full::FullPrecisionCache;
 pub use kivi::{KiviCache, KiviConfig};
 pub use kvquant::{KvQuantCache, KvQuantConfig};
 pub use pq_cache::{PqCacheConfig, PqKvCache};
+pub use scratch::{grown, AttendScratch};
 pub use traits::{AttendParams, CacheLayout, KvCache};

@@ -12,12 +12,13 @@
 
 use std::sync::Arc;
 
-use million_quant::pq::{PqCodebook, PqCodes, ValueAccumulator};
+use million_quant::pq::{PqCodebook, PqCodes};
 use million_tensor::alibi::alibi_bias;
 use million_tensor::ops::dot;
-use million_tensor::{Matrix, OnlineSoftmax};
+use million_tensor::Matrix;
 
-use crate::traits::{head_slice, AttendParams, CacheLayout, KvCache};
+use crate::scratch::{grown, AttendScratch};
+use crate::traits::{append_head_strided, head_slice, AttendParams, CacheLayout, KvCache};
 
 /// Configuration of a [`PqKvCache`].
 #[derive(Debug, Clone)]
@@ -266,6 +267,105 @@ impl PqKvCache {
             self.absorb_encoded(encoded);
         }
     }
+
+    /// Attends the dense recent window and the current token into
+    /// `scratch.softmax` (which the quantized segment has already been
+    /// merged into) and writes the normalised result.
+    fn attend_dense_tail(
+        &self,
+        params: &AttendParams<'_>,
+        scratch: &mut AttendScratch,
+        out: &mut [f32],
+    ) {
+        let d = self.layout.head_dim;
+        let h = params.head;
+        let keys = &self.recent_keys[h];
+        let values = &self.recent_values[h];
+        for t in 0..self.recent_len {
+            let global_pos = self.quantized_len + t;
+            let k = &keys[t * d..(t + 1) * d];
+            let mut score = dot(params.query, k) * params.scale;
+            if let Some(slope) = params.alibi_slope {
+                score += alibi_bias(slope, params.query_pos, global_pos);
+            }
+            scratch.softmax.push(score, &values[t * d..(t + 1) * d]);
+        }
+
+        // --- Current token (second term of Eq. 7), always full precision.
+        if let Some((cur_key, cur_value)) = params.current {
+            scratch
+                .softmax
+                .push(dot(params.query, cur_key) * params.scale, cur_value);
+        }
+
+        scratch.softmax.finish_into(out);
+    }
+
+    /// The two-pass reference kernel the fused kernel replaced: score every
+    /// quantized token into a materialised buffer, find the maximum, then
+    /// make a second pass to exponentiate and accumulate value mass.
+    ///
+    /// Kept as the cache-level equivalence reference for
+    /// [`KvCache::attend`], whose results agree with it up to the fused
+    /// kernel's online-softmax reassociation (≲1e-6). The benchmark ladder
+    /// (criterion + `bench_decode_baseline`) measures the standalone
+    /// code-block variants in `million_bench::kernels` instead, which also
+    /// cover the seed's unpacked-`u16` kernel.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`KvCache::attend`].
+    pub fn attend_two_pass(
+        &self,
+        params: &AttendParams<'_>,
+        scratch: &mut AttendScratch,
+        out: &mut [f32],
+    ) {
+        let d = self.layout.head_dim;
+        assert_eq!(params.query.len(), d, "query length mismatch");
+        assert_eq!(out.len(), d, "output length mismatch");
+        assert!(params.head < self.layout.n_kv_heads, "head out of range");
+        let h = params.head;
+
+        scratch.softmax.reset(d);
+
+        if self.quantized_len > 0 {
+            scratch
+                .lut
+                .fill_from(&self.config.key_codebook, params.query);
+            let scores = grown(&mut scratch.scores, self.quantized_len);
+            scratch.lut.scores_into(&self.key_codes[h], scores);
+            let mut max_score = f32::NEG_INFINITY;
+            for (t, s) in scores.iter_mut().enumerate() {
+                *s *= params.scale;
+                if let Some(slope) = params.alibi_slope {
+                    *s += alibi_bias(slope, params.query_pos, t);
+                }
+                max_score = max_score.max(*s);
+            }
+            let value_config = self.config.value_codebook.config();
+            scratch
+                .acc
+                .ensure_shape(value_config.m, value_config.codebook_size());
+            scratch.acc.reset();
+            let mut sum_exp = 0.0f32;
+            let vcodes = &self.value_codes[h];
+            for (t, &s) in scores.iter().enumerate() {
+                let w = (s - max_score).exp();
+                sum_exp += w;
+                scratch.acc.add_indexed(w, vcodes, t);
+            }
+            let segment = grown(&mut scratch.segment, d);
+            scratch
+                .acc
+                .finish_into(&self.config.value_codebook, segment);
+            scratch
+                .softmax
+                .merge_segment(max_score, sum_exp, &scratch.segment[..d]);
+        }
+
+        self.attend_dense_tail(params, scratch, out);
+    }
 }
 
 impl KvCache for PqKvCache {
@@ -278,77 +378,53 @@ impl KvCache for PqKvCache {
     }
 
     fn append(&mut self, keys: &Matrix, values: &Matrix) {
-        assert_eq!(keys.shape(), values.shape(), "keys/values shape mismatch");
-        assert_eq!(keys.cols(), self.layout.width(), "KV width mismatch");
-        for t in 0..keys.rows() {
-            let k_row = keys.row(t);
-            let v_row = values.row(t);
-            for h in 0..self.layout.n_kv_heads {
-                self.recent_keys[h].extend_from_slice(head_slice(k_row, &self.layout, h));
-                self.recent_values[h].extend_from_slice(head_slice(v_row, &self.layout, h));
-            }
-        }
+        append_head_strided(
+            &self.layout,
+            keys,
+            values,
+            self.recent_keys
+                .iter_mut()
+                .zip(self.recent_values.iter_mut()),
+        );
         self.recent_len += keys.rows();
         if self.config.auto_encode {
             self.encode_overflow();
         }
     }
 
-    fn attend(&self, params: &AttendParams<'_>, out: &mut [f32]) {
+    fn attend(&self, params: &AttendParams<'_>, scratch: &mut AttendScratch, out: &mut [f32]) {
         let d = self.layout.head_dim;
         assert_eq!(params.query.len(), d, "query length mismatch");
         assert_eq!(out.len(), d, "output length mismatch");
         assert!(params.head < self.layout.n_kv_heads, "head out of range");
         let h = params.head;
 
-        let mut merger = OnlineSoftmax::new(d);
+        scratch.softmax.reset(d);
 
-        // --- Quantized history: LUT scores + per-centroid mass accumulation.
+        // --- Quantized history: fused LUT-score + online-softmax +
+        // centroid-mass kernel, one pass over the packed codes.
         if self.quantized_len > 0 {
-            let lut = self.config.key_codebook.score_lut(params.query);
-            let codes = &self.key_codes[h];
-            let mut scores = Vec::with_capacity(self.quantized_len);
-            lut.scores(codes, &mut scores);
-            let mut max_score = f32::NEG_INFINITY;
-            for (t, s) in scores.iter_mut().enumerate() {
-                *s *= params.scale;
-                if let Some(slope) = params.alibi_slope {
-                    *s += alibi_bias(slope, params.query_pos, t);
-                }
-                max_score = max_score.max(*s);
-            }
-            let mut sum_exp = 0.0f32;
-            let mut acc = ValueAccumulator::for_codebook(&self.config.value_codebook);
-            let vcodes = &self.value_codes[h];
-            for (t, &s) in scores.iter().enumerate() {
-                let w = (s - max_score).exp();
-                sum_exp += w;
-                acc.add_indexed(w, vcodes, t);
-            }
-            let mut segment = vec![0.0f32; d];
-            acc.finish_into(&self.config.value_codebook, &mut segment);
-            merger.merge_segment(max_score, sum_exp, &segment);
+            scratch
+                .lut
+                .fill_from(&self.config.key_codebook, params.query);
+            let alibi = params.alibi_slope.map(|slope| (slope, params.query_pos));
+            let (max_score, sum_exp) = scratch.lut.fused_attend(
+                &self.key_codes[h],
+                &self.value_codes[h],
+                params.scale,
+                alibi,
+                &mut scratch.acc,
+            );
+            let segment = grown(&mut scratch.segment, d);
+            scratch
+                .acc
+                .finish_into(&self.config.value_codebook, segment);
+            scratch
+                .softmax
+                .merge_segment(max_score, sum_exp, &scratch.segment[..d]);
         }
 
-        // --- Dense recent window (full precision).
-        let keys = &self.recent_keys[h];
-        let values = &self.recent_values[h];
-        for t in 0..self.recent_len {
-            let global_pos = self.quantized_len + t;
-            let k = &keys[t * d..(t + 1) * d];
-            let mut score = dot(params.query, k) * params.scale;
-            if let Some(slope) = params.alibi_slope {
-                score += alibi_bias(slope, params.query_pos, global_pos);
-            }
-            merger.push(score, &values[t * d..(t + 1) * d]);
-        }
-
-        // --- Current token (second term of Eq. 7), always full precision.
-        if let Some((cur_key, cur_value)) = params.current {
-            merger.push(dot(params.query, cur_key) * params.scale, cur_value);
-        }
-
-        out.copy_from_slice(&merger.finish());
+        self.attend_dense_tail(params, scratch, out);
     }
 
     fn memory_bytes(&self) -> usize {
@@ -422,6 +498,7 @@ mod tests {
 
     fn attend_all(cache: &dyn KvCache, query: &[f32], head: usize) -> Vec<f32> {
         let mut out = vec![0.0; HEAD_DIM];
+        let mut scratch = AttendScratch::new();
         cache.attend(
             &AttendParams::new(
                 head,
@@ -429,6 +506,7 @@ mod tests {
                 1.0 / (HEAD_DIM as f32).sqrt(),
                 cache.len().saturating_sub(1),
             ),
+            &mut scratch,
             &mut out,
         );
         out
@@ -544,13 +622,19 @@ mod tests {
         let (k, v) = random_kv(13, 32);
         pq.append(&k, &v);
         let query: Vec<f32> = vec![0.2; HEAD_DIM];
+        let mut scratch = AttendScratch::new();
         let mut with_bias = vec![0.0; HEAD_DIM];
         let mut without_bias = vec![0.0; HEAD_DIM];
         pq.attend(
             &AttendParams::new(0, &query, 0.25, 31).with_alibi(0.5),
+            &mut scratch,
             &mut with_bias,
         );
-        pq.attend(&AttendParams::new(0, &query, 0.25, 31), &mut without_bias);
+        pq.attend(
+            &AttendParams::new(0, &query, 0.25, 31),
+            &mut scratch,
+            &mut without_bias,
+        );
         assert_ne!(with_bias, without_bias);
     }
 
@@ -561,6 +645,33 @@ mod tests {
         let query = vec![1.0; HEAD_DIM];
         let out = attend_all(&pq, &query, 0);
         assert!(out.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn fused_attend_matches_two_pass_kernel() {
+        let (kc, vc) = trained_codebooks(17);
+        let mut pq = PqKvCache::new(layout(), PqCacheConfig::new(kc, vc, 4));
+        let (k, v) = random_kv(18, 48);
+        pq.append(&k, &v);
+        let query: Vec<f32> = (0..HEAD_DIM).map(|i| (i as f32 * 0.19).sin()).collect();
+        let current_k: Vec<f32> = (0..HEAD_DIM).map(|i| 0.05 * i as f32).collect();
+        let current_v: Vec<f32> = (0..HEAD_DIM).map(|i| 1.0 - 0.1 * i as f32).collect();
+        let mut scratch = AttendScratch::new();
+        for head in 0..HEADS {
+            let params = AttendParams::new(head, &query, 0.25, 48)
+                .with_alibi(0.3)
+                .with_current(&current_k, &current_v);
+            let mut fused = vec![0.0; HEAD_DIM];
+            pq.attend(&params, &mut scratch, &mut fused);
+            let mut two_pass = vec![0.0; HEAD_DIM];
+            pq.attend_two_pass(&params, &mut scratch, &mut two_pass);
+            for (a, b) in fused.iter().zip(two_pass.iter()) {
+                assert!(
+                    (a - b).abs() < 1e-5,
+                    "head {head}: fused {a} vs two-pass {b}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -95,8 +95,14 @@ impl<'a> AttendParams<'a> {
 ///   positional embedding already applied to keys where relevant);
 /// * [`attend`](KvCache::attend) computes `softmax(q·K^T * scale + bias) · V`
 ///   for a single query over **all** cached tokens of one head and writes the
-///   result into `out`.
-pub trait KvCache: Send {
+///   result into `out`, borrowing all working memory from a caller-owned
+///   [`crate::AttendScratch`] so the steady-state decode loop allocates
+///   nothing.
+///
+/// `attend` takes `&self`, so one layer's cache can serve many heads in
+/// parallel (the trait requires `Sync`) as long as each worker brings its
+/// own scratch.
+pub trait KvCache: Send + Sync {
     /// Geometry of this cache.
     fn layout(&self) -> CacheLayout;
 
@@ -118,11 +124,20 @@ pub trait KvCache: Send {
 
     /// Attention of one query over every cached token of one head.
     ///
+    /// All temporary buffers come from `scratch`, which may be shared across
+    /// heads, layers, backends, and calls (but not across concurrent calls);
+    /// results never depend on what a previous call left in it.
+    ///
     /// # Panics
     ///
     /// Implementations panic if `params.query.len() != head_dim`,
     /// `out.len() != head_dim`, or `params.head >= n_kv_heads`.
-    fn attend(&self, params: &AttendParams<'_>, out: &mut [f32]);
+    fn attend(
+        &self,
+        params: &AttendParams<'_>,
+        scratch: &mut crate::AttendScratch,
+        out: &mut [f32],
+    );
 
     /// Bytes of storage attributable to the cached tokens (excluding any
     /// shared, token-count-independent state such as codebooks).
@@ -151,8 +166,13 @@ impl<T: KvCache + ?Sized> KvCache for Box<T> {
         (**self).append(keys, values)
     }
 
-    fn attend(&self, params: &AttendParams<'_>, out: &mut [f32]) {
-        (**self).attend(params, out)
+    fn attend(
+        &self,
+        params: &AttendParams<'_>,
+        scratch: &mut crate::AttendScratch,
+        out: &mut [f32],
+    ) {
+        (**self).attend(params, scratch, out)
     }
 
     fn memory_bytes(&self) -> usize {
@@ -174,6 +194,44 @@ impl<T: KvCache + ?Sized> KvCache for Box<T> {
 pub fn head_slice<'a>(row: &'a [f32], layout: &CacheLayout, head: usize) -> &'a [f32] {
     let d = layout.head_dim;
     &row[head * d..(head + 1) * d]
+}
+
+/// Appends the per-head slices of `[tokens, n_kv_heads * head_dim]` key and
+/// value matrices to per-head contiguous stores, one strided pass per head
+/// (a single `reserve` then `rows` slice copies) instead of a per-token ×
+/// per-head extend dance. `heads` yields each head's `(keys, values)`
+/// destination in head order; this is the shared append path of every cache
+/// backend.
+///
+/// # Panics
+///
+/// Panics if the matrices differ in shape or are not `layout.width()` wide.
+pub fn append_head_strided<'a>(
+    layout: &CacheLayout,
+    keys: &Matrix,
+    values: &Matrix,
+    heads: impl Iterator<Item = (&'a mut Vec<f32>, &'a mut Vec<f32>)>,
+) {
+    assert_eq!(keys.shape(), values.shape(), "keys/values shape mismatch");
+    assert_eq!(keys.cols(), layout.width(), "KV width mismatch");
+    let rows = keys.rows();
+    let d = layout.head_dim;
+    let width = layout.width();
+    let k_src = keys.as_slice();
+    let v_src = values.as_slice();
+    for (h, (dst_keys, dst_values)) in heads.enumerate() {
+        let offset = h * d;
+        dst_keys.reserve(rows * d);
+        for t in 0..rows {
+            let base = t * width + offset;
+            dst_keys.extend_from_slice(&k_src[base..base + d]);
+        }
+        dst_values.reserve(rows * d);
+        for t in 0..rows {
+            let base = t * width + offset;
+            dst_values.extend_from_slice(&v_src[base..base + d]);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,100 @@
+//! Guard against stale-scratch bugs: a single [`AttendScratch`] shared
+//! across many interleaved calls — different heads, different "layers"
+//! (cache instances), different backends — must produce bit-identical
+//! results to a fresh scratch per call.
+
+use std::sync::Arc;
+
+use million_kvcache::{
+    AttendParams, AttendScratch, CacheLayout, FullPrecisionCache, KiviCache, KiviConfig, KvCache,
+    KvQuantCache, KvQuantConfig, PqCacheConfig, PqKvCache,
+};
+use million_quant::pq::{PqCodebook, PqConfig, PqTrainOptions};
+use million_tensor::init::{normal_matrix, seeded_rng};
+
+const HEAD_DIM: usize = 16;
+const HEADS: usize = 2;
+
+fn layout() -> CacheLayout {
+    CacheLayout::new(HEADS, HEAD_DIM)
+}
+
+fn trained(seed: u64, m: usize, nbits: u8) -> Arc<PqCodebook> {
+    let mut rng = seeded_rng(seed);
+    let samples = normal_matrix(&mut rng, 500, HEAD_DIM, 0.0, 1.0);
+    let config = PqConfig::new(m, nbits).unwrap();
+    Arc::new(PqCodebook::train(&config, &samples, &PqTrainOptions::default(), seed).unwrap())
+}
+
+/// Builds a mixed fleet of caches standing in for "layers" of different
+/// backends, each filled with its own token stream.
+fn build_layers() -> Vec<Box<dyn KvCache>> {
+    let mut layers: Vec<Box<dyn KvCache>> = vec![
+        Box::new(PqKvCache::new(
+            layout(),
+            // 4-bit codes: the unrolled nibble kernel.
+            PqCacheConfig::new(trained(1, 8, 4), trained(2, 8, 4), 5),
+        )),
+        Box::new(PqKvCache::new(
+            layout(),
+            // 6-bit codes: the 3-bytes-per-4-codes kernel.
+            PqCacheConfig::new(trained(3, 8, 6), trained(4, 8, 6), 0),
+        )),
+        Box::new(FullPrecisionCache::new(layout())),
+        Box::new(KiviCache::new(layout(), KiviConfig::default())),
+        Box::new(KvQuantCache::new(layout(), KvQuantConfig::default())),
+    ];
+    for (i, layer) in layers.iter_mut().enumerate() {
+        let mut rng = seeded_rng(100 + i as u64);
+        let tokens = 40 + 7 * i;
+        let k = normal_matrix(&mut rng, tokens, layout().width(), 0.0, 1.0);
+        let v = normal_matrix(&mut rng, tokens, layout().width(), 0.0, 1.0);
+        layer.append(&k, &v);
+    }
+    layers
+}
+
+#[test]
+fn shared_scratch_matches_fresh_scratch_across_interleaved_calls() {
+    let layers = build_layers();
+    let scale = 1.0 / (HEAD_DIM as f32).sqrt();
+    let mut shared = AttendScratch::new();
+
+    // Interleave (layer, head, query) triples in a deliberately adversarial
+    // order: big caches then small, PQ then dense, alternating heads, with
+    // and without ALiBi/current-token — everything a stale buffer could
+    // leak across.
+    for round in 0..3 {
+        for head in 0..HEADS {
+            for (l, layer) in layers.iter().enumerate() {
+                let query: Vec<f32> = (0..HEAD_DIM)
+                    .map(|i| ((i + l + round) as f32 * 0.37).sin())
+                    .collect();
+                let current_k: Vec<f32> =
+                    (0..HEAD_DIM).map(|i| 0.03 * (i + round) as f32).collect();
+                let current_v: Vec<f32> = (0..HEAD_DIM).map(|i| 0.5 - 0.02 * i as f32).collect();
+                let mut params = AttendParams::new(head, &query, scale, layer.len());
+                if (l + round) % 2 == 0 {
+                    params = params.with_alibi(0.25);
+                }
+                if (l + round) % 3 == 0 {
+                    params = params.with_current(&current_k, &current_v);
+                }
+
+                let mut with_shared = vec![0.0f32; HEAD_DIM];
+                layer.attend(&params, &mut shared, &mut with_shared);
+
+                let mut fresh = AttendScratch::new();
+                let mut with_fresh = vec![0.0f32; HEAD_DIM];
+                layer.attend(&params, &mut fresh, &mut with_fresh);
+
+                assert_eq!(
+                    with_shared,
+                    with_fresh,
+                    "round {round}, head {head}, layer {l} ({}): shared scratch diverged",
+                    layer.kind()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Proof of the PR's central claim: once an [`AttendScratch`] is warm,
+//! decode-time attention performs **zero heap allocations** on every
+//! backend's hot path.
+//!
+//! A counting global allocator wraps the system allocator; each case warms
+//! the scratch with one call per head, snapshots the counter, runs many
+//! interleaved attends, and asserts the counter never moved. The counter is
+//! per-thread (const-initialised TLS, so reading it never allocates): the
+//! libtest harness runs tests and its own bookkeeping on other threads
+//! whose allocations must not pollute a measurement window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Arc;
+
+use million_kvcache::{
+    AttendParams, AttendScratch, CacheLayout, FullPrecisionCache, KiviCache, KiviConfig, KvCache,
+    KvQuantCache, KvQuantConfig, PqCacheConfig, PqKvCache,
+};
+use million_quant::pq::{PqCodebook, PqConfig, PqTrainOptions};
+use million_tensor::init::{normal_matrix, seeded_rng};
+
+struct CountingAllocator;
+
+thread_local! {
+    /// Allocations made by *this* thread. `const`-initialised `Cell<usize>`
+    /// has no destructor and no lazy init, so bumping it from inside the
+    /// allocator cannot itself allocate or recurse.
+    static ALLOCATIONS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn thread_allocations() -> usize {
+    ALLOCATIONS.with(|c| c.get())
+}
+
+fn count_one() {
+    ALLOCATIONS.with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_one();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count_one();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_one();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+const HEAD_DIM: usize = 32;
+const HEADS: usize = 2;
+const TOKENS: usize = 96;
+
+fn layout() -> CacheLayout {
+    CacheLayout::new(HEADS, HEAD_DIM)
+}
+
+fn assert_attend_is_allocation_free(cache: &dyn KvCache, label: &str) {
+    let query: Vec<f32> = (0..HEAD_DIM).map(|i| (i as f32 * 0.23).sin()).collect();
+    let current_k: Vec<f32> = (0..HEAD_DIM).map(|i| 0.02 * i as f32).collect();
+    let current_v: Vec<f32> = (0..HEAD_DIM).map(|i| 1.0 - 0.01 * i as f32).collect();
+    let scale = 1.0 / (HEAD_DIM as f32).sqrt();
+    let mut scratch = AttendScratch::new();
+    let mut out = vec![0.0f32; HEAD_DIM];
+
+    let run = |scratch: &mut AttendScratch, out: &mut [f32]| {
+        for head in 0..HEADS {
+            let params = AttendParams::new(head, &query, scale, TOKENS)
+                .with_alibi(0.4)
+                .with_current(&current_k, &current_v);
+            cache.attend(&params, scratch, out);
+        }
+    };
+
+    // Warm-up sizes every scratch buffer for this geometry.
+    run(&mut scratch, &mut out);
+
+    let before = thread_allocations();
+    for _ in 0..50 {
+        run(&mut scratch, &mut out);
+    }
+    let after = thread_allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "{label}: steady-state attend allocated {} times over 100 calls",
+        after - before
+    );
+}
+
+fn random_kv(seed: u64, tokens: usize) -> (million_tensor::Matrix, million_tensor::Matrix) {
+    let mut rng = seeded_rng(seed);
+    (
+        normal_matrix(&mut rng, tokens, layout().width(), 0.0, 1.0),
+        normal_matrix(&mut rng, tokens, layout().width(), 0.0, 1.0),
+    )
+}
+
+#[test]
+fn pq_attend_is_allocation_free_when_scratch_is_warm() {
+    let mut rng = seeded_rng(0);
+    let samples = normal_matrix(&mut rng, 600, HEAD_DIM, 0.0, 1.0);
+    let config = PqConfig::new(8, 4).unwrap();
+    let key =
+        Arc::new(PqCodebook::train(&config, &samples, &PqTrainOptions::default(), 0).unwrap());
+    let value =
+        Arc::new(PqCodebook::train(&config, &samples, &PqTrainOptions::default(), 1).unwrap());
+    // residual_len > 0 exercises both the fused quantized kernel and the
+    // dense-tail path in the same call.
+    let mut cache = PqKvCache::new(layout(), PqCacheConfig::new(key, value, 8));
+    let (k, v) = random_kv(1, TOKENS);
+    cache.append(&k, &v);
+    assert!(cache.quantized_len() > 0 && cache.recent_len() > 0);
+    assert_attend_is_allocation_free(&cache, "million-pq");
+}
+
+#[test]
+fn baseline_attends_are_allocation_free_when_scratch_is_warm() {
+    let (k, v) = random_kv(2, TOKENS);
+
+    let mut full = FullPrecisionCache::new(layout());
+    full.append(&k, &v);
+    assert_attend_is_allocation_free(&full, "fp16");
+
+    let mut kivi = KiviCache::new(
+        layout(),
+        KiviConfig {
+            bits: 4,
+            // 96 tokens = 3 full groups of 28 + a 12-token residual, so both
+            // the quantized and residual paths run.
+            group_size: 28,
+        },
+    );
+    kivi.append(&k, &v);
+    assert!(kivi.group_count() > 0 && kivi.residual_len() > 0);
+    assert_attend_is_allocation_free(&kivi, "kivi");
+
+    let mut kvq = KvQuantCache::new(layout(), KvQuantConfig::default());
+    kvq.append(&k, &v);
+    assert!(kvq.block_count() > 0 && kvq.pending_len() > 0);
+    assert_attend_is_allocation_free(&kvq, "kvquant");
+}

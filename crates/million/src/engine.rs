@@ -6,7 +6,7 @@
 //! [`MillionEngine::generate`] / [`MillionEngine::generate_reference`] calls
 //! are thin compatibility wrappers that build a session, run it, and drop it.
 
-use million_model::{build_caches, CacheSpec, Sampler, Transformer};
+use million_model::{build_caches, CacheSpec, DecodeScratch, Sampler, Transformer};
 
 use crate::config::MillionConfig;
 use crate::session::{GenerationOptions, InferenceSession};
@@ -162,8 +162,11 @@ impl MillionEngine {
         let mut tokens = Vec::with_capacity(max_new_tokens);
         let mut next = sampler.sample(logits.row(prompt.len() - 1));
         tokens.push(next);
+        let mut scratch = DecodeScratch::new();
         for _ in 1..max_new_tokens {
-            let logits = self.model.decode_step(next, &mut caches);
+            let logits = self
+                .model
+                .decode_step_with_scratch(next, &mut caches, &mut scratch);
             next = sampler.sample(&logits);
             tokens.push(next);
         }

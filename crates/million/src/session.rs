@@ -23,7 +23,7 @@
 //! [`crate::BatchScheduler`].
 
 use million_kvcache::{KvCache, PqCacheConfig, PqKvCache};
-use million_model::Sampler;
+use million_model::{DecodeScratch, Sampler};
 
 use crate::async_quant::{EncodeRequest, EncodeResult, QuantWorker};
 use crate::engine::{GenerationResult, MillionEngine};
@@ -135,6 +135,12 @@ pub struct InferenceSession<'e> {
     engine: &'e MillionEngine,
     id: usize,
     caches: Vec<PqKvCache>,
+    /// Per-worker attention scratch, reused across every decode step (and
+    /// every turn) of this session — the steady-state attention path never
+    /// allocates. Scratch carries no results between calls, so N sessions
+    /// interleaved by a scheduler stay token-for-token identical to serial
+    /// execution.
+    scratch: DecodeScratch,
     stream: QuantStream,
     /// Per-layer tokens currently in flight to the worker (one batch per
     /// layer keeps ordering trivial, as in the paper's single stream).
@@ -173,6 +179,7 @@ impl<'e> InferenceSession<'e> {
             engine,
             id,
             caches,
+            scratch: DecodeScratch::new(),
             stream,
             sent: vec![0; n_layers],
             cur_logits: None,
@@ -452,7 +459,11 @@ impl<'e> InferenceSession<'e> {
         for result in results {
             self.absorb(result);
         }
-        let logits = self.engine.model().decode_step(token, &mut self.caches);
+        let logits = self.engine.model().decode_step_with_scratch(
+            token,
+            &mut self.caches,
+            &mut self.scratch,
+        );
         self.ship_staged();
         logits
     }
@@ -462,7 +473,11 @@ impl<'e> InferenceSession<'e> {
     fn feed_chunk(&mut self, tokens: &[u32]) -> Vec<f32> {
         if matches!(self.stream, QuantStream::Sync) {
             // No worker traffic to interleave: extend the caches in one call.
-            let logits = self.engine.model().extend(tokens, &mut self.caches);
+            let logits = self.engine.model().extend_with_scratch(
+                tokens,
+                &mut self.caches,
+                &mut self.scratch,
+            );
             return logits.row(tokens.len() - 1).to_vec();
         }
         let mut logits = Vec::new();

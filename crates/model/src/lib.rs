@@ -39,5 +39,5 @@ pub use cache_factory::{build_caches, total_cache_bytes, CacheSpec, PqSpec};
 pub use config::{ModelConfig, NormKind, Positional};
 pub use hooks::KvCapture;
 pub use sampler::Sampler;
-pub use transformer::Transformer;
+pub use transformer::{DecodeScratch, Transformer};
 pub use weights::{LayerWeights, ModelWeights};

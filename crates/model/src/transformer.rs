@@ -9,16 +9,59 @@
 //!   through the cache backend ([`million_kvcache::KvCache::attend`]) while
 //!   the current token's key/value is merged at full precision (Eq. 7).
 
-use million_kvcache::{AttendParams, CacheLayout, KvCache};
+use million_kvcache::{AttendParams, AttendScratch, CacheLayout, KvCache};
 use million_tensor::alibi::alibi_slopes;
 use million_tensor::ops::{
     apply_causal_mask, gelu_in_place, layer_norm, rms_norm, silu_in_place, softmax_in_place,
 };
 use million_tensor::{Matrix, Rope};
+use rayon::prelude::*;
 
 use crate::config::{ModelConfig, NormKind, Positional};
 use crate::hooks::KvCapture;
 use crate::weights::ModelWeights;
+
+/// Per-decode working memory: one [`AttendScratch`] per parallel attention
+/// worker, reused across decode steps so the steady-state attention path
+/// allocates nothing.
+///
+/// Owned by whoever drives a decode loop — an inference session keeps one
+/// alive for its whole lifetime and passes it to every
+/// [`Transformer::decode_step_with_scratch`] call; the pool is partitioned
+/// among rayon workers during the per-head parallel loop.
+#[derive(Debug)]
+pub struct DecodeScratch {
+    pool: Vec<AttendScratch>,
+}
+
+impl DecodeScratch {
+    /// Creates a pool with one scratch per rayon worker.
+    pub fn new() -> Self {
+        Self::with_workers(rayon::current_num_threads())
+    }
+
+    /// Creates a pool with an explicit worker count. A single-state pool
+    /// forces the decode head loop down the serial (thread-free,
+    /// allocation-free) path regardless of context length — useful as a
+    /// reference when testing the parallel path, or to cap a session's
+    /// decode parallelism.
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            pool: (0..workers.max(1)).map(|_| AttendScratch::new()).collect(),
+        }
+    }
+
+    /// Number of per-worker scratch states.
+    pub fn workers(&self) -> usize {
+        self.pool.len()
+    }
+}
+
+impl Default for DecodeScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// A decoder-only transformer instantiated from a [`ModelConfig`] and
 /// deterministic synthetic weights.
@@ -263,10 +306,32 @@ impl Transformer {
     /// Generates the logits for one new token, reading history through the
     /// caches and appending the new token's KV to them.
     ///
+    /// Convenience wrapper that builds a fresh [`DecodeScratch`] per call;
+    /// decode loops should hold one and use
+    /// [`Self::decode_step_with_scratch`] so attention buffers are reused
+    /// across steps.
+    ///
     /// # Panics
     ///
     /// Panics if `caches.len() != n_layers` or the token id is out of range.
     pub fn decode_step<C: KvCache>(&self, token: u32, caches: &mut [C]) -> Vec<f32> {
+        self.decode_step_with_scratch(token, caches, &mut DecodeScratch::new())
+    }
+
+    /// [`Self::decode_step`] with caller-owned scratch: the per-head
+    /// attention loop runs in parallel over rayon workers, each borrowing
+    /// one [`AttendScratch`] from the pool, and no attention-path buffer is
+    /// allocated once the pool is warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `caches.len() != n_layers` or the token id is out of range.
+    pub fn decode_step_with_scratch<C: KvCache>(
+        &self,
+        token: u32,
+        caches: &mut [C],
+        scratch: &mut DecodeScratch,
+    ) -> Vec<f32> {
         assert_eq!(
             caches.len(),
             self.config.n_layers,
@@ -281,6 +346,25 @@ impl Transformer {
         let pos = caches[0].len();
 
         let mut x = self.embed(&[token], pos).into_vec();
+        let mut attn = vec![0.0f32; d];
+
+        // Fan the heads out only when each head has enough cached tokens to
+        // amortise the scoped-thread spawns of the vendored rayon shim
+        // (~tens of µs each, paid per layer per token); short contexts run
+        // serially on pool[0], which the shim guarantees is thread- and
+        // allocation-free. Either path computes the identical result —
+        // heads are independent. The threshold is analytical, not measured
+        // (per-head attend work ≈ pos·M table adds plus the LUT build, so
+        // pos·hd ≈ 2^18 puts each head in the tens-of-µs range where a
+        // spawn pays for itself); revisit when the shim grows a persistent
+        // worker pool (ROADMAP).
+        const PARALLEL_HEADS_MIN_WORK: usize = 1 << 18;
+        let parallel_heads = n_heads > 1 && pos * hd >= PARALLEL_HEADS_MIN_WORK;
+        let pool_len = if parallel_heads {
+            scratch.pool.len()
+        } else {
+            1
+        };
 
         for (l, layer) in self.weights.layers.iter().enumerate() {
             // --- Attention block.
@@ -299,16 +383,23 @@ impl Transformer {
                 }
             }
 
-            let mut attn = vec![0.0f32; d];
-            for qh in 0..n_heads {
-                let kvh = qh / group;
-                let mut params = AttendParams::new(kvh, &q[qh * hd..(qh + 1) * hd], scale, pos)
-                    .with_current(&k[kvh * hd..(kvh + 1) * hd], &v[kvh * hd..(kvh + 1) * hd]);
-                if let Some(slopes) = &self.alibi {
-                    params = params.with_alibi(slopes[qh]);
-                }
-                caches[l].attend(&params, &mut attn[qh * hd..(qh + 1) * hd]);
-            }
+            // Heads are independent readers of this layer's cache (`attend`
+            // takes `&self`), so they fan out across rayon workers, one
+            // scratch per worker.
+            let cache = &caches[l];
+            let alibi = self.alibi.as_deref();
+            attn.par_chunks_mut(hd).enumerate().for_each_with_scratch(
+                &mut scratch.pool[..pool_len],
+                |attend_scratch, (qh, out)| {
+                    let kvh = qh / group;
+                    let mut params = AttendParams::new(kvh, &q[qh * hd..(qh + 1) * hd], scale, pos)
+                        .with_current(&k[kvh * hd..(kvh + 1) * hd], &v[kvh * hd..(kvh + 1) * hd]);
+                    if let Some(slopes) = alibi {
+                        params = params.with_alibi(slopes[qh]);
+                    }
+                    cache.attend(&params, attend_scratch, out);
+                },
+            );
             let attn_out = Matrix::from_row(&attn).matmul(&layer.wo);
             for (a, b) in x.iter_mut().zip(attn_out.row(0).iter()) {
                 *a += b;
@@ -354,6 +445,21 @@ impl Transformer {
     /// Panics if `tokens` is empty, if `caches.len() != n_layers`, or if the
     /// extended sequence would exceed `max_seq_len`.
     pub fn extend<C: KvCache>(&self, tokens: &[u32], caches: &mut [C]) -> Matrix {
+        self.extend_with_scratch(tokens, caches, &mut DecodeScratch::new())
+    }
+
+    /// [`Self::extend`] with caller-owned decode scratch, reusing attention
+    /// buffers across the fed tokens (and across calls).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::extend`].
+    pub fn extend_with_scratch<C: KvCache>(
+        &self,
+        tokens: &[u32],
+        caches: &mut [C],
+        scratch: &mut DecodeScratch,
+    ) -> Matrix {
         assert!(!tokens.is_empty(), "extend requires at least one token");
         assert_eq!(
             caches.len(),
@@ -367,7 +473,7 @@ impl Transformer {
         );
         let mut out = Matrix::zeros(tokens.len(), self.config.vocab_size);
         for (i, &token) in tokens.iter().enumerate() {
-            let logits = self.decode_step(token, caches);
+            let logits = self.decode_step_with_scratch(token, caches, scratch);
             out.row_mut(i).copy_from_slice(&logits);
         }
         out
@@ -444,6 +550,28 @@ mod tests {
         let last_step = step_logits.last().unwrap();
         for (a, b) in last_prefill.iter().zip(last_step.iter()) {
             assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_steps_matches_fresh_scratch() {
+        // GQA config so the parallel head loop maps several query heads onto
+        // one kv head while sharing worker scratch.
+        let config = ModelConfig::tiny_gqa_for_tests();
+        let model = Transformer::new(config.clone(), 9);
+        let tokens = prompt();
+        let mut caches_reused = build_caches(&config, &CacheSpec::Full);
+        let _ = model.prefill(&tokens, &mut caches_reused, None);
+        let mut caches_fresh = build_caches(&config, &CacheSpec::Full);
+        let _ = model.prefill(&tokens, &mut caches_fresh, None);
+
+        let mut scratch = DecodeScratch::new();
+        assert!(scratch.workers() >= 1);
+        for step in 0..6u32 {
+            let with_reuse =
+                model.decode_step_with_scratch(step + 3, &mut caches_reused, &mut scratch);
+            let with_fresh = model.decode_step(step + 3, &mut caches_fresh);
+            assert_eq!(with_reuse, with_fresh, "step {step}");
         }
     }
 

@@ -200,7 +200,7 @@ mod tests {
         let layer = &w.layers[0];
         assert_eq!(layer.key_outlier_channels.len(), cfg.outlier_channels);
         let col_norm =
-            |m: &Matrix, c: usize| -> f32 { m.column(c).iter().map(|v| v * v).sum::<f32>().sqrt() };
+            |m: &Matrix, c: usize| -> f32 { m.column_iter(c).map(|v| v * v).sum::<f32>().sqrt() };
         let outlier_cols: Vec<usize> = layer.key_outlier_channels.iter().map(|&(c, _)| c).collect();
         let mean_outlier: f32 = outlier_cols
             .iter()

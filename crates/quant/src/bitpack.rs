@@ -161,6 +161,40 @@ impl PackedCodes {
         Bytes::copy_from_slice(&self.data)
     }
 
+    /// Borrowed view of the raw packed storage. Codes are packed LSB-first:
+    /// code `i` occupies bits `[i*bits, (i+1)*bits)` counted from bit 0 of
+    /// byte 0; unused trailing bits of the last byte are zero.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Appends every code of `other`.
+    ///
+    /// When the current bit cursor is byte-aligned this is a single
+    /// `memcpy` of `other`'s packed bytes (the path [`crate::pq::PqCodes`]
+    /// hits for whole-row-aligned layouts); otherwise it falls back to
+    /// pushing code by code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors have different bit widths.
+    pub fn extend_packed(&mut self, other: &PackedCodes) {
+        assert_eq!(
+            self.bits, other.bits,
+            "extend_packed requires equal bit widths"
+        );
+        if (self.len * self.bits as usize).is_multiple_of(8) {
+            self.data.truncate(self.byte_len());
+            self.data.extend_from_slice(&other.data[..other.byte_len()]);
+            self.len += other.len;
+        } else {
+            for code in other.iter() {
+                self.push(code);
+            }
+        }
+    }
+
     /// Iterator over the stored codes.
     pub fn iter(&self) -> Iter<'_> {
         Iter {
@@ -279,6 +313,32 @@ mod tests {
         assert_eq!(max_code(8), 255);
         assert_eq!(max_code(12), 4095);
         assert_eq!(max_code(16), u16::MAX);
+    }
+
+    #[test]
+    fn extend_packed_matches_pushes_aligned_and_unaligned() {
+        for bits in [4u8, 6, 8, 12, 5] {
+            let max = max_code(bits);
+            for prefix_len in [0usize, 1, 2, 3, 8] {
+                let prefix: Vec<u16> = (0..prefix_len)
+                    .map(|i| (i as u16 * 7) % (max + 1))
+                    .collect();
+                let suffix: Vec<u16> = (0..50).map(|i| (i as u16 * 11) % (max + 1)).collect();
+                let mut fast = PackedCodes::pack(&prefix, bits).unwrap();
+                let other = PackedCodes::pack(&suffix, bits).unwrap();
+                fast.extend_packed(&other);
+                let mut slow = PackedCodes::pack(&prefix, bits).unwrap();
+                slow.extend_from_slice(&suffix);
+                assert_eq!(fast, slow, "bits {bits}, prefix {prefix_len}");
+            }
+        }
+    }
+
+    #[test]
+    fn as_bytes_exposes_lsb_first_layout() {
+        let packed = PackedCodes::pack(&[0x3, 0x1], 4).unwrap();
+        // code 0 in the low nibble, code 1 in the high nibble.
+        assert_eq!(packed.as_bytes(), &[0x13]);
     }
 
     proptest! {

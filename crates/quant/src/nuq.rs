@@ -69,18 +69,28 @@ impl NuqMatrix {
             tolerance: 1e-3,
         };
 
-        let groups: Vec<Vec<f32>> = match granularity {
-            NuqGranularity::PerTensor => vec![data.as_slice().to_vec()],
-            NuqGranularity::PerToken => (0..rows).map(|r| data.row(r).to_vec()).collect(),
-            NuqGranularity::PerChannel => (0..cols).map(|c| data.column(c)).collect(),
+        let n_groups = match granularity {
+            NuqGranularity::PerTensor => 1,
+            NuqGranularity::PerToken => rows,
+            NuqGranularity::PerChannel => cols,
         };
-
-        let mut levels = Vec::with_capacity(groups.len());
-        for (g, values) in groups.iter().enumerate() {
+        // Per-channel groups are strided; one reused buffer gathers each
+        // column instead of materialising every column up front.
+        let mut column_buf = vec![0.0f32; rows];
+        let mut levels = Vec::with_capacity(n_groups);
+        for g in 0..n_groups {
+            let values: &[f32] = match granularity {
+                NuqGranularity::PerTensor => data.as_slice(),
+                NuqGranularity::PerToken => data.row(g),
+                NuqGranularity::PerChannel => {
+                    data.column_into(g, &mut column_buf);
+                    &column_buf
+                }
+            };
             let mut rng = StdRng::seed_from_u64(seed ^ (g as u64).wrapping_mul(0x5851_F42D));
             let lv = if values.len() <= k {
                 // Fewer values than levels: use the values themselves, padded.
-                let mut lv = values.clone();
+                let mut lv = values.to_vec();
                 lv.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
                 lv.resize(k, *lv.last().unwrap_or(&0.0));
                 lv

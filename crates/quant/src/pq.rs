@@ -303,22 +303,9 @@ impl PqCodebook {
     ///
     /// Panics if `query.len() != dim`.
     pub fn score_lut(&self, query: &[f32]) -> ScoreLut {
-        assert_eq!(query.len(), self.dim, "score_lut dimension mismatch");
-        let k = self.config.codebook_size();
-        let mut table = vec![0.0f32; self.config.m * k];
-        for sub in 0..self.config.m {
-            let q_sub = &query[sub * self.dsub..(sub + 1) * self.dsub];
-            let base = sub * k;
-            let centroids = &self.centroids[sub];
-            for c in 0..k {
-                table[base + c] = dot(q_sub, centroids.row(c));
-            }
-        }
-        ScoreLut {
-            m: self.config.m,
-            k,
-            table,
-        }
+        let mut lut = ScoreLut::empty();
+        lut.fill_from(self, query);
+        lut
     }
 
     /// Mean squared reconstruction error of this codebook on `data`.
@@ -375,16 +362,17 @@ impl PqCodes {
 
     /// Appends every vector of another code block with the same config.
     ///
+    /// When the running bit cursor is byte-aligned (always true for the
+    /// kernel layouts, where `m * nbits` is a multiple of 8) this is a
+    /// single packed-byte copy instead of an unpack/re-pack round trip.
+    ///
     /// # Panics
     ///
     /// Panics if configurations differ.
     pub fn append(&mut self, other: &PqCodes) {
         assert_eq!(self.config, other.config, "append config mismatch");
-        let mut buf = vec![0u16; self.config.m];
-        for i in 0..other.len() {
-            other.read_into(i, &mut buf);
-            self.push(&buf);
-        }
+        self.packed.extend_packed(&other.packed);
+        self.len += other.len;
     }
 
     /// Reads the codes of vector `index` into `out`.
@@ -394,11 +382,65 @@ impl PqCodes {
     /// Panics if `index >= len` or `out.len() != m`.
     #[inline]
     pub fn read_into(&self, index: usize, out: &mut [u16]) {
-        assert!(index < self.len, "code index out of bounds");
         assert_eq!(out.len(), self.config.m, "output code-count mismatch");
-        let base = index * self.config.m;
-        for (j, slot) in out.iter_mut().enumerate() {
-            *slot = self.packed.get(base + j);
+        self.walk_row(index, |sub, code| out[sub] = code as u16);
+    }
+
+    /// Calls `f(subspace, code)` for every code of vector `index`, in
+    /// subspace order.
+    ///
+    /// This is the kernel-facing access path: for byte-aligned rows it reads
+    /// the packed bytes directly with unrolled 4-/6-/8-bit decoders (the CPU
+    /// analogue of the paper's `float4`-granularity shared-memory loads), so
+    /// the per-code cost is a shift and a mask instead of the general
+    /// bit-cursor arithmetic of [`PackedCodes::get`]. Unaligned layouts fall
+    /// back to the generic path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    #[inline]
+    pub fn walk_row(&self, index: usize, mut f: impl FnMut(usize, usize)) {
+        assert!(index < self.len, "code index out of bounds");
+        let m = self.config.m;
+        let row_bits = m * self.config.nbits as usize;
+        if row_bits.is_multiple_of(8) {
+            let row_bytes = row_bits / 8;
+            let data = self.packed.as_bytes();
+            let row = &data[index * row_bytes..(index + 1) * row_bytes];
+            match self.config.nbits {
+                8 => {
+                    for (sub, &b) in row.iter().enumerate() {
+                        f(sub, b as usize);
+                    }
+                    return;
+                }
+                4 => {
+                    // Two codes per byte, LSB-first.
+                    for (i, &b) in row.iter().enumerate() {
+                        f(2 * i, (b & 0x0F) as usize);
+                        f(2 * i + 1, (b >> 4) as usize);
+                    }
+                    return;
+                }
+                6 => {
+                    // Four codes per three bytes, LSB-first.
+                    for (i, chunk) in row.chunks_exact(3).enumerate() {
+                        let (b0, b1, b2) =
+                            (chunk[0] as usize, chunk[1] as usize, chunk[2] as usize);
+                        f(4 * i, b0 & 0x3F);
+                        f(4 * i + 1, (b0 >> 6) | ((b1 & 0x0F) << 2));
+                        f(4 * i + 2, (b1 >> 4) | ((b2 & 0x03) << 4));
+                        f(4 * i + 3, b2 >> 2);
+                    }
+                    return;
+                }
+                _ => {}
+            }
+        }
+        let base = index * m;
+        for sub in 0..m {
+            f(sub, self.packed.get(base + sub) as usize);
         }
     }
 
@@ -423,6 +465,42 @@ pub struct ScoreLut {
 }
 
 impl ScoreLut {
+    /// Creates an empty table, to be (re)filled with
+    /// [`ScoreLut::fill_from`]. Decode scratch buffers hold one of these per
+    /// worker and refill it for every `(layer, head)` query without
+    /// reallocating.
+    pub fn empty() -> Self {
+        Self {
+            m: 0,
+            k: 0,
+            table: Vec::new(),
+        }
+    }
+
+    /// Recomputes the table for `query` against `codebook`, reusing the
+    /// existing allocation (Eq. 7's `q × C_iᵀ` per subspace).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len() != codebook.dim()`.
+    pub fn fill_from(&mut self, codebook: &PqCodebook, query: &[f32]) {
+        assert_eq!(query.len(), codebook.dim(), "score_lut dimension mismatch");
+        let m = codebook.config.m;
+        let k = codebook.config.codebook_size();
+        let dsub = codebook.dsub;
+        self.m = m;
+        self.k = k;
+        self.table.resize(m * k, 0.0);
+        for sub in 0..m {
+            let q_sub = &query[sub * dsub..(sub + 1) * dsub];
+            let row = &mut self.table[sub * k..(sub + 1) * k];
+            let centroids = &codebook.centroids[sub];
+            for (c, slot) in row.iter_mut().enumerate() {
+                *slot = dot(q_sub, centroids.row(c));
+            }
+        }
+    }
+
     /// Number of subspaces.
     pub fn m(&self) -> usize {
         self.m
@@ -455,15 +533,106 @@ impl ScoreLut {
     /// code block, appending them to `out`. This is the CPU analogue of the
     /// paper's LUT-in-shared-memory CUDA kernel.
     pub fn scores(&self, codes: &PqCodes, out: &mut Vec<f32>) {
-        let m = self.m;
-        out.reserve(codes.len());
-        for i in 0..codes.len() {
+        let start = out.len();
+        out.resize(start + codes.len(), 0.0);
+        self.scores_into(codes, &mut out[start..]);
+    }
+
+    /// Writes the approximate logit of every vector of `codes` into
+    /// `out[..codes.len()]`, reading the packed rows directly (no unpacked
+    /// intermediate, no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes` has a different subspace count or `out` is shorter
+    /// than `codes.len()`.
+    pub fn scores_into(&self, codes: &PqCodes, out: &mut [f32]) {
+        assert_eq!(codes.config().m, self.m, "scores subspace count mismatch");
+        assert!(out.len() >= codes.len(), "score buffer too short");
+        let k = self.k;
+        let table = &self.table;
+        for (i, slot) in out.iter_mut().enumerate().take(codes.len()) {
             let mut acc = 0.0f32;
-            for sub in 0..m {
-                acc += self.table[sub * self.k + codes.code(i, sub) as usize];
-            }
-            out.push(acc);
+            codes.walk_row(i, |sub, code| acc += table[sub * k + code]);
+            *slot = acc;
         }
+    }
+
+    /// Fused score + online-softmax + value-mass kernel: a single pass over
+    /// the packed key and value codes replaces the two-pass
+    /// (materialise-scores, then accumulate) structure.
+    ///
+    /// For every cached token the key row is scored through the table, the
+    /// running softmax maximum is updated flash-decoding style (rescaling
+    /// the centroid-mass accumulator on the rare occasions the maximum
+    /// moves), and the token's softmax weight is credited to the value
+    /// centroids its codes select — so each code byte is read exactly once
+    /// and no score vector ever exists.
+    ///
+    /// `alibi` is the optional `(slope, query_position)` pair for ALiBi
+    /// models. `acc` is reshaped for `value_codes` and reset internally;
+    /// afterwards it holds the per-centroid softmax mass (relative to the
+    /// returned maximum). Returns the `(max_score, sum_exp)` pair for
+    /// merging with other segments via an online softmax.
+    ///
+    /// Note: the online rescaling reassociates the `exp` arithmetic, so
+    /// results can differ from the two-pass kernel by ~1e-7 relative — the
+    /// unavoidable float-reassociation cost of fusing the max into the pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key/value code blocks hold different token counts or
+    /// `key_codes` does not match this table's subspace count.
+    pub fn fused_attend(
+        &self,
+        key_codes: &PqCodes,
+        value_codes: &PqCodes,
+        scale: f32,
+        alibi: Option<(f32, usize)>,
+        acc: &mut ValueAccumulator,
+    ) -> (f32, f32) {
+        let n = key_codes.len();
+        assert_eq!(n, value_codes.len(), "key/value token count mismatch");
+        assert_eq!(
+            key_codes.config().m,
+            self.m,
+            "fused_attend subspace count mismatch"
+        );
+        acc.ensure_shape(value_codes.config().m, value_codes.config().codebook_size());
+        acc.reset();
+        let k = self.k;
+        let table = &self.table;
+        let mut max_score = f32::NEG_INFINITY;
+        let mut sum_exp = 0.0f32;
+        // ALiBi bias grows with token position, so a forward walk would move
+        // the running maximum on ~every token once the linear trend dominates
+        // score noise — each move rescaling the whole m*k mass buffer. Walk
+        // newest-to-oldest in that case: the bias then *decreases*, the max
+        // settles within the first few tokens, and rescales stay rare (the
+        // per-centroid sums and `sum_exp` are order-independent up to float
+        // rounding).
+        let newest_first = alibi.is_some();
+        for i in 0..n {
+            let t = if newest_first { n - 1 - i } else { i };
+            let mut score = 0.0f32;
+            key_codes.walk_row(t, |sub, code| score += table[sub * k + code]);
+            score *= scale;
+            if let Some((slope, query_pos)) = alibi {
+                score += million_tensor::alibi::alibi_bias(slope, query_pos, t);
+            }
+            if score > max_score {
+                if max_score != f32::NEG_INFINITY {
+                    let rescale = (max_score - score).exp();
+                    sum_exp *= rescale;
+                    acc.rescale(rescale);
+                }
+                max_score = score;
+            }
+            let w = (score - max_score).exp();
+            sum_exp += w;
+            acc.add_indexed(w, value_codes, t);
+        }
+        (max_score, sum_exp)
     }
 }
 
@@ -496,6 +665,29 @@ impl ValueAccumulator {
         Self::new(codebook.config().m, codebook.config().codebook_size())
     }
 
+    /// Reshapes the accumulator for `m` subspaces of `k` centroids, reusing
+    /// the mass buffer when it is already large enough. The mass is *not*
+    /// cleared; call [`ValueAccumulator::reset`] to start a new reduction.
+    pub fn ensure_shape(&mut self, m: usize, k: usize) {
+        if self.m != m || self.k != k {
+            self.m = m;
+            self.k = k;
+            self.mass.resize(m * k, 0.0);
+        }
+    }
+
+    /// Zeroes the accumulated mass, keeping the allocation.
+    pub fn reset(&mut self) {
+        self.mass.iter_mut().for_each(|w| *w = 0.0);
+    }
+
+    /// Multiplies every accumulated weight by `factor` — the online-softmax
+    /// rescale applied when a new running maximum is found mid-pass.
+    #[inline]
+    pub(crate) fn rescale(&mut self, factor: f32) {
+        self.mass.iter_mut().for_each(|w| *w *= factor);
+    }
+
     /// Adds `weight` to the centroid buckets selected by `codes`.
     #[inline]
     pub fn add(&mut self, weight: f32, codes: &[u16]) {
@@ -505,12 +697,14 @@ impl ValueAccumulator {
         }
     }
 
-    /// Adds `weight` for the vector at `index` of a code block.
+    /// Adds `weight` for the vector at `index` of a code block, reading the
+    /// packed row directly.
     #[inline]
     pub fn add_indexed(&mut self, weight: f32, codes: &PqCodes, index: usize) {
-        for sub in 0..self.m {
-            self.mass[sub * self.k + codes.code(index, sub) as usize] += weight;
-        }
+        debug_assert_eq!(codes.config().m, self.m);
+        let k = self.k;
+        let mass = &mut self.mass;
+        codes.walk_row(index, |sub, code| mass[sub * k + code] += weight);
     }
 
     /// Produces `sum_t w_t * decode(V_t)` by mixing centroids with the
@@ -705,6 +899,116 @@ mod tests {
     }
 
     #[test]
+    fn scores_into_matches_append_variant() {
+        let (cb, data) = small_codebook(20);
+        let codes = cb.encode_matrix(&data.slice_rows(0..50));
+        let query: Vec<f32> = (0..32).map(|i| (i as f32 * 0.17).cos()).collect();
+        let lut = cb.score_lut(&query);
+        let mut appended = vec![-1.0f32; 3];
+        lut.scores(&codes, &mut appended);
+        let mut direct = vec![0.0f32; 50];
+        lut.scores_into(&codes, &mut direct);
+        assert_eq!(&appended[..3], &[-1.0, -1.0, -1.0]);
+        assert_eq!(&appended[3..], &direct[..]);
+    }
+
+    #[test]
+    fn fill_from_reuses_allocation_and_matches_fresh_lut() {
+        let (cb, _) = small_codebook(21);
+        let q1: Vec<f32> = (0..32).map(|i| (i as f32 * 0.31).sin()).collect();
+        let q2: Vec<f32> = (0..32).map(|i| 0.2 * i as f32 - 3.0).collect();
+        let mut reused = ScoreLut::empty();
+        reused.fill_from(&cb, &q1);
+        reused.fill_from(&cb, &q2); // refill with a different query
+        let fresh = cb.score_lut(&q2);
+        assert_eq!(reused.m(), fresh.m());
+        assert_eq!(reused.k(), fresh.k());
+        assert_eq!(reused.table, fresh.table);
+    }
+
+    #[test]
+    fn fused_attend_matches_two_pass_reference() {
+        for (m, nbits, alibi) in [
+            (8usize, 4u8, None),
+            (8, 6, Some((0.4f32, 63usize))),
+            (4, 8, None),
+        ] {
+            let data = training_data(22, 400, 32);
+            let config = PqConfig::new(m, nbits).unwrap();
+            let opts = PqTrainOptions::default();
+            let key_cb = PqCodebook::train(&config, &data, &opts, 5).unwrap();
+            let value_cb = PqCodebook::train(&config, &data, &opts, 6).unwrap();
+            let tokens = data.slice_rows(0..64);
+            let key_codes = key_cb.encode_matrix(&tokens);
+            let value_codes = value_cb.encode_matrix(&tokens);
+            let query: Vec<f32> = (0..32).map(|i| (i as f32 * 0.23).sin()).collect();
+            let lut = key_cb.score_lut(&query);
+            let scale = 0.25f32;
+
+            // Two-pass reference: materialised scores, exact max, then mass.
+            let mut scores = vec![0.0f32; 64];
+            lut.scores_into(&key_codes, &mut scores);
+            for (t, s) in scores.iter_mut().enumerate() {
+                *s *= scale;
+                if let Some((slope, qpos)) = alibi {
+                    *s += million_tensor::alibi::alibi_bias(slope, qpos, t);
+                }
+            }
+            let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            let mut ref_acc = ValueAccumulator::for_codebook(&value_cb);
+            for (t, &s) in scores.iter().enumerate() {
+                let w = (s - max).exp();
+                sum += w;
+                ref_acc.add_indexed(w, &value_codes, t);
+            }
+            let mut expected = vec![0.0f32; 32];
+            ref_acc.finish_into(&value_cb, &mut expected);
+            expected.iter_mut().for_each(|v| *v /= sum);
+
+            // Fused kernel.
+            let mut acc = ValueAccumulator::new(1, 1); // wrong shape on purpose
+            let (fmax, fsum) = lut.fused_attend(&key_codes, &value_codes, scale, alibi, &mut acc);
+            assert!((fmax - max).abs() < 1e-5, "max {fmax} vs {max}");
+            let mut got = vec![0.0f32; 32];
+            acc.finish_into(&value_cb, &mut got);
+            got.iter_mut().for_each(|v| *v /= fsum);
+
+            for (g, e) in got.iter().zip(expected.iter()) {
+                assert!(
+                    (g - e).abs() < 1e-5,
+                    "m={m} nbits={nbits}: {g} vs {e} (fused vs two-pass)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_attend_on_empty_codes_is_neutral() {
+        let (cb, _) = small_codebook(23);
+        let codes = PqCodes::new(cb.config());
+        let query = vec![0.5f32; 32];
+        let lut = cb.score_lut(&query);
+        let mut acc = ValueAccumulator::for_codebook(&cb);
+        let (max, sum) = lut.fused_attend(&codes, &codes, 1.0, None, &mut acc);
+        assert_eq!(max, f32::NEG_INFINITY);
+        assert_eq!(sum, 0.0);
+    }
+
+    #[test]
+    fn four_bit_codes_use_quarter_of_unpacked_u16_memory() {
+        // The kernel layout stores 4-bit codes packed two-per-byte; the naive
+        // representation this PR replaced held one u16 per code — exactly 4x.
+        let config = PqConfig::new(8, 4).unwrap();
+        let mut codes = PqCodes::new(config);
+        for i in 0..256u16 {
+            codes.push(&[i % 16; 8]);
+        }
+        let unpacked_u16_bytes = codes.len() * config.m * std::mem::size_of::<u16>();
+        assert_eq!(codes.memory_bytes() * 4, unpacked_u16_bytes);
+    }
+
+    #[test]
     fn pq_codes_append_and_memory() {
         let config = PqConfig::new(4, 8).unwrap();
         let mut a = PqCodes::new(config);
@@ -765,6 +1069,64 @@ mod tests {
                 prop_assert_eq!(codes.len(), 4);
                 prop_assert!(codes.iter().all(|&c| (c as usize) < 16));
             }
+        }
+
+        #[test]
+        fn packed_codes_roundtrip_unpacked_u16_for_kernel_widths(
+            nbits_idx in 0usize..3,
+            m_idx in 0usize..5,
+            n_rows in 1usize..40,
+            split in 0usize..40,
+            seed in 0u64..1000,
+        ) {
+            let nbits = [4u8, 6, 8][nbits_idx];
+            // Both byte-aligned rows (the unrolled kernel paths) and odd
+            // widths (the bit-cursor fallback).
+            let m = [2usize, 4, 8, 5, 7][m_idx];
+            // Reference model: the unpacked Vec<u16>-per-row representation
+            // the kernel layout replaced. Everything the packed block can
+            // answer must agree with it exactly, across push, append (both
+            // the byte-aligned memcpy path and the bit-cursor fallback),
+            // read_into, code, and walk_row.
+            let config = PqConfig::new(m, nbits).unwrap();
+            let max = (1u32 << nbits) as u64;
+            let rows: Vec<Vec<u16>> = (0..n_rows)
+                .map(|r| {
+                    (0..m)
+                        .map(|s| (((seed * 31 + r as u64 * 17 + s as u64 * 7) * 2654435761) % max) as u16)
+                        .collect()
+                })
+                .collect();
+            let split = split.min(n_rows);
+
+            // Build one block by pushes, a second by append of the tail.
+            let mut head = PqCodes::new(config);
+            for row in &rows[..split] {
+                head.push(row);
+            }
+            let mut tail = PqCodes::new(config);
+            for row in &rows[split..] {
+                tail.push(row);
+            }
+            head.append(&tail);
+            prop_assert_eq!(head.len(), n_rows);
+
+            let mut buf = vec![0u16; m];
+            for (r, expected) in rows.iter().enumerate() {
+                head.read_into(r, &mut buf);
+                prop_assert_eq!(&buf, expected);
+                for (s, &want) in expected.iter().enumerate() {
+                    prop_assert_eq!(head.code(r, s), want);
+                }
+                let mut walked = vec![0u16; m];
+                head.walk_row(r, |sub, code| walked[sub] = code as u16);
+                prop_assert_eq!(&walked, expected);
+            }
+            // Packed storage really is nbits-dense.
+            prop_assert_eq!(
+                head.memory_bytes(),
+                (n_rows * m * nbits as usize).div_ceil(8)
+            );
         }
 
         #[test]

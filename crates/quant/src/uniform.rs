@@ -157,10 +157,10 @@ impl QuantizedMatrix {
                 }
             }
             Granularity::PerChannel => {
-                // One parameter per column; codes still stored row-major.
+                // One parameter per column; codes still stored row-major. The
+                // strided column iterator avoids materialising each column.
                 for c in 0..cols {
-                    let col = data.column(c);
-                    let (min, max) = min_max(&col);
+                    let (min, max) = min_max_iter(data.column_iter(c));
                     params.push(QuantParams::from_range(min, max, bits, symmetry));
                 }
                 for r in 0..rows {
@@ -279,9 +279,13 @@ impl QuantizedMatrix {
 }
 
 fn min_max(values: &[f32]) -> (f32, f32) {
+    min_max_iter(values.iter().copied())
+}
+
+fn min_max_iter(values: impl Iterator<Item = f32>) -> (f32, f32) {
     let mut min = f32::INFINITY;
     let mut max = f32::NEG_INFINITY;
-    for &v in values {
+    for v in values {
         min = min.min(v);
         max = max.max(v);
     }

@@ -166,8 +166,43 @@ impl Matrix {
     }
 
     /// Copies one column into a fresh vector.
+    ///
+    /// Hot paths should prefer [`Matrix::column_iter`] (no materialisation)
+    /// or [`Matrix::column_into`] (caller-owned buffer): this variant
+    /// allocates a new `Vec` on every call.
     pub fn column(&self, col: usize) -> Vec<f32> {
-        (0..self.rows).map(|r| self.get(r, col)).collect()
+        self.column_iter(col).collect()
+    }
+
+    /// Strided iterator over one column, without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= cols` (on a non-empty matrix).
+    #[inline]
+    pub fn column_iter(&self, col: usize) -> impl ExactSizeIterator<Item = f32> + '_ {
+        assert!(
+            col < self.cols || self.rows == 0,
+            "column index out of bounds"
+        );
+        self.data
+            .iter()
+            .skip(col)
+            .step_by(self.cols.max(1))
+            .copied()
+    }
+
+    /// Copies one column into a caller-provided buffer of length `rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= cols` or `out.len() != rows`.
+    pub fn column_into(&self, col: usize, out: &mut [f32]) {
+        assert!(col < self.cols, "column index out of bounds");
+        assert_eq!(out.len(), self.rows, "column buffer length mismatch");
+        for (slot, value) in out.iter_mut().zip(self.column_iter(col)) {
+            *slot = value;
+        }
     }
 
     /// Returns a new matrix containing rows `range.start..range.end`.
@@ -483,6 +518,28 @@ mod tests {
     fn column_extracts_values() {
         let m = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32);
         assert_eq!(m.column(1), vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn column_iter_and_column_into_match_column() {
+        let m = Matrix::from_fn(5, 3, |r, c| (r * 7 + c * 3) as f32 - 4.0);
+        for c in 0..3 {
+            let owned = m.column(c);
+            let iterated: Vec<f32> = m.column_iter(c).collect();
+            assert_eq!(iterated, owned);
+            assert_eq!(m.column_iter(c).len(), 5);
+            let mut buf = vec![0.0f32; 5];
+            m.column_into(c, &mut buf);
+            assert_eq!(buf, owned);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "column buffer length mismatch")]
+    fn column_into_rejects_wrong_buffer() {
+        let m = Matrix::zeros(3, 2);
+        let mut buf = vec![0.0f32; 2];
+        m.column_into(0, &mut buf);
     }
 
     proptest! {

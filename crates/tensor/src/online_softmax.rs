@@ -54,6 +54,17 @@ impl OnlineSoftmax {
         }
     }
 
+    /// Clears the accumulator for a new reduction of dimension `dim`,
+    /// reusing the existing buffer (no allocation once the buffer has grown
+    /// to the largest `dim` seen). This is the scratch-reuse counterpart of
+    /// [`OnlineSoftmax::new`] used by the decode hot path.
+    pub fn reset(&mut self, dim: usize) {
+        self.max_score = f32::NEG_INFINITY;
+        self.sum_exp = 0.0;
+        self.acc.resize(dim, 0.0);
+        self.acc.iter_mut().for_each(|a| *a = 0.0);
+    }
+
     /// Output dimensionality.
     pub fn dim(&self) -> usize {
         self.acc.len()
@@ -145,6 +156,25 @@ impl OnlineSoftmax {
         let inv = 1.0 / self.sum_exp;
         self.acc.into_iter().map(|a| a * inv).collect()
     }
+
+    /// Writes `softmax(scores) @ values` into `out` without consuming the
+    /// accumulator (which can then be [`reset`](OnlineSoftmax::reset) and
+    /// reused). Writes zeros when nothing was accumulated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.dim()`.
+    pub fn finish_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.acc.len(), "output dimension mismatch");
+        if self.sum_exp == 0.0 {
+            out.iter_mut().for_each(|o| *o = 0.0);
+            return;
+        }
+        let inv = 1.0 / self.sum_exp;
+        for (o, a) in out.iter_mut().zip(self.acc.iter()) {
+            *o = a * inv;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -210,6 +240,32 @@ mod tests {
         for (o, e) in out.iter().zip(expected.iter()) {
             assert!((o - e).abs() < 1e-5, "{o} vs {e}");
         }
+    }
+
+    #[test]
+    fn reset_and_finish_into_match_fresh_accumulator() {
+        let scores = [0.7f32, -1.2, 0.3];
+        let values: Vec<Vec<f32>> = (0..3).map(|i| vec![i as f32, 2.0 - i as f32]).collect();
+
+        let mut reused = OnlineSoftmax::new(4);
+        reused.push(9.0, &[1.0, 2.0, 3.0, 4.0]); // pollute state
+        reused.reset(2);
+        let mut fresh = OnlineSoftmax::new(2);
+        for (s, v) in scores.iter().zip(values.iter()) {
+            reused.push(*s, v);
+            fresh.push(*s, v);
+        }
+        let mut out = vec![0.0f32; 2];
+        reused.finish_into(&mut out);
+        assert_eq!(out, fresh.finish());
+    }
+
+    #[test]
+    fn finish_into_on_empty_writes_zeros() {
+        let acc = OnlineSoftmax::new(3);
+        let mut out = vec![7.0f32; 3];
+        acc.finish_into(&mut out);
+        assert_eq!(out, vec![0.0; 3]);
     }
 
     #[test]

@@ -184,6 +184,37 @@ fn batch_scheduler_matches_serial_sessions_with_four_users() {
 }
 
 #[test]
+fn scheduler_scratch_reuse_matches_fresh_scratch_decode_token_for_token() {
+    // Sessions own per-worker attention scratch reused across every step;
+    // the scheduler interleaves N sessions, so one session's scratch sees
+    // many (layer, head) calls between its own steps. A stale buffer — a
+    // leftover LUT, score, or centroid-mass value — would show up here as a
+    // divergence from the fresh-scratch-per-step reference loop, which
+    // builds a new DecodeScratch on every decode_step call.
+    let config = ModelConfig::tiny_for_tests();
+    let engine = build_engine(
+        &config,
+        MillionConfig::four_bit(config.head_dim()).with_sync_quant(),
+        67,
+    );
+    let prompts: Vec<Vec<u32>> = (0..3).map(|i| prompt(&config, 20 + 6 * i)).collect();
+
+    let mut scheduler = BatchScheduler::new(&engine);
+    for p in &prompts {
+        scheduler.add_session(p, GenerationOptions::max_tokens(10), Sampler::greedy());
+    }
+    let reports = scheduler.run_to_completion();
+
+    for (p, report) in prompts.iter().zip(reports.iter()) {
+        let fresh = seed_sync_loop(&engine, p, 10);
+        assert_eq!(
+            report.tokens, fresh,
+            "scratch-reusing scheduled session diverged from fresh-scratch decode"
+        );
+    }
+}
+
+#[test]
 fn async_batch_scheduler_completes_and_compresses() {
     let config = ModelConfig::tiny_for_tests();
     let engine = build_engine(&config, MillionConfig::four_bit(config.head_dim()), 61);

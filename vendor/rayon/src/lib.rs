@@ -15,9 +15,28 @@ pub mod prelude {
 }
 
 fn num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    // Mirror real rayon: RAYON_NUM_THREADS overrides the detected core
+    // count (useful for forcing the parallel paths on single-core CI boxes
+    // and for pinning benchmarks). Cached once per process.
+    static N: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Number of worker threads parallel operations may use, mirroring
+/// `rayon::current_num_threads`. Callers sizing per-worker scratch pools
+/// (one state per worker, reused across calls) should allocate this many.
+pub fn current_num_threads() -> usize {
+    num_threads()
 }
 
 /// Conversion into a parallel iterator.
@@ -144,6 +163,80 @@ pub struct ParChunksMutEnumerate<'a, T> {
 }
 
 impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    /// Applies `f` to every `(index, chunk)` pair in parallel, handing each
+    /// worker exclusive access to one element of a caller-owned scratch pool.
+    ///
+    /// This is the shim's reusable-state analogue of rayon's
+    /// `for_each_init`: real rayon creates fresh state per split, which would
+    /// allocate on every call — here the caller owns the pool (sized via
+    /// [`crate::current_num_threads`]) so scratch buffers persist across
+    /// calls. Passing a single-element pool forces the serial path, which
+    /// performs no allocation (and spawns no threads) at all — callers use
+    /// that to gate parallelism on a work threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool` is empty while there is at least one chunk.
+    pub fn for_each_with_scratch<S, F>(self, pool: &mut [S], f: F)
+    where
+        S: Send,
+        F: Fn(&mut S, (usize, &mut [T])) + Sync,
+    {
+        let workers = num_threads();
+        self.for_each_with_scratch_on(workers, pool, f)
+    }
+
+    /// [`Self::for_each_with_scratch`] with an explicit worker budget —
+    /// split out so the parallel branch stays testable on single-core
+    /// machines.
+    fn for_each_with_scratch_on<S, F>(self, workers: usize, pool: &mut [S], f: F)
+    where
+        S: Send,
+        F: Fn(&mut S, (usize, &mut [T])) + Sync,
+    {
+        if self.data.is_empty() {
+            return;
+        }
+        assert!(
+            !pool.is_empty(),
+            "scratch pool must hold at least one state"
+        );
+        let n = self.data.len().div_ceil(self.chunk_size);
+        let nt = workers.min(n).min(pool.len()).max(1);
+        if nt <= 1 {
+            // Allocation-free serial path: no partitioning, no threads.
+            let scratch = &mut pool[0];
+            for pair in self.data.chunks_mut(self.chunk_size).enumerate() {
+                f(scratch, pair);
+            }
+            return;
+        }
+        // Peel contiguous blocks of whole chunks off the slice with
+        // `split_at_mut` — no chunk vector, no per-group vectors; the only
+        // per-call cost left is the scoped thread spawns themselves.
+        let per = n.div_ceil(nt);
+        let chunk_size = self.chunk_size;
+        let f = &f;
+        std::thread::scope(|scope| {
+            let mut rest = self.data;
+            let mut first_chunk = 0usize;
+            let mut states = pool.iter_mut();
+            while !rest.is_empty() {
+                let take = (per * chunk_size).min(rest.len());
+                let (block, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let scratch = states.next().expect("pool holds one state per group");
+                let base = first_chunk;
+                scope.spawn(move || {
+                    for (j, chunk) in block.chunks_mut(chunk_size).enumerate() {
+                        f(scratch, (base + j, chunk));
+                    }
+                });
+                first_chunk += per;
+            }
+        });
+    }
+
     /// Applies `f` to every `(index, chunk)` pair in parallel.
     pub fn for_each<F>(self, f: F)
     where
@@ -211,5 +304,61 @@ mod tests {
     fn empty_range_collects_empty() {
         let empty: Vec<u8> = (5..5).into_par_iter().map(|_| 0u8).collect();
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn for_each_with_scratch_reuses_pool_and_covers_chunks() {
+        let mut pool: Vec<Vec<usize>> = (0..super::current_num_threads().max(1))
+            .map(|_| Vec::new())
+            .collect();
+        let mut data = vec![0usize; 57];
+        data.par_chunks_mut(5).enumerate().for_each_with_scratch(
+            &mut pool,
+            |scratch, (i, chunk)| {
+                scratch.push(i);
+                for v in chunk.iter_mut() {
+                    *v = i + 1;
+                }
+            },
+        );
+        assert!(data.iter().all(|&v| v > 0));
+        // Every chunk index was seen exactly once across the pool states.
+        let mut seen: Vec<usize> = pool.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_with_scratch_parallel_branch_covers_all_chunks_once() {
+        // Force the multi-worker branch regardless of the machine's core
+        // count: 4 workers over 13 chunks of mixed sizes.
+        let mut pool: Vec<Vec<usize>> = (0..4).map(|_| Vec::new()).collect();
+        let mut data = vec![0usize; 5 * 12 + 3]; // last chunk is partial
+        super::ParChunksMutEnumerate {
+            data: &mut data,
+            chunk_size: 5,
+        }
+        .for_each_with_scratch_on(4, &mut pool, |scratch, (i, chunk)| {
+            scratch.push(i);
+            for v in chunk.iter_mut() {
+                *v = i + 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v > 0));
+        assert_eq!(*data.last().unwrap(), 13); // partial chunk got index 12
+        let mut seen: Vec<usize> = pool.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..13).collect::<Vec<_>>());
+        // More than one worker actually carried chunks.
+        assert!(pool.iter().filter(|g| !g.is_empty()).count() > 1);
+    }
+
+    #[test]
+    fn for_each_with_scratch_on_empty_slice_is_noop() {
+        let mut pool = vec![0u8; 1];
+        let mut data: Vec<u8> = Vec::new();
+        data.par_chunks_mut(4)
+            .enumerate()
+            .for_each_with_scratch(&mut pool, |_, _| panic!("no chunks expected"));
     }
 }
