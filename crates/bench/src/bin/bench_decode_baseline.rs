@@ -6,9 +6,14 @@
 //! the session API, then writes `BENCH_decode.json` so every later PR has a
 //! datapoint to compare against.
 //!
-//! Usage: `bench_decode_baseline [--fast] [--out <path>]`. `--fast` shrinks
-//! iteration counts for the CI smoke run; the committed baseline is produced
-//! by a full release-mode run.
+//! Usage: `bench_decode_baseline [--fast] [--out <path>] [--check <baseline>]`.
+//! `--fast` shrinks iteration counts for the CI smoke run; the committed
+//! baseline is produced by a full release-mode run. `--check` diffs the
+//! freshly measured kernels against a committed baseline file and exits
+//! non-zero on regression: *relative* kernel speedups (machine-portable,
+//! noise-tolerant) and the deterministic layout/accounting figures
+//! (bytes/token, compression ratio, which must match the baseline closely on
+//! any machine).
 
 use std::time::Instant;
 
@@ -192,15 +197,99 @@ fn e2e_report(decode_tokens: usize) -> E2eReport {
     }
 }
 
+/// Compares a fresh report against the committed baseline. Returns the list
+/// of regressions (empty = pass).
+fn diff_against_baseline(report: &BenchReport, baseline_text: &str) -> Vec<String> {
+    let mut failures = Vec::new();
+    let baseline = match serde_json::from_str(baseline_text) {
+        Ok(v) => v,
+        Err(_) => return vec!["baseline file is not valid JSON".to_string()],
+    };
+    if baseline.get("schema").and_then(|s| s.as_str()) != Some(report.schema) {
+        return vec!["baseline schema mismatch".to_string()];
+    }
+    let Some(base_kernels) = baseline.get("kernels").and_then(|k| k.as_array()) else {
+        return vec!["baseline has no kernel reports".to_string()];
+    };
+    for current in &report.kernels {
+        let Some(base) = base_kernels
+            .iter()
+            .find(|b| b.get("nbits").and_then(|n| n.as_f64()) == Some(f64::from(current.nbits)))
+        else {
+            failures.push(format!(
+                "baseline has no {}-bit kernel report",
+                current.nbits
+            ));
+            continue;
+        };
+        // Layout accounting is deterministic — any drift is a real change.
+        let base_bytes = base.get("code_bytes_per_token").and_then(|v| v.as_f64());
+        if base_bytes != Some(current.code_bytes_per_token as f64) {
+            failures.push(format!(
+                "{}-bit code_bytes_per_token changed: baseline {:?}, now {}",
+                current.nbits, base_bytes, current.code_bytes_per_token
+            ));
+        }
+        let base_variants = base
+            .get("variants")
+            .and_then(|v| v.as_array())
+            .unwrap_or(&[]);
+        for variant in &current.variants {
+            let Some(base_speedup) = base_variants
+                .iter()
+                .find(|b| b.get("name").and_then(|n| n.as_str()) == Some(variant.name))
+                .and_then(|b| b.get("speedup_vs_two_pass_unpacked"))
+                .and_then(|s| s.as_f64())
+            else {
+                failures.push(format!(
+                    "baseline {}-bit report lacks variant {}",
+                    current.nbits, variant.name
+                ));
+                continue;
+            };
+            // Speedups are ratios of two timings on the *same* machine and
+            // run, so they transfer across hardware; allow a wide noise
+            // band (smoke runs use very few reps).
+            let floor = (base_speedup * 0.6).min(0.95);
+            if variant.speedup_vs_two_pass_unpacked < floor {
+                failures.push(format!(
+                    "{}-bit {} regressed: speedup {:.2}x vs baseline {:.2}x (floor {:.2}x)",
+                    current.nbits,
+                    variant.name,
+                    variant.speedup_vs_two_pass_unpacked,
+                    base_speedup,
+                    floor
+                ));
+            }
+        }
+    }
+    // Memory accounting of the end-to-end path is deterministic.
+    if let Some(base_ratio) = baseline
+        .get("e2e")
+        .and_then(|e| e.get("compression_ratio"))
+        .and_then(|r| r.as_f64())
+    {
+        if (report.e2e.compression_ratio - base_ratio).abs() > 0.1 * base_ratio {
+            failures.push(format!(
+                "e2e compression ratio drifted: {:.4} vs baseline {:.4}",
+                report.e2e.compression_ratio, base_ratio
+            ));
+        }
+    }
+    failures
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let fast = args.iter().any(|a| a == "--fast");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_decode.json".to_string());
+    let arg_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_decode.json".to_string());
+    let check_path = arg_value("--check");
 
     let (reps, decode_tokens, mode) = if fast {
         (3, 8, "fast")
@@ -264,6 +353,22 @@ fn main() {
                 "fused packed kernel slower than seed kernel at {}bit",
                 report.nbits
             );
+        }
+    }
+
+    // CI regression gate: diff the fresh measurements against the committed
+    // baseline file and fail the run if a kernel fell off its baseline.
+    if let Some(baseline_path) = check_path {
+        let baseline_text =
+            std::fs::read_to_string(&baseline_path).expect("read committed baseline");
+        let failures = diff_against_baseline(&report, &baseline_text);
+        if failures.is_empty() {
+            println!("(kernel results within baseline {baseline_path})");
+        } else {
+            for failure in &failures {
+                eprintln!("regression vs {baseline_path}: {failure}");
+            }
+            std::process::exit(1);
         }
     }
 }

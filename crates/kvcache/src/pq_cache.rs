@@ -9,10 +9,20 @@
 //! 3. the dense recent window (including the current token) is attended in
 //!    full precision;
 //! 4. both segments are combined with an online softmax.
+//!
+//! The quantized history itself is **paged**: it is the concatenation of a
+//! chain of sealed, immutable, shareable [`Block`]s (owned by a
+//! [`million_store::BlockStore`] and typically co-referenced by every
+//! session that prefilled the same prompt prefix) followed by this cache's
+//! private open tail of codes. The fused kernel walks the chain chunk by
+//! chunk through [`million_quant::pq::ScoreLut::fused_attend_chunk`], which
+//! continues one online softmax across chunks — paged attention is
+//! bit-identical to attention over one monolithic code buffer.
 
 use std::sync::Arc;
 
-use million_quant::pq::{PqCodebook, PqCodes};
+use million_quant::pq::{FusedAlibi, FusedState, PqCodebook, PqCodes};
+use million_store::Block;
 use million_tensor::alibi::alibi_bias;
 use million_tensor::ops::dot;
 use million_tensor::Matrix;
@@ -35,10 +45,13 @@ pub struct PqCacheConfig {
     /// that fall out of the residual window. The asynchronous engine sets
     /// this to `false` and feeds codes back via [`PqKvCache::absorb_encoded`].
     pub auto_encode: bool,
+    /// Which model layer this cache serves — the slice of each multi-layer
+    /// shared [`Block`] it reads. Irrelevant (0) when no blocks are attached.
+    pub layer: usize,
 }
 
 impl PqCacheConfig {
-    /// Convenience constructor with `auto_encode = true`.
+    /// Convenience constructor with `auto_encode = true` and `layer = 0`.
     pub fn new(
         key_codebook: Arc<PqCodebook>,
         value_codebook: Arc<PqCodebook>,
@@ -49,7 +62,15 @@ impl PqCacheConfig {
             value_codebook,
             residual_len,
             auto_encode: true,
+            layer: 0,
         }
+    }
+
+    /// Sets the layer index used to address shared blocks.
+    #[must_use]
+    pub fn with_layer(mut self, layer: usize) -> Self {
+        self.layer = layer;
+        self
     }
 }
 
@@ -81,15 +102,21 @@ impl EncodedTokens {
 pub struct PqKvCache {
     layout: CacheLayout,
     config: PqCacheConfig,
-    /// Per-head key codes of the quantized prefix.
+    /// Sealed shared blocks of the quantized prefix, oldest first. This
+    /// cache reads the `config.layer` slice of each; the blocks themselves
+    /// are immutable and usually co-owned by other sessions.
+    shared: Vec<Arc<Block>>,
+    /// Tokens covered by `shared`.
+    shared_tokens: usize,
+    /// Per-head key codes of the private (unsealed) quantized tail.
     key_codes: Vec<PqCodes>,
-    /// Per-head value codes of the quantized prefix.
+    /// Per-head value codes of the private quantized tail.
     value_codes: Vec<PqCodes>,
     /// Per-head dense recent keys, `[recent_len, head_dim]` row-major.
     recent_keys: Vec<Vec<f32>>,
     /// Per-head dense recent values.
     recent_values: Vec<Vec<f32>>,
-    /// Tokens in the quantized prefix.
+    /// Tokens in the quantized prefix (shared blocks + private tail).
     quantized_len: usize,
     /// Tokens in the dense suffix.
     recent_len: usize,
@@ -99,6 +126,8 @@ impl std::fmt::Debug for PqKvCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PqKvCache")
             .field("layout", &self.layout)
+            .field("shared_blocks", &self.shared.len())
+            .field("shared_tokens", &self.shared_tokens)
             .field("quantized_len", &self.quantized_len)
             .field("recent_len", &self.recent_len)
             .finish()
@@ -131,6 +160,8 @@ impl PqKvCache {
         Self {
             layout,
             config,
+            shared: Vec::new(),
+            shared_tokens: 0,
             key_codes,
             value_codes,
             recent_keys: vec![Vec::new(); layout.n_kv_heads],
@@ -140,7 +171,7 @@ impl PqKvCache {
         }
     }
 
-    /// Number of tokens currently stored as PQ codes.
+    /// Number of tokens currently stored as PQ codes (shared + private).
     pub fn quantized_len(&self) -> usize {
         self.quantized_len
     }
@@ -148,6 +179,170 @@ impl PqKvCache {
     /// Number of tokens currently stored densely.
     pub fn recent_len(&self) -> usize {
         self.recent_len
+    }
+
+    /// Tokens covered by attached shared blocks.
+    pub fn shared_tokens(&self) -> usize {
+        self.shared_tokens
+    }
+
+    /// Tokens in the private (unsealed) quantized tail.
+    pub fn private_quantized_len(&self) -> usize {
+        self.quantized_len - self.shared_tokens
+    }
+
+    /// The attached shared blocks, oldest first.
+    pub fn shared_blocks(&self) -> &[Arc<Block>] {
+        &self.shared
+    }
+
+    /// Per-head private key codes of the unsealed tail (for persistence).
+    pub fn private_key_codes(&self) -> &[PqCodes] {
+        &self.key_codes
+    }
+
+    /// Per-head private value codes of the unsealed tail (for persistence).
+    pub fn private_value_codes(&self) -> &[PqCodes] {
+        &self.value_codes
+    }
+
+    /// Per-head dense recent keys, `[recent_len, head_dim]` row-major (for
+    /// persistence).
+    pub fn recent_key_rows(&self) -> &[Vec<f32>] {
+        &self.recent_keys
+    }
+
+    /// Per-head dense recent values (for persistence).
+    pub fn recent_value_rows(&self) -> &[Vec<f32>] {
+        &self.recent_values
+    }
+
+    /// Appends a sealed block to the shared chain. The block's tokens
+    /// logically *precede* the private tail, so this is only valid right
+    /// after construction (prefix attach on admission / restore) or right
+    /// after the corresponding codes were removed from the front of the
+    /// private tail with [`PqKvCache::take_private_front`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block's geometry or code configuration disagrees with
+    /// this cache.
+    pub fn attach_shared_block(&mut self, block: Arc<Block>) {
+        assert!(
+            self.config.layer < block.n_layers(),
+            "cache layer {} outside block's {} layers",
+            self.config.layer,
+            block.n_layers()
+        );
+        assert_eq!(
+            block.n_kv_heads(),
+            self.layout.n_kv_heads,
+            "shared block head count mismatch"
+        );
+        let probe = block.key_codes(self.config.layer, 0);
+        assert_eq!(
+            probe.config(),
+            self.config.key_codebook.config(),
+            "shared block key code config mismatch"
+        );
+        assert_eq!(
+            block.value_codes(self.config.layer, 0).config(),
+            self.config.value_codebook.config(),
+            "shared block value code config mismatch"
+        );
+        self.shared_tokens += block.len();
+        self.quantized_len += block.len();
+        self.shared.push(block);
+    }
+
+    /// Removes and returns the first `n` tokens of the private quantized
+    /// tail as per-head `(key, value)` code blocks — the donor half of
+    /// sealing: the caller bundles the codes of every layer into a
+    /// [`Block`] and re-attaches it via [`PqKvCache::attach_shared_block`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` private quantized tokens exist.
+    pub fn take_private_front(&mut self, n: usize) -> (Vec<PqCodes>, Vec<PqCodes>) {
+        assert!(
+            n <= self.private_quantized_len(),
+            "cannot take {n} tokens from a private tail of {}",
+            self.private_quantized_len()
+        );
+        let keys = self.key_codes.iter_mut().map(|c| c.take_front(n)).collect();
+        let values = self
+            .value_codes
+            .iter_mut()
+            .map(|c| c.take_front(n))
+            .collect();
+        self.quantized_len -= n;
+        (keys, values)
+    }
+
+    /// Replaces the first `block.len()` tokens of the private tail with a
+    /// shared block holding identical codes (publish-time copy-on-write
+    /// convergence: this session's codes are dropped in favour of the
+    /// already-resident copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the private tail is shorter than the block.
+    pub fn replace_private_front_with_block(&mut self, block: Arc<Block>) {
+        let n = block.len();
+        let _ = self.take_private_front(n);
+        self.attach_shared_block(block);
+    }
+
+    /// Restores the private tail and dense window of a persisted cache.
+    /// Must be called on a cache whose private tail and recent window are
+    /// empty (shared blocks may already be attached).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache already holds private/dense tokens or the shapes
+    /// disagree with the layout.
+    pub fn restore_parts(
+        &mut self,
+        key_codes: Vec<PqCodes>,
+        value_codes: Vec<PqCodes>,
+        recent_keys: Vec<Vec<f32>>,
+        recent_values: Vec<Vec<f32>>,
+    ) {
+        assert_eq!(self.private_quantized_len(), 0, "private tail not empty");
+        assert_eq!(self.recent_len, 0, "recent window not empty");
+        let h = self.layout.n_kv_heads;
+        let d = self.layout.head_dim;
+        assert!(
+            key_codes.len() == h
+                && value_codes.len() == h
+                && recent_keys.len() == h
+                && recent_values.len() == h,
+            "restored head count mismatch"
+        );
+        let private = key_codes[0].len();
+        assert!(
+            key_codes
+                .iter()
+                .all(|c| c.len() == private && c.config() == self.config.key_codebook.config())
+                && value_codes.iter().all(
+                    |c| c.len() == private && c.config() == self.config.value_codebook.config()
+                ),
+            "restored private tail is ragged or misconfigured"
+        );
+        let recent = recent_keys[0].len() / d;
+        assert!(
+            recent_keys
+                .iter()
+                .chain(recent_values.iter())
+                .all(|r| r.len() == recent * d),
+            "restored dense window is ragged"
+        );
+        self.key_codes = key_codes;
+        self.value_codes = value_codes;
+        self.recent_keys = recent_keys;
+        self.recent_values = recent_values;
+        self.quantized_len += private;
+        self.recent_len = recent;
     }
 
     /// Encodes a block of `[tokens, n_kv_heads * head_dim]` keys/values into
@@ -326,6 +521,7 @@ impl PqKvCache {
         assert_eq!(out.len(), d, "output length mismatch");
         assert!(params.head < self.layout.n_kv_heads, "head out of range");
         let h = params.head;
+        let layer = self.config.layer;
 
         scratch.softmax.reset(d);
 
@@ -333,8 +529,20 @@ impl PqKvCache {
             scratch
                 .lut
                 .fill_from(&self.config.key_codebook, params.query);
+            // Pass 1: materialise every chunk's scores at its absolute
+            // position offset, walking the shared chain then the private tail.
             let scores = grown(&mut scratch.scores, self.quantized_len);
-            scratch.lut.scores_into(&self.key_codes[h], scores);
+            let mut off = 0;
+            for block in &self.shared {
+                let chunk = block.key_codes(layer, h);
+                scratch
+                    .lut
+                    .scores_into(chunk, &mut scores[off..off + chunk.len()]);
+                off += chunk.len();
+            }
+            scratch
+                .lut
+                .scores_into(&self.key_codes[h], &mut scores[off..]);
             let mut max_score = f32::NEG_INFINITY;
             for (t, s) in scores.iter_mut().enumerate() {
                 *s *= params.scale;
@@ -343,18 +551,27 @@ impl PqKvCache {
                 }
                 max_score = max_score.max(*s);
             }
+            // Pass 2: accumulate value mass chunk by chunk.
             let value_config = self.config.value_codebook.config();
             scratch
                 .acc
                 .ensure_shape(value_config.m, value_config.codebook_size());
             scratch.acc.reset();
             let mut sum_exp = 0.0f32;
-            let vcodes = &self.value_codes[h];
-            for (t, &s) in scores.iter().enumerate() {
-                let w = (s - max_score).exp();
-                sum_exp += w;
-                scratch.acc.add_indexed(w, vcodes, t);
+            let mut accumulate = |vcodes: &PqCodes, base: usize| {
+                for t in 0..vcodes.len() {
+                    let w = (scores[base + t] - max_score).exp();
+                    sum_exp += w;
+                    scratch.acc.add_indexed(w, vcodes, t);
+                }
+            };
+            let mut base = 0;
+            for block in &self.shared {
+                let vcodes = block.value_codes(layer, h);
+                accumulate(vcodes, base);
+                base += vcodes.len();
             }
+            accumulate(&self.value_codes[h], base);
             let segment = grown(&mut scratch.segment, d);
             scratch
                 .acc
@@ -402,32 +619,95 @@ impl KvCache for PqKvCache {
         scratch.softmax.reset(d);
 
         // --- Quantized history: fused LUT-score + online-softmax +
-        // centroid-mass kernel, one pass over the packed codes.
+        // centroid-mass kernel, one pass over the packed codes. The history
+        // is a chain of shared blocks plus the private tail; the resumable
+        // chunk kernel threads one FusedState through every chunk, so the
+        // result is bit-identical to a single pass over monolithic codes.
         if self.quantized_len > 0 {
             scratch
                 .lut
                 .fill_from(&self.config.key_codebook, params.query);
-            let alibi = params.alibi_slope.map(|slope| (slope, params.query_pos));
-            let (max_score, sum_exp) = scratch.lut.fused_attend(
-                &self.key_codes[h],
-                &self.value_codes[h],
-                params.scale,
-                alibi,
-                &mut scratch.acc,
-            );
+            let value_config = self.config.value_codebook.config();
+            scratch
+                .acc
+                .ensure_shape(value_config.m, value_config.codebook_size());
+            scratch.acc.reset();
+            let mut state = FusedState::new();
+            let layer = self.config.layer;
+            let alibi_for = |base_pos: usize| {
+                params.alibi_slope.map(|slope| FusedAlibi {
+                    slope,
+                    query_pos: params.query_pos,
+                    base_pos,
+                })
+            };
+            if params.alibi_slope.is_some() {
+                // ALiBi bias grows towards newer tokens; walk chunks newest
+                // first (as the kernel walks tokens within a chunk) so the
+                // running maximum settles early and mass rescales stay rare.
+                scratch.lut.fused_attend_chunk(
+                    &self.key_codes[h],
+                    &self.value_codes[h],
+                    params.scale,
+                    alibi_for(self.shared_tokens),
+                    &mut scratch.acc,
+                    &mut state,
+                );
+                let mut base = self.shared_tokens;
+                for block in self.shared.iter().rev() {
+                    base -= block.len();
+                    scratch.lut.fused_attend_chunk(
+                        block.key_codes(layer, h),
+                        block.value_codes(layer, h),
+                        params.scale,
+                        alibi_for(base),
+                        &mut scratch.acc,
+                        &mut state,
+                    );
+                }
+            } else {
+                for block in &self.shared {
+                    scratch.lut.fused_attend_chunk(
+                        block.key_codes(layer, h),
+                        block.value_codes(layer, h),
+                        params.scale,
+                        None,
+                        &mut scratch.acc,
+                        &mut state,
+                    );
+                }
+                scratch.lut.fused_attend_chunk(
+                    &self.key_codes[h],
+                    &self.value_codes[h],
+                    params.scale,
+                    None,
+                    &mut scratch.acc,
+                    &mut state,
+                );
+            }
             let segment = grown(&mut scratch.segment, d);
             scratch
                 .acc
                 .finish_into(&self.config.value_codebook, segment);
             scratch
                 .softmax
-                .merge_segment(max_score, sum_exp, &scratch.segment[..d]);
+                .merge_segment(state.max_score, state.sum_exp, &scratch.segment[..d]);
         }
 
         self.attend_dense_tail(params, scratch, out);
     }
 
     fn memory_bytes(&self) -> usize {
+        // Shared blocks are counted in full (this layer's slice), as if the
+        // cache owned them — so the figure is comparable with an unshared
+        // cache of the same length. The *resident* cost of sharing is
+        // reported by the block store's stats and the session-level
+        // shared/owned split.
+        let shared: usize = self
+            .shared
+            .iter()
+            .map(|b| b.layer_bytes(self.config.layer))
+            .sum();
         let codes: usize = self
             .key_codes
             .iter()
@@ -436,10 +716,12 @@ impl KvCache for PqKvCache {
             .sum();
         // Dense residual accounted at fp16 like the baseline.
         let dense = 2 * self.recent_len * self.layout.width() * 2;
-        codes + dense
+        shared + codes + dense
     }
 
     fn reset(&mut self) {
+        self.shared.clear();
+        self.shared_tokens = 0;
         self.key_codes = (0..self.layout.n_kv_heads)
             .map(|_| PqCodes::new(self.config.key_codebook.config()))
             .collect();
@@ -671,6 +953,132 @@ mod tests {
                     "head {head}: fused {a} vs two-pass {b}"
                 );
             }
+        }
+    }
+
+    /// Seals the first `blocks x block_tokens` private quantized tokens of
+    /// `cache` into standalone shared blocks (single-layer), as the session
+    /// layer does through the block store.
+    fn seal_blocks(cache: &mut PqKvCache, block_tokens: usize, blocks: usize) {
+        for _ in 0..blocks {
+            let (keys, values) = cache.take_private_front(block_tokens);
+            let block = Arc::new(Block::new(1, HEADS, keys, values));
+            cache.attach_shared_block(block);
+        }
+    }
+
+    #[test]
+    fn paged_attend_is_bit_identical_to_private_attend() {
+        // The same tokens, one cache keeping them as a monolithic private
+        // tail, the other reading them through a chain of sealed blocks plus
+        // a short private remainder — fused and two-pass kernels, with and
+        // without ALiBi, must agree bit for bit.
+        let (kc, vc) = trained_codebooks(30);
+        let mut private = PqKvCache::new(layout(), PqCacheConfig::new(kc.clone(), vc.clone(), 4));
+        let mut paged = PqKvCache::new(layout(), PqCacheConfig::new(kc, vc, 4));
+        let (k, v) = random_kv(31, 77);
+        private.append(&k, &v);
+        paged.append(&k, &v);
+        seal_blocks(&mut paged, 16, 4); // 64 shared + 9 private + 4 dense
+        assert_eq!(paged.shared_tokens(), 64);
+        assert_eq!(paged.private_quantized_len(), 9);
+        assert_eq!(paged.len(), private.len());
+        assert_eq!(paged.memory_bytes(), private.memory_bytes());
+
+        let query: Vec<f32> = (0..HEAD_DIM).map(|i| (i as f32 * 0.21).sin()).collect();
+        let current_k: Vec<f32> = (0..HEAD_DIM).map(|i| 0.04 * i as f32).collect();
+        let current_v: Vec<f32> = (0..HEAD_DIM).map(|i| 0.7 - 0.03 * i as f32).collect();
+        let mut scratch = AttendScratch::new();
+        for head in 0..HEADS {
+            for alibi in [None, Some(0.35f32)] {
+                let mut params =
+                    AttendParams::new(head, &query, 0.25, 77).with_current(&current_k, &current_v);
+                if let Some(slope) = alibi {
+                    params = params.with_alibi(slope);
+                }
+                let mut a = vec![0.0; HEAD_DIM];
+                let mut b = vec![0.0; HEAD_DIM];
+                private.attend(&params, &mut scratch, &mut a);
+                paged.attend(&params, &mut scratch, &mut b);
+                assert_eq!(
+                    a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    b.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "fused head {head} alibi {alibi:?}"
+                );
+                private.attend_two_pass(&params, &mut scratch, &mut a);
+                paged.attend_two_pass(&params, &mut scratch, &mut b);
+                for (x, y) in a.iter().zip(b.iter()) {
+                    assert!(
+                        (x - y).abs() < 1e-6,
+                        "two-pass head {head} alibi {alibi:?}: {x} vs {y}"
+                    );
+                }
+            }
+        }
+
+        // Appending after sealing lands in the private tail and stays
+        // equivalent.
+        let (k2, v2) = random_kv(32, 15);
+        private.append(&k2, &v2);
+        paged.append(&k2, &v2);
+        let params = AttendParams::new(0, &query, 0.25, 92);
+        let mut a = vec![0.0; HEAD_DIM];
+        let mut b = vec![0.0; HEAD_DIM];
+        private.attend(&params, &mut scratch, &mut a);
+        paged.attend(&params, &mut scratch, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn replace_private_front_adopts_identical_shared_codes() {
+        let (kc, vc) = trained_codebooks(33);
+        let mut donor = PqKvCache::new(layout(), PqCacheConfig::new(kc.clone(), vc.clone(), 0));
+        let mut adopter = PqKvCache::new(layout(), PqCacheConfig::new(kc, vc, 0));
+        let (k, v) = random_kv(34, 32);
+        donor.append(&k, &v);
+        adopter.append(&k, &v);
+        // Donor seals its first 16 tokens into a block; adopter converges on
+        // that block instead of keeping its own copy.
+        let (keys, values) = donor.take_private_front(16);
+        let block = Arc::new(Block::new(1, HEADS, keys, values));
+        donor.attach_shared_block(block.clone());
+        adopter.replace_private_front_with_block(block.clone());
+        assert_eq!(Arc::strong_count(&block), 3);
+        assert_eq!(adopter.shared_tokens(), 16);
+
+        let query: Vec<f32> = (0..HEAD_DIM).map(|i| (i as f32 * 0.4).cos()).collect();
+        let a = attend_all(&donor, &query, 1);
+        let b = attend_all(&adopter, &query, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn restore_parts_reconstructs_an_equivalent_cache() {
+        let (kc, vc) = trained_codebooks(35);
+        let mut original = PqKvCache::new(layout(), PqCacheConfig::new(kc.clone(), vc.clone(), 6));
+        let (k, v) = random_kv(36, 40);
+        original.append(&k, &v);
+        seal_blocks(&mut original, 10, 2);
+
+        let mut restored = PqKvCache::new(layout(), PqCacheConfig::new(kc, vc, 6));
+        for block in original.shared_blocks() {
+            restored.attach_shared_block(block.clone());
+        }
+        restored.restore_parts(
+            original.private_key_codes().to_vec(),
+            original.private_value_codes().to_vec(),
+            original.recent_key_rows().to_vec(),
+            original.recent_value_rows().to_vec(),
+        );
+        assert_eq!(restored.len(), original.len());
+        assert_eq!(restored.recent_len(), original.recent_len());
+        assert_eq!(restored.memory_bytes(), original.memory_bytes());
+        let query: Vec<f32> = (0..HEAD_DIM).map(|i| 0.15 * i as f32 - 1.0).collect();
+        for head in 0..HEADS {
+            assert_eq!(
+                attend_all(&original, &query, head),
+                attend_all(&restored, &query, head)
+            );
         }
     }
 

@@ -1,0 +1,179 @@
+//! `KvCache::reset` round-trip: reset + re-append must be bit-identical to a
+//! freshly constructed cache on **every** backend.
+//!
+//! Reset is load-bearing for session recycling (a serving slot is reset and
+//! handed to the next conversation without reallocating backends); a single
+//! counter, group boundary, or stale buffer surviving a reset would silently
+//! corrupt the next conversation's attention. "Bit-identical" here means:
+//! same length/memory accounting and bit-equal attention outputs for every
+//! head, with and without ALiBi, against a never-reset twin.
+
+use std::sync::Arc;
+
+use million_kvcache::{
+    AttendParams, AttendScratch, CacheLayout, FullPrecisionCache, KiviCache, KiviConfig, KvCache,
+    KvQuantCache, KvQuantConfig, PqCacheConfig, PqKvCache,
+};
+use million_quant::pq::{PqCodebook, PqConfig, PqTrainOptions};
+use million_store::Block;
+use million_tensor::init::{normal_matrix, seeded_rng};
+use million_tensor::Matrix;
+
+const HEAD_DIM: usize = 16;
+const HEADS: usize = 2;
+
+fn layout() -> CacheLayout {
+    CacheLayout::new(HEADS, HEAD_DIM)
+}
+
+fn random_kv(seed: u64, tokens: usize) -> (Matrix, Matrix) {
+    let mut rng = seeded_rng(seed);
+    (
+        normal_matrix(&mut rng, tokens, layout().width(), 0.0, 1.0),
+        normal_matrix(&mut rng, tokens, layout().width(), 0.0, 1.0),
+    )
+}
+
+/// Appends the fixture history in two uneven chunks (exercising incremental
+/// append paths: group boundaries, residual windows, staged encodes).
+fn fill(cache: &mut dyn KvCache, seed: u64) {
+    let (k, v) = random_kv(seed, 41);
+    cache.append(&k.slice_rows(0..17), &v.slice_rows(0..17));
+    cache.append(&k.slice_rows(17..41), &v.slice_rows(17..41));
+}
+
+fn attend_bits(cache: &dyn KvCache, scratch: &mut AttendScratch) -> Vec<u32> {
+    let query: Vec<f32> = (0..HEAD_DIM).map(|i| (i as f32 * 0.27).sin()).collect();
+    let cur_k: Vec<f32> = (0..HEAD_DIM).map(|i| 0.03 * i as f32).collect();
+    let cur_v: Vec<f32> = (0..HEAD_DIM).map(|i| 0.9 - 0.05 * i as f32).collect();
+    let mut out = vec![0.0f32; HEAD_DIM];
+    let mut bits = Vec::new();
+    for head in 0..HEADS {
+        for alibi in [None, Some(0.4f32)] {
+            let mut params =
+                AttendParams::new(head, &query, 1.0 / (HEAD_DIM as f32).sqrt(), cache.len())
+                    .with_current(&cur_k, &cur_v);
+            if let Some(slope) = alibi {
+                params = params.with_alibi(slope);
+            }
+            cache.attend(&params, scratch, &mut out);
+            bits.extend(out.iter().map(|x| x.to_bits()));
+        }
+    }
+    bits
+}
+
+/// The round-trip contract, checked for one backend pair: `recycled` is
+/// filled, reset, and refilled; `fresh` is filled once. Both must agree bit
+/// for bit.
+fn assert_reset_roundtrip(recycled: &mut dyn KvCache, fresh: &mut dyn KvCache, label: &str) {
+    // First conversation, with *different* content so any state leaking
+    // through reset has something to leak.
+    fill(recycled, 1001);
+    assert!(!recycled.is_empty());
+    recycled.reset();
+    assert_eq!(recycled.len(), 0, "{label}: reset must empty the cache");
+    assert!(recycled.is_empty(), "{label}");
+    assert_eq!(
+        recycled.memory_bytes(),
+        0,
+        "{label}: reset must release token storage accounting"
+    );
+
+    // Second conversation: identical to the fresh cache's only conversation.
+    fill(recycled, 2002);
+    fill(fresh, 2002);
+    assert_eq!(recycled.len(), fresh.len(), "{label}");
+    assert_eq!(recycled.memory_bytes(), fresh.memory_bytes(), "{label}");
+
+    let mut scratch = AttendScratch::new();
+    let recycled_bits = attend_bits(recycled, &mut scratch);
+    let fresh_bits = attend_bits(fresh, &mut scratch);
+    assert_eq!(
+        recycled_bits, fresh_bits,
+        "{label}: reset + re-append diverged from a fresh cache"
+    );
+
+    // Reset is idempotent and reusable more than once.
+    recycled.reset();
+    recycled.reset();
+    assert_eq!(recycled.len(), 0, "{label}");
+}
+
+#[test]
+fn full_precision_reset_roundtrip() {
+    let mut recycled = FullPrecisionCache::new(layout());
+    let mut fresh = FullPrecisionCache::new(layout());
+    assert_reset_roundtrip(&mut recycled, &mut fresh, "fp16");
+}
+
+#[test]
+fn kivi_reset_roundtrip() {
+    // group_size chosen so the fixture leaves both full groups and a partial
+    // residual group behind.
+    let config = KiviConfig {
+        bits: 4,
+        group_size: 12,
+    };
+    let mut recycled = KiviCache::new(layout(), config);
+    let mut fresh = KiviCache::new(layout(), config);
+    assert_reset_roundtrip(&mut recycled, &mut fresh, "kivi");
+}
+
+#[test]
+fn kvquant_reset_roundtrip() {
+    let mut recycled = KvQuantCache::new(layout(), KvQuantConfig::default());
+    let mut fresh = KvQuantCache::new(layout(), KvQuantConfig::default());
+    assert_reset_roundtrip(&mut recycled, &mut fresh, "kvquant");
+}
+
+fn pq_pair(residual: usize) -> (PqKvCache, PqKvCache) {
+    let mut rng = seeded_rng(5);
+    let samples = normal_matrix(&mut rng, 500, HEAD_DIM, 0.0, 1.0);
+    let config = PqConfig::new(8, 6).unwrap();
+    let key =
+        Arc::new(PqCodebook::train(&config, &samples, &PqTrainOptions::default(), 0).unwrap());
+    let value =
+        Arc::new(PqCodebook::train(&config, &samples, &PqTrainOptions::default(), 1).unwrap());
+    (
+        PqKvCache::new(
+            layout(),
+            PqCacheConfig::new(key.clone(), value.clone(), residual),
+        ),
+        PqKvCache::new(layout(), PqCacheConfig::new(key, value, residual)),
+    )
+}
+
+#[test]
+fn pq_reset_roundtrip() {
+    for residual in [0usize, 8] {
+        let (mut recycled, mut fresh) = pq_pair(residual);
+        assert_reset_roundtrip(
+            &mut recycled,
+            &mut fresh,
+            &format!("million-pq r{residual}"),
+        );
+    }
+}
+
+#[test]
+fn pq_reset_drops_shared_blocks_too() {
+    // A recycled serving slot may carry another conversation's shared chain;
+    // reset must detach it (the session layer releases the store refs).
+    let (mut recycled, mut fresh) = pq_pair(0);
+    fill(&mut recycled, 1001);
+    let (keys, values) = recycled.take_private_front(16);
+    recycled.attach_shared_block(Arc::new(Block::new(1, HEADS, keys, values)));
+    assert_eq!(recycled.shared_tokens(), 16);
+    recycled.reset();
+    assert_eq!(recycled.shared_tokens(), 0);
+    assert!(recycled.shared_blocks().is_empty());
+
+    fill(&mut recycled, 2002);
+    fill(&mut fresh, 2002);
+    let mut scratch = AttendScratch::new();
+    assert_eq!(
+        attend_bits(&recycled, &mut scratch),
+        attend_bits(&fresh, &mut scratch)
+    );
+}

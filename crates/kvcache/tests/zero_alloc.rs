@@ -18,6 +18,7 @@ use million_kvcache::{
     KvQuantCache, KvQuantConfig, PqCacheConfig, PqKvCache,
 };
 use million_quant::pq::{PqCodebook, PqConfig, PqTrainOptions};
+use million_store::Block;
 use million_tensor::init::{normal_matrix, seeded_rng};
 
 struct CountingAllocator;
@@ -126,6 +127,31 @@ fn pq_attend_is_allocation_free_when_scratch_is_warm() {
     cache.append(&k, &v);
     assert!(cache.quantized_len() > 0 && cache.recent_len() > 0);
     assert_attend_is_allocation_free(&cache, "million-pq");
+}
+
+#[test]
+fn paged_pq_attend_through_a_block_chain_is_allocation_free() {
+    // The paged layout: a chain of sealed shared blocks, a private quantized
+    // tail, and a dense residual — all three segments walked in one attend.
+    // Steady-state decode through the chain must allocate nothing.
+    let mut rng = seeded_rng(7);
+    let samples = normal_matrix(&mut rng, 600, HEAD_DIM, 0.0, 1.0);
+    let config = PqConfig::new(8, 4).unwrap();
+    let key =
+        Arc::new(PqCodebook::train(&config, &samples, &PqTrainOptions::default(), 2).unwrap());
+    let value =
+        Arc::new(PqCodebook::train(&config, &samples, &PqTrainOptions::default(), 3).unwrap());
+    let mut cache = PqKvCache::new(layout(), PqCacheConfig::new(key, value, 8));
+    let (k, v) = random_kv(8, TOKENS);
+    cache.append(&k, &v);
+    // Seal the oldest 64 quantized tokens into four 16-token shared blocks.
+    for _ in 0..4 {
+        let (keys, values) = cache.take_private_front(16);
+        cache.attach_shared_block(Arc::new(Block::new(1, HEADS, keys, values)));
+    }
+    assert_eq!(cache.shared_blocks().len(), 4);
+    assert!(cache.private_quantized_len() > 0 && cache.recent_len() > 0);
+    assert_attend_is_allocation_free(&cache, "million-pq-paged");
 }
 
 #[test]

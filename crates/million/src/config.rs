@@ -24,6 +24,22 @@ pub struct MillionConfig {
     pub train_options: PqTrainOptions,
     /// Seed for codebook training.
     pub seed: u64,
+    /// Tokens per sealed block of the engine's copy-on-write code store.
+    /// Sessions seal their quantized history into immutable, ref-counted,
+    /// content-addressed blocks of this many tokens (enabling cross-session
+    /// prefix sharing and cheap persistence). `0` disables the store —
+    /// sessions then keep their codes fully private.
+    pub block_tokens: usize,
+    /// When `true`, a newly admitted session looks its prompt up in the
+    /// store's prefix index and attaches already-resident blocks instead of
+    /// prefilling them — skipping both the prefill compute and the code
+    /// memory for the matched prefix. The matched prefix is then attended in
+    /// quantized form (exactly as a multi-turn continuation would see it),
+    /// which is why sharing is opt-in: an attached session is bit-identical
+    /// to an unshared session admitted via `prefill(prefix)` +
+    /// `append_prompt(rest)`, not to one that cold-prefilled the whole
+    /// prompt in full precision.
+    pub prefix_sharing: bool,
 }
 
 impl MillionConfig {
@@ -37,6 +53,8 @@ impl MillionConfig {
             calibration_tokens: 2048,
             train_options: PqTrainOptions::default(),
             seed: 0,
+            block_tokens: 32,
+            prefix_sharing: false,
         }
     }
 
@@ -95,6 +113,21 @@ impl MillionConfig {
         self.residual_len = residual_len;
         self
     }
+
+    /// Sets the sealed-block granularity of the copy-on-write code store
+    /// (`0` disables the store entirely).
+    pub fn with_block_tokens(mut self, block_tokens: usize) -> Self {
+        self.block_tokens = block_tokens;
+        self
+    }
+
+    /// Enables cross-session prompt-prefix sharing at admission (see
+    /// [`MillionConfig::prefix_sharing`] for the equivalence class this
+    /// changes).
+    pub fn with_prefix_sharing(mut self) -> Self {
+        self.prefix_sharing = true;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -123,9 +156,16 @@ mod tests {
     fn builders_toggle_pipeline_options() {
         let cfg = MillionConfig::four_bit(32)
             .with_sync_quant()
-            .with_residual_len(16);
+            .with_residual_len(16)
+            .with_block_tokens(64)
+            .with_prefix_sharing();
         assert!(!cfg.async_quant);
         assert_eq!(cfg.residual_len, 16);
+        assert_eq!(cfg.block_tokens, 64);
+        assert!(cfg.prefix_sharing);
+        let defaults = MillionConfig::four_bit(32);
+        assert!(defaults.block_tokens > 0, "store is on by default");
+        assert!(!defaults.prefix_sharing, "attachment is opt-in");
     }
 
     #[test]

@@ -6,7 +6,10 @@
 //! [`MillionEngine::generate`] / [`MillionEngine::generate_reference`] calls
 //! are thin compatibility wrappers that build a session, run it, and drop it.
 
+use std::sync::Arc;
+
 use million_model::{build_caches, CacheSpec, DecodeScratch, Sampler, Transformer};
+use million_store::{BlockStore, StoreStats};
 
 use crate::config::MillionConfig;
 use crate::session::{GenerationOptions, InferenceSession};
@@ -53,6 +56,11 @@ pub struct MillionEngine {
     model: Transformer,
     codebooks: TrainedCodebooks,
     config: MillionConfig,
+    /// Copy-on-write code store shared by every session of this engine
+    /// (`None` when `config.block_tokens == 0`). Token-content addressing is
+    /// sound only within one engine, because codes are a deterministic
+    /// function of the weights, the codebooks, and the token prefix.
+    store: Option<Arc<BlockStore>>,
 }
 
 impl MillionEngine {
@@ -68,10 +76,12 @@ impl MillionEngine {
         calibration: &[u32],
     ) -> Result<Self, MillionError> {
         let codebooks = train_codebooks(&model, calibration, &config)?;
+        let store = Self::build_store(&config);
         Ok(Self {
             model,
             codebooks,
             config,
+            store,
         })
     }
 
@@ -93,11 +103,27 @@ impl MillionEngine {
                 model.config().n_layers
             )));
         }
+        let store = Self::build_store(&config);
         Ok(Self {
             model,
             codebooks,
             config,
+            store,
         })
+    }
+
+    fn build_store(config: &MillionConfig) -> Option<Arc<BlockStore>> {
+        (config.block_tokens > 0).then(|| Arc::new(BlockStore::new(config.block_tokens)))
+    }
+
+    /// The engine's copy-on-write code store, if enabled.
+    pub fn store(&self) -> Option<&Arc<BlockStore>> {
+        self.store.as_ref()
+    }
+
+    /// Aggregate block-store accounting (`None` when the store is disabled).
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.store.as_ref().map(|s| s.stats())
     }
 
     /// The underlying transformer.

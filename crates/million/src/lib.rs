@@ -60,6 +60,7 @@
 pub mod async_quant;
 pub mod config;
 pub mod engine;
+mod persist;
 pub mod scheduler;
 pub mod session;
 pub mod trainer;
@@ -67,6 +68,7 @@ pub mod trainer;
 pub use async_quant::QuantWorker;
 pub use config::MillionConfig;
 pub use engine::{GenerationResult, MillionEngine};
+pub use million_store::{Block, BlockStore, StoreStats};
 pub use scheduler::{BatchScheduler, SessionReport};
 pub use session::{GenerationOptions, InferenceSession, SessionStream, StepResult, StopCriteria};
 pub use trainer::{train_codebooks, TrainedCodebooks};
@@ -78,6 +80,9 @@ pub enum MillionError {
     Quant(million_quant::QuantError),
     /// The engine was configured inconsistently with the model.
     InvalidConfig(String),
+    /// A persisted session could not be read back (I/O failure, corruption,
+    /// or an engine-geometry mismatch).
+    Persist(String),
 }
 
 impl std::fmt::Display for MillionError {
@@ -85,6 +90,7 @@ impl std::fmt::Display for MillionError {
         match self {
             MillionError::Quant(e) => write!(f, "codebook training failed: {e}"),
             MillionError::InvalidConfig(msg) => write!(f, "invalid engine configuration: {msg}"),
+            MillionError::Persist(msg) => write!(f, "session restore failed: {msg}"),
         }
     }
 }
@@ -93,7 +99,7 @@ impl std::error::Error for MillionError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             MillionError::Quant(e) => Some(e),
-            MillionError::InvalidConfig(_) => None,
+            MillionError::InvalidConfig(_) | MillionError::Persist(_) => None,
         }
     }
 }

@@ -1,0 +1,408 @@
+//! Session persistence: serialize a session's paged PQ cache to disk and
+//! restore it for bit-identical continuation.
+//!
+//! The on-disk payload is dominated by the packed PQ codes — already the
+//! compressed wire format — framed by the binary codec in
+//! [`million_store::persist`]. A snapshot carries the sealed block chain,
+//! each layer's private code tail, the dense residual window, and the decode
+//! front (pending token + current logits), so a restored session's next
+//! [`crate::InferenceSession::step`] performs the identical arithmetic the
+//! original session would have.
+//!
+//! Restoring into an engine whose store already holds blocks of the same
+//! token chain **re-attaches** them instead of duplicating codes (the
+//! content-addressed index recognises the chain), so persisted sessions keep
+//! participating in prefix sharing. With the store disabled — or a different
+//! block granularity — the sealed blocks are folded back into private code
+//! tails instead.
+
+use std::path::Path;
+
+use million_quant::pq::{PqCodes, PqConfig};
+use million_store::persist::{
+    put_block, put_codes, put_f32_slice, put_u32, put_u32_slice, put_u64, PersistError, Reader,
+};
+use million_store::Block;
+
+use crate::engine::MillionEngine;
+use crate::session::InferenceSession;
+use crate::MillionError;
+
+const MAGIC: &[u8; 8] = b"MLNSES01";
+
+/// Per-head rows of one layer's dense recent window (keys, values).
+type DenseLayer = (Vec<Vec<f32>>, Vec<Vec<f32>>);
+
+/// Bit-exact content equality of two sealed blocks (geometry plus every
+/// packed code byte).
+fn blocks_equal(a: &Block, b: &Block) -> bool {
+    a.len() == b.len()
+        && a.n_layers() == b.n_layers()
+        && a.n_kv_heads() == b.n_kv_heads()
+        && a.all_key_codes()
+            .iter()
+            .zip(b.all_key_codes())
+            .all(|(x, y)| x.packed_bytes() == y.packed_bytes())
+        && a.all_value_codes()
+            .iter()
+            .zip(b.all_value_codes())
+            .all(|(x, y)| x.packed_bytes() == y.packed_bytes())
+}
+
+impl InferenceSession<'_> {
+    /// Writes the session's cache state to `path` (flushing the
+    /// asynchronous quantization stream first, so the snapshot is the
+    /// steady state).
+    ///
+    /// The sampler is *not* persisted — a restored session starts with the
+    /// default greedy sampler; re-set a custom one with
+    /// [`InferenceSession::set_sampler`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be written.
+    pub fn persist<P: AsRef<Path>>(&mut self, path: P) -> std::io::Result<()> {
+        self.flush();
+        std::fs::write(path, self.encode())
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let engine = self.engine();
+        let layout = engine.model().cache_layout();
+        let key_config = engine.codebooks().key[0].config();
+        let value_config = engine.codebooks().value[0].config();
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        put_u32(&mut out, engine.config().block_tokens as u32);
+        put_u32(&mut out, self.caches.len() as u32);
+        put_u32(&mut out, layout.n_kv_heads as u32);
+        put_u32(&mut out, layout.head_dim as u32);
+        put_u32(&mut out, key_config.m as u32);
+        out.push(key_config.nbits);
+        put_u32(&mut out, value_config.m as u32);
+        out.push(value_config.nbits);
+        put_u32_slice(&mut out, &self.history);
+        let blocks = self.chain.as_ref().map_or(&[][..], |c| c.blocks());
+        put_u32(&mut out, blocks.len() as u32);
+        for (_, block) in blocks {
+            put_block(&mut out, block);
+        }
+        for cache in &self.caches {
+            for codes in cache
+                .private_key_codes()
+                .iter()
+                .chain(cache.private_value_codes())
+            {
+                put_codes(&mut out, codes);
+            }
+        }
+        for cache in &self.caches {
+            for row in cache
+                .recent_key_rows()
+                .iter()
+                .chain(cache.recent_value_rows())
+            {
+                put_f32_slice(&mut out, row);
+            }
+        }
+        put_u64(&mut out, self.prompt_tokens as u64);
+        put_u32_slice(&mut out, &self.generated);
+        match self.pending {
+            Some(token) => {
+                out.push(1);
+                put_u32(&mut out, token);
+            }
+            None => out.push(0),
+        }
+        match &self.cur_logits {
+            Some(logits) => {
+                out.push(1);
+                put_f32_slice(&mut out, logits);
+            }
+            None => out.push(0),
+        }
+        put_u64(&mut out, self.prefix_reused as u64);
+        out
+    }
+}
+
+impl MillionEngine {
+    /// Restores a session persisted with [`InferenceSession::persist`].
+    ///
+    /// The snapshot must have been produced by an engine with the same
+    /// geometry (layers, heads, head dimension, PQ configuration) **and the
+    /// same weights and codebooks** — continuation is only meaningful, and
+    /// the store's content addressing only sound, for the engine that
+    /// encoded the codes. Geometry is validated; weight identity is the
+    /// caller's contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MillionError::Persist`] if the file cannot be read, is
+    /// corrupt, or disagrees with this engine's geometry.
+    pub fn restore_session<P: AsRef<Path>>(
+        &self,
+        path: P,
+    ) -> Result<InferenceSession<'_>, MillionError> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| MillionError::Persist(format!("cannot read snapshot: {e}")))?;
+        self.decode_session(&bytes)
+            .map_err(|e| MillionError::Persist(e.to_string()))
+    }
+
+    fn decode_session(&self, bytes: &[u8]) -> Result<InferenceSession<'_>, PersistError> {
+        let corrupt = |msg: &str| PersistError::Corrupt(msg.to_string());
+        let mut r = Reader::new(bytes);
+        let mut magic = [0u8; 8];
+        for slot in magic.iter_mut() {
+            *slot = r.get_u8()?;
+        }
+        if &magic != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let snapshot_bt = r.get_u32()? as usize;
+        let layout = self.model().cache_layout();
+        let n_layers = r.get_u32()? as usize;
+        let n_kv_heads = r.get_u32()? as usize;
+        let head_dim = r.get_u32()? as usize;
+        if n_layers != self.model().config().n_layers
+            || n_kv_heads != layout.n_kv_heads
+            || head_dim != layout.head_dim
+        {
+            return Err(corrupt("model geometry mismatch"));
+        }
+        let read_config = |r: &mut Reader| -> Result<PqConfig, PersistError> {
+            let m = r.get_u32()? as usize;
+            let nbits = r.get_u8()?;
+            PqConfig::new(m, nbits).map_err(|e| PersistError::Corrupt(e.to_string()))
+        };
+        let key_config = read_config(&mut r)?;
+        let value_config = read_config(&mut r)?;
+        if key_config != self.codebooks().key[0].config()
+            || value_config != self.codebooks().value[0].config()
+        {
+            return Err(corrupt("PQ configuration mismatch"));
+        }
+
+        let history = r.get_u32_slice()?;
+        let n_blocks = r.get_u32()? as usize;
+        let mut blocks = Vec::with_capacity(n_blocks);
+        for _ in 0..n_blocks {
+            let block = r.get_block()?;
+            if block.n_layers() != n_layers || block.n_kv_heads() != n_kv_heads {
+                return Err(corrupt("sealed block geometry mismatch"));
+            }
+            for layer in 0..n_layers {
+                for h in 0..n_kv_heads {
+                    if block.key_codes(layer, h).config() != key_config
+                        || block.value_codes(layer, h).config() != value_config
+                    {
+                        return Err(corrupt("sealed block code configuration mismatch"));
+                    }
+                }
+            }
+            blocks.push(block);
+        }
+        // Per-layer private tails and dense windows: every code sequence and
+        // dense row is validated here (config, equal lengths across heads
+        // and layers) so a corrupt snapshot surfaces as an error instead of
+        // tripping cache-construction assertions later.
+        let mut private: Vec<(Vec<PqCodes>, Vec<PqCodes>)> = Vec::with_capacity(n_layers);
+        let mut private_len = None;
+        for _ in 0..n_layers {
+            let mut keys = Vec::with_capacity(n_kv_heads);
+            let mut values = Vec::with_capacity(n_kv_heads);
+            for _ in 0..n_kv_heads {
+                keys.push(r.get_codes()?);
+            }
+            for _ in 0..n_kv_heads {
+                values.push(r.get_codes()?);
+            }
+            let len = *private_len.get_or_insert(keys[0].len());
+            let keys_ok = keys
+                .iter()
+                .all(|c| c.config() == key_config && c.len() == len);
+            let values_ok = values
+                .iter()
+                .all(|c| c.config() == value_config && c.len() == len);
+            if !keys_ok || !values_ok {
+                return Err(corrupt("private code tail is ragged or misconfigured"));
+            }
+            private.push((keys, values));
+        }
+        let mut dense: Vec<DenseLayer> = Vec::with_capacity(n_layers);
+        let mut dense_len = None;
+        for _ in 0..n_layers {
+            let mut keys = Vec::with_capacity(n_kv_heads);
+            let mut values = Vec::with_capacity(n_kv_heads);
+            for _ in 0..n_kv_heads {
+                keys.push(r.get_f32_slice()?);
+            }
+            for _ in 0..n_kv_heads {
+                values.push(r.get_f32_slice()?);
+            }
+            let len = *dense_len.get_or_insert(keys[0].len());
+            if !len.is_multiple_of(head_dim)
+                || keys.iter().chain(values.iter()).any(|row| row.len() != len)
+            {
+                return Err(corrupt("dense recent window is ragged"));
+            }
+            dense.push((keys, values));
+        }
+        let prompt_tokens = r.get_len()?;
+        let generated = r.get_u32_slice()?;
+        let pending = if r.get_u8()? == 1 {
+            Some(r.get_u32()?)
+        } else {
+            None
+        };
+        let cur_logits = if r.get_u8()? == 1 {
+            Some(r.get_f32_slice()?)
+        } else {
+            None
+        };
+        let prefix_reused = r.get_len()?;
+        if !r.is_exhausted() {
+            return Err(corrupt("trailing bytes after snapshot"));
+        }
+
+        let mut session = InferenceSession::new(self, 0, false);
+        // Re-attach the sealed chain through the store when granularities
+        // agree — deduplicating against resident sessions — otherwise fold
+        // the blocks back into private code tails. A resident block is
+        // adopted only if its codes are bit-identical to the snapshot's
+        // (token-chain identity alone is not sufficient: the same tokens
+        // admitted through a different prefill/turn segmentation yield
+        // different codes); on a content mismatch the snapshot's own codes
+        // for that block and everything after it stay private — restore
+        // never changes the session's arithmetic.
+        let via_store = self
+            .store()
+            .is_some_and(|s| s.block_tokens() == snapshot_bt && snapshot_bt > 0)
+            && blocks.iter().all(|b| b.len() == snapshot_bt);
+        let mut folded_blocks: Vec<Block> = Vec::new();
+        if via_store {
+            let chain = session.chain.as_mut().expect("store implies chain");
+            let store = chain.store().clone();
+            let mut pos = 0usize;
+            let mut iter = blocks.into_iter();
+            for block in iter.by_ref() {
+                let len = block.len();
+                if pos + len > history.len() {
+                    return Err(corrupt("history shorter than sealed chain"));
+                }
+                let tokens = &history[pos..pos + len];
+                let (id, arc) = match store.lookup_child(chain.last_id(), tokens) {
+                    Some((id, resident)) => {
+                        if !blocks_equal(&resident, &block) {
+                            store.release(id);
+                            folded_blocks.push(block);
+                            break;
+                        }
+                        (id, resident)
+                    }
+                    None => store.insert_child(chain.last_id(), tokens, block),
+                };
+                pos += len;
+                for cache in &mut session.caches {
+                    cache.attach_shared_block(arc.clone());
+                }
+                chain.push(id, arc);
+            }
+            folded_blocks.extend(iter);
+        } else {
+            folded_blocks = blocks;
+        }
+        for (layer, (cache, (mut keys, mut values))) in
+            session.caches.iter_mut().zip(private).enumerate()
+        {
+            if !folded_blocks.is_empty() {
+                for (h, merged) in keys.iter_mut().enumerate() {
+                    let mut folded = PqCodes::new(key_config);
+                    for block in &folded_blocks {
+                        folded.append(block.key_codes(layer, h));
+                    }
+                    folded.append(merged);
+                    *merged = folded;
+                }
+                for (h, merged) in values.iter_mut().enumerate() {
+                    let mut folded = PqCodes::new(value_config);
+                    for block in &folded_blocks {
+                        folded.append(block.value_codes(layer, h));
+                    }
+                    folded.append(merged);
+                    *merged = folded;
+                }
+            }
+            let (dense_k, dense_v) = dense.remove(0);
+            cache.restore_parts(keys, values, dense_k, dense_v);
+        }
+        if session.cached_tokens() != history.len() {
+            return Err(corrupt("token history disagrees with cache length"));
+        }
+        session.history = history;
+        session.prompt_tokens = prompt_tokens;
+        session.generated = generated;
+        session.pending = pending;
+        session.cur_logits = cur_logits;
+        session.prefix_reused = prefix_reused;
+        Ok(session)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::engine;
+
+    /// A hand-built snapshot whose header matches `engine` but whose
+    /// private-tail codes use the wrong bit width must come back as a
+    /// `MillionError::Persist`, never a panic (the restore error contract
+    /// covers arbitrary on-disk corruption, not just truncation).
+    #[test]
+    fn misconfigured_code_sections_error_instead_of_panicking() {
+        let engine = engine(false, 40);
+        let layout = engine.model().cache_layout();
+        let key_config = engine.codebooks().key[0].config();
+        let value_config = engine.codebooks().value[0].config();
+        let n_layers = engine.model().config().n_layers;
+
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        put_u32(&mut out, engine.config().block_tokens as u32);
+        put_u32(&mut out, n_layers as u32);
+        put_u32(&mut out, layout.n_kv_heads as u32);
+        put_u32(&mut out, layout.head_dim as u32);
+        put_u32(&mut out, key_config.m as u32);
+        out.push(key_config.nbits);
+        put_u32(&mut out, value_config.m as u32);
+        out.push(value_config.nbits);
+        put_u32_slice(&mut out, &[1, 2]); // history: 2 tokens
+        put_u32(&mut out, 0); // no sealed blocks
+                              // Private tails carry a *different* geometry than the header claims.
+        let bad_config = PqConfig::new(key_config.m, key_config.nbits / 2).unwrap();
+        let mut bad = PqCodes::new(bad_config);
+        bad.push(&vec![0u16; bad_config.m]);
+        bad.push(&vec![1u16; bad_config.m]);
+        for _ in 0..n_layers {
+            for _ in 0..2 * layout.n_kv_heads {
+                put_codes(&mut out, &bad);
+            }
+        }
+        for _ in 0..n_layers {
+            for _ in 0..2 * layout.n_kv_heads {
+                put_f32_slice(&mut out, &[]);
+            }
+        }
+        put_u64(&mut out, 2);
+        put_u32_slice(&mut out, &[]);
+        out.push(0); // no pending
+        out.push(0); // no logits
+        put_u64(&mut out, 0);
+
+        let err = engine
+            .decode_session(&out)
+            .expect_err("misconfigured codes must be rejected");
+        assert!(err.to_string().contains("misconfigured"), "{err}");
+    }
+}

@@ -30,10 +30,19 @@ pub struct SessionReport {
     pub tokens: Vec<u32>,
     /// Prompt tokens the session consumed.
     pub prompt_tokens: usize,
-    /// Final KV-cache bytes across all layers.
+    /// Final KV-cache bytes across all layers (shared blocks counted in
+    /// full, as if owned — comparable with an unshared session).
     pub kv_bytes: usize,
     /// What an fp16 cache of the same length would use.
     pub fp16_kv_bytes: usize,
+    /// Of `kv_bytes`, bytes held in store blocks co-referenced by at least
+    /// one other live session — memory prefix sharing deduplicated.
+    pub kv_shared_bytes: usize,
+    /// Of `kv_bytes`, bytes this session holds exclusively.
+    pub kv_owned_bytes: usize,
+    /// Prompt tokens satisfied from resident shared blocks at admission
+    /// (prefill skipped for them).
+    pub prefix_tokens_reused: usize,
     /// Encoded blocks the session absorbed from the shared worker.
     pub async_batches: usize,
     /// Whether generation ended on a stop token (as opposed to the length
@@ -48,6 +57,27 @@ struct Slot<'e> {
     tokens: Vec<u32>,
     stopped_early: bool,
     done: bool,
+}
+
+impl Slot<'_> {
+    /// Flushes the session and snapshots its final report. Called while the
+    /// whole cohort is still alive, so the shared/owned byte split reflects
+    /// the sharing that actually held during serving.
+    fn report(&mut self, id: usize) -> SessionReport {
+        self.session.flush();
+        SessionReport {
+            session: id,
+            tokens: std::mem::take(&mut self.tokens),
+            prompt_tokens: self.session.prompt_tokens(),
+            kv_bytes: self.session.kv_bytes(),
+            fp16_kv_bytes: self.session.fp16_kv_bytes(),
+            kv_shared_bytes: self.session.kv_shared_bytes(),
+            kv_owned_bytes: self.session.kv_owned_bytes(),
+            prefix_tokens_reused: self.session.prefix_tokens_reused(),
+            async_batches: self.session.async_batches(),
+            stopped_early: self.stopped_early,
+        }
+    }
 }
 
 /// Round-robin scheduler interleaving decode steps of N concurrent sessions
@@ -176,18 +206,7 @@ impl<'e> BatchScheduler<'e> {
         self.slots
             .iter_mut()
             .enumerate()
-            .map(|(id, slot)| {
-                slot.session.flush();
-                SessionReport {
-                    session: id,
-                    tokens: std::mem::take(&mut slot.tokens),
-                    prompt_tokens: slot.session.prompt_tokens(),
-                    kv_bytes: slot.session.kv_bytes(),
-                    fp16_kv_bytes: slot.session.fp16_kv_bytes(),
-                    async_batches: slot.session.async_batches(),
-                    stopped_early: slot.stopped_early,
-                }
-            })
+            .map(|(id, slot)| slot.report(id))
             .collect()
     }
 

@@ -24,6 +24,7 @@
 
 use million_kvcache::{KvCache, PqCacheConfig, PqKvCache};
 use million_model::{DecodeScratch, Sampler};
+use million_store::{Block, ChainHandle};
 
 use crate::async_quant::{EncodeRequest, EncodeResult, QuantWorker};
 use crate::engine::{GenerationResult, MillionEngine};
@@ -134,7 +135,7 @@ enum QuantStream {
 pub struct InferenceSession<'e> {
     engine: &'e MillionEngine,
     id: usize,
-    caches: Vec<PqKvCache>,
+    pub(crate) caches: Vec<PqKvCache>,
     /// Per-worker attention scratch, reused across every decode step (and
     /// every turn) of this session — the steady-state attention path never
     /// allocates. Scratch carries no results between calls, so N sessions
@@ -146,17 +147,35 @@ pub struct InferenceSession<'e> {
     /// layer keeps ordering trivial, as in the paper's single stream).
     sent: Vec<usize>,
     /// Logits predicting the next position, refreshed by every feed.
-    cur_logits: Option<Vec<f32>>,
+    pub(crate) cur_logits: Option<Vec<f32>>,
     /// Sampled but not yet fed back through the model.
-    pending: Option<u32>,
+    pub(crate) pending: Option<u32>,
     /// Default sampler used by [`InferenceSession::step`].
     sampler: Sampler,
-    prompt_tokens: usize,
-    generated: Vec<u32>,
+    pub(crate) prompt_tokens: usize,
+    pub(crate) generated: Vec<u32>,
     async_batches_total: usize,
     /// Blocks absorbed since the last step, consumed into that step's
     /// telemetry.
     absorbed_since_step: usize,
+    /// This session's retained view of its sealed block chain in the
+    /// engine's store (`None` when the store is disabled). Dropping the
+    /// session releases the references, evicting blocks no other session
+    /// shares.
+    pub(crate) chain: Option<ChainHandle>,
+    /// Every token whose KV currently lives in the caches, in cache order —
+    /// the content stream that names sealed blocks in the store's prefix
+    /// index (and the replay source for persistence).
+    pub(crate) history: Vec<u32>,
+    /// Prompt tokens satisfied from resident shared blocks at admission
+    /// instead of being prefilled.
+    pub(crate) prefix_reused: usize,
+    /// Set when sealing found a resident block with this session's token
+    /// chain but *different* codes (same tokens admitted through a different
+    /// prefill/turn segmentation). The session then keeps its tail private
+    /// forever rather than adopting codes it did not compute — correctness
+    /// over sharing.
+    seal_stalled: bool,
 }
 
 impl<'e> InferenceSession<'e> {
@@ -175,6 +194,7 @@ impl<'e> InferenceSession<'e> {
                 engine.model().cache_layout(),
             )))
         };
+        let chain = engine.store().map(|store| ChainHandle::new(store.clone()));
         Self {
             engine,
             id,
@@ -189,6 +209,10 @@ impl<'e> InferenceSession<'e> {
             generated: Vec::new(),
             async_batches_total: 0,
             absorbed_since_step: 0,
+            chain,
+            history: Vec::new(),
+            prefix_reused: 0,
+            seal_stalled: false,
         }
     }
 
@@ -258,8 +282,42 @@ impl<'e> InferenceSession<'e> {
         self.kv_bytes() as f64 / fp16 as f64
     }
 
+    /// Prompt tokens satisfied from resident shared blocks at admission
+    /// (never prefilled or re-encoded by this session).
+    pub fn prefix_tokens_reused(&self) -> usize {
+        self.prefix_reused
+    }
+
+    /// Tokens of this session's history sealed into store blocks (the
+    /// shareable part of the cache).
+    pub fn sealed_tokens(&self) -> usize {
+        self.chain.as_ref().map_or(0, |c| c.sealed_tokens())
+    }
+
+    /// Bytes of this session's KV currently held in blocks co-referenced by
+    /// at least one other session — memory the session would otherwise have
+    /// duplicated privately.
+    pub fn kv_shared_bytes(&self) -> usize {
+        self.chain.as_ref().map_or(0, |c| c.shared_bytes())
+    }
+
+    /// Bytes of this session's KV it holds exclusively (private tails, dense
+    /// residual, and blocks no other session references).
+    /// `kv_shared_bytes + kv_owned_bytes == kv_bytes`.
+    pub fn kv_owned_bytes(&self) -> usize {
+        self.kv_bytes() - self.kv_shared_bytes()
+    }
+
     /// Processes the opening prompt: full-precision prefill attention, then
     /// synchronous PQ encoding of the prompt KV (Fig. 4 steps ③/④).
+    ///
+    /// With [`crate::MillionConfig::prefix_sharing`] enabled, the prompt is
+    /// first looked up in the engine's block store: any whole-block prefix
+    /// another session already sealed is **attached** instead of prefilled —
+    /// no prefill compute, no code memory, copy-on-write from the first
+    /// divergent token — and only the unmatched suffix is fed through the
+    /// decode path (exactly as a [`Self::append_prompt`] continuation
+    /// would be).
     ///
     /// # Panics
     ///
@@ -272,14 +330,44 @@ impl<'e> InferenceSession<'e> {
             0,
             "session already prefilled; use append_prompt for later turns"
         );
+        assert!(!prompt.is_empty(), "prefill requires at least one token");
+        if self.engine.config().prefix_sharing {
+            // Keep at least the final token for the decode path: its logits
+            // seed generation, so it can never be satisfied from the store.
+            let limit = prompt.len() - 1;
+            let attached = match &self.chain {
+                Some(chain) => chain.store().attach_prefix(&prompt[..limit]),
+                None => Vec::new(),
+            };
+            if !attached.is_empty() {
+                let reused: usize = attached.iter().map(|(_, b)| b.len()).sum();
+                for cache in &mut self.caches {
+                    for (_, block) in &attached {
+                        cache.attach_shared_block(block.clone());
+                    }
+                }
+                self.chain
+                    .as_mut()
+                    .expect("attached blocks imply a chain")
+                    .adopt(attached);
+                self.history.extend_from_slice(&prompt[..reused]);
+                self.prefix_reused = reused;
+                let logits = self.extend_prompt(&prompt[reused..]);
+                self.cur_logits = Some(logits);
+                self.prompt_tokens += prompt.len();
+                return;
+            }
+        }
         let logits = self.engine.model().prefill(prompt, &mut self.caches, None);
         // In the asynchronous configuration the caches do not auto-encode, so
         // the prompt KV is encoded here, on the spot — prompt encoding is part
         // of prefill in the paper, only *decode-time* encoding is off the
         // critical path.
         self.encode_dense_now();
+        self.history.extend_from_slice(prompt);
         self.cur_logits = Some(logits.row(prompt.len() - 1).to_vec());
         self.prompt_tokens += prompt.len();
+        self.maybe_seal();
     }
 
     /// Continues a multi-turn conversation: feeds `tokens` through the
@@ -421,6 +509,7 @@ impl<'e> InferenceSession<'e> {
             self.absorb(result);
         }
         self.encode_dense_now();
+        self.maybe_seal();
     }
 
     /// Routes one finished encode block into this session's caches.
@@ -450,7 +539,8 @@ impl<'e> InferenceSession<'e> {
     }
 
     /// Feeds one token through the model: absorb finished blocks, decode,
-    /// ship newly staged tokens. Returns the logits for the next position.
+    /// ship newly staged tokens, seal any newly completed block into the
+    /// store. Returns the logits for the next position.
     fn feed(&mut self, token: u32) -> Vec<f32> {
         let results = match &mut self.stream {
             QuantStream::Owned(worker) => worker.try_drain(),
@@ -464,7 +554,9 @@ impl<'e> InferenceSession<'e> {
             &mut self.caches,
             &mut self.scratch,
         );
+        self.history.push(token);
         self.ship_staged();
+        self.maybe_seal();
         logits
     }
 
@@ -473,18 +565,103 @@ impl<'e> InferenceSession<'e> {
     fn feed_chunk(&mut self, tokens: &[u32]) -> Vec<f32> {
         if matches!(self.stream, QuantStream::Sync) {
             // No worker traffic to interleave: extend the caches in one call.
-            let logits = self.engine.model().extend_with_scratch(
-                tokens,
-                &mut self.caches,
-                &mut self.scratch,
-            );
-            return logits.row(tokens.len() - 1).to_vec();
+            return self.extend_prompt(tokens);
         }
         let mut logits = Vec::new();
         for &tok in tokens {
             logits = self.feed(tok);
         }
         logits
+    }
+
+    /// Teacher-forces a chunk of known prompt tokens through the decode path
+    /// in one pass, then ships everything it staged to the quantization
+    /// stream at once. Used when nothing is in flight (synchronous
+    /// configurations, and the unmatched suffix at warm admission — where
+    /// the per-token absorb/ship interleaving of [`Self::feed`] would only
+    /// add channel traffic).
+    fn extend_prompt(&mut self, tokens: &[u32]) -> Vec<f32> {
+        let logits =
+            self.engine
+                .model()
+                .extend_with_scratch(tokens, &mut self.caches, &mut self.scratch);
+        self.history.extend_from_slice(tokens);
+        self.ship_staged();
+        self.maybe_seal();
+        logits.row(tokens.len() - 1).to_vec()
+    }
+
+    /// Seals every completed block of quantized history into the engine's
+    /// store: once *all* layers have quantized `block_tokens` tokens beyond
+    /// the sealed frontier, their codes move out of the private tails into
+    /// one immutable multi-layer [`Block`]. If another session already
+    /// published the identical block (same token chain), this session's
+    /// copy is dropped and the resident block adopted — publish-time
+    /// copy-on-write convergence.
+    fn maybe_seal(&mut self) {
+        if self.seal_stalled {
+            return;
+        }
+        let Some(chain) = self.chain.as_mut() else {
+            return;
+        };
+        let store = chain.store().clone();
+        let bt = store.block_tokens();
+        loop {
+            let sealable = self
+                .caches
+                .iter()
+                .map(|c| c.private_quantized_len())
+                .min()
+                .unwrap_or(0);
+            if sealable < bt {
+                return;
+            }
+            let sealed = chain.sealed_tokens();
+            let tokens: Vec<u32> = self.history[sealed..sealed + bt].to_vec();
+            if let Some((id, block)) = store.lookup_child(chain.last_id(), &tokens) {
+                // Token-chain identity is necessary but not sufficient: the
+                // same tokens admitted through a different prefill/turn
+                // segmentation yield (slightly) different KV and hence
+                // different codes. Adopt the resident block only when its
+                // codes are bit-identical to what this session computed;
+                // otherwise keep the tail private and stop sealing — sharing
+                // must never change a session's arithmetic.
+                let matches = self.caches.iter().enumerate().all(|(layer, cache)| {
+                    (0..cache.layout().n_kv_heads).all(|h| {
+                        let k = cache.private_key_codes()[h].clone_rows(0, bt);
+                        let v = cache.private_value_codes()[h].clone_rows(0, bt);
+                        k.packed_bytes() == block.key_codes(layer, h).packed_bytes()
+                            && v.packed_bytes() == block.value_codes(layer, h).packed_bytes()
+                    })
+                });
+                if !matches {
+                    store.release(id);
+                    self.seal_stalled = true;
+                    return;
+                }
+                for cache in &mut self.caches {
+                    cache.replace_private_front_with_block(block.clone());
+                }
+                chain.push(id, block);
+            } else {
+                let heads = self.engine.model().cache_layout().n_kv_heads;
+                let n_layers = self.caches.len();
+                let mut key_codes = Vec::with_capacity(n_layers * heads);
+                let mut value_codes = Vec::with_capacity(n_layers * heads);
+                for cache in &mut self.caches {
+                    let (keys, values) = cache.take_private_front(bt);
+                    key_codes.extend(keys);
+                    value_codes.extend(values);
+                }
+                let block = Block::new(n_layers, heads, key_codes, value_codes);
+                let (id, arc) = store.insert_child(chain.last_id(), &tokens, block);
+                for cache in &mut self.caches {
+                    cache.attach_shared_block(arc.clone());
+                }
+                chain.push(id, arc);
+            }
+        }
     }
 
     /// Ships every layer's encodable dense block to the quantization stream,
@@ -535,12 +712,20 @@ impl<'e> InferenceSession<'e> {
     }
 
     /// Clears the caches and counters so the session can serve a new
-    /// conversation without re-allocating or re-training anything.
+    /// conversation without re-allocating or re-training anything. Shared
+    /// block references are released (evicting blocks no other session
+    /// holds).
     pub fn reset(&mut self) {
         self.flush();
         for cache in &mut self.caches {
             cache.reset();
         }
+        if let Some(chain) = self.chain.as_mut() {
+            chain.release_all();
+        }
+        self.history.clear();
+        self.prefix_reused = 0;
+        self.seal_stalled = false;
         self.sent.iter_mut().for_each(|s| *s = 0);
         self.cur_logits = None;
         self.pending = None;
@@ -559,7 +744,8 @@ fn build_session_caches(engine: &MillionEngine, auto_encode: bool) -> Vec<PqKvCa
                 engine.codebooks().key[l].clone(),
                 engine.codebooks().value[l].clone(),
                 engine.config().residual_len,
-            );
+            )
+            .with_layer(l);
             cfg.auto_encode = auto_encode;
             PqKvCache::new(layout, cfg)
         })

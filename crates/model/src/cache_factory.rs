@@ -77,7 +77,8 @@ pub fn build_caches(config: &ModelConfig, spec: &CacheSpec) -> Vec<Box<dyn KvCac
                         pq.key_codebooks[l].clone(),
                         pq.value_codebooks[l].clone(),
                         pq.residual_len,
-                    );
+                    )
+                    .with_layer(l);
                     cache_cfg.auto_encode = pq.auto_encode;
                     Box::new(PqKvCache::new(layout, cache_cfg))
                 }

@@ -124,6 +124,103 @@ impl PackedCodes {
         }
     }
 
+    /// Rebuilds a packed vector from its raw storage — the inverse of
+    /// ([`PackedCodes::bits`], [`PackedCodes::len`], [`PackedCodes::as_bytes`]),
+    /// used when restoring persisted code blocks from disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::QuantError::InvalidConfig`] if `bits` is outside
+    /// `1..=16` or `data` is not exactly the `(len * bits).div_ceil(8)` bytes
+    /// the layout requires.
+    pub fn from_raw_parts(bits: u8, len: usize, data: Vec<u8>) -> Result<Self, crate::QuantError> {
+        if bits == 0 || bits > 16 {
+            return Err(crate::QuantError::InvalidConfig(format!(
+                "bit width {bits} not in 1..=16"
+            )));
+        }
+        let expected = (len * bits as usize).div_ceil(8);
+        if data.len() != expected {
+            return Err(crate::QuantError::InvalidConfig(format!(
+                "packed storage holds {} bytes, layout requires {expected}",
+                data.len()
+            )));
+        }
+        // The writer always leaves the unused tail bits of the last byte
+        // zero, so nonzero bits there are a corruption signal — reject them
+        // rather than silently "repairing" the data.
+        let used_bits = len * bits as usize;
+        if !used_bits.is_multiple_of(8) {
+            let tail = data.last().copied().unwrap_or(0);
+            if tail >> (used_bits % 8) != 0 {
+                return Err(crate::QuantError::InvalidConfig(
+                    "nonzero trailing bits in packed storage".into(),
+                ));
+            }
+        }
+        Ok(Self { bits, len, data })
+    }
+
+    /// Zeroes the unused trailing bits of the last byte, restoring the
+    /// invariant [`PackedCodes::push`] relies on (it ORs new codes into
+    /// zero bits).
+    fn mask_tail(&mut self) {
+        let used_bits = self.len * self.bits as usize;
+        self.data.truncate(used_bits.div_ceil(8));
+        if !used_bits.is_multiple_of(8) {
+            if let Some(last) = self.data.last_mut() {
+                *last &= (1u8 << (used_bits % 8)) - 1;
+            }
+        }
+    }
+
+    /// Copies the `n` codes starting at `start` into a new packed vector.
+    ///
+    /// When the range starts on a byte boundary this is a byte-slice copy;
+    /// otherwise codes are re-packed one by one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + n > len`.
+    pub fn clone_range(&self, start: usize, n: usize) -> PackedCodes {
+        assert!(start + n <= self.len, "clone_range out of bounds");
+        let bits = self.bits as usize;
+        let start_bit = start * bits;
+        if start_bit.is_multiple_of(8) {
+            let end_bit = start_bit + n * bits;
+            let data = self.data[start_bit / 8..end_bit.div_ceil(8)].to_vec();
+            let mut out = Self {
+                bits: self.bits,
+                len: n,
+                data,
+            };
+            out.mask_tail();
+            out
+        } else {
+            let mut out = Self::with_capacity(self.bits, n);
+            for i in 0..n {
+                out.push(self.get(start + i));
+            }
+            out
+        }
+    }
+
+    /// Removes the first `n` codes. A byte-aligned cut is a front drain of
+    /// the storage; otherwise the suffix is re-packed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > len`.
+    pub fn drop_front(&mut self, n: usize) {
+        assert!(n <= self.len, "drop_front out of bounds");
+        if (n * self.bits as usize).is_multiple_of(8) {
+            self.data.drain(0..n * self.bits as usize / 8);
+            self.len -= n;
+        } else {
+            *self = self.clone_range(n, self.len - n);
+        }
+    }
+
     /// Reads the code at `index`.
     ///
     /// # Panics
@@ -339,6 +436,52 @@ mod tests {
         let packed = PackedCodes::pack(&[0x3, 0x1], 4).unwrap();
         // code 0 in the low nibble, code 1 in the high nibble.
         assert_eq!(packed.as_bytes(), &[0x13]);
+    }
+
+    #[test]
+    fn from_raw_parts_roundtrips_and_validates() {
+        for bits in [4u8, 6, 8, 12, 5] {
+            let max = max_code(bits);
+            let codes: Vec<u16> = (0..37).map(|i| (i * 19) as u16 % (max + 1)).collect();
+            let packed = PackedCodes::pack(&codes, bits).unwrap();
+            let rebuilt =
+                PackedCodes::from_raw_parts(bits, packed.len(), packed.as_bytes().to_vec())
+                    .unwrap();
+            assert_eq!(rebuilt, packed, "width {bits}");
+        }
+        assert!(PackedCodes::from_raw_parts(0, 1, vec![0]).is_err());
+        assert!(PackedCodes::from_raw_parts(8, 2, vec![0]).is_err()); // short
+        assert!(PackedCodes::from_raw_parts(8, 1, vec![0, 0]).is_err()); // long
+                                                                         // Nonzero bits past the last code are corruption, not data.
+        assert!(PackedCodes::from_raw_parts(4, 1, vec![0x1F]).is_err());
+        assert!(PackedCodes::from_raw_parts(4, 1, vec![0x0F]).is_ok());
+    }
+
+    #[test]
+    fn clone_range_and_drop_front_match_reference_slicing() {
+        for bits in [4u8, 6, 8, 12, 5, 3] {
+            let max = max_code(bits);
+            let codes: Vec<u16> = (0..61).map(|i| (i * 23 + 7) as u16 % (max + 1)).collect();
+            let packed = PackedCodes::pack(&codes, bits).unwrap();
+            for (start, n) in [
+                (0usize, 61usize),
+                (0, 10),
+                (8, 20),
+                (3, 5),
+                (61, 0),
+                (17, 44),
+            ] {
+                let sliced = packed.clone_range(start, n);
+                assert_eq!(sliced.unpack(), &codes[start..start + n], "bits {bits}");
+                let mut dropped = packed.clone();
+                dropped.drop_front(start);
+                assert_eq!(dropped.unpack(), &codes[start..], "bits {bits}");
+                // The sliced copies keep the push invariant (zeroed tail bits).
+                let mut extended = sliced.clone();
+                extended.push(max);
+                assert_eq!(*extended.unpack().last().unwrap(), max);
+            }
+        }
     }
 
     proptest! {

@@ -454,6 +454,72 @@ impl PqCodes {
     pub fn memory_bytes(&self) -> usize {
         self.packed.byte_len()
     }
+
+    /// Copies the codes of `n` vectors starting at row `start` into a new
+    /// block (a byte-slice copy for the byte-aligned kernel layouts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + n > len`.
+    pub fn clone_rows(&self, start: usize, n: usize) -> PqCodes {
+        assert!(start + n <= self.len, "clone_rows out of bounds");
+        Self {
+            config: self.config,
+            packed: self
+                .packed
+                .clone_range(start * self.config.m, n * self.config.m),
+            len: n,
+        }
+    }
+
+    /// Removes and returns the first `n` vectors — how a cache hands the
+    /// oldest quantized tokens over to a sealed, shareable block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > len`.
+    pub fn take_front(&mut self, n: usize) -> PqCodes {
+        let front = self.clone_rows(0, n);
+        self.drop_front(n);
+        front
+    }
+
+    /// Drops the first `n` vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > len`.
+    pub fn drop_front(&mut self, n: usize) {
+        assert!(n <= self.len, "drop_front out of bounds");
+        self.packed.drop_front(n * self.config.m);
+        self.len -= n;
+    }
+
+    /// Borrowed view of the packed storage (see [`PackedCodes::as_bytes`] for
+    /// the layout), for persistence.
+    pub fn packed_bytes(&self) -> &[u8] {
+        self.packed.as_bytes()
+    }
+
+    /// Rebuilds a code block from its configuration and persisted packed
+    /// bytes — the inverse of ([`PqCodes::len`], [`PqCodes::packed_bytes`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidConfig`] if the byte count does not match
+    /// the `rows * m` codes the layout requires.
+    pub fn from_raw_parts(
+        config: PqConfig,
+        rows: usize,
+        data: Vec<u8>,
+    ) -> Result<Self, QuantError> {
+        let packed = PackedCodes::from_raw_parts(config.nbits, rows * config.m, data)?;
+        Ok(Self {
+            config,
+            packed,
+            len: rows,
+        })
+    }
 }
 
 /// Per-subspace inner-product lookup table for one query.
@@ -591,6 +657,48 @@ impl ScoreLut {
         alibi: Option<(f32, usize)>,
         acc: &mut ValueAccumulator,
     ) -> (f32, f32) {
+        acc.ensure_shape(value_codes.config().m, value_codes.config().codebook_size());
+        acc.reset();
+        let mut state = FusedState::new();
+        let alibi = alibi.map(|(slope, query_pos)| FusedAlibi {
+            slope,
+            query_pos,
+            base_pos: 0,
+        });
+        self.fused_attend_chunk(key_codes, value_codes, scale, alibi, acc, &mut state);
+        (state.max_score, state.sum_exp)
+    }
+
+    /// Resumable form of [`ScoreLut::fused_attend`] for paged code storage:
+    /// processes one contiguous chunk of a longer token range, continuing the
+    /// online softmax carried in `state` and accumulating into `acc` (which
+    /// the caller must have shaped and reset before the first chunk).
+    ///
+    /// Feeding the chunks of a block chain through this kernel in the same
+    /// token order performs the *identical* arithmetic sequence as one
+    /// [`ScoreLut::fused_attend`] call over monolithic codes — chunk
+    /// boundaries introduce no reassociation, so paged attention is
+    /// bit-identical to unpaged attention.
+    ///
+    /// `alibi.base_pos` is the absolute position of the chunk's first token
+    /// (positions only matter for the ALiBi bias). As in the monolithic
+    /// kernel, tokens inside an ALiBi chunk are walked newest-first; callers
+    /// should also feed the chunks themselves newest-first under ALiBi so the
+    /// running maximum settles early.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key/value chunks hold different token counts or
+    /// `key_codes` does not match this table's subspace count.
+    pub fn fused_attend_chunk(
+        &self,
+        key_codes: &PqCodes,
+        value_codes: &PqCodes,
+        scale: f32,
+        alibi: Option<FusedAlibi>,
+        acc: &mut ValueAccumulator,
+        state: &mut FusedState,
+    ) {
         let n = key_codes.len();
         assert_eq!(n, value_codes.len(), "key/value token count mismatch");
         assert_eq!(
@@ -598,12 +706,8 @@ impl ScoreLut {
             self.m,
             "fused_attend subspace count mismatch"
         );
-        acc.ensure_shape(value_codes.config().m, value_codes.config().codebook_size());
-        acc.reset();
         let k = self.k;
         let table = &self.table;
-        let mut max_score = f32::NEG_INFINITY;
-        let mut sum_exp = 0.0f32;
         // ALiBi bias grows with token position, so a forward walk would move
         // the running maximum on ~every token once the linear trend dominates
         // score noise — each move rescaling the whole m*k mass buffer. Walk
@@ -617,23 +721,64 @@ impl ScoreLut {
             let mut score = 0.0f32;
             key_codes.walk_row(t, |sub, code| score += table[sub * k + code]);
             score *= scale;
-            if let Some((slope, query_pos)) = alibi {
-                score += million_tensor::alibi::alibi_bias(slope, query_pos, t);
+            if let Some(FusedAlibi {
+                slope,
+                query_pos,
+                base_pos,
+            }) = alibi
+            {
+                score += million_tensor::alibi::alibi_bias(slope, query_pos, base_pos + t);
             }
-            if score > max_score {
-                if max_score != f32::NEG_INFINITY {
-                    let rescale = (max_score - score).exp();
-                    sum_exp *= rescale;
+            if score > state.max_score {
+                if state.max_score != f32::NEG_INFINITY {
+                    let rescale = (state.max_score - score).exp();
+                    state.sum_exp *= rescale;
                     acc.rescale(rescale);
                 }
-                max_score = score;
+                state.max_score = score;
             }
-            let w = (score - max_score).exp();
-            sum_exp += w;
+            let w = (score - state.max_score).exp();
+            state.sum_exp += w;
             acc.add_indexed(w, value_codes, t);
         }
-        (max_score, sum_exp)
     }
+}
+
+/// Running online-softmax state threaded through
+/// [`ScoreLut::fused_attend_chunk`] calls.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FusedState {
+    /// Largest (scaled, biased) score seen so far.
+    pub max_score: f32,
+    /// Sum of `exp(score - max_score)` over the tokens seen so far.
+    pub sum_exp: f32,
+}
+
+impl FusedState {
+    /// The neutral state before any token has been scored.
+    pub fn new() -> Self {
+        Self {
+            max_score: f32::NEG_INFINITY,
+            sum_exp: 0.0,
+        }
+    }
+}
+
+impl Default for FusedState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// ALiBi parameters for one chunk of [`ScoreLut::fused_attend_chunk`].
+#[derive(Debug, Clone, Copy)]
+pub struct FusedAlibi {
+    /// ALiBi slope of the attending head.
+    pub slope: f32,
+    /// Absolute position of the querying token.
+    pub query_pos: usize,
+    /// Absolute position of the chunk's first token.
+    pub base_pos: usize,
 }
 
 /// Accumulates `sum_t w_t * decode(V_t)` without decoding each vector: the
@@ -980,6 +1125,127 @@ mod tests {
                     "m={m} nbits={nbits}: {g} vs {e} (fused vs two-pass)"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn chunked_fused_attend_is_bit_identical_to_monolithic() {
+        // The paged cache walks a block chain through fused_attend_chunk;
+        // splitting anywhere (including unaligned odd chunks) must reproduce
+        // the monolithic kernel's arithmetic exactly, with and without ALiBi.
+        for (m, nbits, alibi) in [
+            (8usize, 4u8, None),
+            (8, 6, Some((0.4f32, 63usize))),
+            (4, 8, Some((0.1, 80))),
+            (5, 7, None), // unaligned row width exercises the bit-cursor path
+        ] {
+            let data = training_data(31, 300, m * 4);
+            let dim = data.cols();
+            let config = PqConfig::new(m, nbits).unwrap();
+            let opts = PqTrainOptions::default();
+            let key_cb = PqCodebook::train(&config, &data, &opts, 2).unwrap();
+            let value_cb = PqCodebook::train(&config, &data, &opts, 3).unwrap();
+            let tokens = data.slice_rows(0..64);
+            let key_codes = key_cb.encode_matrix(&tokens);
+            let value_codes = value_cb.encode_matrix(&tokens);
+            let query: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.29).sin()).collect();
+            let lut = key_cb.score_lut(&query);
+            let scale = 0.3f32;
+
+            let mut mono_acc = ValueAccumulator::for_codebook(&value_cb);
+            let (mono_max, mono_sum) =
+                lut.fused_attend(&key_codes, &value_codes, scale, alibi, &mut mono_acc);
+
+            for splits in [
+                vec![64usize],
+                vec![17, 47],
+                vec![1, 30, 33],
+                vec![13, 13, 13, 25],
+            ] {
+                let mut chunks_k = Vec::new();
+                let mut chunks_v = Vec::new();
+                let mut start = 0;
+                for n in &splits {
+                    chunks_k.push(key_codes.clone_rows(start, *n));
+                    chunks_v.push(value_codes.clone_rows(start, *n));
+                    start += n;
+                }
+                let mut acc = ValueAccumulator::for_codebook(&value_cb);
+                acc.reset();
+                let mut state = FusedState::new();
+                // Under ALiBi feed newest chunk first, exactly as the paged
+                // cache does; otherwise oldest first.
+                let order: Vec<usize> = if alibi.is_some() {
+                    (0..splits.len()).rev().collect()
+                } else {
+                    (0..splits.len()).collect()
+                };
+                for &c in &order {
+                    let base: usize = splits[..c].iter().sum();
+                    let chunk_alibi = alibi.map(|(slope, query_pos)| FusedAlibi {
+                        slope,
+                        query_pos,
+                        base_pos: base,
+                    });
+                    lut.fused_attend_chunk(
+                        &chunks_k[c],
+                        &chunks_v[c],
+                        scale,
+                        chunk_alibi,
+                        &mut acc,
+                        &mut state,
+                    );
+                }
+                assert_eq!(state.max_score.to_bits(), mono_max.to_bits(), "m={m}");
+                assert_eq!(state.sum_exp.to_bits(), mono_sum.to_bits(), "m={m}");
+                let mut got = vec![0.0f32; dim];
+                let mut want = vec![0.0f32; dim];
+                acc.finish_into(&value_cb, &mut got);
+                mono_acc.finish_into(&value_cb, &mut want);
+                for (g, w) in got.iter().zip(want.iter()) {
+                    assert_eq!(g.to_bits(), w.to_bits(), "m={m} nbits={nbits}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clone_take_drop_rows_match_reference() {
+        for (m, nbits) in [(8usize, 4u8), (8, 6), (4, 8), (5, 7)] {
+            let config = PqConfig::new(m, nbits).unwrap();
+            let max = (1u32 << nbits) as u16;
+            let rows: Vec<Vec<u16>> = (0..23)
+                .map(|r| (0..m).map(|s| ((r * 13 + s * 7) as u16) % max).collect())
+                .collect();
+            let mut codes = PqCodes::new(config);
+            for row in &rows {
+                codes.push(row);
+            }
+            let mid = codes.clone_rows(5, 9);
+            let mut buf = vec![0u16; m];
+            for (i, row) in rows[5..14].iter().enumerate() {
+                mid.read_into(i, &mut buf);
+                assert_eq!(&buf, row, "m={m} nbits={nbits}");
+            }
+            let mut rest = codes.clone();
+            let front = rest.take_front(6);
+            assert_eq!(front.len(), 6);
+            assert_eq!(rest.len(), 17);
+            for (i, row) in rows.iter().enumerate() {
+                let (block, local) = if i < 6 { (&front, i) } else { (&rest, i - 6) };
+                block.read_into(local, &mut buf);
+                assert_eq!(&buf, row, "m={m} nbits={nbits} row {i}");
+            }
+            // Roundtrip through the persistence raw parts.
+            let rebuilt =
+                PqCodes::from_raw_parts(config, rest.len(), rest.packed_bytes().to_vec()).unwrap();
+            for i in 0..rest.len() {
+                let mut a = vec![0u16; m];
+                rebuilt.read_into(i, &mut a);
+                rest.read_into(i, &mut buf);
+                assert_eq!(a, buf);
+            }
+            assert!(PqCodes::from_raw_parts(config, 99, vec![0u8; 3]).is_err());
         }
     }
 

@@ -1,0 +1,186 @@
+//! Sealed, immutable blocks of packed PQ codes.
+
+use million_quant::pq::PqCodes;
+
+/// A sealed span of PQ codes: `len` consecutive tokens' key and value codes
+/// for every `(layer, head)` of one model, flattened layer-major.
+///
+/// Blocks are immutable by construction — there is no mutating method — so
+/// any number of sessions can read one concurrently through plain `Arc`
+/// clones while the decode hot path stays lock- and allocation-free.
+#[derive(Debug)]
+pub struct Block {
+    len: usize,
+    n_layers: usize,
+    n_kv_heads: usize,
+    /// `n_layers * n_kv_heads` code sequences, entry `layer * n_kv_heads + head`.
+    key_codes: Vec<PqCodes>,
+    /// Same shape as `key_codes`.
+    value_codes: Vec<PqCodes>,
+}
+
+impl Block {
+    /// Seals a block from per-`(layer, head)` key and value code sequences
+    /// (layer-major order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors are not `n_layers * n_kv_heads` long or any
+    /// sequence disagrees on the token count (which must be non-zero).
+    pub fn new(
+        n_layers: usize,
+        n_kv_heads: usize,
+        key_codes: Vec<PqCodes>,
+        value_codes: Vec<PqCodes>,
+    ) -> Self {
+        let slots = n_layers * n_kv_heads;
+        assert!(slots > 0, "block geometry must be non-empty");
+        assert_eq!(key_codes.len(), slots, "key code sequence count mismatch");
+        assert_eq!(
+            value_codes.len(),
+            slots,
+            "value code sequence count mismatch"
+        );
+        let len = key_codes[0].len();
+        assert!(len > 0, "a sealed block must hold at least one token");
+        for codes in key_codes.iter().chain(value_codes.iter()) {
+            assert_eq!(codes.len(), len, "block token count mismatch across heads");
+        }
+        Self {
+            len,
+            n_layers,
+            n_kv_heads,
+            key_codes,
+            value_codes,
+        }
+    }
+
+    /// Number of tokens the block covers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the block holds no tokens (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of layers the block covers.
+    pub fn n_layers(&self) -> usize {
+        self.n_layers
+    }
+
+    /// Number of KV heads per layer.
+    pub fn n_kv_heads(&self) -> usize {
+        self.n_kv_heads
+    }
+
+    /// Key codes of one `(layer, head)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` or `head` is out of range.
+    #[inline]
+    pub fn key_codes(&self, layer: usize, head: usize) -> &PqCodes {
+        assert!(layer < self.n_layers && head < self.n_kv_heads);
+        &self.key_codes[layer * self.n_kv_heads + head]
+    }
+
+    /// Value codes of one `(layer, head)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` or `head` is out of range.
+    #[inline]
+    pub fn value_codes(&self, layer: usize, head: usize) -> &PqCodes {
+        assert!(layer < self.n_layers && head < self.n_kv_heads);
+        &self.value_codes[layer * self.n_kv_heads + head]
+    }
+
+    /// All key code sequences, layer-major (for persistence).
+    pub fn all_key_codes(&self) -> &[PqCodes] {
+        &self.key_codes
+    }
+
+    /// All value code sequences, layer-major (for persistence).
+    pub fn all_value_codes(&self) -> &[PqCodes] {
+        &self.value_codes
+    }
+
+    /// Packed code bytes across every layer and head.
+    pub fn memory_bytes(&self) -> usize {
+        self.key_codes
+            .iter()
+            .chain(self.value_codes.iter())
+            .map(|c| c.memory_bytes())
+            .sum()
+    }
+
+    /// Packed code bytes attributable to one layer (the share a per-layer
+    /// cache reports).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn layer_bytes(&self, layer: usize) -> usize {
+        assert!(layer < self.n_layers, "layer out of range");
+        let h = self.n_kv_heads;
+        self.key_codes[layer * h..(layer + 1) * h]
+            .iter()
+            .chain(self.value_codes[layer * h..(layer + 1) * h].iter())
+            .map(|c| c.memory_bytes())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use million_quant::pq::PqConfig;
+
+    fn codes(config: PqConfig, rows: usize, salt: u16) -> PqCodes {
+        let mut c = PqCodes::new(config);
+        let max = 1u16 << config.nbits;
+        for r in 0..rows {
+            let row: Vec<u16> = (0..config.m)
+                .map(|s| ((r as u16) * 5 + (s as u16) * 3 + salt) % max)
+                .collect();
+            c.push(&row);
+        }
+        c
+    }
+
+    #[test]
+    fn block_geometry_and_accounting() {
+        let config = PqConfig::new(4, 8).unwrap();
+        let slots = 2 * 3; // 2 layers x 3 heads
+        let key: Vec<PqCodes> = (0..slots).map(|i| codes(config, 8, i as u16)).collect();
+        let value: Vec<PqCodes> = (0..slots)
+            .map(|i| codes(config, 8, 100 + i as u16))
+            .collect();
+        let block = Block::new(2, 3, key, value);
+        assert_eq!(block.len(), 8);
+        assert!(!block.is_empty());
+        assert_eq!(block.n_layers(), 2);
+        assert_eq!(block.n_kv_heads(), 3);
+        // 12 sequences x 8 rows x 4 bytes/row.
+        assert_eq!(block.memory_bytes(), 12 * 8 * 4);
+        assert_eq!(
+            block.layer_bytes(0) + block.layer_bytes(1),
+            block.memory_bytes()
+        );
+        assert_eq!(
+            block.key_codes(1, 2).code(0, 0),
+            block.all_key_codes()[5].code(0, 0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "token count mismatch")]
+    fn ragged_blocks_are_rejected() {
+        let config = PqConfig::new(4, 8).unwrap();
+        let key = vec![codes(config, 8, 0), codes(config, 7, 1)];
+        let value = vec![codes(config, 8, 2), codes(config, 8, 3)];
+        let _ = Block::new(1, 2, key, value);
+    }
+}

@@ -1,0 +1,145 @@
+//! One session's retained view of its sealed block chain.
+
+use std::sync::Arc;
+
+use crate::block::Block;
+use crate::store::{BlockId, BlockStore};
+
+/// The sealed prefix of one session, oldest block first.
+///
+/// A handle owns one store reference per block; dropping the handle (or
+/// calling [`ChainHandle::release_all`]) releases them, which evicts any
+/// block no other session still references — detached sessions clean up
+/// after themselves with no garbage-collection pass.
+#[derive(Debug)]
+pub struct ChainHandle {
+    store: Arc<BlockStore>,
+    blocks: Vec<(BlockId, Arc<Block>)>,
+    sealed_tokens: usize,
+}
+
+impl ChainHandle {
+    /// Creates an empty chain on `store`.
+    pub fn new(store: Arc<BlockStore>) -> Self {
+        Self {
+            store,
+            blocks: Vec::new(),
+            sealed_tokens: 0,
+        }
+    }
+
+    /// The store this chain's references live in.
+    pub fn store(&self) -> &Arc<BlockStore> {
+        &self.store
+    }
+
+    /// The retained blocks, oldest first.
+    pub fn blocks(&self) -> &[(BlockId, Arc<Block>)] {
+        &self.blocks
+    }
+
+    /// Tokens covered by the sealed chain.
+    pub fn sealed_tokens(&self) -> usize {
+        self.sealed_tokens
+    }
+
+    /// Id of the newest sealed block (the parent of the next seal).
+    pub fn last_id(&self) -> Option<BlockId> {
+        self.blocks.last().map(|(id, _)| *id)
+    }
+
+    /// Appends one block whose reference the caller already acquired (via
+    /// `lookup_child`, `insert_child`, or `acquire`).
+    pub fn push(&mut self, id: BlockId, block: Arc<Block>) {
+        self.sealed_tokens += block.len();
+        self.blocks.push((id, block));
+    }
+
+    /// Adopts a prefix chain returned by [`BlockStore::attach_prefix`]
+    /// (whose references are already acquired).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain already holds blocks.
+    pub fn adopt(&mut self, blocks: Vec<(BlockId, Arc<Block>)>) {
+        assert!(self.blocks.is_empty(), "adopt into a non-empty chain");
+        self.sealed_tokens = blocks.iter().map(|(_, b)| b.len()).sum();
+        self.blocks = blocks;
+    }
+
+    /// Bytes of this chain's blocks that are currently co-referenced by at
+    /// least one other session (full-block bytes, all layers).
+    pub fn shared_bytes(&self) -> usize {
+        self.blocks
+            .iter()
+            .filter(|(id, _)| self.store.ref_count(*id) > 1)
+            .map(|(_, b)| b.memory_bytes())
+            .sum()
+    }
+
+    /// Bytes of this chain's blocks referenced by this session alone.
+    pub fn exclusive_bytes(&self) -> usize {
+        self.blocks
+            .iter()
+            .filter(|(id, _)| self.store.ref_count(*id) == 1)
+            .map(|(_, b)| b.memory_bytes())
+            .sum()
+    }
+
+    /// Releases every reference and empties the chain (also performed on
+    /// drop).
+    pub fn release_all(&mut self) {
+        for (id, _) in self.blocks.drain(..) {
+            self.store.release(id);
+        }
+        self.sealed_tokens = 0;
+    }
+}
+
+impl Drop for ChainHandle {
+    fn drop(&mut self) {
+        self.release_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use million_quant::pq::{PqCodes, PqConfig};
+
+    fn block(tokens: &[u32]) -> Block {
+        let config = PqConfig::new(2, 8).unwrap();
+        let mk = |salt: u16| {
+            let mut c = PqCodes::new(config);
+            for &t in tokens {
+                c.push(&[(t as u16) % 256, salt]);
+            }
+            c
+        };
+        Block::new(1, 1, vec![mk(1)], vec![mk(2)])
+    }
+
+    #[test]
+    fn drop_releases_and_evicts() {
+        let store = Arc::new(BlockStore::new(2));
+        let tokens = [1u32, 2];
+        let mut chain_a = ChainHandle::new(store.clone());
+        let (id, arc) = store.insert_child(None, &tokens, block(&tokens));
+        chain_a.push(id, arc);
+        assert_eq!(chain_a.sealed_tokens(), 2);
+        assert_eq!(chain_a.last_id(), Some(id));
+        assert_eq!(chain_a.shared_bytes(), 0);
+        assert!(chain_a.exclusive_bytes() > 0);
+
+        let mut chain_b = ChainHandle::new(store.clone());
+        chain_b.adopt(store.attach_prefix(&tokens));
+        assert_eq!(chain_b.blocks().len(), 1);
+        assert!(chain_a.shared_bytes() > 0);
+        assert_eq!(chain_a.exclusive_bytes(), 0);
+
+        drop(chain_a);
+        assert_eq!(store.ref_count(id), 1);
+        drop(chain_b);
+        assert_eq!(store.stats().live_blocks, 0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Little-endian binary codec for persisting PQ code state.
+//!
+//! Blocks and private code tails are already the compressed wire format —
+//! packed `nbits`-wide codes — so persistence is pure framing: lengths,
+//! geometry for validation, and the raw packed bytes. (The vendored `serde`
+//! is serialize-only, so this module carries its own reader.)
+
+use million_quant::pq::{PqCodes, PqConfig};
+
+use crate::block::Block;
+
+/// Errors produced while decoding persisted state.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The buffer ended before the structure was complete.
+    Truncated,
+    /// A structural or geometric invariant failed.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Truncated => write!(f, "persisted state truncated"),
+            PersistError::Corrupt(msg) => write!(f, "persisted state corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Appends a `u32` (little endian).
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` (little endian).
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a length-prefixed `u32` slice.
+pub fn put_u32_slice(out: &mut Vec<u8>, vs: &[u32]) {
+    put_u64(out, vs.len() as u64);
+    for &v in vs {
+        put_u32(out, v);
+    }
+}
+
+/// Appends a length-prefixed `f32` slice (bit-exact).
+pub fn put_f32_slice(out: &mut Vec<u8>, vs: &[f32]) {
+    put_u64(out, vs.len() as u64);
+    for &v in vs {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Appends one code sequence: geometry, row count, packed bytes.
+pub fn put_codes(out: &mut Vec<u8>, codes: &PqCodes) {
+    let config = codes.config();
+    put_u32(out, config.m as u32);
+    out.push(config.nbits);
+    put_u64(out, codes.len() as u64);
+    let bytes = codes.packed_bytes();
+    put_u64(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+/// Appends a sealed block: geometry plus every code sequence, keys first.
+pub fn put_block(out: &mut Vec<u8>, block: &Block) {
+    put_u32(out, block.n_layers() as u32);
+    put_u32(out, block.n_kv_heads() as u32);
+    for codes in block.all_key_codes().iter().chain(block.all_value_codes()) {
+        put_codes(out, codes);
+    }
+}
+
+/// Cursor over a persisted byte buffer.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a buffer for reading from the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Returns `true` once every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        let end = self.pos.checked_add(n).ok_or(PersistError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(PersistError::Truncated);
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64` and narrows it to `usize`.
+    pub fn get_len(&mut self) -> Result<usize, PersistError> {
+        let v = u64::from_le_bytes(self.take(8)?.try_into().unwrap());
+        usize::try_from(v).map_err(|_| PersistError::Corrupt("length overflows usize".into()))
+    }
+
+    /// Reads a length-prefixed `u32` slice.
+    pub fn get_u32_slice(&mut self) -> Result<Vec<u32>, PersistError> {
+        let n = self.get_len()?;
+        let mut out = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            out.push(self.get_u32()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed `f32` slice (bit-exact).
+    pub fn get_f32_slice(&mut self) -> Result<Vec<f32>, PersistError> {
+        let n = self.get_len()?;
+        let mut out = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            out.push(f32::from_le_bytes(self.take(4)?.try_into().unwrap()));
+        }
+        Ok(out)
+    }
+
+    /// Reads one code sequence written by [`put_codes`].
+    pub fn get_codes(&mut self) -> Result<PqCodes, PersistError> {
+        let m = self.get_u32()? as usize;
+        let nbits = self.get_u8()?;
+        let config = PqConfig::new(m, nbits)
+            .map_err(|e| PersistError::Corrupt(format!("bad code geometry: {e}")))?;
+        let rows = self.get_len()?;
+        let n_bytes = self.get_len()?;
+        let data = self.take(n_bytes)?.to_vec();
+        PqCodes::from_raw_parts(config, rows, data)
+            .map_err(|e| PersistError::Corrupt(format!("bad packed codes: {e}")))
+    }
+
+    /// Reads one sealed block written by [`put_block`].
+    pub fn get_block(&mut self) -> Result<Block, PersistError> {
+        let n_layers = self.get_u32()? as usize;
+        let n_kv_heads = self.get_u32()? as usize;
+        let slots = n_layers
+            .checked_mul(n_kv_heads)
+            .filter(|&s| s > 0 && s <= 1 << 20)
+            .ok_or_else(|| PersistError::Corrupt("bad block geometry".into()))?;
+        let mut key_codes = Vec::with_capacity(slots);
+        for _ in 0..slots {
+            key_codes.push(self.get_codes()?);
+        }
+        let mut value_codes = Vec::with_capacity(slots);
+        for _ in 0..slots {
+            value_codes.push(self.get_codes()?);
+        }
+        let len = key_codes[0].len();
+        if key_codes
+            .iter()
+            .chain(value_codes.iter())
+            .any(|c| c.len() != len || c.is_empty())
+        {
+            return Err(PersistError::Corrupt("ragged block".into()));
+        }
+        Ok(Block::new(n_layers, n_kv_heads, key_codes, value_codes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(m: usize, nbits: u8, rows: usize) -> PqCodes {
+        let config = PqConfig::new(m, nbits).unwrap();
+        let max = 1u16 << nbits;
+        let mut c = PqCodes::new(config);
+        for r in 0..rows {
+            let row: Vec<u16> = (0..m).map(|s| ((r * 7 + s * 3) as u16) % max).collect();
+            c.push(&row);
+        }
+        c
+    }
+
+    #[test]
+    fn codes_roundtrip_bit_exactly() {
+        for (m, nbits, rows) in [(8usize, 4u8, 13usize), (4, 8, 1), (5, 7, 9), (8, 6, 32)] {
+            let original = codes(m, nbits, rows);
+            let mut buf = Vec::new();
+            put_codes(&mut buf, &original);
+            let mut r = Reader::new(&buf);
+            let decoded = r.get_codes().unwrap();
+            assert!(r.is_exhausted());
+            assert_eq!(decoded.len(), original.len());
+            assert_eq!(decoded.packed_bytes(), original.packed_bytes());
+        }
+    }
+
+    #[test]
+    fn block_roundtrip_and_primitives() {
+        let block = Block::new(
+            2,
+            2,
+            (0..4).map(|_| codes(4, 8, 6)).collect(),
+            (0..4).map(|_| codes(4, 8, 6)).collect(),
+        );
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 7);
+        put_u32_slice(&mut buf, &[1, 2, 3]);
+        put_f32_slice(&mut buf, &[0.5, -1.25, f32::MIN_POSITIVE]);
+        put_block(&mut buf, &block);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.get_u32().unwrap(), 7);
+        assert_eq!(r.get_u32_slice().unwrap(), vec![1, 2, 3]);
+        assert_eq!(
+            r.get_f32_slice().unwrap(),
+            vec![0.5, -1.25, f32::MIN_POSITIVE]
+        );
+        let decoded = r.get_block().unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(decoded.len(), 6);
+        assert_eq!(decoded.memory_bytes(), block.memory_bytes());
+        assert_eq!(
+            decoded.key_codes(1, 1).packed_bytes(),
+            block.key_codes(1, 1).packed_bytes()
+        );
+    }
+
+    #[test]
+    fn truncated_buffers_error_cleanly() {
+        let mut buf = Vec::new();
+        put_codes(&mut buf, &codes(4, 8, 5));
+        for cut in [0, 3, 8, buf.len() - 1] {
+            let mut r = Reader::new(&buf[..cut]);
+            assert!(r.get_codes().is_err(), "cut at {cut}");
+        }
+    }
+}

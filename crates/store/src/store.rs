@@ -1,0 +1,443 @@
+//! The ref-counted, content-addressed block store.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::block::Block;
+
+/// Identifier of a resident block. Ids are slab indices and may be reused
+/// after a block is evicted; a live [`crate::ChainHandle`] keeps every block
+/// it references alive, so a held id never dangles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockId(usize);
+
+impl BlockId {
+    /// Slab index (stable while the block is referenced).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// Identity of a block: a hash chain over the *token ids* of the block and
+/// all of its ancestors. Two 64-bit FNV-1a streams with distinct offsets make
+/// accidental collisions (which would silently splice the wrong history into
+/// a session) astronomically unlikely.
+type ChainHash = [u64; 2];
+
+const HASH_OFFSETS: [u64; 2] = [0xcbf2_9ce4_8422_2325, 0x6c62_272e_07bb_0142];
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+const MIX_PRIME: u64 = 0x9e37_79b9_7f4a_7c15;
+
+fn chain_hash(parent: Option<ChainHash>, tokens: &[u32]) -> ChainHash {
+    let start = parent.unwrap_or(HASH_OFFSETS);
+    // Lane 0 is plain FNV-1a; lane 1 uses a multiply-rotate recurrence so the
+    // two lanes are genuinely independent streams, not one hash twice.
+    let mut a = start[0];
+    let mut b = start[1];
+    for &t in tokens {
+        for byte in t.to_le_bytes() {
+            a ^= byte as u64;
+            a = a.wrapping_mul(FNV_PRIME);
+            b = (b ^ byte as u64).wrapping_mul(MIX_PRIME).rotate_left(23);
+        }
+    }
+    [a, b]
+}
+
+#[derive(Debug)]
+struct Entry {
+    block: Arc<Block>,
+    /// External references: one per session (or restored chain) retaining
+    /// this block. The store's own `Arc` is not counted.
+    refs: usize,
+    hash: ChainHash,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: Vec<Option<Entry>>,
+    free: Vec<usize>,
+    index: HashMap<ChainHash, usize>,
+    attach_hits: usize,
+    dedup_hits: usize,
+    published: usize,
+    evicted: usize,
+}
+
+/// Aggregate accounting of a [`BlockStore`], for observability and the
+/// sharing assertions of the test suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Blocks currently resident.
+    pub live_blocks: usize,
+    /// Sum of external references across resident blocks.
+    pub total_refs: usize,
+    /// Packed code bytes of all resident blocks, each counted **once**
+    /// regardless of how many sessions reference it.
+    pub resident_bytes: usize,
+    /// Resident blocks referenced by two or more sessions.
+    pub shared_blocks: usize,
+    /// Bytes of those shared blocks (counted once).
+    pub shared_bytes: usize,
+    /// Bytes sessions would hold in total if every reference were a private
+    /// copy (`Σ refs × bytes`) — the unshared baseline the store is saving
+    /// against.
+    pub replicated_bytes: usize,
+    /// Blocks attached to sessions at admission via a prefix hit.
+    pub attach_hits: usize,
+    /// Publish calls that converged on an already-resident identical block.
+    pub dedup_hits: usize,
+    /// Blocks physically inserted.
+    pub published: usize,
+    /// Blocks evicted after their last reference was released.
+    pub evicted: usize,
+}
+
+impl StoreStats {
+    /// `replicated_bytes / resident_bytes`: how many times over the resident
+    /// codes would have been duplicated without the store (1.0 = no sharing).
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.resident_bytes == 0 {
+            return 1.0;
+        }
+        self.replicated_bytes as f64 / self.resident_bytes as f64
+    }
+}
+
+/// Ref-counted store of sealed PQ code blocks with a content-addressed
+/// prefix index.
+///
+/// All methods take `&self`; a mutex guards the slab and index. The mutex is
+/// touched only on session-lifecycle edges (admission, block sealing,
+/// release, stats) — never by decode-time attention, which reads blocks
+/// through the `Arc`s a session already holds.
+#[derive(Debug)]
+pub struct BlockStore {
+    block_tokens: usize,
+    inner: Mutex<Inner>,
+}
+
+impl BlockStore {
+    /// Creates an empty store sealing blocks of `block_tokens` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_tokens` is zero.
+    pub fn new(block_tokens: usize) -> Self {
+        assert!(block_tokens > 0, "block_tokens must be > 0");
+        Self {
+            block_tokens,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Tokens per sealed block.
+    pub fn block_tokens(&self) -> usize {
+        self.block_tokens
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("block store mutex poisoned")
+    }
+
+    /// Matches the longest resident block chain covering a prefix of
+    /// `tokens` (whole blocks only) and acquires one reference per matched
+    /// block. The returned chain is in oldest-first order; multiply its
+    /// length by [`BlockStore::block_tokens`] for the number of tokens the
+    /// caller can skip re-encoding.
+    pub fn attach_prefix(&self, tokens: &[u32]) -> Vec<(BlockId, Arc<Block>)> {
+        let bt = self.block_tokens;
+        let mut inner = self.lock();
+        let mut out = Vec::new();
+        let mut parent: Option<ChainHash> = None;
+        for chunk in tokens.chunks_exact(bt) {
+            let hash = chain_hash(parent, chunk);
+            let Some(&slot) = inner.index.get(&hash) else {
+                break;
+            };
+            let entry = inner.entries[slot].as_mut().expect("indexed slot is live");
+            entry.refs += 1;
+            out.push((BlockId(slot), entry.block.clone()));
+            parent = Some(hash);
+        }
+        inner.attach_hits += out.len();
+        out
+    }
+
+    fn parent_hash(inner: &Inner, parent: Option<BlockId>) -> Option<ChainHash> {
+        parent.map(|id| {
+            inner.entries[id.0]
+                .as_ref()
+                .expect("parent block must be resident")
+                .hash
+        })
+    }
+
+    /// Looks up the child of `parent` sealed over exactly `tokens`
+    /// ([`BlockStore::block_tokens`] of them). On a hit, acquires a
+    /// reference and returns the resident block — the caller should drop its
+    /// own codes for the range and read through the shared block instead
+    /// (publish-time copy-on-write convergence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is not exactly one block long.
+    pub fn lookup_child(
+        &self,
+        parent: Option<BlockId>,
+        tokens: &[u32],
+    ) -> Option<(BlockId, Arc<Block>)> {
+        assert_eq!(
+            tokens.len(),
+            self.block_tokens,
+            "exactly one block of tokens"
+        );
+        let mut inner = self.lock();
+        let hash = chain_hash(Self::parent_hash(&inner, parent), tokens);
+        let slot = *inner.index.get(&hash)?;
+        inner.dedup_hits += 1;
+        let entry = inner.entries[slot].as_mut().expect("indexed slot is live");
+        entry.refs += 1;
+        Some((BlockId(slot), entry.block.clone()))
+    }
+
+    /// Inserts a freshly sealed block as the child of `parent`, with one
+    /// reference owned by the caller. If an identical block is already
+    /// resident (raced publish of the same prefix), the resident one is
+    /// returned instead and `block` is dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` or `block` is not exactly one block long.
+    pub fn insert_child(
+        &self,
+        parent: Option<BlockId>,
+        tokens: &[u32],
+        block: Block,
+    ) -> (BlockId, Arc<Block>) {
+        assert_eq!(
+            tokens.len(),
+            self.block_tokens,
+            "exactly one block of tokens"
+        );
+        assert_eq!(
+            block.len(),
+            self.block_tokens,
+            "sealed block length mismatch"
+        );
+        let mut inner = self.lock();
+        let hash = chain_hash(Self::parent_hash(&inner, parent), tokens);
+        if let Some(&slot) = inner.index.get(&hash) {
+            inner.dedup_hits += 1;
+            let entry = inner.entries[slot].as_mut().expect("indexed slot is live");
+            entry.refs += 1;
+            return (BlockId(slot), entry.block.clone());
+        }
+        let arc = Arc::new(block);
+        let entry = Entry {
+            block: arc.clone(),
+            refs: 1,
+            hash,
+        };
+        let slot = match inner.free.pop() {
+            Some(slot) => {
+                inner.entries[slot] = Some(entry);
+                slot
+            }
+            None => {
+                inner.entries.push(Some(entry));
+                inner.entries.len() - 1
+            }
+        };
+        inner.index.insert(hash, slot);
+        inner.published += 1;
+        (BlockId(slot), arc)
+    }
+
+    /// Acquires one more reference to a resident block (used when a chain is
+    /// duplicated, e.g. on restore into a live store).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not resident.
+    pub fn acquire(&self, id: BlockId) {
+        let mut inner = self.lock();
+        inner.entries[id.0]
+            .as_mut()
+            .expect("acquire of evicted block")
+            .refs += 1;
+    }
+
+    /// Releases one reference. The block is evicted — removed from the slab
+    /// and the prefix index — the moment its reference count reaches zero;
+    /// there is no separate garbage-collection pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not resident.
+    pub fn release(&self, id: BlockId) {
+        let mut inner = self.lock();
+        let entry = inner.entries[id.0]
+            .as_mut()
+            .expect("release of evicted block");
+        entry.refs -= 1;
+        if entry.refs == 0 {
+            let hash = entry.hash;
+            inner.entries[id.0] = None;
+            inner.index.remove(&hash);
+            inner.free.push(id.0);
+            inner.evicted += 1;
+        }
+    }
+
+    /// External reference count of a resident block (0 if evicted — only
+    /// observable through a stale id, which live chains never hold).
+    pub fn ref_count(&self, id: BlockId) -> usize {
+        let inner = self.lock();
+        inner.entries[id.0].as_ref().map_or(0, |e| e.refs)
+    }
+
+    /// Aggregate accounting snapshot.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.lock();
+        let mut stats = StoreStats {
+            attach_hits: inner.attach_hits,
+            dedup_hits: inner.dedup_hits,
+            published: inner.published,
+            evicted: inner.evicted,
+            ..StoreStats::default()
+        };
+        for entry in inner.entries.iter().flatten() {
+            let bytes = entry.block.memory_bytes();
+            stats.live_blocks += 1;
+            stats.total_refs += entry.refs;
+            stats.resident_bytes += bytes;
+            stats.replicated_bytes += bytes * entry.refs;
+            if entry.refs > 1 {
+                stats.shared_blocks += 1;
+                stats.shared_bytes += bytes;
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use million_quant::pq::{PqCodes, PqConfig};
+
+    fn test_block(tokens: &[u32]) -> Block {
+        // Codes derived deterministically from the token ids, mimicking the
+        // deterministic encoder.
+        let config = PqConfig::new(4, 8).unwrap();
+        let mk = |salt: u16| {
+            let mut c = PqCodes::new(config);
+            for &t in tokens {
+                let row: Vec<u16> = (0..4).map(|s| ((t as u16) * 3 + s + salt) % 256).collect();
+                c.push(&row);
+            }
+            c
+        };
+        let keys = (0..4u16).map(&mk).collect();
+        let values = (4..8u16).map(&mk).collect();
+        Block::new(2, 2, keys, values)
+    }
+
+    fn toks(seed: u32) -> Vec<u32> {
+        (0..4).map(|i| seed * 100 + i).collect()
+    }
+
+    #[test]
+    fn publish_dedup_attach_release_lifecycle() {
+        let store = BlockStore::new(4);
+        let t0 = toks(1);
+        let t1 = toks(2);
+
+        // Session A publishes two blocks.
+        let (id0, _b0) = store.insert_child(None, &t0, test_block(&t0));
+        let (id1, _b1) = store.insert_child(Some(id0), &t1, test_block(&t1));
+        assert_eq!(store.ref_count(id0), 1);
+
+        // Session B re-publishes the same first block: dedup, not a copy.
+        let (id0b, _again) = store.insert_child(None, &t0, test_block(&t0));
+        assert_eq!(id0b, id0);
+        assert_eq!(store.ref_count(id0), 2);
+
+        // Session C attaches the full two-block prefix by token content.
+        let stream: Vec<u32> = t0.iter().chain(t1.iter()).copied().collect();
+        let attached = store.attach_prefix(&stream);
+        assert_eq!(attached.len(), 2);
+        assert_eq!(attached[0].0, id0);
+        assert_eq!(attached[1].0, id1);
+        assert_eq!(store.ref_count(id0), 3);
+        assert_eq!(store.ref_count(id1), 2);
+
+        let stats = store.stats();
+        assert_eq!(stats.live_blocks, 2);
+        assert_eq!(stats.shared_blocks, 2);
+        assert_eq!(stats.published, 2);
+        assert_eq!(stats.dedup_hits, 1);
+        assert_eq!(stats.attach_hits, 2);
+        assert!(stats.dedup_ratio() > 2.0);
+
+        // Releasing every reference evicts everything.
+        for _ in 0..3 {
+            store.release(id0);
+        }
+        store.release(id1);
+        store.release(id1);
+        let stats = store.stats();
+        assert_eq!(stats.live_blocks, 0);
+        assert_eq!(stats.resident_bytes, 0);
+        assert_eq!(stats.evicted, 2);
+    }
+
+    #[test]
+    fn divergent_tails_do_not_match() {
+        let store = BlockStore::new(4);
+        let t0 = toks(1);
+        let (id0, _) = store.insert_child(None, &t0, test_block(&t0));
+        // Same second-block tokens under a *different* parent: distinct block.
+        let t1 = toks(2);
+        let (id1a, _) = store.insert_child(Some(id0), &t1, test_block(&t1));
+        let (id_other, _) = store.insert_child(None, &t1, test_block(&t1));
+        assert_ne!(id1a, id_other);
+        // A stream diverging inside the second block matches only block 0.
+        let mut stream: Vec<u32> = t0.iter().chain(t1.iter()).copied().collect();
+        stream[5] ^= 1;
+        let attached = store.attach_prefix(&stream);
+        assert_eq!(attached.len(), 1);
+        assert_eq!(attached[0].0, id0);
+        // Trailing partial blocks never match.
+        assert!(store.attach_prefix(&stream[..3]).is_empty());
+    }
+
+    #[test]
+    fn lookup_child_distinguishes_parents() {
+        let store = BlockStore::new(4);
+        let t0 = toks(7);
+        let t1 = toks(8);
+        let (id0, _) = store.insert_child(None, &t0, test_block(&t0));
+        assert!(store.lookup_child(Some(id0), &t1).is_none());
+        let (id1, _) = store.insert_child(Some(id0), &t1, test_block(&t1));
+        let hit = store.lookup_child(Some(id0), &t1).expect("published child");
+        assert_eq!(hit.0, id1);
+        assert_eq!(store.ref_count(id1), 2);
+        assert!(store.lookup_child(None, &t1).is_none());
+    }
+
+    #[test]
+    fn slots_are_reused_after_eviction() {
+        let store = BlockStore::new(4);
+        let t0 = toks(3);
+        let (id0, _) = store.insert_child(None, &t0, test_block(&t0));
+        store.release(id0);
+        let t1 = toks(4);
+        let (id1, _) = store.insert_child(None, &t1, test_block(&t1));
+        assert_eq!(id0.index(), id1.index(), "freed slot is recycled");
+        // The old hash is gone from the index.
+        assert!(store.attach_prefix(&t0).is_empty());
+        assert_eq!(store.attach_prefix(&t1).len(), 1);
+    }
+}

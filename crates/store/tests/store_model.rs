@@ -1,0 +1,232 @@
+//! Model-based proptest of the block store: random interleavings of
+//! fork / append / drop / restore, checked against a naive reference model
+//! that gives every session a private copy of its chain.
+//!
+//! The reference model is a map `chain prefix -> expected refcount`, where a
+//! prefix's refcount is the number of live sessions whose chain passes
+//! through it (exactly what the store's per-block refs should be). Codes are
+//! a deterministic function of the chain prefix — mimicking the
+//! deterministic encoder — so the test can also assert the store returns
+//! **bit-identical** codes for every session, shared or not. After dropping
+//! every session the store must be empty: no leaked blocks.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use million_quant::pq::{PqCodes, PqConfig};
+use million_store::{Block, BlockStore, ChainHandle};
+use proptest::prelude::*;
+
+const BLOCK_TOKENS: usize = 4;
+const N_LAYERS: usize = 2;
+const N_HEADS: usize = 2;
+
+/// Token ids of pool chunk `c`.
+fn chunk_tokens(c: usize) -> Vec<u32> {
+    (0..BLOCK_TOKENS)
+        .map(|i| (c * 97 + i * 13 + 1) as u32)
+        .collect()
+}
+
+fn stream(chunks: &[usize]) -> Vec<u32> {
+    chunks.iter().flat_map(|&c| chunk_tokens(c)).collect()
+}
+
+/// Deterministic "encoder": the codes of a block depend on the whole chain
+/// prefix ending in it, the slot (layer*heads + head), and the key/value
+/// side — as real PQ codes depend on the whole causal prefix.
+fn codes_for(prefix: &[usize], slot: usize, value_side: bool) -> PqCodes {
+    let config = PqConfig::new(4, 8).unwrap();
+    let mut seed: u64 = 0xcbf29ce484222325;
+    for &c in prefix {
+        seed = (seed ^ c as u64).wrapping_mul(0x100000001b3);
+    }
+    seed ^= (slot as u64) << 32 | (value_side as u64) << 40;
+    let mut codes = PqCodes::new(config);
+    for row in 0..BLOCK_TOKENS {
+        let r: Vec<u16> = (0..4)
+            .map(|s| ((seed >> (8 * s)) as u16 ^ (row * 31) as u16) % 256)
+            .collect();
+        codes.push(&r);
+    }
+    codes
+}
+
+fn block_for(prefix: &[usize]) -> Block {
+    let slots = N_LAYERS * N_HEADS;
+    let keys = (0..slots).map(|s| codes_for(prefix, s, false)).collect();
+    let values = (0..slots).map(|s| codes_for(prefix, s, true)).collect();
+    Block::new(N_LAYERS, N_HEADS, keys, values)
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Start a session and append `chunks` one block at a time
+    /// (lookup-then-insert, the session sealing path).
+    Grow(Vec<usize>),
+    /// Extend session `sel` by one chunk.
+    Append(usize, usize),
+    /// Admit a new session by attaching an existing session's full chain
+    /// from the prefix index (the admission path).
+    Fork(usize),
+    /// Drop a live session, releasing its chain.
+    Drop(usize),
+    /// Persist a live session's chain (by content), drop it, then restore it
+    /// as a new session (republish; dedups against whatever is resident).
+    Restore(usize),
+}
+
+/// Decodes one random word into an op (the vendored proptest shim has no
+/// `prop_oneof`/`prop_map`, so ops are seed-decoded instead).
+fn decode_op(seed: u64) -> Op {
+    let sel = ((seed >> 8) % 8) as usize;
+    let chunk = ((seed >> 16) % 6) as usize;
+    match seed % 5 {
+        0 => {
+            let len = ((seed >> 24) % 4) as usize;
+            Op::Grow(
+                (0..len)
+                    .map(|i| ((seed >> (28 + 4 * i)) % 6) as usize)
+                    .collect(),
+            )
+        }
+        1 => Op::Append(sel, chunk),
+        2 => Op::Fork(sel),
+        3 => Op::Drop(sel),
+        _ => Op::Restore(sel),
+    }
+}
+
+/// One live session: its chain handle plus the model-side chunk list.
+struct LiveSession {
+    chain: ChainHandle,
+    chunks: Vec<usize>,
+}
+
+fn grow_by_one(store: &Arc<BlockStore>, session: &mut LiveSession, chunk: usize) {
+    session.chunks.push(chunk);
+    let tokens = chunk_tokens(chunk);
+    let parent = session.chain.last_id();
+    let (id, arc) = match store.lookup_child(parent, &tokens) {
+        Some(hit) => hit,
+        None => store.insert_child(parent, &tokens, block_for(&session.chunks)),
+    };
+    session.chain.push(id, arc);
+}
+
+fn check_against_model(store: &Arc<BlockStore>, live: &[LiveSession]) {
+    // Reference refcounts: one per (session, chain position).
+    let mut expected: HashMap<Vec<usize>, usize> = HashMap::new();
+    for session in live {
+        for depth in 1..=session.chunks.len() {
+            *expected
+                .entry(session.chunks[..depth].to_vec())
+                .or_default() += 1;
+        }
+    }
+    let stats = store.stats();
+    assert_eq!(stats.live_blocks, expected.len(), "resident block count");
+    assert_eq!(
+        stats.total_refs,
+        expected.values().sum::<usize>(),
+        "aggregate refcount"
+    );
+    // Per-block: refcount and bit-identical codes versus the private-copy
+    // reference model.
+    for session in live {
+        for (depth, (id, block)) in session.chain.blocks().iter().enumerate() {
+            let prefix = &session.chunks[..depth + 1];
+            assert_eq!(
+                store.ref_count(*id),
+                expected[prefix],
+                "refcount of {prefix:?}"
+            );
+            for slot in 0..N_LAYERS * N_HEADS {
+                let (layer, head) = (slot / N_HEADS, slot % N_HEADS);
+                assert_eq!(
+                    block.key_codes(layer, head).packed_bytes(),
+                    codes_for(prefix, slot, false).packed_bytes(),
+                    "key codes of {prefix:?}"
+                );
+                assert_eq!(
+                    block.value_codes(layer, head).packed_bytes(),
+                    codes_for(prefix, slot, true).packed_bytes(),
+                    "value codes of {prefix:?}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn random_fork_append_drop_restore_matches_private_copy_model(
+        seeds in proptest::collection::vec(0u64..u64::MAX, 1..40)
+    ) {
+        let store = Arc::new(BlockStore::new(BLOCK_TOKENS));
+        let mut live: Vec<LiveSession> = Vec::new();
+        for seed in seeds {
+            match decode_op(seed) {
+                Op::Grow(chunks) => {
+                    let mut session = LiveSession {
+                        chain: ChainHandle::new(store.clone()),
+                        chunks: Vec::new(),
+                    };
+                    for c in chunks {
+                        grow_by_one(&store, &mut session, c);
+                    }
+                    live.push(session);
+                }
+                Op::Append(sel, chunk) => {
+                    if !live.is_empty() {
+                        let idx = sel % live.len();
+                        grow_by_one(&store, &mut live[idx], chunk);
+                    }
+                }
+                Op::Fork(sel) => {
+                    if !live.is_empty() {
+                        let idx = sel % live.len();
+                        let chunks = live[idx].chunks.clone();
+                        let attached = store.attach_prefix(&stream(&chunks));
+                        // The whole source chain is resident, so admission
+                        // must match it in full.
+                        prop_assert_eq!(attached.len(), chunks.len());
+                        let mut chain = ChainHandle::new(store.clone());
+                        chain.adopt(attached);
+                        live.push(LiveSession { chain, chunks });
+                    }
+                }
+                Op::Drop(sel) => {
+                    if !live.is_empty() {
+                        let idx = sel % live.len();
+                        live.swap_remove(idx); // ChainHandle::drop releases
+                    }
+                }
+                Op::Restore(sel) => {
+                    if !live.is_empty() {
+                        let idx = sel % live.len();
+                        let chunks = live[idx].chunks.clone();
+                        live.swap_remove(idx); // detach (blocks may die)
+                        // Restore = republish the persisted chain content.
+                        let mut session = LiveSession {
+                            chain: ChainHandle::new(store.clone()),
+                            chunks: Vec::new(),
+                        };
+                        for c in chunks {
+                            grow_by_one(&store, &mut session, c);
+                        }
+                        live.push(session);
+                    }
+                }
+            }
+            check_against_model(&store, &live);
+        }
+        // Dropping every session must leave nothing behind.
+        live.clear();
+        let stats = store.stats();
+        prop_assert_eq!(stats.live_blocks, 0, "leaked blocks");
+        prop_assert_eq!(stats.resident_bytes, 0);
+        prop_assert_eq!(stats.total_refs, 0);
+    }
+}

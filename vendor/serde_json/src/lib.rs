@@ -1,6 +1,9 @@
-//! Offline stand-in for `serde_json`: just enough to write the experiment
-//! report files (`to_string` / `to_string_pretty` over the vendored
-//! [`serde::Serialize`]).
+//! Offline stand-in for `serde_json`: enough to write the experiment report
+//! files (`to_string` / `to_string_pretty` over the vendored
+//! [`serde::Serialize`]) and to read them back as a dynamic [`Value`] tree
+//! (`from_str`) — the vendored `serde` has no runtime `Deserialize`, so
+//! consumers that diff committed reports (e.g. the CI benchmark-regression
+//! gate) navigate the `Value` directly.
 
 /// Serialization error. The vendored writer is infallible, so this is only a
 /// type-compatibility shell.
@@ -87,9 +90,238 @@ fn prettify(compact: &str) -> String {
     out
 }
 
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null` (also produced for non-finite numbers by the serializer).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, held as `f64`.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in document order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member of an object by key (`None` for other variants or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed input or trailing garbage.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error);
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), Error> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error)
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), Error> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(Error)
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        let b = *bytes.get(*pos).ok_or(Error)?;
+        *pos += 1;
+        match b {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = *bytes.get(*pos).ok_or(Error)?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = bytes.get(*pos..*pos + 4).ok_or(Error)?;
+                        *pos += 4;
+                        let code =
+                            u32::from_str_radix(std::str::from_utf8(hex).map_err(|_| Error)?, 16)
+                                .map_err(|_| Error)?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(Error),
+                }
+            }
+            _ => {
+                // Re-assemble multi-byte UTF-8 sequences from the source.
+                let start = *pos - 1;
+                let len = match b {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                let chunk = bytes.get(start..start + len).ok_or(Error)?;
+                out.push_str(std::str::from_utf8(chunk).map_err(|_| Error)?);
+                *pos = start + len;
+            }
+        }
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(bytes, pos);
+    match *bytes.get(*pos).ok_or(Error)? {
+        b'n' => parse_literal(bytes, pos, "null").map(|()| Value::Null),
+        b't' => parse_literal(bytes, pos, "true").map(|()| Value::Bool(true)),
+        b'f' => parse_literal(bytes, pos, "false").map(|()| Value::Bool(false)),
+        b'"' => parse_string(bytes, pos).map(Value::String),
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error),
+                }
+            }
+        }
+        b'{' => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                members.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(members));
+                    }
+                    _ => return Err(Error),
+                }
+            }
+        }
+        _ => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| Error)?;
+            text.parse::<f64>().map(Value::Number).map_err(|_| Error)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parses_what_the_serializer_writes() {
+        let doc = "{\"schema\":\"v1\",\"ok\":true,\"x\":-1.5e3,\"items\":[1,2,{\"k\":null}],\"s\":\"a\\\"b\"}";
+        let value = from_str(doc).unwrap();
+        assert_eq!(value.get("schema").unwrap().as_str(), Some("v1"));
+        assert_eq!(value.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(value.get("x").unwrap().as_f64(), Some(-1500.0));
+        let items = value.get("items").unwrap().as_array().unwrap();
+        assert_eq!(items[1].as_f64(), Some(2.0));
+        assert_eq!(items[2].get("k"), Some(&Value::Null));
+        assert_eq!(value.get("s").unwrap().as_str(), Some("a\"b"));
+        // Pretty output parses too.
+        let pretty = prettify(doc);
+        assert_eq!(from_str(&pretty).unwrap(), value);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\"}", "tru", "1 2", "\"unterminated"] {
+            assert!(from_str(bad).is_err(), "{bad:?}");
+        }
+    }
 
     #[test]
     fn pretty_output_is_indented() {
