@@ -1,0 +1,405 @@
+//! Tracked prefill-performance baseline.
+//!
+//! Two ladders, mirroring `bench_decode_baseline`'s kernel-vs-e2e split:
+//!
+//! 1. **attention** — the naive per-head prefill attention path
+//!    ([`prefill_attention_reference`]: three `Matrix::from_fn` head copies,
+//!    a materialised `n x n` score matrix, separate ALiBi/mask/softmax
+//!    passes) against the flash-style tiled kernel
+//!    ([`prefill_attention_tiled`]) on identical activations. This is the
+//!    path the tiling PR replaced, and the figure the regression gate
+//!    defends;
+//! 2. **end_to_end** — whole `Transformer::prefill` calls through both
+//!    attention paths. The surrounding skeleton (q/k/v projections, FFN,
+//!    logits GEMMs) is identical in both, so the end-to-end speedup is the
+//!    attention win diluted by Amdahl's law — reported so the dilution is
+//!    visible, not gated.
+//!
+//! Usage: `bench_prefill_baseline [--fast] [--out <path>] [--check <baseline>]`.
+//! `--fast` shrinks the size ladder and rep counts for the CI smoke run; the
+//! committed baseline is produced by a full release-mode run. `--check`
+//! diffs the freshly measured figures against a committed baseline file and
+//! exits non-zero on regression: the *relative* tiled-vs-naive attention
+//! speedup (machine-portable, noise-tolerant) and the deterministic layout
+//! figures (the naive path's per-head score-matrix bytes and the tiled
+//! kernel's per-worker tile bytes, which must match the baseline exactly).
+
+use std::time::Instant;
+
+use million_bench::print_table;
+use million_model::{
+    build_caches, prefill_attention_reference, prefill_attention_tiled, CacheSpec, ModelConfig,
+    NormKind, Positional, PrefillScratch, Transformer, PREFILL_K_TILE, PREFILL_Q_TILE,
+};
+use million_tensor::init::{normal_matrix, seeded_rng};
+use million_tensor::Matrix;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AttentionSizeReport {
+    tokens: usize,
+    reps: usize,
+    naive_ns_per_token: f64,
+    tiled_ns_per_token: f64,
+    speedup_tiled_vs_naive: f64,
+    /// Bytes of the `n x n` score matrix the naive path materialises per
+    /// head — deterministic from the geometry.
+    naive_score_matrix_bytes: usize,
+    /// Bytes of per-worker tile state the tiled kernel touches instead —
+    /// deterministic from the geometry.
+    tiled_tile_bytes: usize,
+}
+
+#[derive(Serialize)]
+struct PrefillSizeReport {
+    tokens: usize,
+    reps: usize,
+    naive_ns_per_token: f64,
+    tiled_ns_per_token: f64,
+    speedup_tiled_vs_naive: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    schema: &'static str,
+    mode: &'static str,
+    n_layers: usize,
+    n_heads: usize,
+    n_kv_heads: usize,
+    head_dim: usize,
+    q_tile: usize,
+    k_tile: usize,
+    attention: Vec<AttentionSizeReport>,
+    end_to_end: Vec<PrefillSizeReport>,
+}
+
+/// The bench model: small enough that the naive `O(n^2)` path finishes at 8k
+/// tokens, GQA (2 query heads per KV head) so the strided group mapping is
+/// on the measured path, long-context RoPE so all sizes fit the window.
+fn bench_config() -> ModelConfig {
+    ModelConfig {
+        name: "prefill-bench".into(),
+        vocab_size: 512,
+        d_model: 128,
+        n_layers: 2,
+        n_heads: 4,
+        n_kv_heads: 2,
+        d_ff: 256,
+        max_seq_len: 8192,
+        positional: Positional::Rope {
+            theta: 10_000.0,
+            position_scale: 4.0,
+        },
+        norm: NormKind::RmsNorm,
+        outlier_channels: 4,
+        outlier_scale: (4.0, 12.0),
+    }
+}
+
+fn attention_report(
+    config: &ModelConfig,
+    scratch: &mut PrefillScratch,
+    n: usize,
+    reps: usize,
+) -> AttentionSizeReport {
+    let hd = config.head_dim();
+    let mut rng = seeded_rng(n as u64);
+    let q = normal_matrix(&mut rng, n, config.n_heads * hd, 0.0, 1.0);
+    let k = normal_matrix(&mut rng, n, config.kv_width(), 0.0, 1.0);
+    let v = normal_matrix(&mut rng, n, config.kv_width(), 0.0, 1.0);
+    let scale = 1.0 / (hd as f32).sqrt();
+    let mut attn_naive = Matrix::default();
+    let mut attn_tiled = Matrix::default();
+
+    // Warm both output buffers and the tile scratch.
+    prefill_attention_tiled(
+        &q,
+        &k,
+        &v,
+        config.n_heads,
+        config.n_kv_heads,
+        scale,
+        None,
+        scratch,
+        &mut attn_tiled,
+    );
+    attn_naive.resize_zeroed(n, config.n_heads * hd);
+
+    // Interleave the two paths rep by rep: the speedup is a ratio of two
+    // timings, so pairing them under the same instantaneous machine
+    // conditions (frequency scaling, co-tenants) keeps it honest even on a
+    // noisy box.
+    let mut naive_total = 0u128;
+    let mut tiled_total = 0u128;
+    for _ in 0..reps {
+        let start = Instant::now();
+        prefill_attention_reference(
+            &q,
+            &k,
+            &v,
+            config.n_heads,
+            config.n_kv_heads,
+            scale,
+            None,
+            &mut attn_naive,
+        );
+        naive_total += start.elapsed().as_nanos();
+        std::hint::black_box(attn_naive.get(n - 1, 0));
+
+        let start = Instant::now();
+        prefill_attention_tiled(
+            &q,
+            &k,
+            &v,
+            config.n_heads,
+            config.n_kv_heads,
+            scale,
+            None,
+            scratch,
+            &mut attn_tiled,
+        );
+        tiled_total += start.elapsed().as_nanos();
+        std::hint::black_box(attn_tiled.get(n - 1, 0));
+    }
+    let naive_ns = naive_total as f64 / reps as f64;
+    let tiled_ns = tiled_total as f64 / reps as f64;
+
+    AttentionSizeReport {
+        tokens: n,
+        reps,
+        naive_ns_per_token: naive_ns / n as f64,
+        tiled_ns_per_token: tiled_ns / n as f64,
+        speedup_tiled_vs_naive: naive_ns / tiled_ns,
+        naive_score_matrix_bytes: n * n * std::mem::size_of::<f32>(),
+        tiled_tile_bytes: PrefillScratch::tile_bytes(hd),
+    }
+}
+
+fn end_to_end_report(
+    model: &Transformer,
+    scratch: &mut PrefillScratch,
+    n: usize,
+    reps: usize,
+) -> PrefillSizeReport {
+    let config = model.config().clone();
+    let prompt: Vec<u32> = (0..n)
+        .map(|i| ((i as u64 * 31 + 7) % config.vocab_size as u64) as u32)
+        .collect();
+
+    let mut naive_total = 0u128;
+    let mut tiled_total = 0u128;
+    for _ in 0..reps {
+        let mut caches = build_caches(&config, &CacheSpec::Full);
+        let start = Instant::now();
+        let logits = model.prefill_reference(&prompt, &mut caches, None);
+        naive_total += start.elapsed().as_nanos();
+        std::hint::black_box(logits.get(n - 1, 0));
+
+        let mut caches = build_caches(&config, &CacheSpec::Full);
+        let start = Instant::now();
+        let logits = model.prefill_with_scratch(&prompt, &mut caches, None, scratch);
+        tiled_total += start.elapsed().as_nanos();
+        std::hint::black_box(logits.get(n - 1, 0));
+    }
+    let naive_ns = naive_total as f64 / reps as f64;
+    let tiled_ns = tiled_total as f64 / reps as f64;
+
+    PrefillSizeReport {
+        tokens: n,
+        reps,
+        naive_ns_per_token: naive_ns / n as f64,
+        tiled_ns_per_token: tiled_ns / n as f64,
+        speedup_tiled_vs_naive: naive_ns / tiled_ns,
+    }
+}
+
+/// Compares a fresh report against the committed baseline. Returns the list
+/// of regressions (empty = pass).
+fn diff_against_baseline(report: &BenchReport, baseline_text: &str) -> Vec<String> {
+    let mut failures = Vec::new();
+    let baseline = match serde_json::from_str(baseline_text) {
+        Ok(v) => v,
+        Err(_) => return vec!["baseline file is not valid JSON".to_string()],
+    };
+    if baseline.get("schema").and_then(|s| s.as_str()) != Some(report.schema) {
+        return vec!["baseline schema mismatch".to_string()];
+    }
+    let Some(base_sizes) = baseline.get("attention").and_then(|s| s.as_array()) else {
+        return vec!["baseline has no attention reports".to_string()];
+    };
+    for current in &report.attention {
+        let Some(base) = base_sizes
+            .iter()
+            .find(|b| b.get("tokens").and_then(|t| t.as_f64()) == Some(current.tokens as f64))
+        else {
+            failures.push(format!(
+                "baseline has no attention report at {} tokens",
+                current.tokens
+            ));
+            continue;
+        };
+        // Layout figures are deterministic — any drift is a real change.
+        for (field, value) in [
+            ("naive_score_matrix_bytes", current.naive_score_matrix_bytes),
+            ("tiled_tile_bytes", current.tiled_tile_bytes),
+        ] {
+            let base_value = base.get(field).and_then(|v| v.as_f64());
+            if base_value != Some(value as f64) {
+                failures.push(format!(
+                    "{} tokens: {field} changed: baseline {base_value:?}, now {value}",
+                    current.tokens
+                ));
+            }
+        }
+        let Some(base_speedup) = base.get("speedup_tiled_vs_naive").and_then(|s| s.as_f64()) else {
+            failures.push(format!(
+                "baseline attention report at {} tokens lacks speedup",
+                current.tokens
+            ));
+            continue;
+        };
+        // Speedups are ratios of two timings interleaved on the *same*
+        // machine and run, so they transfer across hardware; allow a wide
+        // noise band (smoke runs use very few reps).
+        let floor = (base_speedup * 0.6).min(0.95);
+        if current.speedup_tiled_vs_naive < floor {
+            failures.push(format!(
+                "{} tokens: tiled prefill attention regressed: speedup {:.2}x vs baseline {:.2}x (floor {:.2}x)",
+                current.tokens, current.speedup_tiled_vs_naive, base_speedup, floor
+            ));
+        }
+    }
+    failures
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let arg_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_prefill.json".to_string());
+    let check_path = arg_value("--check");
+
+    type SizeLadder = &'static [(usize, usize)];
+    let (attn_sizes, e2e_sizes, mode): (SizeLadder, SizeLadder, _) = if fast {
+        (&[(512, 3)], &[(512, 2)], "fast")
+    } else {
+        (
+            &[(512, 8), (2048, 4), (8192, 3)],
+            &[(512, 4), (2048, 2), (8192, 1)],
+            "full",
+        )
+    };
+
+    let config = bench_config();
+    let model = Transformer::new(config.clone(), 7);
+    // One scratch across all sizes, as a serving admission loop would hold.
+    let mut scratch = PrefillScratch::new();
+
+    let attention: Vec<AttentionSizeReport> = attn_sizes
+        .iter()
+        .map(|&(n, reps)| attention_report(&config, &mut scratch, n, reps))
+        .collect();
+    let end_to_end: Vec<PrefillSizeReport> = e2e_sizes
+        .iter()
+        .map(|&(n, reps)| end_to_end_report(&model, &mut scratch, n, reps))
+        .collect();
+
+    let attn_rows: Vec<Vec<String>> = attention
+        .iter()
+        .map(|r| {
+            vec![
+                r.tokens.to_string(),
+                format!("{:.0}", r.naive_ns_per_token),
+                format!("{:.0}", r.tiled_ns_per_token),
+                format!("{:.2}x", r.speedup_tiled_vs_naive),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Prefill attention kernel, naive vs tiled ({} heads / {} KV, head_dim {})",
+            config.n_heads,
+            config.n_kv_heads,
+            config.head_dim()
+        ),
+        &["tokens", "naive ns/tok", "tiled ns/tok", "speedup"],
+        &attn_rows,
+    );
+    let e2e_rows: Vec<Vec<String>> = end_to_end
+        .iter()
+        .map(|r| {
+            vec![
+                r.tokens.to_string(),
+                format!("{:.0}", r.naive_ns_per_token),
+                format!("{:.0}", r.tiled_ns_per_token),
+                format!("{:.2}x", r.speedup_tiled_vs_naive),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "End-to-end prefill ({} layers; identical projection/FFN/logits skeleton)",
+            config.n_layers
+        ),
+        &["tokens", "naive ns/tok", "tiled ns/tok", "speedup"],
+        &e2e_rows,
+    );
+
+    let report = BenchReport {
+        schema: "million-bench-prefill/v1",
+        mode,
+        n_layers: config.n_layers,
+        n_heads: config.n_heads,
+        n_kv_heads: config.n_kv_heads,
+        head_dim: config.head_dim(),
+        q_tile: PREFILL_Q_TILE,
+        k_tile: PREFILL_K_TILE,
+        attention,
+        end_to_end,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialise report");
+    std::fs::write(&out_path, json + "\n").expect("write BENCH_prefill.json");
+    println!("(wrote {out_path})");
+
+    // The claim the baseline exists to defend: the tiled kernel beats the
+    // naive attention path at every measured length, decisively at 8k where
+    // the naive path's n^2 score matrix dominates. Tolerate noise in
+    // fast/smoke mode but fail loudly if the full run ever regresses.
+    if !fast {
+        for size in &report.attention {
+            assert!(
+                size.speedup_tiled_vs_naive > 1.0,
+                "tiled attention slower than the naive path at {} tokens",
+                size.tokens
+            );
+        }
+        let largest = report.attention.last().expect("at least one size");
+        assert!(
+            largest.speedup_tiled_vs_naive > 1.5,
+            "tiled attention speedup collapsed at {} tokens: {:.2}x",
+            largest.tokens,
+            largest.speedup_tiled_vs_naive
+        );
+    }
+
+    // CI regression gate: diff the fresh measurements against the committed
+    // baseline file and fail the run if the kernel fell off its baseline.
+    if let Some(baseline_path) = check_path {
+        let baseline_text =
+            std::fs::read_to_string(&baseline_path).expect("read committed baseline");
+        let failures = diff_against_baseline(&report, &baseline_text);
+        if failures.is_empty() {
+            println!("(prefill results within baseline {baseline_path})");
+        } else {
+            for failure in &failures {
+                eprintln!("regression vs {baseline_path}: {failure}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -10,7 +10,7 @@
 //! retrieval, key-value recall, prefix copy, narrative QA) so the cache
 //! content stresses different attention patterns.
 
-use million_model::{build_caches, CacheSpec, DecodeScratch, Sampler, Transformer};
+use million_model::{build_caches, CacheSpec, Sampler, StepScratch, Transformer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -167,10 +167,10 @@ fn generate_greedy(
     let mut out = Vec::with_capacity(gen_tokens);
     let mut next = sampler.sample(logits.row(prompt.len() - 1));
     out.push(next);
-    let mut scratch = DecodeScratch::new();
+    let mut scratch = StepScratch::new();
     for _ in 1..gen_tokens {
-        let logits = model.decode_step_with_scratch(next, &mut caches, &mut scratch);
-        next = sampler.sample(&logits);
+        let logits = model.decode_step_into(next, &mut caches, &mut scratch);
+        next = sampler.sample(logits);
         out.push(next);
     }
     out

@@ -21,7 +21,7 @@
 //! history through the configured backend, so cache error propagates into
 //! the logits exactly as it would during real decoding.
 
-use million_model::{build_caches, total_cache_bytes, CacheSpec, DecodeScratch, Transformer};
+use million_model::{build_caches, total_cache_bytes, CacheSpec, StepScratch, Transformer};
 use million_tensor::ops::log_softmax;
 use serde::{Deserialize, Serialize};
 
@@ -86,10 +86,10 @@ fn collect_log_probs(
     // would otherwise materialise a [tokens, vocab] logits matrix on top of
     // the log-prob accumulator. One scratch serves the whole stream so the
     // harness measures the cache backend, not per-token setup.
-    let mut scratch = DecodeScratch::new();
+    let mut scratch = StepScratch::new();
     for &token in tokens.iter().take(tokens.len() - 1).skip(seed_len) {
-        let logits = model.decode_step_with_scratch(token, &mut caches, &mut scratch);
-        out.push(log_softmax(&logits));
+        let logits = model.decode_step_into(token, &mut caches, &mut scratch);
+        out.push(log_softmax(logits));
     }
     out
 }
@@ -148,11 +148,11 @@ pub fn evaluate_perplexity_against(
 
     // Teacher-forced decode for the rest: feeding token i produces the
     // distribution over token i+1, computed through the cache backend.
-    let mut scratch = DecodeScratch::new();
+    let mut scratch = StepScratch::new();
     for i in seed_len..tokens.len() - 1 {
-        let logits = model.decode_step_with_scratch(tokens[i], &mut caches, &mut scratch);
+        let logits = model.decode_step_into(tokens[i], &mut caches, &mut scratch);
         score_position(
-            &log_softmax(&logits),
+            &log_softmax(logits),
             &teacher[i - seed_len + 1],
             tokens[i + 1],
         );

@@ -62,6 +62,16 @@ impl FullPrecisionCache {
         }
     }
 
+    /// Pre-reserves storage for `additional` more tokens in every head, so a
+    /// decode loop of known horizon appends without reallocating (the
+    /// full-decode-step zero-allocation test relies on this).
+    pub fn reserve_tokens(&mut self, additional: usize) {
+        let d = self.layout.head_dim;
+        for buf in self.keys.iter_mut().chain(self.values.iter_mut()) {
+            buf.reserve(additional * d);
+        }
+    }
+
     /// Key vector of `token` for `head`.
     ///
     /// # Panics

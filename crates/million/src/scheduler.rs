@@ -45,6 +45,12 @@ pub struct SessionReport {
     pub prefix_tokens_reused: usize,
     /// Encoded blocks the session absorbed from the shared worker.
     pub async_batches: usize,
+    /// Wall-clock nanoseconds the session spent in prompt admission (tiled
+    /// prefill attention plus synchronous prompt encoding; warm admissions
+    /// include the unmatched-suffix decode).
+    pub prefill_ns: u64,
+    /// Prompt tokens admitted per second during prefill.
+    pub prefill_tokens_per_s: f64,
     /// Whether generation ended on a stop token (as opposed to the length
     /// budget).
     pub stopped_early: bool,
@@ -75,6 +81,8 @@ impl Slot<'_> {
             kv_owned_bytes: self.session.kv_owned_bytes(),
             prefix_tokens_reused: self.session.prefix_tokens_reused(),
             async_batches: self.session.async_batches(),
+            prefill_ns: self.session.prefill_ns(),
+            prefill_tokens_per_s: self.session.prefill_tokens_per_s(),
             stopped_early: self.stopped_early,
         }
     }
@@ -266,6 +274,8 @@ mod tests {
             assert_eq!(report.tokens.len(), 16);
             assert!(report.kv_bytes > 0);
             assert!(report.kv_bytes < report.fp16_kv_bytes);
+            assert!(report.prefill_ns > 0);
+            assert!(report.prefill_tokens_per_s > 0.0);
         }
         // The shared worker actually carried traffic for the batch.
         assert!(reports.iter().map(|r| r.async_batches).sum::<usize>() > 0);

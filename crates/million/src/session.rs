@@ -23,7 +23,7 @@
 //! [`crate::BatchScheduler`].
 
 use million_kvcache::{KvCache, PqCacheConfig, PqKvCache};
-use million_model::{DecodeScratch, Sampler};
+use million_model::{Sampler, StepScratch};
 use million_store::{Block, ChainHandle};
 
 use crate::async_quant::{EncodeRequest, EncodeResult, QuantWorker};
@@ -136,12 +136,13 @@ pub struct InferenceSession<'e> {
     engine: &'e MillionEngine,
     id: usize,
     pub(crate) caches: Vec<PqKvCache>,
-    /// Per-worker attention scratch, reused across every decode step (and
-    /// every turn) of this session — the steady-state attention path never
+    /// Whole-step scratch (attention pool plus every per-layer projection,
+    /// embedding and logits buffer), reused across every decode step (and
+    /// every turn) of this session — the steady-state decode step never
     /// allocates. Scratch carries no results between calls, so N sessions
     /// interleaved by a scheduler stay token-for-token identical to serial
     /// execution.
-    scratch: DecodeScratch,
+    scratch: StepScratch,
     stream: QuantStream,
     /// Per-layer tokens currently in flight to the worker (one batch per
     /// layer keeps ordering trivial, as in the paper's single stream).
@@ -170,6 +171,13 @@ pub struct InferenceSession<'e> {
     /// Prompt tokens satisfied from resident shared blocks at admission
     /// instead of being prefilled.
     pub(crate) prefix_reused: usize,
+    /// Wall-clock nanoseconds spent in [`InferenceSession::prefill`]
+    /// admissions (tiled prefill attention, synchronous prompt encoding and
+    /// — on warm admissions — the unmatched-suffix decode).
+    prefill_ns: u64,
+    /// Prompt tokens admitted through [`InferenceSession::prefill`]
+    /// (including prefix tokens satisfied from the store).
+    prefill_admitted: usize,
     /// Set when sealing found a resident block with this session's token
     /// chain but *different* codes (same tokens admitted through a different
     /// prefill/turn segmentation). The session then keeps its tail private
@@ -199,7 +207,7 @@ impl<'e> InferenceSession<'e> {
             engine,
             id,
             caches,
-            scratch: DecodeScratch::new(),
+            scratch: StepScratch::new(),
             stream,
             sent: vec![0; n_layers],
             cur_logits: None,
@@ -212,6 +220,8 @@ impl<'e> InferenceSession<'e> {
             chain,
             history: Vec::new(),
             prefix_reused: 0,
+            prefill_ns: 0,
+            prefill_admitted: 0,
             seal_stalled: false,
         }
     }
@@ -308,6 +318,24 @@ impl<'e> InferenceSession<'e> {
         self.kv_bytes() - self.kv_shared_bytes()
     }
 
+    /// Wall-clock nanoseconds this session has spent admitting prompts
+    /// through [`Self::prefill`] (tiled prefill attention, synchronous
+    /// prompt encoding, and — on warm admissions — the unmatched-suffix
+    /// decode). Later [`Self::append_prompt`] turns ride the decode path and
+    /// are not counted.
+    pub fn prefill_ns(&self) -> u64 {
+        self.prefill_ns
+    }
+
+    /// Prompt tokens per second achieved during admission, or `0.0` before
+    /// the first [`Self::prefill`].
+    pub fn prefill_tokens_per_s(&self) -> f64 {
+        if self.prefill_ns == 0 {
+            return 0.0;
+        }
+        self.prefill_admitted as f64 * 1e9 / self.prefill_ns as f64
+    }
+
     /// Processes the opening prompt: full-precision prefill attention, then
     /// synchronous PQ encoding of the prompt KV (Fig. 4 steps ③/④).
     ///
@@ -331,6 +359,7 @@ impl<'e> InferenceSession<'e> {
             "session already prefilled; use append_prompt for later turns"
         );
         assert!(!prompt.is_empty(), "prefill requires at least one token");
+        let admission_start = std::time::Instant::now();
         if self.engine.config().prefix_sharing {
             // Keep at least the final token for the decode path: its logits
             // seed generation, so it can never be satisfied from the store.
@@ -355,10 +384,24 @@ impl<'e> InferenceSession<'e> {
                 let logits = self.extend_prompt(&prompt[reused..]);
                 self.cur_logits = Some(logits);
                 self.prompt_tokens += prompt.len();
+                self.prefill_admitted += prompt.len();
+                self.prefill_ns += admission_start.elapsed().as_nanos() as u64;
                 return;
             }
         }
-        let logits = self.engine.model().prefill(prompt, &mut self.caches, None);
+        let logits = {
+            // Admissions across all of this engine's sessions share one
+            // tiled-prefill scratch, so the staging buffers are grown once
+            // and reused instead of being rebuilt per admission.
+            let mut scratch = self
+                .engine
+                .prefill_scratch()
+                .lock()
+                .expect("prefill scratch lock poisoned");
+            self.engine
+                .model()
+                .prefill_with_scratch(prompt, &mut self.caches, None, &mut scratch)
+        };
         // In the asynchronous configuration the caches do not auto-encode, so
         // the prompt KV is encoded here, on the spot — prompt encoding is part
         // of prefill in the paper, only *decode-time* encoding is off the
@@ -368,6 +411,8 @@ impl<'e> InferenceSession<'e> {
         self.cur_logits = Some(logits.row(prompt.len() - 1).to_vec());
         self.prompt_tokens += prompt.len();
         self.maybe_seal();
+        self.prefill_admitted += prompt.len();
+        self.prefill_ns += admission_start.elapsed().as_nanos() as u64;
     }
 
     /// Continues a multi-turn conversation: feeds `tokens` through the
@@ -392,10 +437,9 @@ impl<'e> InferenceSession<'e> {
         // The previously sampled token is part of the history the new turn
         // attends to; its KV enters the cache here.
         if let Some(tok) = self.pending.take() {
-            let _ = self.feed(tok);
+            self.feed(tok);
         }
-        let logits = self.feed_chunk(tokens);
-        self.cur_logits = Some(logits);
+        self.feed_chunk(tokens);
         self.prompt_tokens += tokens.len();
     }
 
@@ -422,8 +466,7 @@ impl<'e> InferenceSession<'e> {
     /// Panics if the session has not been prefilled.
     pub fn step_with(&mut self, sampler: &mut Sampler) -> StepResult {
         if let Some(tok) = self.pending.take() {
-            let logits = self.feed(tok);
-            self.cur_logits = Some(logits);
+            self.feed(tok);
         }
         let logits = self
             .cur_logits
@@ -538,10 +581,12 @@ impl<'e> InferenceSession<'e> {
         }
     }
 
-    /// Feeds one token through the model: absorb finished blocks, decode,
-    /// ship newly staged tokens, seal any newly completed block into the
-    /// store. Returns the logits for the next position.
-    fn feed(&mut self, token: u32) -> Vec<f32> {
+    /// Feeds one token through the model: absorb finished blocks, decode
+    /// (through the session's whole-step scratch, so the steady state
+    /// allocates nothing), ship newly staged tokens, seal any newly
+    /// completed block into the store. The logits for the next position land
+    /// in `cur_logits`, whose buffer is reused across steps.
+    fn feed(&mut self, token: u32) {
         let results = match &mut self.stream {
             QuantStream::Owned(worker) => worker.try_drain(),
             _ => Vec::new(),
@@ -549,29 +594,30 @@ impl<'e> InferenceSession<'e> {
         for result in results {
             self.absorb(result);
         }
-        let logits = self.engine.model().decode_step_with_scratch(
-            token,
-            &mut self.caches,
-            &mut self.scratch,
-        );
+        let logits =
+            self.engine
+                .model()
+                .decode_step_into(token, &mut self.caches, &mut self.scratch);
+        let cur = self.cur_logits.get_or_insert_with(Vec::new);
+        cur.clear();
+        cur.extend_from_slice(logits);
         self.history.push(token);
         self.ship_staged();
         self.maybe_seal();
-        logits
     }
 
     /// Feeds a chunk of known tokens (a later conversation turn) through the
-    /// decode path, returning the last position's logits.
-    fn feed_chunk(&mut self, tokens: &[u32]) -> Vec<f32> {
+    /// decode path, leaving the last position's logits in `cur_logits`.
+    fn feed_chunk(&mut self, tokens: &[u32]) {
         if matches!(self.stream, QuantStream::Sync) {
             // No worker traffic to interleave: extend the caches in one call.
-            return self.extend_prompt(tokens);
+            let logits = self.extend_prompt(tokens);
+            self.cur_logits = Some(logits);
+            return;
         }
-        let mut logits = Vec::new();
         for &tok in tokens {
-            logits = self.feed(tok);
+            self.feed(tok);
         }
-        logits
     }
 
     /// Teacher-forces a chunk of known prompt tokens through the decode path
@@ -581,10 +627,10 @@ impl<'e> InferenceSession<'e> {
     /// the per-token absorb/ship interleaving of [`Self::feed`] would only
     /// add channel traffic).
     fn extend_prompt(&mut self, tokens: &[u32]) -> Vec<f32> {
-        let logits =
-            self.engine
-                .model()
-                .extend_with_scratch(tokens, &mut self.caches, &mut self.scratch);
+        let logits = self
+            .engine
+            .model()
+            .extend_into(tokens, &mut self.caches, &mut self.scratch);
         self.history.extend_from_slice(tokens);
         self.ship_staged();
         self.maybe_seal();
@@ -725,6 +771,8 @@ impl<'e> InferenceSession<'e> {
         }
         self.history.clear();
         self.prefix_reused = 0;
+        self.prefill_ns = 0;
+        self.prefill_admitted = 0;
         self.seal_stalled = false;
         self.sent.iter_mut().for_each(|s| *s = 0);
         self.cur_logits = None;
@@ -878,6 +926,24 @@ mod tests {
         session.flush();
         assert!(session.async_batches() > 0);
         assert_eq!(session.residual_tokens(), 0);
+    }
+
+    #[test]
+    fn prefill_telemetry_reports_admission_throughput() {
+        let engine = engine(false, 9);
+        let mut session = engine.session();
+        assert_eq!(session.prefill_ns(), 0);
+        assert_eq!(session.prefill_tokens_per_s(), 0.0);
+        session.prefill(&prompt());
+        assert!(session.prefill_ns() > 0);
+        assert!(session.prefill_tokens_per_s() > 0.0);
+        let after_prefill = session.prefill_ns();
+        // Decode steps and later turns ride the decode path: not counted.
+        session.step();
+        session.append_prompt(&[3, 5]);
+        assert_eq!(session.prefill_ns(), after_prefill);
+        session.reset();
+        assert_eq!(session.prefill_ns(), 0);
     }
 
     #[test]

@@ -39,5 +39,8 @@ pub use cache_factory::{build_caches, total_cache_bytes, CacheSpec, PqSpec};
 pub use config::{ModelConfig, NormKind, Positional};
 pub use hooks::KvCapture;
 pub use sampler::Sampler;
-pub use transformer::{DecodeScratch, Transformer};
+pub use transformer::{
+    prefill_attention_reference, prefill_attention_tiled, DecodeScratch, PrefillScratch,
+    StepScratch, Transformer, PREFILL_K_TILE, PREFILL_Q_TILE,
+};
 pub use weights::{LayerWeights, ModelWeights};

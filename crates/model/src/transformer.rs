@@ -4,31 +4,60 @@
 //!
 //! * **prefill** processes the whole prompt at once, computes attention in
 //!   full precision, and *then* hands the keys/values to the cache backend
-//!   (which may quantize them) — step ③/④ of Fig. 4;
+//!   (which may quantize them) — step ③/④ of Fig. 4. Prefill attention runs
+//!   a flash-style tiled kernel ([`prefill_attention_tiled`]): per (head,
+//!   query-tile) work unit it walks key/value tiles with an online softmax,
+//!   fusing scale, ALiBi and the causal mask into the tile loop, so no
+//!   `n x n` score matrix (and no per-head activation copy) is ever
+//!   materialised. The seed's naive path is kept as
+//!   [`Transformer::prefill_reference`] for equivalence tests and benchmarks;
 //! * **decode** produces one token at a time; attention over the history goes
 //!   through the cache backend ([`million_kvcache::KvCache::attend`]) while
-//!   the current token's key/value is merged at full precision (Eq. 7).
+//!   the current token's key/value is merged at full precision (Eq. 7). With
+//!   a caller-owned [`StepScratch`] the *entire* step — embedding,
+//!   projections, attention, cache append, feed-forward and logits — reuses
+//!   buffers and performs no steady-state allocations.
 
 use million_kvcache::{AttendParams, AttendScratch, CacheLayout, KvCache};
 use million_tensor::alibi::alibi_slopes;
 use million_tensor::ops::{
-    apply_causal_mask, gelu_in_place, layer_norm, rms_norm, silu_in_place, softmax_in_place,
+    apply_causal_mask, dot_wide, gelu_in_place, layer_norm, rms_norm, silu_in_place,
+    softmax_in_place, vec_matmul_into, vec_matmul_transposed_into,
 };
-use million_tensor::{Matrix, Rope};
+use million_tensor::{Matrix, OnlineSoftmax, Rope, StridedRows};
 use rayon::prelude::*;
 
 use crate::config::{ModelConfig, NormKind, Positional};
 use crate::hooks::KvCapture;
 use crate::weights::ModelWeights;
 
-/// Per-decode working memory: one [`AttendScratch`] per parallel attention
-/// worker, reused across decode steps so the steady-state attention path
-/// allocates nothing.
+/// Query rows covered by one prefill work unit (one head x one query tile).
+pub const PREFILL_Q_TILE: usize = 32;
+
+/// Key rows walked per inner step of the tiled prefill kernel; bounds the
+/// per-worker score buffer.
+pub const PREFILL_K_TILE: usize = 64;
+
+/// Widest head the tiled kernel supports (stack-staged query rows and
+/// accumulators are sized for it, like FlashAttention's head-dim ceiling).
+/// Every Table I preset is far below; [`Transformer::prefill`] falls back to
+/// the reference path for anything wider.
+pub const PREFILL_MAX_HEAD_DIM: usize = 256;
+
+/// Analytical work threshold for fanning prefill (head x query-tile) units
+/// across rayon workers. Mirrors the decode-side gate: the vendored shim
+/// spawns scoped threads per call (~tens of µs each), which only pays for
+/// itself once a unit's tile walk (≈ `Q_TILE · n/2 · head_dim` mul-adds)
+/// reaches the tens-of-µs range.
+const PARALLEL_PREFILL_MIN_WORK: usize = 1 << 18;
+
+/// Per-decode attention working memory: one [`AttendScratch`] per parallel
+/// attention worker, reused across decode steps so the steady-state attention
+/// path allocates nothing.
 ///
 /// Owned by whoever drives a decode loop — an inference session keeps one
-/// alive for its whole lifetime and passes it to every
-/// [`Transformer::decode_step_with_scratch`] call; the pool is partitioned
-/// among rayon workers during the per-head parallel loop.
+/// alive (inside its [`StepScratch`]) for its whole lifetime; the pool is
+/// partitioned among rayon workers during the per-head parallel loop.
 #[derive(Debug)]
 pub struct DecodeScratch {
     pool: Vec<AttendScratch>,
@@ -60,6 +89,384 @@ impl DecodeScratch {
 impl Default for DecodeScratch {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Whole-decode-step working memory: the attention scratch pool plus every
+/// per-layer buffer the step needs — embedding row, normed hidden state,
+/// q/k/v projections, attention output, projection/FFN temporaries and the
+/// logits row.
+///
+/// The PR 2 scratch pattern extended upward through the full step: where
+/// [`Transformer::decode_step_with_scratch`] still allocated an `x.clone()`
+/// and several `Matrix::from_row` temporaries per layer per token,
+/// [`Transformer::decode_step_into`] borrows everything from here, so a warm
+/// steady-state decode step performs **no** heap allocations at all
+/// (`crates/model/tests/zero_alloc_step.rs` proves it with a counting
+/// allocator).
+#[derive(Debug)]
+pub struct StepScratch {
+    attend: DecodeScratch,
+    /// Embedded input row, carried through the residual stream.
+    x: Matrix,
+    /// Normed copy of the residual stream (attention and FFN norm input).
+    h: Vec<f32>,
+    /// Query projection (`n_heads * head_dim`).
+    q: Vec<f32>,
+    /// Key projection (`n_kv_heads * head_dim`).
+    k: Vec<f32>,
+    /// Value projection (`n_kv_heads * head_dim`).
+    v: Vec<f32>,
+    /// Per-head attention output (`d_model`).
+    attn: Vec<f32>,
+    /// Output of the attention/FFN down projections (`d_model`).
+    proj: Vec<f32>,
+    /// FFN inner activation (`d_ff`).
+    inner: Vec<f32>,
+    /// 1-row matrices handed to [`KvCache::append`].
+    k_mat: Matrix,
+    v_mat: Matrix,
+    /// Logits of the fed position (`vocab_size`).
+    logits: Vec<f32>,
+}
+
+impl StepScratch {
+    /// Creates a scratch whose attention pool has one state per rayon worker.
+    pub fn new() -> Self {
+        Self::with_attend(DecodeScratch::new())
+    }
+
+    /// Creates a scratch with an explicit attention worker count (see
+    /// [`DecodeScratch::with_workers`]).
+    pub fn with_workers(workers: usize) -> Self {
+        Self::with_attend(DecodeScratch::with_workers(workers))
+    }
+
+    /// Wraps an existing attention scratch pool.
+    pub fn with_attend(attend: DecodeScratch) -> Self {
+        Self {
+            attend,
+            x: Matrix::default(),
+            h: Vec::new(),
+            q: Vec::new(),
+            k: Vec::new(),
+            v: Vec::new(),
+            attn: Vec::new(),
+            proj: Vec::new(),
+            inner: Vec::new(),
+            k_mat: Matrix::default(),
+            v_mat: Matrix::default(),
+            logits: Vec::new(),
+        }
+    }
+
+    /// Releases the attention scratch pool, dropping the step buffers.
+    pub fn into_attend(self) -> DecodeScratch {
+        self.attend
+    }
+
+    /// Number of per-worker attention scratch states.
+    pub fn workers(&self) -> usize {
+        self.attend.workers()
+    }
+
+    /// Logits written by the most recent [`Transformer::decode_step_into`].
+    pub fn logits(&self) -> &[f32] {
+        &self.logits
+    }
+}
+
+impl Default for StepScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-worker state of the tiled prefill kernel: one staging arena (key
+/// tile, value tile and score buffer at fixed relative offsets) plus one
+/// online-softmax accumulator per query row of the tile.
+#[derive(Debug, Default)]
+struct PrefillTileScratch {
+    /// `[k_tile (K·hd) | pad | v_tile (K·hd) | pad | scores (K)]`.
+    ///
+    /// The key/value tiles are copied contiguous because the packed
+    /// activations stride by `n_kv_heads * head_dim` — walking them in place
+    /// would drag the unused head bands through cache once per query row;
+    /// one copy per (unit, key-tile) is amortised over up to
+    /// `PREFILL_Q_TILE` query rows. All three live in **one** allocation
+    /// with a deliberate stagger between the tiles: as separate heap
+    /// buffers their relative addresses vary run to run, and layouts that
+    /// land 4 KiB-aliased thrash the same L1 sets (observed as a bimodal
+    /// ~1.5x kernel slowdown across otherwise identical processes).
+    arena: Vec<f32>,
+    rows: Vec<OnlineSoftmax>,
+}
+
+/// Floats of stagger between the arena's sections (32 bytes — breaks 4 KiB
+/// set aliasing between the key and value tiles without wasting a line).
+const PREFILL_ARENA_PAD: usize = 8;
+
+/// Working memory of the tiled prefill kernel: one [`PrefillTileScratch`]
+/// per rayon worker plus the head-major staging buffer the (head,
+/// query-tile) units write into. All buffers grow to the largest geometry
+/// seen and are reused across layers and prefill calls, so the steady-state
+/// tiled attention kernel performs zero allocations.
+#[derive(Debug)]
+pub struct PrefillScratch {
+    pool: Vec<PrefillTileScratch>,
+    /// Head-major staging `[n_heads, tiles * PREFILL_Q_TILE, head_dim]`;
+    /// each (head, query-tile) work unit owns one contiguous chunk.
+    head_out: Vec<f32>,
+}
+
+impl PrefillScratch {
+    /// Creates a scratch with one tile state per rayon worker.
+    pub fn new() -> Self {
+        Self::with_workers(rayon::current_num_threads())
+    }
+
+    /// Creates a scratch with an explicit worker count. A single-state pool
+    /// forces the tile loop down the serial (thread- and allocation-free)
+    /// path regardless of prompt length.
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            pool: (0..workers.max(1))
+                .map(|_| PrefillTileScratch::default())
+                .collect(),
+            head_out: Vec::new(),
+        }
+    }
+
+    /// Number of per-worker tile states.
+    pub fn workers(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Bytes of per-worker tile state once warmed for `head_dim` — the
+    /// staging arena (key tile, value tile, score buffer) plus the per-row
+    /// accumulators. Deterministic from the geometry, tracked by the
+    /// `BENCH_prefill.json` regression gate.
+    pub fn tile_bytes(head_dim: usize) -> usize {
+        let arena = 2 * (PREFILL_K_TILE * head_dim + PREFILL_ARENA_PAD) + PREFILL_K_TILE;
+        (arena + PREFILL_Q_TILE * head_dim) * std::mem::size_of::<f32>()
+    }
+}
+
+impl Default for PrefillScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Flash-style tiled causal self-attention over packed activations.
+///
+/// `q` is `[n, n_heads * head_dim]`, `k`/`v` are `[n, n_kv_heads *
+/// head_dim]` (GQA maps `group = n_heads / n_kv_heads` query heads onto each
+/// KV head). The result `softmax(mask(q·kᵀ·scale + alibi)) · v` is written
+/// into `attn` (resized to `[n, n_heads * head_dim]`).
+///
+/// Per (head, query-tile) work unit the kernel walks key/value tiles with a
+/// running online softmax: scale and the ALiBi bias are applied as each tile
+/// of scores is produced, and the causal mask is fused into the loop bounds
+/// (future keys are never scored at all). Heads read the packed activations
+/// through [`StridedRows`] views — no `n x n` score matrix, no mask pass and
+/// no per-head copy exists. Units fan out across the rayon shim, one
+/// [`PrefillScratch`] pool slot per worker, once the per-unit tile walk
+/// crosses an analytical work threshold; below it the loop runs serially on
+/// `pool[0]`, which is thread- and allocation-free.
+///
+/// Results are bit-identical across worker counts and repeated runs (each
+/// unit's arithmetic depends only on its own index), and match
+/// [`prefill_attention_reference`] up to the floating-point reassociation of
+/// the online softmax.
+///
+/// # Panics
+///
+/// Panics if the shapes disagree, `n == 0`, or `alibi` (when present) does
+/// not hold one slope per query head.
+#[allow(clippy::too_many_arguments)]
+pub fn prefill_attention_tiled(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    n_heads: usize,
+    n_kv_heads: usize,
+    scale: f32,
+    alibi: Option<&[f32]>,
+    scratch: &mut PrefillScratch,
+    attn: &mut Matrix,
+) {
+    let n = q.rows();
+    assert!(n > 0, "tiled prefill attention requires at least one token");
+    assert!(
+        n_heads > 0 && n_kv_heads > 0 && n_heads.is_multiple_of(n_kv_heads),
+        "query heads must be a multiple of KV heads"
+    );
+    assert!(
+        q.cols().is_multiple_of(n_heads),
+        "query width must be a multiple of n_heads"
+    );
+    let hd = q.cols() / n_heads;
+    assert_eq!(k.rows(), n, "key rows mismatch");
+    assert_eq!(v.rows(), n, "value rows mismatch");
+    assert_eq!(k.cols(), n_kv_heads * hd, "key width mismatch");
+    assert_eq!(v.cols(), n_kv_heads * hd, "value width mismatch");
+    if let Some(slopes) = alibi {
+        assert_eq!(slopes.len(), n_heads, "one ALiBi slope per head required");
+    }
+    assert!(
+        hd <= PREFILL_MAX_HEAD_DIM,
+        "tiled prefill supports head_dim <= {PREFILL_MAX_HEAD_DIM} (got {hd})"
+    );
+    let group = n_heads / n_kv_heads;
+
+    attn.resize_zeroed(n, n_heads * hd);
+    let tiles = n.div_ceil(PREFILL_Q_TILE);
+    let staged = n_heads * tiles * PREFILL_Q_TILE * hd;
+    if scratch.head_out.len() < staged {
+        scratch.head_out.resize(staged, 0.0);
+    }
+    let units = n_heads * tiles;
+    let parallel = units > 1 && PREFILL_Q_TILE * (n / 2).max(1) * hd >= PARALLEL_PREFILL_MIN_WORK;
+    let pool_len = if parallel { scratch.pool.len() } else { 1 };
+
+    let PrefillScratch { pool, head_out } = scratch;
+    let stage = &mut head_out[..staged];
+    stage
+        .par_chunks_mut(PREFILL_Q_TILE * hd)
+        .enumerate()
+        .for_each_with_scratch(&mut pool[..pool_len], |tile_scratch, (unit, chunk)| {
+            let qh = unit / tiles;
+            let tile = unit % tiles;
+            let q0 = tile * PREFILL_Q_TILE;
+            let q1 = (q0 + PREFILL_Q_TILE).min(n);
+            let n_rows = q1 - q0;
+            let kvh = qh / group;
+            let q_rows = StridedRows::from_matrix(q, qh * hd, hd);
+            let k_rows = StridedRows::from_matrix(k, kvh * hd, hd);
+            let v_rows = StridedRows::from_matrix(v, kvh * hd, hd);
+            let slope = alibi.map(|s| s[qh]);
+
+            let PrefillTileScratch { arena, rows } = tile_scratch;
+            if rows.len() < n_rows {
+                rows.resize_with(n_rows, || OnlineSoftmax::new(0));
+            }
+            let tile_floats = PREFILL_K_TILE * hd;
+            let arena_need = 2 * (tile_floats + PREFILL_ARENA_PAD) + PREFILL_K_TILE;
+            if arena.len() < arena_need {
+                arena.resize(arena_need, 0.0);
+            }
+            let (k_tile, rest) = arena.split_at_mut(tile_floats);
+            let (v_tile, rest) = rest[PREFILL_ARENA_PAD..].split_at_mut(tile_floats);
+            let scores = &mut rest[PREFILL_ARENA_PAD..PREFILL_ARENA_PAD + PREFILL_K_TILE];
+            for state in &mut rows[..n_rows] {
+                state.reset(hd);
+            }
+
+            let mut k0 = 0;
+            while k0 < q1 {
+                let k1 = (k0 + PREFILL_K_TILE).min(q1);
+                // Stage the key/value tile contiguous, one copy amortised
+                // over every query row of the unit.
+                for (dst, j) in k_tile.chunks_exact_mut(hd).zip(k0..k1) {
+                    dst.copy_from_slice(k_rows.row(j));
+                }
+                for (dst, j) in v_tile.chunks_exact_mut(hd).zip(k0..k1) {
+                    dst.copy_from_slice(v_rows.row(j));
+                }
+                for (i, state) in rows[..n_rows].iter_mut().enumerate() {
+                    let qi = q0 + i;
+                    // Causal mask, fused into the loop bound: query `qi`
+                    // sees keys `0..=qi` only.
+                    let limit = (qi + 1).min(k1);
+                    if limit <= k0 {
+                        continue;
+                    }
+                    let len = limit - k0;
+                    // A stack-local copy of the query row lets the score
+                    // loop keep it in registers (measured ~1.3x on the
+                    // whole kernel versus reading the matrix row in place).
+                    let mut q_buf = [0.0f32; PREFILL_MAX_HEAD_DIM];
+                    let query = &mut q_buf[..hd];
+                    query.copy_from_slice(q_rows.row(qi));
+                    let tile_scores = &mut scores[..len];
+                    for (jj, s) in tile_scores.iter_mut().enumerate() {
+                        *s = dot_wide(query, &k_tile[jj * hd..(jj + 1) * hd]) * scale;
+                    }
+                    if let Some(slope) = slope {
+                        for (jj, s) in tile_scores.iter_mut().enumerate() {
+                            *s -= slope * (qi - (k0 + jj)) as f32;
+                        }
+                    }
+                    state.push_tile(tile_scores, &v_tile[..len * hd]);
+                }
+                k0 = k1;
+            }
+            for (i, state) in rows[..n_rows].iter().enumerate() {
+                state.finish_into(&mut chunk[i * hd..(i + 1) * hd]);
+            }
+        });
+
+    // Fold the head-major staging into the packed [n, n_heads*hd] output.
+    // Within one head, row t sits at offset t*hd — the Q_TILE padding only
+    // trails the final tile of each head's region.
+    for qh in 0..n_heads {
+        let head_base = qh * tiles * PREFILL_Q_TILE * hd;
+        for t in 0..n {
+            let src = &stage[head_base + t * hd..head_base + (t + 1) * hd];
+            attn.row_mut(t)[qh * hd..(qh + 1) * hd].copy_from_slice(src);
+        }
+    }
+}
+
+/// The seed's naive prefill attention: per head, materialise the head's
+/// activations, the full `n x n` score matrix, a separate ALiBi pass, a
+/// separate causal-mask pass and a per-row softmax. Kept bit-identical to
+/// the pre-tiling implementation as the reference the tiled kernel is pinned
+/// against (and the baseline `bench_prefill_baseline` measures).
+///
+/// # Panics
+///
+/// Same shape contract as [`prefill_attention_tiled`].
+#[allow(clippy::too_many_arguments)]
+pub fn prefill_attention_reference(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    n_heads: usize,
+    n_kv_heads: usize,
+    scale: f32,
+    alibi: Option<&[f32]>,
+    attn: &mut Matrix,
+) {
+    let n = q.rows();
+    let hd = q.cols() / n_heads;
+    let group = n_heads / n_kv_heads.max(1);
+    attn.resize_zeroed(n, n_heads * hd);
+    for qh in 0..n_heads {
+        let kvh = qh / group;
+        let q_h = Matrix::from_fn(n, hd, |t, c| q.get(t, qh * hd + c));
+        let k_h = Matrix::from_fn(n, hd, |t, c| k.get(t, kvh * hd + c));
+        let v_h = Matrix::from_fn(n, hd, |t, c| v.get(t, kvh * hd + c));
+        let mut scores = q_h.matmul_transposed(&k_h);
+        scores.scale(scale);
+        if let Some(slopes) = alibi {
+            let slope = slopes[qh];
+            for i in 0..n {
+                let row = scores.row_mut(i);
+                for (j, s) in row.iter_mut().enumerate().take(i + 1) {
+                    *s -= slope * (i - j) as f32;
+                }
+            }
+        }
+        apply_causal_mask(&mut scores);
+        for i in 0..n {
+            softmax_in_place(scores.row_mut(i));
+        }
+        let out_h = scores.matmul(&v_h);
+        for t in 0..n {
+            attn.row_mut(t)[qh * hd..(qh + 1) * hd].copy_from_slice(out_h.row(t));
+        }
     }
 }
 
@@ -157,26 +564,43 @@ impl Transformer {
         }
     }
 
-    /// Embeds a token sequence starting at absolute position `start_pos`.
-    fn embed(&self, tokens: &[u32], start_pos: usize) -> Matrix {
-        let d = self.config.d_model;
-        let mut x = Matrix::zeros(tokens.len(), d);
+    /// Embeds a token sequence starting at absolute position `start_pos` into
+    /// a caller-owned buffer (resized in place; allocation-free once grown).
+    ///
+    /// The vocabulary bound is validated once up front, each embedding row is
+    /// a single `memcpy`, and learned position embeddings are added per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any token id is outside the vocabulary.
+    pub fn embed_into(&self, tokens: &[u32], start_pos: usize, out: &mut Matrix) {
+        if let Some(&t) = tokens
+            .iter()
+            .find(|&&t| (t as usize) >= self.config.vocab_size)
+        {
+            panic!("token id {t} outside vocabulary");
+        }
+        out.resize_zeroed(tokens.len(), self.config.d_model);
         for (i, &t) in tokens.iter().enumerate() {
-            assert!(
-                (t as usize) < self.config.vocab_size,
-                "token id {t} outside vocabulary"
-            );
-            x.row_mut(i)
+            out.row_mut(i)
                 .copy_from_slice(self.weights.embedding.row(t as usize));
-            if let Some(pe) = &self.weights.position_embedding {
+        }
+        if let Some(pe) = &self.weights.position_embedding {
+            for i in 0..tokens.len() {
                 let pos = (start_pos + i).min(pe.rows() - 1);
                 let pe_row = pe.row(pos);
-                for (a, b) in x.row_mut(i).iter_mut().zip(pe_row.iter()) {
+                for (a, b) in out.row_mut(i).iter_mut().zip(pe_row.iter()) {
                     *a += b;
                 }
             }
         }
-        x
+    }
+
+    /// Embeds a token sequence into a fresh matrix (see [`Self::embed_into`]).
+    fn embed(&self, tokens: &[u32], start_pos: usize) -> Matrix {
+        let mut out = Matrix::default();
+        self.embed_into(tokens, start_pos, &mut out);
+        out
     }
 
     fn apply_rope_block(&self, data: &mut Matrix, heads: usize, start_pos: usize) {
@@ -195,8 +619,13 @@ impl Transformer {
     /// of every position (`[tokens, vocab]`).
     ///
     /// Attention during prefill is computed from the full-precision keys and
-    /// values; the (possibly lossy) cache backends only see the KV *after*
-    /// the attention output has been produced, exactly as in the paper.
+    /// values via the tiled kernel ([`prefill_attention_tiled`]); the
+    /// (possibly lossy) cache backends only see the KV *after* the attention
+    /// output has been produced, exactly as in the paper.
+    ///
+    /// Convenience wrapper that builds a fresh [`PrefillScratch`] per call;
+    /// admission loops serving many prompts should hold one and use
+    /// [`Self::prefill_with_scratch`].
     ///
     /// # Panics
     ///
@@ -206,7 +635,76 @@ impl Transformer {
         &self,
         tokens: &[u32],
         caches: &mut [C],
+        capture: Option<&mut KvCapture>,
+    ) -> Matrix {
+        self.prefill_with_scratch(tokens, caches, capture, &mut PrefillScratch::new())
+    }
+
+    /// [`Self::prefill`] with caller-owned tile scratch: the tiled attention
+    /// kernel borrows all tile and accumulator buffers from `scratch`, so
+    /// steady-state prefill attention performs zero allocations once the
+    /// scratch is warm.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::prefill`].
+    pub fn prefill_with_scratch<C: KvCache>(
+        &self,
+        tokens: &[u32],
+        caches: &mut [C],
+        capture: Option<&mut KvCapture>,
+        scratch: &mut PrefillScratch,
+    ) -> Matrix {
+        if self.config.head_dim() > PREFILL_MAX_HEAD_DIM {
+            // Wider heads than the kernel's stack staging supports: the
+            // naive path is still correct, just slower.
+            return self.prefill_reference(tokens, caches, capture);
+        }
+        let n_heads = self.config.n_heads;
+        let n_kv_heads = self.config.n_kv_heads;
+        let scale = 1.0 / (self.config.head_dim() as f32).sqrt();
+        let alibi = self.alibi.as_deref();
+        self.prefill_inner(tokens, caches, capture, &mut |q, k, v, attn| {
+            prefill_attention_tiled(q, k, v, n_heads, n_kv_heads, scale, alibi, scratch, attn);
+        })
+    }
+
+    /// [`Self::prefill`] through the seed's naive per-head attention path
+    /// (materialised `n x n` scores, separate ALiBi/mask/softmax passes).
+    ///
+    /// The online softmax of the tiled kernel reorders floating-point
+    /// summation, so the two paths agree only within tolerance; this
+    /// reference is what the equivalence tests pin against and what
+    /// `bench_prefill_baseline` measures the speedup over.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::prefill`].
+    pub fn prefill_reference<C: KvCache>(
+        &self,
+        tokens: &[u32],
+        caches: &mut [C],
+        capture: Option<&mut KvCapture>,
+    ) -> Matrix {
+        let n_heads = self.config.n_heads;
+        let n_kv_heads = self.config.n_kv_heads;
+        let scale = 1.0 / (self.config.head_dim() as f32).sqrt();
+        let alibi = self.alibi.as_deref();
+        self.prefill_inner(tokens, caches, capture, &mut |q, k, v, attn| {
+            prefill_attention_reference(q, k, v, n_heads, n_kv_heads, scale, alibi, attn);
+        })
+    }
+
+    /// The shared prefill skeleton: everything except the attention kernel,
+    /// which is injected so the tiled path and the naive reference run the
+    /// bit-identical surrounding computation (embedding, projections, RoPE,
+    /// cache append, FFN, logits).
+    fn prefill_inner<C: KvCache>(
+        &self,
+        tokens: &[u32],
+        caches: &mut [C],
         mut capture: Option<&mut KvCapture>,
+        attention: &mut dyn FnMut(&Matrix, &Matrix, &Matrix, &mut Matrix),
     ) -> Matrix {
         assert_eq!(
             caches.len(),
@@ -224,13 +722,11 @@ impl Transformer {
         );
 
         let n = tokens.len();
-        let d = self.config.d_model;
-        let hd = self.config.head_dim();
         let n_heads = self.config.n_heads;
-        let group = self.config.group_size();
-        let scale = 1.0 / (hd as f32).sqrt();
 
         let mut x = self.embed(tokens, 0);
+        // One attention-output buffer reused across all layers.
+        let mut attn = Matrix::default();
 
         for (l, layer) in self.weights.layers.iter().enumerate() {
             // --- Attention block.
@@ -248,32 +744,7 @@ impl Transformer {
                 cap.record(l, &k, &v);
             }
 
-            let mut attn = Matrix::zeros(n, d);
-            for qh in 0..n_heads {
-                let kvh = qh / group;
-                let q_h = Matrix::from_fn(n, hd, |t, c| q.get(t, qh * hd + c));
-                let k_h = Matrix::from_fn(n, hd, |t, c| k.get(t, kvh * hd + c));
-                let v_h = Matrix::from_fn(n, hd, |t, c| v.get(t, kvh * hd + c));
-                let mut scores = q_h.matmul_transposed(&k_h);
-                scores.scale(scale);
-                if let Some(slopes) = &self.alibi {
-                    let slope = slopes[qh];
-                    for i in 0..n {
-                        let row = scores.row_mut(i);
-                        for (j, s) in row.iter_mut().enumerate().take(i + 1) {
-                            *s -= slope * (i - j) as f32;
-                        }
-                    }
-                }
-                apply_causal_mask(&mut scores);
-                for i in 0..n {
-                    softmax_in_place(scores.row_mut(i));
-                }
-                let out_h = scores.matmul(&v_h);
-                for t in 0..n {
-                    attn.row_mut(t)[qh * hd..(qh + 1) * hd].copy_from_slice(out_h.row(t));
-                }
-            }
+            attention(&q, &k, &v, &mut attn);
             let attn_out = attn.matmul(&layer.wo);
             x.add_assign(&attn_out);
 
@@ -307,9 +778,8 @@ impl Transformer {
     /// caches and appending the new token's KV to them.
     ///
     /// Convenience wrapper that builds a fresh [`DecodeScratch`] per call;
-    /// decode loops should hold one and use
-    /// [`Self::decode_step_with_scratch`] so attention buffers are reused
-    /// across steps.
+    /// decode loops should hold a [`StepScratch`] and use
+    /// [`Self::decode_step_into`] so every step buffer is reused.
     ///
     /// # Panics
     ///
@@ -318,10 +788,11 @@ impl Transformer {
         self.decode_step_with_scratch(token, caches, &mut DecodeScratch::new())
     }
 
-    /// [`Self::decode_step`] with caller-owned scratch: the per-head
-    /// attention loop runs in parallel over rayon workers, each borrowing
-    /// one [`AttendScratch`] from the pool, and no attention-path buffer is
-    /// allocated once the pool is warm.
+    /// [`Self::decode_step`] with caller-owned *attention* scratch only: the
+    /// per-head attention loop reuses the pool, but the per-layer projection
+    /// and logits buffers are still allocated per call. Kept for callers that
+    /// only hold a [`DecodeScratch`]; prefer [`Self::decode_step_into`],
+    /// which reuses everything.
     ///
     /// # Panics
     ///
@@ -332,6 +803,31 @@ impl Transformer {
         caches: &mut [C],
         scratch: &mut DecodeScratch,
     ) -> Vec<f32> {
+        let mut step = StepScratch::with_attend(std::mem::take(scratch));
+        let logits = self.decode_step_into(token, caches, &mut step).to_vec();
+        *scratch = step.into_attend();
+        logits
+    }
+
+    /// The fully scratch-backed decode step: embedding, norms, q/k/v
+    /// projections, per-head attention (parallel over rayon workers above the
+    /// work threshold), cache append, feed-forward and logits all borrow
+    /// their buffers from `scratch`. Once the scratch is warm the whole step
+    /// performs **zero** heap allocations (up to cache-append growth, which
+    /// callers can pre-reserve).
+    ///
+    /// Returns the logits of the fed position, borrowed from the scratch
+    /// (also readable later via [`StepScratch::logits`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `caches.len() != n_layers` or the token id is out of range.
+    pub fn decode_step_into<'s, C: KvCache>(
+        &self,
+        token: u32,
+        caches: &mut [C],
+        scratch: &'s mut StepScratch,
+    ) -> &'s [f32] {
         assert_eq!(
             caches.len(),
             self.config.n_layers,
@@ -345,8 +841,32 @@ impl Transformer {
         let scale = 1.0 / (hd as f32).sqrt();
         let pos = caches[0].len();
 
-        let mut x = self.embed(&[token], pos).into_vec();
-        let mut attn = vec![0.0f32; d];
+        let StepScratch {
+            attend,
+            x,
+            h,
+            q,
+            k,
+            v,
+            attn,
+            proj,
+            inner,
+            k_mat,
+            v_mat,
+            logits,
+        } = scratch;
+
+        self.embed_into(&[token], pos, x);
+        let x = x.row_mut(0);
+        h.resize(d, 0.0);
+        q.resize(n_heads * hd, 0.0);
+        k.resize(kv_width, 0.0);
+        v.resize(kv_width, 0.0);
+        attn.resize(d, 0.0);
+        proj.resize(d, 0.0);
+        inner.resize(self.config.d_ff, 0.0);
+        k_mat.resize_zeroed(1, kv_width);
+        v_mat.resize_zeroed(1, kv_width);
 
         // Fan the heads out only when each head has enough cached tokens to
         // amortise the scoped-thread spawns of the vendored rayon shim
@@ -360,20 +880,15 @@ impl Transformer {
         // worker pool (ROADMAP).
         const PARALLEL_HEADS_MIN_WORK: usize = 1 << 18;
         let parallel_heads = n_heads > 1 && pos * hd >= PARALLEL_HEADS_MIN_WORK;
-        let pool_len = if parallel_heads {
-            scratch.pool.len()
-        } else {
-            1
-        };
+        let pool_len = if parallel_heads { attend.pool.len() } else { 1 };
 
         for (l, layer) in self.weights.layers.iter().enumerate() {
             // --- Attention block.
-            let mut h = x.clone();
-            self.norm_in_place(&mut h, &layer.attn_norm_weight, &layer.attn_norm_bias);
-            let hm = Matrix::from_row(&h);
-            let mut q = hm.matmul(&layer.wq).into_vec();
-            let mut k = hm.matmul(&layer.wk).into_vec();
-            let v = hm.matmul(&layer.wv).into_vec();
+            h.copy_from_slice(x);
+            self.norm_in_place(h, &layer.attn_norm_weight, &layer.attn_norm_bias);
+            vec_matmul_into(h, &layer.wq, q);
+            vec_matmul_into(h, &layer.wk, k);
+            vec_matmul_into(h, &layer.wv, v);
             if let Some(rope) = &self.rope {
                 for qh in 0..n_heads {
                     rope.apply(&mut q[qh * hd..(qh + 1) * hd], pos);
@@ -388,8 +903,9 @@ impl Transformer {
             // scratch per worker.
             let cache = &caches[l];
             let alibi = self.alibi.as_deref();
+            let (q, k, v) = (&*q, &*k, &*v);
             attn.par_chunks_mut(hd).enumerate().for_each_with_scratch(
-                &mut scratch.pool[..pool_len],
+                &mut attend.pool[..pool_len],
                 |attend_scratch, (qh, out)| {
                     let kvh = qh / group;
                     let mut params = AttendParams::new(kvh, &q[qh * hd..(qh + 1) * hd], scale, pos)
@@ -400,35 +916,35 @@ impl Transformer {
                     cache.attend(&params, attend_scratch, out);
                 },
             );
-            let attn_out = Matrix::from_row(&attn).matmul(&layer.wo);
-            for (a, b) in x.iter_mut().zip(attn_out.row(0).iter()) {
+            vec_matmul_into(attn, &layer.wo, proj);
+            for (a, b) in x.iter_mut().zip(proj.iter()) {
                 *a += b;
             }
 
             // Cache the new token's KV after the attention output is produced.
-            let k_mat = Matrix::from_vec(1, kv_width, k).expect("kv width");
-            let v_mat = Matrix::from_vec(1, kv_width, v).expect("kv width");
-            caches[l].append(&k_mat, &v_mat);
+            k_mat.as_mut_slice().copy_from_slice(k);
+            v_mat.as_mut_slice().copy_from_slice(v);
+            caches[l].append(k_mat, v_mat);
 
             // --- Feed-forward block.
-            let mut h2 = x.clone();
-            self.norm_in_place(&mut h2, &layer.ffn_norm_weight, &layer.ffn_norm_bias);
-            let mut inner = Matrix::from_row(&h2).matmul(&layer.w_in).into_vec();
-            self.activate_in_place(&mut inner);
-            let ffn_out = Matrix::from_row(&inner).matmul(&layer.w_out);
-            for (a, b) in x.iter_mut().zip(ffn_out.row(0).iter()) {
+            h.copy_from_slice(x);
+            self.norm_in_place(h, &layer.ffn_norm_weight, &layer.ffn_norm_bias);
+            vec_matmul_into(h, &layer.w_in, inner);
+            self.activate_in_place(inner);
+            vec_matmul_into(inner, &layer.w_out, proj);
+            for (a, b) in x.iter_mut().zip(proj.iter()) {
                 *a += b;
             }
         }
 
         self.norm_in_place(
-            &mut x,
+            x,
             &self.weights.final_norm_weight,
             &self.weights.final_norm_bias,
         );
-        Matrix::from_row(&x)
-            .matmul_transposed(&self.weights.embedding)
-            .into_vec()
+        logits.resize(self.config.vocab_size, 0.0);
+        vec_matmul_transposed_into(x, &self.weights.embedding, logits);
+        logits
     }
 
     /// Continues a sequence whose KV already lives in `caches`: feeds each of
@@ -448,8 +964,9 @@ impl Transformer {
         self.extend_with_scratch(tokens, caches, &mut DecodeScratch::new())
     }
 
-    /// [`Self::extend`] with caller-owned decode scratch, reusing attention
-    /// buffers across the fed tokens (and across calls).
+    /// [`Self::extend`] with caller-owned attention scratch. Prefer
+    /// [`Self::extend_into`] with a [`StepScratch`], which also reuses the
+    /// per-layer step buffers.
     ///
     /// # Panics
     ///
@@ -459,6 +976,24 @@ impl Transformer {
         tokens: &[u32],
         caches: &mut [C],
         scratch: &mut DecodeScratch,
+    ) -> Matrix {
+        let mut step = StepScratch::with_attend(std::mem::take(scratch));
+        let out = self.extend_into(tokens, caches, &mut step);
+        *scratch = step.into_attend();
+        out
+    }
+
+    /// [`Self::extend`] with caller-owned whole-step scratch, reusing every
+    /// step buffer across the fed tokens (and across calls).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::extend`].
+    pub fn extend_into<C: KvCache>(
+        &self,
+        tokens: &[u32],
+        caches: &mut [C],
+        scratch: &mut StepScratch,
     ) -> Matrix {
         assert!(!tokens.is_empty(), "extend requires at least one token");
         assert_eq!(
@@ -473,8 +1008,8 @@ impl Transformer {
         );
         let mut out = Matrix::zeros(tokens.len(), self.config.vocab_size);
         for (i, &token) in tokens.iter().enumerate() {
-            let logits = self.decode_step_with_scratch(token, caches, scratch);
-            out.row_mut(i).copy_from_slice(&logits);
+            let logits = self.decode_step_into(token, caches, scratch);
+            out.row_mut(i).copy_from_slice(logits);
         }
         out
     }
@@ -576,6 +1111,27 @@ mod tests {
     }
 
     #[test]
+    fn step_scratch_reuse_matches_fresh_scratch_bit_exactly() {
+        let config = ModelConfig::tiny_for_tests();
+        let model = Transformer::new(config.clone(), 11);
+        let tokens = prompt();
+        let mut caches_reused = build_caches(&config, &CacheSpec::Full);
+        let _ = model.prefill(&tokens, &mut caches_reused, None);
+        let mut caches_fresh = build_caches(&config, &CacheSpec::Full);
+        let _ = model.prefill(&tokens, &mut caches_fresh, None);
+
+        let mut scratch = StepScratch::new();
+        for step in 0..6u32 {
+            let with_reuse = model
+                .decode_step_into(step + 3, &mut caches_reused, &mut scratch)
+                .to_vec();
+            let with_fresh = model.decode_step(step + 3, &mut caches_fresh);
+            assert_eq!(with_reuse, with_fresh, "step {step}");
+            assert_eq!(scratch.logits(), with_fresh.as_slice(), "step {step}");
+        }
+    }
+
+    #[test]
     fn gqa_maps_query_heads_onto_shared_kv_heads() {
         let config = ModelConfig::tiny_gqa_for_tests();
         let model = Transformer::new(config.clone(), 4);
@@ -627,5 +1183,21 @@ mod tests {
         let model = Transformer::new(config.clone(), 8);
         let mut caches = build_caches(&config, &CacheSpec::Full);
         let _ = model.prefill(&[100_000], &mut caches, None);
+    }
+
+    #[test]
+    fn embed_into_reuses_buffer_and_matches_fresh() {
+        let mut config = ModelConfig::tiny_for_tests();
+        config.positional = Positional::Absolute; // learned position rows
+        let model = Transformer::new(config, 12);
+        let mut buf = Matrix::default();
+        model.embed_into(&[3, 9, 27], 5, &mut buf);
+        let fresh = model.embed(&[3, 9, 27], 5);
+        assert_eq!(buf, fresh);
+        // A second, shorter embed reuses the same backing buffer.
+        let ptr = buf.as_slice().as_ptr();
+        model.embed_into(&[1], 0, &mut buf);
+        assert_eq!(buf.as_slice().as_ptr(), ptr);
+        assert_eq!(buf, model.embed(&[1], 0));
     }
 }

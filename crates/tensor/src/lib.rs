@@ -34,10 +34,12 @@ pub mod matrix;
 pub mod online_softmax;
 pub mod ops;
 pub mod rope;
+pub mod view;
 
 pub use matrix::Matrix;
 pub use online_softmax::OnlineSoftmax;
 pub use rope::Rope;
+pub use view::StridedRows;
 
 /// Crate-wide error type for shape and argument validation failures.
 #[derive(Debug, Clone, PartialEq, Eq)]

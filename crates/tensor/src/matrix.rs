@@ -205,6 +205,18 @@ impl Matrix {
         }
     }
 
+    /// Reshapes the matrix in place to `rows x cols`, zero-filling the
+    /// contents. The backing allocation is kept whenever its capacity
+    /// suffices — the buffer-reuse counterpart of [`Matrix::zeros`] used by
+    /// scratch owners (no allocation once the buffer has grown to the
+    /// largest shape seen).
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Returns a new matrix containing rows `range.start..range.end`.
     ///
     /// # Panics
@@ -481,6 +493,20 @@ mod tests {
         let mut a = Matrix::zeros(1, 2);
         let b = Matrix::zeros(1, 3);
         assert!(a.append_rows(&b).is_err());
+    }
+
+    #[test]
+    fn resize_zeroed_reuses_capacity_and_zero_fills() {
+        let mut m = Matrix::from_fn(4, 4, |_, _| 7.0);
+        let ptr = m.as_slice().as_ptr();
+        m.resize_zeroed(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+        // Shrinking reuses the original allocation.
+        assert_eq!(m.as_slice().as_ptr(), ptr);
+        m.resize_zeroed(4, 4);
+        assert_eq!(m.shape(), (4, 4));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
     }
 
     #[test]

@@ -112,6 +112,110 @@ impl OnlineSoftmax {
         crate::ops::axpy(w, value, &mut self.acc);
     }
 
+    /// Pushes one tile of `(score, value-row)` pairs in a single batch — the
+    /// flash-attention inner step used by the tiled prefill kernel. `values`
+    /// holds the tile's value rows contiguous (`[scores.len(), dim]`
+    /// row-major, e.g. a staged value tile); `scores` is consumed in place
+    /// (overwritten with the softmax weights).
+    ///
+    /// The tile's maximum triggers at most one rescale of the running state.
+    /// The exponentials are then batched into one pass of their own — a libm
+    /// `exp` call clobbers every SIMD register, so interleaving it with the
+    /// wide value accumulation would spill the accumulator around every
+    /// call — and the weighted value rows are folded in a second, pure axpy
+    /// pass over a stack-resident accumulator. Equivalent to pushing each
+    /// pair through [`Self::push`] up to floating-point reassociation (one
+    /// shared reference maximum per tile instead of a running one). `-inf`
+    /// scores (masked entries) contribute zero weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != scores.len() * self.dim()` (when any score
+    /// is finite).
+    #[inline]
+    pub fn push_tile(&mut self, scores: &mut [f32], values: &[f32]) {
+        // Lane-parallel maximum: `max` is associative and commutative, so
+        // folding four independent lanes gives the exact same result as a
+        // sequential scan, without chaining every compare behind the last.
+        let mut max_lanes = [f32::NEG_INFINITY; 4];
+        let chunks = scores.chunks_exact(4);
+        let remainder = chunks.remainder();
+        for chunk in chunks {
+            for (lane, &s) in max_lanes.iter_mut().zip(chunk.iter()) {
+                *lane = lane.max(s);
+            }
+        }
+        let mut tile_max = max_lanes[0]
+            .max(max_lanes[1])
+            .max(max_lanes[2].max(max_lanes[3]));
+        for &s in remainder {
+            tile_max = tile_max.max(s);
+        }
+        if tile_max == f32::NEG_INFINITY {
+            return;
+        }
+        let dim = self.acc.len();
+        assert_eq!(
+            values.len(),
+            scores.len() * dim,
+            "value tile shape mismatch"
+        );
+        if tile_max > self.max_score {
+            let rescale = if self.max_score == f32::NEG_INFINITY {
+                0.0
+            } else {
+                (self.max_score - tile_max).exp()
+            };
+            self.sum_exp *= rescale;
+            for a in &mut self.acc {
+                *a *= rescale;
+            }
+            self.max_score = tile_max;
+        }
+        let max_score = self.max_score;
+        // Two separate passes so each can vectorise: the branchless
+        // exponential is pure element-wise arithmetic, and folding the sum
+        // in the same loop would chain every iteration behind a scalar add.
+        // Masked `-inf` entries come out as exp_approx's clamped floor,
+        // e^-87 ≈ 1.6e-38 — a weight far below every fidelity tolerance.
+        for score in scores.iter_mut() {
+            *score = crate::ops::exp_approx(*score - max_score);
+        }
+        // Lane-parallel weight sum (deterministic: the lane split depends
+        // only on the tile length).
+        let mut sum_lanes = [0.0f32; 4];
+        let chunks = scores.chunks_exact(4);
+        let remainder = chunks.remainder();
+        for chunk in chunks {
+            for (lane, &w) in sum_lanes.iter_mut().zip(chunk.iter()) {
+                *lane += w;
+            }
+        }
+        let mut sum = (sum_lanes[0] + sum_lanes[1]) + (sum_lanes[2] + sum_lanes[3]);
+        for &w in remainder {
+            sum += w;
+        }
+        self.sum_exp += sum;
+        // A stack-local accumulator keeps the fold in registers for the
+        // whole tile (heads are <= 256 channels in every supported model);
+        // wider reductions fall back to accumulating in place.
+        let mut acc_buf = [0.0f32; 256];
+        if dim <= acc_buf.len() {
+            let local = &mut acc_buf[..dim];
+            local.copy_from_slice(&self.acc);
+            for (&weight, row) in scores.iter().zip(values.chunks_exact(dim)) {
+                for (a, &x) in local.iter_mut().zip(row.iter()) {
+                    *a += weight * x;
+                }
+            }
+            self.acc.copy_from_slice(local);
+        } else {
+            for (&weight, row) in scores.iter().zip(values.chunks_exact(dim)) {
+                crate::ops::axpy(weight, row, &mut self.acc);
+            }
+        }
+    }
+
     /// Merges a pre-reduced segment described by its own `(max, sum_exp,
     /// weighted accumulator)` triple, e.g. produced by another accumulator or
     /// by a batched kernel over the quantized history.
@@ -273,6 +377,54 @@ mod tests {
         let mut acc = OnlineSoftmax::new(1);
         acc.push(1.0, &[3.0]);
         acc.merge_segment(f32::NEG_INFINITY, 0.0, &[99.0]);
+        let out = acc.finish();
+        assert!((out[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn push_tile_matches_per_element_push() {
+        use crate::Matrix;
+        let values = Matrix::from_fn(10, 3, |r, c| ((r * 5 + c * 3) % 9) as f32 - 4.0);
+        let scores: Vec<f32> = (0..10).map(|i| (i as f32 * 0.9).sin() * 6.0).collect();
+
+        let mut pushed = OnlineSoftmax::new(3);
+        for (i, &s) in scores.iter().enumerate() {
+            pushed.push(s, values.row(i));
+        }
+        let mut tiled = OnlineSoftmax::new(3);
+        let mut head = scores[..4].to_vec();
+        let mut tail = scores[4..].to_vec();
+        tiled.push_tile(&mut head, &values.as_slice()[..4 * 3]);
+        tiled.push_tile(&mut tail, &values.as_slice()[4 * 3..]);
+
+        let a = pushed.finish();
+        let b = tiled.finish();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn push_tile_skips_masked_scores() {
+        use crate::Matrix;
+        let values = Matrix::from_fn(3, 2, |r, _| r as f32);
+        let mut acc = OnlineSoftmax::new(2);
+        acc.push_tile(&mut [0.0, f32::NEG_INFINITY, 0.0], values.as_slice());
+        let out = acc.finish();
+        // Row 1 is masked out: the average of rows 0 and 2 is 1.0.
+        assert!((out[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn push_tile_of_all_masked_scores_is_noop() {
+        use crate::Matrix;
+        let values = Matrix::from_fn(2, 1, |_, _| 7.0);
+        let mut acc = OnlineSoftmax::new(1);
+        acc.push(1.0, &[3.0]);
+        acc.push_tile(
+            &mut [f32::NEG_INFINITY, f32::NEG_INFINITY],
+            values.as_slice(),
+        );
         let out = acc.finish();
         assert!((out[0] - 3.0).abs() < 1e-6);
     }

@@ -24,12 +24,142 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     acc
 }
 
+/// Dot product with eight independent partial accumulators.
+///
+/// [`dot`] folds every product into a single accumulator, which serialises
+/// the adds behind each other's latency; this variant keeps eight partial
+/// lanes (two SIMD registers after auto-vectorisation) and folds them once
+/// at the end. The summation **order differs** from [`dot`], so results are
+/// not bit-compatible — use it only on throughput-bound, tolerance-pinned
+/// paths (the tiled prefill score loop); established bit-exact paths keep
+/// [`dot`].
+#[inline]
+pub fn dot_wide(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "dot_wide length mismatch");
+    let mut lanes = [0.0f32; 8];
+    let chunks = a.len() / 8;
+    for i in 0..chunks {
+        let j = i * 8;
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            *lane += a[j + l] * b[j + l];
+        }
+    }
+    let mut acc = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+    for j in chunks * 8..a.len() {
+        acc += a[j] * b[j];
+    }
+    acc
+}
+
 /// `y += alpha * x` for equally sized slices.
 #[inline]
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     debug_assert_eq!(x.len(), y.len(), "axpy length mismatch");
     for (yi, xi) in y.iter_mut().zip(x.iter()) {
         *yi += alpha * xi;
+    }
+}
+
+/// Branchless `e^x` approximation for throughput-bound softmax tile loops.
+///
+/// Cephes-style `expf`: split `x = k·ln2 + r` (the round-to-nearest uses the
+/// `2^23·1.5` magic-number trick instead of `floor`, so there is no libm
+/// call and no branch), evaluate a degree-6 polynomial on the reduced `r`,
+/// and scale by `2^k` through the exponent bits. Everything is straight-line
+/// element-wise arithmetic, so a loop applying it to a contiguous score tile
+/// auto-vectorises — libm `expf` is an opaque scalar call per element.
+///
+/// Maximum relative error ≈ 2 ulp (~2.4e-7); exactly deterministic. Inputs
+/// are clamped to `[-87, 88]`, so `exp_approx(f32::NEG_INFINITY)` is
+/// `e^-87 ≈ 1.6e-38` rather than exactly zero — callers that rely on masked
+/// `-inf` entries vanishing must tolerate that (a softmax weight of 1e-38 is
+/// far below any fidelity tolerance in this workspace).
+///
+/// Established bit-exact paths ([`crate::OnlineSoftmax::push`],
+/// [`softmax_in_place`], the decode kernels) keep libm `exp`; only the
+/// tolerance-pinned tiled prefill kernel uses this.
+#[inline]
+pub fn exp_approx(x: f32) -> f32 {
+    const LOG2E: f32 = std::f32::consts::LOG2_E;
+    const LN2_HI: f32 = 0.693_359_4;
+    const LN2_LO: f32 = -2.121_944_4e-4;
+    // 1.5 * 2^23: adding it pushes the value's fraction bits out of the
+    // mantissa, rounding to nearest integer; subtracting recovers it.
+    const MAGIC: f32 = 12_582_912.0;
+    let x = x.clamp(-87.0, 88.0);
+    let kf = (x * LOG2E + MAGIC) - MAGIC;
+    let r = (x - kf * LN2_HI) - kf * LN2_LO;
+    let mut p = 1.388_888_9e-3_f32;
+    p = p * r + 8.333_334e-3;
+    p = p * r + 4.166_666_8e-2;
+    p = p * r + 1.666_666_7e-1;
+    p = p * r + 5.0e-1;
+    p = p * r + 1.0;
+    p = p * r + 1.0;
+    let two_k = f32::from_bits((((kf as i32) + 127) as u32) << 23);
+    p * two_k
+}
+
+/// `out = x · m` for a row vector `x` of length `m.rows()`, written into a
+/// caller-owned buffer of length `m.cols()`.
+///
+/// This is the scratch-reuse counterpart of
+/// `Matrix::from_row(x).matmul(m)` used by the allocation-free decode step:
+/// the accumulation order (and the skip of zero coefficients) matches
+/// [`Matrix::matmul`] exactly, so results are bit-identical.
+///
+/// # Panics
+///
+/// Panics if `x.len() != m.rows()` or `out.len() != m.cols()`.
+pub fn vec_matmul_into(x: &[f32], m: &Matrix, out: &mut [f32]) {
+    assert_eq!(
+        x.len(),
+        m.rows(),
+        "vec_matmul_into inner dimension mismatch"
+    );
+    assert_eq!(
+        out.len(),
+        m.cols(),
+        "vec_matmul_into output length mismatch"
+    );
+    out.iter_mut().for_each(|o| *o = 0.0);
+    let n = m.cols();
+    let data = m.as_slice();
+    for (ki, &a) in x.iter().enumerate() {
+        if a == 0.0 {
+            continue;
+        }
+        let b_row = &data[ki * n..(ki + 1) * n];
+        for (o, &b) in out.iter_mut().zip(b_row.iter()) {
+            *o += a * b;
+        }
+    }
+}
+
+/// `out[r] = x · m.row(r)` — the row vector times `mᵀ`, written into a
+/// caller-owned buffer of length `m.rows()`.
+///
+/// The scratch-reuse counterpart of
+/// `Matrix::from_row(x).matmul_transposed(m)` (used for logits over the tied
+/// embedding), with identical per-entry arithmetic.
+///
+/// # Panics
+///
+/// Panics if `x.len() != m.cols()` or `out.len() != m.rows()`.
+pub fn vec_matmul_transposed_into(x: &[f32], m: &Matrix, out: &mut [f32]) {
+    assert_eq!(
+        x.len(),
+        m.cols(),
+        "vec_matmul_transposed_into inner dimension mismatch"
+    );
+    assert_eq!(
+        out.len(),
+        m.rows(),
+        "vec_matmul_transposed_into output length mismatch"
+    );
+    for (r, o) in out.iter_mut().enumerate() {
+        *o = dot(x, m.row(r));
     }
 }
 
@@ -247,6 +377,63 @@ mod tests {
         for (l, p) in ls.iter().zip(s.iter()) {
             assert!((l.exp() - p).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn exp_approx_matches_libm_within_ulps() {
+        // The attention range: scores relative to a running max are <= 0,
+        // but cover positives too for generality.
+        for i in -1700..=1700 {
+            let x = i as f32 * 0.05;
+            let approx = exp_approx(x);
+            let exact = x.exp();
+            let rel = (approx - exact).abs() / exact.max(f32::MIN_POSITIVE);
+            assert!(rel < 1e-6, "x={x}: approx {approx} vs libm {exact}");
+        }
+        assert_eq!(exp_approx(0.0), 1.0);
+        // Clamped tails: deeply negative inputs (and -inf) floor at e^-87.
+        let floor = exp_approx(f32::NEG_INFINITY);
+        assert!(floor > 0.0 && floor < 2e-38);
+        assert_eq!(exp_approx(-1000.0), floor);
+        assert!(exp_approx(f32::INFINITY).is_finite()); // clamped to e^88
+    }
+
+    #[test]
+    fn dot_wide_matches_dot_within_rounding() {
+        for len in [0usize, 1, 7, 8, 9, 31, 32, 33, 128] {
+            let a: Vec<f32> = (0..len)
+                .map(|v| ((v * 7) % 13) as f32 * 0.3 - 1.5)
+                .collect();
+            let b: Vec<f32> = (0..len)
+                .map(|v| ((v * 5) % 11) as f32 * 0.25 - 1.0)
+                .collect();
+            let narrow = dot(&a, &b);
+            let wide = dot_wide(&a, &b);
+            assert!(
+                (narrow - wide).abs() <= 1e-4 * narrow.abs().max(1.0),
+                "len {len}: {narrow} vs {wide}"
+            );
+        }
+    }
+
+    #[test]
+    fn vec_matmul_into_matches_matrix_matmul() {
+        let m = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32 * 0.5 - 2.0);
+        let x = vec![1.0f32, 0.0, -2.0, 3.0];
+        let mut out = vec![9.0f32; 3];
+        vec_matmul_into(&x, &m, &mut out);
+        let expected = Matrix::from_row(&x).matmul(&m);
+        assert_eq!(out.as_slice(), expected.row(0));
+    }
+
+    #[test]
+    fn vec_matmul_transposed_into_matches_matrix_path() {
+        let m = Matrix::from_fn(5, 4, |r, c| ((r * 7 + c) % 5) as f32 - 2.0);
+        let x = vec![0.5f32, -1.0, 2.0, 0.25];
+        let mut out = vec![0.0f32; 5];
+        vec_matmul_transposed_into(&x, &m, &mut out);
+        let expected = Matrix::from_row(&x).matmul_transposed(&m);
+        assert_eq!(out.as_slice(), expected.row(0));
     }
 
     #[test]

@@ -69,13 +69,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nper-session results:");
     for r in &reports {
         println!(
-            "  user {}: {} prompt + {} generated tokens, cache {:>7} B ({:.1}% of fp16), {} async batches",
+            "  user {}: {} prompt + {} generated tokens, cache {:>7} B ({:.1}% of fp16), {} async batches, admitted at {:.0} tok/s ({:.2} ms prefill)",
             r.session,
             r.prompt_tokens,
             r.tokens.len(),
             r.kv_bytes,
             100.0 * r.kv_bytes as f64 / r.fp16_kv_bytes as f64,
             r.async_batches,
+            r.prefill_tokens_per_s,
+            r.prefill_ns as f64 / 1e6,
         );
     }
     println!("\nfleet totals:");
@@ -88,6 +90,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  throughput           : {:.1} tokens/s aggregate, {:.2} ms/step/session",
         total_tokens as f64 / elapsed.as_secs_f64(),
         elapsed.as_secs_f64() * 1e3 / (round as f64 * USERS as f64),
+    );
+    let prefill_tokens: usize = reports.iter().map(|r| r.prompt_tokens).sum();
+    let prefill_ns: u64 = reports.iter().map(|r| r.prefill_ns).sum();
+    println!(
+        "  admission (prefill)  : {} prompt tokens in {:.2} ms ({:.0} tok/s, tiled kernel)",
+        prefill_tokens,
+        prefill_ns as f64 / 1e6,
+        prefill_tokens as f64 * 1e9 / prefill_ns.max(1) as f64,
     );
     println!(
         "  headroom             : at this ratio, the same KV budget holds {:.1}x more users",
