@@ -1,0 +1,370 @@
+//! Tracked continuous-batching serving baseline.
+//!
+//! Drives a fixed staggered-arrival workload — mixed prompt lengths, mixed
+//! QoS classes, bounded decode slots — through the [`million::ServingEngine`]
+//! and records two kinds of figures:
+//!
+//! 1. **scheduling figures** — total rounds, per-class token shares (the
+//!    deficit-weighted round-robin ledger), and the queue-wait distribution
+//!    in *rounds* (p50/p95). No request uses stop tokens, so every request
+//!    runs exactly its token budget and these figures are a pure function of
+//!    the workload constants and the scheduler policy: **bit-identical on
+//!    any machine**. They are what the `--check` regression gate defends —
+//!    any drift means the admission or fairness algebra changed;
+//! 2. **throughput figures** — aggregate tokens/s and wall-clock queue
+//!    waits. Machine-dependent, reported for the committed full run, never
+//!    gated.
+//!
+//! Usage: `bench_serving_baseline [--fast] [--out <path>] [--check <baseline>]`,
+//! mirroring the decode/prefill baselines. The scheduling workload is
+//! identical in both modes (it is already CI-cheap); `--fast` only marks the
+//! report so a smoke run is never committed as the baseline.
+
+use std::time::Instant;
+
+use million::{
+    GenerationOptions, MillionConfig, MillionEngine, QosClass, Request, RequestHandle,
+    ServingConfig, ServingEngine,
+};
+use million_model::{ModelConfig, NormKind, Positional, Sampler, Transformer};
+use serde::Serialize;
+
+/// `(arrival_round, prompt_tokens, max_new_tokens, class)`: a bursty
+/// schedule exercising queueing, mid-flight refills, priority admission,
+/// and all three QoS classes against 3 decode slots.
+const WORKLOAD: &[(u64, usize, usize, QosClass)] = &[
+    (0, 96, 24, QosClass::Background),
+    (0, 48, 20, QosClass::Standard),
+    (0, 160, 24, QosClass::Background),
+    (1, 64, 16, QosClass::Standard),
+    (3, 32, 8, QosClass::Interactive),
+    (5, 128, 20, QosClass::Background),
+    (7, 24, 6, QosClass::Interactive),
+    (8, 96, 16, QosClass::Standard),
+    (10, 40, 8, QosClass::Interactive),
+    (12, 72, 12, QosClass::Standard),
+    (14, 56, 12, QosClass::Background),
+    (16, 16, 4, QosClass::Interactive),
+];
+
+const MAX_RESIDENT: usize = 3;
+
+#[derive(Serialize)]
+struct SchedulingReport {
+    /// Requests in the workload.
+    requests: usize,
+    /// Decode slots.
+    max_resident: usize,
+    /// Rounds until the workload drained — deterministic.
+    rounds_total: u64,
+    /// Requests completed (must equal `requests`) — deterministic.
+    completed: u64,
+    /// DWRR ledger: decode tokens per class `[interactive, standard,
+    /// background]` — deterministic.
+    tokens_by_class: [u64; 3],
+    /// Queue-wait distribution in scheduling rounds — deterministic.
+    queue_wait_rounds_p50: u64,
+    queue_wait_rounds_p95: u64,
+    queue_wait_rounds_max: u64,
+    /// Mean queue wait in rounds per class `[interactive, standard,
+    /// background]`, ×100 to stay integral — deterministic.
+    queue_wait_rounds_mean_x100_by_class: [u64; 3],
+}
+
+#[derive(Serialize)]
+struct ThroughputReport {
+    /// Aggregate decode+prefill wall time of the drive loop, seconds.
+    wall_s: f64,
+    /// Generated tokens per second across the fleet.
+    tokens_per_s: f64,
+    /// Wall-clock queue waits (machine-dependent, informational).
+    queue_wait_ms_p50: f64,
+    queue_wait_ms_p95: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    schema: &'static str,
+    mode: &'static str,
+    n_layers: usize,
+    n_heads: usize,
+    head_dim: usize,
+    scheduling: SchedulingReport,
+    throughput: ThroughputReport,
+}
+
+/// Small enough that CI's smoke run finishes in seconds, big enough that
+/// prefill and decode costs differ visibly across prompt lengths.
+fn bench_config() -> ModelConfig {
+    ModelConfig {
+        name: "serving-bench".into(),
+        vocab_size: 512,
+        d_model: 64,
+        n_layers: 2,
+        n_heads: 4,
+        n_kv_heads: 2,
+        d_ff: 128,
+        max_seq_len: 1024,
+        positional: Positional::Rope {
+            theta: 10_000.0,
+            position_scale: 1.0,
+        },
+        norm: NormKind::RmsNorm,
+        outlier_channels: 2,
+        outlier_scale: (4.0, 12.0),
+    }
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn run_workload() -> (ServingStatsBundle, f64) {
+    let config = bench_config();
+    let model = Transformer::new(config.clone(), 7);
+    let calibration: Vec<u32> = (0..512)
+        .map(|i| ((i as u64 * 13 + 5) % config.vocab_size as u64) as u32)
+        .collect();
+    // Synchronous quantization: the figures must not depend on worker-thread
+    // timing.
+    let engine = MillionEngine::new(
+        model,
+        MillionConfig::four_bit(config.head_dim()).with_sync_quant(),
+        &calibration,
+    )
+    .expect("engine builds");
+    let mut serving = ServingEngine::new(
+        &engine,
+        ServingConfig {
+            max_resident: MAX_RESIDENT,
+            queue_capacity: WORKLOAD.len(),
+            ..ServingConfig::default()
+        },
+    );
+
+    let start = Instant::now();
+    let mut handles: Vec<RequestHandle> = Vec::new();
+    let mut next = 0usize;
+    while next < WORKLOAD.len() || !serving.is_idle() {
+        while next < WORKLOAD.len() && WORKLOAD[next].0 <= serving.rounds() {
+            let (_, prompt_len, max_tokens, class) = WORKLOAD[next];
+            let prompt: Vec<u32> = (0..prompt_len)
+                .map(|i| ((i as u64 * 31 + next as u64 * 97 + 7) % 512) as u32)
+                .collect();
+            let request = Request::new(prompt, GenerationOptions::max_tokens(max_tokens))
+                .with_class(class)
+                .with_sampler(Sampler::greedy());
+            handles.push(serving.submit(request).expect("queue sized for workload"));
+            next += 1;
+        }
+        serving.serve_round();
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let stats = serving.stats();
+    let reports: Vec<_> = handles
+        .iter()
+        .map(|h| h.report().expect("workload drained"))
+        .collect();
+    (
+        ServingStatsBundle {
+            rounds_total: serving.rounds(),
+            completed: stats.completed,
+            tokens_by_class: stats.tokens_by_class,
+            reports,
+        },
+        wall_s,
+    )
+}
+
+struct ServingStatsBundle {
+    rounds_total: u64,
+    completed: u64,
+    tokens_by_class: [u64; 3],
+    reports: Vec<million::SessionReport>,
+}
+
+/// Compares a fresh report against the committed baseline. Every scheduling
+/// figure is deterministic, so the gate demands exact equality; throughput
+/// figures are never compared.
+fn diff_against_baseline(report: &BenchReport, baseline_text: &str) -> Vec<String> {
+    let baseline = match serde_json::from_str(baseline_text) {
+        Ok(v) => v,
+        Err(_) => return vec!["baseline file is not valid JSON".to_string()],
+    };
+    if baseline.get("schema").and_then(|s| s.as_str()) != Some(report.schema) {
+        return vec!["baseline schema mismatch".to_string()];
+    }
+    let Some(base) = baseline.get("scheduling") else {
+        return vec!["baseline has no scheduling report".to_string()];
+    };
+    let mut failures = Vec::new();
+    let current = &report.scheduling;
+    let scalars: &[(&str, u64)] = &[
+        ("requests", current.requests as u64),
+        ("max_resident", current.max_resident as u64),
+        ("rounds_total", current.rounds_total),
+        ("completed", current.completed),
+        ("queue_wait_rounds_p50", current.queue_wait_rounds_p50),
+        ("queue_wait_rounds_p95", current.queue_wait_rounds_p95),
+        ("queue_wait_rounds_max", current.queue_wait_rounds_max),
+    ];
+    for &(field, value) in scalars {
+        let base_value = base.get(field).and_then(|v| v.as_f64());
+        if base_value != Some(value as f64) {
+            failures.push(format!(
+                "{field} changed: baseline {base_value:?}, now {value} \
+                 (scheduling figures are deterministic — this is an \
+                 admission/fairness behaviour change, re-baseline deliberately)"
+            ));
+        }
+    }
+    for (field, values) in [
+        ("tokens_by_class", &current.tokens_by_class),
+        (
+            "queue_wait_rounds_mean_x100_by_class",
+            &current.queue_wait_rounds_mean_x100_by_class,
+        ),
+    ] {
+        let base_values: Option<Vec<f64>> = base
+            .get(field)
+            .and_then(|v| v.as_array())
+            .map(|a| a.iter().filter_map(|x| x.as_f64()).collect());
+        let ours: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        if base_values.as_deref() != Some(&ours[..]) {
+            failures.push(format!(
+                "{field} changed: baseline {base_values:?}, now {values:?}"
+            ));
+        }
+    }
+    failures
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let arg_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_serving.json".to_string());
+    let check_path = arg_value("--check");
+
+    let config = bench_config();
+    let (bundle, wall_s) = run_workload();
+
+    let mut waits: Vec<u64> = bundle.reports.iter().map(|r| r.queue_wait_rounds).collect();
+    waits.sort_unstable();
+    let mut wait_ms: Vec<f64> = bundle
+        .reports
+        .iter()
+        .map(|r| r.queue_wait_ns as f64 / 1e6)
+        .collect();
+    wait_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite waits"));
+    let mut mean_by_class = [0u64; 3];
+    for class in QosClass::ALL {
+        let class_waits: Vec<u64> = bundle
+            .reports
+            .iter()
+            .filter(|r| r.class == class)
+            .map(|r| r.queue_wait_rounds)
+            .collect();
+        mean_by_class[class.index()] =
+            100 * class_waits.iter().sum::<u64>() / class_waits.len().max(1) as u64;
+    }
+    let generated: usize = bundle.reports.iter().map(|r| r.tokens.len()).sum();
+
+    let scheduling = SchedulingReport {
+        requests: WORKLOAD.len(),
+        max_resident: MAX_RESIDENT,
+        rounds_total: bundle.rounds_total,
+        completed: bundle.completed,
+        tokens_by_class: bundle.tokens_by_class,
+        queue_wait_rounds_p50: percentile(&waits, 0.50),
+        queue_wait_rounds_p95: percentile(&waits, 0.95),
+        queue_wait_rounds_max: *waits.last().expect("non-empty workload"),
+        queue_wait_rounds_mean_x100_by_class: mean_by_class,
+    };
+    let throughput = ThroughputReport {
+        wall_s,
+        tokens_per_s: generated as f64 / wall_s,
+        queue_wait_ms_p50: wait_ms[(wait_ms.len() - 1) / 2],
+        queue_wait_ms_p95: wait_ms[((wait_ms.len() - 1) as f64 * 0.95).round() as usize],
+    };
+
+    million_bench::print_table(
+        &format!(
+            "Continuous-batching serving, {} requests over {} slots ({} layers, head_dim {})",
+            WORKLOAD.len(),
+            MAX_RESIDENT,
+            config.n_layers,
+            config.head_dim()
+        ),
+        &[
+            "rounds",
+            "tokens i/s/b",
+            "wait-rounds p50/p95/max",
+            "tokens/s",
+        ],
+        &[vec![
+            scheduling.rounds_total.to_string(),
+            format!(
+                "{}/{}/{}",
+                scheduling.tokens_by_class[0],
+                scheduling.tokens_by_class[1],
+                scheduling.tokens_by_class[2]
+            ),
+            format!(
+                "{}/{}/{}",
+                scheduling.queue_wait_rounds_p50,
+                scheduling.queue_wait_rounds_p95,
+                scheduling.queue_wait_rounds_max
+            ),
+            format!("{:.0}", throughput.tokens_per_s),
+        ]],
+    );
+
+    // The structural claims the baseline exists to defend, asserted in both
+    // modes (the figures are deterministic, so there is no noise to
+    // tolerate): everyone completes, every class made progress, and the
+    // interactive class never waits longer for admission than background.
+    assert_eq!(bundle.completed as usize, WORKLOAD.len());
+    assert!(scheduling.tokens_by_class.iter().all(|&t| t > 0));
+    assert!(
+        mean_by_class[QosClass::Interactive.index()] <= mean_by_class[QosClass::Background.index()],
+        "interactive admission must not lag background: {mean_by_class:?}"
+    );
+
+    let report = BenchReport {
+        schema: "million-bench-serving/v1",
+        mode: if fast { "fast" } else { "full" },
+        n_layers: config.n_layers,
+        n_heads: config.n_heads,
+        head_dim: config.head_dim(),
+        scheduling,
+        throughput,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialise report");
+    std::fs::write(&out_path, json + "\n").expect("write BENCH_serving.json");
+    println!("(wrote {out_path})");
+
+    if let Some(baseline_path) = check_path {
+        let baseline_text =
+            std::fs::read_to_string(&baseline_path).expect("read committed baseline");
+        let failures = diff_against_baseline(&report, &baseline_text);
+        if failures.is_empty() {
+            println!("(serving results match baseline {baseline_path})");
+        } else {
+            for failure in &failures {
+                eprintln!("regression vs {baseline_path}: {failure}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

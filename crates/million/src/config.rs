@@ -30,6 +30,15 @@ pub struct MillionConfig {
     /// prefix sharing and cheap persistence). `0` disables the store —
     /// sessions then keep their codes fully private.
     pub block_tokens: usize,
+    /// Retention byte budget of the code store: when nonzero, blocks whose
+    /// last session reference is released stay resident (still discoverable
+    /// by prefix-sharing admissions) until total store bytes exceed this
+    /// budget, at which point the least-recently-released unreferenced
+    /// blocks are evicted first. `0` keeps the strict behaviour — a block
+    /// lives exactly as long as its references. Referenced blocks are never
+    /// evicted, so live sessions can exceed the budget (it bounds caching,
+    /// not correctness).
+    pub store_byte_budget: usize,
     /// When `true`, a newly admitted session looks its prompt up in the
     /// store's prefix index and attaches already-resident blocks instead of
     /// prefilling them — skipping both the prefill compute and the code
@@ -54,6 +63,7 @@ impl MillionConfig {
             train_options: PqTrainOptions::default(),
             seed: 0,
             block_tokens: 32,
+            store_byte_budget: 0,
             prefix_sharing: false,
         }
     }
@@ -121,6 +131,13 @@ impl MillionConfig {
         self
     }
 
+    /// Lets the store retain up to `bytes` of unreferenced blocks for later
+    /// prefix-sharing admissions (see [`MillionConfig::store_byte_budget`]).
+    pub fn with_store_byte_budget(mut self, bytes: usize) -> Self {
+        self.store_byte_budget = bytes;
+        self
+    }
+
     /// Enables cross-session prompt-prefix sharing at admission (see
     /// [`MillionConfig::prefix_sharing`] for the equivalence class this
     /// changes).
@@ -158,14 +175,17 @@ mod tests {
             .with_sync_quant()
             .with_residual_len(16)
             .with_block_tokens(64)
+            .with_store_byte_budget(1 << 20)
             .with_prefix_sharing();
         assert!(!cfg.async_quant);
         assert_eq!(cfg.residual_len, 16);
         assert_eq!(cfg.block_tokens, 64);
+        assert_eq!(cfg.store_byte_budget, 1 << 20);
         assert!(cfg.prefix_sharing);
         let defaults = MillionConfig::four_bit(32);
         assert!(defaults.block_tokens > 0, "store is on by default");
         assert!(!defaults.prefix_sharing, "attachment is opt-in");
+        assert_eq!(defaults.store_byte_budget, 0, "strict eviction by default");
     }
 
     #[test]

@@ -122,7 +122,12 @@ impl MillionEngine {
     }
 
     fn build_store(config: &MillionConfig) -> Option<Arc<BlockStore>> {
-        (config.block_tokens > 0).then(|| Arc::new(BlockStore::new(config.block_tokens)))
+        (config.block_tokens > 0).then(|| {
+            Arc::new(BlockStore::with_byte_budget(
+                config.block_tokens,
+                config.store_byte_budget,
+            ))
+        })
     }
 
     /// The engine's copy-on-write code store, if enabled.

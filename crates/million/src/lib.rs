@@ -18,9 +18,15 @@
 //! 4. **Asynchronous quantization** ([`async_quant`]) — freshly generated KV
 //!    is encoded on a background worker (the paper's low-priority CUDA
 //!    stream) so encoding never blocks the decode critical path.
-//! 5. **Multi-session serving** ([`scheduler`]) — a [`BatchScheduler`]
-//!    round-robin interleaves decode steps of many concurrent sessions
-//!    through one shared quantization worker.
+//! 5. **Continuous-batching serving** ([`serving`]) — a [`ServingEngine`]
+//!    accepts a stream of prioritised [`Request`]s, schedules at *iteration*
+//!    granularity (finished requests retire per round, freed slots refill
+//!    from the queue under a KV-byte admission budget), shares decode
+//!    throughput across QoS classes with deficit-weighted round-robin, and
+//!    streams tokens through [`RequestHandle`]s with first-class
+//!    cancellation and queue-full backpressure. The static-cohort
+//!    [`BatchScheduler`] ([`scheduler`]) survives as a thin wrapper over the
+//!    same loop.
 //!
 //! ## Quickstart: a streaming chat session
 //!
@@ -52,8 +58,10 @@
 //! # }
 //! ```
 //!
-//! To serve several users at once, admit their prompts to a
-//! [`BatchScheduler`] instead (see `examples/multi_user_serving.rs`).
+//! To serve many users, submit their prompts to a [`ServingEngine`] instead
+//! (see `examples/continuous_serving.rs` and docs/SERVING.md); a fixed
+//! cohort can use the simpler [`BatchScheduler`]
+//! (`examples/multi_user_serving.rs`).
 
 #![warn(missing_docs)]
 
@@ -62,6 +70,7 @@ pub mod config;
 pub mod engine;
 mod persist;
 pub mod scheduler;
+pub mod serving;
 pub mod session;
 pub mod trainer;
 
@@ -70,6 +79,10 @@ pub use config::MillionConfig;
 pub use engine::{GenerationResult, MillionEngine};
 pub use million_store::{Block, BlockStore, StoreStats};
 pub use scheduler::{BatchScheduler, SessionReport};
+pub use serving::{
+    QosClass, Request, RequestHandle, RequestId, ServingConfig, ServingEngine, ServingStats,
+    SubmitError,
+};
 pub use session::{GenerationOptions, InferenceSession, SessionStream, StepResult, StopCriteria};
 pub use trainer::{train_codebooks, TrainedCodebooks};
 

@@ -1,31 +1,41 @@
-//! Multi-session batch scheduling: the serving layer over
-//! [`InferenceSession`].
+//! Static-cohort batch scheduling: the compatibility wrapper over the
+//! continuous-batching serving loop.
 //!
-//! A [`BatchScheduler`] owns N concurrent sessions of one engine and
-//! round-robin interleaves their decode steps. All sessions share a single
-//! [`QuantWorker`] — the software analogue of the paper's one low-priority
-//! CUDA stream serving the whole GPU — and the scheduler routes finished
-//! encode blocks back to the session that staged them using the session tag
-//! on every [`crate::async_quant::EncodeResult`].
+//! [`BatchScheduler`] keeps the PR 1 surface — admit N sessions up front,
+//! interleave their decode steps round-robin, collect every report at the
+//! end — but is now a thin shell over [`crate::ServingEngine`] configured as
+//! the *retained cohort* special case: unbounded admission (every
+//! `add_session` is admitted and prefilled immediately), a single QoS class
+//! (so deficit-weighted round-robin degenerates to exactly one step per
+//! session per round, in admission order), and no per-round retirement
+//! (finished sessions keep their KV alive until [`BatchScheduler::finish`],
+//! so the shared/owned byte split in the reports reflects the sharing that
+//! held while the whole cohort was resident).
 //!
 //! Sessions keep fully independent KV caches, so interleaving never changes
 //! *what* attention sees for a given session — with synchronous quantization
 //! the scheduler is token-for-token identical to running the same sessions
 //! serially, and with the asynchronous stream it differs only in encode
-//! timing (exactly the transient the paper's Fig. 4 design permits).
+//! timing (exactly the transient the paper's Fig. 4 design permits). For
+//! iteration-level admission, QoS classes, backpressure, and mid-flight
+//! cancellation, use [`crate::ServingEngine`] directly.
 
 use million_model::Sampler;
 
-use crate::async_quant::QuantWorker;
 use crate::engine::MillionEngine;
-use crate::session::{GenerationOptions, InferenceSession, StepResult};
+use crate::serving::{QosClass, Request, RequestHandle, ServingConfig, ServingEngine};
+use crate::session::{GenerationOptions, StepResult};
 
-/// Final state of one scheduled session.
+/// Final state of one served request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SessionReport {
-    /// Scheduler-assigned session id (index of [`BatchScheduler::add_session`]
-    /// calls).
+    /// Request id ([`BatchScheduler`]: index of the `add_session` call;
+    /// [`crate::ServingEngine`]: the [`crate::RequestId`] in submission
+    /// order).
     pub session: usize,
+    /// The request's QoS class ([`QosClass::Standard`] for every
+    /// [`BatchScheduler`] session).
+    pub class: QosClass,
     /// Every token the session generated.
     pub tokens: Vec<u32>,
     /// Prompt tokens the session consumed.
@@ -51,49 +61,27 @@ pub struct SessionReport {
     pub prefill_ns: u64,
     /// Prompt tokens admitted per second during prefill.
     pub prefill_tokens_per_s: f64,
+    /// Wall-clock nanoseconds between submission and admission (0 for a
+    /// [`BatchScheduler`] session, which is admitted inside `add_session`).
+    pub queue_wait_ns: u64,
+    /// Whole scheduling rounds the request waited in the pending queue.
+    pub queue_wait_rounds: u64,
     /// Whether generation ended on a stop token (as opposed to the length
     /// budget).
     pub stopped_early: bool,
-}
-
-struct Slot<'e> {
-    session: InferenceSession<'e>,
-    sampler: Sampler,
-    options: GenerationOptions,
-    tokens: Vec<u32>,
-    stopped_early: bool,
-    done: bool,
-}
-
-impl Slot<'_> {
-    /// Flushes the session and snapshots its final report. Called while the
-    /// whole cohort is still alive, so the shared/owned byte split reflects
-    /// the sharing that actually held during serving.
-    fn report(&mut self, id: usize) -> SessionReport {
-        self.session.flush();
-        SessionReport {
-            session: id,
-            tokens: std::mem::take(&mut self.tokens),
-            prompt_tokens: self.session.prompt_tokens(),
-            kv_bytes: self.session.kv_bytes(),
-            fp16_kv_bytes: self.session.fp16_kv_bytes(),
-            kv_shared_bytes: self.session.kv_shared_bytes(),
-            kv_owned_bytes: self.session.kv_owned_bytes(),
-            prefix_tokens_reused: self.session.prefix_tokens_reused(),
-            async_batches: self.session.async_batches(),
-            prefill_ns: self.session.prefill_ns(),
-            prefill_tokens_per_s: self.session.prefill_tokens_per_s(),
-            stopped_early: self.stopped_early,
-        }
-    }
+    /// Whether the request was cancelled (before or after admission); the
+    /// report then carries whatever was produced up to that point.
+    pub cancelled: bool,
 }
 
 /// Round-robin scheduler interleaving decode steps of N concurrent sessions
-/// through one shared quantization worker.
+/// through one shared quantization worker — the retained-cohort
+/// configuration of [`ServingEngine`].
 pub struct BatchScheduler<'e> {
-    engine: &'e MillionEngine,
-    worker: Option<QuantWorker>,
-    slots: Vec<Slot<'e>>,
+    serving: ServingEngine<'e>,
+    /// Handles in admission order, kept alive so streamed tokens are never
+    /// sent into closed channels (and so reports stay addressable by id).
+    handles: Vec<RequestHandle>,
 }
 
 impl<'e> BatchScheduler<'e> {
@@ -102,9 +90,17 @@ impl<'e> BatchScheduler<'e> {
     /// asynchronously.
     pub fn new(engine: &'e MillionEngine) -> Self {
         Self {
-            engine,
-            worker: None,
-            slots: Vec::new(),
+            serving: ServingEngine::new(
+                engine,
+                ServingConfig {
+                    max_resident: usize::MAX,
+                    queue_capacity: usize::MAX,
+                    kv_byte_budget: None,
+                    retain_finished: true,
+                    ..ServingConfig::default()
+                },
+            ),
+            handles: Vec::new(),
         }
     }
 
@@ -120,80 +116,48 @@ impl<'e> BatchScheduler<'e> {
         options: GenerationOptions,
         sampler: Sampler,
     ) -> usize {
-        let id = self.slots.len();
-        if self.engine.config().async_quant && self.worker.is_none() {
-            self.worker = Some(QuantWorker::spawn(
-                self.engine.codebooks().key.clone(),
-                self.engine.codebooks().value.clone(),
-                self.engine.model().cache_layout(),
-            ));
-        }
-        let mut session = InferenceSession::new(self.engine, id, true);
-        session.prefill(prompt);
-        self.slots.push(Slot {
-            session,
-            sampler,
-            options,
-            tokens: Vec::new(),
-            stopped_early: false,
-            done: false,
-        });
+        let request = Request::new(prompt.to_vec(), options).with_sampler(sampler);
+        let handle = self
+            .serving
+            .submit(request)
+            .unwrap_or_else(|e| panic!("add_session: {e}"));
+        // The static cohort admits eagerly: the prompt is prefilled here,
+        // not at the next round boundary.
+        self.serving.admit_ready();
+        let id = handle.id().as_u64() as usize;
+        self.handles.push(handle);
         id
     }
 
     /// Number of sessions still decoding.
     pub fn active_sessions(&self) -> usize {
-        self.slots.iter().filter(|s| !s.done).count()
+        self.serving.active_sessions() + self.serving.queued_requests()
     }
 
     /// Total sessions admitted.
     pub fn total_sessions(&self) -> usize {
-        self.slots.len()
+        self.handles.len()
     }
 
     /// Aggregate KV-cache bytes across all sessions.
     pub fn kv_bytes(&self) -> usize {
-        self.slots.iter().map(|s| s.session.kv_bytes()).sum()
+        self.serving.kv_bytes()
     }
 
     /// Aggregate fp16-equivalent bytes across all sessions.
     pub fn fp16_kv_bytes(&self) -> usize {
-        self.slots.iter().map(|s| s.session.fp16_kv_bytes()).sum()
+        self.serving.fp16_kv_bytes()
     }
 
     /// Runs one scheduling round: every active session decodes exactly one
     /// token. Returns `(session_id, step)` for each token produced this
     /// round; an empty vector means every session is finished.
     pub fn step_round(&mut self) -> Vec<(usize, StepResult)> {
-        let mut produced = Vec::new();
-        for idx in 0..self.slots.len() {
-            if self.slots[idx].done {
-                continue;
-            }
-            // Route everything the shared worker finished so far to its
-            // owning session (absorb-before-attend, as in the single-session
-            // loop).
-            self.route_finished();
-            let slot = &mut self.slots[idx];
-            let mut step = slot.session.step_with(&mut slot.sampler);
-            slot.tokens.push(step.token);
-            if slot.options.stop.matches(step.token) {
-                step.matched_stop = true;
-                slot.stopped_early = true;
-                slot.done = true;
-            } else if slot.tokens.len() >= slot.options.max_new_tokens {
-                slot.done = true;
-            }
-            // Ship the tokens this step staged through the shared worker.
-            let requests = self.slots[idx].session.take_encode_requests();
-            if let Some(worker) = &mut self.worker {
-                for request in requests {
-                    worker.submit(request);
-                }
-            }
-            produced.push((idx, step));
-        }
-        produced
+        self.serving
+            .serve_round()
+            .into_iter()
+            .map(|(id, step)| (id.as_u64() as usize, step))
+            .collect()
     }
 
     /// Decodes every session to completion and returns the per-session
@@ -204,26 +168,11 @@ impl<'e> BatchScheduler<'e> {
     }
 
     /// Flushes the shared quantization stream and returns the per-session
-    /// reports (indexed by session id).
-    pub fn finish(mut self) -> Vec<SessionReport> {
-        if let Some(worker) = &mut self.worker {
-            for result in worker.drain_all() {
-                self.slots[result.session].session.absorb(result);
-            }
-        }
-        self.slots
-            .iter_mut()
-            .enumerate()
-            .map(|(id, slot)| slot.report(id))
-            .collect()
-    }
-
-    fn route_finished(&mut self) {
-        if let Some(worker) = &mut self.worker {
-            for result in worker.try_drain() {
-                self.slots[result.session].session.absorb(result);
-            }
-        }
+    /// reports (indexed by session id). Sessions — finished or not — stay
+    /// resident until this point, so every report's shared/owned byte split
+    /// reflects the sharing that actually held during serving.
+    pub fn finish(self) -> Vec<SessionReport> {
+        self.serving.shutdown()
     }
 }
 
@@ -276,6 +225,7 @@ mod tests {
             assert!(report.kv_bytes < report.fp16_kv_bytes);
             assert!(report.prefill_ns > 0);
             assert!(report.prefill_tokens_per_s > 0.0);
+            assert_eq!(report.queue_wait_rounds, 0, "cohort admits eagerly");
         }
         // The shared worker actually carried traffic for the batch.
         assert!(reports.iter().map(|r| r.async_batches).sum::<usize>() > 0);
@@ -326,5 +276,35 @@ mod tests {
         assert!(scheduler.kv_bytes() > 0);
         assert!(scheduler.kv_bytes() < scheduler.fp16_kv_bytes());
         assert_eq!(scheduler.active_sessions(), 4);
+    }
+
+    #[test]
+    fn finished_cohort_sessions_keep_kv_until_finish() {
+        // The wrapper's contract vs the continuous loop: a finished
+        // session's KV stays resident (and countable) until the reports are
+        // collected.
+        let engine = engine(false, 4);
+        let mut scheduler = BatchScheduler::new(&engine);
+        scheduler.add_session(
+            &prompts()[0],
+            GenerationOptions::max_tokens(2),
+            Sampler::greedy(),
+        );
+        scheduler.add_session(
+            &prompts()[1],
+            GenerationOptions::max_tokens(8),
+            Sampler::greedy(),
+        );
+        let mut rounds = 0;
+        while !scheduler.step_round().is_empty() {
+            rounds += 1;
+            assert!(scheduler.kv_bytes() > 0);
+        }
+        assert_eq!(rounds, 8);
+        let kv_before_finish = scheduler.kv_bytes();
+        assert!(kv_before_finish > 0, "finished sessions still counted");
+        let reports = scheduler.finish();
+        assert_eq!(reports[0].tokens.len(), 2);
+        assert_eq!(reports[1].tokens.len(), 8);
     }
 }

@@ -1,0 +1,1318 @@
+//! Continuous-batching serving front-end: a request queue, an
+//! iteration-level scheduler, streaming handles, and QoS classes.
+//!
+//! [`crate::BatchScheduler`] (PR 1) ran a *static cohort*: every session was
+//! admitted up front and the batch ran to completion, so one long request
+//! kept every finished slot idle. A [`ServingEngine`] instead schedules at
+//! **iteration granularity** — the unit of work is one decode round, not one
+//! request:
+//!
+//! 1. clients [`ServingEngine::submit`] a [`Request`] (prompt, generation
+//!    options, sampler, [`QosClass`]) and get a [`RequestHandle`] back that
+//!    streams tokens as they are produced and resolves to the final
+//!    [`SessionReport`];
+//! 2. every [`ServingEngine::serve_round`] first **retires** finished and
+//!    cancelled requests (freeing their slots and KV immediately), then
+//!    **admits** pending requests into the freed slots under the admission
+//!    policy — resident-session cap plus a KV-byte budget metered against
+//!    the physical fleet footprint (session-private bytes + store-resident
+//!    bytes, each counted once) — and finally runs one **deficit-weighted
+//!    round-robin** pass of decode steps over the resident batch;
+//! 3. admission does the prompt prefill (reusing resident store prefixes
+//!    when [`crate::MillionConfig::prefix_sharing`] is on), so a newly
+//!    admitted request costs the in-flight batch exactly one admission turn
+//!    and decodes its first token in the same round.
+//!
+//! **Fairness.** Each resident request accumulates `weight(class)` deficit
+//! per round and spends `quantum = min(weight over active residents)` per
+//! decode step, so classes get token throughput proportional to their
+//! weights (4 : 2 : 1 for interactive : standard : background) and every
+//! active request — weight ≥ quantum — decodes at least one token per
+//! round: no resident request ever starves. Admission picks the
+//! highest-class pending request first (FIFO within a class), with aging:
+//! a request that has waited [`ServingConfig::admission_aging_rounds`]
+//! rounds is treated as interactive, so backlogged background work cannot
+//! be overtaken forever.
+//!
+//! **Backpressure and cancellation** are first-class: a full pending queue
+//! rejects the submission with [`SubmitError::QueueFull`] (the caller sheds
+//! load instead of the engine), and [`RequestHandle::cancel`] takes effect
+//! at the next round boundary whether the request is still queued or already
+//! decoding — a cancelled resident frees its slot exactly like a completed
+//! one.
+//!
+//! Because every session owns independent KV caches, interleaving never
+//! changes what attention sees: a request's token stream is bit-identical to
+//! running it alone on a fresh session, no matter what the rest of the fleet
+//! does (pinned in `tests/serving_api.rs`). The retained-cohort special case
+//! of this loop *is* the old scheduler: [`crate::BatchScheduler`] survives
+//! as a thin wrapper that admits everything immediately and retires nothing
+//! until the end.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use million_model::Sampler;
+
+use crate::async_quant::QuantWorker;
+use crate::engine::MillionEngine;
+use crate::scheduler::SessionReport;
+use crate::session::{GenerationOptions, InferenceSession, StepResult};
+
+/// Quality-of-service class of a request, ordered from most to least
+/// urgent. The class weight sets the request's share of decode throughput
+/// (deficit-weighted round-robin) and its admission priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum QosClass {
+    /// Latency-sensitive traffic: weight 4.
+    Interactive,
+    /// The default class: weight 2.
+    Standard,
+    /// Throughput traffic that yields to everything else: weight 1.
+    Background,
+}
+
+impl QosClass {
+    /// Every class, most urgent first.
+    pub const ALL: [QosClass; 3] = [
+        QosClass::Interactive,
+        QosClass::Standard,
+        QosClass::Background,
+    ];
+
+    /// Relative decode-throughput share of the class.
+    pub fn weight(self) -> u32 {
+        match self {
+            QosClass::Interactive => 4,
+            QosClass::Standard => 2,
+            QosClass::Background => 1,
+        }
+    }
+
+    /// Dense index (position in [`QosClass::ALL`]) for per-class tallies.
+    pub fn index(self) -> usize {
+        match self {
+            QosClass::Interactive => 0,
+            QosClass::Standard => 1,
+            QosClass::Background => 2,
+        }
+    }
+
+    /// Human-readable class name.
+    pub fn name(self) -> &'static str {
+        match self {
+            QosClass::Interactive => "interactive",
+            QosClass::Standard => "standard",
+            QosClass::Background => "background",
+        }
+    }
+}
+
+/// One unit of serving work: a prompt plus how to decode it.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The prompt tokens to admit.
+    pub prompt: Vec<u32>,
+    /// Token budget and stop criteria.
+    pub options: GenerationOptions,
+    /// Sampler driving this request's decode steps.
+    pub sampler: Sampler,
+    /// Scheduling class (admission priority and throughput share).
+    pub class: QosClass,
+}
+
+impl Request {
+    /// A greedy, standard-class request.
+    pub fn new(prompt: Vec<u32>, options: GenerationOptions) -> Self {
+        Self {
+            prompt,
+            options,
+            sampler: Sampler::greedy(),
+            class: QosClass::Standard,
+        }
+    }
+
+    /// Sets the sampler.
+    #[must_use]
+    pub fn with_sampler(mut self, sampler: Sampler) -> Self {
+        self.sampler = sampler;
+        self
+    }
+
+    /// Sets the QoS class.
+    #[must_use]
+    pub fn with_class(mut self, class: QosClass) -> Self {
+        self.class = class;
+        self
+    }
+}
+
+/// Why a submission was rejected. Rejection is synchronous backpressure:
+/// nothing about the engine changed, the caller decides whether to retry,
+/// shed, or divert.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The pending queue is at [`ServingConfig::queue_capacity`].
+    QueueFull {
+        /// The configured capacity the queue is at.
+        capacity: usize,
+    },
+    /// The prompt holds no tokens.
+    EmptyPrompt,
+    /// The prompt cannot fit the model's context window with at least one
+    /// generated token.
+    PromptTooLong {
+        /// Tokens submitted.
+        len: usize,
+        /// The model's context window.
+        max_seq_len: usize,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "pending queue is full ({capacity} requests)")
+            }
+            SubmitError::EmptyPrompt => write!(f, "prompt must hold at least one token"),
+            SubmitError::PromptTooLong { len, max_seq_len } => write!(
+                f,
+                "prompt of {len} tokens cannot fit the {max_seq_len}-token context window"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Identifier of a submitted request, unique within one [`ServingEngine`]
+/// (assigned in submission order starting at 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(u64);
+
+impl RequestId {
+    /// The raw id.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+/// State shared between a [`RequestHandle`] and the engine's slot for it.
+#[derive(Debug)]
+struct HandleShared {
+    cancel: AtomicBool,
+    report: Mutex<Option<SessionReport>>,
+}
+
+/// The client's side of a submitted request: a token stream, a cancel
+/// switch, and the final report.
+///
+/// The handle owns no engine borrow — it can be held (or moved to another
+/// thread) while the engine keeps serving. Tokens arrive through a buffered
+/// channel as rounds produce them; dropping the handle does not cancel the
+/// request.
+#[derive(Debug)]
+pub struct RequestHandle {
+    id: RequestId,
+    class: QosClass,
+    rx: Receiver<StepResult>,
+    shared: Arc<HandleShared>,
+}
+
+impl RequestHandle {
+    /// The engine-assigned request id.
+    pub fn id(&self) -> RequestId {
+        self.id
+    }
+
+    /// The request's QoS class.
+    pub fn class(&self) -> QosClass {
+        self.class
+    }
+
+    /// Requests cancellation. Takes effect at the next round boundary: a
+    /// queued request is dropped without admission, a resident one is
+    /// retired (its report carries the tokens produced so far and
+    /// [`SessionReport::cancelled`] set). Idempotent.
+    pub fn cancel(&self) {
+        self.shared.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Pulls the next streamed token if one is ready (never blocks).
+    pub fn try_token(&self) -> Option<StepResult> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Drains every token streamed since the last call.
+    pub fn drain_tokens(&self) -> Vec<StepResult> {
+        let mut out = Vec::new();
+        while let Ok(step) = self.rx.try_recv() {
+            out.push(step);
+        }
+        out
+    }
+
+    /// Whether the request has been retired (completed or cancelled).
+    pub fn is_finished(&self) -> bool {
+        self.shared
+            .report
+            .lock()
+            .expect("request handle poisoned")
+            .is_some()
+    }
+
+    /// The final report, once the request has been retired.
+    pub fn report(&self) -> Option<SessionReport> {
+        self.shared
+            .report
+            .lock()
+            .expect("request handle poisoned")
+            .clone()
+    }
+}
+
+/// Admission and queueing policy of a [`ServingEngine`].
+#[derive(Debug, Clone)]
+pub struct ServingConfig {
+    /// Maximum sessions decoding at once. Freed slots are refilled from the
+    /// pending queue at the next round boundary.
+    pub max_resident: usize,
+    /// Maximum pending (submitted, not yet admitted) requests before
+    /// [`ServingEngine::submit`] rejects with [`SubmitError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Admission KV budget in bytes, metered against the *unreclaimable*
+    /// fleet footprint: resident sessions' private bytes plus the store's
+    /// resident bytes (shared blocks counted once), **minus** zero-ref
+    /// blocks parked in a budgeted store's cached pool (evictable on
+    /// demand, so they never consume admission capacity), plus a
+    /// quantized-size estimate of the candidate's prompt. `None` disables
+    /// the byte gate. The budget is a soft bound — when no session is
+    /// resident the head request is admitted regardless, so serving always
+    /// makes progress.
+    pub kv_byte_budget: Option<usize>,
+    /// Rounds after which a pending request is promoted to interactive
+    /// admission priority, so admission-priority traffic cannot overtake a
+    /// backlogged class forever.
+    pub admission_aging_rounds: u64,
+    /// Compatibility mode for the static-cohort [`crate::BatchScheduler`]:
+    /// finished requests keep their session (and KV) alive and are reported
+    /// at [`ServingEngine::shutdown`] instead of being retired per round.
+    pub retain_finished: bool,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        Self {
+            max_resident: 8,
+            queue_capacity: 64,
+            kv_byte_budget: None,
+            admission_aging_rounds: 64,
+            retain_finished: false,
+        }
+    }
+}
+
+/// Aggregate serving counters (monotonic; gauges are methods on
+/// [`ServingEngine`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServingStats {
+    /// Requests accepted by [`ServingEngine::submit`].
+    pub submitted: u64,
+    /// Submissions rejected with [`SubmitError::QueueFull`].
+    pub rejected: u64,
+    /// Requests admitted to a resident slot.
+    pub admitted: u64,
+    /// Requests retired after completing.
+    pub completed: u64,
+    /// Requests retired by cancellation (queued or resident).
+    pub cancelled: u64,
+    /// Scheduling rounds served.
+    pub rounds: u64,
+    /// High-water pending-queue depth.
+    pub max_queue_depth: usize,
+    /// High-water resident-session count.
+    pub max_resident_sessions: usize,
+    /// Decode tokens produced per class, indexed by [`QosClass::index`] —
+    /// the fairness ledger the DWRR weights are checked against.
+    pub tokens_by_class: [u64; 3],
+}
+
+/// A submitted request waiting for a slot.
+#[derive(Debug)]
+struct Pending {
+    id: RequestId,
+    request: Request,
+    shared: Arc<HandleShared>,
+    tx: Sender<StepResult>,
+    submitted_at: Instant,
+    submit_round: u64,
+}
+
+impl Pending {
+    /// Admission priority with aging: a request that has waited
+    /// `aging_rounds` is promoted to the top class.
+    fn effective_weight(&self, round: u64, aging_rounds: u64) -> u32 {
+        if round.saturating_sub(self.submit_round) >= aging_rounds {
+            QosClass::Interactive.weight()
+        } else {
+            self.request.class.weight()
+        }
+    }
+}
+
+/// A request resident in a decode slot.
+struct Resident<'e> {
+    id: RequestId,
+    session: InferenceSession<'e>,
+    sampler: Sampler,
+    options: GenerationOptions,
+    class: QosClass,
+    tokens: Vec<u32>,
+    /// DWRR ledger: grows by `weight(class)` per round, spends `quantum`
+    /// per decode step.
+    deficit: u32,
+    shared: Arc<HandleShared>,
+    tx: Sender<StepResult>,
+    queue_wait_ns: u64,
+    queue_wait_rounds: u64,
+    stopped_early: bool,
+    /// Finished decoding (stop token, token budget, or cancellation);
+    /// retired at the next round boundary (or at shutdown when retained).
+    done: bool,
+    /// Whether `done` was reached through cancellation — kept separately so
+    /// a retained-cohort slot still reports `cancelled` correctly at
+    /// shutdown, long after the flag was first honoured.
+    cancelled: bool,
+}
+
+/// Iteration-level serving engine over one [`MillionEngine`].
+///
+/// Single-threaded by design, like the rest of the workspace's serving
+/// stack: the owner drives [`ServingEngine::serve_round`] (or
+/// [`ServingEngine::run_until_idle`]) while [`RequestHandle`]s — which hold
+/// no engine borrow — observe progress from anywhere.
+pub struct ServingEngine<'e> {
+    engine: &'e MillionEngine,
+    config: ServingConfig,
+    /// Shared background quantization worker (spawned on first admission
+    /// when the engine runs asynchronously).
+    worker: Option<QuantWorker>,
+    pending: VecDeque<Pending>,
+    resident: Vec<Resident<'e>>,
+    reports: Vec<SessionReport>,
+    next_id: u64,
+    round: u64,
+    stats: ServingStats,
+}
+
+impl<'e> ServingEngine<'e> {
+    /// Creates an idle serving engine with the given policy.
+    pub fn new(engine: &'e MillionEngine, config: ServingConfig) -> Self {
+        Self {
+            engine,
+            config,
+            worker: None,
+            pending: VecDeque::new(),
+            resident: Vec::new(),
+            reports: Vec::new(),
+            next_id: 0,
+            round: 0,
+            stats: ServingStats::default(),
+        }
+    }
+
+    /// The engine being served.
+    pub fn engine(&self) -> &'e MillionEngine {
+        self.engine
+    }
+
+    /// The serving policy.
+    pub fn config(&self) -> &ServingConfig {
+        &self.config
+    }
+
+    /// Monotonic serving counters.
+    pub fn stats(&self) -> ServingStats {
+        self.stats
+    }
+
+    /// Rounds served so far.
+    pub fn rounds(&self) -> u64 {
+        self.round
+    }
+
+    /// Requests submitted but not yet admitted.
+    pub fn queued_requests(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Sessions currently holding a decode slot (including, in
+    /// retained-cohort mode, finished ones awaiting shutdown).
+    pub fn resident_sessions(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Resident sessions still decoding.
+    pub fn active_sessions(&self) -> usize {
+        self.resident.iter().filter(|s| !s.done).count()
+    }
+
+    /// Whether every submitted request has been fully served: nothing
+    /// queued, nothing still decoding.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_empty() && self.active_sessions() == 0
+    }
+
+    /// KV bytes across resident sessions (shared store blocks counted once
+    /// per referencing session, as [`crate::InferenceSession::kv_bytes`]
+    /// does).
+    pub fn kv_bytes(&self) -> usize {
+        self.resident.iter().map(|s| s.session.kv_bytes()).sum()
+    }
+
+    /// fp16-equivalent bytes across resident sessions.
+    pub fn fp16_kv_bytes(&self) -> usize {
+        self.resident
+            .iter()
+            .map(|s| s.session.fp16_kv_bytes())
+            .sum()
+    }
+
+    /// Physical KV footprint the admission budget meters: resident
+    /// sessions' store-external bytes plus the store's resident bytes, each
+    /// counted exactly once.
+    pub fn fleet_kv_bytes(&self) -> usize {
+        let private: usize = self
+            .resident
+            .iter()
+            .map(|s| s.session.kv_private_bytes())
+            .sum();
+        let store = self
+            .engine
+            .store_stats()
+            .map_or(0, |stats| stats.resident_bytes);
+        private + store
+    }
+
+    /// Quantized-cache bytes one cached token costs across all layers —
+    /// the admission estimate for a prompt is `prompt_len` times this.
+    fn quantized_bytes_per_token(&self) -> usize {
+        let layout = self.engine.model().cache_layout();
+        let packed = |cfg: million_quant::pq::PqConfig| (cfg.m * cfg.nbits as usize).div_ceil(8);
+        let per_head = packed(self.engine.codebooks().key[0].config())
+            + packed(self.engine.codebooks().value[0].config());
+        self.engine.model().config().n_layers * layout.n_kv_heads * per_head
+    }
+
+    /// Submits a request. On success the request is queued (admission
+    /// happens at the next round boundary) and a streaming handle is
+    /// returned.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::EmptyPrompt`] / [`SubmitError::PromptTooLong`] for
+    /// unservable prompts, [`SubmitError::QueueFull`] when the pending queue
+    /// is at capacity — the backpressure signal.
+    pub fn submit(&mut self, request: Request) -> Result<RequestHandle, SubmitError> {
+        if request.prompt.is_empty() {
+            return Err(SubmitError::EmptyPrompt);
+        }
+        let max_seq_len = self.engine.model().config().max_seq_len;
+        if request.prompt.len() >= max_seq_len {
+            return Err(SubmitError::PromptTooLong {
+                len: request.prompt.len(),
+                max_seq_len,
+            });
+        }
+        if self.pending.len() >= self.config.queue_capacity {
+            self.stats.rejected += 1;
+            return Err(SubmitError::QueueFull {
+                capacity: self.config.queue_capacity,
+            });
+        }
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        let shared = Arc::new(HandleShared {
+            cancel: AtomicBool::new(false),
+            report: Mutex::new(None),
+        });
+        let (tx, rx) = channel();
+        let handle = RequestHandle {
+            id,
+            class: request.class,
+            rx,
+            shared: shared.clone(),
+        };
+        self.pending.push_back(Pending {
+            id,
+            request,
+            shared,
+            tx,
+            submitted_at: Instant::now(),
+            submit_round: self.round,
+        });
+        self.stats.submitted += 1;
+        self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.pending.len());
+        Ok(handle)
+    }
+
+    /// Runs one scheduling round: retire finished/cancelled requests,
+    /// refill freed slots from the queue, then one DWRR decode pass.
+    /// Returns `(request, step)` for every token produced this round.
+    pub fn serve_round(&mut self) -> Vec<(RequestId, StepResult)> {
+        self.round += 1;
+        self.stats.rounds = self.round;
+        // Cancellations signalled between rounds are honoured before any
+        // admission or decode work this round...
+        self.reap_cancelled_pending();
+        self.retire_done();
+        self.admit_ready();
+        let produced = self.decode_round();
+        // ...and requests that finished *this* round retire immediately —
+        // their KV is released now, not at the next round — so their slots
+        // are refillable the moment the next round opens.
+        self.retire_done();
+        produced
+    }
+
+    /// Serves rounds until every submitted request has completed or been
+    /// cancelled; returns the number of rounds driven.
+    pub fn run_until_idle(&mut self) -> u64 {
+        let mut rounds = 0;
+        while !self.is_idle() {
+            self.serve_round();
+            rounds += 1;
+        }
+        rounds
+    }
+
+    /// Persists the resident session of `id` to `path` mid-flight (see
+    /// [`crate::InferenceSession::persist`]); the request keeps decoding.
+    /// Returns `Ok(false)` if the request is not currently resident.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error if the snapshot cannot be
+    /// written.
+    pub fn persist_request<P: AsRef<std::path::Path>>(
+        &mut self,
+        id: RequestId,
+        path: P,
+    ) -> std::io::Result<bool> {
+        // Everything in flight on the shared stream must land before the
+        // snapshot, or the session's own flush would miss tokens the worker
+        // still owes it.
+        Self::sync_worker(&mut self.worker, &mut self.resident);
+        match self.resident.iter_mut().find(|s| s.id == id) {
+            Some(slot) => slot.session.persist(path).map(|()| true),
+            None => Ok(false),
+        }
+    }
+
+    /// Retires everything — resident sessions are flushed and reported
+    /// (whether finished or not), queued requests are reported as cancelled
+    /// — and returns every report of this engine's lifetime, ordered by
+    /// request id.
+    pub fn shutdown(mut self) -> Vec<SessionReport> {
+        Self::sync_worker(&mut self.worker, &mut self.resident);
+        // Snapshot every report before dropping any session, so the
+        // shared/owned byte split reflects the sharing that actually held
+        // while the fleet was resident.
+        let mut retiring: Vec<SessionReport> = Vec::with_capacity(self.resident.len());
+        for slot in &mut self.resident {
+            // A slot cancelled earlier but retained (static-cohort mode)
+            // already recorded the fact; one still decoding is cancelled by
+            // the shutdown itself only if its handle asked for it.
+            let cancelled =
+                slot.cancelled || (slot.shared.cancel.load(Ordering::Relaxed) && !slot.done);
+            let report = Self::build_report(slot, cancelled);
+            *slot.shared.report.lock().expect("request handle poisoned") = Some(report.clone());
+            if cancelled {
+                self.stats.cancelled += 1;
+            } else {
+                self.stats.completed += 1;
+            }
+            retiring.push(report);
+        }
+        self.resident.clear();
+        self.reports.append(&mut retiring);
+        while let Some(pending) = self.pending.pop_front() {
+            let report = Self::cancelled_report(&pending, self.round);
+            *pending
+                .shared
+                .report
+                .lock()
+                .expect("request handle poisoned") = Some(report.clone());
+            self.stats.cancelled += 1;
+            self.reports.push(report);
+        }
+        self.reports.sort_by_key(|r| r.session);
+        std::mem::take(&mut self.reports)
+    }
+
+    /// Drops queued requests whose handle was cancelled before admission.
+    fn reap_cancelled_pending(&mut self) {
+        let round = self.round;
+        let mut kept = VecDeque::with_capacity(self.pending.len());
+        while let Some(pending) = self.pending.pop_front() {
+            if pending.shared.cancel.load(Ordering::Relaxed) {
+                let report = Self::cancelled_report(&pending, round);
+                *pending
+                    .shared
+                    .report
+                    .lock()
+                    .expect("request handle poisoned") = Some(report.clone());
+                self.stats.cancelled += 1;
+                self.reports.push(report);
+            } else {
+                kept.push_back(pending);
+            }
+        }
+        self.pending = kept;
+    }
+
+    /// Retires finished and cancelled resident requests, freeing their
+    /// slots (no-op for finished requests in retained-cohort mode).
+    fn retire_done(&mut self) {
+        let mut idx = 0;
+        while idx < self.resident.len() {
+            let cancelled = !self.resident[idx].done
+                && self.resident[idx].shared.cancel.load(Ordering::Relaxed);
+            if cancelled {
+                self.resident[idx].done = true;
+                self.resident[idx].cancelled = true;
+            }
+            let cancelled = self.resident[idx].cancelled;
+            if self.resident[idx].done && !self.config.retain_finished {
+                // One sync point per retirement: encode traffic still in
+                // flight lands in its owning session (this one included)
+                // before the departing session is flushed and dropped.
+                Self::sync_worker(&mut self.worker, &mut self.resident);
+                let mut slot = self.resident.remove(idx);
+                let report = Self::build_report(&mut slot, cancelled);
+                *slot.shared.report.lock().expect("request handle poisoned") = Some(report.clone());
+                if cancelled {
+                    self.stats.cancelled += 1;
+                } else {
+                    self.stats.completed += 1;
+                }
+                self.reports.push(report);
+            } else {
+                idx += 1;
+            }
+        }
+    }
+
+    /// Refills free slots from the pending queue: highest effective class
+    /// first (FIFO within a class), each admission gated on the resident cap
+    /// and the KV-byte budget. Exposed crate-internally so the static-cohort
+    /// [`crate::BatchScheduler`] can admit eagerly at `add_session`.
+    pub(crate) fn admit_ready(&mut self) {
+        loop {
+            if self.pending.is_empty() {
+                return;
+            }
+            let active = self.resident.iter().filter(|s| !s.done).count();
+            if active >= self.config.max_resident {
+                return;
+            }
+            let aging = self.config.admission_aging_rounds;
+            let round = self.round;
+            let best = (0..self.pending.len())
+                .max_by_key(|&i| {
+                    // Stable max: highest effective weight, earliest
+                    // submission wins ties.
+                    let w = self.pending[i].effective_weight(round, aging);
+                    (w, std::cmp::Reverse(self.pending[i].id))
+                })
+                .expect("pending is non-empty");
+            if let Some(budget) = self.config.kv_byte_budget {
+                let estimate =
+                    self.pending[best].request.prompt.len() * self.quantized_bytes_per_token();
+                // Zero-ref blocks parked in a budgeted store's cached pool
+                // are reclaimable on demand (the store sheds them under its
+                // own pressure), so they must not consume admission
+                // capacity: a cache full of departed sessions' prefixes
+                // would otherwise block admission forever.
+                let reclaimable = self
+                    .engine
+                    .store_stats()
+                    .map_or(0, |stats| stats.cached_bytes);
+                // The budget gates admission while anyone is resident; an
+                // empty machine always admits the head request, so a single
+                // over-budget prompt cannot deadlock the queue.
+                if self.resident.iter().any(|s| !s.done)
+                    && self.fleet_kv_bytes().saturating_sub(reclaimable) + estimate > budget
+                {
+                    return;
+                }
+            }
+            let pending = self.pending.remove(best).expect("index in bounds");
+            self.admit(pending);
+        }
+    }
+
+    /// Prefills one pending request into a resident slot. Costs the
+    /// in-flight batch exactly this turn; decode rounds resume immediately
+    /// after, with the new session participating in the same round.
+    fn admit(&mut self, pending: Pending) {
+        if self.engine.config().async_quant && self.worker.is_none() {
+            self.worker = Some(QuantWorker::spawn(
+                self.engine.codebooks().key.clone(),
+                self.engine.codebooks().value.clone(),
+                self.engine.model().cache_layout(),
+            ));
+        }
+        let Pending {
+            id,
+            request,
+            shared,
+            tx,
+            submitted_at,
+            submit_round,
+        } = pending;
+        let mut session = InferenceSession::new(self.engine, id.0 as usize, true);
+        session.prefill(&request.prompt);
+        // A warm admission's unmatched suffix rides the decode path and may
+        // stage encode batches: ship them through the shared worker now.
+        let requests = session.take_encode_requests();
+        if let Some(worker) = &mut self.worker {
+            for encode in requests {
+                worker.submit(encode);
+            }
+        }
+        self.resident.push(Resident {
+            id,
+            session,
+            sampler: request.sampler,
+            options: request.options,
+            class: request.class,
+            tokens: Vec::new(),
+            deficit: 0,
+            shared,
+            tx,
+            queue_wait_ns: submitted_at.elapsed().as_nanos() as u64,
+            queue_wait_rounds: self.round.saturating_sub(submit_round + 1),
+            stopped_early: false,
+            done: false,
+            cancelled: false,
+        });
+        self.stats.admitted += 1;
+        self.stats.max_resident_sessions =
+            self.stats.max_resident_sessions.max(self.resident.len());
+    }
+
+    /// One deficit-weighted round-robin decode pass over the resident batch.
+    fn decode_round(&mut self) -> Vec<(RequestId, StepResult)> {
+        let quantum = self
+            .resident
+            .iter()
+            .filter(|s| !s.done)
+            .map(|s| s.class.weight())
+            .min();
+        let Some(quantum) = quantum else {
+            return Vec::new();
+        };
+        for slot in self.resident.iter_mut().filter(|s| !s.done) {
+            slot.deficit += slot.class.weight();
+        }
+        let mut produced = Vec::new();
+        loop {
+            let mut progressed = false;
+            for idx in 0..self.resident.len() {
+                {
+                    let slot = &self.resident[idx];
+                    if slot.done || slot.deficit < quantum {
+                        continue;
+                    }
+                    if slot.shared.cancel.load(Ordering::Relaxed) {
+                        // Retired at the next round boundary; stop burning
+                        // its remaining deficit now.
+                        let slot = &mut self.resident[idx];
+                        slot.deficit = 0;
+                        continue;
+                    }
+                }
+                // Absorb-before-attend, as in the single-session loop:
+                // everything the shared worker finished lands before this
+                // step's attention.
+                Self::sync_worker_nonblocking(&mut self.worker, &mut self.resident);
+                let slot = &mut self.resident[idx];
+                slot.deficit -= quantum;
+                let mut step = slot.session.step_with(&mut slot.sampler);
+                slot.tokens.push(step.token);
+                self.stats.tokens_by_class[slot.class.index()] += 1;
+                if slot.options.stop.matches(step.token) {
+                    step.matched_stop = true;
+                    slot.stopped_early = true;
+                    slot.done = true;
+                } else if slot.tokens.len() >= slot.options.max_new_tokens {
+                    slot.done = true;
+                }
+                if slot.done {
+                    slot.deficit = 0;
+                }
+                // The handle may be gone; serving continues regardless.
+                let _ = slot.tx.send(step.clone());
+                let requests = slot.session.take_encode_requests();
+                let id = slot.id;
+                if let Some(worker) = &mut self.worker {
+                    for encode in requests {
+                        worker.submit(encode);
+                    }
+                }
+                produced.push((id, step));
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        produced
+    }
+
+    /// Blocks until the shared worker has drained, routing every result to
+    /// its owning resident session.
+    fn sync_worker(worker: &mut Option<QuantWorker>, resident: &mut [Resident<'e>]) {
+        if let Some(worker) = worker {
+            for result in worker.drain_all() {
+                Self::route(resident, result);
+            }
+        }
+    }
+
+    /// Routes whatever the shared worker has finished so far, without
+    /// waiting.
+    fn sync_worker_nonblocking(worker: &mut Option<QuantWorker>, resident: &mut [Resident<'e>]) {
+        if let Some(worker) = worker {
+            for result in worker.try_drain() {
+                Self::route(resident, result);
+            }
+        }
+    }
+
+    fn route(resident: &mut [Resident<'e>], result: crate::async_quant::EncodeResult) {
+        let slot = resident
+            .iter_mut()
+            .find(|s| s.session.id() == result.session)
+            .expect("encode result for a session no longer resident");
+        slot.session.absorb(result);
+    }
+
+    /// Flushes a resident slot and snapshots its final report.
+    fn build_report(slot: &mut Resident<'e>, cancelled: bool) -> SessionReport {
+        slot.session.flush();
+        SessionReport {
+            session: slot.id.0 as usize,
+            class: slot.class,
+            tokens: std::mem::take(&mut slot.tokens),
+            prompt_tokens: slot.session.prompt_tokens(),
+            kv_bytes: slot.session.kv_bytes(),
+            fp16_kv_bytes: slot.session.fp16_kv_bytes(),
+            kv_shared_bytes: slot.session.kv_shared_bytes(),
+            kv_owned_bytes: slot.session.kv_owned_bytes(),
+            prefix_tokens_reused: slot.session.prefix_tokens_reused(),
+            async_batches: slot.session.async_batches(),
+            prefill_ns: slot.session.prefill_ns(),
+            prefill_tokens_per_s: slot.session.prefill_tokens_per_s(),
+            queue_wait_ns: slot.queue_wait_ns,
+            queue_wait_rounds: slot.queue_wait_rounds,
+            stopped_early: slot.stopped_early,
+            cancelled,
+        }
+    }
+
+    /// The report of a request cancelled before admission: no prompt was
+    /// consumed, no KV was held.
+    fn cancelled_report(pending: &Pending, round: u64) -> SessionReport {
+        SessionReport {
+            session: pending.id.0 as usize,
+            class: pending.request.class,
+            tokens: Vec::new(),
+            prompt_tokens: 0,
+            kv_bytes: 0,
+            fp16_kv_bytes: 0,
+            kv_shared_bytes: 0,
+            kv_owned_bytes: 0,
+            prefix_tokens_reused: 0,
+            async_batches: 0,
+            prefill_ns: 0,
+            prefill_tokens_per_s: 0.0,
+            queue_wait_ns: pending.submitted_at.elapsed().as_nanos() as u64,
+            queue_wait_rounds: round.saturating_sub(pending.submit_round),
+            stopped_early: false,
+            cancelled: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::test_fixtures::engine;
+    use crate::GenerationOptions;
+
+    fn prompts() -> Vec<Vec<u32>> {
+        vec![
+            vec![3, 9, 27, 81, 11, 33],
+            vec![5, 10, 20, 40, 80],
+            vec![7, 14, 28, 56, 112, 97, 61],
+            vec![2, 4, 8, 16, 32, 64],
+        ]
+    }
+
+    #[test]
+    fn submit_validates_prompts_and_queue_capacity() {
+        let engine = engine(false, 0);
+        let mut serving = ServingEngine::new(
+            &engine,
+            ServingConfig {
+                max_resident: 1,
+                queue_capacity: 2,
+                ..ServingConfig::default()
+            },
+        );
+        assert!(matches!(
+            serving.submit(Request::new(vec![], GenerationOptions::max_tokens(4))),
+            Err(SubmitError::EmptyPrompt)
+        ));
+        let max = engine.model().config().max_seq_len;
+        let too_long = Request::new(vec![1; max], GenerationOptions::max_tokens(4));
+        assert!(matches!(
+            serving.submit(too_long),
+            Err(SubmitError::PromptTooLong { .. })
+        ));
+        let ok = |p: &[u32]| Request::new(p.to_vec(), GenerationOptions::max_tokens(4));
+        serving.submit(ok(&prompts()[0])).expect("first queued");
+        serving.submit(ok(&prompts()[1])).expect("second queued");
+        let err = serving.submit(ok(&prompts()[2])).unwrap_err();
+        assert_eq!(err, SubmitError::QueueFull { capacity: 2 });
+        assert_eq!(serving.stats().rejected, 1);
+        assert!(err.to_string().contains("full"));
+    }
+
+    #[test]
+    fn serving_engine_matches_serial_sessions() {
+        let engine = engine(false, 1);
+        let mut serving = ServingEngine::new(
+            &engine,
+            ServingConfig {
+                max_resident: 2, // forces queueing + mid-flight refills
+                ..ServingConfig::default()
+            },
+        );
+        let handles: Vec<RequestHandle> = prompts()
+            .iter()
+            .map(|p| {
+                serving
+                    .submit(Request::new(p.clone(), GenerationOptions::max_tokens(10)))
+                    .expect("queued")
+            })
+            .collect();
+        serving.run_until_idle();
+        for (p, handle) in prompts().iter().zip(&handles) {
+            let report = handle.report().expect("request finished");
+            let streamed: Vec<u32> = handle.drain_tokens().iter().map(|s| s.token).collect();
+            assert_eq!(report.tokens, streamed, "stream/report agreement");
+            let mut session = engine.session();
+            session.prefill(p);
+            let serial = session.generate(&GenerationOptions::max_tokens(10));
+            assert_eq!(report.tokens, serial.tokens, "prompt {p:?}");
+        }
+        assert_eq!(serving.stats().completed, 4);
+        assert_eq!(serving.stats().max_resident_sessions, 2);
+        let reports = serving.shutdown();
+        assert_eq!(reports.len(), 4);
+    }
+
+    #[test]
+    fn dwrr_gives_classes_proportional_throughput() {
+        let engine = engine(false, 2);
+        let mut serving = ServingEngine::new(&engine, ServingConfig::default());
+        let p = prompts();
+        for (prompt, class) in p.iter().zip(QosClass::ALL) {
+            serving
+                .submit(
+                    Request::new(prompt.clone(), GenerationOptions::max_tokens(200))
+                        .with_class(class),
+                )
+                .expect("queued");
+        }
+        let mut produced_last_round = 0;
+        for _ in 0..10 {
+            produced_last_round = serving.serve_round().len();
+        }
+        // quantum = min weight = 1, so one round yields 4 + 2 + 1 tokens.
+        assert_eq!(produced_last_round, 7);
+        let tokens = serving.stats().tokens_by_class;
+        assert_eq!(tokens, [40, 20, 10], "exact 4:2:1 proportional shares");
+    }
+
+    #[test]
+    fn cancelling_a_resident_request_frees_its_slot_for_the_queue() {
+        let engine = engine(false, 3);
+        let mut serving = ServingEngine::new(
+            &engine,
+            ServingConfig {
+                max_resident: 1,
+                ..ServingConfig::default()
+            },
+        );
+        let p = prompts();
+        let long = serving
+            .submit(Request::new(
+                p[0].clone(),
+                GenerationOptions::max_tokens(64),
+            ))
+            .expect("queued");
+        let next = serving
+            .submit(Request::new(p[1].clone(), GenerationOptions::max_tokens(4)))
+            .expect("queued");
+        for _ in 0..3 {
+            serving.serve_round();
+        }
+        assert!(!long.is_finished());
+        assert_eq!(serving.queued_requests(), 1, "slot cap holds next back");
+        long.cancel();
+        serving.run_until_idle();
+        let cancelled = long.report().expect("cancelled report");
+        assert!(cancelled.cancelled);
+        assert_eq!(cancelled.tokens.len(), 3, "tokens produced before cancel");
+        let finished = next.report().expect("refilled request finished");
+        assert!(!finished.cancelled);
+        assert_eq!(finished.tokens.len(), 4);
+        assert!(finished.queue_wait_rounds > 0, "waited for the slot");
+        assert_eq!(serving.stats().cancelled, 1);
+        assert_eq!(serving.stats().completed, 1);
+    }
+
+    #[test]
+    fn cancelling_a_queued_request_skips_admission() {
+        let engine = engine(false, 4);
+        let mut serving = ServingEngine::new(
+            &engine,
+            ServingConfig {
+                max_resident: 1,
+                ..ServingConfig::default()
+            },
+        );
+        let p = prompts();
+        let _running = serving
+            .submit(Request::new(p[0].clone(), GenerationOptions::max_tokens(6)))
+            .expect("queued");
+        let doomed = serving
+            .submit(Request::new(p[1].clone(), GenerationOptions::max_tokens(6)))
+            .expect("queued");
+        serving.serve_round();
+        doomed.cancel();
+        serving.run_until_idle();
+        let report = doomed.report().expect("cancelled report");
+        assert!(report.cancelled);
+        assert!(report.tokens.is_empty());
+        assert_eq!(report.prompt_tokens, 0, "never admitted, never prefilled");
+        assert_eq!(serving.stats().admitted, 1);
+    }
+
+    #[test]
+    fn async_serving_routes_shared_worker_traffic_across_refills() {
+        let engine = engine(true, 5);
+        let mut serving = ServingEngine::new(
+            &engine,
+            ServingConfig {
+                max_resident: 2,
+                ..ServingConfig::default()
+            },
+        );
+        let handles: Vec<RequestHandle> = prompts()
+            .iter()
+            .map(|p| {
+                serving
+                    .submit(Request::new(p.clone(), GenerationOptions::max_tokens(16)))
+                    .expect("queued")
+            })
+            .collect();
+        serving.run_until_idle();
+        let reports: Vec<SessionReport> =
+            handles.iter().map(|h| h.report().expect("done")).collect();
+        for report in &reports {
+            assert_eq!(report.tokens.len(), 16);
+            assert!(report.kv_bytes > 0);
+            assert!(report.kv_bytes < report.fp16_kv_bytes);
+        }
+        assert!(reports.iter().map(|r| r.async_batches).sum::<usize>() > 0);
+    }
+
+    #[test]
+    fn kv_byte_budget_serialises_admissions_but_serves_everyone() {
+        let engine = engine(false, 6);
+        let mut serving = ServingEngine::new(
+            &engine,
+            ServingConfig {
+                max_resident: 4,
+                // One byte: never satisfiable, so the no-resident escape
+                // hatch turns serving into strictly serial admission.
+                kv_byte_budget: Some(1),
+                ..ServingConfig::default()
+            },
+        );
+        let handles: Vec<RequestHandle> = prompts()
+            .iter()
+            .map(|p| {
+                serving
+                    .submit(Request::new(p.clone(), GenerationOptions::max_tokens(5)))
+                    .expect("queued")
+            })
+            .collect();
+        while !serving.is_idle() {
+            serving.serve_round();
+            assert!(
+                serving.active_sessions() <= 1,
+                "budget must serialise admission"
+            );
+        }
+        for handle in &handles {
+            assert_eq!(handle.report().expect("done").tokens.len(), 5);
+        }
+        assert_eq!(serving.stats().completed, 4);
+    }
+
+    #[test]
+    fn shutdown_reports_unfinished_and_queued_requests() {
+        let engine = engine(false, 7);
+        let mut serving = ServingEngine::new(
+            &engine,
+            ServingConfig {
+                max_resident: 1,
+                ..ServingConfig::default()
+            },
+        );
+        let p = prompts();
+        let running = serving
+            .submit(Request::new(
+                p[0].clone(),
+                GenerationOptions::max_tokens(50),
+            ))
+            .expect("queued");
+        let queued = serving
+            .submit(Request::new(
+                p[1].clone(),
+                GenerationOptions::max_tokens(50),
+            ))
+            .expect("queued");
+        for _ in 0..4 {
+            serving.serve_round();
+        }
+        let reports = serving.shutdown();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].session, running.id().as_u64() as usize);
+        assert_eq!(reports[0].tokens.len(), 4, "partial progress reported");
+        assert!(!reports[0].cancelled);
+        assert!(reports[1].cancelled, "queued request reported cancelled");
+        assert!(queued.report().expect("has report").cancelled);
+    }
+
+    #[test]
+    fn retained_cohort_reports_cancellation_at_shutdown() {
+        let engine = engine(false, 9);
+        let mut serving = ServingEngine::new(
+            &engine,
+            ServingConfig {
+                retain_finished: true,
+                ..ServingConfig::default()
+            },
+        );
+        let p = prompts();
+        let doomed = serving
+            .submit(Request::new(
+                p[0].clone(),
+                GenerationOptions::max_tokens(12),
+            ))
+            .expect("queued");
+        let survivor = serving
+            .submit(Request::new(
+                p[1].clone(),
+                GenerationOptions::max_tokens(12),
+            ))
+            .expect("queued");
+        for _ in 0..2 {
+            serving.serve_round();
+        }
+        doomed.cancel();
+        for _ in 0..3 {
+            serving.serve_round();
+        }
+        // Retained mode: the cancelled slot stopped decoding but was not
+        // retired; its report must still say so at shutdown.
+        let reports = serving.shutdown();
+        assert!(reports[0].cancelled, "cancellation survives retention");
+        assert_eq!(reports[0].tokens.len(), 2, "stopped at the cancel round");
+        assert!(!reports[1].cancelled);
+        assert_eq!(reports[1].tokens.len(), 5, "survivor kept decoding");
+        assert!(doomed.report().expect("reported").cancelled);
+        assert!(!survivor.report().expect("reported").cancelled);
+    }
+
+    /// Drives one slot with a running request, a queued `background`
+    /// request, and an `interactive` request submitted just before the slot
+    /// frees. Returns `true` if the background request was admitted first.
+    fn background_wins_freed_slot(aging_rounds: u64) -> bool {
+        let engine = engine(false, 8);
+        let mut serving = ServingEngine::new(
+            &engine,
+            ServingConfig {
+                max_resident: 1,
+                admission_aging_rounds: aging_rounds,
+                ..ServingConfig::default()
+            },
+        );
+        let p = prompts();
+        let _running = serving
+            .submit(Request::new(p[0].clone(), GenerationOptions::max_tokens(4)))
+            .expect("queued");
+        let background = serving
+            .submit(
+                Request::new(p[1].clone(), GenerationOptions::max_tokens(4))
+                    .with_class(QosClass::Background),
+            )
+            .expect("queued");
+        for _ in 0..3 {
+            serving.serve_round();
+        }
+        let interactive = serving
+            .submit(
+                Request::new(p[2].clone(), GenerationOptions::max_tokens(4))
+                    .with_class(QosClass::Interactive),
+            )
+            .expect("queued");
+        // Drive until one of the two queued requests is admitted (produces
+        // its first token) and note which.
+        let winner = loop {
+            let produced = serving.serve_round();
+            if produced.iter().any(|(id, _)| *id == background.id()) {
+                break true;
+            }
+            if produced.iter().any(|(id, _)| *id == interactive.id()) {
+                break false;
+            }
+        };
+        serving.run_until_idle();
+        assert!(background.report().expect("background done").tokens.len() == 4);
+        assert!(interactive.report().expect("interactive done").tokens.len() == 4);
+        winner
+    }
+
+    #[test]
+    fn aging_promotes_starved_background_admissions() {
+        // Without aging, the interactive class overtakes the earlier
+        // background submission at the freed slot...
+        assert!(!background_wins_freed_slot(u64::MAX));
+        // ...but once the background request has aged past the threshold it
+        // holds its place at the head of the queue.
+        assert!(background_wins_freed_slot(3));
+    }
+}

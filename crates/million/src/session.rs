@@ -318,6 +318,20 @@ impl<'e> InferenceSession<'e> {
         self.kv_bytes() - self.kv_shared_bytes()
     }
 
+    /// Bytes of this session's KV held *outside* the engine's block store:
+    /// private code tails plus the dense residual window. The store-resident
+    /// part is accounted once, fleet-wide, by
+    /// [`million_store::StoreStats::resident_bytes`] — summing
+    /// `kv_private_bytes` over sessions and adding the store's resident
+    /// bytes yields the physical footprint with no double counting, which is
+    /// what the serving engine's admission budget meters.
+    pub fn kv_private_bytes(&self) -> usize {
+        let chain_bytes: usize = self.chain.as_ref().map_or(0, |c| {
+            c.blocks().iter().map(|(_, b)| b.memory_bytes()).sum()
+        });
+        self.kv_bytes() - chain_bytes
+    }
+
     /// Wall-clock nanoseconds this session has spent admitting prompts
     /// through [`Self::prefill`] (tiled prefill attention, synchronous
     /// prompt encoding, and — on warm admissions — the unmatched-suffix

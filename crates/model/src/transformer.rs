@@ -51,6 +51,27 @@ pub const PREFILL_MAX_HEAD_DIM: usize = 256;
 /// reaches the tens-of-µs range.
 const PARALLEL_PREFILL_MIN_WORK: usize = 1 << 18;
 
+/// Balancing permutation of a head's query tiles for the prefill fan-out.
+///
+/// Causal attention skews the tile costs: tile `t` walks `(t + 1) ·
+/// PREFILL_Q_TILE` keys, so enumerating tiles in natural order and splitting
+/// them contiguously across workers (all the vendored shim does) hands the
+/// worker holding a head's late tiles ~2x the work of the one holding its
+/// early tiles. Pairing the tiles from both ends — `0, T-1, 1, T-2, …` —
+/// makes every adjacent pair cost ≈ `T + 1` key-tiles, so *any* contiguous
+/// split of the permuted order is within one tile of even. The mapping is a
+/// bijection that depends only on the slot index, never on the worker count,
+/// so results stay bit-identical across thread counts (pinned by the
+/// determinism suite).
+#[inline]
+fn balanced_tile(slot: usize, tiles: usize) -> usize {
+    if slot.is_multiple_of(2) {
+        slot / 2
+    } else {
+        tiles - 1 - slot / 2
+    }
+}
+
 /// Per-decode attention working memory: one [`AttendScratch`] per parallel
 /// attention worker, reused across decode steps so the steady-state attention
 /// path allocates nothing.
@@ -214,8 +235,10 @@ const PREFILL_ARENA_PAD: usize = 8;
 #[derive(Debug)]
 pub struct PrefillScratch {
     pool: Vec<PrefillTileScratch>,
-    /// Head-major staging `[n_heads, tiles * PREFILL_Q_TILE, head_dim]`;
-    /// each (head, query-tile) work unit owns one contiguous chunk.
+    /// Unit-major staging `[n_heads * tiles, PREFILL_Q_TILE, head_dim]`;
+    /// each (head, query-tile) work unit owns one contiguous chunk, with the
+    /// tiles of a head in [`balanced_tile`] order so contiguous worker
+    /// partitions see even causal work.
     head_out: Vec<f32>,
 }
 
@@ -337,7 +360,7 @@ pub fn prefill_attention_tiled(
         .enumerate()
         .for_each_with_scratch(&mut pool[..pool_len], |tile_scratch, (unit, chunk)| {
             let qh = unit / tiles;
-            let tile = unit % tiles;
+            let tile = balanced_tile(unit % tiles, tiles);
             let q0 = tile * PREFILL_Q_TILE;
             let q1 = (q0 + PREFILL_Q_TILE).min(n);
             let n_rows = q1 - q0;
@@ -407,14 +430,17 @@ pub fn prefill_attention_tiled(
             }
         });
 
-    // Fold the head-major staging into the packed [n, n_heads*hd] output.
-    // Within one head, row t sits at offset t*hd — the Q_TILE padding only
-    // trails the final tile of each head's region.
-    for qh in 0..n_heads {
-        let head_base = qh * tiles * PREFILL_Q_TILE * hd;
-        for t in 0..n {
-            let src = &stage[head_base + t * hd..head_base + (t + 1) * hd];
-            attn.row_mut(t)[qh * hd..(qh + 1) * hd].copy_from_slice(src);
+    // Fold the staging into the packed [n, n_heads*hd] output. Each unit's
+    // chunk holds the query rows of one (head, balanced-permuted tile); the
+    // permutation is undone here by recomputing each chunk's tile.
+    for unit in 0..units {
+        let qh = unit / tiles;
+        let tile = balanced_tile(unit % tiles, tiles);
+        let q0 = tile * PREFILL_Q_TILE;
+        let q1 = (q0 + PREFILL_Q_TILE).min(n);
+        let chunk = &stage[unit * PREFILL_Q_TILE * hd..];
+        for (i, t) in (q0..q1).enumerate() {
+            attn.row_mut(t)[qh * hd..(qh + 1) * hd].copy_from_slice(&chunk[i * hd..(i + 1) * hd]);
         }
     }
 }
@@ -1023,6 +1049,40 @@ mod tests {
 
     fn prompt() -> Vec<u32> {
         vec![5, 17, 42, 3, 99, 7, 64, 21]
+    }
+
+    #[test]
+    fn balanced_tile_is_a_balanced_bijection() {
+        for tiles in 1..=33 {
+            let mut seen = vec![false; tiles];
+            for slot in 0..tiles {
+                let t = balanced_tile(slot, tiles);
+                assert!(t < tiles, "tiles={tiles} slot={slot}");
+                assert!(!seen[t], "tiles={tiles}: tile {t} mapped twice");
+                seen[t] = true;
+            }
+            // Causal cost of tile t is proportional to t + 1 key tiles. Any
+            // contiguous split of the permuted order must be within one
+            // maximal tile cost of the even share — the property the
+            // permutation exists to provide under static partitioning.
+            let total: usize = (0..tiles).map(|t| t + 1).sum();
+            for workers in 1..=8 {
+                let per = tiles.div_ceil(workers);
+                for w in 0..workers {
+                    let lo = w * per;
+                    let hi = ((w + 1) * per).min(tiles);
+                    if lo >= hi {
+                        continue;
+                    }
+                    let cost: usize = (lo..hi).map(|s| balanced_tile(s, tiles) + 1).sum();
+                    let share = total * (hi - lo) / tiles;
+                    assert!(
+                        cost.abs_diff(share) <= tiles + 1,
+                        "tiles={tiles} workers={workers}: worker {w} cost {cost} vs share {share}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

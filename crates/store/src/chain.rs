@@ -88,8 +88,16 @@ impl ChainHandle {
 
     /// Releases every reference and empties the chain (also performed on
     /// drop).
+    ///
+    /// Blocks are released **newest-first**: a budgeted store parks
+    /// zero-ref blocks in a least-recently-released eviction order, and
+    /// `attach_prefix` can only match a chain from its root — releasing
+    /// root-first would make the root the first eviction victim and strand
+    /// its still-cached descendants unreachable. Newest-first makes budget
+    /// pressure trim chains from the tail, keeping the cached remainder a
+    /// usable prefix.
     pub fn release_all(&mut self) {
-        for (id, _) in self.blocks.drain(..) {
+        for (id, _) in self.blocks.drain(..).rev() {
             self.store.release(id);
         }
         self.sealed_tokens = 0;
@@ -141,5 +149,28 @@ mod tests {
         assert_eq!(store.ref_count(id), 1);
         drop(chain_b);
         assert_eq!(store.stats().live_blocks, 0);
+    }
+
+    #[test]
+    fn release_all_keeps_cached_chains_attachable_from_the_root() {
+        let block_bytes = block(&[1, 2]).memory_bytes();
+        // Budget for two of the chain's three blocks.
+        let store = Arc::new(BlockStore::with_byte_budget(2, 2 * block_bytes));
+        let mut chain = ChainHandle::new(store.clone());
+        let tokens: Vec<u32> = (0..6).collect();
+        let mut parent = None;
+        for chunk in tokens.chunks(2) {
+            let (id, arc) = store.insert_child(parent, chunk, block(chunk));
+            parent = Some(id);
+            chain.push(id, arc);
+        }
+        // Newest-first release means budget pressure trims the *leaf*; the
+        // cached remainder stays reachable as a prefix from the root.
+        drop(chain);
+        let stats = store.stats();
+        assert_eq!(stats.cached_blocks, 2);
+        assert_eq!(stats.evicted_blocks, 1);
+        let attached = store.attach_prefix(&tokens);
+        assert_eq!(attached.len(), 2, "root and middle block still attach");
     }
 }

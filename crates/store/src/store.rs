@@ -1,6 +1,6 @@
 //! The ref-counted, content-addressed block store.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
 use crate::block::Block;
@@ -51,6 +51,10 @@ struct Entry {
     /// this block. The store's own `Arc` is not counted.
     refs: usize,
     hash: ChainHash,
+    /// Ticket of this entry's live position in the cached-pool LRU (0 =
+    /// not cached). Reviving a block just zeroes the ticket — O(1) — and
+    /// leaves a stale pair in the deque for budget enforcement to discard.
+    lru_ticket: u64,
 }
 
 #[derive(Debug, Default)]
@@ -58,10 +62,91 @@ struct Inner {
     entries: Vec<Option<Entry>>,
     free: Vec<usize>,
     index: HashMap<ChainHash, usize>,
+    /// `(slot, ticket)` of refcount-zero blocks retained under the byte
+    /// budget, in least-recently-released order (front = next eviction
+    /// victim). Pairs whose ticket no longer matches the entry are stale
+    /// (the block was revived or re-released) and are skipped lazily.
+    lru: VecDeque<(usize, u64)>,
+    /// Monotonic ticket source; never reused, so a recycled slot can never
+    /// be confused with a stale pair for its previous occupant.
+    next_ticket: u64,
+    /// Stale pairs currently in `lru`, triggering amortised compaction.
+    stale: usize,
+    /// Packed code bytes of all resident blocks (referenced and cached),
+    /// maintained incrementally so budget enforcement never walks the slab.
+    resident_bytes: usize,
     attach_hits: usize,
     dedup_hits: usize,
+    cached_hits: usize,
     published: usize,
     evicted: usize,
+    evicted_blocks: usize,
+}
+
+impl Inner {
+    /// Removes a slot from the slab and the prefix index.
+    fn evict_slot(&mut self, slot: usize) {
+        let entry = self.entries[slot].take().expect("evict of dead slot");
+        self.index.remove(&entry.hash);
+        self.free.push(slot);
+        self.resident_bytes -= entry.block.memory_bytes();
+        self.evicted += 1;
+    }
+
+    /// Acquires one reference to a live slot, reviving it from the cached
+    /// pool (in O(1): its LRU pair goes stale in place) if it sat there.
+    fn acquire_slot(&mut self, slot: usize) -> &Entry {
+        let entry = self.entries[slot].as_mut().expect("indexed slot is live");
+        entry.refs += 1;
+        if entry.lru_ticket != 0 {
+            entry.lru_ticket = 0;
+            self.stale += 1;
+            self.cached_hits += 1;
+        }
+        self.entries[slot].as_ref().expect("indexed slot is live")
+    }
+
+    /// Parks a freshly zero-ref'd slot at the back of the cached pool.
+    fn park(&mut self, slot: usize) {
+        self.next_ticket += 1;
+        let ticket = self.next_ticket;
+        self.entries[slot]
+            .as_mut()
+            .expect("park of dead slot")
+            .lru_ticket = ticket;
+        self.lru.push_back((slot, ticket));
+        // Amortised compaction: once stale pairs dominate, rebuild the
+        // deque in one pass (paid for by the revivals that created them).
+        if self.stale > 32 && self.stale * 2 > self.lru.len() {
+            let entries = &self.entries;
+            self.lru.retain(|&(slot, ticket)| {
+                entries[slot]
+                    .as_ref()
+                    .is_some_and(|e| e.lru_ticket == ticket)
+            });
+            self.stale = 0;
+        }
+    }
+
+    /// Evicts least-recently-released zero-ref blocks until resident bytes
+    /// fit the budget. Referenced blocks are never touched: the budget is a
+    /// bound on what the store *caches*, not on what sessions hold.
+    fn enforce_budget(&mut self, budget: usize) {
+        while self.resident_bytes > budget {
+            let Some((slot, ticket)) = self.lru.pop_front() else {
+                return;
+            };
+            let live = self.entries[slot]
+                .as_ref()
+                .is_some_and(|e| e.lru_ticket == ticket);
+            if live {
+                self.evict_slot(slot);
+                self.evicted_blocks += 1;
+            } else {
+                self.stale = self.stale.saturating_sub(1);
+            }
+        }
+    }
 }
 
 /// Aggregate accounting of a [`BlockStore`], for observability and the
@@ -83,14 +168,27 @@ pub struct StoreStats {
     /// copy (`Σ refs × bytes`) — the unshared baseline the store is saving
     /// against.
     pub replicated_bytes: usize,
+    /// Resident blocks currently holding **zero** references — released by
+    /// every session but retained in the LRU pool under the byte budget,
+    /// still discoverable through the prefix index.
+    pub cached_blocks: usize,
+    /// Bytes of those cached blocks.
+    pub cached_bytes: usize,
     /// Blocks attached to sessions at admission via a prefix hit.
     pub attach_hits: usize,
     /// Publish calls that converged on an already-resident identical block.
     pub dedup_hits: usize,
+    /// Reference acquisitions that revived a cached zero-ref block — prefix
+    /// reuse that plain reference counting would have evicted.
+    pub cached_hits: usize,
     /// Blocks physically inserted.
     pub published: usize,
-    /// Blocks evicted after their last reference was released.
+    /// Blocks evicted from the slab for any reason.
     pub evicted: usize,
+    /// Of `evicted`, blocks evicted from the cached pool by byte-budget
+    /// pressure (always zero for an unbudgeted store, where zero-ref blocks
+    /// are evicted immediately and counted only in `evicted`).
+    pub evicted_blocks: usize,
 }
 
 impl StoreStats {
@@ -114,19 +212,41 @@ impl StoreStats {
 #[derive(Debug)]
 pub struct BlockStore {
     block_tokens: usize,
+    /// `Some(bytes)`: zero-ref blocks are retained in an LRU pool until
+    /// resident bytes exceed the budget. `None`: zero-ref blocks are evicted
+    /// immediately (the pre-budget behaviour).
+    byte_budget: Option<usize>,
     inner: Mutex<Inner>,
 }
 
 impl BlockStore {
-    /// Creates an empty store sealing blocks of `block_tokens` tokens.
+    /// Creates an empty store sealing blocks of `block_tokens` tokens, with
+    /// no retention budget: a block is evicted the moment its last reference
+    /// is released.
     ///
     /// # Panics
     ///
     /// Panics if `block_tokens` is zero.
     pub fn new(block_tokens: usize) -> Self {
+        Self::with_byte_budget(block_tokens, 0)
+    }
+
+    /// Creates a store that keeps refcount-zero blocks resident — still
+    /// discoverable through the prefix index, so a later admission of the
+    /// same prompt re-attaches them — as long as total resident bytes stay
+    /// within `byte_budget`. Under pressure the least-recently-released
+    /// zero-ref blocks are evicted first; referenced blocks are never
+    /// evicted, so the budget is a soft bound when live sessions alone
+    /// exceed it. `byte_budget == 0` disables retention entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_tokens` is zero.
+    pub fn with_byte_budget(block_tokens: usize, byte_budget: usize) -> Self {
         assert!(block_tokens > 0, "block_tokens must be > 0");
         Self {
             block_tokens,
+            byte_budget: (byte_budget > 0).then_some(byte_budget),
             inner: Mutex::new(Inner::default()),
         }
     }
@@ -134,6 +254,11 @@ impl BlockStore {
     /// Tokens per sealed block.
     pub fn block_tokens(&self) -> usize {
         self.block_tokens
+    }
+
+    /// The retention byte budget (`None` = evict at refcount zero).
+    pub fn byte_budget(&self) -> Option<usize> {
+        self.byte_budget
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
@@ -155,9 +280,8 @@ impl BlockStore {
             let Some(&slot) = inner.index.get(&hash) else {
                 break;
             };
-            let entry = inner.entries[slot].as_mut().expect("indexed slot is live");
-            entry.refs += 1;
-            out.push((BlockId(slot), entry.block.clone()));
+            let block = inner.acquire_slot(slot).block.clone();
+            out.push((BlockId(slot), block));
             parent = Some(hash);
         }
         inner.attach_hits += out.len();
@@ -196,9 +320,8 @@ impl BlockStore {
         let hash = chain_hash(Self::parent_hash(&inner, parent), tokens);
         let slot = *inner.index.get(&hash)?;
         inner.dedup_hits += 1;
-        let entry = inner.entries[slot].as_mut().expect("indexed slot is live");
-        entry.refs += 1;
-        Some((BlockId(slot), entry.block.clone()))
+        let block = inner.acquire_slot(slot).block.clone();
+        Some((BlockId(slot), block))
     }
 
     /// Inserts a freshly sealed block as the child of `parent`, with one
@@ -229,15 +352,16 @@ impl BlockStore {
         let hash = chain_hash(Self::parent_hash(&inner, parent), tokens);
         if let Some(&slot) = inner.index.get(&hash) {
             inner.dedup_hits += 1;
-            let entry = inner.entries[slot].as_mut().expect("indexed slot is live");
-            entry.refs += 1;
-            return (BlockId(slot), entry.block.clone());
+            let block = inner.acquire_slot(slot).block.clone();
+            return (BlockId(slot), block);
         }
         let arc = Arc::new(block);
+        inner.resident_bytes += arc.memory_bytes();
         let entry = Entry {
             block: arc.clone(),
             refs: 1,
             hash,
+            lru_ticket: 0,
         };
         let slot = match inner.free.pop() {
             Some(slot) => {
@@ -251,6 +375,12 @@ impl BlockStore {
         };
         inner.index.insert(hash, slot);
         inner.published += 1;
+        // A fresh block may push resident bytes over the budget: shed cached
+        // zero-ref blocks to make room (the new block itself is referenced
+        // and therefore never the victim).
+        if let Some(budget) = self.byte_budget {
+            inner.enforce_budget(budget);
+        }
         (BlockId(slot), arc)
     }
 
@@ -262,15 +392,17 @@ impl BlockStore {
     /// Panics if the block is not resident.
     pub fn acquire(&self, id: BlockId) {
         let mut inner = self.lock();
-        inner.entries[id.0]
-            .as_mut()
-            .expect("acquire of evicted block")
-            .refs += 1;
+        assert!(inner.entries[id.0].is_some(), "acquire of evicted block");
+        inner.acquire_slot(id.0);
     }
 
-    /// Releases one reference. The block is evicted — removed from the slab
-    /// and the prefix index — the moment its reference count reaches zero;
-    /// there is no separate garbage-collection pass.
+    /// Releases one reference. What happens at refcount zero depends on the
+    /// retention budget: an unbudgeted store evicts the block immediately —
+    /// removed from the slab and the prefix index, no separate
+    /// garbage-collection pass — while a budgeted store parks it in the LRU
+    /// cached pool (still indexed, so a later admission of the same prefix
+    /// revives it) and evicts least-recently-released blocks only once
+    /// resident bytes exceed the budget.
     ///
     /// # Panics
     ///
@@ -282,16 +414,19 @@ impl BlockStore {
             .expect("release of evicted block");
         entry.refs -= 1;
         if entry.refs == 0 {
-            let hash = entry.hash;
-            inner.entries[id.0] = None;
-            inner.index.remove(&hash);
-            inner.free.push(id.0);
-            inner.evicted += 1;
+            match self.byte_budget {
+                None => inner.evict_slot(id.0),
+                Some(budget) => {
+                    inner.park(id.0);
+                    inner.enforce_budget(budget);
+                }
+            }
         }
     }
 
-    /// External reference count of a resident block (0 if evicted — only
-    /// observable through a stale id, which live chains never hold).
+    /// External reference count of a resident block (0 for a block parked in
+    /// the budgeted cached pool, or if evicted — the latter only observable
+    /// through a stale id, which live chains never hold).
     pub fn ref_count(&self, id: BlockId) -> usize {
         let inner = self.lock();
         inner.entries[id.0].as_ref().map_or(0, |e| e.refs)
@@ -303,8 +438,10 @@ impl BlockStore {
         let mut stats = StoreStats {
             attach_hits: inner.attach_hits,
             dedup_hits: inner.dedup_hits,
+            cached_hits: inner.cached_hits,
             published: inner.published,
             evicted: inner.evicted,
+            evicted_blocks: inner.evicted_blocks,
             ..StoreStats::default()
         };
         for entry in inner.entries.iter().flatten() {
@@ -316,8 +453,12 @@ impl BlockStore {
             if entry.refs > 1 {
                 stats.shared_blocks += 1;
                 stats.shared_bytes += bytes;
+            } else if entry.refs == 0 {
+                stats.cached_blocks += 1;
+                stats.cached_bytes += bytes;
             }
         }
+        debug_assert_eq!(stats.resident_bytes, inner.resident_bytes);
         stats
     }
 }
@@ -425,6 +566,123 @@ mod tests {
         assert_eq!(hit.0, id1);
         assert_eq!(store.ref_count(id1), 2);
         assert!(store.lookup_child(None, &t1).is_none());
+    }
+
+    #[test]
+    fn budgeted_store_caches_zero_ref_blocks_and_revives_them() {
+        let block_bytes = test_block(&toks(1)).memory_bytes();
+        let store = BlockStore::with_byte_budget(4, 8 * block_bytes);
+        let t0 = toks(1);
+        let t1 = toks(2);
+        let (id0, _) = store.insert_child(None, &t0, test_block(&t0));
+        let (id1, _) = store.insert_child(Some(id0), &t1, test_block(&t1));
+
+        // Releasing every reference parks the blocks instead of evicting.
+        store.release(id1);
+        store.release(id0);
+        let stats = store.stats();
+        assert_eq!(stats.live_blocks, 2);
+        assert_eq!(stats.cached_blocks, 2);
+        assert_eq!(stats.cached_bytes, 2 * block_bytes);
+        assert_eq!(stats.evicted, 0);
+
+        // A later admission of the same prefix revives the whole chain.
+        let stream: Vec<u32> = t0.iter().chain(t1.iter()).copied().collect();
+        let attached = store.attach_prefix(&stream);
+        assert_eq!(attached.len(), 2);
+        assert_eq!(attached[0].0, id0);
+        assert_eq!(store.ref_count(id0), 1);
+        let stats = store.stats();
+        assert_eq!(stats.cached_blocks, 0);
+        assert_eq!(stats.cached_hits, 2);
+    }
+
+    #[test]
+    fn budget_pressure_evicts_least_recently_released_first() {
+        let block_bytes = test_block(&toks(1)).memory_bytes();
+        // Room for exactly two blocks.
+        let store = BlockStore::with_byte_budget(4, 2 * block_bytes);
+        let chains: Vec<Vec<u32>> = (1..=3).map(toks).collect();
+        let ids: Vec<BlockId> = chains
+            .iter()
+            .map(|t| store.insert_child(None, t, test_block(t)).0)
+            .collect();
+        // Three blocks are resident against a two-block budget (soft while
+        // referenced). Releasing 0 makes it the only eviction candidate and
+        // the budget is already exceeded, so it goes immediately; releasing
+        // 1 and 2 then fits the cache exactly.
+        store.release(ids[0]);
+        let stats = store.stats();
+        assert_eq!(stats.evicted_blocks, 1, "release under pressure evicts");
+        assert!(store.attach_prefix(&chains[0]).is_empty(), "0 was evicted");
+        store.release(ids[1]);
+        store.release(ids[2]);
+        let stats = store.stats();
+        assert_eq!(stats.cached_blocks, 2);
+        assert_eq!(stats.evicted_blocks, 1);
+        // A fresh insert overflows the budget again and displaces the least
+        // recently released cached block (1), keeping 2 revivable.
+        let t4 = toks(4);
+        let (_id4, _) = store.insert_child(None, &t4, test_block(&t4));
+        let stats = store.stats();
+        assert_eq!(stats.evicted_blocks, 2);
+        assert!(store.attach_prefix(&chains[1]).is_empty(), "1 was evicted");
+        assert_eq!(store.attach_prefix(&chains[2]).len(), 1);
+    }
+
+    #[test]
+    fn revived_then_rereleased_blocks_keep_their_lru_recency() {
+        let block_bytes = test_block(&toks(1)).memory_bytes();
+        let store = BlockStore::with_byte_budget(4, 2 * block_bytes);
+        let ta = toks(1);
+        let tb = toks(2);
+        let (ida, _) = store.insert_child(None, &ta, test_block(&ta));
+        let (idb, _) = store.insert_child(None, &tb, test_block(&tb));
+        store.release(ida); // LRU: [a]
+        store.release(idb); // LRU: [a, b]
+                            // Reviving `a` leaves its old pair stale; re-releasing it moves it
+                            // behind `b` in recency.
+        let revived = store.attach_prefix(&ta);
+        assert_eq!(revived.len(), 1);
+        assert_eq!(store.stats().cached_hits, 1);
+        store.release(ida); // LRU: [stale-a, b, a]
+                            // A third referenced block overflows the budget: the stale pair is
+                            // skipped and `b` — genuinely least recently released — is evicted,
+                            // not the revived-and-re-released `a`.
+        let tc = toks(3);
+        let (_idc, _) = store.insert_child(None, &tc, test_block(&tc));
+        let stats = store.stats();
+        assert_eq!(stats.evicted_blocks, 1);
+        assert!(store.attach_prefix(&tb).is_empty(), "b was the victim");
+        assert_eq!(store.attach_prefix(&ta).len(), 1, "a survived");
+    }
+
+    #[test]
+    fn zero_budget_store_keeps_immediate_eviction_semantics() {
+        let store = BlockStore::with_byte_budget(4, 0);
+        assert_eq!(store.byte_budget(), None);
+        let t0 = toks(9);
+        let (id0, _) = store.insert_child(None, &t0, test_block(&t0));
+        store.release(id0);
+        let stats = store.stats();
+        assert_eq!(stats.live_blocks, 0);
+        assert_eq!(stats.evicted, 1);
+        assert_eq!(stats.evicted_blocks, 0, "no budget pressure involved");
+        assert!(store.attach_prefix(&t0).is_empty());
+    }
+
+    #[test]
+    fn oversized_release_is_evicted_immediately_under_a_tiny_budget() {
+        let block_bytes = test_block(&toks(1)).memory_bytes();
+        let store = BlockStore::with_byte_budget(4, block_bytes / 2);
+        let t0 = toks(5);
+        let (id0, _) = store.insert_child(None, &t0, test_block(&t0));
+        // While referenced, the block may exceed the budget (soft bound).
+        assert_eq!(store.stats().live_blocks, 1);
+        store.release(id0);
+        let stats = store.stats();
+        assert_eq!(stats.live_blocks, 0);
+        assert_eq!(stats.evicted_blocks, 1);
     }
 
     #[test]

@@ -72,5 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .filter(|(a, b)| a == b)
         .count();
     println!("greedy agreement with fp16 reference: {agreement}/64 tokens");
+    println!(
+        "\nnext: serve many users through the continuous-batching front-end —\n  \
+         cargo run --release -p million --example continuous_serving\n\
+         (request queue, QoS priorities, mid-flight admission; docs/SERVING.md)"
+    );
     Ok(())
 }

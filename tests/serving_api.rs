@@ -1,0 +1,288 @@
+//! Acceptance tests for the continuous-batching serving API.
+//!
+//! The load-bearing property, inherited from the session design: every
+//! request owns independent KV caches, so *when* the scheduler runs a
+//! request's steps — interleaved with any fleet, admitted into any freed
+//! slot — never changes *what* its attention sees. A served request's
+//! tokens are therefore bit-identical to running the same prompt alone on a
+//! fresh session, which is what lets iteration-level scheduling, QoS
+//! weighting, and mid-flight admission be pure policy.
+
+use million::{
+    BatchScheduler, GenerationOptions, MillionConfig, MillionEngine, QosClass, Request,
+    ServingConfig, ServingEngine,
+};
+use million_eval::corpus::{CorpusConfig, SyntheticCorpus};
+use million_model::{ModelConfig, Sampler, Transformer};
+
+fn build_engine(config: &ModelConfig, engine_cfg: MillionConfig, seed: u64) -> MillionEngine {
+    let model = Transformer::new(config.clone(), seed);
+    let corpus = SyntheticCorpus::new(CorpusConfig::wikitext2_like(config.vocab_size));
+    MillionEngine::new(model, engine_cfg, &corpus.generate(256)).expect("engine builds")
+}
+
+fn prompt(config: &ModelConfig, len: usize) -> Vec<u32> {
+    SyntheticCorpus::new(CorpusConfig::ptb_like(config.vocab_size)).generate(len)
+}
+
+fn sync_config(head_dim: usize) -> MillionConfig {
+    MillionConfig::four_bit(head_dim).with_sync_quant()
+}
+
+/// The issue's acceptance scenario: a long-running batch holds every slot;
+/// a short high-priority request submitted mid-flight is admitted into the
+/// first freed slot and completes while the rest of the cohort is still
+/// decoding — with tokens bit-identical to a serial run. A static-cohort
+/// scheduler cannot do this: it would hold the short request until the whole
+/// batch drained.
+#[test]
+fn short_high_priority_request_overtakes_a_long_running_batch() {
+    let config = ModelConfig::tiny_for_tests();
+    let engine = build_engine(&config, sync_config(config.head_dim()), 11);
+    let mut serving = ServingEngine::new(
+        &engine,
+        ServingConfig {
+            max_resident: 2,
+            ..ServingConfig::default()
+        },
+    );
+
+    // Two requests fill the machine: one short-ish, one long. A third long
+    // request is queued *before* the interactive one, so FIFO alone would
+    // starve the latter behind it.
+    let prompts: Vec<Vec<u32>> = (0..3).map(|i| prompt(&config, 24 + 8 * i)).collect();
+    let first = serving
+        .submit(
+            Request::new(prompts[0].clone(), GenerationOptions::max_tokens(10))
+                .with_class(QosClass::Background),
+        )
+        .expect("queued");
+    let long = serving
+        .submit(
+            Request::new(prompts[1].clone(), GenerationOptions::max_tokens(48))
+                .with_class(QosClass::Background),
+        )
+        .expect("queued");
+    let queued_long = serving
+        .submit(
+            Request::new(prompts[2].clone(), GenerationOptions::max_tokens(48))
+                .with_class(QosClass::Background),
+        )
+        .expect("queued");
+
+    // Let the batch get well into flight before the urgent request arrives.
+    for _ in 0..4 {
+        serving.serve_round();
+    }
+    let short_prompt = prompt(&config, 18);
+    let urgent = serving
+        .submit(
+            Request::new(short_prompt.clone(), GenerationOptions::max_tokens(6))
+                .with_class(QosClass::Interactive),
+        )
+        .expect("queued");
+    assert!(!urgent.is_finished());
+
+    // Drive until the urgent request completes; the long-running cohort must
+    // still be decoding at that moment.
+    while !urgent.is_finished() {
+        assert!(
+            !serving.is_idle(),
+            "urgent request must complete before the batch drains"
+        );
+        serving.serve_round();
+    }
+    assert!(first.is_finished(), "its slot is what freed up");
+    assert!(!long.is_finished(), "long batch-mate still in flight");
+    assert!(
+        !queued_long.is_finished(),
+        "urgent overtook the queued long"
+    );
+
+    let report = urgent.report().expect("finished");
+    assert!(report.queue_wait_rounds > 0, "was admitted mid-flight");
+    assert!(!report.cancelled);
+
+    // Bit-identical to a serial run of the same prompt on a fresh session.
+    let mut serial = engine.session();
+    serial.prefill(&short_prompt);
+    let expected = serial.generate(&GenerationOptions::max_tokens(6));
+    assert_eq!(report.tokens, expected.tokens);
+
+    // The rest of the fleet drains and every request is bit-identical to its
+    // serial twin too.
+    serving.run_until_idle();
+    for (p, handle, budget) in [
+        (&prompts[0], &first, 10),
+        (&prompts[1], &long, 48),
+        (&prompts[2], &queued_long, 48),
+    ] {
+        let mut serial = engine.session();
+        serial.prefill(p);
+        let expected = serial.generate(&GenerationOptions::max_tokens(budget));
+        assert_eq!(handle.report().expect("finished").tokens, expected.tokens);
+    }
+}
+
+/// The `BatchScheduler` wrapper over the serving loop stays pinned to
+/// serial execution (the bit-identity contract of PR 1, re-asserted here
+/// against the wrapper's new internals).
+#[test]
+fn batch_scheduler_wrapper_is_still_bit_identical_to_serial() {
+    let config = ModelConfig::tiny_for_tests();
+    let engine = build_engine(&config, sync_config(config.head_dim()), 13);
+    let prompts: Vec<Vec<u32>> = (0..3).map(|i| prompt(&config, 20 + 6 * i)).collect();
+    let mut scheduler = BatchScheduler::new(&engine);
+    for p in &prompts {
+        scheduler.add_session(p, GenerationOptions::max_tokens(9), Sampler::greedy());
+    }
+    let reports = scheduler.run_to_completion();
+    for (p, report) in prompts.iter().zip(&reports) {
+        let mut session = engine.session();
+        session.prefill(p);
+        let serial = session.generate(&GenerationOptions::max_tokens(9));
+        assert_eq!(report.tokens, serial.tokens);
+        assert_eq!(report.kv_bytes, session.kv_bytes());
+    }
+}
+
+/// Satellite: persistence from inside the serving loop. A session persisted
+/// mid-decode *from a serving round* restores into a standalone session that
+/// continues token-identically with the remainder the serving run produced.
+#[test]
+fn request_persisted_mid_serving_round_restores_and_continues_identically() {
+    let config = ModelConfig::tiny_for_tests();
+    let engine = build_engine(&config, sync_config(config.head_dim()), 17);
+    let mut serving = ServingEngine::new(
+        &engine,
+        ServingConfig {
+            max_resident: 2,
+            ..ServingConfig::default()
+        },
+    );
+    let p0 = prompt(&config, 30);
+    let p1 = prompt(&config, 44);
+    let _other = serving
+        .submit(Request::new(p0, GenerationOptions::max_tokens(20)))
+        .expect("queued");
+    let target = serving
+        .submit(Request::new(p1, GenerationOptions::max_tokens(20)))
+        .expect("queued");
+
+    for _ in 0..7 {
+        serving.serve_round();
+    }
+    let path = std::env::temp_dir().join(format!(
+        "million_serving_persist_{}.bin",
+        std::process::id()
+    ));
+    assert!(
+        serving
+            .persist_request(target.id(), &path)
+            .expect("snapshot written"),
+        "request is resident"
+    );
+
+    // The serving run continues to completion, unperturbed by the snapshot.
+    serving.run_until_idle();
+    let report = target.report().expect("finished");
+    assert_eq!(report.tokens.len(), 20);
+
+    // The restored session picks up exactly where the snapshot was taken:
+    // 7 tokens in, 13 to go.
+    let mut restored = engine.restore_session(&path).expect("snapshot restores");
+    assert_eq!(restored.generated_tokens(), &report.tokens[..7]);
+    let continued: Vec<u32> = (0..13).map(|_| restored.step().token).collect();
+    assert_eq!(continued, &report.tokens[7..]);
+    std::fs::remove_file(&path).ok();
+}
+
+/// Satellite: the budgeted store keeps a departed session's blocks resident,
+/// so prefix sharing now works across sessions whose lifetimes never
+/// overlap — the block outlives its last reference until budget pressure
+/// evicts it.
+#[test]
+fn budgeted_store_shares_prefixes_across_non_overlapping_sessions() {
+    let config = ModelConfig::tiny_for_tests();
+    let shared_cfg = sync_config(config.head_dim())
+        .with_block_tokens(16)
+        .with_store_byte_budget(8 << 20)
+        .with_prefix_sharing();
+    let engine = build_engine(&config, shared_cfg, 19);
+    let p = prompt(&config, 49); // 3 whole blocks of 16 + 1
+
+    // The seeder session seals the prefix and *dies*.
+    let mut seeder = engine.session();
+    seeder.prefill(&p);
+    assert_eq!(seeder.sealed_tokens(), 48);
+    drop(seeder);
+    let stats = engine.store_stats().expect("store enabled");
+    assert_eq!(stats.live_blocks, 3, "blocks survive their last reference");
+    assert_eq!(stats.cached_blocks, 3);
+
+    // A later admission of the same prompt revives the cached chain instead
+    // of prefilling it.
+    let mut warm = engine.session();
+    warm.prefill(&p);
+    assert_eq!(warm.prefix_tokens_reused(), 48);
+    let stats = engine.store_stats().expect("store enabled");
+    assert!(stats.cached_hits >= 3, "admission revived cached blocks");
+    assert_eq!(stats.cached_blocks, 0);
+
+    // Bit-identity of the revived admission: same tokens as the equivalent
+    // unshared warm admission on a budget-less engine.
+    let baseline_engine = build_engine(
+        &config,
+        sync_config(config.head_dim()).with_block_tokens(16),
+        19,
+    );
+    let mut baseline = baseline_engine.session();
+    baseline.prefill(&p[..48]);
+    baseline.append_prompt(&p[48..]);
+    let expected = baseline.generate(&GenerationOptions::max_tokens(8));
+    let got = warm.generate(&GenerationOptions::max_tokens(8));
+    assert_eq!(got.tokens, expected.tokens);
+}
+
+/// Continuous serving composes with prefix sharing: staggered arrivals with
+/// a common system prompt attach the resident prefix at admission inside the
+/// serving loop.
+#[test]
+fn staggered_arrivals_reuse_the_resident_prefix_inside_the_loop() {
+    let config = ModelConfig::tiny_for_tests();
+    let shared_cfg = sync_config(config.head_dim())
+        .with_block_tokens(16)
+        .with_prefix_sharing();
+    let engine = build_engine(&config, shared_cfg, 23);
+    let system = prompt(&config, 38); // 2 whole blocks of 16 + 6
+    let mut serving = ServingEngine::new(
+        &engine,
+        ServingConfig {
+            max_resident: 3,
+            ..ServingConfig::default()
+        },
+    );
+
+    let mut handles = Vec::new();
+    for user in 0..3u32 {
+        let mut p = system.clone();
+        p.extend((0..4).map(|i| (user * 17 + i * 3 + 1) % config.vocab_size as u32));
+        handles.push(
+            serving
+                .submit(Request::new(p, GenerationOptions::max_tokens(6)))
+                .expect("queued"),
+        );
+        // Staggered: two rounds of decode between arrivals.
+        serving.serve_round();
+        serving.serve_round();
+    }
+    serving.run_until_idle();
+    let reports: Vec<_> = handles.iter().map(|h| h.report().expect("done")).collect();
+    assert_eq!(reports[0].prefix_tokens_reused, 0, "first arrival is cold");
+    for report in &reports[1..] {
+        assert_eq!(report.prefix_tokens_reused, 32, "warm arrivals attach");
+    }
+    for report in &reports {
+        assert_eq!(report.tokens.len(), 6);
+    }
+}
