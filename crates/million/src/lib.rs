@@ -80,8 +80,8 @@ pub use engine::{GenerationResult, MillionEngine};
 pub use million_store::{Block, BlockStore, StoreStats};
 pub use scheduler::{BatchScheduler, SessionReport};
 pub use serving::{
-    QosClass, Request, RequestHandle, RequestId, ServingConfig, ServingEngine, ServingStats,
-    SubmitError,
+    DrainReport, QosClass, Request, RequestHandle, RequestId, ServingConfig, ServingEngine,
+    ServingStats, SubmitError, TokenWait,
 };
 pub use session::{GenerationOptions, InferenceSession, SessionStream, StepResult, StopCriteria};
 pub use trainer::{train_codebooks, TrainedCodebooks};

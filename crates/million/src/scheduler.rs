@@ -26,8 +26,9 @@ use crate::engine::MillionEngine;
 use crate::serving::{QosClass, Request, RequestHandle, ServingConfig, ServingEngine};
 use crate::session::{GenerationOptions, StepResult};
 
-/// Final state of one served request.
-#[derive(Debug, Clone, PartialEq)]
+/// Final state of one served request. Serializable so metrics endpoints and
+/// dashboards can export it without hand-formatting JSON.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct SessionReport {
     /// Request id ([`BatchScheduler`]: index of the `add_session` call;
     /// [`crate::ServingEngine`]: the [`crate::RequestId`] in submission
@@ -72,6 +73,10 @@ pub struct SessionReport {
     /// Whether the request was cancelled (before or after admission); the
     /// report then carries whatever was produced up to that point.
     pub cancelled: bool,
+    /// Whether the request missed its [`crate::Request::deadline_ms`] and
+    /// was retired at a round boundary — distinct from `cancelled`, which is
+    /// client-initiated; at most one of the two is set.
+    pub timed_out: bool,
 }
 
 /// Round-robin scheduler interleaving decode steps of N concurrent sessions

@@ -50,12 +50,14 @@
 //! until the end.
 
 use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use million_model::Sampler;
+use serde::Serialize;
 
 use crate::async_quant::QuantWorker;
 use crate::engine::MillionEngine;
@@ -65,7 +67,7 @@ use crate::session::{GenerationOptions, InferenceSession, StepResult};
 /// Quality-of-service class of a request, ordered from most to least
 /// urgent. The class weight sets the request's share of decode throughput
 /// (deficit-weighted round-robin) and its admission priority.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
 pub enum QosClass {
     /// Latency-sensitive traffic: weight 4.
     Interactive,
@@ -122,6 +124,12 @@ pub struct Request {
     pub sampler: Sampler,
     /// Scheduling class (admission priority and throughput share).
     pub class: QosClass,
+    /// Optional wall-clock deadline, measured from submission: once
+    /// exceeded, the request is cancelled at the next round boundary —
+    /// dropped from the queue if still pending, retired with whatever it
+    /// produced if resident — and its [`SessionReport::timed_out`] flag is
+    /// set (distinct from client cancellation). `None` = no deadline.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Request {
@@ -132,6 +140,7 @@ impl Request {
             options,
             sampler: Sampler::greedy(),
             class: QosClass::Standard,
+            deadline_ms: None,
         }
     }
 
@@ -146,6 +155,14 @@ impl Request {
     #[must_use]
     pub fn with_class(mut self, class: QosClass) -> Self {
         self.class = class;
+        self
+    }
+
+    /// Sets a wall-clock deadline in milliseconds from submission (see
+    /// [`Request::deadline_ms`]).
+    #[must_use]
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
         self
     }
 }
@@ -170,6 +187,9 @@ pub enum SubmitError {
         /// The model's context window.
         max_seq_len: usize,
     },
+    /// The engine is draining ([`ServingEngine::drain`]): admission is
+    /// permanently closed on this instance.
+    Draining,
 }
 
 impl std::fmt::Display for SubmitError {
@@ -183,6 +203,7 @@ impl std::fmt::Display for SubmitError {
                 f,
                 "prompt of {len} tokens cannot fit the {max_seq_len}-token context window"
             ),
+            SubmitError::Draining => write!(f, "engine is draining; admission is closed"),
         }
     }
 }
@@ -247,6 +268,20 @@ impl RequestHandle {
         self.rx.try_recv().ok()
     }
 
+    /// Blocks up to `timeout` for the next streamed token — the primitive a
+    /// network front-end's per-connection thread pumps instead of spinning
+    /// on [`RequestHandle::try_token`]. [`TokenWait::Closed`] means the
+    /// engine has retired the request and dropped its sender: every token is
+    /// already delivered (or drained) and [`RequestHandle::report`] is about
+    /// to be — or already is — available.
+    pub fn recv_token(&self, timeout: Duration) -> TokenWait {
+        match self.rx.recv_timeout(timeout) {
+            Ok(step) => TokenWait::Token(step),
+            Err(RecvTimeoutError::Timeout) => TokenWait::Idle,
+            Err(RecvTimeoutError::Disconnected) => TokenWait::Closed,
+        }
+    }
+
     /// Drains every token streamed since the last call.
     pub fn drain_tokens(&self) -> Vec<StepResult> {
         let mut out = Vec::new();
@@ -273,6 +308,18 @@ impl RequestHandle {
             .expect("request handle poisoned")
             .clone()
     }
+}
+
+/// Outcome of one blocking [`RequestHandle::recv_token`] wait.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenWait {
+    /// A token arrived.
+    Token(StepResult),
+    /// The timeout elapsed with the request still live (queued or decoding).
+    Idle,
+    /// The request is retired and its stream is closed; no token will ever
+    /// arrive again.
+    Closed,
 }
 
 /// Admission and queueing policy of a [`ServingEngine`].
@@ -317,8 +364,9 @@ impl Default for ServingConfig {
 }
 
 /// Aggregate serving counters (monotonic; gauges are methods on
-/// [`ServingEngine`]).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// [`ServingEngine`]). Serializable so metrics endpoints can export it
+/// without hand-formatting JSON.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct ServingStats {
     /// Requests accepted by [`ServingEngine::submit`].
     pub submitted: u64,
@@ -330,6 +378,9 @@ pub struct ServingStats {
     pub completed: u64,
     /// Requests retired by cancellation (queued or resident).
     pub cancelled: u64,
+    /// Requests retired by a missed [`Request::deadline_ms`] (queued or
+    /// resident) — counted here, never in `cancelled`.
+    pub timed_out: u64,
     /// Scheduling rounds served.
     pub rounds: u64,
     /// High-water pending-queue depth.
@@ -339,6 +390,22 @@ pub struct ServingStats {
     /// Decode tokens produced per class, indexed by [`QosClass::index`] —
     /// the fairness ledger the DWRR weights are checked against.
     pub tokens_by_class: [u64; 3],
+}
+
+/// What [`ServingEngine::drain`] did with the work it found in flight.
+#[derive(Debug, Clone, Default)]
+pub struct DrainReport {
+    /// Queued (never admitted) requests shed with a cancelled report.
+    pub shed_queued: usize,
+    /// Resident requests decoded to completion during the drain (the
+    /// finish-mode path).
+    pub finished: usize,
+    /// Resident requests snapshotted mid-flight and their snapshot paths
+    /// (the persist-mode path); each can be revived later via
+    /// [`crate::MillionEngine::restore_session`].
+    pub persisted: Vec<(RequestId, PathBuf)>,
+    /// Scheduling rounds driven while finishing residents.
+    pub rounds: u64,
 }
 
 /// A submitted request waiting for a slot.
@@ -362,6 +429,13 @@ impl Pending {
             self.request.class.weight()
         }
     }
+
+    /// The absolute deadline, if the request carries one.
+    fn deadline(&self) -> Option<Instant> {
+        self.request
+            .deadline_ms
+            .map(|ms| self.submitted_at + Duration::from_millis(ms))
+    }
 }
 
 /// A request resident in a decode slot.
@@ -380,6 +454,9 @@ struct Resident<'e> {
     queue_wait_ns: u64,
     queue_wait_rounds: u64,
     stopped_early: bool,
+    /// Absolute wall-clock deadline carried over from the request, honoured
+    /// at round boundaries.
+    deadline: Option<Instant>,
     /// Finished decoding (stop token, token budget, or cancellation);
     /// retired at the next round boundary (or at shutdown when retained).
     done: bool,
@@ -387,6 +464,9 @@ struct Resident<'e> {
     /// a retained-cohort slot still reports `cancelled` correctly at
     /// shutdown, long after the flag was first honoured.
     cancelled: bool,
+    /// Whether `done` was reached by missing the deadline (reported as
+    /// `timed_out`, never as `cancelled`).
+    timed_out: bool,
 }
 
 /// Iteration-level serving engine over one [`MillionEngine`].
@@ -407,6 +487,9 @@ pub struct ServingEngine<'e> {
     next_id: u64,
     round: u64,
     stats: ServingStats,
+    /// Once set ([`ServingEngine::drain`]), admission is closed for good:
+    /// `submit` rejects and freed slots are never refilled.
+    draining: bool,
 }
 
 impl<'e> ServingEngine<'e> {
@@ -422,6 +505,7 @@ impl<'e> ServingEngine<'e> {
             next_id: 0,
             round: 0,
             stats: ServingStats::default(),
+            draining: false,
         }
     }
 
@@ -518,6 +602,9 @@ impl<'e> ServingEngine<'e> {
     /// unservable prompts, [`SubmitError::QueueFull`] when the pending queue
     /// is at capacity — the backpressure signal.
     pub fn submit(&mut self, request: Request) -> Result<RequestHandle, SubmitError> {
+        if self.draining {
+            return Err(SubmitError::Draining);
+        }
         if request.prompt.is_empty() {
             return Err(SubmitError::EmptyPrompt);
         }
@@ -629,9 +716,12 @@ impl<'e> ServingEngine<'e> {
             // the shutdown itself only if its handle asked for it.
             let cancelled =
                 slot.cancelled || (slot.shared.cancel.load(Ordering::Relaxed) && !slot.done);
-            let report = Self::build_report(slot, cancelled);
+            let timed_out = slot.timed_out;
+            let report = Self::build_report(slot, cancelled, timed_out);
             *slot.shared.report.lock().expect("request handle poisoned") = Some(report.clone());
-            if cancelled {
+            if timed_out {
+                self.stats.timed_out += 1;
+            } else if cancelled {
                 self.stats.cancelled += 1;
             } else {
                 self.stats.completed += 1;
@@ -641,7 +731,7 @@ impl<'e> ServingEngine<'e> {
         self.resident.clear();
         self.reports.append(&mut retiring);
         while let Some(pending) = self.pending.pop_front() {
-            let report = Self::cancelled_report(&pending, self.round);
+            let report = Self::unadmitted_report(&pending, self.round, false);
             *pending
                 .shared
                 .report
@@ -654,19 +744,97 @@ impl<'e> ServingEngine<'e> {
         std::mem::take(&mut self.reports)
     }
 
-    /// Drops queued requests whose handle was cancelled before admission.
+    /// Whether [`ServingEngine::drain`] has closed admission for good.
+    pub fn is_draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Gracefully winds the engine down: admission closes permanently
+    /// ([`ServingEngine::submit`] returns [`SubmitError::Draining`] from
+    /// this call on), queued requests are shed with cancelled reports, and
+    /// residents are dealt with in one of two modes:
+    ///
+    /// * `persist_dir: None` — **finish**: keep serving rounds until every
+    ///   resident has decoded to completion (clients get their full
+    ///   streams);
+    /// * `persist_dir: Some(dir)` — **persist**: snapshot each resident
+    ///   mid-flight to `dir/request-<id>.kv` (see
+    ///   [`crate::InferenceSession::persist`]) and retire it immediately;
+    ///   its handle resolves to a cancelled report carrying the tokens
+    ///   produced so far, and the snapshot restores bit-identically via
+    ///   [`crate::MillionEngine::restore_session`].
+    ///
+    /// Either way the engine ends idle; the caller still owns it (and its
+    /// lifetime reports) and typically calls [`ServingEngine::shutdown`]
+    /// next. Idempotent: a second drain finds nothing in flight.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from snapshot writes in persist mode; residents
+    /// not yet persisted keep decoding (the drain can be retried).
+    pub fn drain(&mut self, persist_dir: Option<&Path>) -> std::io::Result<DrainReport> {
+        self.draining = true;
+        let mut report = DrainReport::default();
+        while let Some(pending) = self.pending.pop_front() {
+            let shed = Self::unadmitted_report(&pending, self.round, false);
+            *pending
+                .shared
+                .report
+                .lock()
+                .expect("request handle poisoned") = Some(shed.clone());
+            self.stats.cancelled += 1;
+            self.reports.push(shed);
+            report.shed_queued += 1;
+        }
+        if let Some(dir) = persist_dir {
+            std::fs::create_dir_all(dir)?;
+            // Everything in flight on the shared stream must land before
+            // any snapshot (same contract as `persist_request`).
+            Self::sync_worker(&mut self.worker, &mut self.resident);
+            for slot in self.resident.iter_mut().filter(|s| !s.done) {
+                let path = dir.join(format!("request-{}.kv", slot.id.as_u64()));
+                slot.session.persist(&path)?;
+                report.persisted.push((slot.id, path));
+                slot.done = true;
+                slot.cancelled = true;
+            }
+            // Persisted slots must actually leave, even under a
+            // retained-cohort config: drain means the fleet goes away now.
+            let retain = std::mem::replace(&mut self.config.retain_finished, false);
+            self.retire_done();
+            self.config.retain_finished = retain;
+        } else {
+            let completed_before = self.stats.completed;
+            while self.active_sessions() > 0 {
+                self.serve_round();
+                report.rounds += 1;
+            }
+            report.finished = (self.stats.completed - completed_before) as usize;
+        }
+        Ok(report)
+    }
+
+    /// Drops queued requests whose handle was cancelled — or whose deadline
+    /// expired — before admission.
     fn reap_cancelled_pending(&mut self) {
         let round = self.round;
+        let now = Instant::now();
         let mut kept = VecDeque::with_capacity(self.pending.len());
         while let Some(pending) = self.pending.pop_front() {
-            if pending.shared.cancel.load(Ordering::Relaxed) {
-                let report = Self::cancelled_report(&pending, round);
+            let cancelled = pending.shared.cancel.load(Ordering::Relaxed);
+            let timed_out = !cancelled && pending.deadline().is_some_and(|d| now >= d);
+            if cancelled || timed_out {
+                let report = Self::unadmitted_report(&pending, round, timed_out);
                 *pending
                     .shared
                     .report
                     .lock()
                     .expect("request handle poisoned") = Some(report.clone());
-                self.stats.cancelled += 1;
+                if timed_out {
+                    self.stats.timed_out += 1;
+                } else {
+                    self.stats.cancelled += 1;
+                }
                 self.reports.push(report);
             } else {
                 kept.push_back(pending);
@@ -678,24 +846,33 @@ impl<'e> ServingEngine<'e> {
     /// Retires finished and cancelled resident requests, freeing their
     /// slots (no-op for finished requests in retained-cohort mode).
     fn retire_done(&mut self) {
+        let now = Instant::now();
         let mut idx = 0;
         while idx < self.resident.len() {
-            let cancelled = !self.resident[idx].done
-                && self.resident[idx].shared.cancel.load(Ordering::Relaxed);
-            if cancelled {
-                self.resident[idx].done = true;
-                self.resident[idx].cancelled = true;
+            if !self.resident[idx].done {
+                if self.resident[idx].shared.cancel.load(Ordering::Relaxed) {
+                    self.resident[idx].done = true;
+                    self.resident[idx].cancelled = true;
+                } else if self.resident[idx].deadline.is_some_and(|d| now >= d) {
+                    // The deadline is honoured at the round boundary, like
+                    // cancellation — mid-round steps are never torn.
+                    self.resident[idx].done = true;
+                    self.resident[idx].timed_out = true;
+                }
             }
             let cancelled = self.resident[idx].cancelled;
+            let timed_out = self.resident[idx].timed_out;
             if self.resident[idx].done && !self.config.retain_finished {
                 // One sync point per retirement: encode traffic still in
                 // flight lands in its owning session (this one included)
                 // before the departing session is flushed and dropped.
                 Self::sync_worker(&mut self.worker, &mut self.resident);
                 let mut slot = self.resident.remove(idx);
-                let report = Self::build_report(&mut slot, cancelled);
+                let report = Self::build_report(&mut slot, cancelled, timed_out);
                 *slot.shared.report.lock().expect("request handle poisoned") = Some(report.clone());
-                if cancelled {
+                if timed_out {
+                    self.stats.timed_out += 1;
+                } else if cancelled {
                     self.stats.cancelled += 1;
                 } else {
                     self.stats.completed += 1;
@@ -713,7 +890,7 @@ impl<'e> ServingEngine<'e> {
     /// [`crate::BatchScheduler`] can admit eagerly at `add_session`.
     pub(crate) fn admit_ready(&mut self) {
         loop {
-            if self.pending.is_empty() {
+            if self.draining || self.pending.is_empty() {
                 return;
             }
             let active = self.resident.iter().filter(|s| !s.done).count();
@@ -775,6 +952,9 @@ impl<'e> ServingEngine<'e> {
             submitted_at,
             submit_round,
         } = pending;
+        let deadline = request
+            .deadline_ms
+            .map(|ms| submitted_at + Duration::from_millis(ms));
         let mut session = InferenceSession::new(self.engine, id.0 as usize, true);
         session.prefill(&request.prompt);
         // A warm admission's unmatched suffix rides the decode path and may
@@ -798,8 +978,10 @@ impl<'e> ServingEngine<'e> {
             queue_wait_ns: submitted_at.elapsed().as_nanos() as u64,
             queue_wait_rounds: self.round.saturating_sub(submit_round + 1),
             stopped_early: false,
+            deadline,
             done: false,
             cancelled: false,
+            timed_out: false,
         });
         self.stats.admitted += 1;
         self.stats.max_resident_sessions =
@@ -904,7 +1086,7 @@ impl<'e> ServingEngine<'e> {
     }
 
     /// Flushes a resident slot and snapshots its final report.
-    fn build_report(slot: &mut Resident<'e>, cancelled: bool) -> SessionReport {
+    fn build_report(slot: &mut Resident<'e>, cancelled: bool, timed_out: bool) -> SessionReport {
         slot.session.flush();
         SessionReport {
             session: slot.id.0 as usize,
@@ -923,12 +1105,13 @@ impl<'e> ServingEngine<'e> {
             queue_wait_rounds: slot.queue_wait_rounds,
             stopped_early: slot.stopped_early,
             cancelled,
+            timed_out,
         }
     }
 
-    /// The report of a request cancelled before admission: no prompt was
-    /// consumed, no KV was held.
-    fn cancelled_report(pending: &Pending, round: u64) -> SessionReport {
+    /// The report of a request cancelled or timed out before admission: no
+    /// prompt was consumed, no KV was held.
+    fn unadmitted_report(pending: &Pending, round: u64, timed_out: bool) -> SessionReport {
         SessionReport {
             session: pending.id.0 as usize,
             class: pending.request.class,
@@ -945,7 +1128,8 @@ impl<'e> ServingEngine<'e> {
             queue_wait_ns: pending.submitted_at.elapsed().as_nanos() as u64,
             queue_wait_rounds: round.saturating_sub(pending.submit_round),
             stopped_early: false,
-            cancelled: true,
+            cancelled: !timed_out,
+            timed_out,
         }
     }
 }
@@ -1304,6 +1488,179 @@ mod tests {
         assert!(background.report().expect("background done").tokens.len() == 4);
         assert!(interactive.report().expect("interactive done").tokens.len() == 4);
         winner
+    }
+
+    #[test]
+    fn drain_finish_mode_completes_residents_and_sheds_queue() {
+        let engine = engine(false, 10);
+        let mut serving = ServingEngine::new(
+            &engine,
+            ServingConfig {
+                max_resident: 1,
+                ..ServingConfig::default()
+            },
+        );
+        let p = prompts();
+        let resident = serving
+            .submit(Request::new(p[0].clone(), GenerationOptions::max_tokens(8)))
+            .expect("queued");
+        let queued = serving
+            .submit(Request::new(p[1].clone(), GenerationOptions::max_tokens(8)))
+            .expect("queued");
+        for _ in 0..2 {
+            serving.serve_round();
+        }
+        let report = serving.drain(None).expect("drain");
+        assert_eq!(report.shed_queued, 1);
+        assert_eq!(report.finished, 1);
+        assert!(report.persisted.is_empty());
+        assert!(report.rounds > 0);
+        assert!(serving.is_draining());
+        assert!(serving.is_idle());
+        // The resident got its whole stream; the queued one was shed.
+        assert_eq!(resident.report().expect("done").tokens.len(), 8);
+        assert!(queued.report().expect("shed").cancelled);
+        // Admission is closed for good.
+        assert!(matches!(
+            serving.submit(Request::new(p[2].clone(), GenerationOptions::max_tokens(2))),
+            Err(SubmitError::Draining)
+        ));
+        // Idempotent: nothing left to do.
+        let again = serving.drain(None).expect("drain twice");
+        assert_eq!(again.shed_queued + again.finished, 0);
+    }
+
+    #[test]
+    fn drain_persist_mode_snapshots_residents_that_restore_bit_identically() {
+        let engine = engine(false, 11);
+        let dir = std::env::temp_dir().join(format!("million_drain_{}", std::process::id()));
+        let mut serving = ServingEngine::new(
+            &engine,
+            ServingConfig {
+                max_resident: 2,
+                ..ServingConfig::default()
+            },
+        );
+        let p = prompts();
+        let handle = serving
+            .submit(Request::new(
+                p[0].clone(),
+                GenerationOptions::max_tokens(12),
+            ))
+            .expect("queued");
+        for _ in 0..4 {
+            serving.serve_round();
+        }
+        let report = serving.drain(Some(&dir)).expect("drain persists");
+        assert_eq!(report.persisted.len(), 1);
+        assert_eq!(report.finished, 0);
+        assert!(serving.is_idle(), "persisted resident retired immediately");
+        let partial = handle.report().expect("retired");
+        assert!(partial.cancelled, "stream ended early");
+        assert_eq!(partial.tokens.len(), 4);
+        // The snapshot resumes exactly where the drained engine stopped and
+        // continues token-identically with an undisturbed serial run.
+        let (id, path) = &report.persisted[0];
+        assert_eq!(*id, handle.id());
+        let mut restored = engine.restore_session(path).expect("snapshot loads");
+        let tail = restored.generate(&GenerationOptions::max_tokens(8));
+        let mut serial = engine.session();
+        serial.prefill(&p[0]);
+        let full = serial.generate(&GenerationOptions::max_tokens(12));
+        assert_eq!(
+            [partial.tokens.clone(), tail.tokens].concat(),
+            full.tokens,
+            "drain/restore splices into the serial stream"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deadline_times_out_queued_and_resident_requests_distinctly() {
+        let engine = engine(false, 12);
+        let mut serving = ServingEngine::new(
+            &engine,
+            ServingConfig {
+                max_resident: 1,
+                ..ServingConfig::default()
+            },
+        );
+        let p = prompts();
+        // A deadline long enough to survive admission and the first decode
+        // round, then expire while resident.
+        let resident = serving
+            .submit(
+                Request::new(p[0].clone(), GenerationOptions::max_tokens(64)).with_deadline_ms(400),
+            )
+            .expect("queued");
+        serving.serve_round(); // admits and decodes one token
+        std::thread::sleep(Duration::from_millis(500));
+        serving.serve_round(); // the next boundary retires it
+        let report = resident.report().expect("timed out");
+        assert!(report.timed_out, "resident deadline");
+        assert!(!report.cancelled, "distinct from cancellation");
+        assert_eq!(report.tokens.len(), 1, "kept what the round produced");
+        // A queued request that expires before ever being admitted.
+        let _hog = serving
+            .submit(Request::new(
+                p[1].clone(),
+                GenerationOptions::max_tokens(64),
+            ))
+            .expect("queued");
+        let starved = serving
+            .submit(
+                Request::new(p[2].clone(), GenerationOptions::max_tokens(4)).with_deadline_ms(0),
+            )
+            .expect("queued");
+        serving.serve_round();
+        let report = starved.report().expect("reaped in the queue");
+        assert!(report.timed_out);
+        assert!(!report.cancelled);
+        assert!(report.tokens.is_empty());
+        assert_eq!(report.prompt_tokens, 0, "never admitted");
+        assert_eq!(serving.stats().timed_out, 2);
+        assert_eq!(serving.stats().cancelled, 0);
+    }
+
+    #[test]
+    fn serving_reports_and_stats_serialize_as_json() {
+        let engine = engine(false, 13);
+        let mut serving = ServingEngine::new(&engine, ServingConfig::default());
+        let handle = serving
+            .submit(Request::new(
+                prompts()[0].clone(),
+                GenerationOptions::max_tokens(3),
+            ))
+            .expect("queued");
+        serving.run_until_idle();
+        let report = handle.report().expect("done");
+        let doc = serde_json::to_string(&report).expect("report serializes");
+        let value = serde_json::from_str(&doc).expect("round-trips through the parser");
+        assert_eq!(
+            value
+                .get("tokens")
+                .and_then(|v| v.as_array())
+                .map(<[_]>::len),
+            Some(3)
+        );
+        assert_eq!(
+            value.get("class").and_then(|v| v.as_str()),
+            Some("Standard")
+        );
+        assert_eq!(
+            value.get("timed_out"),
+            Some(&serde_json::Value::Bool(false))
+        );
+        let doc = serde_json::to_string(&serving.stats()).expect("stats serialize");
+        let value = serde_json::from_str(&doc).expect("valid JSON");
+        assert_eq!(value.get("completed").and_then(|v| v.as_f64()), Some(1.0));
+        assert_eq!(
+            value
+                .get("tokens_by_class")
+                .and_then(|v| v.as_array())
+                .map(<[_]>::len),
+            Some(3)
+        );
     }
 
     #[test]

@@ -94,7 +94,8 @@ impl GenerationOptions {
 }
 
 /// One decoded token plus the telemetry of the step that produced it.
-#[derive(Debug, Clone, PartialEq)]
+/// Serializable so streaming front-ends can ship it as an event payload.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct StepResult {
     /// The sampled token id.
     pub token: u32,

@@ -1,0 +1,611 @@
+//! The serving front-end: a threaded `std::net` accept loop routing HTTP
+//! requests onto the shard router.
+//!
+//! Endpoints:
+//!
+//! | Route                | Behavior                                            |
+//! |----------------------|-----------------------------------------------------|
+//! | `POST /v1/generate`  | Submit a generation request; stream tokens as SSE   |
+//! |                      | (or one JSON document with `"stream": false`).      |
+//! | `GET /metrics`       | Per-shard + aggregate serving/store counters.       |
+//! | `GET /config`        | The effective layered [`AppConfig`].                |
+//! | `GET /healthz`       | Liveness probe.                                     |
+//! | `POST /admin/drain`  | Drain every shard (finish or persist residents).    |
+//! | `POST /admin/shutdown` | Drain, then stop the accept loop.                 |
+//!
+//! One thread per connection: parse, dispatch, write, close (`Connection:
+//! close` on every response keeps the protocol state machine trivial).
+//! A streaming connection is the *client's* representative inside the
+//! server — when its socket dies mid-stream, the handler cancels the
+//! request so the shard retires it at the next round boundary and the
+//! slot refills from the queue.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+use million::{
+    GenerationOptions, QosClass, Request, RequestHandle, SessionReport, StepResult, StopCriteria,
+    SubmitError, TokenWait,
+};
+use million_model::Sampler;
+
+use crate::config::{AppConfig, ConfigError};
+use crate::engine::BuildError;
+use crate::http::{self, HttpRequest, ParseError};
+use crate::router::{RouteError, Router};
+use crate::shard::{spawn_shard, ShardSnapshot};
+
+/// How long a streaming handler waits on the token channel per poll.
+const TOKEN_POLL: Duration = Duration::from_millis(20);
+/// Idle interval between SSE keep-alive pings (also the disconnect
+/// detection period while no tokens flow).
+const PING_EVERY: Duration = Duration::from_millis(100);
+
+/// Why the server could not start.
+#[derive(Debug)]
+pub enum ServerdError {
+    /// Configuration could not be assembled.
+    Config(ConfigError),
+    /// A shard engine failed to build.
+    Build(BuildError),
+    /// The listener could not bind.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServerdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerdError::Config(e) => write!(f, "{e}"),
+            ServerdError::Build(e) => write!(f, "{e}"),
+            ServerdError::Io(e) => write!(f, "listener: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerdError {}
+
+impl From<ConfigError> for ServerdError {
+    fn from(e: ConfigError) -> Self {
+        ServerdError::Config(e)
+    }
+}
+
+impl From<BuildError> for ServerdError {
+    fn from(e: BuildError) -> Self {
+        ServerdError::Build(e)
+    }
+}
+
+impl From<std::io::Error> for ServerdError {
+    fn from(e: std::io::Error) -> Self {
+        ServerdError::Io(e)
+    }
+}
+
+/// A bound, ready-to-run server: shards spawned, listener bound.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    router: Arc<Router>,
+    config: Arc<AppConfig>,
+    stop: Arc<AtomicBool>,
+}
+
+/// A cheap clone handed to whoever needs to stop or inspect a running
+/// server (signal handlers, tests).
+#[derive(Clone)]
+pub struct ServerControl {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    router: Arc<Router>,
+}
+
+impl ServerControl {
+    /// The bound address (with the real port when `listen` used port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shard router (pause/step/drain access for tests and admin).
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// Stops the accept loop: sets the flag and pokes the listener with a
+    /// throwaway connection so `accept` observes it.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Server {
+    /// Spawns `config.server.shards` engine shards (building each model +
+    /// codebooks on its own thread) and binds the listener.
+    pub fn bind(config: AppConfig) -> Result<Server, ServerdError> {
+        let mut shards = Vec::with_capacity(config.server.shards);
+        for index in 0..config.server.shards {
+            shards.push(spawn_shard(
+                index,
+                config.engine.clone(),
+                config.serving.clone(),
+            )?);
+        }
+        let router = Arc::new(Router::new(
+            shards,
+            config.server.affinity_tokens,
+            config.server.spill,
+        ));
+        let listener = TcpListener::bind(&config.server.listen)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            addr,
+            router,
+            config: Arc::new(config),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A control handle usable from other threads while `run` blocks.
+    pub fn control(&self) -> ServerControl {
+        ServerControl {
+            addr: self.addr,
+            stop: Arc::clone(&self.stop),
+            router: Arc::clone(&self.router),
+        }
+    }
+
+    /// Runs the accept loop until [`ServerControl::shutdown`], then joins
+    /// every shard thread.
+    pub fn run(self) -> std::io::Result<()> {
+        for conn in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let router = Arc::clone(&self.router);
+            let config = Arc::clone(&self.config);
+            let stop = Arc::clone(&self.stop);
+            std::thread::spawn(move || {
+                handle_connection(stream, &router, &config, &stop);
+            });
+        }
+        self.router.shutdown();
+        Ok(())
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    router: &Router,
+    config: &AppConfig,
+    stop: &AtomicBool,
+) {
+    let _ = stream.set_nodelay(true);
+    let request = match http::read_request(&mut stream, config.server.max_body_bytes) {
+        Ok(request) => request,
+        Err(ParseError::BodyTooLarge { declared, limit }) => {
+            let body = error_json(&format!("body of {declared} bytes exceeds {limit}"));
+            let _ = http::respond_json(&mut stream, 413, "Payload Too Large", &body, &[]);
+            return;
+        }
+        Err(e) => {
+            let _ = http::respond_json(
+                &mut stream,
+                400,
+                "Bad Request",
+                &error_json(&e.to_string()),
+                &[],
+            );
+            return;
+        }
+    };
+
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/generate") => generate(&mut stream, &request, router, config),
+        ("GET", "/metrics") => metrics(&mut stream, router),
+        ("GET", "/config") => {
+            let body =
+                serde_json::to_string_pretty(config).unwrap_or_else(|e| error_json(&e.to_string()));
+            let _ = http::respond_json(&mut stream, 200, "OK", &body, &[]);
+        }
+        ("GET", "/healthz") => {
+            let _ = http::respond_json(&mut stream, 200, "OK", "{\"ok\": true}", &[]);
+        }
+        ("POST", "/admin/drain") => drain(&mut stream, &request, router),
+        ("POST", "/admin/shutdown") => {
+            for outcome in router.drain_all(None) {
+                let _ = outcome;
+            }
+            let _ = http::respond_json(&mut stream, 200, "OK", "{\"draining\": true}", &[]);
+            stop.store(true, Ordering::SeqCst);
+            // Poke the accept loop so it observes the flag.
+            if let Ok(addr) = stream.local_addr() {
+                let _ = TcpStream::connect(addr);
+            }
+        }
+        _ => {
+            let _ = http::respond_json(
+                &mut stream,
+                404,
+                "Not Found",
+                &error_json(&format!("no route for {} {}", request.method, request.path)),
+                &[],
+            );
+        }
+    }
+}
+
+fn error_json(msg: &str) -> String {
+    #[derive(Serialize)]
+    struct ErrorBody {
+        error: String,
+    }
+    serde_json::to_string(&ErrorBody {
+        error: msg.to_string(),
+    })
+    .unwrap_or_else(|_| "{}".to_string())
+}
+
+/// The decoded body of `POST /v1/generate`.
+struct GenerateBody {
+    request: Request,
+    stream: bool,
+}
+
+fn parse_generate(body: &[u8]) -> Result<GenerateBody, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let value = serde_json::from_str(text).map_err(|e| format!("bad JSON: {e}"))?;
+
+    let prompt: Vec<u32> = value
+        .get("prompt")
+        .and_then(|p| p.as_array())
+        .ok_or("missing `prompt` (array of token ids)")?
+        .iter()
+        .map(|t| {
+            t.as_f64()
+                .filter(|v| *v >= 0.0 && v.fract() == 0.0)
+                .map(|v| v as u32)
+                .ok_or("prompt tokens must be non-negative integers".to_string())
+        })
+        .collect::<Result<_, _>>()?;
+
+    let max_new_tokens = value
+        .get("max_new_tokens")
+        .and_then(|v| v.as_f64())
+        .map(|v| v as usize)
+        .unwrap_or(16);
+    let mut options = GenerationOptions::max_tokens(max_new_tokens);
+    let mut stop = StopCriteria::none();
+    if let Some(eos) = value.get("eos").and_then(|v| v.as_f64()) {
+        stop = StopCriteria::eos(eos as u32);
+    }
+    if let Some(ids) = value.get("stop").and_then(|v| v.as_array()) {
+        let ids: Vec<u32> = ids
+            .iter()
+            .filter_map(|v| v.as_f64())
+            .map(|v| v as u32)
+            .collect();
+        stop = stop.with_stop_ids(ids);
+    }
+    options = options.with_stop(stop);
+
+    let class = match value.get("class").and_then(|v| v.as_str()) {
+        None | Some("standard") => QosClass::Standard,
+        Some("interactive") => QosClass::Interactive,
+        Some("background") => QosClass::Background,
+        Some(other) => return Err(format!("unknown class `{other}`")),
+    };
+
+    let sampler = match (
+        value.get("temperature").and_then(|v| v.as_f64()),
+        value.get("top_k").and_then(|v| v.as_f64()),
+    ) {
+        (None, None) => Sampler::greedy(),
+        (temperature, top_k) => {
+            let seed = value.get("seed").and_then(|v| v.as_f64()).unwrap_or(0.0) as u64;
+            Sampler::top_k(
+                temperature.unwrap_or(1.0) as f32,
+                top_k.unwrap_or(40.0) as usize,
+                seed,
+            )
+        }
+    };
+
+    let mut request = Request::new(prompt, options)
+        .with_sampler(sampler)
+        .with_class(class);
+    if let Some(deadline) = value.get("deadline_ms").and_then(|v| v.as_f64()) {
+        request = request.with_deadline_ms(deadline as u64);
+    }
+
+    let stream = value
+        .get("stream")
+        .and_then(|v| match v {
+            serde_json::Value::Bool(b) => Some(*b),
+            _ => None,
+        })
+        .unwrap_or(true);
+
+    Ok(GenerateBody { request, stream })
+}
+
+fn generate(
+    stream: &mut TcpStream,
+    http_request: &HttpRequest,
+    router: &Router,
+    config: &AppConfig,
+) {
+    let body = match parse_generate(&http_request.body) {
+        Ok(body) => body,
+        Err(msg) => {
+            let _ = http::respond_json(stream, 400, "Bad Request", &error_json(&msg), &[]);
+            return;
+        }
+    };
+
+    let (shard, handle) = match router.submit(body.request) {
+        Ok(placed) => placed,
+        Err(RouteError::Overloaded) => {
+            let retry = config.server.retry_after_s.to_string();
+            let _ = http::respond_json(
+                stream,
+                429,
+                "Too Many Requests",
+                &error_json("all shards are at capacity; retry later"),
+                &[("Retry-After", retry.as_str())],
+            );
+            return;
+        }
+        Err(RouteError::Rejected(e)) => {
+            let (status, reason) = match e {
+                SubmitError::Draining => (503, "Service Unavailable"),
+                _ => (400, "Bad Request"),
+            };
+            let _ = http::respond_json(stream, status, reason, &error_json(&e.to_string()), &[]);
+            return;
+        }
+    };
+
+    if body.stream {
+        stream_sse(stream, shard, &handle);
+    } else {
+        collect_json(stream, shard, &handle);
+    }
+}
+
+/// One streamed token frame: the engine's [`StepResult`] plus routing
+/// context.
+#[derive(Serialize)]
+struct TokenFrame {
+    request: u64,
+    shard: usize,
+    step: StepResult,
+}
+
+/// The terminal frame of a stream / the body of a non-streamed response.
+#[derive(Serialize)]
+struct DoneFrame {
+    request: u64,
+    shard: usize,
+    tokens: Vec<u32>,
+    report: Option<SessionReport>,
+}
+
+fn stream_sse(stream: &mut TcpStream, shard: usize, handle: &RequestHandle) {
+    if http::start_sse(stream).is_err() {
+        handle.cancel();
+        return;
+    }
+    let mut tokens: Vec<u32> = Vec::new();
+    let mut last_write = Instant::now();
+    loop {
+        match handle.recv_token(TOKEN_POLL) {
+            TokenWait::Token(step) => {
+                tokens.push(step.token);
+                let frame = TokenFrame {
+                    request: handle.id().as_u64(),
+                    shard,
+                    step,
+                };
+                let data = serde_json::to_string(&frame).unwrap_or_default();
+                if http::sse_event(stream, "token", &data).is_err() {
+                    // The client is gone: release the slot at the next
+                    // round boundary.
+                    handle.cancel();
+                    return;
+                }
+                last_write = Instant::now();
+            }
+            TokenWait::Idle => {
+                if last_write.elapsed() >= PING_EVERY {
+                    if http::sse_ping(stream).is_err() {
+                        handle.cancel();
+                        return;
+                    }
+                    last_write = Instant::now();
+                }
+            }
+            TokenWait::Closed => {
+                let frame = DoneFrame {
+                    request: handle.id().as_u64(),
+                    shard,
+                    tokens,
+                    report: handle.report(),
+                };
+                let data = serde_json::to_string(&frame).unwrap_or_default();
+                let _ = http::sse_event(stream, "done", &data);
+                return;
+            }
+        }
+    }
+}
+
+fn collect_json(stream: &mut TcpStream, shard: usize, handle: &RequestHandle) {
+    let mut tokens: Vec<u32> = Vec::new();
+    loop {
+        match handle.recv_token(TOKEN_POLL) {
+            TokenWait::Token(step) => tokens.push(step.token),
+            TokenWait::Idle => {}
+            TokenWait::Closed => break,
+        }
+    }
+    let frame = DoneFrame {
+        request: handle.id().as_u64(),
+        shard,
+        tokens,
+        report: handle.report(),
+    };
+    let body = serde_json::to_string(&frame).unwrap_or_default();
+    let _ = http::respond_json(stream, 200, "OK", &body, &[]);
+}
+
+/// Aggregates over every shard for the `/metrics` document.
+#[derive(Serialize)]
+struct Totals {
+    shards: usize,
+    submitted: u64,
+    completed: u64,
+    cancelled: u64,
+    timed_out: u64,
+    rejected: u64,
+    queued: usize,
+    resident: usize,
+    kv_bytes: usize,
+    fleet_kv_bytes: usize,
+    max_dedup_ratio: f64,
+}
+
+#[derive(Serialize)]
+struct MetricsDoc {
+    totals: Totals,
+    shards: Vec<ShardSnapshot>,
+}
+
+fn metrics(stream: &mut TcpStream, router: &Router) {
+    let shards = router.snapshots();
+    let totals = Totals {
+        shards: shards.len(),
+        submitted: shards.iter().map(|s| s.stats.submitted).sum(),
+        completed: shards.iter().map(|s| s.stats.completed).sum(),
+        cancelled: shards.iter().map(|s| s.stats.cancelled).sum(),
+        timed_out: shards.iter().map(|s| s.stats.timed_out).sum(),
+        rejected: shards.iter().map(|s| s.stats.rejected).sum(),
+        queued: shards.iter().map(|s| s.queued).sum(),
+        resident: shards.iter().map(|s| s.resident).sum(),
+        kv_bytes: shards.iter().map(|s| s.kv_bytes).sum(),
+        fleet_kv_bytes: shards.iter().map(|s| s.fleet_kv_bytes).sum(),
+        max_dedup_ratio: shards.iter().map(|s| s.dedup_ratio).fold(0.0, f64::max),
+    };
+    let doc = MetricsDoc { totals, shards };
+    let body = serde_json::to_string_pretty(&doc).unwrap_or_else(|e| error_json(&e.to_string()));
+    let _ = http::respond_json(stream, 200, "OK", &body, &[]);
+}
+
+/// One shard's drain outcome in the `/admin/drain` response.
+#[derive(Serialize)]
+struct DrainOutcome {
+    shard: usize,
+    ok: bool,
+    shed_queued: usize,
+    finished: usize,
+    persisted: usize,
+    rounds: u64,
+    error: Option<String>,
+}
+
+fn drain(stream: &mut TcpStream, request: &HttpRequest, router: &Router) {
+    let persist_dir: Option<PathBuf> = if request.body.is_empty() {
+        None
+    } else {
+        match std::str::from_utf8(&request.body)
+            .ok()
+            .and_then(|t| serde_json::from_str(t).ok())
+        {
+            Some(value) => value
+                .get("persist_dir")
+                .and_then(|v| v.as_str().map(PathBuf::from)),
+            None => {
+                let _ =
+                    http::respond_json(stream, 400, "Bad Request", &error_json("bad JSON"), &[]);
+                return;
+            }
+        }
+    };
+
+    let outcomes: Vec<DrainOutcome> = router
+        .drain_all(persist_dir.as_deref())
+        .into_iter()
+        .enumerate()
+        .map(|(shard, result)| match result {
+            Ok(report) => DrainOutcome {
+                shard,
+                ok: true,
+                shed_queued: report.shed_queued,
+                finished: report.finished,
+                persisted: report.persisted.len(),
+                rounds: report.rounds,
+                error: None,
+            },
+            Err(e) => DrainOutcome {
+                shard,
+                ok: false,
+                shed_queued: 0,
+                finished: 0,
+                persisted: 0,
+                rounds: 0,
+                error: Some(e),
+            },
+        })
+        .collect();
+    let body = serde_json::to_string_pretty(&outcomes).unwrap_or_default();
+    let _ = http::respond_json(stream, 200, "OK", &body, &[]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_body_parses_all_fields() {
+        let body = parse_generate(
+            br#"{"prompt": [1, 2, 3], "max_new_tokens": 4, "class": "interactive",
+                 "deadline_ms": 250, "eos": 0, "stop": [5], "stream": false,
+                 "temperature": 0.5, "top_k": 8, "seed": 9}"#,
+        )
+        .unwrap();
+        assert_eq!(body.request.prompt, vec![1, 2, 3]);
+        assert_eq!(body.request.options.max_new_tokens, 4);
+        assert_eq!(body.request.class, QosClass::Interactive);
+        assert_eq!(body.request.deadline_ms, Some(250));
+        assert!(body.request.options.stop.matches(0));
+        assert!(body.request.options.stop.matches(5));
+        assert!(!body.stream);
+    }
+
+    #[test]
+    fn generate_body_defaults_and_rejections() {
+        let body = parse_generate(br#"{"prompt": [7]}"#).unwrap();
+        assert_eq!(body.request.options.max_new_tokens, 16);
+        assert_eq!(body.request.class, QosClass::Standard);
+        assert!(body.stream, "streaming is the default");
+        assert!(parse_generate(b"{}").is_err(), "prompt is required");
+        assert!(parse_generate(b"not json").is_err());
+        assert!(
+            parse_generate(br#"{"prompt": [-1]}"#).is_err(),
+            "negative tokens rejected"
+        );
+        assert!(parse_generate(br#"{"prompt": [1], "class": "vip"}"#).is_err());
+    }
+}

@@ -1,0 +1,472 @@
+//! Engine shards: one thread per shard, each owning a private
+//! [`MillionEngine`] + [`ServingEngine`] pair and driven by a command
+//! channel.
+//!
+//! [`ServingEngine`] is deliberately single-threaded — it borrows its
+//! engine and schedules rounds synchronously — so the networked front-end
+//! gives each shard its own thread and marshals everything else through
+//! [`ShardCommand`]s. Connection threads only ever hold a [`ShardHandle`]:
+//! submissions round-trip over the channel and return the engine's own
+//! [`RequestHandle`], which is `Send` and streams tokens directly from the
+//! shard thread to whichever connection is serving the client. Load gauges
+//! are published through atomics so the router and `/metrics` can read
+//! them without a channel round-trip.
+//!
+//! The `pause`/`step` controls exist for the end-to-end tests: a paused
+//! shard keeps accepting (queueing) submissions but decodes only when
+//! stepped, which makes queue-overflow, spill, and shared-prefix residency
+//! deterministic instead of racing the decode loop.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use serde::Serialize;
+
+use million::{
+    DrainReport, Request, RequestHandle, ServingEngine, ServingStats, StoreStats, SubmitError,
+};
+
+use crate::config::{EngineSettings, ServingSettings};
+use crate::engine::{build_engine, BuildError};
+
+/// How long an idle shard thread sleeps on its command channel between
+/// wake-ups.
+const IDLE_WAIT: Duration = Duration::from_millis(2);
+
+/// Control-plane messages a shard thread executes between scheduling
+/// rounds.
+pub enum ShardCommand {
+    /// Submit a request; the reply carries the engine's verdict.
+    Submit {
+        /// The request to enqueue.
+        request: Request,
+        /// Where to send the resulting handle (or rejection).
+        reply: Sender<Result<RequestHandle, SubmitError>>,
+    },
+    /// Report a full metrics snapshot.
+    Snapshot {
+        /// Where to send the snapshot.
+        reply: Sender<ShardSnapshot>,
+    },
+    /// Drain the shard: close admission, then finish or persist residents.
+    Drain {
+        /// Persist residents under this directory instead of finishing
+        /// them.
+        persist_dir: Option<PathBuf>,
+        /// Where to send the drain outcome.
+        reply: Sender<Result<DrainReport, String>>,
+    },
+    /// Suspend (`true`) or resume (`false`) the decode loop. Submissions
+    /// still queue while paused.
+    Pause(bool),
+    /// Run exactly `rounds` scheduling rounds (even while paused), then
+    /// acknowledge.
+    Step {
+        /// Rounds to run.
+        rounds: u64,
+        /// Acknowledged once the rounds completed.
+        reply: Sender<()>,
+    },
+    /// Exit the shard thread after publishing final gauges.
+    Shutdown,
+}
+
+/// Lock-free load gauges a shard publishes after every loop iteration.
+#[derive(Default)]
+pub struct ShardGauges {
+    /// Sessions currently resident (decoding).
+    pub resident: AtomicUsize,
+    /// Requests waiting in the pending queue.
+    pub queued: AtomicUsize,
+    /// Quantized KV bytes attributed to this shard's live sessions.
+    pub kv_bytes: AtomicUsize,
+    /// Scheduling rounds run so far.
+    pub rounds: AtomicU64,
+    /// Set once the shard enters drain; admission is closed.
+    pub draining: AtomicBool,
+}
+
+impl ShardGauges {
+    /// Queue depth + residency — the router's spill ordering key.
+    pub fn load(&self) -> usize {
+        self.resident.load(Ordering::Relaxed) + self.queued.load(Ordering::Relaxed)
+    }
+}
+
+/// One shard's full state for `/metrics`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardSnapshot {
+    /// Shard index in the router.
+    pub shard: usize,
+    /// Scheduling rounds run.
+    pub rounds: u64,
+    /// Requests waiting in the pending queue.
+    pub queued: usize,
+    /// Sessions currently resident.
+    pub resident: usize,
+    /// Quantized KV bytes across live sessions (shared blocks counted
+    /// once per session).
+    pub kv_bytes: usize,
+    /// KV bytes actually resident in the store (shared blocks counted
+    /// once) plus full-precision tails.
+    pub fleet_kv_bytes: usize,
+    /// Whether admission is closed on this shard.
+    pub draining: bool,
+    /// Cumulative serving counters.
+    pub stats: ServingStats,
+    /// PQ block-store counters (absent when the store is disabled).
+    pub store: Option<StoreStats>,
+    /// Logical bytes referenced by sessions over physical store bytes —
+    /// > 1 when prefix sharing is deduplicating resident prompts.
+    pub dedup_ratio: f64,
+}
+
+/// Why a submission never reached the engine.
+#[derive(Debug)]
+pub enum ShardSubmitError {
+    /// The engine rejected it (queue full, bad prompt, draining).
+    Rejected(SubmitError),
+    /// The shard thread is gone.
+    Down,
+}
+
+impl std::fmt::Display for ShardSubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardSubmitError::Rejected(e) => write!(f, "{e}"),
+            ShardSubmitError::Down => write!(f, "shard thread is not running"),
+        }
+    }
+}
+
+/// Client-side handle to one shard thread. Shared (behind the router) by
+/// every connection thread.
+pub struct ShardHandle {
+    index: usize,
+    tx: Mutex<Sender<ShardCommand>>,
+    gauges: Arc<ShardGauges>,
+    join: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl ShardHandle {
+    /// Shard index in the router.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The shard's live load gauges.
+    pub fn gauges(&self) -> &ShardGauges {
+        &self.gauges
+    }
+
+    fn send(&self, cmd: ShardCommand) -> Result<(), ShardSubmitError> {
+        self.tx
+            .lock()
+            .expect("shard sender lock")
+            .send(cmd)
+            .map_err(|_| ShardSubmitError::Down)
+    }
+
+    /// Submits a request to this shard and waits for the engine's verdict.
+    pub fn submit(&self, request: Request) -> Result<RequestHandle, ShardSubmitError> {
+        let (reply, rx) = mpsc::channel();
+        self.send(ShardCommand::Submit { request, reply })?;
+        match rx.recv() {
+            Ok(Ok(handle)) => Ok(handle),
+            Ok(Err(e)) => Err(ShardSubmitError::Rejected(e)),
+            Err(_) => Err(ShardSubmitError::Down),
+        }
+    }
+
+    /// Fetches a full metrics snapshot (channel round-trip).
+    pub fn snapshot(&self) -> Option<ShardSnapshot> {
+        let (reply, rx) = mpsc::channel();
+        self.send(ShardCommand::Snapshot { reply }).ok()?;
+        rx.recv().ok()
+    }
+
+    /// Drains the shard (see [`ServingEngine::drain`]); blocks until the
+    /// drain completes.
+    pub fn drain(&self, persist_dir: Option<PathBuf>) -> Result<DrainReport, String> {
+        let (reply, rx) = mpsc::channel();
+        self.send(ShardCommand::Drain { persist_dir, reply })
+            .map_err(|e| e.to_string())?;
+        rx.recv()
+            .map_err(|_| "shard exited mid-drain".to_string())?
+    }
+
+    /// Pauses or resumes the decode loop (testing control).
+    pub fn pause(&self, paused: bool) {
+        let _ = self.send(ShardCommand::Pause(paused));
+    }
+
+    /// Runs exactly `rounds` scheduling rounds and waits for them
+    /// (testing control).
+    pub fn step(&self, rounds: u64) {
+        let (reply, rx) = mpsc::channel();
+        if self.send(ShardCommand::Step { rounds, reply }).is_ok() {
+            let _ = rx.recv();
+        }
+    }
+
+    /// Stops the shard thread and joins it. Safe to call more than once.
+    pub fn shutdown(&self) {
+        let _ = self.send(ShardCommand::Shutdown);
+        if let Some(handle) = self.join.lock().expect("shard join lock").take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ShardHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Spawns shard `index`: builds the engine on the shard thread (weights,
+/// calibration, codebooks), then enters the command/decode loop. Fails
+/// fast — construction errors are reported here, not at first request.
+pub fn spawn_shard(
+    index: usize,
+    engine_settings: EngineSettings,
+    serving_settings: ServingSettings,
+) -> Result<ShardHandle, BuildError> {
+    let (tx, rx) = mpsc::channel();
+    let gauges = Arc::new(ShardGauges::default());
+    let (ready_tx, ready_rx) = mpsc::channel::<Result<(), BuildError>>();
+
+    let thread_gauges = Arc::clone(&gauges);
+    let join = std::thread::Builder::new()
+        .name(format!("shard-{index}"))
+        .spawn(move || {
+            let engine = match build_engine(&engine_settings) {
+                Ok(engine) => {
+                    let _ = ready_tx.send(Ok(()));
+                    engine
+                }
+                Err(e) => {
+                    let _ = ready_tx.send(Err(e));
+                    return;
+                }
+            };
+            let serving = ServingEngine::new(&engine, serving_settings.to_serving_config());
+            shard_loop(index, serving, rx, &thread_gauges);
+        })
+        .expect("spawn shard thread");
+
+    match ready_rx.recv() {
+        Ok(Ok(())) => Ok(ShardHandle {
+            index,
+            tx: Mutex::new(tx),
+            gauges,
+            join: Mutex::new(Some(join)),
+        }),
+        Ok(Err(e)) => {
+            let _ = join.join();
+            Err(e)
+        }
+        Err(_) => {
+            let _ = join.join();
+            Err(BuildError::Config(crate::config::ConfigError::BadValue {
+                key: "engine".into(),
+                msg: "shard thread died during construction".into(),
+            }))
+        }
+    }
+}
+
+fn shard_loop(
+    index: usize,
+    mut serving: ServingEngine<'_>,
+    rx: Receiver<ShardCommand>,
+    gauges: &ShardGauges,
+) {
+    let mut paused = false;
+    loop {
+        // Drain every queued command first so submissions and control
+        // never wait behind decode work.
+        loop {
+            match rx.try_recv() {
+                Ok(cmd) => {
+                    if handle_command(index, &mut serving, cmd, &mut paused, gauges) {
+                        publish(&serving, gauges);
+                        return;
+                    }
+                }
+                Err(mpsc::TryRecvError::Empty) => break,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    publish(&serving, gauges);
+                    return;
+                }
+            }
+        }
+
+        if !paused && !serving.is_idle() {
+            serving.serve_round();
+        } else {
+            // Nothing to decode (or paused): block briefly on the channel
+            // instead of spinning.
+            match rx.recv_timeout(IDLE_WAIT) {
+                Ok(cmd) => {
+                    if handle_command(index, &mut serving, cmd, &mut paused, gauges) {
+                        publish(&serving, gauges);
+                        return;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    publish(&serving, gauges);
+                    return;
+                }
+            }
+        }
+        publish(&serving, gauges);
+    }
+}
+
+/// Executes one command; returns `true` when the shard should exit.
+fn handle_command(
+    index: usize,
+    serving: &mut ServingEngine<'_>,
+    cmd: ShardCommand,
+    paused: &mut bool,
+    gauges: &ShardGauges,
+) -> bool {
+    match cmd {
+        ShardCommand::Submit { request, reply } => {
+            let _ = reply.send(serving.submit(request));
+        }
+        ShardCommand::Snapshot { reply } => {
+            let _ = reply.send(snapshot(index, serving, gauges));
+        }
+        ShardCommand::Drain { persist_dir, reply } => {
+            let result = serving
+                .drain(persist_dir.as_deref())
+                .map_err(|e| e.to_string());
+            gauges.draining.store(true, Ordering::Relaxed);
+            let _ = reply.send(result);
+        }
+        ShardCommand::Pause(p) => *paused = p,
+        ShardCommand::Step { rounds, reply } => {
+            for _ in 0..rounds {
+                serving.serve_round();
+            }
+            publish(serving, gauges);
+            let _ = reply.send(());
+        }
+        ShardCommand::Shutdown => return true,
+    }
+    false
+}
+
+fn publish(serving: &ServingEngine<'_>, gauges: &ShardGauges) {
+    gauges
+        .resident
+        .store(serving.resident_sessions(), Ordering::Relaxed);
+    gauges
+        .queued
+        .store(serving.queued_requests(), Ordering::Relaxed);
+    gauges.kv_bytes.store(serving.kv_bytes(), Ordering::Relaxed);
+    gauges.rounds.store(serving.rounds(), Ordering::Relaxed);
+    gauges
+        .draining
+        .store(serving.is_draining(), Ordering::Relaxed);
+}
+
+fn snapshot(index: usize, serving: &ServingEngine<'_>, gauges: &ShardGauges) -> ShardSnapshot {
+    let store = serving.engine().store_stats();
+    let dedup_ratio = store.as_ref().map(StoreStats::dedup_ratio).unwrap_or(1.0);
+    ShardSnapshot {
+        shard: index,
+        rounds: serving.rounds(),
+        queued: serving.queued_requests(),
+        resident: serving.resident_sessions(),
+        kv_bytes: serving.kv_bytes(),
+        fleet_kv_bytes: serving.fleet_kv_bytes(),
+        draining: gauges.draining.load(Ordering::Relaxed) || serving.is_draining(),
+        stats: serving.stats(),
+        store,
+        dedup_ratio,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use million::{GenerationOptions, TokenWait};
+
+    fn tiny() -> (EngineSettings, ServingSettings) {
+        (
+            EngineSettings {
+                model: "tiny-test".into(),
+                calibration_tokens: 96,
+                async_quant: false,
+                ..EngineSettings::default()
+            },
+            ServingSettings::default(),
+        )
+    }
+
+    #[test]
+    fn shard_serves_a_request_end_to_end() {
+        let (es, ss) = tiny();
+        let shard = spawn_shard(0, es, ss).unwrap();
+        let request = Request::new(vec![3, 9, 27, 81], GenerationOptions::max_tokens(6));
+        let handle = shard.submit(request).unwrap();
+        let mut tokens = Vec::new();
+        loop {
+            match handle.recv_token(Duration::from_millis(200)) {
+                TokenWait::Token(step) => tokens.push(step.token),
+                TokenWait::Idle => {}
+                TokenWait::Closed => break,
+            }
+        }
+        assert_eq!(tokens.len(), 6);
+        let report = handle.report().expect("report published");
+        assert_eq!(report.tokens, tokens);
+        let snap = shard.snapshot().unwrap();
+        assert_eq!(snap.stats.completed, 1);
+        shard.shutdown();
+    }
+
+    #[test]
+    fn paused_shard_queues_submissions_until_stepped() {
+        let (es, ss) = tiny();
+        let shard = spawn_shard(0, es, ss).unwrap();
+        shard.pause(true);
+        // Give the pause command time to land before submitting.
+        let handle = shard
+            .submit(Request::new(
+                vec![5, 10, 20],
+                GenerationOptions::max_tokens(3),
+            ))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(handle.try_token().is_none(), "no decode while paused");
+        let snap = shard.snapshot().unwrap();
+        assert_eq!(snap.queued + snap.resident, 1);
+        shard.step(4); // admit + 3 decode rounds
+        let mut tokens = Vec::new();
+        loop {
+            match handle.recv_token(Duration::from_millis(200)) {
+                TokenWait::Token(step) => tokens.push(step.token),
+                TokenWait::Idle => break,
+                TokenWait::Closed => break,
+            }
+        }
+        assert_eq!(tokens.len(), 3);
+        shard.shutdown();
+    }
+
+    #[test]
+    fn spawn_reports_build_errors_synchronously() {
+        let (mut es, ss) = tiny();
+        es.model = "no-such-model".into();
+        assert!(spawn_shard(0, es, ss).is_err());
+    }
+}

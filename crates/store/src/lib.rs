@@ -37,4 +37,4 @@ mod store;
 
 pub use block::Block;
 pub use chain::ChainHandle;
-pub use store::{BlockId, BlockStore, StoreStats};
+pub use store::{token_chain_hash, BlockId, BlockStore, StoreStats, TokenChainHash};

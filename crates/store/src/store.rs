@@ -22,13 +22,21 @@ impl BlockId {
 /// all of its ancestors. Two 64-bit FNV-1a streams with distinct offsets make
 /// accidental collisions (which would silently splice the wrong history into
 /// a session) astronomically unlikely.
-type ChainHash = [u64; 2];
+pub type TokenChainHash = [u64; 2];
+
+type ChainHash = TokenChainHash;
 
 const HASH_OFFSETS: [u64; 2] = [0xcbf2_9ce4_8422_2325, 0x6c62_272e_07bb_0142];
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 const MIX_PRIME: u64 = 0x9e37_79b9_7f4a_7c15;
 
-fn chain_hash(parent: Option<ChainHash>, tokens: &[u32]) -> ChainHash {
+/// Extends the two-lane token hash chain over `tokens`, starting from
+/// `parent` (`None` = the stream head). This is the store's block identity
+/// function; it is exported so layers above the store (e.g. a sharding
+/// router placing requests by prompt prefix) address the *same* identity
+/// space the prefix index uses — two prompts with equal leading tokens hash
+/// identically here iff they would converge on the same resident blocks.
+pub fn token_chain_hash(parent: Option<TokenChainHash>, tokens: &[u32]) -> TokenChainHash {
     let start = parent.unwrap_or(HASH_OFFSETS);
     // Lane 0 is plain FNV-1a; lane 1 uses a multiply-rotate recurrence so the
     // two lanes are genuinely independent streams, not one hash twice.
@@ -150,8 +158,9 @@ impl Inner {
 }
 
 /// Aggregate accounting of a [`BlockStore`], for observability and the
-/// sharing assertions of the test suite.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// sharing assertions of the test suite. Serializable so metrics endpoints
+/// can export it without hand-formatting JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize)]
 pub struct StoreStats {
     /// Blocks currently resident.
     pub live_blocks: usize,
@@ -276,7 +285,7 @@ impl BlockStore {
         let mut out = Vec::new();
         let mut parent: Option<ChainHash> = None;
         for chunk in tokens.chunks_exact(bt) {
-            let hash = chain_hash(parent, chunk);
+            let hash = token_chain_hash(parent, chunk);
             let Some(&slot) = inner.index.get(&hash) else {
                 break;
             };
@@ -317,7 +326,7 @@ impl BlockStore {
             "exactly one block of tokens"
         );
         let mut inner = self.lock();
-        let hash = chain_hash(Self::parent_hash(&inner, parent), tokens);
+        let hash = token_chain_hash(Self::parent_hash(&inner, parent), tokens);
         let slot = *inner.index.get(&hash)?;
         inner.dedup_hits += 1;
         let block = inner.acquire_slot(slot).block.clone();
@@ -349,7 +358,7 @@ impl BlockStore {
             "sealed block length mismatch"
         );
         let mut inner = self.lock();
-        let hash = chain_hash(Self::parent_hash(&inner, parent), tokens);
+        let hash = token_chain_hash(Self::parent_hash(&inner, parent), tokens);
         if let Some(&slot) = inner.index.get(&hash) {
             inner.dedup_hits += 1;
             let block = inner.acquire_slot(slot).block.clone();

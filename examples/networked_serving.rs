@@ -1,0 +1,99 @@
+//! Networked serving end to end, in one process: boot a two-shard
+//! `serverd`, stream a generation over HTTP/SSE with a raw `std::net`
+//! client, then scrape `/metrics` and drain.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p million_serverd --example networked_serving
+//! ```
+//!
+//! The same server is normally started standalone (`cargo run --release
+//! -p million_serverd --bin serverd -- --set engine.model=tiny-test`)
+//! and spoken to by any HTTP client; this example keeps both ends in one
+//! binary so it can assert on what flows over the wire.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use million_serverd::{AppConfig, Server};
+
+fn http(addr: SocketAddr, raw: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("send");
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("receive");
+    text
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> String {
+    http(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: example\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn main() {
+    // Two shards of the tiny test model; everything else is defaults.
+    // Standalone deployments layer this from a TOML file, SERVERD_* env
+    // vars, and flags instead (see `serverd --help`).
+    let args: Vec<String> = [
+        "--listen",
+        "127.0.0.1:0",
+        "--set",
+        "engine.model=tiny-test",
+        "--set",
+        "engine.calibration_tokens=96",
+        "--set",
+        "engine.async_quant=false",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let config = AppConfig::layered(&args, |_| None).expect("config");
+
+    println!("building {} shards ...", config.server.shards);
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr();
+    let control = server.control();
+    let running = std::thread::spawn(move || server.run().expect("accept loop"));
+    println!("serverd listening on http://{addr}\n");
+
+    // Stream a generation over SSE. Each `event: token` frame carries
+    // the engine's StepResult; the `event: done` frame carries the full
+    // session report (kv bytes, prefix reuse, queue waits, ...).
+    let transcript = post(
+        addr,
+        "/v1/generate",
+        r#"{"prompt": [3, 9, 27, 81, 11, 33], "max_new_tokens": 8}"#,
+    );
+    println!("--- SSE transcript ---");
+    for line in transcript.lines().filter(|l| !l.is_empty()) {
+        println!("  {line}");
+    }
+
+    // A second client sharing the same leading tokens lands on the same
+    // shard (prefix-affinity placement) and reuses its sealed blocks.
+    let _ = post(
+        addr,
+        "/v1/generate",
+        r#"{"prompt": [3, 9, 27, 81, 11, 33, 55, 66], "max_new_tokens": 8, "stream": false}"#,
+    );
+
+    let metrics = http(addr, "GET /metrics HTTP/1.1\r\nHost: e\r\n\r\n");
+    let body = metrics.split("\r\n\r\n").nth(1).unwrap_or("");
+    println!("\n--- /metrics ---\n{body}");
+
+    // Graceful teardown: drain every shard, then stop the accept loop.
+    let drained = post(addr, "/admin/drain", "");
+    println!(
+        "--- drain ---\n{}",
+        drained.split("\r\n\r\n").nth(1).unwrap_or("")
+    );
+    control.shutdown();
+    running.join().expect("server thread");
+    println!("server stopped cleanly");
+}
