@@ -49,6 +49,24 @@ const WORKLOAD: &[(u64, usize, usize, QosClass)] = &[
 
 const MAX_RESIDENT: usize = 3;
 
+/// `long_prompt_arrival` scenario: one long prompt (scaled to the bench
+/// model's 1024-token window the way an 8k prompt relates to a production
+/// window) lands mid-stream over short interactive decodes. Chunked
+/// admission must bound each serve_round's prefill work by the chunk size —
+/// never the prompt length — and the interactive streams must keep decoding
+/// every round while the prompt trickles in.
+const LONG_WORKLOAD: &[(u64, usize, usize, QosClass)] = &[
+    (0, 24, 40, QosClass::Interactive),
+    (0, 32, 40, QosClass::Interactive),
+    (4, LONG_PROMPT_TOKENS, 8, QosClass::Background),
+    (8, 16, 12, QosClass::Interactive),
+    (12, 20, 12, QosClass::Interactive),
+];
+
+const LONG_MAX_RESIDENT: usize = 3;
+const LONG_PROMPT_TOKENS: usize = 768;
+const LONG_PROMPT_CHUNK: usize = 64;
+
 #[derive(Serialize)]
 struct SchedulingReport {
     /// Requests in the workload.
@@ -71,6 +89,28 @@ struct SchedulingReport {
     queue_wait_rounds_mean_x100_by_class: [u64; 3],
 }
 
+/// Scheduling figures for the `long_prompt_arrival` scenario — all
+/// deterministic, all gated exactly.
+#[derive(Serialize)]
+struct LongPromptReport {
+    requests: usize,
+    max_resident: usize,
+    prefill_chunk_tokens: usize,
+    long_prompt_tokens: usize,
+    rounds_total: u64,
+    completed: u64,
+    /// Prefill chunks executed across the workload.
+    prefill_chunks: u64,
+    /// The largest prefill charge the long prompt placed on any single
+    /// serve_round — must equal the chunk size, never the prompt length.
+    max_prefill_tokens_per_round: u64,
+    /// Max consecutive rounds any mid-stream request went without a token:
+    /// 0 means resident decodes never stalled behind the chunked prefill.
+    decode_stall_rounds_max: u64,
+    /// Queue-wait p95 of the interactive cohort, in rounds.
+    interactive_queue_wait_rounds_p95: u64,
+}
+
 #[derive(Serialize)]
 struct ThroughputReport {
     /// Aggregate decode+prefill wall time of the drive loop, seconds.
@@ -90,6 +130,7 @@ struct BenchReport {
     n_heads: usize,
     head_dim: usize,
     scheduling: SchedulingReport,
+    long_prompt_arrival: LongPromptReport,
     throughput: ThroughputReport,
 }
 
@@ -123,20 +164,24 @@ fn percentile(sorted: &[u64], q: f64) -> u64 {
     sorted[idx]
 }
 
-fn run_workload() -> (ServingStatsBundle, f64) {
+/// Synchronous quantization: the figures must not depend on worker-thread
+/// timing.
+fn bench_engine() -> MillionEngine {
     let config = bench_config();
     let model = Transformer::new(config.clone(), 7);
     let calibration: Vec<u32> = (0..512)
         .map(|i| ((i as u64 * 13 + 5) % config.vocab_size as u64) as u32)
         .collect();
-    // Synchronous quantization: the figures must not depend on worker-thread
-    // timing.
-    let engine = MillionEngine::new(
+    MillionEngine::new(
         model,
         MillionConfig::four_bit(config.head_dim()).with_sync_quant(),
         &calibration,
     )
-    .expect("engine builds");
+    .expect("engine builds")
+}
+
+fn run_workload() -> (ServingStatsBundle, f64) {
+    let engine = bench_engine();
     let mut serving = ServingEngine::new(
         &engine,
         ServingConfig {
@@ -186,6 +231,91 @@ struct ServingStatsBundle {
     completed: u64,
     tokens_by_class: [u64; 3],
     reports: Vec<million::SessionReport>,
+}
+
+/// Drives [`LONG_WORKLOAD`] with chunked prefill enabled and measures how the
+/// long prompt's admission interacts with the resident interactive decodes.
+/// All reported figures are a pure function of the workload constants and the
+/// scheduler policy — bit-identical on any machine.
+fn run_long_prompt_arrival() -> LongPromptReport {
+    let engine = bench_engine();
+    let mut serving = ServingEngine::new(
+        &engine,
+        ServingConfig {
+            max_resident: LONG_MAX_RESIDENT,
+            queue_capacity: LONG_WORKLOAD.len(),
+            prefill_chunk_tokens: LONG_PROMPT_CHUNK,
+            ..ServingConfig::default()
+        },
+    );
+
+    let mut handles: Vec<RequestHandle> = Vec::new();
+    let mut produced_rounds: Vec<Vec<u64>> = Vec::new();
+    let mut next = 0usize;
+    let mut max_prefill_tokens_per_round = 0u64;
+    while next < LONG_WORKLOAD.len() || !serving.is_idle() {
+        while next < LONG_WORKLOAD.len() && LONG_WORKLOAD[next].0 <= serving.rounds() {
+            let (_, prompt_len, max_tokens, class) = LONG_WORKLOAD[next];
+            let prompt: Vec<u32> = (0..prompt_len)
+                .map(|i| ((i as u64 * 29 + next as u64 * 83 + 11) % 512) as u32)
+                .collect();
+            let request = Request::new(prompt, GenerationOptions::max_tokens(max_tokens))
+                .with_class(class)
+                .with_sampler(Sampler::greedy());
+            handles.push(serving.submit(request).expect("queue sized for workload"));
+            produced_rounds.push(Vec::new());
+            next += 1;
+        }
+        // The long prompt is the workload's only Background request, so the
+        // Background prefill ledger isolates its per-round charge even when
+        // short admissions land in the same round.
+        let long_class = QosClass::Background.index();
+        let before = serving.stats().prefill_tokens_by_class[long_class];
+        let produced = serving.serve_round();
+        let after = serving.stats().prefill_tokens_by_class[long_class];
+        max_prefill_tokens_per_round = max_prefill_tokens_per_round.max(after - before);
+        let round = serving.rounds();
+        for (id, _) in &produced {
+            let idx = handles
+                .iter()
+                .position(|h| h.id() == *id)
+                .expect("known id");
+            produced_rounds[idx].push(round);
+        }
+    }
+
+    let stats = serving.stats();
+    // Longest gap between consecutive tokens of any single mid-stream
+    // request: how long a resident decode can stall behind admission work.
+    // A slot may produce several tokens in one round, so gaps are measured
+    // between distinct producing rounds.
+    let mut decode_stall_rounds_max = 0u64;
+    for rounds in &mut produced_rounds {
+        rounds.dedup();
+        for pair in rounds.windows(2) {
+            decode_stall_rounds_max = decode_stall_rounds_max.max(pair[1] - pair[0] - 1);
+        }
+    }
+    let mut interactive_waits: Vec<u64> = handles
+        .iter()
+        .zip(LONG_WORKLOAD)
+        .filter(|(_, w)| w.3 == QosClass::Interactive)
+        .map(|(h, _)| h.report().expect("drained").queue_wait_rounds)
+        .collect();
+    interactive_waits.sort_unstable();
+
+    LongPromptReport {
+        requests: LONG_WORKLOAD.len(),
+        max_resident: LONG_MAX_RESIDENT,
+        prefill_chunk_tokens: LONG_PROMPT_CHUNK,
+        long_prompt_tokens: LONG_PROMPT_TOKENS,
+        rounds_total: serving.rounds(),
+        completed: stats.completed,
+        prefill_chunks: stats.prefill_chunks,
+        max_prefill_tokens_per_round,
+        decode_stall_rounds_max,
+        interactive_queue_wait_rounds_p95: percentile(&interactive_waits, 0.95),
+    }
 }
 
 /// Compares a fresh report against the committed baseline. Every scheduling
@@ -241,6 +371,40 @@ fn diff_against_baseline(report: &BenchReport, baseline_text: &str) -> Vec<Strin
             ));
         }
     }
+
+    let Some(base) = baseline.get("long_prompt_arrival") else {
+        failures.push("baseline has no long_prompt_arrival report".to_string());
+        return failures;
+    };
+    let long = &report.long_prompt_arrival;
+    let scalars: &[(&str, u64)] = &[
+        ("requests", long.requests as u64),
+        ("max_resident", long.max_resident as u64),
+        ("prefill_chunk_tokens", long.prefill_chunk_tokens as u64),
+        ("long_prompt_tokens", long.long_prompt_tokens as u64),
+        ("rounds_total", long.rounds_total),
+        ("completed", long.completed),
+        ("prefill_chunks", long.prefill_chunks),
+        (
+            "max_prefill_tokens_per_round",
+            long.max_prefill_tokens_per_round,
+        ),
+        ("decode_stall_rounds_max", long.decode_stall_rounds_max),
+        (
+            "interactive_queue_wait_rounds_p95",
+            long.interactive_queue_wait_rounds_p95,
+        ),
+    ];
+    for &(field, value) in scalars {
+        let base_value = base.get(field).and_then(|v| v.as_f64());
+        if base_value != Some(value as f64) {
+            failures.push(format!(
+                "long_prompt_arrival.{field} changed: baseline {base_value:?}, now {value} \
+                 (chunked-prefill scheduling figures are deterministic — this is a \
+                 chunking/fairness behaviour change, re-baseline deliberately)"
+            ));
+        }
+    }
     failures
 }
 
@@ -258,6 +422,7 @@ fn main() {
 
     let config = bench_config();
     let (bundle, wall_s) = run_workload();
+    let long_prompt = run_long_prompt_arrival();
 
     let mut waits: Vec<u64> = bundle.reports.iter().map(|r| r.queue_wait_rounds).collect();
     waits.sort_unstable();
@@ -330,6 +495,27 @@ fn main() {
         ]],
     );
 
+    million_bench::print_table(
+        &format!(
+            "long_prompt_arrival: one {LONG_PROMPT_TOKENS}-token prompt over \
+             interactive decodes, chunk {LONG_PROMPT_CHUNK}"
+        ),
+        &[
+            "rounds",
+            "chunks",
+            "max prefill/round",
+            "decode stall max",
+            "interactive wait p95",
+        ],
+        &[vec![
+            long_prompt.rounds_total.to_string(),
+            long_prompt.prefill_chunks.to_string(),
+            long_prompt.max_prefill_tokens_per_round.to_string(),
+            long_prompt.decode_stall_rounds_max.to_string(),
+            long_prompt.interactive_queue_wait_rounds_p95.to_string(),
+        ]],
+    );
+
     // The structural claims the baseline exists to defend, asserted in both
     // modes (the figures are deterministic, so there is no noise to
     // tolerate): everyone completes, every class made progress, and the
@@ -340,14 +526,27 @@ fn main() {
         mean_by_class[QosClass::Interactive.index()] <= mean_by_class[QosClass::Background.index()],
         "interactive admission must not lag background: {mean_by_class:?}"
     );
+    // Chunked-admission claims: the long prompt completes, no serve_round
+    // ever charges more prefill work than one chunk, and resident decodes
+    // never stall behind the arriving prompt.
+    assert_eq!(long_prompt.completed as usize, LONG_WORKLOAD.len());
+    assert_eq!(
+        long_prompt.max_prefill_tokens_per_round, LONG_PROMPT_CHUNK as u64,
+        "per-round prefill work must be bounded by the chunk size"
+    );
+    assert_eq!(
+        long_prompt.decode_stall_rounds_max, 0,
+        "resident decodes must not stall behind the chunked prefill"
+    );
 
     let report = BenchReport {
-        schema: "million-bench-serving/v1",
+        schema: "million-bench-serving/v2",
         mode: if fast { "fast" } else { "full" },
         n_layers: config.n_layers,
         n_heads: config.n_heads,
         head_dim: config.head_dim(),
         scheduling,
+        long_prompt_arrival: long_prompt,
         throughput,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialise report");

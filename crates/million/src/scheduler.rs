@@ -62,6 +62,10 @@ pub struct SessionReport {
     pub prefill_ns: u64,
     /// Prompt tokens admitted per second during prefill.
     pub prefill_tokens_per_s: f64,
+    /// Prefill chunks the admission was fed in
+    /// ([`crate::ServingConfig::prefill_chunk_tokens`]-sized work items); a
+    /// monolithic admission counts as one.
+    pub prefill_chunks: usize,
     /// Wall-clock nanoseconds between submission and admission (0 for a
     /// [`BatchScheduler`] session, which is admitted inside `add_session`).
     pub queue_wait_ns: u64,
@@ -101,6 +105,10 @@ impl<'e> BatchScheduler<'e> {
                     max_resident: usize::MAX,
                     queue_capacity: usize::MAX,
                     kv_byte_budget: None,
+                    // The cohort contract is that `add_session` prefills the
+                    // whole prompt on the spot, so chunked admission (a
+                    // serve_round concern) stays disabled here.
+                    prefill_chunk_tokens: 0,
                     retain_finished: true,
                     ..ServingConfig::default()
                 },

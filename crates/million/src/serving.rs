@@ -18,10 +18,19 @@
 //!    the physical fleet footprint (session-private bytes + store-resident
 //!    bytes, each counted once) — and finally runs one **deficit-weighted
 //!    round-robin** pass of decode steps over the resident batch;
-//! 3. admission does the prompt prefill (reusing resident store prefixes
-//!    when [`crate::MillionConfig::prefix_sharing`] is on), so a newly
-//!    admitted request costs the in-flight batch exactly one admission turn
-//!    and decodes its first token in the same round.
+//! 3. admission feeds the prompt in fixed-size **prefill chunks**
+//!    ([`ServingConfig::prefill_chunk_tokens`]) scheduled as first-class
+//!    DWRR work items: a request admits into the *Prefilling* state
+//!    (resident store prefixes attach first, when
+//!    [`crate::MillionConfig::prefix_sharing`] is on), each round charges it
+//!    one chunk of teacher-forced prompt against its class's deficit, and it
+//!    transitions to decoding when the prompt is exhausted — so a long
+//!    arrival *interleaves* with the batch's decode rounds instead of
+//!    freezing them, never stalling resident decodes for more than one
+//!    chunk's worth of work. The round in which the final chunk lands is
+//!    scheduled exactly like a monolithic admission turn (the request
+//!    decodes its first token in that same round), which makes chunking
+//!    invisible for prompts no longer than one chunk.
 //!
 //! **Fairness.** Each resident request accumulates `weight(class)` deficit
 //! per round and spends `quantum = min(weight over active residents)` per
@@ -345,6 +354,16 @@ pub struct ServingConfig {
     /// admission priority, so admission-priority traffic cannot overtake a
     /// backlogged class forever.
     pub admission_aging_rounds: u64,
+    /// Admission prefill chunk size in tokens. A prompt is admitted into the
+    /// *Prefilling* state and teacher-forced one chunk per serve round, so a
+    /// long arrival never stalls resident decodes for more than one chunk's
+    /// worth of work and stays preemptible (cancel/deadline/drain land at
+    /// chunk boundaries). A non-final chunk consumes the slot's whole round
+    /// allowance; the round that exhausts the prompt is scheduled exactly
+    /// like a monolithic admission turn, so chunking never changes a
+    /// request's token stream — only when its tokens are produced. `0`
+    /// disables chunking (whole-prompt prefill inside the admission turn).
+    pub prefill_chunk_tokens: usize,
     /// Compatibility mode for the static-cohort [`crate::BatchScheduler`]:
     /// finished requests keep their session (and KV) alive and are reported
     /// at [`ServingEngine::shutdown`] instead of being retired per round.
@@ -358,6 +377,7 @@ impl Default for ServingConfig {
             queue_capacity: 64,
             kv_byte_budget: None,
             admission_aging_rounds: 64,
+            prefill_chunk_tokens: 512,
             retain_finished: false,
         }
     }
@@ -390,6 +410,13 @@ pub struct ServingStats {
     /// Decode tokens produced per class, indexed by [`QosClass::index`] —
     /// the fairness ledger the DWRR weights are checked against.
     pub tokens_by_class: [u64; 3],
+    /// Prefill chunks executed (a monolithic admission counts as one).
+    pub prefill_chunks: u64,
+    /// Prompt tokens prefilled per class, indexed by [`QosClass::index`] —
+    /// the admission side of the fairness ledger. Tokens satisfied from
+    /// resident store prefixes are not counted: attachment costs no prefill
+    /// work.
+    pub prefill_tokens_by_class: [u64; 3],
 }
 
 /// What [`ServingEngine::drain`] did with the work it found in flight.
@@ -438,6 +465,26 @@ impl Pending {
     }
 }
 
+/// Admission work still owed by a resident in the *Prefilling* state: the
+/// request's prompt and how much of it has entered the session's caches
+/// (store-attached prefix tokens included in `fed`).
+#[derive(Debug)]
+struct PrefillJob {
+    prompt: Vec<u32>,
+    fed: usize,
+    /// Round in which the slot's most recent chunk executed. The first
+    /// chunk runs inside `admit` — sealing its blocks so later admissions
+    /// in the same pass can attach them — and `prefill_round` must not
+    /// charge the slot a second chunk in that same round.
+    chunked_round: u64,
+}
+
+impl PrefillJob {
+    fn remaining(&self) -> usize {
+        self.prompt.len() - self.fed
+    }
+}
+
 /// A request resident in a decode slot.
 struct Resident<'e> {
     id: RequestId,
@@ -447,8 +494,13 @@ struct Resident<'e> {
     class: QosClass,
     tokens: Vec<u32>,
     /// DWRR ledger: grows by `weight(class)` per round, spends `quantum`
-    /// per decode step.
+    /// per decode step (a non-final prefill chunk spends the whole round's
+    /// accrual).
     deficit: u32,
+    /// `Some` while the slot is still admitting its prompt in chunks (the
+    /// *Prefilling* state); `None` once it decodes. Monolithic admissions
+    /// (`prefill_chunk_tokens == 0`) never set it.
+    prefill: Option<PrefillJob>,
     shared: Arc<HandleShared>,
     tx: Sender<StepResult>,
     queue_wait_ns: u64,
@@ -543,6 +595,26 @@ impl<'e> ServingEngine<'e> {
     /// Resident sessions still decoding.
     pub fn active_sessions(&self) -> usize {
         self.resident.iter().filter(|s| !s.done).count()
+    }
+
+    /// Residents currently admitting their prompt in chunks (the
+    /// *Prefilling* state).
+    pub fn prefilling_sessions(&self) -> usize {
+        self.resident
+            .iter()
+            .filter(|s| !s.done && s.prefill.is_some())
+            .count()
+    }
+
+    /// Prompt tokens still to be teacher-forced across every prefilling
+    /// resident — the backlog the chunk scheduler is working through.
+    pub fn prefill_tokens_remaining(&self) -> usize {
+        self.resident
+            .iter()
+            .filter(|s| !s.done)
+            .filter_map(|s| s.prefill.as_ref())
+            .map(PrefillJob::remaining)
+            .sum()
     }
 
     /// Whether every submitted request has been fully served: nothing
@@ -933,9 +1005,12 @@ impl<'e> ServingEngine<'e> {
         }
     }
 
-    /// Prefills one pending request into a resident slot. Costs the
-    /// in-flight batch exactly this turn; decode rounds resume immediately
-    /// after, with the new session participating in the same round.
+    /// Admits one pending request into a resident slot. With chunking
+    /// enabled the slot enters the *Prefilling* state — only the store
+    /// prefix (if any) attaches here; the prompt itself is teacher-forced
+    /// chunk by chunk in the decode pass, starting this same round. With
+    /// `prefill_chunk_tokens == 0` the whole prompt prefills inside this
+    /// admission turn, exactly the pre-chunking behaviour.
     fn admit(&mut self, pending: Pending) {
         if self.engine.config().async_quant && self.worker.is_none() {
             self.worker = Some(QuantWorker::spawn(
@@ -952,11 +1027,44 @@ impl<'e> ServingEngine<'e> {
             submitted_at,
             submit_round,
         } = pending;
-        let deadline = request
-            .deadline_ms
-            .map(|ms| submitted_at + Duration::from_millis(ms));
+        let Request {
+            prompt,
+            options,
+            sampler,
+            class,
+            deadline_ms,
+        } = request;
+        let deadline = deadline_ms.map(|ms| submitted_at + Duration::from_millis(ms));
         let mut session = InferenceSession::new(self.engine, id.0 as usize, true);
-        session.prefill(&request.prompt);
+        let prefill = if self.config.prefill_chunk_tokens == 0 {
+            session.prefill(&prompt);
+            self.stats.prefill_chunks += 1;
+            self.stats.prefill_tokens_by_class[class.index()] +=
+                (prompt.len() - session.prefix_tokens_reused()) as u64;
+            None
+        } else {
+            // Store prefix attachment still short-circuits before chunking:
+            // whatever another session already sealed is adopted for free,
+            // and only the unmatched remainder is chunked. The first chunk
+            // runs here, inside the admission turn, so its full blocks seal
+            // immediately — a request admitted later in this same pass can
+            // attach them, exactly as under monolithic admission.
+            let fed = session.prefill_begin(&prompt);
+            let take = self.config.prefill_chunk_tokens.min(prompt.len() - fed);
+            session.prefill_chunk(&prompt[fed..fed + take]);
+            self.stats.prefill_chunks += 1;
+            self.stats.prefill_tokens_by_class[class.index()] += take as u64;
+            let fed = fed + take;
+            if fed == prompt.len() {
+                None
+            } else {
+                Some(PrefillJob {
+                    prompt,
+                    fed,
+                    chunked_round: self.round,
+                })
+            }
+        };
         // A warm admission's unmatched suffix rides the decode path and may
         // stage encode batches: ship them through the shared worker now.
         let requests = session.take_encode_requests();
@@ -968,11 +1076,12 @@ impl<'e> ServingEngine<'e> {
         self.resident.push(Resident {
             id,
             session,
-            sampler: request.sampler,
-            options: request.options,
-            class: request.class,
+            sampler,
+            options,
+            class,
             tokens: Vec::new(),
             deficit: 0,
+            prefill,
             shared,
             tx,
             queue_wait_ns: submitted_at.elapsed().as_nanos() as u64,
@@ -1002,13 +1111,14 @@ impl<'e> ServingEngine<'e> {
         for slot in self.resident.iter_mut().filter(|s| !s.done) {
             slot.deficit += slot.class.weight();
         }
+        self.prefill_round();
         let mut produced = Vec::new();
         loop {
             let mut progressed = false;
             for idx in 0..self.resident.len() {
                 {
                     let slot = &self.resident[idx];
-                    if slot.done || slot.deficit < quantum {
+                    if slot.done || slot.prefill.is_some() || slot.deficit < quantum {
                         continue;
                     }
                     if slot.shared.cancel.load(Ordering::Relaxed) {
@@ -1057,6 +1167,64 @@ impl<'e> ServingEngine<'e> {
         produced
     }
 
+    /// Executes one prefill chunk for every resident still in the
+    /// *Prefilling* state. A non-final chunk consumes the slot's whole round
+    /// allowance (its deficit is cleared — the chunk *was* this round's
+    /// share of work for that class); the final chunk completes admission
+    /// and keeps the round's accrued deficit, so the round that exhausts a
+    /// prompt is scheduled exactly like a monolithic admission turn and the
+    /// request decodes its first token in the same round. Chunk boundaries
+    /// are the prefill preemption points: cancellation is checked here
+    /// before each chunk, and deadlines/drains land at the surrounding round
+    /// boundaries.
+    fn prefill_round(&mut self) {
+        let chunk_tokens = self.config.prefill_chunk_tokens;
+        for idx in 0..self.resident.len() {
+            {
+                let slot = &self.resident[idx];
+                if slot.done || slot.prefill.is_none() {
+                    continue;
+                }
+                if slot.shared.cancel.load(Ordering::Relaxed) {
+                    // Retired at the next round boundary; the rest of the
+                    // prompt is never fed.
+                    let slot = &mut self.resident[idx];
+                    slot.deficit = 0;
+                    continue;
+                }
+            }
+            // Absorb-before-attend, exactly as the decode pass does.
+            Self::sync_worker_nonblocking(&mut self.worker, &mut self.resident);
+            let slot = &mut self.resident[idx];
+            let job = slot.prefill.as_mut().expect("slot is prefilling");
+            if job.chunked_round == self.round {
+                // The admission chunk already ran this round and was this
+                // slot's share of work; don't charge a second chunk.
+                slot.deficit = 0;
+                continue;
+            }
+            job.chunked_round = self.round;
+            let take = chunk_tokens.min(job.remaining());
+            slot.session
+                .prefill_chunk(&job.prompt[job.fed..job.fed + take]);
+            job.fed += take;
+            let finished = job.remaining() == 0;
+            self.stats.prefill_chunks += 1;
+            self.stats.prefill_tokens_by_class[slot.class.index()] += take as u64;
+            if finished {
+                slot.prefill = None;
+            } else {
+                slot.deficit = 0;
+            }
+            let requests = slot.session.take_encode_requests();
+            if let Some(worker) = &mut self.worker {
+                for encode in requests {
+                    worker.submit(encode);
+                }
+            }
+        }
+    }
+
     /// Blocks until the shared worker has drained, routing every result to
     /// its owning resident session.
     fn sync_worker(worker: &mut Option<QuantWorker>, resident: &mut [Resident<'e>]) {
@@ -1101,6 +1269,7 @@ impl<'e> ServingEngine<'e> {
             async_batches: slot.session.async_batches(),
             prefill_ns: slot.session.prefill_ns(),
             prefill_tokens_per_s: slot.session.prefill_tokens_per_s(),
+            prefill_chunks: slot.session.prefill_chunks(),
             queue_wait_ns: slot.queue_wait_ns,
             queue_wait_rounds: slot.queue_wait_rounds,
             stopped_early: slot.stopped_early,
@@ -1125,6 +1294,7 @@ impl<'e> ServingEngine<'e> {
             async_batches: 0,
             prefill_ns: 0,
             prefill_tokens_per_s: 0.0,
+            prefill_chunks: 0,
             queue_wait_ns: pending.submitted_at.elapsed().as_nanos() as u64,
             queue_wait_rounds: round.saturating_sub(pending.submit_round),
             stopped_early: false,
@@ -1671,5 +1841,134 @@ mod tests {
         // ...but once the background request has aged past the threshold it
         // holds its place at the head of the queue.
         assert!(background_wins_freed_slot(3));
+    }
+
+    /// A 48-token prompt, far longer than the chunk size, admitted next to a
+    /// short interactive request: the interactive stream must keep its full
+    /// per-round share while the long prompt trickles in one chunk per
+    /// round, and both streams must match a serial run bit for bit.
+    #[test]
+    fn chunked_prefill_overlaps_decode_and_matches_serial() {
+        let engine = engine(false, 14);
+        let mut serving = ServingEngine::new(
+            &engine,
+            ServingConfig {
+                max_resident: 2,
+                prefill_chunk_tokens: 8,
+                ..ServingConfig::default()
+            },
+        );
+        let long_prompt: Vec<u32> = (0..48u32).map(|i| (i * 7 + 3) % 128).collect();
+        let short_prompt = prompts()[0].clone();
+        let long = serving
+            .submit(
+                Request::new(long_prompt.clone(), GenerationOptions::max_tokens(4))
+                    .with_class(QosClass::Background),
+            )
+            .expect("queued");
+        let short = serving
+            .submit(
+                Request::new(short_prompt.clone(), GenerationOptions::max_tokens(20))
+                    .with_class(QosClass::Interactive),
+            )
+            .expect("queued");
+
+        // Round 1 admits both: the long prompt feeds its admission chunk
+        // (8 of 48) and parks in the Prefilling state; the short prompt fits
+        // in one chunk, so its admission round decodes immediately —
+        // interactive weight 4 over background quantum 1 yields 4 tokens.
+        serving.serve_round();
+        assert_eq!(serving.prefilling_sessions(), 1);
+        assert_eq!(serving.prefill_tokens_remaining(), 40);
+        assert_eq!(short.drain_tokens().len(), 4);
+        assert!(long.drain_tokens().is_empty(), "still prefilling");
+
+        // Rounds 2–5: one 8-token chunk per round, and the interactive
+        // stream never stalls for more than that chunk — it still gets its
+        // full 4-token share every round.
+        for fed in [16usize, 24, 32, 40] {
+            serving.serve_round();
+            assert_eq!(serving.prefill_tokens_remaining(), 48 - fed);
+            assert_eq!(short.drain_tokens().len(), 4);
+        }
+        assert!(short.is_finished(), "20 interactive tokens streamed");
+
+        // Round 6 feeds the final chunk and — scheduled exactly like a
+        // monolithic admission turn — decodes the first token in the same
+        // round.
+        serving.serve_round();
+        assert_eq!(serving.prefilling_sessions(), 0);
+        assert_eq!(long.drain_tokens().len(), 1);
+
+        serving.run_until_idle();
+        // Serial twins replay each session's exact construction: the long
+        // prompt's first chunk through the tiled prefill and the remainder
+        // through the extend path; the short prompt fit one chunk, so its
+        // twin is the plain one-shot run.
+        let mut serial = engine.session();
+        serial.prefill(&long_prompt[..8]);
+        serial.append_prompt(&long_prompt[8..]);
+        let expected = serial.generate(&GenerationOptions::max_tokens(4));
+        assert_eq!(long.report().expect("finished").tokens, expected.tokens);
+        let mut serial = engine.session();
+        serial.prefill(&short_prompt);
+        let expected = serial.generate(&GenerationOptions::max_tokens(20));
+        assert_eq!(short.report().expect("finished").tokens, expected.tokens);
+        // 6 chunks for the long prompt, 1 admission chunk for the short one.
+        assert_eq!(serving.stats().prefill_chunks, 7);
+        assert_eq!(long.report().expect("done").prefill_chunks, 6);
+        assert_eq!(
+            serving.stats().prefill_tokens_by_class,
+            [short_prompt.len() as u64, 0, 48]
+        );
+    }
+
+    /// Cancellation lands at a chunk boundary: the rest of the prompt is
+    /// never fed, the slot frees, and the queued request behind it runs to
+    /// completion untouched.
+    #[test]
+    fn cancel_mid_prefill_frees_the_slot_at_a_chunk_boundary() {
+        let engine = engine(false, 15);
+        let mut serving = ServingEngine::new(
+            &engine,
+            ServingConfig {
+                max_resident: 1,
+                prefill_chunk_tokens: 4,
+                ..ServingConfig::default()
+            },
+        );
+        let long_prompt: Vec<u32> = (0..40u32).map(|i| (i * 11 + 2) % 128).collect();
+        let doomed = serving
+            .submit(Request::new(long_prompt, GenerationOptions::max_tokens(8)))
+            .expect("queued");
+        let next_prompt = prompts()[1].clone();
+        let next = serving
+            .submit(Request::new(
+                next_prompt.clone(),
+                GenerationOptions::max_tokens(5),
+            ))
+            .expect("queued");
+        // Admission chunk + two scheduled chunks: 12 of 40 tokens fed.
+        for _ in 0..3 {
+            serving.serve_round();
+        }
+        assert_eq!(serving.prefill_tokens_remaining(), 28);
+        doomed.cancel();
+        serving.run_until_idle();
+        let report = doomed.report().expect("cancelled mid-prefill");
+        assert!(report.cancelled);
+        assert!(report.tokens.is_empty(), "never reached decoding");
+        assert_eq!(report.prompt_tokens, 12, "stopped at the chunk boundary");
+        assert_eq!(report.prefill_chunks, 3);
+        assert_eq!(serving.prefilling_sessions(), 0);
+        // The freed slot serves the queued request bit-identically (its
+        // 5-token prompt chunks as 4 + 1, which the twin replays).
+        let mut serial = engine.session();
+        serial.prefill(&next_prompt[..4]);
+        serial.append_prompt(&next_prompt[4..]);
+        let expected = serial.generate(&GenerationOptions::max_tokens(5));
+        assert_eq!(next.report().expect("done").tokens, expected.tokens);
+        assert_eq!(serving.stats().cancelled, 1);
+        assert_eq!(serving.stats().completed, 1);
     }
 }

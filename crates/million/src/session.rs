@@ -179,6 +179,9 @@ pub struct InferenceSession<'e> {
     /// Prompt tokens admitted through [`InferenceSession::prefill`]
     /// (including prefix tokens satisfied from the store).
     prefill_admitted: usize,
+    /// Number of [`InferenceSession::prefill_chunk`] executions (a monolithic
+    /// [`InferenceSession::prefill`] counts as one chunk).
+    prefill_chunks: usize,
     /// Set when sealing found a resident block with this session's token
     /// chain but *different* codes (same tokens admitted through a different
     /// prefill/turn segmentation). The session then keeps its tail private
@@ -223,6 +226,7 @@ impl<'e> InferenceSession<'e> {
             prefix_reused: 0,
             prefill_ns: 0,
             prefill_admitted: 0,
+            prefill_chunks: 0,
             seal_stalled: false,
         }
     }
@@ -342,6 +346,13 @@ impl<'e> InferenceSession<'e> {
         self.prefill_ns
     }
 
+    /// Number of prefill chunks executed during admission. A monolithic
+    /// [`Self::prefill`] counts as one; a chunked admission driven through
+    /// [`Self::prefill_begin`]/[`Self::prefill_chunk`] counts each chunk.
+    pub fn prefill_chunks(&self) -> usize {
+        self.prefill_chunks
+    }
+
     /// Prompt tokens per second achieved during admission, or `0.0` before
     /// the first [`Self::prefill`].
     pub fn prefill_tokens_per_s(&self) -> f64 {
@@ -368,6 +379,23 @@ impl<'e> InferenceSession<'e> {
     /// [`Self::append_prompt`] for later turns), if the prompt is empty, or
     /// if it exceeds the model's context window.
     pub fn prefill(&mut self, prompt: &[u32]) {
+        let reused = self.prefill_begin(prompt);
+        self.prefill_chunk(&prompt[reused..]);
+    }
+
+    /// Opens a (possibly chunked) admission: validates the fresh-session
+    /// invariants and, with [`crate::MillionConfig::prefix_sharing`] enabled,
+    /// attaches any whole-block prompt prefix another session already sealed.
+    /// Returns the number of prompt tokens satisfied from the store; the
+    /// caller then feeds `prompt[reused..]` through one or more
+    /// [`Self::prefill_chunk`] calls. `prefill_begin` + a single chunk over
+    /// the whole remainder is exactly [`Self::prefill`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session already holds tokens (use
+    /// [`Self::append_prompt`] for later turns) or if the prompt is empty.
+    pub fn prefill_begin(&mut self, prompt: &[u32]) -> usize {
         assert_eq!(
             self.cached_tokens(),
             0,
@@ -375,6 +403,7 @@ impl<'e> InferenceSession<'e> {
         );
         assert!(!prompt.is_empty(), "prefill requires at least one token");
         let admission_start = std::time::Instant::now();
+        let mut reused = 0;
         if self.engine.config().prefix_sharing {
             // Keep at least the final token for the decode path: its logits
             // seed generation, so it can never be satisfied from the store.
@@ -384,7 +413,7 @@ impl<'e> InferenceSession<'e> {
                 None => Vec::new(),
             };
             if !attached.is_empty() {
-                let reused: usize = attached.iter().map(|(_, b)| b.len()).sum();
+                reused = attached.iter().map(|(_, b)| b.len()).sum();
                 for cache in &mut self.caches {
                     for (_, block) in &attached {
                         cache.attach_shared_block(block.clone());
@@ -396,38 +425,65 @@ impl<'e> InferenceSession<'e> {
                     .adopt(attached);
                 self.history.extend_from_slice(&prompt[..reused]);
                 self.prefix_reused = reused;
-                let logits = self.extend_prompt(&prompt[reused..]);
-                self.cur_logits = Some(logits);
-                self.prompt_tokens += prompt.len();
-                self.prefill_admitted += prompt.len();
-                self.prefill_ns += admission_start.elapsed().as_nanos() as u64;
-                return;
             }
         }
-        let logits = {
-            // Admissions across all of this engine's sessions share one
-            // tiled-prefill scratch, so the staging buffers are grown once
-            // and reused instead of being rebuilt per admission.
-            let mut scratch = self
-                .engine
-                .prefill_scratch()
-                .lock()
-                .expect("prefill scratch lock poisoned");
-            self.engine
-                .model()
-                .prefill_with_scratch(prompt, &mut self.caches, None, &mut scratch)
-        };
-        // In the asynchronous configuration the caches do not auto-encode, so
-        // the prompt KV is encoded here, on the spot — prompt encoding is part
-        // of prefill in the paper, only *decode-time* encoding is off the
-        // critical path.
-        self.encode_dense_now();
-        self.history.extend_from_slice(prompt);
-        self.cur_logits = Some(logits.row(prompt.len() - 1).to_vec());
-        self.prompt_tokens += prompt.len();
-        self.maybe_seal();
-        self.prefill_admitted += prompt.len();
+        self.prompt_tokens += reused;
+        self.prefill_admitted += reused;
         self.prefill_ns += admission_start.elapsed().as_nanos() as u64;
+        reused
+    }
+
+    /// Feeds one chunk of the opening prompt after [`Self::prefill_begin`].
+    /// The first chunk of a cold admission runs the tiled prefill kernel and
+    /// encodes the chunk's KV synchronously; every later chunk (and the
+    /// unmatched suffix of a warm admission) is teacher-forced through
+    /// [`Self::extend_prompt`], which is pinned bit-identical to having
+    /// prefilled the whole prompt in one shot. Chunk boundaries are therefore
+    /// scheduling artefacts only — the token stream a session produces does
+    /// not depend on them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty.
+    pub fn prefill_chunk(&mut self, tokens: &[u32]) {
+        assert!(
+            !tokens.is_empty(),
+            "prefill_chunk requires at least one token"
+        );
+        let chunk_start = std::time::Instant::now();
+        if self.cached_tokens() == 0 {
+            let logits = {
+                // Admissions across all of this engine's sessions share one
+                // tiled-prefill scratch, so the staging buffers are grown once
+                // and reused instead of being rebuilt per admission.
+                let mut scratch = self
+                    .engine
+                    .prefill_scratch()
+                    .lock()
+                    .expect("prefill scratch lock poisoned");
+                self.engine.model().prefill_with_scratch(
+                    tokens,
+                    &mut self.caches,
+                    None,
+                    &mut scratch,
+                )
+            };
+            // In the asynchronous configuration the caches do not auto-encode,
+            // so the chunk's KV is encoded here, on the spot — prompt encoding
+            // is part of prefill in the paper, only *decode-time* encoding is
+            // off the critical path.
+            self.encode_dense_now();
+            self.history.extend_from_slice(tokens);
+            self.cur_logits = Some(logits.row(tokens.len() - 1).to_vec());
+            self.maybe_seal();
+        } else {
+            let logits = self.extend_prompt(tokens);
+            self.cur_logits = Some(logits);
+        }
+        self.prompt_tokens += tokens.len();
+        self.prefill_admitted += tokens.len();
+        self.prefill_chunks += 1;
+        self.prefill_ns += chunk_start.elapsed().as_nanos() as u64;
     }
 
     /// Continues a multi-turn conversation: feeds `tokens` through the
@@ -788,6 +844,7 @@ impl<'e> InferenceSession<'e> {
         self.prefix_reused = 0;
         self.prefill_ns = 0;
         self.prefill_admitted = 0;
+        self.prefill_chunks = 0;
         self.seal_stalled = false;
         self.sent.iter_mut().for_each(|s| *s = 0);
         self.cur_logits = None;

@@ -113,6 +113,10 @@ pub struct ServingSettings {
     /// Rounds after which a starved queued request jumps the admission
     /// order.
     pub admission_aging_rounds: u64,
+    /// Admission prefill chunk size in tokens; long prompts are
+    /// teacher-forced one chunk per serve round so they never stall
+    /// resident decodes (0 = monolithic admission prefill).
+    pub prefill_chunk_tokens: usize,
 }
 
 impl Default for ServingSettings {
@@ -123,6 +127,7 @@ impl Default for ServingSettings {
             queue_capacity: d.queue_capacity,
             kv_byte_budget: d.kv_byte_budget.unwrap_or(0),
             admission_aging_rounds: d.admission_aging_rounds,
+            prefill_chunk_tokens: d.prefill_chunk_tokens,
         }
     }
 }
@@ -200,6 +205,7 @@ const KEYS: &[(&str, &str)] = &[
     ("serving", "queue_capacity"),
     ("serving", "kv_byte_budget"),
     ("serving", "admission_aging_rounds"),
+    ("serving", "prefill_chunk_tokens"),
 ];
 
 fn parse_num<T: std::str::FromStr>(section: &str, key: &str, raw: &str) -> Result<T, ConfigError> {
@@ -282,6 +288,9 @@ impl AppConfig {
             }
             ("serving", "admission_aging_rounds") => {
                 self.serving.admission_aging_rounds = parse_num(section, key, raw)?
+            }
+            ("serving", "prefill_chunk_tokens") => {
+                self.serving.prefill_chunk_tokens = parse_num(section, key, raw)?
             }
             _ => return Err(ConfigError::UnknownKey(format!("{section}.{key}"))),
         }
@@ -483,6 +492,7 @@ impl ServingSettings {
             queue_capacity: self.queue_capacity,
             kv_byte_budget: (self.kv_byte_budget > 0).then_some(self.kv_byte_budget),
             admission_aging_rounds: self.admission_aging_rounds,
+            prefill_chunk_tokens: self.prefill_chunk_tokens,
             ..ServingConfig::default()
         }
     }

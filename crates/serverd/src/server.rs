@@ -482,6 +482,9 @@ struct Totals {
     rejected: u64,
     queued: usize,
     resident: usize,
+    prefilling: usize,
+    prefill_tokens_remaining: usize,
+    prefill_chunks: u64,
     kv_bytes: usize,
     fleet_kv_bytes: usize,
     max_dedup_ratio: f64,
@@ -504,6 +507,9 @@ fn metrics(stream: &mut TcpStream, router: &Router) {
         rejected: shards.iter().map(|s| s.stats.rejected).sum(),
         queued: shards.iter().map(|s| s.queued).sum(),
         resident: shards.iter().map(|s| s.resident).sum(),
+        prefilling: shards.iter().map(|s| s.prefilling).sum(),
+        prefill_tokens_remaining: shards.iter().map(|s| s.prefill_tokens_remaining).sum(),
+        prefill_chunks: shards.iter().map(|s| s.stats.prefill_chunks).sum(),
         kv_bytes: shards.iter().map(|s| s.kv_bytes).sum(),
         fleet_kv_bytes: shards.iter().map(|s| s.fleet_kv_bytes).sum(),
         max_dedup_ratio: shards.iter().map(|s| s.dedup_ratio).fold(0.0, f64::max),

@@ -84,6 +84,10 @@ pub struct ShardGauges {
     pub queued: AtomicUsize,
     /// Quantized KV bytes attributed to this shard's live sessions.
     pub kv_bytes: AtomicUsize,
+    /// Residents currently admitting their prompt in chunks.
+    pub prefilling: AtomicUsize,
+    /// Prompt tokens still to be prefilled across prefilling residents.
+    pub prefill_tokens_remaining: AtomicUsize,
     /// Scheduling rounds run so far.
     pub rounds: AtomicU64,
     /// Set once the shard enters drain; admission is closed.
@@ -108,6 +112,11 @@ pub struct ShardSnapshot {
     pub queued: usize,
     /// Sessions currently resident.
     pub resident: usize,
+    /// Residents currently admitting their prompt in chunks (the
+    /// *Prefilling* state).
+    pub prefilling: usize,
+    /// Prompt tokens still to be prefilled across prefilling residents.
+    pub prefill_tokens_remaining: usize,
     /// Quantized KV bytes across live sessions (shared blocks counted
     /// once per session).
     pub kv_bytes: usize,
@@ -372,6 +381,12 @@ fn publish(serving: &ServingEngine<'_>, gauges: &ShardGauges) {
         .queued
         .store(serving.queued_requests(), Ordering::Relaxed);
     gauges.kv_bytes.store(serving.kv_bytes(), Ordering::Relaxed);
+    gauges
+        .prefilling
+        .store(serving.prefilling_sessions(), Ordering::Relaxed);
+    gauges
+        .prefill_tokens_remaining
+        .store(serving.prefill_tokens_remaining(), Ordering::Relaxed);
     gauges.rounds.store(serving.rounds(), Ordering::Relaxed);
     gauges
         .draining
@@ -386,6 +401,8 @@ fn snapshot(index: usize, serving: &ServingEngine<'_>, gauges: &ShardGauges) -> 
         rounds: serving.rounds(),
         queued: serving.queued_requests(),
         resident: serving.resident_sessions(),
+        prefilling: serving.prefilling_sessions(),
+        prefill_tokens_remaining: serving.prefill_tokens_remaining(),
         kv_bytes: serving.kv_bytes(),
         fleet_kv_bytes: serving.fleet_kv_bytes(),
         draining: gauges.draining.load(Ordering::Relaxed) || serving.is_draining(),

@@ -504,6 +504,82 @@ fn mid_stream_disconnect_cancels_and_frees_the_slot() {
     join.join().unwrap();
 }
 
+/// A client that vanishes while its long prompt is still being chunked in
+/// never gets a token; the cancellation lands at a prefill chunk boundary,
+/// the rest of the prompt is never fed, and the slot frees.
+#[test]
+fn disconnect_mid_prefill_cancels_at_a_chunk_boundary() {
+    let mut config = AppConfig {
+        engine: tiny_engine_settings(),
+        ..AppConfig::default()
+    };
+    config.server.shards = 1;
+    config.serving.max_resident = 1;
+    config.serving.prefill_chunk_tokens = 4;
+    let (control, join) = start_server(config);
+    let addr = control.addr();
+    let shard = control.router().shard(0);
+
+    shard.pause(true);
+    // 50 chunks of prompt: the dead socket is detected (a few keep-alive
+    // writes) long before the prompt could finish feeding.
+    let prompt: Vec<u32> = (0..200u32).map(|i| (i * 7 + 3) % 128).collect();
+    let body = format!(
+        "{{\"prompt\": {}, \"max_new_tokens\": 5}}",
+        prompt_json(&prompt)
+    );
+
+    // Hand-rolled client so the socket can be dropped mid-prefill.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(
+            format!(
+                "POST /v1/generate HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+
+    let (ok, doc) = wait_for_metrics(addr, Duration::from_secs(5), |doc| {
+        total(doc, "submitted") == 1.0
+    });
+    assert!(ok, "request submitted: {doc:?}");
+
+    // Admission chunk + two scheduled chunks: 12 of 200 tokens fed, the
+    // request is resident but still prefilling, and no token has streamed.
+    shard.step(3);
+    let (ok, doc) = wait_for_metrics(addr, Duration::from_secs(5), |doc| {
+        total(doc, "prefill_chunks") == 3.0
+    });
+    assert!(ok, "three chunks executed: {doc:?}");
+    assert_eq!(total(&doc, "prefilling"), 1.0);
+    assert_eq!(total(&doc, "prefill_tokens_remaining"), 188.0);
+    assert_eq!(total(&doc, "resident"), 1.0);
+
+    // The client vanishes mid-prefill; the handler notices the dead socket
+    // on a keep-alive write and cancels. A few more chunks may run before
+    // the flag lands, but the boundary it lands on frees the slot with the
+    // bulk of the prompt never fed and not one token decoded.
+    drop(stream);
+    let (ok, doc) = wait_for_metrics(addr, Duration::from_secs(10), |doc| {
+        shard.step(1);
+        total(doc, "cancelled") == 1.0 && total(doc, "resident") == 0.0
+    });
+    assert!(ok, "disconnect frees the prefilling slot: {doc:?}");
+    assert_eq!(total(&doc, "completed"), 0.0, "never reached decoding");
+    assert_eq!(total(&doc, "prefilling"), 0.0);
+    assert_eq!(total(&doc, "prefill_tokens_remaining"), 0.0);
+    assert!(
+        total(&doc, "prefill_chunks") < 50.0,
+        "the remaining prompt was never fed: {doc:?}"
+    );
+
+    shard.pause(false);
+    control.shutdown();
+    join.join().unwrap();
+}
+
 #[test]
 fn deadline_over_http_reports_timed_out() {
     let mut config = AppConfig {

@@ -1,7 +1,8 @@
 //! Continuous-batching serving: staggered arrivals, mixed prompt lengths,
-//! QoS priorities, and a mid-flight cancellation — the traffic shape the
-//! paper's PQ cache exists for, where requests come and go while the
-//! resident batch never stops decoding.
+//! QoS priorities, a mid-flight cancellation, and a very long prompt that
+//! trickles in through chunked prefill while the interactive streams keep
+//! decoding — the traffic shape the paper's PQ cache exists for, where
+//! requests come and go while the resident batch never stops decoding.
 //!
 //! Run with `cargo run --release -p million --example continuous_serving`.
 
@@ -13,12 +14,16 @@ use million_eval::corpus::{CorpusConfig, SyntheticCorpus};
 use million_model::{ModelConfig, Sampler, Transformer};
 
 /// `(arrival_round, prompt_tokens, max_new_tokens, class)` — a bursty
-/// schedule with long background work early and urgent traffic late.
+/// schedule with long background work early and urgent traffic late. The
+/// round-6 arrival is a 768-token document summarisation landing on top of
+/// live streams: with `prefill_chunk_tokens` set, its prefill runs one
+/// chunk per round instead of freezing the fleet for the whole prompt.
 const WORKLOAD: &[(u64, usize, usize, QosClass)] = &[
     (0, 192, 48, QosClass::Background),
     (0, 96, 40, QosClass::Standard),
     (2, 256, 48, QosClass::Background),
     (4, 64, 24, QosClass::Standard),
+    (6, 768, 16, QosClass::Background),
     (6, 48, 12, QosClass::Interactive),
     (9, 160, 40, QosClass::Background),
     (12, 32, 8, QosClass::Interactive),
@@ -35,14 +40,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &corpus.generate(512),
     )?;
 
-    // Three decode slots for eight requests: the queue, the admission
-    // policy, and per-round retirement do the rest.
+    // Three decode slots for nine requests: the queue, the admission
+    // policy, and per-round retirement do the rest. The 96-token prefill
+    // chunk bounds how much admission work any single round can charge,
+    // so the 768-token arrival never stalls the resident streams.
     let mut serving = ServingEngine::new(
         &engine,
         ServingConfig {
             max_resident: 3,
             queue_capacity: 16,
             kv_byte_budget: Some(64 << 20),
+            prefill_chunk_tokens: 96,
             ..ServingConfig::default()
         },
     );
@@ -91,6 +99,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             handles[0].cancel();
             cancelled_one = true;
             println!("round   8: client cancelled request 0 mid-flight");
+        }
+        if serving.prefilling_sessions() > 0 {
+            println!(
+                "round {:>3}: long prompt trickling in — {} tokens of prefill left, \
+                 {} resident streams still decoding",
+                serving.rounds(),
+                serving.prefill_tokens_remaining(),
+                serving.active_sessions() - serving.prefilling_sessions(),
+            );
         }
         if serving.rounds().is_multiple_of(8) {
             println!(
@@ -143,6 +160,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "  peaks                : {} resident sessions, {} queued requests",
         stats.max_resident_sessions, stats.max_queue_depth
+    );
+    println!(
+        "  chunked prefill      : {} chunks, prefill tokens i/s/b {}/{}/{}",
+        stats.prefill_chunks,
+        stats.prefill_tokens_by_class[QosClass::Interactive.index()],
+        stats.prefill_tokens_by_class[QosClass::Standard.index()],
+        stats.prefill_tokens_by_class[QosClass::Background.index()],
     );
     Ok(())
 }

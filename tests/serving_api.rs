@@ -286,3 +286,270 @@ fn staggered_arrivals_reuse_the_resident_prefix_inside_the_loop() {
         assert_eq!(report.tokens.len(), 6);
     }
 }
+
+/// Tentpole contract: chunked admission is invisible in the token stream.
+/// Sweeping the chunk size across degenerate-small (1), prime-and-awkward
+/// (7), the default (512), and larger-than-any-prompt — with prefix sharing
+/// on, so both cold and warm (store-attached) admissions ride the chunk
+/// path — every request stays bit-identical to a serial one-shot run.
+///
+/// For chunk sizes covering the whole prompt (0, 512, 4096 here) this is
+/// structural: admission *is* the one-shot path. For sub-prompt chunks the
+/// suffix rides the extend path, whose agreement with one-shot prefill is
+/// the PR 3 session contract (decode-path attention over quantized codes);
+/// this fixed-seed run pins the streams as exactly equal. The structural
+/// sub-prompt guarantee — scheduling never changes what attention sees — is
+/// pinned against split serial twins in the two tests below.
+#[test]
+fn chunked_prefill_is_bit_identical_across_chunk_sizes_and_warm_admissions() {
+    let config = ModelConfig::tiny_for_tests();
+    let system = prompt(&config, 38); // 2 whole blocks of 16 + 6
+    let mut prompts: Vec<Vec<u32>> = (0..2).map(|i| prompt(&config, 40 + 9 * i)).collect();
+    // Two more share the system prefix; the second admits warm once the
+    // first has sealed its blocks.
+    for user in 0..2u32 {
+        let mut p = system.clone();
+        p.extend((0..5).map(|i| (user * 13 + i * 7 + 2) % config.vocab_size as u32));
+        prompts.push(p);
+    }
+
+    for chunk_tokens in [0usize, 1, 7, 512, 4096] {
+        let shared_cfg = sync_config(config.head_dim())
+            .with_block_tokens(16)
+            .with_prefix_sharing();
+        let engine = build_engine(&config, shared_cfg, 29);
+        let mut serving = ServingEngine::new(
+            &engine,
+            ServingConfig {
+                max_resident: 2, // forces queueing + mid-flight refills
+                prefill_chunk_tokens: chunk_tokens,
+                ..ServingConfig::default()
+            },
+        );
+        let handles: Vec<_> = prompts
+            .iter()
+            .map(|p| {
+                serving
+                    .submit(Request::new(p.clone(), GenerationOptions::max_tokens(8)))
+                    .expect("queued")
+            })
+            .collect();
+        serving.run_until_idle();
+        for (p, handle) in prompts.iter().zip(&handles) {
+            let report = handle.report().expect("finished");
+            let mut serial = engine.session();
+            serial.prefill(p);
+            let expected = serial.generate(&GenerationOptions::max_tokens(8));
+            assert_eq!(
+                report.tokens,
+                expected.tokens,
+                "chunk_tokens={chunk_tokens} prompt_len={}",
+                p.len()
+            );
+        }
+        // The fourth request admits after its prefix twin finished, so it
+        // attaches the sealed system blocks — on the chunked path too.
+        let warm = handles[3].report().expect("finished");
+        assert_eq!(
+            warm.prefix_tokens_reused, 32,
+            "warm admission attaches under chunk_tokens={chunk_tokens}"
+        );
+    }
+}
+
+/// The structural half of the chunking contract, cold path: a served
+/// request's stream depends only on its session's cache-construction
+/// sequence — first chunk through the tiled prefill, the rest through the
+/// extend path — never on how the scheduler interleaved the chunks with
+/// other residents' work. The serial twin replays that exact construction
+/// (chunk call granularity is bitwise-invisible on the extend path), so
+/// equality here is guaranteed by design, not by a lucky seed.
+#[test]
+fn cold_chunked_admission_matches_the_split_serial_twin() {
+    let config = ModelConfig::tiny_for_tests();
+    for chunk_tokens in [1usize, 7, 512] {
+        // No store: every admission is cold and nothing is shared, so the
+        // twin reconstructs the served state exactly.
+        let engine = build_engine(&config, sync_config(config.head_dim()), 43);
+        let mut serving = ServingEngine::new(
+            &engine,
+            ServingConfig {
+                max_resident: 2,
+                prefill_chunk_tokens: chunk_tokens,
+                ..ServingConfig::default()
+            },
+        );
+        let prompts: Vec<Vec<u32>> = (0..3).map(|i| prompt(&config, 30 + 13 * i)).collect();
+        let handles: Vec<_> = prompts
+            .iter()
+            .map(|p| {
+                serving
+                    .submit(Request::new(p.clone(), GenerationOptions::max_tokens(8)))
+                    .expect("queued")
+            })
+            .collect();
+        serving.run_until_idle();
+        for (p, handle) in prompts.iter().zip(&handles) {
+            let first = chunk_tokens.min(p.len());
+            let mut twin = engine.session();
+            twin.prefill(&p[..first]);
+            if first < p.len() {
+                twin.append_prompt(&p[first..]);
+            }
+            let expected = twin.generate(&GenerationOptions::max_tokens(8));
+            assert_eq!(
+                handle.report().expect("finished").tokens,
+                expected.tokens,
+                "chunk_tokens={chunk_tokens} prompt_len={}",
+                p.len()
+            );
+        }
+    }
+}
+
+/// The structural half of the chunking contract, warm path: a warm chunked
+/// admission (store prefix attached, remainder chunked through the extend
+/// path) is bit-identical to a warm serial one-shot admission — attach is
+/// code adoption and the unmatched suffix rides the extend path in both,
+/// so this identity holds for every chunk size, monolithic included. The
+/// budgeted store keeps the seeder's blocks resident after it retires,
+/// which is what lets the serial twin admit warm after the fact.
+#[test]
+fn warm_chunked_admission_is_bit_identical_to_a_warm_serial_twin() {
+    let config = ModelConfig::tiny_for_tests();
+    for chunk_tokens in [0usize, 1, 7, 512] {
+        let shared_cfg = sync_config(config.head_dim())
+            .with_block_tokens(16)
+            .with_store_byte_budget(8 << 20)
+            .with_prefix_sharing();
+        let engine = build_engine(&config, shared_cfg, 41);
+        let mut serving = ServingEngine::new(
+            &engine,
+            ServingConfig {
+                max_resident: 2,
+                prefill_chunk_tokens: chunk_tokens,
+                ..ServingConfig::default()
+            },
+        );
+        let system = prompt(&config, 38); // 2 whole blocks of 16 + 6
+        let mut p = system.clone();
+        p.extend([9u32, 4, 77, 15, 6]);
+
+        // The seeder seals the shared blocks and retires before the warm
+        // request arrives.
+        let seeder = serving
+            .submit(Request::new(
+                system.clone(),
+                GenerationOptions::max_tokens(4),
+            ))
+            .expect("queued");
+        serving.run_until_idle();
+        assert!(seeder.is_finished());
+
+        let warm = serving
+            .submit(Request::new(p.clone(), GenerationOptions::max_tokens(8)))
+            .expect("queued");
+        serving.run_until_idle();
+        let report = warm.report().expect("finished");
+        assert_eq!(
+            report.prefix_tokens_reused, 32,
+            "warm admission attaches under chunk_tokens={chunk_tokens}"
+        );
+
+        let mut twin = engine.session();
+        twin.prefill(&p);
+        assert_eq!(twin.prefix_tokens_reused(), 32, "twin admits warm too");
+        let expected = twin.generate(&GenerationOptions::max_tokens(8));
+        assert_eq!(
+            report.tokens, expected.tokens,
+            "chunk_tokens={chunk_tokens}"
+        );
+    }
+}
+
+/// A deadline expiring mid-prefill retires the slot at the next round
+/// boundary — a chunk boundary — with the request reported as timed out,
+/// never as cancelled, and no tokens ever decoded.
+#[test]
+fn deadline_expiry_mid_prefill_retires_at_the_chunk_boundary() {
+    let config = ModelConfig::tiny_for_tests();
+    let engine = build_engine(&config, sync_config(config.head_dim()), 31);
+    let mut serving = ServingEngine::new(
+        &engine,
+        ServingConfig {
+            max_resident: 1,
+            prefill_chunk_tokens: 8,
+            ..ServingConfig::default()
+        },
+    );
+    let long = prompt(&config, 64);
+    let doomed = serving
+        .submit(Request::new(long, GenerationOptions::max_tokens(8)).with_deadline_ms(150))
+        .expect("queued");
+    // Two rounds feed 16 of 64 tokens; the deadline then lapses while the
+    // request is still prefilling.
+    serving.serve_round();
+    serving.serve_round();
+    assert_eq!(serving.prefilling_sessions(), 1);
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    serving.serve_round();
+    let report = doomed.report().expect("timed out mid-prefill");
+    assert!(report.timed_out);
+    assert!(!report.cancelled, "distinct from cancellation");
+    assert!(report.tokens.is_empty(), "never reached decoding");
+    assert_eq!(report.prompt_tokens, 16, "stopped at the chunk boundary");
+    assert_eq!(serving.prefilling_sessions(), 0, "slot freed");
+    assert!(serving.is_idle());
+}
+
+/// Draining in persist mode mid-prefill snapshots the partially-fed
+/// session. Restoring it and feeding the *rest* of the prompt continues
+/// bit-identically with a serial one-shot run — the chunked prefix state is
+/// exactly the serial prefix state.
+#[test]
+fn drain_persist_mid_prefill_restores_and_completes_identically() {
+    let config = ModelConfig::tiny_for_tests();
+    let engine = build_engine(&config, sync_config(config.head_dim()), 37);
+    let dir = std::env::temp_dir().join(format!("million_drain_prefill_{}", std::process::id()));
+    let mut serving = ServingEngine::new(
+        &engine,
+        ServingConfig {
+            max_resident: 1,
+            prefill_chunk_tokens: 8,
+            ..ServingConfig::default()
+        },
+    );
+    let p = prompt(&config, 56);
+    let handle = serving
+        .submit(Request::new(p.clone(), GenerationOptions::max_tokens(10)))
+        .expect("queued");
+    // Admission chunk + one scheduled chunk: 16 of 56 tokens fed.
+    serving.serve_round();
+    serving.serve_round();
+    let report = serving.drain(Some(&dir)).expect("drain persists");
+    assert_eq!(report.persisted.len(), 1);
+    assert!(serving.is_idle(), "mid-prefill resident retired");
+    let partial = handle.report().expect("retired");
+    assert!(partial.cancelled, "stream ended early");
+    assert!(partial.tokens.is_empty());
+    assert_eq!(partial.prompt_tokens, 16, "snapshot taken at the boundary");
+
+    let (id, path) = &report.persisted[0];
+    assert_eq!(*id, handle.id());
+    let mut restored = engine.restore_session(path).expect("snapshot loads");
+    restored.append_prompt(&p[16..]);
+    let resumed = restored.generate(&GenerationOptions::max_tokens(10));
+    // The serial twin mirrors the chunked construction — first chunk through
+    // the tiled prefill, the rest through the extend path (PR 3's resume
+    // primitive); chunk call granularity is bitwise-invisible, so one
+    // append_prompt of the whole remainder is the same state.
+    let mut serial = engine.session();
+    serial.prefill(&p[..8]);
+    serial.append_prompt(&p[8..]);
+    let expected = serial.generate(&GenerationOptions::max_tokens(10));
+    assert_eq!(
+        resumed.tokens, expected.tokens,
+        "restored mid-prefill state splices into the serial stream"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
