@@ -68,6 +68,7 @@
 pub mod async_quant;
 pub mod config;
 pub mod engine;
+pub mod observe;
 mod persist;
 pub mod scheduler;
 pub mod serving;
@@ -78,6 +79,9 @@ pub use async_quant::QuantWorker;
 pub use config::MillionConfig;
 pub use engine::{GenerationResult, MillionEngine};
 pub use million_store::{Block, BlockStore, StoreStats};
+pub use observe::{
+    HistogramReport, RequestInfo, RequestState, RoundPhase, ServingTelemetry, TelemetrySnapshot,
+};
 pub use scheduler::{BatchScheduler, SessionReport};
 pub use serving::{
     DrainReport, QosClass, Request, RequestHandle, RequestId, ServingConfig, ServingEngine,

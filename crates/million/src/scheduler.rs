@@ -71,6 +71,13 @@ pub struct SessionReport {
     pub queue_wait_ns: u64,
     /// Whole scheduling rounds the request waited in the pending queue.
     pub queue_wait_rounds: u64,
+    /// Wall-clock nanoseconds from submission to the first generated token
+    /// (time-to-first-token). 0 when no token was ever generated, and for
+    /// [`BatchScheduler`] sessions, which are driven outside serve rounds.
+    pub first_token_ns: u64,
+    /// Wall-clock nanoseconds spent in decode steps (forward pass plus
+    /// sampling), accumulated across the request's generated tokens.
+    pub decode_ns: u64,
     /// Whether generation ended on a stop token (as opposed to the length
     /// budget).
     pub stopped_early: bool,

@@ -66,10 +66,12 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use million_model::Sampler;
+use million_telemetry::{Event, EventKind, RetireOutcome};
 use serde::Serialize;
 
 use crate::async_quant::QuantWorker;
 use crate::engine::MillionEngine;
+use crate::observe::{RequestInfo, RequestState, RoundPhase, ServingTelemetry, TelemetrySnapshot};
 use crate::scheduler::SessionReport;
 use crate::session::{GenerationOptions, InferenceSession, StepResult};
 
@@ -368,6 +370,21 @@ pub struct ServingConfig {
     /// finished requests keep their session (and KV) alive and are reported
     /// at [`ServingEngine::shutdown`] instead of being retired per round.
     pub retain_finished: bool,
+    /// Whether the engine records serving telemetry: the TTFT /
+    /// inter-token / queue-wait / end-to-end latency histograms, per-phase
+    /// `serve_round` timing, and the request-lifecycle event journal (see
+    /// [`crate::observe::ServingTelemetry`]). When off, the instrumented
+    /// paths take **no** `Instant::now()` readings and touch nothing but
+    /// the flag — per-request report timing ([`SessionReport::prefill_ns`],
+    /// [`SessionReport::queue_wait_ns`], [`SessionReport::first_token_ns`],
+    /// [`SessionReport::decode_ns`]) is part of the report contract and
+    /// stays on regardless.
+    pub telemetry: bool,
+    /// Capacity of the request-lifecycle event journal ring (events, not
+    /// bytes). The ring is preallocated and drops its oldest entry when
+    /// full, so journalling never allocates or blocks serving. `0`
+    /// disables journalling while keeping the histograms.
+    pub journal_events: usize,
 }
 
 impl Default for ServingConfig {
@@ -379,6 +396,8 @@ impl Default for ServingConfig {
             admission_aging_rounds: 64,
             prefill_chunk_tokens: 512,
             retain_finished: false,
+            telemetry: true,
+            journal_events: 4096,
         }
     }
 }
@@ -447,6 +466,14 @@ struct Pending {
 }
 
 impl Pending {
+    /// Wall-clock nanoseconds this request has waited since submission —
+    /// the single definition of queue wait, read both when a request is
+    /// admitted and when it is shed unadmitted, so queued-vs-resident wait
+    /// is measured identically.
+    fn queue_wait_ns(&self) -> u64 {
+        self.submitted_at.elapsed().as_nanos() as u64
+    }
+
     /// Admission priority with aging: a request that has waited
     /// `aging_rounds` is promoted to the top class.
     fn effective_weight(&self, round: u64, aging_rounds: u64) -> u32 {
@@ -503,8 +530,18 @@ struct Resident<'e> {
     prefill: Option<PrefillJob>,
     shared: Arc<HandleShared>,
     tx: Sender<StepResult>,
+    /// When the request was submitted — the anchor for TTFT and
+    /// end-to-end latency.
+    submitted_at: Instant,
     queue_wait_ns: u64,
     queue_wait_rounds: u64,
+    /// Submission-to-first-token latency, set when the first decode token
+    /// is produced ([`SessionReport::first_token_ns`]).
+    first_token_ns: Option<u64>,
+    /// When the most recent decode token was produced. Maintained only
+    /// while telemetry is enabled (it feeds the inter-token histogram and
+    /// nothing else).
+    last_token_at: Option<Instant>,
     stopped_early: bool,
     /// Absolute wall-clock deadline carried over from the request, honoured
     /// at round boundaries.
@@ -539,6 +576,9 @@ pub struct ServingEngine<'e> {
     next_id: u64,
     round: u64,
     stats: ServingStats,
+    /// Latency histograms, per-phase round timing, and the lifecycle
+    /// journal ([`ServingConfig::telemetry`] gates all recording).
+    telemetry: ServingTelemetry,
     /// Once set ([`ServingEngine::drain`]), admission is closed for good:
     /// `submit` rejects and freed slots are never refilled.
     draining: bool,
@@ -547,6 +587,7 @@ pub struct ServingEngine<'e> {
 impl<'e> ServingEngine<'e> {
     /// Creates an idle serving engine with the given policy.
     pub fn new(engine: &'e MillionEngine, config: ServingConfig) -> Self {
+        let telemetry = ServingTelemetry::new(config.telemetry, config.journal_events);
         Self {
             engine,
             config,
@@ -557,6 +598,7 @@ impl<'e> ServingEngine<'e> {
             next_id: 0,
             round: 0,
             stats: ServingStats::default(),
+            telemetry,
             draining: false,
         }
     }
@@ -574,6 +616,65 @@ impl<'e> ServingEngine<'e> {
     /// Monotonic serving counters.
     pub fn stats(&self) -> ServingStats {
         self.stats
+    }
+
+    /// Serializable copy of the engine's latency histograms, per-phase
+    /// round timing, and journal counters. With
+    /// [`ServingConfig::telemetry`] off, every histogram reads empty.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.telemetry.snapshot()
+    }
+
+    /// Takes every buffered request-lifecycle event, oldest first — the
+    /// `GET /debug/trace` drain. Events carry monotonic nanosecond
+    /// timestamps since this engine's construction; render them with
+    /// [`million_telemetry::render_chrome_trace`].
+    pub fn drain_trace_events(&mut self) -> Vec<Event> {
+        self.telemetry.drain_events()
+    }
+
+    /// Live table of every request the engine currently knows about —
+    /// queued and resident — ordered by request id (the
+    /// `GET /debug/requests` view). Always available, telemetry enabled or
+    /// not: it reads scheduler state, no recorded history.
+    pub fn request_table(&self) -> Vec<RequestInfo> {
+        let now = Instant::now();
+        let mut out = Vec::with_capacity(self.pending.len() + self.resident.len());
+        for pending in &self.pending {
+            out.push(RequestInfo {
+                id: pending.id.0,
+                class: pending.request.class,
+                state: RequestState::Queued,
+                prompt_tokens: pending.request.prompt.len(),
+                tokens_fed: 0,
+                generated: 0,
+                age_ms: now.duration_since(pending.submitted_at).as_millis() as u64,
+            });
+        }
+        for slot in &self.resident {
+            let state = if slot.done {
+                RequestState::Finished
+            } else if slot.prefill.is_some() {
+                RequestState::Prefilling
+            } else {
+                RequestState::Decoding
+            };
+            let (prompt_tokens, tokens_fed) = match &slot.prefill {
+                Some(job) => (job.prompt.len(), job.fed),
+                None => (slot.session.prompt_tokens(), slot.session.prompt_tokens()),
+            };
+            out.push(RequestInfo {
+                id: slot.id.0,
+                class: slot.class,
+                state,
+                prompt_tokens,
+                tokens_fed,
+                generated: slot.tokens.len(),
+                age_ms: now.duration_since(slot.submitted_at).as_millis() as u64,
+            });
+        }
+        out.sort_by_key(|row| row.id);
+        out
     }
 
     /// Rounds served so far.
@@ -706,6 +807,7 @@ impl<'e> ServingEngine<'e> {
             rx,
             shared: shared.clone(),
         };
+        let (class, prompt_tokens) = (request.class, request.prompt.len() as u32);
         self.pending.push_back(Pending {
             id,
             request,
@@ -716,26 +818,75 @@ impl<'e> ServingEngine<'e> {
         });
         self.stats.submitted += 1;
         self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.pending.len());
+        self.telemetry.event(
+            id.0,
+            self.round,
+            EventKind::Submit {
+                class: class.name(),
+                prompt_tokens,
+            },
+        );
         Ok(handle)
     }
 
     /// Runs one scheduling round: retire finished/cancelled requests,
     /// refill freed slots from the queue, then one DWRR decode pass.
     /// Returns `(request, step)` for every token produced this round.
+    ///
+    /// With [`ServingConfig::telemetry`] on, each phase of the round is
+    /// timed into its [`RoundPhase`] histogram (both retirement passes sum
+    /// into one `Retire` sample, so every phase histogram counts exactly
+    /// one sample per round). Disabled, the round reads no clock.
     pub fn serve_round(&mut self) -> Vec<(RequestId, StepResult)> {
         self.round += 1;
         self.stats.rounds = self.round;
+        let mut mark = self.telemetry.clock();
         // Cancellations signalled between rounds are honoured before any
         // admission or decode work this round...
         self.reap_cancelled_pending();
         self.retire_done();
+        let retire_entry_ns = Self::lap(&mut mark);
         self.admit_ready();
-        let produced = self.decode_round();
+        let admit_ns = Self::lap(&mut mark);
+        let quantum = self.accrue_deficits();
+        if quantum.is_some() {
+            self.prefill_round();
+        }
+        let prefill_ns = Self::lap(&mut mark);
+        let produced = match quantum {
+            Some(quantum) => self.decode_pass(quantum),
+            None => Vec::new(),
+        };
+        let decode_ns = Self::lap(&mut mark);
         // ...and requests that finished *this* round retire immediately —
         // their KV is released now, not at the next round — so their slots
         // are refillable the moment the next round opens.
         self.retire_done();
+        let retire_exit_ns = Self::lap(&mut mark);
+        if mark.is_some() {
+            self.telemetry
+                .record_phase(RoundPhase::Retire, retire_entry_ns + retire_exit_ns);
+            self.telemetry.record_phase(RoundPhase::Admit, admit_ns);
+            self.telemetry
+                .record_phase(RoundPhase::PrefillChunk, prefill_ns);
+            self.telemetry.record_phase(RoundPhase::Decode, decode_ns);
+        }
         produced
+    }
+
+    /// Advances a phase-timing mark: returns the nanoseconds since `mark`
+    /// and moves it to now. With telemetry disabled the mark is `None` and
+    /// no clock is read.
+    fn lap(mark: &mut Option<Instant>) -> u64 {
+        match mark {
+            Some(prev) => {
+                let now = Instant::now();
+                let ns = now.duration_since(*prev).as_nanos() as u64;
+                *mark = Some(now);
+                ns
+            }
+            None => 0,
+        }
     }
 
     /// Serves rounds until every submitted request has completed or been
@@ -902,11 +1053,19 @@ impl<'e> ServingEngine<'e> {
                     .report
                     .lock()
                     .expect("request handle poisoned") = Some(report.clone());
-                if timed_out {
+                let (marker, outcome) = if timed_out {
                     self.stats.timed_out += 1;
+                    (EventKind::TimedOut, RetireOutcome::TimedOut)
                 } else {
                     self.stats.cancelled += 1;
-                }
+                    (EventKind::Cancelled, RetireOutcome::Cancelled)
+                };
+                self.telemetry.event(pending.id.0, round, marker);
+                self.telemetry.event(
+                    pending.id.0,
+                    round,
+                    EventKind::Retired { outcome, tokens: 0 },
+                );
                 self.reports.push(report);
             } else {
                 kept.push_back(pending);
@@ -925,11 +1084,15 @@ impl<'e> ServingEngine<'e> {
                 if self.resident[idx].shared.cancel.load(Ordering::Relaxed) {
                     self.resident[idx].done = true;
                     self.resident[idx].cancelled = true;
+                    self.telemetry
+                        .event(self.resident[idx].id.0, self.round, EventKind::Cancelled);
                 } else if self.resident[idx].deadline.is_some_and(|d| now >= d) {
                     // The deadline is honoured at the round boundary, like
                     // cancellation — mid-round steps are never torn.
                     self.resident[idx].done = true;
                     self.resident[idx].timed_out = true;
+                    self.telemetry
+                        .event(self.resident[idx].id.0, self.round, EventKind::TimedOut);
                 }
             }
             let cancelled = self.resident[idx].cancelled;
@@ -942,13 +1105,28 @@ impl<'e> ServingEngine<'e> {
                 let mut slot = self.resident.remove(idx);
                 let report = Self::build_report(&mut slot, cancelled, timed_out);
                 *slot.shared.report.lock().expect("request handle poisoned") = Some(report.clone());
-                if timed_out {
+                let outcome = if timed_out {
                     self.stats.timed_out += 1;
+                    RetireOutcome::TimedOut
                 } else if cancelled {
                     self.stats.cancelled += 1;
+                    RetireOutcome::Cancelled
                 } else {
                     self.stats.completed += 1;
+                    RetireOutcome::Completed
+                };
+                if self.telemetry.enabled() {
+                    self.telemetry
+                        .record_e2e(slot.submitted_at.elapsed().as_nanos() as u64);
                 }
+                self.telemetry.event(
+                    slot.id.0,
+                    self.round,
+                    EventKind::Retired {
+                        outcome,
+                        tokens: report.tokens.len() as u32,
+                    },
+                );
                 self.reports.push(report);
             } else {
                 idx += 1;
@@ -1019,6 +1197,7 @@ impl<'e> ServingEngine<'e> {
                 self.engine.model().cache_layout(),
             ));
         }
+        let queue_wait_ns = pending.queue_wait_ns();
         let Pending {
             id,
             request,
@@ -1034,6 +1213,9 @@ impl<'e> ServingEngine<'e> {
             class,
             deadline_ms,
         } = request;
+        self.telemetry.record_queue_wait(queue_wait_ns);
+        self.telemetry
+            .event(id.0, self.round, EventKind::Admit { queue_wait_ns });
         let deadline = deadline_ms.map(|ms| submitted_at + Duration::from_millis(ms));
         let mut session = InferenceSession::new(self.engine, id.0 as usize, true);
         let prefill = if self.config.prefill_chunk_tokens == 0 {
@@ -1041,6 +1223,14 @@ impl<'e> ServingEngine<'e> {
             self.stats.prefill_chunks += 1;
             self.stats.prefill_tokens_by_class[class.index()] +=
                 (prompt.len() - session.prefix_tokens_reused()) as u64;
+            self.telemetry.event(
+                id.0,
+                self.round,
+                EventKind::PrefillChunk {
+                    fed: prompt.len() as u32,
+                    remaining: 0,
+                },
+            );
             None
         } else {
             // Store prefix attachment still short-circuits before chunking:
@@ -1055,6 +1245,14 @@ impl<'e> ServingEngine<'e> {
             self.stats.prefill_chunks += 1;
             self.stats.prefill_tokens_by_class[class.index()] += take as u64;
             let fed = fed + take;
+            self.telemetry.event(
+                id.0,
+                self.round,
+                EventKind::PrefillChunk {
+                    fed: fed as u32,
+                    remaining: (prompt.len() - fed) as u32,
+                },
+            );
             if fed == prompt.len() {
                 None
             } else {
@@ -1084,8 +1282,11 @@ impl<'e> ServingEngine<'e> {
             prefill,
             shared,
             tx,
-            queue_wait_ns: submitted_at.elapsed().as_nanos() as u64,
+            submitted_at,
+            queue_wait_ns,
             queue_wait_rounds: self.round.saturating_sub(submit_round + 1),
+            first_token_ns: None,
+            last_token_at: None,
             stopped_early: false,
             deadline,
             done: false,
@@ -1097,21 +1298,27 @@ impl<'e> ServingEngine<'e> {
             self.stats.max_resident_sessions.max(self.resident.len());
     }
 
-    /// One deficit-weighted round-robin decode pass over the resident batch.
-    fn decode_round(&mut self) -> Vec<(RequestId, StepResult)> {
+    /// Opens this round's DWRR pass: computes the quantum (the minimum
+    /// class weight over residents still decoding) and accrues each active
+    /// slot's class weight into its deficit. `None` when nothing is
+    /// resident and active — the round has no prefill or decode work.
+    fn accrue_deficits(&mut self) -> Option<u32> {
         let quantum = self
             .resident
             .iter()
             .filter(|s| !s.done)
             .map(|s| s.class.weight())
-            .min();
-        let Some(quantum) = quantum else {
-            return Vec::new();
-        };
+            .min()?;
         for slot in self.resident.iter_mut().filter(|s| !s.done) {
             slot.deficit += slot.class.weight();
         }
-        self.prefill_round();
+        Some(quantum)
+    }
+
+    /// One deficit-weighted round-robin decode pass over the resident
+    /// batch, after [`ServingEngine::accrue_deficits`] and the round's
+    /// prefill chunks.
+    fn decode_pass(&mut self, quantum: u32) -> Vec<(RequestId, StepResult)> {
         let mut produced = Vec::new();
         loop {
             let mut progressed = false;
@@ -1138,6 +1345,27 @@ impl<'e> ServingEngine<'e> {
                 let mut step = slot.session.step_with(&mut slot.sampler);
                 slot.tokens.push(step.token);
                 self.stats.tokens_by_class[slot.class.index()] += 1;
+                if slot.tokens.len() == 1 {
+                    // TTFT is part of the report contract
+                    // ([`SessionReport::first_token_ns`]), so it is
+                    // measured whether or not telemetry records it — one
+                    // clock read per request lifetime, exactly like
+                    // `queue_wait_ns`. The identical value feeds the
+                    // histogram, so histogram sums reconcile with the
+                    // per-request reports to the nanosecond.
+                    let ttft_ns = slot.submitted_at.elapsed().as_nanos() as u64;
+                    slot.first_token_ns = Some(ttft_ns);
+                    self.telemetry.record_ttft(ttft_ns);
+                    self.telemetry
+                        .event(slot.id.0, self.round, EventKind::FirstToken { ttft_ns });
+                }
+                if let Some(now) = self.telemetry.clock() {
+                    if let Some(prev) = slot.last_token_at {
+                        self.telemetry
+                            .record_inter_token(now.duration_since(prev).as_nanos() as u64);
+                    }
+                    slot.last_token_at = Some(now);
+                }
                 if slot.options.stop.matches(step.token) {
                     step.matched_stop = true;
                     slot.stopped_early = true;
@@ -1211,6 +1439,14 @@ impl<'e> ServingEngine<'e> {
             let finished = job.remaining() == 0;
             self.stats.prefill_chunks += 1;
             self.stats.prefill_tokens_by_class[slot.class.index()] += take as u64;
+            self.telemetry.event(
+                slot.id.0,
+                self.round,
+                EventKind::PrefillChunk {
+                    fed: job.fed as u32,
+                    remaining: job.remaining() as u32,
+                },
+            );
             if finished {
                 slot.prefill = None;
             } else {
@@ -1272,6 +1508,8 @@ impl<'e> ServingEngine<'e> {
             prefill_chunks: slot.session.prefill_chunks(),
             queue_wait_ns: slot.queue_wait_ns,
             queue_wait_rounds: slot.queue_wait_rounds,
+            first_token_ns: slot.first_token_ns.unwrap_or(0),
+            decode_ns: slot.session.decode_ns(),
             stopped_early: slot.stopped_early,
             cancelled,
             timed_out,
@@ -1295,8 +1533,10 @@ impl<'e> ServingEngine<'e> {
             prefill_ns: 0,
             prefill_tokens_per_s: 0.0,
             prefill_chunks: 0,
-            queue_wait_ns: pending.submitted_at.elapsed().as_nanos() as u64,
+            queue_wait_ns: pending.queue_wait_ns(),
             queue_wait_rounds: round.saturating_sub(pending.submit_round),
+            first_token_ns: 0,
+            decode_ns: 0,
             stopped_early: false,
             cancelled: !timed_out,
             timed_out,
@@ -1970,5 +2210,189 @@ mod tests {
         assert_eq!(next.report().expect("done").tokens, expected.tokens);
         assert_eq!(serving.stats().cancelled, 1);
         assert_eq!(serving.stats().completed, 1);
+    }
+
+    /// The instruments reconcile *exactly* with the session reports: every
+    /// retired request contributes one TTFT, one queue-wait, and one
+    /// end-to-end sample; histogram sums equal the per-report nanosecond
+    /// fields they mirror; every round times all four phases; and the
+    /// journal tells each request's story in lifecycle order.
+    #[test]
+    fn telemetry_reconciles_exactly_with_session_reports() {
+        let engine = engine(false, 16);
+        let mut serving = ServingEngine::new(&engine, ServingConfig::default());
+        let handles: Vec<RequestHandle> = prompts()
+            .iter()
+            .zip([
+                QosClass::Interactive,
+                QosClass::Standard,
+                QosClass::Background,
+                QosClass::Interactive,
+            ])
+            .map(|(p, class)| {
+                serving
+                    .submit(
+                        Request::new(p.clone(), GenerationOptions::max_tokens(6)).with_class(class),
+                    )
+                    .expect("queued")
+            })
+            .collect();
+        serving.run_until_idle();
+        let snap = serving.telemetry();
+        assert!(snap.enabled);
+
+        let reports: Vec<SessionReport> = handles
+            .iter()
+            .map(|h| h.report().expect("finished"))
+            .collect();
+        assert_eq!(snap.ttft.count, 4, "one TTFT sample per retired request");
+        assert_eq!(snap.queue_wait.count, 4);
+        assert_eq!(snap.e2e.count, 4);
+        let ttft_sum: u64 = reports.iter().map(|r| r.first_token_ns).sum();
+        assert_eq!(snap.ttft.sum_ns, ttft_sum, "histogram mirrors the reports");
+        let wait_sum: u64 = reports.iter().map(|r| r.queue_wait_ns).sum();
+        assert_eq!(snap.queue_wait.sum_ns, wait_sum);
+        let gaps: u64 = reports.iter().map(|r| r.tokens.len() as u64 - 1).sum();
+        assert_eq!(snap.inter_token.count, gaps, "n tokens leave n-1 gaps");
+        for r in &reports {
+            assert!(r.first_token_ns > 0, "TTFT measured");
+            assert!(r.decode_ns > 0, "decode time accumulated");
+        }
+        for phase in RoundPhase::ALL {
+            assert_eq!(
+                snap.phases[phase.index()].count,
+                serving.rounds(),
+                "{} timed once per round",
+                phase.name()
+            );
+        }
+
+        let events = serving.drain_trace_events();
+        assert_eq!(snap.journal_total, events.len() as u64, "nothing evicted");
+        for (handle, report) in handles.iter().zip(&reports) {
+            let id = handle.id().as_u64();
+            let story: Vec<&Event> = events.iter().filter(|e| e.request == id).collect();
+            assert!(
+                matches!(
+                    story.first().map(|e| &e.kind),
+                    Some(EventKind::Submit { .. })
+                ),
+                "story opens with Submit"
+            );
+            match story.last().map(|e| e.kind) {
+                Some(EventKind::Retired { outcome, tokens }) => {
+                    assert_eq!(outcome, RetireOutcome::Completed);
+                    assert_eq!(tokens as usize, report.tokens.len());
+                }
+                other => panic!("story ends with Retired, got {other:?}"),
+            }
+            let ttft = story.iter().find_map(|e| match e.kind {
+                EventKind::FirstToken { ttft_ns } => Some(ttft_ns),
+                _ => None,
+            });
+            assert_eq!(ttft, Some(report.first_token_ns));
+        }
+        assert_eq!(serving.telemetry().journal_len, 0, "drain empties the ring");
+        assert!(serving.request_table().is_empty(), "idle table has no rows");
+    }
+
+    /// With [`ServingConfig::telemetry`] off the instruments stay empty and
+    /// the journal records nothing, but the per-request report timing
+    /// (TTFT, decode, queue wait) is part of the report contract and keeps
+    /// flowing.
+    #[test]
+    fn disabled_telemetry_keeps_report_timing_but_no_instruments() {
+        let engine = engine(false, 16);
+        let mut serving = ServingEngine::new(
+            &engine,
+            ServingConfig {
+                telemetry: false,
+                ..ServingConfig::default()
+            },
+        );
+        let handle = serving
+            .submit(Request::new(
+                prompts()[0].clone(),
+                GenerationOptions::max_tokens(5),
+            ))
+            .expect("queued");
+        serving.run_until_idle();
+        let snap = serving.telemetry();
+        assert!(!snap.enabled);
+        assert_eq!(snap.ttft.count, 0);
+        assert_eq!(snap.inter_token.count, 0);
+        assert_eq!(snap.queue_wait.count, 0);
+        assert_eq!(snap.e2e.count, 0);
+        assert!(snap.phases.iter().all(|p| p.count == 0));
+        assert_eq!(snap.journal_total, 0);
+        assert!(serving.drain_trace_events().is_empty());
+        let report = handle.report().expect("finished");
+        assert!(report.first_token_ns > 0, "report timing is unconditional");
+        assert!(report.decode_ns > 0);
+    }
+
+    /// The `/debug/requests` live table follows a request through
+    /// queued → prefilling → decoding and empties once the engine is idle.
+    #[test]
+    fn request_table_tracks_lifecycle_states() {
+        let engine = engine(false, 17);
+        let mut serving = ServingEngine::new(
+            &engine,
+            ServingConfig {
+                max_resident: 1,
+                prefill_chunk_tokens: 4,
+                ..ServingConfig::default()
+            },
+        );
+        let long_prompt: Vec<u32> = (0..12u32).map(|i| (i * 13 + 3) % 128).collect();
+        let long = serving
+            .submit(Request::new(
+                long_prompt.clone(),
+                GenerationOptions::max_tokens(20),
+            ))
+            .expect("queued");
+        let short = serving
+            .submit(
+                Request::new(prompts()[1].clone(), GenerationOptions::max_tokens(3))
+                    .with_class(QosClass::Background),
+            )
+            .expect("queued");
+        let table = serving.request_table();
+        assert_eq!(table.len(), 2);
+        assert!(table
+            .iter()
+            .all(|r| r.state == RequestState::Queued && r.tokens_fed == 0));
+        assert_eq!(table[0].prompt_tokens, long_prompt.len());
+
+        serving.serve_round();
+        let table = serving.request_table();
+        let row = table
+            .iter()
+            .find(|r| r.id == long.id().as_u64())
+            .expect("resident row");
+        assert_eq!(row.state, RequestState::Prefilling);
+        assert!(row.tokens_fed >= 4 && row.tokens_fed < long_prompt.len());
+        assert_eq!(row.generated, 0);
+        let queued = table
+            .iter()
+            .find(|r| r.id == short.id().as_u64())
+            .expect("queued row");
+        assert_eq!(queued.state, RequestState::Queued);
+        assert_eq!(queued.class, QosClass::Background);
+
+        serving.serve_round();
+        serving.serve_round();
+        let table = serving.request_table();
+        let row = table
+            .iter()
+            .find(|r| r.id == long.id().as_u64())
+            .expect("resident row");
+        assert_eq!(row.state, RequestState::Decoding);
+        assert_eq!(row.tokens_fed, long_prompt.len());
+        assert!(row.generated >= 1);
+
+        serving.run_until_idle();
+        assert!(serving.request_table().is_empty(), "idle table is empty");
+        assert!(long.is_finished() && short.is_finished());
     }
 }

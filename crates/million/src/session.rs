@@ -182,6 +182,9 @@ pub struct InferenceSession<'e> {
     /// Number of [`InferenceSession::prefill_chunk`] executions (a monolithic
     /// [`InferenceSession::prefill`] counts as one chunk).
     prefill_chunks: usize,
+    /// Wall-clock nanoseconds spent in [`InferenceSession::step_with`]
+    /// (decode forward passes plus sampling), accumulated across steps.
+    decode_ns: u64,
     /// Set when sealing found a resident block with this session's token
     /// chain but *different* codes (same tokens admitted through a different
     /// prefill/turn segmentation). The session then keeps its tail private
@@ -227,6 +230,7 @@ impl<'e> InferenceSession<'e> {
             prefill_ns: 0,
             prefill_admitted: 0,
             prefill_chunks: 0,
+            decode_ns: 0,
             seal_stalled: false,
         }
     }
@@ -351,6 +355,13 @@ impl<'e> InferenceSession<'e> {
     /// [`Self::prefill_begin`]/[`Self::prefill_chunk`] counts each chunk.
     pub fn prefill_chunks(&self) -> usize {
         self.prefill_chunks
+    }
+
+    /// Wall-clock nanoseconds this session has spent generating tokens in
+    /// [`Self::step_with`] (decode forward passes plus sampling),
+    /// accumulated across every step since construction or [`Self::reset`].
+    pub fn decode_ns(&self) -> u64 {
+        self.decode_ns
     }
 
     /// Prompt tokens per second achieved during admission, or `0.0` before
@@ -536,6 +547,7 @@ impl<'e> InferenceSession<'e> {
     ///
     /// Panics if the session has not been prefilled.
     pub fn step_with(&mut self, sampler: &mut Sampler) -> StepResult {
+        let step_start = std::time::Instant::now();
         if let Some(tok) = self.pending.take() {
             self.feed(tok);
         }
@@ -547,7 +559,7 @@ impl<'e> InferenceSession<'e> {
         let position = self.cached_tokens();
         self.pending = Some(token);
         self.generated.push(token);
-        StepResult {
+        let result = StepResult {
             token,
             position,
             kv_bytes: self.kv_bytes(),
@@ -555,7 +567,9 @@ impl<'e> InferenceSession<'e> {
             residual_tokens: self.residual_tokens(),
             async_batches: std::mem::take(&mut self.absorbed_since_step),
             matched_stop: false,
-        }
+        };
+        self.decode_ns += step_start.elapsed().as_nanos() as u64;
+        result
     }
 
     /// Runs a whole generation call and returns the seed-compatible
@@ -845,6 +859,7 @@ impl<'e> InferenceSession<'e> {
         self.prefill_ns = 0;
         self.prefill_admitted = 0;
         self.prefill_chunks = 0;
+        self.decode_ns = 0;
         self.seal_stalled = false;
         self.sent.iter_mut().for_each(|s| *s = 0);
         self.cur_logits = None;

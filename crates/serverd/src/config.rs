@@ -117,6 +117,13 @@ pub struct ServingSettings {
     /// teacher-forced one chunk per serve round so they never stall
     /// resident decodes (0 = monolithic admission prefill).
     pub prefill_chunk_tokens: usize,
+    /// Record latency histograms, per-phase round timing, and the
+    /// request-lifecycle journal on each shard. Off, the engines read no
+    /// clocks beyond the per-request report timing.
+    pub telemetry: bool,
+    /// Lifecycle-journal ring capacity per shard (oldest events are
+    /// evicted beyond it).
+    pub journal_events: usize,
 }
 
 impl Default for ServingSettings {
@@ -128,6 +135,8 @@ impl Default for ServingSettings {
             kv_byte_budget: d.kv_byte_budget.unwrap_or(0),
             admission_aging_rounds: d.admission_aging_rounds,
             prefill_chunk_tokens: d.prefill_chunk_tokens,
+            telemetry: d.telemetry,
+            journal_events: d.journal_events,
         }
     }
 }
@@ -206,6 +215,8 @@ const KEYS: &[(&str, &str)] = &[
     ("serving", "kv_byte_budget"),
     ("serving", "admission_aging_rounds"),
     ("serving", "prefill_chunk_tokens"),
+    ("serving", "telemetry"),
+    ("serving", "journal_events"),
 ];
 
 fn parse_num<T: std::str::FromStr>(section: &str, key: &str, raw: &str) -> Result<T, ConfigError> {
@@ -291,6 +302,10 @@ impl AppConfig {
             }
             ("serving", "prefill_chunk_tokens") => {
                 self.serving.prefill_chunk_tokens = parse_num(section, key, raw)?
+            }
+            ("serving", "telemetry") => self.serving.telemetry = parse_bool(section, key, raw)?,
+            ("serving", "journal_events") => {
+                self.serving.journal_events = parse_num(section, key, raw)?
             }
             _ => return Err(ConfigError::UnknownKey(format!("{section}.{key}"))),
         }
@@ -493,6 +508,8 @@ impl ServingSettings {
             kv_byte_budget: (self.kv_byte_budget > 0).then_some(self.kv_byte_budget),
             admission_aging_rounds: self.admission_aging_rounds,
             prefill_chunk_tokens: self.prefill_chunk_tokens,
+            telemetry: self.telemetry,
+            journal_events: self.journal_events,
             ..ServingConfig::default()
         }
     }

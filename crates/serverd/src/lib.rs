@@ -19,8 +19,12 @@
 //!   saturated fleet sheds with `429 Retry-After`.
 //! - **[`server`]** — the accept loop and endpoints: `POST /v1/generate`
 //!   (SSE token streaming, client-disconnect cancellation), `GET
-//!   /metrics`, `GET /config`, `POST /admin/drain`, `POST
-//!   /admin/shutdown`.
+//!   /metrics`, `GET /debug/requests`, `GET /debug/trace`, `GET /config`,
+//!   `POST /admin/drain`, `POST /admin/shutdown`.
+//! - **[`prom`]** — Prometheus text exposition of every counter, gauge,
+//!   and latency histogram, per shard and fleet-total; the default
+//!   `GET /metrics` body (JSON stays available under
+//!   `Accept: application/json`).
 //!
 //! See `docs/SERVING.md` ("Network front-end & sharding") for the
 //! protocol and `examples/networked_serving.rs` for an end-to-end driver.
@@ -30,6 +34,7 @@
 pub mod config;
 pub mod engine;
 pub mod http;
+pub mod prom;
 pub mod router;
 pub mod server;
 pub mod shard;

@@ -17,8 +17,9 @@
 
 use std::path::Path;
 
-use million::{DrainReport, Request, RequestHandle, SubmitError};
+use million::{DrainReport, Request, RequestHandle, RequestInfo, SubmitError};
 use million_store::token_chain_hash;
+use million_telemetry::Event;
 
 use crate::shard::{ShardHandle, ShardSnapshot, ShardSubmitError};
 
@@ -113,6 +114,24 @@ impl Router {
         self.shards
             .iter()
             .filter_map(ShardHandle::snapshot)
+            .collect()
+    }
+
+    /// Live request tables per shard for `/debug/requests` (skips shards
+    /// that died).
+    pub fn request_tables(&self) -> Vec<(usize, Vec<RequestInfo>)> {
+        self.shards
+            .iter()
+            .filter_map(|shard| Some((shard.index(), shard.requests()?)))
+            .collect()
+    }
+
+    /// Drains every shard's lifecycle journal for `/debug/trace`, keyed by
+    /// shard index (the trace `pid`).
+    pub fn traces(&self) -> Vec<(u64, Vec<Event>)> {
+        self.shards
+            .iter()
+            .filter_map(|shard| Some((shard.index() as u64, shard.trace()?)))
             .collect()
     }
 

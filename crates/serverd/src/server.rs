@@ -7,7 +7,11 @@
 //! |----------------------|-----------------------------------------------------|
 //! | `POST /v1/generate`  | Submit a generation request; stream tokens as SSE   |
 //! |                      | (or one JSON document with `"stream": false`).      |
-//! | `GET /metrics`       | Per-shard + aggregate serving/store counters.       |
+//! | `GET /metrics`       | Prometheus text exposition by default; the JSON     |
+//! |                      | document under `Accept: application/json`.          |
+//! | `GET /debug/requests` | Live per-shard request table (state, class,        |
+//! |                      | tokens fed/generated, age).                         |
+//! | `GET /debug/trace`   | Drain the lifecycle journals as Chrome trace JSON.  |
 //! | `GET /config`        | The effective layered [`AppConfig`].                |
 //! | `GET /healthz`       | Liveness probe.                                     |
 //! | `POST /admin/drain`  | Drain every shard (finish or persist residents).    |
@@ -29,14 +33,16 @@ use std::time::{Duration, Instant};
 use serde::Serialize;
 
 use million::{
-    GenerationOptions, QosClass, Request, RequestHandle, SessionReport, StepResult, StopCriteria,
-    SubmitError, TokenWait,
+    GenerationOptions, QosClass, Request, RequestHandle, RequestInfo, SessionReport, StepResult,
+    StopCriteria, SubmitError, TelemetrySnapshot, TokenWait,
 };
 use million_model::Sampler;
+use million_telemetry::render_chrome_trace;
 
 use crate::config::{AppConfig, ConfigError};
 use crate::engine::BuildError;
 use crate::http::{self, HttpRequest, ParseError};
+use crate::prom;
 use crate::router::{RouteError, Router};
 use crate::shard::{spawn_shard, ShardSnapshot};
 
@@ -214,7 +220,9 @@ fn handle_connection(
 
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/v1/generate") => generate(&mut stream, &request, router, config),
-        ("GET", "/metrics") => metrics(&mut stream, router),
+        ("GET", "/metrics") => metrics(&mut stream, &request, router),
+        ("GET", "/debug/requests") => debug_requests(&mut stream, router),
+        ("GET", "/debug/trace") => debug_trace(&mut stream, router),
         ("GET", "/config") => {
             let body =
                 serde_json::to_string_pretty(config).unwrap_or_else(|e| error_json(&e.to_string()));
@@ -493,11 +501,31 @@ struct Totals {
 #[derive(Serialize)]
 struct MetricsDoc {
     totals: Totals,
+    telemetry: TelemetrySnapshot,
     shards: Vec<ShardSnapshot>,
 }
 
-fn metrics(stream: &mut TcpStream, router: &Router) {
+/// `GET /metrics` is content-negotiated: Prometheus text exposition by
+/// default (what a scraper sends `Accept: text/plain` or nothing for),
+/// the structured JSON document when the client asks for
+/// `application/json`.
+fn metrics(stream: &mut TcpStream, request: &HttpRequest, router: &Router) {
     let shards = router.snapshots();
+    let wants_json = request
+        .header("accept")
+        .is_some_and(|accept| accept.contains("application/json"));
+    if !wants_json {
+        let body = prom::render(&shards);
+        let _ = http::respond(
+            stream,
+            200,
+            "OK",
+            prom::PROMETHEUS_CONTENT_TYPE,
+            body.as_bytes(),
+            &[],
+        );
+        return;
+    }
     let totals = Totals {
         shards: shards.len(),
         submitted: shards.iter().map(|s| s.stats.submitted).sum(),
@@ -514,8 +542,37 @@ fn metrics(stream: &mut TcpStream, router: &Router) {
         fleet_kv_bytes: shards.iter().map(|s| s.fleet_kv_bytes).sum(),
         max_dedup_ratio: shards.iter().map(|s| s.dedup_ratio).fold(0.0, f64::max),
     };
-    let doc = MetricsDoc { totals, shards };
+    let doc = MetricsDoc {
+        totals,
+        telemetry: prom::fleet_telemetry(&shards),
+        shards,
+    };
     let body = serde_json::to_string_pretty(&doc).unwrap_or_else(|e| error_json(&e.to_string()));
+    let _ = http::respond_json(stream, 200, "OK", &body, &[]);
+}
+
+/// One shard's rows in the `/debug/requests` document.
+#[derive(Serialize)]
+struct ShardRequests {
+    shard: usize,
+    requests: Vec<RequestInfo>,
+}
+
+fn debug_requests(stream: &mut TcpStream, router: &Router) {
+    let shards: Vec<ShardRequests> = router
+        .request_tables()
+        .into_iter()
+        .map(|(shard, requests)| ShardRequests { shard, requests })
+        .collect();
+    let body = serde_json::to_string_pretty(&shards).unwrap_or_else(|e| error_json(&e.to_string()));
+    let _ = http::respond_json(stream, 200, "OK", &body, &[]);
+}
+
+/// Drains every shard's lifecycle journal and renders it as a Chrome
+/// trace-event document (each shard a `pid`, each request a `tid`).
+/// Draining is destructive: events appear in exactly one response.
+fn debug_trace(stream: &mut TcpStream, router: &Router) {
+    let body = render_chrome_trace(&router.traces());
     let _ = http::respond_json(stream, 200, "OK", &body, &[]);
 }
 

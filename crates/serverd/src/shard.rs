@@ -27,8 +27,10 @@ use std::time::Duration;
 use serde::Serialize;
 
 use million::{
-    DrainReport, Request, RequestHandle, ServingEngine, ServingStats, StoreStats, SubmitError,
+    DrainReport, Request, RequestHandle, RequestInfo, ServingEngine, ServingStats, StoreStats,
+    SubmitError, TelemetrySnapshot,
 };
+use million_telemetry::Event;
 
 use crate::config::{EngineSettings, ServingSettings};
 use crate::engine::{build_engine, BuildError};
@@ -51,6 +53,17 @@ pub enum ShardCommand {
     Snapshot {
         /// Where to send the snapshot.
         reply: Sender<ShardSnapshot>,
+    },
+    /// Report the live request table (the `GET /debug/requests` view).
+    Requests {
+        /// Where to send the rows.
+        reply: Sender<Vec<RequestInfo>>,
+    },
+    /// Drain the buffered request-lifecycle events (the `GET /debug/trace`
+    /// source).
+    Trace {
+        /// Where to send the events.
+        reply: Sender<Vec<Event>>,
     },
     /// Drain the shard: close admission, then finish or persist residents.
     Drain {
@@ -132,6 +145,11 @@ pub struct ShardSnapshot {
     /// Logical bytes referenced by sessions over physical store bytes —
     /// > 1 when prefix sharing is deduplicating resident prompts.
     pub dedup_ratio: f64,
+    /// Latency histograms, per-phase round timing, and journal counters
+    /// (empty histograms when [`ServingConfig::telemetry`] is off).
+    ///
+    /// [`ServingConfig::telemetry`]: million::ServingConfig::telemetry
+    pub telemetry: TelemetrySnapshot,
 }
 
 /// Why a submission never reached the engine.
@@ -195,6 +213,21 @@ impl ShardHandle {
     pub fn snapshot(&self) -> Option<ShardSnapshot> {
         let (reply, rx) = mpsc::channel();
         self.send(ShardCommand::Snapshot { reply }).ok()?;
+        rx.recv().ok()
+    }
+
+    /// Fetches the live request table (channel round-trip).
+    pub fn requests(&self) -> Option<Vec<RequestInfo>> {
+        let (reply, rx) = mpsc::channel();
+        self.send(ShardCommand::Requests { reply }).ok()?;
+        rx.recv().ok()
+    }
+
+    /// Drains the shard's buffered lifecycle events, oldest first
+    /// (channel round-trip).
+    pub fn trace(&self) -> Option<Vec<Event>> {
+        let (reply, rx) = mpsc::channel();
+        self.send(ShardCommand::Trace { reply }).ok()?;
         rx.recv().ok()
     }
 
@@ -353,6 +386,12 @@ fn handle_command(
         ShardCommand::Snapshot { reply } => {
             let _ = reply.send(snapshot(index, serving, gauges));
         }
+        ShardCommand::Requests { reply } => {
+            let _ = reply.send(serving.request_table());
+        }
+        ShardCommand::Trace { reply } => {
+            let _ = reply.send(serving.drain_trace_events());
+        }
         ShardCommand::Drain { persist_dir, reply } => {
             let result = serving
                 .drain(persist_dir.as_deref())
@@ -409,6 +448,7 @@ fn snapshot(index: usize, serving: &ServingEngine<'_>, gauges: &ShardGauges) -> 
         stats: serving.stats(),
         store,
         dedup_ratio,
+        telemetry: serving.telemetry(),
     }
 }
 

@@ -1,0 +1,535 @@
+//! Socket tests for the telemetry surface: Prometheus exposition on
+//! `GET /metrics`, the content-negotiated JSON document, and the
+//! `/debug/requests` + `/debug/trace` endpoints.
+//!
+//! The reconciliation test is *stepped*: shards are paused, a known set
+//! of requests is submitted across QoS classes, and the scrape is taken
+//! only after every request retired — so histogram `_count`s, per-class
+//! token counters, and the fleet sums are pinned exactly against the
+//! per-request [`SessionReport`]s, never approximately.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use million_serverd::{AppConfig, EngineSettings, Server, ServerControl};
+use million_telemetry::{valid_metric_name, PROMETHEUS_CONTENT_TYPE};
+
+fn tiny_config() -> AppConfig {
+    AppConfig {
+        engine: EngineSettings {
+            model: "tiny-test".into(),
+            calibration_tokens: 96,
+            async_quant: false,
+            ..EngineSettings::default()
+        },
+        ..AppConfig::default()
+    }
+}
+
+fn start_server(mut config: AppConfig) -> (ServerControl, std::thread::JoinHandle<()>) {
+    config.server.listen = "127.0.0.1:0".into();
+    let server = Server::bind(config).expect("server binds");
+    let control = server.control();
+    let join = std::thread::spawn(move || server.run().expect("accept loop"));
+    (control, join)
+}
+
+struct Response {
+    status: u16,
+    content_type: String,
+    body: String,
+}
+
+fn get(addr: SocketAddr, path: &str, accept: Option<&str>) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let accept_line = accept
+        .map(|a| format!("Accept: {a}\r\n"))
+        .unwrap_or_default();
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n{accept_line}\r\n").as_bytes())
+        .expect("write request");
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("read response");
+    let (head, body) = text.split_once("\r\n\r\n").expect("response head");
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let content_type = lines
+        .filter_map(|l| l.split_once(':'))
+        .find(|(n, _)| n.trim().eq_ignore_ascii_case("content-type"))
+        .map(|(_, v)| v.trim().to_string())
+        .unwrap_or_default();
+    Response {
+        status,
+        content_type,
+        body: body.to_string(),
+    }
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(
+            format!(
+                "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("write request");
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("read response");
+    let (head, body) = text.split_once("\r\n\r\n").expect("response head");
+    let status: u16 = head
+        .split("\r\n")
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    Response {
+        status,
+        content_type: String::new(),
+        body: body.to_string(),
+    }
+}
+
+fn metrics_json(addr: SocketAddr) -> serde_json::Value {
+    let response = get(addr, "/metrics", Some("application/json"));
+    assert_eq!(response.status, 200);
+    serde_json::from_str(&response.body).expect("metrics JSON")
+}
+
+/// Polls the JSON metrics document until `check` passes.
+fn wait_for(
+    addr: SocketAddr,
+    timeout: Duration,
+    check: impl Fn(&serde_json::Value) -> bool,
+) -> serde_json::Value {
+    let start = Instant::now();
+    loop {
+        let doc = metrics_json(addr);
+        if check(&doc) {
+            return doc;
+        }
+        assert!(start.elapsed() < timeout, "timed out waiting: {doc:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn total(doc: &serde_json::Value, key: &str) -> f64 {
+    doc.get("totals")
+        .and_then(|t| t.get(key))
+        .and_then(|v| v.as_f64())
+        .unwrap_or(-1.0)
+}
+
+/// Exact sample lookup: the value of the line starting
+/// `name{labels} ` in the scrape body.
+fn sample(body: &str, series: &str) -> f64 {
+    let prefix = format!("{series} ");
+    body.lines()
+        .find_map(|l| l.strip_prefix(&prefix))
+        .unwrap_or_else(|| panic!("sample `{series}` missing from scrape"))
+        .parse()
+        .unwrap_or_else(|e| panic!("sample `{series}` not numeric: {e}"))
+}
+
+/// Lints the whole scrape body against the text-exposition contract:
+/// every sample belongs to a `# TYPE`d metric, every name matches the
+/// metric-name grammar, no value uses scientific notation, every bucket
+/// series is cumulative, and `le="+Inf"` equals the series `_count`.
+fn lint_exposition(body: &str) {
+    let mut typed: HashMap<&str, &str> = HashMap::new();
+    for line in body.lines().filter(|l| l.starts_with("# TYPE ")) {
+        let mut parts = line["# TYPE ".len()..].split(' ');
+        let name = parts.next().expect("TYPE name");
+        let kind = parts.next().expect("TYPE kind");
+        assert!(valid_metric_name(name), "bad metric name {name:?}");
+        assert!(
+            matches!(kind, "counter" | "gauge" | "histogram"),
+            "unknown kind {kind:?} for {name}"
+        );
+        assert!(
+            typed.insert(name, kind).is_none(),
+            "duplicate # TYPE for {name}"
+        );
+    }
+
+    // series key (name + labels minus `le`) -> cumulative bucket values.
+    let mut buckets: HashMap<String, Vec<f64>> = HashMap::new();
+    let mut counts: HashMap<String, f64> = HashMap::new();
+    for line in body.lines().filter(|l| !l.starts_with('#')) {
+        assert!(!line.trim().is_empty(), "blank line in exposition");
+        let (series, value) = line.rsplit_once(' ').expect("sample line shape");
+        assert!(
+            !value.contains(['e', 'E']),
+            "scientific notation in {line:?}"
+        );
+        let value: f64 = value.parse().unwrap_or_else(|e| panic!("{line:?}: {e}"));
+        let (name, labels) = match series.split_once('{') {
+            Some((n, rest)) => (n, rest.strip_suffix('}').expect("closing brace")),
+            None => (series, ""),
+        };
+        assert!(valid_metric_name(name), "bad sample name {name:?}");
+        let base = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| {
+                name.strip_suffix(suffix)
+                    .filter(|b| typed.get(b) == Some(&"histogram"))
+            })
+            .unwrap_or(name);
+        assert!(typed.contains_key(base), "sample {name} has no # TYPE");
+
+        if let Some(hist) = name.strip_suffix("_bucket") {
+            let (rest, le) = labels
+                .rsplit_once("le=\"")
+                .map(|(rest, le)| (rest.trim_end_matches(','), le.trim_end_matches('"')))
+                .expect("bucket has le label");
+            buckets
+                .entry(format!("{hist}{{{rest}}}"))
+                .or_default()
+                .push(value);
+            if le == "+Inf" {
+                // +Inf must be the last bucket; checked against _count below.
+                assert_eq!(
+                    buckets[&format!("{hist}{{{rest}}}")].last(),
+                    Some(&value),
+                    "+Inf not last for {hist}{{{rest}}}"
+                );
+            }
+        } else if let Some(hist) = name.strip_suffix("_count") {
+            if typed.get(hist) == Some(&"histogram") {
+                counts.insert(format!("{hist}{{{labels}}}"), value);
+            }
+        }
+    }
+
+    assert!(!buckets.is_empty(), "no histogram series in scrape");
+    for (series, cumulative) in &buckets {
+        assert!(
+            cumulative.windows(2).all(|w| w[0] <= w[1]),
+            "non-cumulative buckets for {series}: {cumulative:?}"
+        );
+        let count = counts
+            .get(series)
+            .unwrap_or_else(|| panic!("no _count for {series}"));
+        assert_eq!(
+            cumulative.last(),
+            Some(count),
+            "+Inf bucket != _count for {series}"
+        );
+    }
+}
+
+/// One generation driven to completion over HTTP, returning the `done`
+/// report.
+fn generate(addr: SocketAddr, prompt: &[u32], max_tokens: usize, class: &str) -> serde_json::Value {
+    let items: Vec<String> = prompt.iter().map(|t| t.to_string()).collect();
+    let body = format!(
+        "{{\"prompt\": [{}], \"max_new_tokens\": {max_tokens}, \"class\": \"{class}\", \"stream\": false}}",
+        items.join(", ")
+    );
+    let response = post(addr, "/v1/generate", &body);
+    assert_eq!(response.status, 200, "{}", response.body);
+    serde_json::from_str(&response.body).expect("done frame JSON")
+}
+
+fn report_ns(done: &serde_json::Value, field: &str) -> u64 {
+    done.get("report")
+        .and_then(|r| r.get(field))
+        .and_then(|v| v.as_f64())
+        .unwrap_or_else(|| panic!("report field {field}: {done:?}")) as u64
+}
+
+/// The tentpole acceptance test: a stepped run whose Prometheus scrape
+/// reconciles *exactly* with the per-request reports.
+#[test]
+fn prometheus_scrape_reconciles_with_session_reports() {
+    let (control, join) = start_server(tiny_config());
+    let addr = control.addr();
+    control.router().shard(0).pause(true);
+    control.router().shard(1).pause(true);
+
+    // Known workload: (prompt, max_tokens, class). Tiny-test decodes
+    // greedily and never hits a stop token, so token counts are exact.
+    let workload: [(&[u32], usize, &str); 4] = [
+        (&[3, 9, 27, 81, 11], 6, "interactive"),
+        (&[5, 10, 20, 40], 4, "interactive"),
+        (&[7, 14, 28, 56, 112], 5, "standard"),
+        (&[2, 4, 8, 16, 32, 64], 3, "background"),
+    ];
+    let clients: Vec<_> = workload
+        .iter()
+        .map(|&(prompt, max_tokens, class)| {
+            let prompt = prompt.to_vec();
+            let class = class.to_string();
+            std::thread::spawn(move || generate(addr, &prompt, max_tokens, &class))
+        })
+        .collect();
+
+    // All four queue on the paused shards; then release and let the
+    // fleet run them to completion.
+    wait_for(addr, Duration::from_secs(5), |doc| {
+        total(doc, "submitted") == 4.0
+    });
+    control.router().shard(0).pause(false);
+    control.router().shard(1).pause(false);
+    let reports: Vec<serde_json::Value> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+    let doc = wait_for(addr, Duration::from_secs(10), |doc| {
+        total(doc, "completed") == 4.0
+    });
+
+    // --- Prometheus scrape: default content type, linted, pinned. ---
+    let scrape = get(addr, "/metrics", None);
+    assert_eq!(scrape.status, 200);
+    assert_eq!(scrape.content_type, PROMETHEUS_CONTENT_TYPE);
+    lint_exposition(&scrape.body);
+    let body = &scrape.body;
+
+    // Lifecycle counters match the workload exactly.
+    assert_eq!(
+        sample(body, "million_requests_submitted_total{shard=\"fleet\"}"),
+        4.0
+    );
+    assert_eq!(
+        sample(body, "million_requests_completed_total{shard=\"fleet\"}"),
+        4.0
+    );
+    assert_eq!(
+        sample(body, "million_requests_cancelled_total{shard=\"fleet\"}"),
+        0.0
+    );
+
+    // One TTFT, queue-wait, and end-to-end observation per retired
+    // request — histogram totals reconcile with the report count.
+    for hist in [
+        "million_ttft_seconds",
+        "million_queue_wait_seconds",
+        "million_request_duration_seconds",
+    ] {
+        assert_eq!(
+            sample(body, &format!("{hist}_count{{shard=\"fleet\"}}")),
+            4.0,
+            "{hist} records once per request"
+        );
+    }
+    // Inter-token gaps: every decode token after a request's first.
+    let tokens: usize = workload.iter().map(|w| w.1).sum();
+    assert_eq!(
+        sample(body, "million_inter_token_seconds_count{shard=\"fleet\"}"),
+        (tokens - workload.len()) as f64
+    );
+
+    // The scrape's TTFT and queue-wait sums are the *same measurements*
+    // the reports carry, in seconds.
+    let ttft_ns: u64 = reports.iter().map(|r| report_ns(r, "first_token_ns")).sum();
+    let wait_ns: u64 = reports.iter().map(|r| report_ns(r, "queue_wait_ns")).sum();
+    let ttft_sum = sample(body, "million_ttft_seconds_sum{shard=\"fleet\"}");
+    let wait_sum = sample(body, "million_queue_wait_seconds_sum{shard=\"fleet\"}");
+    assert!(
+        (ttft_sum - ttft_ns as f64 * 1e-9).abs() < 1e-9,
+        "ttft sum {ttft_sum} != report sum {ttft_ns} ns"
+    );
+    assert!(
+        (wait_sum - wait_ns as f64 * 1e-9).abs() < 1e-9,
+        "queue-wait sum {wait_sum} != report sum {wait_ns} ns"
+    );
+    for report in &reports {
+        assert!(report_ns(report, "decode_ns") > 0, "decode time measured");
+    }
+
+    // Per-class token counters are untouched by the telemetry layer:
+    // they still sum to exactly the requested generation lengths.
+    let class_tokens = |class: &str| -> f64 {
+        sample(
+            body,
+            &format!("million_tokens_total{{shard=\"fleet\",class=\"{class}\"}}"),
+        )
+    };
+    assert_eq!(class_tokens("interactive"), 10.0);
+    assert_eq!(class_tokens("standard"), 5.0);
+    assert_eq!(class_tokens("background"), 3.0);
+    let class_prefill = |class: &str| -> f64 {
+        sample(
+            body,
+            &format!("million_prefill_tokens_total{{shard=\"fleet\",class=\"{class}\"}}"),
+        )
+    };
+    assert_eq!(class_prefill("interactive"), 9.0);
+    assert_eq!(class_prefill("standard"), 5.0);
+    assert_eq!(class_prefill("background"), 6.0);
+
+    // Every serve_round times all four phases: each phase histogram has
+    // exactly one observation per round, fleet-wide.
+    let rounds = sample(body, "million_rounds_total{shard=\"fleet\"}");
+    for phase in ["retire", "admit", "prefill_chunk", "decode"] {
+        assert_eq!(
+            sample(
+                body,
+                &format!("million_round_phase_seconds_count{{shard=\"fleet\",phase=\"{phase}\"}}")
+            ),
+            rounds,
+            "phase {phase} laps once per round"
+        );
+    }
+
+    // --- The JSON document stays available under content negotiation
+    // and carries the same fleet-merged telemetry. ---
+    assert_eq!(total(&doc, "submitted"), 4.0);
+    let fleet_ttft = doc
+        .get("telemetry")
+        .and_then(|t| t.get("ttft"))
+        .expect("fleet telemetry in JSON metrics");
+    assert_eq!(
+        fleet_ttft.get("count").and_then(|v| v.as_f64()),
+        Some(4.0),
+        "JSON fleet histogram matches: {fleet_ttft:?}"
+    );
+    assert_eq!(
+        fleet_ttft.get("sum_ns").and_then(|v| v.as_f64()),
+        Some(ttft_ns as f64)
+    );
+
+    control.shutdown();
+    join.join().unwrap();
+}
+
+/// Both scrape flavors stay well-formed while the fleet is generating
+/// and being scraped from several threads at once.
+#[test]
+fn concurrent_scrapes_under_load_stay_well_formed() {
+    let (control, join) = start_server(tiny_config());
+    let addr = control.addr();
+
+    let generators: Vec<_> = (0..4u32)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let prompt: Vec<u32> = (0..8).map(|j| (i * 31 + j * 7 + 1) % 128).collect();
+                generate(addr, &prompt, 12, "standard")
+            })
+        })
+        .collect();
+
+    let scrapers: Vec<_> = (0..3)
+        .map(|worker| {
+            std::thread::spawn(move || {
+                for iteration in 0..10 {
+                    if (worker + iteration) % 2 == 0 {
+                        let response = get(addr, "/metrics", None);
+                        assert_eq!(response.status, 200);
+                        assert_eq!(response.content_type, PROMETHEUS_CONTENT_TYPE);
+                        lint_exposition(&response.body);
+                    } else {
+                        let doc = metrics_json(addr);
+                        assert!(total(&doc, "submitted") >= 0.0);
+                        assert!(doc.get("telemetry").is_some());
+                    }
+                }
+            })
+        })
+        .collect();
+
+    for generator in generators {
+        let done = generator.join().unwrap();
+        assert_eq!(
+            done.get("tokens")
+                .and_then(|t| t.as_array())
+                .map(<[_]>::len),
+            Some(12)
+        );
+    }
+    for scraper in scrapers {
+        scraper.join().unwrap();
+    }
+
+    control.shutdown();
+    join.join().unwrap();
+}
+
+/// `/debug/requests` shows live rows for a queued request on a paused
+/// shard, and `/debug/trace` drains the journals as Chrome trace JSON.
+#[test]
+fn debug_endpoints_expose_live_table_and_trace() {
+    let (control, join) = start_server(tiny_config());
+    let addr = control.addr();
+    control.router().shard(0).pause(true);
+    control.router().shard(1).pause(true);
+
+    let client = std::thread::spawn(move || generate(addr, &[9, 8, 7, 6, 5], 3, "interactive"));
+    wait_for(addr, Duration::from_secs(5), |doc| {
+        total(doc, "submitted") == 1.0
+    });
+
+    // The queued request appears in exactly one shard's table.
+    let table = get(addr, "/debug/requests", None);
+    assert_eq!(table.status, 200);
+    let table_doc = serde_json::from_str(&table.body).expect("table JSON");
+    let shards = table_doc.as_array().expect("per-shard table list");
+    assert_eq!(shards.len(), 2);
+    let rows: Vec<&serde_json::Value> = shards
+        .iter()
+        .flat_map(|s| s.get("requests").and_then(|r| r.as_array()).unwrap())
+        .collect();
+    assert_eq!(rows.len(), 1, "one live request: {shards:?}");
+    assert_eq!(
+        rows[0].get("state").and_then(|s| s.as_str()),
+        Some("Queued")
+    );
+    assert_eq!(
+        rows[0].get("class").and_then(|c| c.as_str()),
+        Some("Interactive")
+    );
+    assert_eq!(
+        rows[0].get("prompt_tokens").and_then(|p| p.as_f64()),
+        Some(5.0)
+    );
+
+    // Run to completion, then drain the trace: a valid Chrome trace
+    // document whose events cover the request's whole lifecycle.
+    control.router().shard(0).pause(false);
+    control.router().shard(1).pause(false);
+    let done = client.join().unwrap();
+    assert_eq!(
+        done.get("tokens")
+            .and_then(|t| t.as_array())
+            .map(<[_]>::len),
+        Some(3)
+    );
+
+    let trace = get(addr, "/debug/trace", None);
+    assert_eq!(trace.status, 200);
+    let doc: serde_json::Value = serde_json::from_str(&trace.body).expect("trace JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("traceEvents array");
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+        .collect();
+    for expected in ["submit", "admit", "first_token", "retire"] {
+        assert!(
+            names.iter().any(|n| n.starts_with(expected)),
+            "trace carries `{expected}`: {names:?}"
+        );
+    }
+
+    // Draining is destructive: a second scrape starts empty.
+    let again = get(addr, "/debug/trace", None);
+    let doc: serde_json::Value = serde_json::from_str(&again.body).expect("trace JSON");
+    assert_eq!(
+        doc.get("traceEvents")
+            .and_then(|e| e.as_array())
+            .map(<[_]>::len),
+        Some(0),
+        "journal drained by the first scrape"
+    );
+
+    control.shutdown();
+    join.join().unwrap();
+}

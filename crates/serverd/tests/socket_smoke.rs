@@ -99,7 +99,12 @@ fn post(addr: SocketAddr, path: &str, body: &str) -> Response {
 }
 
 fn get(addr: SocketAddr, path: &str) -> Response {
-    roundtrip(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+    // `/metrics` content-negotiates: ask for the JSON document (the
+    // bare default is Prometheus text exposition).
+    roundtrip(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: t\r\nAccept: application/json\r\n\r\n"),
+    )
 }
 
 fn prompt_json(prompt: &[u32]) -> String {

@@ -1,0 +1,234 @@
+//! Prometheus text-exposition (version 0.0.4) rendering.
+//!
+//! [`PromWriter`] accumulates `# HELP`/`# TYPE` headers, scalar samples,
+//! and cumulative histogram series into one scrape body. It performs no
+//! I/O and holds no registry — the caller decides what a metric is named
+//! and when it is written, which keeps the exposition layer a pure
+//! formatter.
+
+use crate::hist::{bucket_bound_ns, HistogramSnapshot, HIST_BUCKETS};
+
+/// The `Content-Type` a Prometheus scrape response must carry.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Incremental builder for a Prometheus text-exposition document.
+///
+/// Usage: [`header`](PromWriter::header) once per metric name, then any
+/// number of [`value`](PromWriter::value) /
+/// [`int_value`](PromWriter::int_value) /
+/// [`histogram`](PromWriter::histogram) samples for it (one per label
+/// set), then [`finish`](PromWriter::finish).
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    out: String,
+}
+
+impl PromWriter {
+    /// An empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes the `# HELP` and `# TYPE` lines for `name`. Call exactly once
+    /// per metric name, before its samples; `kind` is `counter`, `gauge`,
+    /// or `histogram`.
+    pub fn header(&mut self, name: &str, kind: &str, help: &str) {
+        debug_assert!(valid_metric_name(name), "invalid metric name {name:?}");
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(help);
+        self.out.push_str("\n# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+    }
+
+    /// Writes one sample line: `name{labels} value`. `labels` is the raw
+    /// comma-separated `key="value"` body (empty for no labels); values must
+    /// be pre-escaped by the caller.
+    pub fn value(&mut self, name: &str, labels: &str, value: f64) {
+        self.sample(name, labels, &format_f64(value));
+    }
+
+    /// Writes one integer sample line without going through float
+    /// formatting, preserving 64-bit exactness for counters.
+    pub fn int_value(&mut self, name: &str, labels: &str, value: u64) {
+        self.sample(name, labels, &value.to_string());
+    }
+
+    /// Writes a full cumulative histogram series for `name` from a
+    /// [`HistogramSnapshot`]: one `name_bucket{le="..."}` line per log2
+    /// bound (in **seconds**), the mandatory `le="+Inf"` bucket equal to
+    /// the total count, then `name_sum` (seconds) and `name_count`.
+    ///
+    /// Empty buckets between recorded ones are still emitted — Prometheus
+    /// requires the bucket list to be identical across scrapes. Leading
+    /// never-used high buckets are trimmed to the smallest prefix covering
+    /// the recorded max so the body stays compact, with a floor of 16
+    /// buckets (~65 µs) to keep the series shape stable for typical loads.
+    pub fn histogram(&mut self, name: &str, labels: &str, snap: &HistogramSnapshot) {
+        let mut top = HIST_BUCKETS.min(16);
+        while top < HIST_BUCKETS && bucket_bound_ns(top - 1) <= snap.max_ns {
+            top += 1;
+        }
+        let mut cumulative = 0u64;
+        for i in 0..top {
+            cumulative += snap.counts[i];
+            let bound_s = bucket_bound_ns(i) as f64 * 1e-9;
+            self.bucket_sample(name, labels, &format_f64(bound_s), cumulative);
+        }
+        // Samples above the rendered prefix (trimmed buckets + overflow)
+        // appear only here, keeping +Inf == _count.
+        self.bucket_sample(name, labels, "+Inf", snap.count);
+        self.sample(
+            &format!("{name}_sum"),
+            labels,
+            &format_f64(snap.sum_ns as f64 * 1e-9),
+        );
+        self.sample(&format!("{name}_count"), labels, &snap.count.to_string());
+    }
+
+    /// Consumes the writer and returns the scrape body.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn sample(&mut self, name: &str, labels: &str, value: &str) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            self.out.push_str(labels);
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        self.out.push_str(value);
+        self.out.push('\n');
+    }
+
+    fn bucket_sample(&mut self, name: &str, labels: &str, le: &str, cumulative: u64) {
+        self.out.push_str(name);
+        self.out.push_str("_bucket{");
+        if !labels.is_empty() {
+            self.out.push_str(labels);
+            self.out.push(',');
+        }
+        self.out.push_str("le=\"");
+        self.out.push_str(le);
+        self.out.push_str("\"} ");
+        self.out.push_str(&cumulative.to_string());
+        self.out.push('\n');
+    }
+}
+
+/// Whether `name` matches the Prometheus metric-name grammar
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*` (this crate sticks to the conventional
+/// lowercase subset).
+pub fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Formats an `f64` the way Prometheus parsers expect: plain decimal, no
+/// exponent. Rust's `Display` for finite `f64` never produces scientific
+/// notation, so this is a thin wrapper kept as the single choke point.
+fn format_f64(value: f64) -> String {
+    if value == value.trunc() && value.abs() < 1e15 {
+        format!("{value:.0}")
+    } else {
+        format!("{value}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LatencyHistogram;
+
+    #[test]
+    fn headers_and_scalars_render_in_order() {
+        let mut w = PromWriter::new();
+        w.header("million_rounds_total", "counter", "Serving rounds driven.");
+        w.int_value("million_rounds_total", "shard=\"0\"", 41);
+        w.int_value("million_rounds_total", "shard=\"fleet\"", 41);
+        w.header("million_kv_bytes", "gauge", "Resident KV bytes.");
+        w.value("million_kv_bytes", "", 0.5);
+        let body = w.finish();
+        assert_eq!(
+            body,
+            "# HELP million_rounds_total Serving rounds driven.\n\
+             # TYPE million_rounds_total counter\n\
+             million_rounds_total{shard=\"0\"} 41\n\
+             million_rounds_total{shard=\"fleet\"} 41\n\
+             # HELP million_kv_bytes Resident KV bytes.\n\
+             # TYPE million_kv_bytes gauge\n\
+             million_kv_bytes 0.5\n"
+        );
+    }
+
+    #[test]
+    fn histogram_series_is_cumulative_and_reconciles() {
+        let mut h = LatencyHistogram::new();
+        for ns in [0u64, 1, 100, 100, 5_000] {
+            h.record(ns);
+        }
+        let mut w = PromWriter::new();
+        w.header("million_ttft_seconds", "histogram", "TTFT.");
+        w.histogram("million_ttft_seconds", "shard=\"0\"", &h.snapshot());
+        let body = w.finish();
+        let buckets: Vec<u64> = body
+            .lines()
+            .filter(|l| l.starts_with("million_ttft_seconds_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "cumulative");
+        assert_eq!(*buckets.last().unwrap(), 5, "+Inf equals count");
+        assert!(body.contains("le=\"+Inf\"} 5"));
+        assert!(
+            body.contains("million_ttft_seconds_sum{shard=\"0\"} 0.0000052"),
+            "sum in seconds: {body}"
+        );
+        assert!(body.contains("million_ttft_seconds_count{shard=\"0\"} 5"));
+        // 1 ns bound renders as a plain decimal, not 1e-9.
+        assert!(body.contains("le=\"0.000000001\""), "{body}");
+        for value in body
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .filter_map(|l| l.rsplit(' ').next())
+        {
+            assert!(!value.contains(['e', 'E']), "exponent in sample {value:?}");
+        }
+    }
+
+    #[test]
+    fn histogram_trims_high_empty_buckets_but_keeps_floor() {
+        let empty = HistogramSnapshot::empty();
+        let mut w = PromWriter::new();
+        w.histogram("m", "", &empty);
+        let body = w.finish();
+        let lines = body.lines().filter(|l| l.contains("le=")).count();
+        assert_eq!(lines, 17, "16-bucket floor plus +Inf");
+
+        let mut h = LatencyHistogram::new();
+        h.record(1 << 30); // ~1.07 s
+        let mut w = PromWriter::new();
+        w.histogram("m", "", &h.snapshot());
+        let body = w.finish();
+        assert!(body.contains("le=\"2.147483648\"} 1"), "{body}");
+        assert!(!body.contains("le=\"4.294967296\""), "trimmed above max");
+    }
+
+    #[test]
+    fn metric_name_grammar() {
+        assert!(valid_metric_name("million_ttft_seconds"));
+        assert!(valid_metric_name("_private:scoped"));
+        assert!(!valid_metric_name("9starts_with_digit"));
+        assert!(!valid_metric_name("has-dash"));
+        assert!(!valid_metric_name(""));
+    }
+}

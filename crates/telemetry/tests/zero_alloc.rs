@@ -1,0 +1,96 @@
+//! Proof that telemetry's hot paths stay off the heap: recording a
+//! histogram sample and pushing a journal event allocate nothing once the
+//! journal ring is constructed.
+//!
+//! Same counting-allocator pattern as the kvcache zero-alloc proof: a
+//! per-thread allocation counter (const-initialised TLS, so reading it
+//! never allocates) brackets a burst of recordings and must not move.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use million_telemetry::{Event, EventJournal, EventKind, LatencyHistogram, RetireOutcome};
+
+struct CountingAllocator;
+
+thread_local! {
+    static ALLOCATIONS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn thread_allocations() -> usize {
+    ALLOCATIONS.with(|c| c.get())
+}
+
+fn count_one() {
+    ALLOCATIONS.with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_one();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count_one();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_one();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn histogram_record_and_quantiles_are_allocation_free() {
+    let mut h = LatencyHistogram::new();
+    let before = thread_allocations();
+    for i in 0..10_000u64 {
+        h.record(i * 37);
+    }
+    let snap = h.snapshot();
+    let mut merged = snap;
+    merged.merge(&snap);
+    let p = merged.p50_ns() + merged.p95_ns() + merged.p99_ns();
+    let after = thread_allocations();
+    assert_eq!(after - before, 0, "histogram hot path allocated");
+    assert!(p > 0);
+    assert_eq!(merged.count, 20_000);
+}
+
+#[test]
+fn journal_push_is_allocation_free_once_constructed() {
+    let mut journal = EventJournal::new(256);
+    let before = thread_allocations();
+    // 4x capacity: steady-state wraps (pop_front + push_back) included.
+    for i in 0..1_024u64 {
+        journal.push(Event {
+            t_ns: i,
+            request: i % 7,
+            round: i / 3,
+            kind: if i % 2 == 0 {
+                EventKind::PrefillChunk {
+                    fed: i as u32,
+                    remaining: 0,
+                }
+            } else {
+                EventKind::Retired {
+                    outcome: RetireOutcome::Completed,
+                    tokens: i as u32,
+                }
+            },
+        });
+    }
+    let after = thread_allocations();
+    assert_eq!(after - before, 0, "journal push allocated");
+    assert_eq!(journal.len(), 256);
+    assert_eq!(journal.dropped(), 1_024 - 256);
+}

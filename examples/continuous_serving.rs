@@ -7,7 +7,7 @@
 //! Run with `cargo run --release -p million --example continuous_serving`.
 
 use million::{
-    GenerationOptions, MillionConfig, MillionEngine, QosClass, Request, RequestHandle,
+    GenerationOptions, MillionConfig, MillionEngine, QosClass, Request, RequestHandle, RoundPhase,
     ServingConfig, ServingEngine,
 };
 use million_eval::corpus::{CorpusConfig, SyntheticCorpus};
@@ -168,5 +168,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.prefill_tokens_by_class[QosClass::Standard.index()],
         stats.prefill_tokens_by_class[QosClass::Background.index()],
     );
+
+    // The serving engine timed every request and round phase as it went
+    // (see docs/OBSERVABILITY.md); read the percentiles back out.
+    let telemetry = serving.telemetry();
+    let ms = |ns: u64| ns as f64 / 1e6;
+    println!("\nlatency percentiles:");
+    for (name, h) in [
+        ("time to first token", &telemetry.ttft),
+        ("inter-token gap", &telemetry.inter_token),
+        ("queue wait", &telemetry.queue_wait),
+        ("end-to-end", &telemetry.e2e),
+    ] {
+        println!(
+            "  {name:<21}: n={:<4} p50 {:>9.3} ms, p95 {:>9.3} ms, p99 {:>9.3} ms, max {:>9.3} ms",
+            h.count,
+            ms(h.p50_ns),
+            ms(h.p95_ns),
+            ms(h.p99_ns),
+            ms(h.max_ns)
+        );
+    }
+    println!("  round phase p95      :");
+    for phase in RoundPhase::ALL {
+        let h = &telemetry.phases[phase.index()];
+        println!(
+            "    {:<19}: {:>9.3} ms over {} rounds",
+            phase.name(),
+            ms(h.p95_ns),
+            h.count
+        );
+    }
     Ok(())
 }

@@ -83,9 +83,37 @@ fn main() {
         r#"{"prompt": [3, 9, 27, 81, 11, 33, 55, 66], "max_new_tokens": 8, "stream": false}"#,
     );
 
+    // `/metrics` is content-negotiated: the bare scrape is Prometheus
+    // text exposition (what a scraper's GET sends), and the same state is
+    // available as one JSON document under `Accept: application/json`.
     let metrics = http(addr, "GET /metrics HTTP/1.1\r\nHost: e\r\n\r\n");
     let body = metrics.split("\r\n\r\n").nth(1).unwrap_or("");
-    println!("\n--- /metrics ---\n{body}");
+    println!("\n--- /metrics (Prometheus, fleet rows only) ---");
+    for line in body.lines().filter(|l| l.contains("shard=\"fleet\"")) {
+        println!("  {line}");
+    }
+    let metrics_json = http(
+        addr,
+        "GET /metrics HTTP/1.1\r\nHost: e\r\nAccept: application/json\r\n\r\n",
+    );
+    let json_bytes = metrics_json.split("\r\n\r\n").nth(1).unwrap_or("").len();
+    println!("--- /metrics (Accept: application/json) --- {json_bytes} bytes of JSON");
+
+    // The debug surface: a live request table (empty once everything
+    // retired) and the drained lifecycle journal as Chrome trace JSON —
+    // save that body to a file and load it in chrome://tracing/Perfetto.
+    let requests = http(addr, "GET /debug/requests HTTP/1.1\r\nHost: e\r\n\r\n");
+    println!(
+        "--- /debug/requests ---\n{}",
+        requests.split("\r\n\r\n").nth(1).unwrap_or("")
+    );
+    let trace = http(addr, "GET /debug/trace HTTP/1.1\r\nHost: e\r\n\r\n");
+    let trace_body = trace.split("\r\n\r\n").nth(1).unwrap_or("");
+    println!(
+        "--- /debug/trace --- {} trace events ({} bytes)",
+        trace_body.matches("\"ph\":").count(),
+        trace_body.len()
+    );
 
     // Graceful teardown: drain every shard, then stop the accept loop.
     let drained = post(addr, "/admin/drain", "");
