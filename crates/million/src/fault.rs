@@ -1,0 +1,248 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! A [`FaultPlan`] is a seeded schedule of faults parsed from a compact
+//! string spec, threaded as an `Arc` through the serving engine (snapshot
+//! writes, admission) and the serverd shard loop (injected panics). Every
+//! injection point is keyed off a monotonic atomic counter, so a given
+//! `(spec, seed)` pair reproduces the exact same fault sequence on every
+//! run — chaos tests assert bit-identical outcomes across two runs of the
+//! same plan.
+//!
+//! The spec grammar is whitespace-separated clauses of `kind@key=value,…`:
+//!
+//! ```text
+//! panic@shard=0,round=5        injected panic before shard 0's 5th round
+//! snapshot_io@write=3          the 3rd snapshot write fails with an I/O error
+//! short_read@read=1            the 1st snapshot read is truncated to half
+//! queue_full@submit=4,count=2  submissions 4 and 5 are rejected QueueFull
+//! ```
+//!
+//! The module is dependency-free; the jitter helper is a SplitMix64 hash of
+//! the plan seed, not a stateful RNG, so concurrent injection points cannot
+//! perturb each other's draws.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// SplitMix64: a stateless 64-bit mixer used for deterministic jitter.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// An injected shard panic: fires once, before the shard's `round`-th
+/// serving round (1-based).
+#[derive(Debug, Clone, Copy)]
+struct PanicAt {
+    shard: usize,
+    round: u64,
+}
+
+/// A burst of injected `QueueFull` rejections covering submissions
+/// `from ..= from + count - 1` (1-based).
+#[derive(Debug, Clone, Copy)]
+struct QueueFullBurst {
+    from: u64,
+    count: u64,
+}
+
+/// A seeded, reproducible schedule of injected faults.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    spec: String,
+    panic_at: Option<PanicAt>,
+    snapshot_io_write: Option<u64>,
+    short_read: Option<u64>,
+    queue_full: Option<QueueFullBurst>,
+    panicked: AtomicBool,
+    writes: AtomicU64,
+    reads: AtomicU64,
+    submits: AtomicU64,
+}
+
+impl FaultPlan {
+    /// Parses a plan from the compact spec grammar (see the module docs).
+    /// An empty spec yields a plan that injects nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed clause.
+    pub fn parse(spec: &str, seed: u64) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan {
+            seed,
+            spec: spec.trim().to_string(),
+            ..FaultPlan::default()
+        };
+        for clause in spec.split_whitespace() {
+            let (kind, args) = clause
+                .split_once('@')
+                .ok_or_else(|| format!("fault clause `{clause}` is missing `@`"))?;
+            let mut fields = std::collections::BTreeMap::new();
+            for pair in args.split(',') {
+                let (key, value) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("fault clause `{clause}`: `{pair}` is not key=value"))?;
+                let value: u64 = value.parse().map_err(|_| {
+                    format!("fault clause `{clause}`: `{value}` is not an unsigned integer")
+                })?;
+                fields.insert(key, value);
+            }
+            let mut get = |key: &str| {
+                fields
+                    .remove(key)
+                    .ok_or_else(|| format!("fault clause `{clause}` is missing `{key}=`"))
+            };
+            match kind {
+                "panic" => {
+                    plan.panic_at = Some(PanicAt {
+                        shard: get("shard")? as usize,
+                        round: get("round")?,
+                    });
+                }
+                "snapshot_io" => plan.snapshot_io_write = Some(get("write")?),
+                "short_read" => plan.short_read = Some(get("read")?),
+                "queue_full" => {
+                    plan.queue_full = Some(QueueFullBurst {
+                        from: get("submit")?,
+                        count: get("count")?,
+                    });
+                }
+                other => return Err(format!("unknown fault kind `{other}`")),
+            }
+            if let Some(stray) = fields.keys().next() {
+                return Err(format!("fault clause `{clause}`: unknown key `{stray}`"));
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The spec string this plan was parsed from.
+    pub fn spec(&self) -> &str {
+        &self.spec
+    }
+
+    /// The plan's seed (drives [`FaultPlan::jitter_ms`]).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether the shard should deliberately panic before serving `round`
+    /// (1-based). Fires at most once per plan, so a restarted shard whose
+    /// round counter resets does not crash again at the same round.
+    pub fn should_panic(&self, shard: usize, round: u64) -> bool {
+        match self.panic_at {
+            Some(p) if p.shard == shard && p.round == round => {
+                !self.panicked.swap(true, Ordering::SeqCst)
+            }
+            _ => false,
+        }
+    }
+
+    /// Counts one snapshot write and returns the injected error if this is
+    /// the scheduled one.
+    pub fn inject_snapshot_io_error(&self) -> Option<std::io::Error> {
+        let write = self.writes.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.snapshot_io_write == Some(write) {
+            Some(std::io::Error::other(format!(
+                "injected fault: snapshot write {write} failed"
+            )))
+        } else {
+            None
+        }
+    }
+
+    /// Counts one snapshot read; on the scheduled read, truncates `bytes`
+    /// to half its length (a short read) and returns `true`.
+    pub fn corrupt_restore_read(&self, bytes: &mut Vec<u8>) -> bool {
+        let read = self.reads.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.short_read == Some(read) {
+            bytes.truncate(bytes.len() / 2);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Counts one submission and returns `true` if it falls inside the
+    /// scheduled queue-full burst.
+    pub fn inject_queue_full(&self) -> bool {
+        let submit = self.submits.fetch_add(1, Ordering::SeqCst) + 1;
+        match self.queue_full {
+            Some(burst) => submit >= burst.from && submit < burst.from + burst.count,
+            None => false,
+        }
+    }
+
+    /// A deterministic jitter draw in `0..bound` (0 when `bound` is 0),
+    /// keyed on the plan seed and a caller-chosen salt.
+    pub fn jitter_ms(&self, salt: u64, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        splitmix64(self.seed ^ salt) % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_clause_kind_and_rejects_malformed_specs() {
+        let plan = FaultPlan::parse(
+            "panic@shard=1,round=7 snapshot_io@write=3 short_read@read=2 queue_full@submit=5,count=2",
+            42,
+        )
+        .unwrap();
+        assert_eq!(plan.seed(), 42);
+        assert!(plan.should_panic(1, 7));
+        assert!(!plan.should_panic(1, 7), "panic fires once");
+        assert!(FaultPlan::parse("", 0).unwrap().spec().is_empty());
+        for bad in [
+            "panic",
+            "panic@shard=1",
+            "panic@shard=x,round=1",
+            "panic@shard=1,round=1,extra=2",
+            "explode@now=1",
+            "queue_full@submit=1",
+        ] {
+            assert!(FaultPlan::parse(bad, 0).is_err(), "`{bad}` should fail");
+        }
+    }
+
+    #[test]
+    fn snapshot_write_and_read_faults_fire_on_the_scheduled_ordinal() {
+        let plan = FaultPlan::parse("snapshot_io@write=2 short_read@read=3", 0).unwrap();
+        assert!(plan.inject_snapshot_io_error().is_none());
+        assert!(plan.inject_snapshot_io_error().is_some(), "2nd write fails");
+        assert!(plan.inject_snapshot_io_error().is_none());
+        let mut bytes = vec![0u8; 100];
+        assert!(!plan.corrupt_restore_read(&mut bytes));
+        assert!(!plan.corrupt_restore_read(&mut bytes));
+        assert!(plan.corrupt_restore_read(&mut bytes), "3rd read is short");
+        assert_eq!(bytes.len(), 50);
+    }
+
+    #[test]
+    fn queue_full_burst_covers_exactly_the_scheduled_window() {
+        let plan = FaultPlan::parse("queue_full@submit=3,count=2", 0).unwrap();
+        let hits: Vec<bool> = (0..6).map(|_| plan.inject_queue_full()).collect();
+        assert_eq!(hits, [false, false, true, true, false, false]);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_salt() {
+        let a = FaultPlan::parse("", 9).unwrap();
+        let b = FaultPlan::parse("", 9).unwrap();
+        let c = FaultPlan::parse("", 10).unwrap();
+        assert_eq!(a.jitter_ms(1, 250), b.jitter_ms(1, 250));
+        assert!(a.jitter_ms(1, 250) < 250);
+        assert_eq!(a.jitter_ms(7, 0), 0);
+        assert!(
+            (0..16).any(|s| a.jitter_ms(s, 1 << 30) != c.jitter_ms(s, 1 << 30)),
+            "different seeds diverge"
+        );
+    }
+}

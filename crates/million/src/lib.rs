@@ -68,6 +68,7 @@
 pub mod async_quant;
 pub mod config;
 pub mod engine;
+pub mod fault;
 pub mod observe;
 mod persist;
 pub mod scheduler;
@@ -78,14 +79,15 @@ pub mod trainer;
 pub use async_quant::QuantWorker;
 pub use config::MillionConfig;
 pub use engine::{GenerationResult, MillionEngine};
+pub use fault::FaultPlan;
 pub use million_store::{Block, BlockStore, StoreStats};
 pub use observe::{
     HistogramReport, RequestInfo, RequestState, RoundPhase, ServingTelemetry, TelemetrySnapshot,
 };
 pub use scheduler::{BatchScheduler, SessionReport};
 pub use serving::{
-    DrainReport, QosClass, Request, RequestHandle, RequestId, ServingConfig, ServingEngine,
-    ServingStats, SubmitError, TokenWait,
+    DrainReport, QosClass, RecoverReport, Request, RequestHandle, RequestId, ServingConfig,
+    ServingEngine, ServingStats, SubmitError, TokenWait,
 };
 pub use session::{GenerationOptions, InferenceSession, SessionStream, StepResult, StopCriteria};
 pub use trainer::{train_codebooks, TrainedCodebooks};

@@ -9,6 +9,17 @@
 //! [`crate::InferenceSession::step`] performs the identical arithmetic the
 //! original session would have.
 //!
+//! ## Format v2 (`MLNSES02`)
+//!
+//! The 8-byte magic is followed by six CRC32-framed sections (each
+//! `[len u64][crc32 u32][payload]`, see `million_store::persist`):
+//! header (engine geometry + PQ configs), history, sealed blocks, private
+//! code tails, dense recent windows, and the decode front. Every write goes
+//! through `atomic_write` (temp file + fsync + rename), so a crash mid-write
+//! never leaves a torn snapshot at the destination path, and any flipped
+//! byte or truncation inside a section surfaces on restore as a typed
+//! [`MillionError::Persist`] — never a panic or a silent misread.
+//!
 //! Restoring into an engine whose store already holds blocks of the same
 //! token chain **re-attaches** them instead of duplicating codes (the
 //! content-addressed index recognises the chain), so persisted sessions keep
@@ -20,7 +31,8 @@ use std::path::Path;
 
 use million_quant::pq::{PqCodes, PqConfig};
 use million_store::persist::{
-    put_block, put_codes, put_f32_slice, put_u32, put_u32_slice, put_u64, PersistError, Reader,
+    atomic_write, put_block, put_codes, put_f32_slice, put_section, put_u32, put_u32_slice,
+    put_u64, PersistError, Reader,
 };
 use million_store::Block;
 
@@ -28,7 +40,8 @@ use crate::engine::MillionEngine;
 use crate::session::InferenceSession;
 use crate::MillionError;
 
-const MAGIC: &[u8; 8] = b"MLNSES01";
+const MAGIC: &[u8; 8] = b"MLNSES02";
+const MAGIC_V1: &[u8; 8] = b"MLNSES01";
 
 /// Per-head rows of one layer's dense recent window (keys, values).
 type DenseLayer = (Vec<Vec<f32>>, Vec<Vec<f32>>);
@@ -60,10 +73,21 @@ impl InferenceSession<'_> {
     ///
     /// # Errors
     ///
-    /// Returns the underlying I/O error if the file cannot be written.
+    /// Returns the underlying I/O error if the file cannot be written. The
+    /// write is atomic: the bytes land in a temporary sibling, are fsynced,
+    /// and are renamed over `path` — a crash mid-write never leaves a torn
+    /// snapshot behind.
     pub fn persist<P: AsRef<Path>>(&mut self, path: P) -> std::io::Result<()> {
         self.flush();
-        std::fs::write(path, self.encode())
+        atomic_write(path.as_ref(), &self.encode())
+    }
+
+    /// The encoded snapshot bytes, after flushing the asynchronous
+    /// quantization stream (the serving engine's checkpoint path composes
+    /// these into its own checkpoint files).
+    pub(crate) fn snapshot_bytes(&mut self) -> Vec<u8> {
+        self.flush();
+        self.encode()
     }
 
     fn encode(&self) -> Vec<u8> {
@@ -73,55 +97,79 @@ impl InferenceSession<'_> {
         let value_config = engine.codebooks().value[0].config();
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
-        put_u32(&mut out, engine.config().block_tokens as u32);
-        put_u32(&mut out, self.caches.len() as u32);
-        put_u32(&mut out, layout.n_kv_heads as u32);
-        put_u32(&mut out, layout.head_dim as u32);
-        put_u32(&mut out, key_config.m as u32);
-        out.push(key_config.nbits);
-        put_u32(&mut out, value_config.m as u32);
-        out.push(value_config.nbits);
-        put_u32_slice(&mut out, &self.history);
+
+        // Header: engine geometry and PQ configuration.
+        let mut body = Vec::new();
+        put_u32(&mut body, engine.config().block_tokens as u32);
+        put_u32(&mut body, self.caches.len() as u32);
+        put_u32(&mut body, layout.n_kv_heads as u32);
+        put_u32(&mut body, layout.head_dim as u32);
+        put_u32(&mut body, key_config.m as u32);
+        body.push(key_config.nbits);
+        put_u32(&mut body, value_config.m as u32);
+        body.push(value_config.nbits);
+        put_section(&mut out, &body);
+
+        // Token history.
+        body.clear();
+        put_u32_slice(&mut body, &self.history);
+        put_section(&mut out, &body);
+
+        // Sealed block chain.
+        body.clear();
         let blocks = self.chain.as_ref().map_or(&[][..], |c| c.blocks());
-        put_u32(&mut out, blocks.len() as u32);
+        put_u32(&mut body, blocks.len() as u32);
         for (_, block) in blocks {
-            put_block(&mut out, block);
+            put_block(&mut body, block);
         }
+        put_section(&mut out, &body);
+
+        // Per-layer private code tails.
+        body.clear();
         for cache in &self.caches {
             for codes in cache
                 .private_key_codes()
                 .iter()
                 .chain(cache.private_value_codes())
             {
-                put_codes(&mut out, codes);
+                put_codes(&mut body, codes);
             }
         }
+        put_section(&mut out, &body);
+
+        // Per-layer dense recent windows.
+        body.clear();
         for cache in &self.caches {
             for row in cache
                 .recent_key_rows()
                 .iter()
                 .chain(cache.recent_value_rows())
             {
-                put_f32_slice(&mut out, row);
+                put_f32_slice(&mut body, row);
             }
         }
-        put_u64(&mut out, self.prompt_tokens as u64);
-        put_u32_slice(&mut out, &self.generated);
+        put_section(&mut out, &body);
+
+        // Decode front.
+        body.clear();
+        put_u64(&mut body, self.prompt_tokens as u64);
+        put_u32_slice(&mut body, &self.generated);
         match self.pending {
             Some(token) => {
-                out.push(1);
-                put_u32(&mut out, token);
+                body.push(1);
+                put_u32(&mut body, token);
             }
-            None => out.push(0),
+            None => body.push(0),
         }
         match &self.cur_logits {
             Some(logits) => {
-                out.push(1);
-                put_f32_slice(&mut out, logits);
+                body.push(1);
+                put_f32_slice(&mut body, logits);
             }
-            None => out.push(0),
+            None => body.push(0),
         }
-        put_u64(&mut out, self.prefix_reused as u64);
+        put_u64(&mut body, self.prefix_reused as u64);
+        put_section(&mut out, &body);
         out
     }
 }
@@ -146,25 +194,58 @@ impl MillionEngine {
     ) -> Result<InferenceSession<'_>, MillionError> {
         let bytes = std::fs::read(path)
             .map_err(|e| MillionError::Persist(format!("cannot read snapshot: {e}")))?;
-        self.decode_session(&bytes)
+        self.restore_session_bytes(&bytes)
+    }
+
+    /// Restores a session from already-read snapshot bytes — the same
+    /// decode path as [`MillionEngine::restore_session`], exposed for
+    /// callers (checkpoint recovery, fault-injection harnesses) that manage
+    /// the I/O themselves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MillionError::Persist`] on any malformed input: truncation
+    /// at any byte, a checksum mismatch in any section, or a geometry
+    /// disagreement with this engine.
+    pub fn restore_session_bytes(
+        &self,
+        bytes: &[u8],
+    ) -> Result<InferenceSession<'_>, MillionError> {
+        self.decode_session(bytes)
             .map_err(|e| MillionError::Persist(e.to_string()))
     }
 
     fn decode_session(&self, bytes: &[u8]) -> Result<InferenceSession<'_>, PersistError> {
         let corrupt = |msg: &str| PersistError::Corrupt(msg.to_string());
+        let done = |r: &Reader, section: &str| -> Result<(), PersistError> {
+            if r.is_exhausted() {
+                Ok(())
+            } else {
+                Err(PersistError::Corrupt(format!(
+                    "trailing bytes in {section} section"
+                )))
+            }
+        };
         let mut r = Reader::new(bytes);
         let mut magic = [0u8; 8];
         for slot in magic.iter_mut() {
             *slot = r.get_u8()?;
         }
+        if &magic == MAGIC_V1 {
+            return Err(corrupt(
+                "snapshot format v1 (MLNSES01) predates CRC framing and is no longer readable",
+            ));
+        }
         if &magic != MAGIC {
             return Err(corrupt("bad magic"));
         }
-        let snapshot_bt = r.get_u32()? as usize;
+
+        let mut h = Reader::new(r.get_section()?);
+        let snapshot_bt = h.get_u32()? as usize;
         let layout = self.model().cache_layout();
-        let n_layers = r.get_u32()? as usize;
-        let n_kv_heads = r.get_u32()? as usize;
-        let head_dim = r.get_u32()? as usize;
+        let n_layers = h.get_u32()? as usize;
+        let n_kv_heads = h.get_u32()? as usize;
+        let head_dim = h.get_u32()? as usize;
         if n_layers != self.model().config().n_layers
             || n_kv_heads != layout.n_kv_heads
             || head_dim != layout.head_dim
@@ -176,19 +257,24 @@ impl MillionEngine {
             let nbits = r.get_u8()?;
             PqConfig::new(m, nbits).map_err(|e| PersistError::Corrupt(e.to_string()))
         };
-        let key_config = read_config(&mut r)?;
-        let value_config = read_config(&mut r)?;
+        let key_config = read_config(&mut h)?;
+        let value_config = read_config(&mut h)?;
         if key_config != self.codebooks().key[0].config()
             || value_config != self.codebooks().value[0].config()
         {
             return Err(corrupt("PQ configuration mismatch"));
         }
+        done(&h, "header")?;
 
-        let history = r.get_u32_slice()?;
-        let n_blocks = r.get_u32()? as usize;
+        let mut s = Reader::new(r.get_section()?);
+        let history = s.get_u32_slice()?;
+        done(&s, "history")?;
+
+        let mut s = Reader::new(r.get_section()?);
+        let n_blocks = s.get_u32()? as usize;
         let mut blocks = Vec::with_capacity(n_blocks);
         for _ in 0..n_blocks {
-            let block = r.get_block()?;
+            let block = s.get_block()?;
             if block.n_layers() != n_layers || block.n_kv_heads() != n_kv_heads {
                 return Err(corrupt("sealed block geometry mismatch"));
             }
@@ -203,20 +289,23 @@ impl MillionEngine {
             }
             blocks.push(block);
         }
+        done(&s, "block")?;
+
         // Per-layer private tails and dense windows: every code sequence and
         // dense row is validated here (config, equal lengths across heads
         // and layers) so a corrupt snapshot surfaces as an error instead of
         // tripping cache-construction assertions later.
+        let mut s = Reader::new(r.get_section()?);
         let mut private: Vec<(Vec<PqCodes>, Vec<PqCodes>)> = Vec::with_capacity(n_layers);
         let mut private_len = None;
         for _ in 0..n_layers {
             let mut keys = Vec::with_capacity(n_kv_heads);
             let mut values = Vec::with_capacity(n_kv_heads);
             for _ in 0..n_kv_heads {
-                keys.push(r.get_codes()?);
+                keys.push(s.get_codes()?);
             }
             for _ in 0..n_kv_heads {
-                values.push(r.get_codes()?);
+                values.push(s.get_codes()?);
             }
             let len = *private_len.get_or_insert(keys[0].len());
             let keys_ok = keys
@@ -230,16 +319,19 @@ impl MillionEngine {
             }
             private.push((keys, values));
         }
+        done(&s, "private tail")?;
+
+        let mut s = Reader::new(r.get_section()?);
         let mut dense: Vec<DenseLayer> = Vec::with_capacity(n_layers);
         let mut dense_len = None;
         for _ in 0..n_layers {
             let mut keys = Vec::with_capacity(n_kv_heads);
             let mut values = Vec::with_capacity(n_kv_heads);
             for _ in 0..n_kv_heads {
-                keys.push(r.get_f32_slice()?);
+                keys.push(s.get_f32_slice()?);
             }
             for _ in 0..n_kv_heads {
-                values.push(r.get_f32_slice()?);
+                values.push(s.get_f32_slice()?);
             }
             let len = *dense_len.get_or_insert(keys[0].len());
             if !len.is_multiple_of(head_dim)
@@ -249,19 +341,23 @@ impl MillionEngine {
             }
             dense.push((keys, values));
         }
-        let prompt_tokens = r.get_len()?;
-        let generated = r.get_u32_slice()?;
-        let pending = if r.get_u8()? == 1 {
-            Some(r.get_u32()?)
+        done(&s, "dense window")?;
+
+        let mut s = Reader::new(r.get_section()?);
+        let prompt_tokens = s.get_len()?;
+        let generated = s.get_u32_slice()?;
+        let pending = if s.get_u8()? == 1 {
+            Some(s.get_u32()?)
         } else {
             None
         };
-        let cur_logits = if r.get_u8()? == 1 {
-            Some(r.get_f32_slice()?)
+        let cur_logits = if s.get_u8()? == 1 {
+            Some(s.get_f32_slice()?)
         } else {
             None
         };
-        let prefix_reused = r.get_len()?;
+        let prefix_reused = s.get_len()?;
+        done(&s, "decode front")?;
         if !r.is_exhausted() {
             return Err(corrupt("trailing bytes after snapshot"));
         }
@@ -353,7 +449,8 @@ impl MillionEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_fixtures::engine;
+    use crate::test_fixtures::{engine, prompt};
+    use crate::GenerationOptions;
 
     /// A hand-built snapshot whose header matches `engine` but whose
     /// private-tail codes use the wrong bit width must come back as a
@@ -369,40 +466,168 @@ mod tests {
 
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
-        put_u32(&mut out, engine.config().block_tokens as u32);
-        put_u32(&mut out, n_layers as u32);
-        put_u32(&mut out, layout.n_kv_heads as u32);
-        put_u32(&mut out, layout.head_dim as u32);
-        put_u32(&mut out, key_config.m as u32);
-        out.push(key_config.nbits);
-        put_u32(&mut out, value_config.m as u32);
-        out.push(value_config.nbits);
-        put_u32_slice(&mut out, &[1, 2]); // history: 2 tokens
-        put_u32(&mut out, 0); // no sealed blocks
-                              // Private tails carry a *different* geometry than the header claims.
+        let mut body = Vec::new();
+        put_u32(&mut body, engine.config().block_tokens as u32);
+        put_u32(&mut body, n_layers as u32);
+        put_u32(&mut body, layout.n_kv_heads as u32);
+        put_u32(&mut body, layout.head_dim as u32);
+        put_u32(&mut body, key_config.m as u32);
+        body.push(key_config.nbits);
+        put_u32(&mut body, value_config.m as u32);
+        body.push(value_config.nbits);
+        put_section(&mut out, &body);
+        body.clear();
+        put_u32_slice(&mut body, &[1, 2]); // history: 2 tokens
+        put_section(&mut out, &body);
+        body.clear();
+        put_u32(&mut body, 0); // no sealed blocks
+        put_section(&mut out, &body);
+        // Private tails carry a *different* geometry than the header claims.
+        body.clear();
         let bad_config = PqConfig::new(key_config.m, key_config.nbits / 2).unwrap();
         let mut bad = PqCodes::new(bad_config);
         bad.push(&vec![0u16; bad_config.m]);
         bad.push(&vec![1u16; bad_config.m]);
         for _ in 0..n_layers {
             for _ in 0..2 * layout.n_kv_heads {
-                put_codes(&mut out, &bad);
+                put_codes(&mut body, &bad);
             }
         }
+        put_section(&mut out, &body);
+        body.clear();
         for _ in 0..n_layers {
             for _ in 0..2 * layout.n_kv_heads {
-                put_f32_slice(&mut out, &[]);
+                put_f32_slice(&mut body, &[]);
             }
         }
-        put_u64(&mut out, 2);
-        put_u32_slice(&mut out, &[]);
-        out.push(0); // no pending
-        out.push(0); // no logits
-        put_u64(&mut out, 0);
+        put_section(&mut out, &body);
+        body.clear();
+        put_u64(&mut body, 2);
+        put_u32_slice(&mut body, &[]);
+        body.push(0); // no pending
+        body.push(0); // no logits
+        put_u64(&mut body, 0);
+        put_section(&mut out, &body);
 
         let err = engine
             .decode_session(&out)
             .expect_err("misconfigured codes must be rejected");
         assert!(err.to_string().contains("misconfigured"), "{err}");
+    }
+
+    /// A mid-generation session snapshot for the corruption sweeps below.
+    fn snapshot(engine: &MillionEngine) -> Vec<u8> {
+        let mut session = engine.session();
+        session.prefill(&prompt());
+        let _ = session.generate(&GenerationOptions::max_tokens(6));
+        session.snapshot_bytes()
+    }
+
+    /// Kill-point sweep: a snapshot truncated at *any* byte — every section
+    /// boundary plus a stride through each section's interior — must restore
+    /// as a typed error, never a panic or a silent partial read.
+    #[test]
+    fn truncation_at_any_point_is_a_typed_error() {
+        let engine = engine(false, 41);
+        let bytes = snapshot(&engine);
+        assert!(
+            engine.restore_session_bytes(&bytes).is_ok(),
+            "uncut snapshot restores"
+        );
+
+        // Walk the section frames to collect every boundary offset.
+        let mut boundaries = vec![0usize, MAGIC.len()];
+        let mut pos = MAGIC.len();
+        while pos < bytes.len() {
+            let len = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("frame")) as usize;
+            // After the length, after the CRC, and after the payload.
+            boundaries.extend([pos + 8, pos + 12, pos + 12 + len]);
+            pos += 12 + len;
+        }
+        assert_eq!(pos, bytes.len(), "frame walk covers the snapshot");
+        let cuts: Vec<usize> = boundaries
+            .iter()
+            .copied()
+            .chain((0..bytes.len()).step_by(97))
+            .filter(|&c| c < bytes.len())
+            .collect();
+        for cut in cuts {
+            let err = engine
+                .restore_session_bytes(&bytes[..cut])
+                .expect_err(&format!("cut at byte {cut}/{} restores", bytes.len()));
+            assert!(matches!(err, MillionError::Persist(_)));
+        }
+    }
+
+    /// Any flipped byte inside a CRC-covered section payload is detected by
+    /// the section checksum.
+    #[test]
+    fn flipped_bytes_in_every_section_are_detected() {
+        let engine = engine(false, 42);
+        let bytes = snapshot(&engine);
+        let mut pos = MAGIC.len();
+        let mut section = 0;
+        while pos < bytes.len() {
+            let len = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("frame")) as usize;
+            let payload = pos + 12..pos + 12 + len;
+            // First, last, and a stride of interior payload bytes.
+            let targets: Vec<usize> = [payload.start, payload.end.saturating_sub(1)]
+                .into_iter()
+                .chain(payload.clone().step_by(61))
+                .filter(|i| payload.contains(i))
+                .collect();
+            for i in targets {
+                let mut bad = bytes.clone();
+                bad[i] ^= 0x10;
+                let err = engine.restore_session_bytes(&bad).expect_err(&format!(
+                    "flip at byte {i} in section {section} went undetected"
+                ));
+                assert!(
+                    err.to_string().contains("checksum mismatch"),
+                    "section {section} flip at {i}: {err}"
+                );
+            }
+            pos += 12 + len;
+            section += 1;
+        }
+        assert_eq!(section, 6, "snapshot carries six sections");
+    }
+
+    /// The malformed-input audit: zero-length files, a bare magic, the
+    /// retired v1 magic, and trailing garbage each get a distinct typed
+    /// error.
+    #[test]
+    fn malformed_snapshots_error_cleanly() {
+        let engine = engine(false, 43);
+        let err = engine.restore_session_bytes(&[]).expect_err("zero-length");
+        assert!(err.to_string().contains("truncated"), "{err}");
+        let err = engine
+            .restore_session_bytes(&MAGIC[..4])
+            .expect_err("truncated magic");
+        assert!(err.to_string().contains("truncated"), "{err}");
+        let err = engine
+            .restore_session_bytes(MAGIC)
+            .expect_err("magic with no sections");
+        assert!(err.to_string().contains("truncated"), "{err}");
+        let err = engine
+            .restore_session_bytes(b"MLNSES01rest-of-an-old-snapshot")
+            .expect_err("v1 snapshot");
+        assert!(err.to_string().contains("MLNSES01"), "{err}");
+        let err = engine
+            .restore_session_bytes(b"NOTMAGIC")
+            .expect_err("foreign bytes");
+        assert!(err.to_string().contains("bad magic"), "{err}");
+        let mut trailing = snapshot(&engine);
+        trailing.extend_from_slice(b"garbage");
+        let err = engine
+            .restore_session_bytes(&trailing)
+            .expect_err("trailing garbage");
+        assert!(err.to_string().contains("trailing bytes"), "{err}");
+        // A non-persist path never existed for directories: reading one
+        // surfaces the I/O error as MillionError::Persist too.
+        let err = engine
+            .restore_session(std::env::temp_dir())
+            .expect_err("directory is not a snapshot");
+        assert!(matches!(err, MillionError::Persist(_)));
     }
 }

@@ -65,15 +65,22 @@ use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use million_model::Sampler;
+use million_model::{Sampler, SamplerState};
+use million_store::persist::{atomic_write, put_section, put_u32, put_u32_slice, put_u64, Reader};
 use million_telemetry::{Event, EventKind, RetireOutcome};
 use serde::Serialize;
 
 use crate::async_quant::QuantWorker;
 use crate::engine::MillionEngine;
+use crate::fault::FaultPlan;
 use crate::observe::{RequestInfo, RequestState, RoundPhase, ServingTelemetry, TelemetrySnapshot};
 use crate::scheduler::SessionReport;
-use crate::session::{GenerationOptions, InferenceSession, StepResult};
+use crate::session::{GenerationOptions, InferenceSession, StepResult, StopCriteria};
+
+/// Magic prefix of a serving-engine crash-recovery checkpoint
+/// (`request-<id>.ckpt`): request metadata and a `MLNSES02` session
+/// snapshot, each in its own CRC32-framed section.
+const CKPT_MAGIC: &[u8; 8] = b"MLNCKPT1";
 
 /// Quality-of-service class of a request, ordered from most to least
 /// urgent. The class weight sets the request's share of decode throughput
@@ -231,6 +238,13 @@ impl RequestId {
     pub fn as_u64(self) -> u64 {
         self.0
     }
+
+    /// Reconstructs an id from its raw value — for looking up recovered
+    /// sessions when only the wire-format id (e.g. from an SSE frame) is
+    /// at hand.
+    pub fn from_u64(raw: u64) -> RequestId {
+        RequestId(raw)
+    }
 }
 
 /// State shared between a [`RequestHandle`] and the engine's slot for it.
@@ -253,6 +267,7 @@ pub struct RequestHandle {
     class: QosClass,
     rx: Receiver<StepResult>,
     shared: Arc<HandleShared>,
+    recovered_tokens: usize,
 }
 
 impl RequestHandle {
@@ -264,6 +279,17 @@ impl RequestHandle {
     /// The request's QoS class.
     pub fn class(&self) -> QosClass {
         self.class
+    }
+
+    /// Tokens the request had already produced when its checkpoint was
+    /// taken — `0` for ordinary submissions. A handle returned by
+    /// [`ServingEngine::recover`] streams only the continuation; a
+    /// front-end that already delivered `n` tokens to its client resumes by
+    /// skipping the first `n - recovered_tokens()` steps of this stream
+    /// (tokens produced between the checkpoint and the crash are replayed
+    /// bit-identically).
+    pub fn recovered_tokens(&self) -> usize {
+        self.recovered_tokens
     }
 
     /// Requests cancellation. Takes effect at the next round boundary: a
@@ -385,6 +411,25 @@ pub struct ServingConfig {
     /// full, so journalling never allocates or blocks serving. `0`
     /// disables journalling while keeping the histograms.
     pub journal_events: usize,
+    /// Directory for crash-recovery checkpoints. When set (and
+    /// [`ServingConfig::checkpoint_every_rounds`] is non-zero), every
+    /// decoding resident is periodically snapshotted to
+    /// `dir/request-<id>.ckpt` — sampler state, token budget and stream
+    /// progress included — and the file is removed when the request retires
+    /// cleanly. After a crash, [`ServingEngine::recover`] re-admits the
+    /// survivors for bit-identical continuation. `None` disables
+    /// checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Checkpoint cadence in rounds (checkpoints are written at round
+    /// boundaries when `round % checkpoint_every_rounds == 0`). `0`
+    /// disables checkpointing even when a directory is configured.
+    pub checkpoint_every_rounds: u64,
+    /// Deterministic fault-injection schedule for chaos testing (see
+    /// [`crate::FaultPlan`]): injected `QueueFull` rejections at `submit`,
+    /// injected I/O errors on checkpoint/snapshot writes, and short reads
+    /// on checkpoint recovery. `None` (the default) injects nothing and
+    /// costs nothing on the serving path.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServingConfig {
@@ -398,6 +443,9 @@ impl Default for ServingConfig {
             retain_finished: false,
             telemetry: true,
             journal_events: 4096,
+            checkpoint_dir: None,
+            checkpoint_every_rounds: 0,
+            fault_plan: None,
         }
     }
 }
@@ -436,6 +484,14 @@ pub struct ServingStats {
     /// resident store prefixes are not counted: attachment costs no prefill
     /// work.
     pub prefill_tokens_by_class: [u64; 3],
+    /// Snapshot/checkpoint files written successfully (periodic round
+    /// checkpoints, [`ServingEngine::persist_request`], and persist-mode
+    /// drains all count here).
+    pub snapshot_writes: u64,
+    /// Checkpoint restores rejected during [`ServingEngine::recover`] —
+    /// corrupt, truncated, or unreadable files, each surfaced as a typed
+    /// failure rather than a panic or a silent misread.
+    pub snapshot_crc_failures: u64,
 }
 
 /// What [`ServingEngine::drain`] did with the work it found in flight.
@@ -452,6 +508,21 @@ pub struct DrainReport {
     pub persisted: Vec<(RequestId, PathBuf)>,
     /// Scheduling rounds driven while finishing residents.
     pub rounds: u64,
+}
+
+/// What [`ServingEngine::recover`] found in a checkpoint directory.
+#[derive(Debug, Default)]
+pub struct RecoverReport {
+    /// Fresh handles for the re-admitted requests, ordered by request id.
+    /// Each handle streams only the tokens produced *after* the checkpoint
+    /// (the checkpointed prefix is pre-seeded into the slot's budget and
+    /// final report, see [`RequestHandle::recovered_tokens`]).
+    pub restored: Vec<RequestHandle>,
+    /// Checkpoint files that could not be restored, with the typed reason —
+    /// truncation, checksum mismatch, or geometry disagreement. Each is
+    /// counted in [`ServingStats::snapshot_crc_failures`]; the files are
+    /// left in place for inspection.
+    pub failed: Vec<(PathBuf, String)>,
 }
 
 /// A submitted request waiting for a slot.
@@ -788,7 +859,14 @@ impl<'e> ServingEngine<'e> {
                 max_seq_len,
             });
         }
-        if self.pending.len() >= self.config.queue_capacity {
+        // Injected backpressure fires before the real capacity check so a
+        // chaos plan can exercise the 429 path on an otherwise idle queue.
+        let injected = self
+            .config
+            .fault_plan
+            .as_ref()
+            .is_some_and(|plan| plan.inject_queue_full());
+        if injected || self.pending.len() >= self.config.queue_capacity {
             self.stats.rejected += 1;
             return Err(SubmitError::QueueFull {
                 capacity: self.config.queue_capacity,
@@ -806,6 +884,7 @@ impl<'e> ServingEngine<'e> {
             class: request.class,
             rx,
             shared: shared.clone(),
+            recovered_tokens: 0,
         };
         let (class, prompt_tokens) = (request.class, request.prompt.len() as u32);
         self.pending.push_back(Pending {
@@ -871,6 +950,7 @@ impl<'e> ServingEngine<'e> {
                 .record_phase(RoundPhase::PrefillChunk, prefill_ns);
             self.telemetry.record_phase(RoundPhase::Decode, decode_ns);
         }
+        self.maybe_checkpoint();
         produced
     }
 
@@ -918,7 +998,16 @@ impl<'e> ServingEngine<'e> {
         // still owes it.
         Self::sync_worker(&mut self.worker, &mut self.resident);
         match self.resident.iter_mut().find(|s| s.id == id) {
-            Some(slot) => slot.session.persist(path).map(|()| true),
+            Some(slot) => {
+                let bytes = slot.session.snapshot_bytes();
+                Self::write_snapshot(
+                    &self.config.fault_plan,
+                    &mut self.stats,
+                    path.as_ref(),
+                    &bytes,
+                )
+                .map(|()| true)
+            }
             None => Ok(false),
         }
     }
@@ -950,6 +1039,7 @@ impl<'e> ServingEngine<'e> {
                 self.stats.completed += 1;
             }
             retiring.push(report);
+            Self::remove_checkpoint(&self.config, slot.id);
         }
         self.resident.clear();
         self.reports.append(&mut retiring);
@@ -1014,12 +1104,19 @@ impl<'e> ServingEngine<'e> {
             // Everything in flight on the shared stream must land before
             // any snapshot (same contract as `persist_request`).
             Self::sync_worker(&mut self.worker, &mut self.resident);
-            for slot in self.resident.iter_mut().filter(|s| !s.done) {
-                let path = dir.join(format!("request-{}.kv", slot.id.as_u64()));
-                slot.session.persist(&path)?;
-                report.persisted.push((slot.id, path));
+            for idx in 0..self.resident.len() {
+                if self.resident[idx].done {
+                    continue;
+                }
+                let slot = &mut self.resident[idx];
+                let id = slot.id;
+                let path = dir.join(format!("request-{}.kv", id.as_u64()));
+                let bytes = slot.session.snapshot_bytes();
+                Self::write_snapshot(&self.config.fault_plan, &mut self.stats, &path, &bytes)?;
+                let slot = &mut self.resident[idx];
                 slot.done = true;
                 slot.cancelled = true;
+                report.persisted.push((id, path));
             }
             // Persisted slots must actually leave, even under a
             // retained-cohort config: drain means the fleet goes away now.
@@ -1035,6 +1132,299 @@ impl<'e> ServingEngine<'e> {
             report.finished = (self.stats.completed - completed_before) as usize;
         }
         Ok(report)
+    }
+
+    /// One snapshot write, routed through the fault plan: the scheduled
+    /// injected I/O error fires *instead of* touching the filesystem, and
+    /// every successful write is atomic (temp + fsync + rename) and counted
+    /// in [`ServingStats::snapshot_writes`].
+    fn write_snapshot(
+        fault: &Option<Arc<FaultPlan>>,
+        stats: &mut ServingStats,
+        path: &Path,
+        bytes: &[u8],
+    ) -> std::io::Result<()> {
+        if let Some(err) = fault
+            .as_ref()
+            .and_then(|plan| plan.inject_snapshot_io_error())
+        {
+            return Err(err);
+        }
+        atomic_write(path, bytes)?;
+        stats.snapshot_writes += 1;
+        Ok(())
+    }
+
+    /// Removes the request's checkpoint file, if checkpointing is
+    /// configured — called on every clean retirement so a later
+    /// [`ServingEngine::recover`] never resurrects a finished request.
+    fn remove_checkpoint(config: &ServingConfig, id: RequestId) {
+        if let Some(dir) = &config.checkpoint_dir {
+            let _ = std::fs::remove_file(dir.join(format!("request-{}.ckpt", id.as_u64())));
+        }
+    }
+
+    /// Writes this round's crash-recovery checkpoints
+    /// ([`ServingConfig::checkpoint_dir`] /
+    /// [`ServingConfig::checkpoint_every_rounds`]): every resident that has
+    /// finished prefilling and is still decoding is snapshotted to
+    /// `dir/request-<id>.ckpt`. Failures (including injected ones) are
+    /// non-fatal — the previous checkpoint, if any, survives untouched
+    /// because writes are atomic.
+    fn maybe_checkpoint(&mut self) {
+        let every = self.config.checkpoint_every_rounds;
+        if every == 0 || !self.round.is_multiple_of(every) {
+            return;
+        }
+        let Some(dir) = self.config.checkpoint_dir.clone() else {
+            return;
+        };
+        let wants_checkpoint = |slot: &Resident<'_>| {
+            !slot.done
+                && !slot.cancelled
+                && slot.prefill.is_none()
+                && !slot.shared.cancel.load(Ordering::Relaxed)
+        };
+        if !self.resident.iter().any(wants_checkpoint) {
+            return;
+        }
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        // Same contract as `persist_request`: in-flight encode traffic must
+        // land before any session is flushed into its snapshot.
+        Self::sync_worker(&mut self.worker, &mut self.resident);
+        for idx in 0..self.resident.len() {
+            if !wants_checkpoint(&self.resident[idx]) {
+                continue;
+            }
+            let slot = &mut self.resident[idx];
+            let id = slot.id;
+            let bytes = Self::encode_checkpoint(slot);
+            let path = dir.join(format!("request-{}.ckpt", id.as_u64()));
+            let _ = Self::write_snapshot(&self.config.fault_plan, &mut self.stats, &path, &bytes);
+        }
+    }
+
+    /// Encodes one resident's crash-recovery checkpoint: request metadata
+    /// (id, class, budget, stop criteria, exact sampler state, the tokens
+    /// streamed so far) in one CRC-framed section, the session snapshot
+    /// (`MLNSES02`) in a second.
+    fn encode_checkpoint(slot: &mut Resident<'e>) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(CKPT_MAGIC);
+        let mut body = Vec::new();
+        put_u64(&mut body, slot.id.as_u64());
+        body.push(slot.class.index() as u8);
+        put_u64(&mut body, slot.options.max_new_tokens as u64);
+        match slot.options.stop.eos_id {
+            Some(token) => {
+                body.push(1);
+                put_u32(&mut body, token);
+            }
+            None => body.push(0),
+        }
+        put_u32_slice(&mut body, &slot.options.stop.stop_ids);
+        match slot.sampler.state() {
+            SamplerState::Greedy => body.push(0),
+            SamplerState::TopK {
+                temperature,
+                top_k,
+                seed,
+                draws,
+            } => {
+                body.push(1);
+                put_u32(&mut body, temperature.to_bits());
+                put_u64(&mut body, top_k as u64);
+                put_u64(&mut body, seed);
+                put_u64(&mut body, draws);
+            }
+        }
+        put_u32_slice(&mut body, &slot.tokens);
+        put_section(&mut out, &body);
+        put_section(&mut out, &slot.session.snapshot_bytes());
+        out
+    }
+
+    /// Re-admits every restorable checkpoint in `dir` — the supervisor's
+    /// first act after restarting a crashed shard. Each restored request
+    /// resumes with its exact sampler state and token budget, so its
+    /// continuation is bit-identical to the stream the crashed incarnation
+    /// would have produced. Malformed checkpoints (truncated, flipped
+    /// bytes, wrong geometry) are reported in
+    /// [`RecoverReport::failed`] and counted in
+    /// [`ServingStats::snapshot_crc_failures`]; they never panic and never
+    /// admit a corrupt session. A missing or unreadable directory recovers
+    /// nothing.
+    pub fn recover(&mut self, dir: &Path) -> RecoverReport {
+        let mut report = RecoverReport::default();
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return report;
+        };
+        let mut paths: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "ckpt"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            match self.recover_one(&path) {
+                Ok(handle) => report.restored.push(handle),
+                Err(reason) => {
+                    self.stats.snapshot_crc_failures += 1;
+                    report.failed.push((path, reason));
+                }
+            }
+        }
+        report.restored.sort_by_key(|h| h.id);
+        report
+    }
+
+    fn recover_one(&mut self, path: &Path) -> Result<RequestHandle, String> {
+        let mut bytes = std::fs::read(path).map_err(|e| format!("cannot read checkpoint: {e}"))?;
+        if let Some(plan) = &self.config.fault_plan {
+            plan.corrupt_restore_read(&mut bytes);
+        }
+        let mut r = Reader::new(&bytes);
+        let mut magic = [0u8; 8];
+        for slot in magic.iter_mut() {
+            *slot = r.get_u8().map_err(|e| e.to_string())?;
+        }
+        if &magic != CKPT_MAGIC {
+            return Err("bad checkpoint magic".to_string());
+        }
+        let meta = r.get_section().map_err(|e| e.to_string())?;
+        let mut m = Reader::new(meta);
+        let parsed: Result<_, million_store::persist::PersistError> = (|| {
+            let id = m.get_len()? as u64;
+            let class = m.get_u8()?;
+            let max_new_tokens = m.get_len()?;
+            let eos_id = if m.get_u8()? == 1 {
+                Some(m.get_u32()?)
+            } else {
+                None
+            };
+            let stop_ids = m.get_u32_slice()?;
+            let sampler_kind = m.get_u8()?;
+            let sampler_state = if sampler_kind == 1 {
+                Some((
+                    f32::from_bits(m.get_u32()?),
+                    m.get_len()?,
+                    m.get_len()? as u64,
+                    m.get_len()? as u64,
+                ))
+            } else {
+                None
+            };
+            let tokens = m.get_u32_slice()?;
+            Ok((
+                id,
+                class,
+                max_new_tokens,
+                eos_id,
+                stop_ids,
+                sampler_kind,
+                sampler_state,
+                tokens,
+            ))
+        })();
+        let (id, class, max_new_tokens, eos_id, stop_ids, sampler_kind, sampler_state, tokens) =
+            parsed.map_err(|e| e.to_string())?;
+        if !m.is_exhausted() {
+            return Err("trailing bytes in checkpoint metadata section".to_string());
+        }
+        let class = *QosClass::ALL
+            .get(class as usize)
+            .ok_or_else(|| format!("unknown QoS class tag {class}"))?;
+        let sampler = match (sampler_kind, sampler_state) {
+            (0, None) => Sampler::greedy(),
+            (1, Some((temperature, top_k, seed, draws))) => {
+                if !temperature.is_finite() || temperature <= 0.0 || top_k == 0 {
+                    return Err(format!(
+                        "checkpoint sampler state is unservable \
+                         (temperature {temperature}, top_k {top_k})"
+                    ));
+                }
+                Sampler::from_state(&SamplerState::TopK {
+                    temperature,
+                    top_k,
+                    seed,
+                    draws,
+                })
+            }
+            (kind, _) => return Err(format!("unknown sampler kind tag {kind}")),
+        };
+        let session_bytes = r.get_section().map_err(|e| e.to_string())?;
+        if !r.is_exhausted() {
+            return Err("trailing bytes after checkpoint sections".to_string());
+        }
+        let mut session = self
+            .engine
+            .restore_session_bytes(session_bytes)
+            .map_err(|e| e.to_string())?;
+        session.id = id as usize;
+        if self.engine.config().async_quant && self.worker.is_none() {
+            self.worker = Some(QuantWorker::spawn(
+                self.engine.codebooks().key.clone(),
+                self.engine.codebooks().value.clone(),
+                self.engine.model().cache_layout(),
+            ));
+        }
+        let shared = Arc::new(HandleShared {
+            cancel: AtomicBool::new(false),
+            report: Mutex::new(None),
+        });
+        let (tx, rx) = channel();
+        let handle = RequestHandle {
+            id: RequestId(id),
+            class,
+            rx,
+            shared: shared.clone(),
+            recovered_tokens: tokens.len(),
+        };
+        let prompt_tokens = session.prompt_tokens() as u32;
+        let done = tokens.len() >= max_new_tokens;
+        self.resident.push(Resident {
+            id: RequestId(id),
+            session,
+            sampler,
+            options: GenerationOptions {
+                max_new_tokens,
+                stop: StopCriteria { eos_id, stop_ids },
+            },
+            class,
+            tokens,
+            deficit: 0,
+            prefill: None,
+            shared,
+            tx,
+            submitted_at: Instant::now(),
+            queue_wait_ns: 0,
+            queue_wait_rounds: 0,
+            first_token_ns: None,
+            last_token_at: None,
+            stopped_early: false,
+            deadline: None,
+            done,
+            cancelled: false,
+            timed_out: false,
+        });
+        self.next_id = self.next_id.max(id + 1);
+        self.stats.submitted += 1;
+        self.stats.admitted += 1;
+        self.stats.max_resident_sessions =
+            self.stats.max_resident_sessions.max(self.resident.len());
+        self.telemetry.event(
+            id,
+            self.round,
+            EventKind::Submit {
+                class: class.name(),
+                prompt_tokens,
+            },
+        );
+        self.telemetry
+            .event(id, self.round, EventKind::Admit { queue_wait_ns: 0 });
+        Ok(handle)
     }
 
     /// Drops queued requests whose handle was cancelled — or whose deadline
@@ -1103,6 +1493,7 @@ impl<'e> ServingEngine<'e> {
                 // before the departing session is flushed and dropped.
                 Self::sync_worker(&mut self.worker, &mut self.resident);
                 let mut slot = self.resident.remove(idx);
+                Self::remove_checkpoint(&self.config, slot.id);
                 let report = Self::build_report(&mut slot, cancelled, timed_out);
                 *slot.shared.report.lock().expect("request handle poisoned") = Some(report.clone());
                 let outcome = if timed_out {
@@ -2394,5 +2785,235 @@ mod tests {
         serving.run_until_idle();
         assert!(serving.request_table().is_empty(), "idle table is empty");
         assert!(long.is_finished() && short.is_finished());
+    }
+
+    fn checkpoint_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("million_ckpt_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    /// A shard crash between rounds loses the engine but not the
+    /// checkpoints: a fresh engine recovers the residents and continues
+    /// every stream — greedy and seeded top-k alike — bit-identically to an
+    /// undisturbed run, with clean retirement removing the files.
+    #[test]
+    fn recovered_checkpoints_continue_every_stream_bit_identically() {
+        let engine = engine(false, 21);
+        let dir = checkpoint_dir("recover");
+        let config = ServingConfig {
+            max_resident: 4,
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every_rounds: 1,
+            ..ServingConfig::default()
+        };
+        let p = prompts();
+        let submit_all = |serving: &mut ServingEngine| -> Vec<RequestHandle> {
+            vec![
+                serving
+                    .submit(Request::new(
+                        p[0].clone(),
+                        GenerationOptions::max_tokens(12),
+                    ))
+                    .expect("queued"),
+                serving
+                    .submit(
+                        Request::new(p[1].clone(), GenerationOptions::max_tokens(12))
+                            .with_sampler(Sampler::top_k(0.8, 8, 77)),
+                    )
+                    .expect("queued"),
+            ]
+        };
+        // The undisturbed baseline (no checkpointing).
+        let mut baseline = ServingEngine::new(&engine, ServingConfig::default());
+        let expected: Vec<Vec<u32>> = {
+            let handles = submit_all(&mut baseline);
+            baseline.run_until_idle();
+            handles
+                .iter()
+                .map(|h| h.report().expect("done").tokens.clone())
+                .collect()
+        };
+        // The crashing run: 4 rounds of service, then the engine is dropped
+        // without shutdown — exactly what a panic unwinding the shard loop
+        // leaves behind.
+        let mut serving = ServingEngine::new(&engine, config.clone());
+        let handles = submit_all(&mut serving);
+        for _ in 0..4 {
+            serving.serve_round();
+        }
+        let streamed: Vec<Vec<u32>> = handles
+            .iter()
+            .map(|h| h.drain_tokens().iter().map(|s| s.token).collect())
+            .collect();
+        assert!(serving.stats().snapshot_writes >= 2, "checkpoints written");
+        drop(serving);
+        drop(handles);
+
+        let mut restarted = ServingEngine::new(&engine, config);
+        let recovered = restarted.recover(&dir);
+        assert!(recovered.failed.is_empty(), "{:?}", recovered.failed);
+        assert_eq!(recovered.restored.len(), 2);
+        restarted.run_until_idle();
+        for (i, handle) in recovered.restored.iter().enumerate() {
+            assert_eq!(handle.recovered_tokens(), streamed[i].len());
+            let tail: Vec<u32> = handle.drain_tokens().iter().map(|s| s.token).collect();
+            assert_eq!(
+                [streamed[i].clone(), tail].concat(),
+                expected[i],
+                "request {i} continues bit-identically across the crash"
+            );
+            // The full-history report also matches the baseline.
+            assert_eq!(handle.report().expect("done").tokens, expected[i]);
+        }
+        assert_eq!(restarted.stats().completed, 2);
+        assert!(
+            std::fs::read_dir(&dir)
+                .map(|d| d.count() == 0)
+                .unwrap_or(true),
+            "clean retirement removes every checkpoint"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Corrupt checkpoints — truncation, flipped bytes, garbage — are typed
+    /// recovery failures, counted and reported, never panics; intact
+    /// neighbours still restore.
+    #[test]
+    fn recover_rejects_corrupt_checkpoints_without_losing_good_ones() {
+        let engine = engine(false, 22);
+        let dir = checkpoint_dir("corrupt");
+        let mut serving = ServingEngine::new(
+            &engine,
+            ServingConfig {
+                checkpoint_dir: Some(dir.clone()),
+                checkpoint_every_rounds: 1,
+                ..ServingConfig::default()
+            },
+        );
+        let _handle = serving
+            .submit(Request::new(
+                prompts()[0].clone(),
+                GenerationOptions::max_tokens(16),
+            ))
+            .expect("queued");
+        for _ in 0..3 {
+            serving.serve_round();
+        }
+        drop(serving);
+        let good = dir.join("request-0.ckpt");
+        let bytes = std::fs::read(&good).expect("checkpoint exists");
+        // A truncated copy, a flipped byte in the metadata section, and
+        // outright garbage, next to the intact original.
+        std::fs::write(dir.join("request-7.ckpt"), &bytes[..bytes.len() / 2]).unwrap();
+        let mut flipped = bytes.clone();
+        flipped[21] ^= 0x40;
+        std::fs::write(dir.join("request-8.ckpt"), &flipped).unwrap();
+        std::fs::write(dir.join("request-9.ckpt"), b"not a checkpoint").unwrap();
+
+        let mut restarted = ServingEngine::new(&engine, ServingConfig::default());
+        let recovered = restarted.recover(&dir);
+        assert_eq!(recovered.restored.len(), 1, "the intact file restores");
+        assert_eq!(recovered.failed.len(), 3);
+        assert_eq!(restarted.stats().snapshot_crc_failures, 3);
+        assert!(
+            recovered
+                .failed
+                .iter()
+                .any(|(_, e)| e.contains("checksum mismatch")),
+            "flipped byte is a checksum error: {:?}",
+            recovered.failed
+        );
+        restarted.run_until_idle();
+        assert_eq!(restarted.stats().completed, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The fault plan's serving hooks: a scheduled queue-full burst rejects
+    /// submissions on an empty queue, and the scheduled snapshot I/O error
+    /// surfaces through `persist_request` while later writes succeed.
+    #[test]
+    fn fault_plan_injects_queue_full_and_snapshot_io_errors() {
+        let engine = engine(false, 23);
+        let plan = Arc::new(
+            FaultPlan::parse("queue_full@submit=1,count=2 snapshot_io@write=1", 7).unwrap(),
+        );
+        let mut serving = ServingEngine::new(
+            &engine,
+            ServingConfig {
+                fault_plan: Some(plan),
+                ..ServingConfig::default()
+            },
+        );
+        let p = prompts();
+        for _ in 0..2 {
+            assert!(matches!(
+                serving.submit(Request::new(p[0].clone(), GenerationOptions::max_tokens(4))),
+                Err(SubmitError::QueueFull { .. })
+            ));
+        }
+        assert_eq!(serving.stats().rejected, 2);
+        let handle = serving
+            .submit(Request::new(p[0].clone(), GenerationOptions::max_tokens(8)))
+            .expect("burst over");
+        serving.serve_round();
+        let path = std::env::temp_dir().join(format!("million_fault_{}.kv", std::process::id()));
+        let err = serving
+            .persist_request(handle.id(), &path)
+            .expect_err("first write is the scheduled failure");
+        assert!(err.to_string().contains("injected fault"));
+        assert_eq!(serving.stats().snapshot_writes, 0);
+        assert!(
+            serving
+                .persist_request(handle.id(), &path)
+                .expect("written"),
+            "the retry lands"
+        );
+        assert_eq!(serving.stats().snapshot_writes, 1);
+        serving.run_until_idle();
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A scheduled short read corrupts checkpoint recovery exactly once —
+    /// the typed failure is counted, and the engine keeps serving.
+    #[test]
+    fn fault_plan_short_read_corrupts_exactly_one_recovery() {
+        let engine = engine(false, 24);
+        let dir = checkpoint_dir("short_read");
+        let mut serving = ServingEngine::new(
+            &engine,
+            ServingConfig {
+                checkpoint_dir: Some(dir.clone()),
+                checkpoint_every_rounds: 1,
+                ..ServingConfig::default()
+            },
+        );
+        for prompt in &prompts()[..2] {
+            serving
+                .submit(Request::new(
+                    prompt.clone(),
+                    GenerationOptions::max_tokens(16),
+                ))
+                .expect("queued");
+        }
+        for _ in 0..3 {
+            serving.serve_round();
+        }
+        drop(serving);
+        let plan = Arc::new(FaultPlan::parse("short_read@read=1", 5).unwrap());
+        let mut restarted = ServingEngine::new(
+            &engine,
+            ServingConfig {
+                fault_plan: Some(plan),
+                ..ServingConfig::default()
+            },
+        );
+        let recovered = restarted.recover(&dir);
+        assert_eq!(recovered.restored.len(), 1, "the unscheduled read is fine");
+        assert_eq!(recovered.failed.len(), 1, "the short read is typed");
+        assert_eq!(restarted.stats().snapshot_crc_failures, 1);
+        restarted.run_until_idle();
+        assert_eq!(restarted.stats().completed, 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

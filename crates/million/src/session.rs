@@ -135,7 +135,7 @@ enum QuantStream {
 #[derive(Debug)]
 pub struct InferenceSession<'e> {
     engine: &'e MillionEngine,
-    id: usize,
+    pub(crate) id: usize,
     pub(crate) caches: Vec<PqKvCache>,
     /// Whole-step scratch (attention pool plus every per-layer projection,
     /// embedding and logits buffer), reused across every decode step (and

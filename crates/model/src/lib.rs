@@ -38,7 +38,7 @@ pub mod weights;
 pub use cache_factory::{build_caches, total_cache_bytes, CacheSpec, PqSpec};
 pub use config::{ModelConfig, NormKind, Positional};
 pub use hooks::KvCapture;
-pub use sampler::Sampler;
+pub use sampler::{Sampler, SamplerState};
 pub use transformer::{
     prefill_attention_reference, prefill_attention_tiled, DecodeScratch, PrefillScratch,
     StepScratch, Transformer, PREFILL_K_TILE, PREFILL_Q_TILE,

@@ -17,6 +17,33 @@ pub enum Sampler {
         top_k: usize,
         /// RNG used for sampling (seeded for reproducibility).
         rng: StdRng,
+        /// The seed the RNG was created from (kept for checkpointing).
+        seed: u64,
+        /// Draws consumed so far — exactly one per [`Sampler::sample`] call,
+        /// so a checkpointed sampler can be replayed to the same RNG state.
+        draws: u64,
+    },
+}
+
+/// A checkpointable description of a sampler's exact state.
+///
+/// [`Sampler::state`] captures it; [`Sampler::from_state`] rebuilds a
+/// sampler whose next draw is bit-identical to what the original would have
+/// produced, by re-seeding and replaying the consumed draws.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SamplerState {
+    /// Greedy sampling carries no state.
+    Greedy,
+    /// Top-k sampling: configuration plus RNG progress.
+    TopK {
+        /// Softmax temperature.
+        temperature: f32,
+        /// Number of candidates kept.
+        top_k: usize,
+        /// The RNG seed.
+        seed: u64,
+        /// Draws consumed so far.
+        draws: u64,
     },
 }
 
@@ -38,6 +65,56 @@ impl Sampler {
             temperature,
             top_k,
             rng: StdRng::seed_from_u64(seed),
+            seed,
+            draws: 0,
+        }
+    }
+
+    /// Captures the sampler's exact state for checkpointing.
+    pub fn state(&self) -> SamplerState {
+        match self {
+            Sampler::Greedy => SamplerState::Greedy,
+            Sampler::TopK {
+                temperature,
+                top_k,
+                seed,
+                draws,
+                ..
+            } => SamplerState::TopK {
+                temperature: *temperature,
+                top_k: *top_k,
+                seed: *seed,
+                draws: *draws,
+            },
+        }
+    }
+
+    /// Rebuilds a sampler from a checkpointed state, fast-forwarding the RNG
+    /// past the draws the original already consumed so continuation is
+    /// bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state carries `temperature <= 0` or `top_k == 0` (it
+    /// could not have been produced by [`Sampler::state`]).
+    pub fn from_state(state: &SamplerState) -> Self {
+        match *state {
+            SamplerState::Greedy => Sampler::Greedy,
+            SamplerState::TopK {
+                temperature,
+                top_k,
+                seed,
+                draws,
+            } => {
+                let mut sampler = Sampler::top_k(temperature, top_k, seed);
+                if let Sampler::TopK { rng, draws: d, .. } = &mut sampler {
+                    for _ in 0..draws {
+                        let _: f32 = rng.gen_range(0.0..1.0);
+                    }
+                    *d = draws;
+                }
+                sampler
+            }
         }
     }
 
@@ -54,7 +131,10 @@ impl Sampler {
                 temperature,
                 top_k,
                 rng,
+                draws,
+                ..
             } => {
+                *draws += 1;
                 let k = (*top_k).min(logits.len());
                 let mut indexed: Vec<(usize, f32)> = logits.iter().copied().enumerate().collect();
                 indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
@@ -117,5 +197,33 @@ mod tests {
     #[should_panic(expected = "temperature must be positive")]
     fn zero_temperature_panics() {
         let _ = Sampler::top_k(0.0, 4, 0);
+    }
+
+    #[test]
+    fn state_roundtrip_continues_bit_identically_mid_stream() {
+        let logits: Vec<f32> = (0..64).map(|i| ((i * 11) % 13) as f32 * 0.4).collect();
+        let mut original = Sampler::top_k(0.7, 12, 1234);
+        let prefix: Vec<u32> = (0..9).map(|_| original.sample(&logits)).collect();
+        // Checkpoint mid-stream, keep driving the original, and expect the
+        // replayed twin to produce the identical tail.
+        let state = original.state();
+        assert_eq!(
+            state,
+            SamplerState::TopK {
+                temperature: 0.7,
+                top_k: 12,
+                seed: 1234,
+                draws: 9
+            }
+        );
+        let mut restored = Sampler::from_state(&state);
+        let tail: Vec<u32> = (0..25).map(|_| original.sample(&logits)).collect();
+        let replayed: Vec<u32> = (0..25).map(|_| restored.sample(&logits)).collect();
+        assert_eq!(tail, replayed);
+        assert_ne!(prefix, tail[..9].to_vec(), "stream is not degenerate");
+        assert!(matches!(
+            Sampler::from_state(&SamplerState::Greedy),
+            Sampler::Greedy
+        ));
     }
 }

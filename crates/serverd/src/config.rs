@@ -44,6 +44,21 @@ pub struct ServerSettings {
     pub spill: bool,
     /// `Retry-After` seconds attached to 429 load-shed responses.
     pub retry_after_s: u64,
+    /// Crash-restarts the supervisor grants each shard before marking it
+    /// permanently failed.
+    pub max_shard_restarts: u64,
+    /// Base backoff between shard restarts (doubles per restart, capped).
+    pub restart_backoff_ms: u64,
+    /// Extra placement attempts when every shard reports overload — covers
+    /// the window where a crashed shard is restarting.
+    pub submit_retries: u64,
+    /// Base backoff between submit retries (doubled per attempt, plus
+    /// deterministic jitter).
+    pub submit_retry_backoff_ms: u64,
+    /// Base directory for per-shard session checkpoints (shard `i` writes
+    /// under `<dir>/shard-<i>`). Empty disables checkpointing and crash
+    /// recovery.
+    pub checkpoint_dir: String,
 }
 
 impl Default for ServerSettings {
@@ -55,6 +70,11 @@ impl Default for ServerSettings {
             max_body_bytes: 1 << 20,
             spill: true,
             retry_after_s: 1,
+            max_shard_restarts: 3,
+            restart_backoff_ms: 100,
+            submit_retries: 2,
+            submit_retry_backoff_ms: 25,
+            checkpoint_dir: String::new(),
         }
     }
 }
@@ -124,6 +144,9 @@ pub struct ServingSettings {
     /// Lifecycle-journal ring capacity per shard (oldest events are
     /// evicted beyond it).
     pub journal_events: usize,
+    /// Checkpoint live sessions every N rounds (0 = only on drain).
+    /// Effective only when `server.checkpoint_dir` is set.
+    pub checkpoint_every_rounds: u64,
 }
 
 impl Default for ServingSettings {
@@ -137,11 +160,25 @@ impl Default for ServingSettings {
             prefill_chunk_tokens: d.prefill_chunk_tokens,
             telemetry: d.telemetry,
             journal_events: d.journal_events,
+            checkpoint_every_rounds: d.checkpoint_every_rounds,
         }
     }
 }
 
-/// The whole layered configuration: `[server]` + `[engine]` + `[serving]`.
+/// Deterministic fault injection (the `[fault]` section) — chaos-test
+/// knobs, off by default. See [`million::FaultPlan`] for the spec grammar.
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct FaultSettings {
+    /// Fault-plan spec, e.g. `panic@shard=0,round=5 snapshot_io@write=2`.
+    /// Empty injects nothing. Each shard gets its own plan instance (own
+    /// counters) parsed from this spec.
+    pub plan: String,
+    /// Seed for the plan's deterministic jitter draws.
+    pub seed: u64,
+}
+
+/// The whole layered configuration: `[server]` + `[engine]` + `[serving]`
+/// + `[fault]`.
 #[derive(Debug, Clone, PartialEq, Default, Serialize)]
 pub struct AppConfig {
     /// Listener and sharding router settings.
@@ -150,6 +187,8 @@ pub struct AppConfig {
     pub engine: EngineSettings,
     /// Per-shard continuous-batching settings.
     pub serving: ServingSettings,
+    /// Deterministic fault-injection schedule (chaos testing).
+    pub fault: FaultSettings,
 }
 
 /// Why configuration loading failed. Carries enough context to point the
@@ -201,6 +240,11 @@ const KEYS: &[(&str, &str)] = &[
     ("server", "max_body_bytes"),
     ("server", "spill"),
     ("server", "retry_after_s"),
+    ("server", "max_shard_restarts"),
+    ("server", "restart_backoff_ms"),
+    ("server", "submit_retries"),
+    ("server", "submit_retry_backoff_ms"),
+    ("server", "checkpoint_dir"),
     ("engine", "model"),
     ("engine", "seed"),
     ("engine", "bits"),
@@ -217,6 +261,9 @@ const KEYS: &[(&str, &str)] = &[
     ("serving", "prefill_chunk_tokens"),
     ("serving", "telemetry"),
     ("serving", "journal_events"),
+    ("serving", "checkpoint_every_rounds"),
+    ("fault", "plan"),
+    ("fault", "seed"),
 ];
 
 fn parse_num<T: std::str::FromStr>(section: &str, key: &str, raw: &str) -> Result<T, ConfigError> {
@@ -265,6 +312,19 @@ impl AppConfig {
             ("server", "retry_after_s") => {
                 self.server.retry_after_s = parse_num(section, key, raw)?
             }
+            ("server", "max_shard_restarts") => {
+                self.server.max_shard_restarts = parse_num(section, key, raw)?
+            }
+            ("server", "restart_backoff_ms") => {
+                self.server.restart_backoff_ms = parse_num(section, key, raw)?
+            }
+            ("server", "submit_retries") => {
+                self.server.submit_retries = parse_num(section, key, raw)?
+            }
+            ("server", "submit_retry_backoff_ms") => {
+                self.server.submit_retry_backoff_ms = parse_num(section, key, raw)?
+            }
+            ("server", "checkpoint_dir") => self.server.checkpoint_dir = raw.to_string(),
             ("engine", "model") => self.engine.model = raw.to_string(),
             ("engine", "seed") => self.engine.seed = parse_num(section, key, raw)?,
             ("engine", "bits") => {
@@ -307,6 +367,17 @@ impl AppConfig {
             ("serving", "journal_events") => {
                 self.serving.journal_events = parse_num(section, key, raw)?
             }
+            ("serving", "checkpoint_every_rounds") => {
+                self.serving.checkpoint_every_rounds = parse_num(section, key, raw)?
+            }
+            ("fault", "plan") => {
+                million::FaultPlan::parse(raw, 0).map_err(|msg| ConfigError::BadValue {
+                    key: "fault.plan".into(),
+                    msg,
+                })?;
+                self.fault.plan = raw.to_string();
+            }
+            ("fault", "seed") => self.fault.seed = parse_num(section, key, raw)?,
             _ => return Err(ConfigError::UnknownKey(format!("{section}.{key}"))),
         }
         Ok(())

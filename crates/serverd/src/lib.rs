@@ -39,8 +39,13 @@ pub mod router;
 pub mod server;
 pub mod shard;
 
-pub use config::{AppConfig, ConfigError, EngineSettings, ServerSettings, ServingSettings};
+pub use config::{
+    AppConfig, ConfigError, EngineSettings, FaultSettings, ServerSettings, ServingSettings,
+};
 pub use engine::{build_engine, BuildError};
 pub use router::{RouteError, Router};
 pub use server::{Server, ServerControl, ServerdError};
-pub use shard::{spawn_shard, ShardGauges, ShardHandle, ShardSnapshot, ShardSubmitError};
+pub use shard::{
+    spawn_shard, ShardGauges, ShardHandle, ShardHealth, ShardSnapshot, ShardState,
+    ShardSubmitError, SupervisorSettings,
+};

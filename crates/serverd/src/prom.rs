@@ -17,7 +17,7 @@ use million_telemetry::PromWriter;
 
 pub use million_telemetry::PROMETHEUS_CONTENT_TYPE;
 
-use crate::shard::ShardSnapshot;
+use crate::shard::{ShardHealth, ShardSnapshot};
 
 fn shard_label(shard: usize) -> String {
     format!("shard=\"{shard}\"")
@@ -109,9 +109,45 @@ pub fn fleet_telemetry(shards: &[ShardSnapshot]) -> TelemetrySnapshot {
 }
 
 /// Renders the full scrape body for `GET /metrics`.
-pub fn render(shards: &[ShardSnapshot]) -> String {
+///
+/// `shards` carries one snapshot per *responsive* shard; `health` carries
+/// one supervision row per *configured* shard, so crashed shards stay
+/// visible in the supervision series even while their snapshot is absent.
+pub fn render(shards: &[ShardSnapshot], health: &[ShardHealth]) -> String {
     let fleet = fleet_telemetry(shards);
     let mut w = PromWriter::new();
+
+    // Supervision series come from the health rows, not the snapshots:
+    // a dead shard answers no snapshot request but its atomics still read.
+    w.header(
+        "million_shard_state",
+        "gauge",
+        "Supervision state per shard (0 = live, 1 = restarting, 2 = failed).",
+    );
+    for h in health {
+        w.int_value(
+            "million_shard_state",
+            &shard_label(h.shard),
+            h.state.gauge_value(),
+        );
+    }
+    w.header(
+        "million_shard_restarts_total",
+        "counter",
+        "Times the supervisor restarted a crashed shard.",
+    );
+    for h in health {
+        w.int_value(
+            "million_shard_restarts_total",
+            &shard_label(h.shard),
+            h.restarts,
+        );
+    }
+    w.int_value(
+        "million_shard_restarts_total",
+        FLEET,
+        health.iter().map(|h| h.restarts).sum(),
+    );
 
     // Serving lifecycle counters.
     counter(
@@ -183,6 +219,20 @@ pub fn render(shards: &[ShardSnapshot]) -> String {
         "million_prefill_tokens_total",
         "Prompt tokens prefilled, by QoS class.",
         |s, i| s.stats.prefill_tokens_by_class[i],
+    );
+    counter(
+        &mut w,
+        shards,
+        "million_snapshot_writes_total",
+        "Session checkpoints durably written (temp + fsync + rename).",
+        |s| s.stats.snapshot_writes,
+    );
+    counter(
+        &mut w,
+        shards,
+        "million_snapshot_crc_failures_total",
+        "Checkpoint restores rejected for corruption (bad magic, CRC, or truncation).",
+        |s| s.stats.snapshot_crc_failures,
     );
     counter(
         &mut w,

@@ -16,12 +16,14 @@
 //! layer turns into `429` + `Retry-After`.
 
 use std::path::Path;
+use std::time::Duration;
 
+use million::fault::splitmix64;
 use million::{DrainReport, Request, RequestHandle, RequestInfo, SubmitError};
 use million_store::token_chain_hash;
 use million_telemetry::Event;
 
-use crate::shard::{ShardHandle, ShardSnapshot, ShardSubmitError};
+use crate::shard::{ShardHandle, ShardHealth, ShardSnapshot, ShardState, ShardSubmitError};
 
 /// Why the router could not place a request.
 #[derive(Debug)]
@@ -109,6 +111,51 @@ impl Router {
         Err(RouteError::Overloaded)
     }
 
+    /// [`Router::submit`] with a bounded retry loop: an overloaded verdict
+    /// is retried up to `retries` times with exponential backoff plus a
+    /// deterministic jitter drawn from `splitmix64(seed, attempt)`. This
+    /// rides out the transient where a crashed shard's queue is gone and
+    /// the survivors are momentarily full — request-shaped rejections
+    /// still fail immediately.
+    pub fn submit_with_retry(
+        &self,
+        request: Request,
+        retries: u64,
+        backoff_ms: u64,
+        seed: u64,
+    ) -> Result<(usize, RequestHandle), RouteError> {
+        let mut attempt = 0u64;
+        loop {
+            match self.submit(request.clone()) {
+                Err(RouteError::Overloaded) if attempt < retries => {
+                    attempt += 1;
+                    let exponent = (attempt - 1).min(6) as u32;
+                    let base = backoff_ms.saturating_mul(1 << exponent);
+                    let jitter = match backoff_ms {
+                        0 => 0,
+                        bound => splitmix64(seed ^ attempt) % bound,
+                    };
+                    std::thread::sleep(Duration::from_millis(base + jitter));
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Supervision status of every shard — readable even for shards whose
+    /// thread is down, so `/metrics` keeps reporting crashed shards.
+    pub fn health(&self) -> Vec<ShardHealth> {
+        self.shards.iter().map(ShardHandle::health).collect()
+    }
+
+    /// Whether any shard is currently between crash and recovery (the
+    /// window where its queued work has vanished).
+    pub fn any_restarting(&self) -> bool {
+        self.shards
+            .iter()
+            .any(|s| s.state() == ShardState::Restarting)
+    }
+
     /// Snapshots every shard for `/metrics` (skips shards that died).
     pub fn snapshots(&self) -> Vec<ShardSnapshot> {
         self.shards
@@ -160,7 +207,7 @@ mod tests {
     use million::GenerationOptions;
 
     use crate::config::{EngineSettings, ServingSettings};
-    use crate::shard::spawn_shard;
+    use crate::shard::{spawn_shard, SupervisorSettings};
 
     fn tiny_router(shards: usize, queue_capacity: usize, max_resident: usize) -> Router {
         let engine = EngineSettings {
@@ -175,7 +222,15 @@ mod tests {
             ..ServingSettings::default()
         };
         let handles = (0..shards)
-            .map(|i| spawn_shard(i, engine.clone(), serving.clone()).unwrap())
+            .map(|i| {
+                spawn_shard(
+                    i,
+                    engine.clone(),
+                    serving.clone(),
+                    SupervisorSettings::default(),
+                )
+                .unwrap()
+            })
             .collect();
         Router::new(handles, 4, true)
     }

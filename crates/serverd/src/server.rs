@@ -26,15 +26,16 @@
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use serde::Serialize;
 
+use million::fault::splitmix64;
 use million::{
-    GenerationOptions, QosClass, Request, RequestHandle, RequestInfo, SessionReport, StepResult,
-    StopCriteria, SubmitError, TelemetrySnapshot, TokenWait,
+    FaultPlan, GenerationOptions, QosClass, Request, RequestHandle, RequestInfo, SessionReport,
+    StepResult, StopCriteria, SubmitError, TelemetrySnapshot, TokenWait,
 };
 use million_model::Sampler;
 use million_telemetry::render_chrome_trace;
@@ -44,13 +45,20 @@ use crate::engine::BuildError;
 use crate::http::{self, HttpRequest, ParseError};
 use crate::prom;
 use crate::router::{RouteError, Router};
-use crate::shard::{spawn_shard, ShardSnapshot};
+use crate::shard::{spawn_shard, ShardHealth, ShardSnapshot, SupervisorSettings};
 
 /// How long a streaming handler waits on the token channel per poll.
 const TOKEN_POLL: Duration = Duration::from_millis(20);
 /// Idle interval between SSE keep-alive pings (also the disconnect
 /// detection period while no tokens flow).
 const PING_EVERY: Duration = Duration::from_millis(100);
+/// Bound on the deterministic jitter added to `retry_after_ms` in 429
+/// bodies, so shed clients don't thunder back in lockstep.
+const RETRY_JITTER_MS: u64 = 250;
+
+/// Monotonic shed counter: the jitter salt for 429 bodies. Deterministic
+/// for a deterministic request order (as in the seeded chaos tests).
+static SHED_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Why the server could not start.
 #[derive(Debug)]
@@ -131,15 +139,41 @@ impl ServerControl {
 }
 
 impl Server {
-    /// Spawns `config.server.shards` engine shards (building each model +
-    /// codebooks on its own thread) and binds the listener.
+    /// Spawns `config.server.shards` supervised engine shards (building
+    /// each model + codebooks on its own thread) and binds the listener.
     pub fn bind(config: AppConfig) -> Result<Server, ServerdError> {
+        let checkpoint_base = (!config.server.checkpoint_dir.is_empty())
+            .then(|| PathBuf::from(&config.server.checkpoint_dir));
         let mut shards = Vec::with_capacity(config.server.shards);
         for index in 0..config.server.shards {
+            // Each shard gets its own plan instance: injection counters
+            // (snapshot writes, submits) stay per-shard deterministic.
+            let fault_plan = if config.fault.plan.is_empty() {
+                None
+            } else {
+                let plan =
+                    FaultPlan::parse(&config.fault.plan, config.fault.seed).map_err(|msg| {
+                        ServerdError::Config(ConfigError::BadValue {
+                            key: "fault.plan".into(),
+                            msg,
+                        })
+                    })?;
+                Some(Arc::new(plan))
+            };
+            let supervisor = SupervisorSettings {
+                max_restarts: config.server.max_shard_restarts,
+                backoff_ms: config.server.restart_backoff_ms,
+                checkpoint_dir: checkpoint_base
+                    .as_ref()
+                    .map(|base| base.join(format!("shard-{index}"))),
+                checkpoint_every_rounds: config.serving.checkpoint_every_rounds,
+                fault_plan,
+            };
             shards.push(spawn_shard(
                 index,
                 config.engine.clone(),
                 config.serving.clone(),
+                supervisor,
             )?);
         }
         let router = Arc::new(Router::new(
@@ -202,7 +236,10 @@ fn handle_connection(
     let request = match http::read_request(&mut stream, config.server.max_body_bytes) {
         Ok(request) => request,
         Err(ParseError::BodyTooLarge { declared, limit }) => {
-            let body = error_json(&format!("body of {declared} bytes exceeds {limit}"));
+            let body = error_json(
+                "payload_too_large",
+                &format!("body of {declared} bytes exceeds {limit}"),
+            );
             let _ = http::respond_json(&mut stream, 413, "Payload Too Large", &body, &[]);
             return;
         }
@@ -211,7 +248,7 @@ fn handle_connection(
                 &mut stream,
                 400,
                 "Bad Request",
-                &error_json(&e.to_string()),
+                &error_json("bad_request", &e.to_string()),
                 &[],
             );
             return;
@@ -224,8 +261,8 @@ fn handle_connection(
         ("GET", "/debug/requests") => debug_requests(&mut stream, router),
         ("GET", "/debug/trace") => debug_trace(&mut stream, router),
         ("GET", "/config") => {
-            let body =
-                serde_json::to_string_pretty(config).unwrap_or_else(|e| error_json(&e.to_string()));
+            let body = serde_json::to_string_pretty(config)
+                .unwrap_or_else(|e| error_json("internal", &e.to_string()));
             let _ = http::respond_json(&mut stream, 200, "OK", &body, &[]);
         }
         ("GET", "/healthz") => {
@@ -248,20 +285,60 @@ fn handle_connection(
                 &mut stream,
                 404,
                 "Not Found",
-                &error_json(&format!("no route for {} {}", request.method, request.path)),
+                &error_json(
+                    "not_found",
+                    &format!("no route for {} {}", request.method, request.path),
+                ),
                 &[],
             );
         }
     }
 }
 
-fn error_json(msg: &str) -> String {
-    #[derive(Serialize)]
-    struct ErrorBody {
-        error: String,
-    }
+/// The typed error object every non-2xx JSON body (and the SSE `error`
+/// frame) carries. Schema documented in docs/ROBUSTNESS.md.
+#[derive(Serialize)]
+struct ErrorInfo {
+    /// Stable machine-readable code: `bad_request`, `not_found`,
+    /// `payload_too_large`, `queue_full`, `draining`, `shard_failed`,
+    /// `internal`.
+    code: String,
+    /// Human-readable detail.
+    message: String,
+    /// For `queue_full`: suggested client backoff, with deterministic
+    /// jitter already applied.
+    retry_after_ms: Option<u64>,
+}
+
+#[derive(Serialize)]
+struct ErrorBody {
+    error: ErrorInfo,
+}
+
+fn error_json(code: &str, message: &str) -> String {
     serde_json::to_string(&ErrorBody {
-        error: msg.to_string(),
+        error: ErrorInfo {
+            code: code.to_string(),
+            message: message.to_string(),
+            retry_after_ms: None,
+        },
+    })
+    .unwrap_or_else(|_| "{}".to_string())
+}
+
+/// The 429 body: `queue_full` plus a jittered `retry_after_ms` so shed
+/// clients spread their retries. The jitter draw is `splitmix64` over the
+/// fault seed and a monotonic shed counter — deterministic for a
+/// deterministic request order.
+fn shed_json(retry_after_s: u64, jitter_seed: u64) -> String {
+    let salt = SHED_SEQ.fetch_add(1, Ordering::Relaxed);
+    let jitter = splitmix64(jitter_seed ^ salt) % RETRY_JITTER_MS;
+    serde_json::to_string(&ErrorBody {
+        error: ErrorInfo {
+            code: "queue_full".to_string(),
+            message: "all shards are at capacity; retry later".to_string(),
+            retry_after_ms: Some(retry_after_s * 1000 + jitter),
+        },
     })
     .unwrap_or_else(|_| "{}".to_string())
 }
@@ -358,12 +435,24 @@ fn generate(
     let body = match parse_generate(&http_request.body) {
         Ok(body) => body,
         Err(msg) => {
-            let _ = http::respond_json(stream, 400, "Bad Request", &error_json(&msg), &[]);
+            let _ = http::respond_json(
+                stream,
+                400,
+                "Bad Request",
+                &error_json("bad_request", &msg),
+                &[],
+            );
             return;
         }
     };
 
-    let (shard, handle) = match router.submit(body.request) {
+    let placed = router.submit_with_retry(
+        body.request,
+        config.server.submit_retries,
+        config.server.submit_retry_backoff_ms,
+        config.fault.seed,
+    );
+    let (shard, handle) = match placed {
         Ok(placed) => placed,
         Err(RouteError::Overloaded) => {
             let retry = config.server.retry_after_s.to_string();
@@ -371,17 +460,23 @@ fn generate(
                 stream,
                 429,
                 "Too Many Requests",
-                &error_json("all shards are at capacity; retry later"),
+                &shed_json(config.server.retry_after_s, config.fault.seed),
                 &[("Retry-After", retry.as_str())],
             );
             return;
         }
         Err(RouteError::Rejected(e)) => {
-            let (status, reason) = match e {
-                SubmitError::Draining => (503, "Service Unavailable"),
-                _ => (400, "Bad Request"),
+            let (status, reason, code) = match e {
+                SubmitError::Draining => (503, "Service Unavailable", "draining"),
+                _ => (400, "Bad Request", "bad_request"),
             };
-            let _ = http::respond_json(stream, status, reason, &error_json(&e.to_string()), &[]);
+            let _ = http::respond_json(
+                stream,
+                status,
+                reason,
+                &error_json(code, &e.to_string()),
+                &[],
+            );
             return;
         }
     };
@@ -409,6 +504,15 @@ struct DoneFrame {
     shard: usize,
     tokens: Vec<u32>,
     report: Option<SessionReport>,
+}
+
+/// The terminal frame of a stream whose shard crashed: the token channel
+/// closed without a final report. Sent as SSE event name `error`.
+#[derive(Serialize)]
+struct StreamError {
+    request: u64,
+    shard: usize,
+    error: ErrorInfo,
 }
 
 fn stream_sse(stream: &mut TcpStream, shard: usize, handle: &RequestHandle) {
@@ -446,11 +550,29 @@ fn stream_sse(stream: &mut TcpStream, shard: usize, handle: &RequestHandle) {
                 }
             }
             TokenWait::Closed => {
+                let report = handle.report();
+                if report.is_none() {
+                    // The shard died under this stream: the channel closed
+                    // without a final report. End the stream with a typed
+                    // `error` frame instead of a bogus `done`.
+                    let frame = StreamError {
+                        request: handle.id().as_u64(),
+                        shard,
+                        error: ErrorInfo {
+                            code: "shard_failed".to_string(),
+                            message: format!("shard {shard} crashed mid-stream"),
+                            retry_after_ms: None,
+                        },
+                    };
+                    let data = serde_json::to_string(&frame).unwrap_or_default();
+                    let _ = http::sse_event(stream, "error", &data);
+                    return;
+                }
                 let frame = DoneFrame {
                     request: handle.id().as_u64(),
                     shard,
                     tokens,
-                    report: handle.report(),
+                    report,
                 };
                 let data = serde_json::to_string(&frame).unwrap_or_default();
                 let _ = http::sse_event(stream, "done", &data);
@@ -469,11 +591,26 @@ fn collect_json(stream: &mut TcpStream, shard: usize, handle: &RequestHandle) {
             TokenWait::Closed => break,
         }
     }
+    let report = handle.report();
+    if report.is_none() {
+        // Channel closed without a final report: the shard crashed.
+        let _ = http::respond_json(
+            stream,
+            502,
+            "Bad Gateway",
+            &error_json(
+                "shard_failed",
+                &format!("shard {shard} crashed before completing the request"),
+            ),
+            &[],
+        );
+        return;
+    }
     let frame = DoneFrame {
         request: handle.id().as_u64(),
         shard,
         tokens,
-        report: handle.report(),
+        report,
     };
     let body = serde_json::to_string(&frame).unwrap_or_default();
     let _ = http::respond_json(stream, 200, "OK", &body, &[]);
@@ -502,6 +639,9 @@ struct Totals {
 struct MetricsDoc {
     totals: Totals,
     telemetry: TelemetrySnapshot,
+    /// Supervision status per shard — present even for shards whose
+    /// thread is down (unlike `shards`, which skips them).
+    health: Vec<ShardHealth>,
     shards: Vec<ShardSnapshot>,
 }
 
@@ -511,11 +651,12 @@ struct MetricsDoc {
 /// `application/json`.
 fn metrics(stream: &mut TcpStream, request: &HttpRequest, router: &Router) {
     let shards = router.snapshots();
+    let health = router.health();
     let wants_json = request
         .header("accept")
         .is_some_and(|accept| accept.contains("application/json"));
     if !wants_json {
-        let body = prom::render(&shards);
+        let body = prom::render(&shards, &health);
         let _ = http::respond(
             stream,
             200,
@@ -545,9 +686,11 @@ fn metrics(stream: &mut TcpStream, request: &HttpRequest, router: &Router) {
     let doc = MetricsDoc {
         totals,
         telemetry: prom::fleet_telemetry(&shards),
+        health,
         shards,
     };
-    let body = serde_json::to_string_pretty(&doc).unwrap_or_else(|e| error_json(&e.to_string()));
+    let body = serde_json::to_string_pretty(&doc)
+        .unwrap_or_else(|e| error_json("internal", &e.to_string()));
     let _ = http::respond_json(stream, 200, "OK", &body, &[]);
 }
 
@@ -564,7 +707,8 @@ fn debug_requests(stream: &mut TcpStream, router: &Router) {
         .into_iter()
         .map(|(shard, requests)| ShardRequests { shard, requests })
         .collect();
-    let body = serde_json::to_string_pretty(&shards).unwrap_or_else(|e| error_json(&e.to_string()));
+    let body = serde_json::to_string_pretty(&shards)
+        .unwrap_or_else(|e| error_json("internal", &e.to_string()));
     let _ = http::respond_json(stream, 200, "OK", &body, &[]);
 }
 
@@ -600,8 +744,13 @@ fn drain(stream: &mut TcpStream, request: &HttpRequest, router: &Router) {
                 .get("persist_dir")
                 .and_then(|v| v.as_str().map(PathBuf::from)),
             None => {
-                let _ =
-                    http::respond_json(stream, 400, "Bad Request", &error_json("bad JSON"), &[]);
+                let _ = http::respond_json(
+                    stream,
+                    400,
+                    "Bad Request",
+                    &error_json("bad_request", "bad JSON"),
+                    &[],
+                );
                 return;
             }
         }

@@ -1,4 +1,4 @@
-//! Engine shards: one thread per shard, each owning a private
+//! Engine shards: one supervised thread per shard, each owning a private
 //! [`MillionEngine`] + [`ServingEngine`] pair and driven by a command
 //! channel.
 //!
@@ -12,13 +12,33 @@
 //! are published through atomics so the router and `/metrics` can read
 //! them without a channel round-trip.
 //!
+//! ## Supervision
+//!
+//! The shard thread is a *supervisor*: each engine incarnation runs under
+//! [`std::panic::catch_unwind`], and a panic (organic or injected through a
+//! [`FaultPlan`]) tears down only that incarnation. The supervisor then
+//!
+//! 1. marks the shard [`ShardState::Restarting`] and seals the command
+//!    channel, so in-flight handles observe a closed stream and new
+//!    submissions fail over to other shards;
+//! 2. backs off exponentially (capped), rebuilds the engine from the same
+//!    deterministic settings, and re-admits every crash-safe checkpoint
+//!    found under its checkpoint directory;
+//! 3. goes [`ShardState::Live`] again with a fresh channel — or
+//!    [`ShardState::Failed`] permanently once the restart budget is spent.
+//!
+//! Recovered sessions keep decoding; their fresh [`RequestHandle`]s park in
+//! the handle's recovery bin until claimed with
+//! [`ShardHandle::claim_recovered`].
+//!
 //! The `pause`/`step` controls exist for the end-to-end tests: a paused
 //! shard keeps accepting (queueing) submissions but decodes only when
 //! stepped, which makes queue-overflow, spill, and shared-prefix residency
 //! deterministic instead of racing the decode loop.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -27,8 +47,8 @@ use std::time::Duration;
 use serde::Serialize;
 
 use million::{
-    DrainReport, Request, RequestHandle, RequestInfo, ServingEngine, ServingStats, StoreStats,
-    SubmitError, TelemetrySnapshot,
+    DrainReport, FaultPlan, Request, RequestHandle, RequestId, RequestInfo, ServingEngine,
+    ServingStats, StoreStats, SubmitError, TelemetrySnapshot,
 };
 use million_telemetry::Event;
 
@@ -38,6 +58,13 @@ use crate::engine::{build_engine, BuildError};
 /// How long an idle shard thread sleeps on its command channel between
 /// wake-ups.
 const IDLE_WAIT: Duration = Duration::from_millis(2);
+
+/// Ceiling on the exponential restart backoff.
+const MAX_RESTART_BACKOFF: Duration = Duration::from_secs(5);
+
+/// Granularity of the backoff sleep, so shutdown stays responsive while a
+/// crashed shard waits to restart.
+const BACKOFF_SLICE: Duration = Duration::from_millis(10);
 
 /// Control-plane messages a shard thread executes between scheduling
 /// rounds.
@@ -86,6 +113,129 @@ pub enum ShardCommand {
     },
     /// Exit the shard thread after publishing final gauges.
     Shutdown,
+}
+
+/// Supervision state of one shard, as exposed through `/metrics` and the
+/// `million_shard_state` gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardState {
+    /// The shard thread is serving.
+    Live,
+    /// The shard crashed; its supervisor is backing off and rebuilding.
+    Restarting,
+    /// The shard spent its restart budget (or died during construction)
+    /// and stays down permanently.
+    Failed,
+}
+
+// Hand-rolled so the wire format is the stable lowercase `name()`
+// ("live" / "restarting" / "failed") rather than the variant identifier.
+impl Serialize for ShardState {
+    fn serialize_json(&self, out: &mut String) {
+        serde::write_json_string(out, self.name());
+    }
+}
+
+impl ShardState {
+    fn from_u8(value: u8) -> ShardState {
+        match value {
+            1 => ShardState::Restarting,
+            2 => ShardState::Failed,
+            _ => ShardState::Live,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            ShardState::Live => 0,
+            ShardState::Restarting => 1,
+            ShardState::Failed => 2,
+        }
+    }
+
+    /// Stable lowercase name (matches the JSON serialization).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShardState::Live => "live",
+            ShardState::Restarting => "restarting",
+            ShardState::Failed => "failed",
+        }
+    }
+
+    /// Numeric encoding for the Prometheus gauge: 0 = live,
+    /// 1 = restarting, 2 = failed.
+    pub fn gauge_value(&self) -> u64 {
+        self.as_u8() as u64
+    }
+}
+
+/// Supervision policy plus the crash-safety wiring threaded into each
+/// incarnation's [`ServingEngine`].
+#[derive(Debug, Clone)]
+pub struct SupervisorSettings {
+    /// Restarts allowed before the shard is marked [`ShardState::Failed`].
+    pub max_restarts: u64,
+    /// Base backoff between restarts; doubles per restart, capped at 5 s.
+    pub backoff_ms: u64,
+    /// Directory holding this shard's session checkpoints. `None`
+    /// disables checkpointing and recovery.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Checkpoint live sessions every N rounds (0 = only on drain).
+    pub checkpoint_every_rounds: u64,
+    /// Deterministic fault schedule (injected panics, snapshot I/O errors,
+    /// short reads, queue-full bursts) for chaos tests.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+}
+
+impl Default for SupervisorSettings {
+    fn default() -> Self {
+        SupervisorSettings {
+            max_restarts: 3,
+            backoff_ms: 100,
+            checkpoint_dir: None,
+            checkpoint_every_rounds: 0,
+            fault_plan: None,
+        }
+    }
+}
+
+/// One shard's supervision status: the `health` array of the JSON
+/// `/metrics` document. Stays truthful even when the shard thread is gone
+/// — it reads atomics, never the command channel.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardHealth {
+    /// Shard index in the router.
+    pub shard: usize,
+    /// Current supervision state.
+    pub state: ShardState,
+    /// Times the supervisor restarted this shard.
+    pub restarts: u64,
+}
+
+/// State shared between the supervisor thread and every [`ShardHandle`]
+/// clone: the per-incarnation command sender plus supervision atomics.
+struct ShardShared {
+    /// Sender into the *current* incarnation's command channel. Swapped by
+    /// the supervisor on every restart; sealed (receiver dropped) while
+    /// the shard is down so sends fail fast with [`ShardSubmitError::Down`].
+    tx: Mutex<Sender<ShardCommand>>,
+    state: AtomicU8,
+    restarts: AtomicU64,
+    /// Set by [`ShardHandle::shutdown`]: the supervisor must not restart.
+    stopping: AtomicBool,
+    /// Handles for checkpointed sessions the latest incarnation re-admitted,
+    /// waiting to be claimed by their original connection (or a test).
+    recovered: Mutex<Vec<RequestHandle>>,
+}
+
+impl ShardShared {
+    /// Replaces the command sender with one whose receiver is already
+    /// dropped, so every send fails fast instead of queueing into a dead
+    /// incarnation.
+    fn seal(&self) {
+        let (dead, _) = mpsc::channel();
+        *self.tx.lock().expect("shard sender lock") = dead;
+    }
 }
 
 /// Lock-free load gauges a shard publishes after every loop iteration.
@@ -157,7 +307,7 @@ pub struct ShardSnapshot {
 pub enum ShardSubmitError {
     /// The engine rejected it (queue full, bad prompt, draining).
     Rejected(SubmitError),
-    /// The shard thread is gone.
+    /// The shard thread is gone (crashed, restarting, or failed).
     Down,
 }
 
@@ -174,7 +324,7 @@ impl std::fmt::Display for ShardSubmitError {
 /// every connection thread.
 pub struct ShardHandle {
     index: usize,
-    tx: Mutex<Sender<ShardCommand>>,
+    shared: Arc<ShardShared>,
     gauges: Arc<ShardGauges>,
     join: Mutex<Option<JoinHandle<()>>>,
 }
@@ -190,8 +340,39 @@ impl ShardHandle {
         &self.gauges
     }
 
+    /// Current supervision state.
+    pub fn state(&self) -> ShardState {
+        ShardState::from_u8(self.shared.state.load(Ordering::Relaxed))
+    }
+
+    /// Times the supervisor restarted this shard after a crash.
+    pub fn restarts(&self) -> u64 {
+        self.shared.restarts.load(Ordering::Relaxed)
+    }
+
+    /// Supervision status for `/metrics` (readable even when the shard
+    /// thread is down).
+    pub fn health(&self) -> ShardHealth {
+        ShardHealth {
+            shard: self.index,
+            state: self.state(),
+            restarts: self.restarts(),
+        }
+    }
+
+    /// Claims the re-admitted handle for checkpointed request `id`, if the
+    /// latest restart recovered it. The handle streams the session's
+    /// post-checkpoint tokens; [`RequestHandle::recovered_tokens`] says how
+    /// many tokens the checkpoint already contained.
+    pub fn claim_recovered(&self, id: RequestId) -> Option<RequestHandle> {
+        let mut recovered = self.shared.recovered.lock().expect("recovered lock");
+        let index = recovered.iter().position(|h| h.id() == id)?;
+        Some(recovered.swap_remove(index))
+    }
+
     fn send(&self, cmd: ShardCommand) -> Result<(), ShardSubmitError> {
-        self.tx
+        self.shared
+            .tx
             .lock()
             .expect("shard sender lock")
             .send(cmd)
@@ -255,8 +436,10 @@ impl ShardHandle {
         }
     }
 
-    /// Stops the shard thread and joins it. Safe to call more than once.
+    /// Stops the shard thread (supervisor included) and joins it. Safe to
+    /// call more than once.
     pub fn shutdown(&self) {
+        self.shared.stopping.store(true, Ordering::SeqCst);
         let _ = self.send(ShardCommand::Shutdown);
         if let Some(handle) = self.join.lock().expect("shard join lock").take() {
             let _ = handle.join();
@@ -270,41 +453,49 @@ impl Drop for ShardHandle {
     }
 }
 
-/// Spawns shard `index`: builds the engine on the shard thread (weights,
-/// calibration, codebooks), then enters the command/decode loop. Fails
-/// fast — construction errors are reported here, not at first request.
+/// Spawns shard `index` under supervision: the shard thread builds the
+/// engine (weights, calibration, codebooks), recovers any checkpointed
+/// sessions, then enters the command/decode loop; panics restart it per
+/// `supervisor`. Fails fast — first-build errors are reported here, not at
+/// first request.
 pub fn spawn_shard(
     index: usize,
     engine_settings: EngineSettings,
     serving_settings: ServingSettings,
+    supervisor: SupervisorSettings,
 ) -> Result<ShardHandle, BuildError> {
-    let (tx, rx) = mpsc::channel();
     let gauges = Arc::new(ShardGauges::default());
+    let (sealed, _) = mpsc::channel();
+    let shared = Arc::new(ShardShared {
+        tx: Mutex::new(sealed),
+        state: AtomicU8::new(ShardState::Live.as_u8()),
+        restarts: AtomicU64::new(0),
+        stopping: AtomicBool::new(false),
+        recovered: Mutex::new(Vec::new()),
+    });
     let (ready_tx, ready_rx) = mpsc::channel::<Result<(), BuildError>>();
 
     let thread_gauges = Arc::clone(&gauges);
+    let thread_shared = Arc::clone(&shared);
     let join = std::thread::Builder::new()
         .name(format!("shard-{index}"))
         .spawn(move || {
-            let engine = match build_engine(&engine_settings) {
-                Ok(engine) => {
-                    let _ = ready_tx.send(Ok(()));
-                    engine
-                }
-                Err(e) => {
-                    let _ = ready_tx.send(Err(e));
-                    return;
-                }
-            };
-            let serving = ServingEngine::new(&engine, serving_settings.to_serving_config());
-            shard_loop(index, serving, rx, &thread_gauges);
+            supervise(
+                index,
+                &engine_settings,
+                &serving_settings,
+                &supervisor,
+                &thread_shared,
+                &thread_gauges,
+                ready_tx,
+            );
         })
         .expect("spawn shard thread");
 
     match ready_rx.recv() {
         Ok(Ok(())) => Ok(ShardHandle {
             index,
-            tx: Mutex::new(tx),
+            shared,
             gauges,
             join: Mutex::new(Some(join)),
         }),
@@ -322,14 +513,187 @@ pub fn spawn_shard(
     }
 }
 
+/// How one engine incarnation ended.
+enum IncarnationEnd {
+    /// Clean shutdown (or a first build that failed and was already
+    /// reported through the ready channel): the supervisor exits.
+    Exit,
+    /// The incarnation could not even be constructed; treated like a
+    /// crash so the restart budget still bounds rebuild loops.
+    Crashed(String),
+}
+
+/// The supervisor loop: runs engine incarnations under `catch_unwind`,
+/// restarting with capped exponential backoff until the budget is spent.
+fn supervise(
+    index: usize,
+    engine_settings: &EngineSettings,
+    serving_settings: &ServingSettings,
+    supervisor: &SupervisorSettings,
+    shared: &Arc<ShardShared>,
+    gauges: &ShardGauges,
+    ready: Sender<Result<(), BuildError>>,
+) {
+    let mut ready = Some(ready);
+    loop {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            run_incarnation(
+                index,
+                engine_settings,
+                serving_settings,
+                supervisor,
+                shared,
+                gauges,
+                &mut ready,
+            )
+        }));
+        let reason = match outcome {
+            Ok(IncarnationEnd::Exit) => return,
+            Ok(IncarnationEnd::Crashed(reason)) => reason,
+            Err(payload) => panic_message(payload.as_ref()),
+        };
+        // The incarnation's receiver died with it; seal the sender so
+        // submissions fail over instead of queueing into the void.
+        shared.seal();
+        let restarts = shared.restarts.fetch_add(1, Ordering::SeqCst) + 1;
+        if shared.stopping.load(Ordering::SeqCst) {
+            shared
+                .state
+                .store(ShardState::Failed.as_u8(), Ordering::SeqCst);
+            return;
+        }
+        if restarts > supervisor.max_restarts {
+            shared
+                .state
+                .store(ShardState::Failed.as_u8(), Ordering::SeqCst);
+            eprintln!(
+                "shard {index}: crashed ({reason}); restart budget of {} spent, marking failed",
+                supervisor.max_restarts
+            );
+            return;
+        }
+        shared
+            .state
+            .store(ShardState::Restarting.as_u8(), Ordering::SeqCst);
+        eprintln!(
+            "shard {index}: crashed ({reason}); restart {restarts}/{}",
+            supervisor.max_restarts
+        );
+
+        // Capped exponential backoff, sliced so shutdown stays responsive.
+        let exponent = restarts.saturating_sub(1).min(6) as u32;
+        let mut wait = Duration::from_millis(supervisor.backoff_ms.saturating_mul(1 << exponent))
+            .min(MAX_RESTART_BACKOFF);
+        while !wait.is_zero() {
+            if shared.stopping.load(Ordering::SeqCst) {
+                shared
+                    .state
+                    .store(ShardState::Failed.as_u8(), Ordering::SeqCst);
+                return;
+            }
+            let slice = wait.min(BACKOFF_SLICE);
+            std::thread::sleep(slice);
+            wait -= slice;
+        }
+    }
+}
+
+/// Builds one engine incarnation, re-admits checkpointed sessions, opens a
+/// fresh command channel, and runs the serve loop to completion.
+fn run_incarnation(
+    index: usize,
+    engine_settings: &EngineSettings,
+    serving_settings: &ServingSettings,
+    supervisor: &SupervisorSettings,
+    shared: &Arc<ShardShared>,
+    gauges: &ShardGauges,
+    ready: &mut Option<Sender<Result<(), BuildError>>>,
+) -> IncarnationEnd {
+    let engine = match build_engine(engine_settings) {
+        Ok(engine) => engine,
+        Err(e) => {
+            return match ready.take() {
+                // First build: report synchronously and die for good.
+                Some(tx) => {
+                    let _ = tx.send(Err(e));
+                    IncarnationEnd::Exit
+                }
+                None => IncarnationEnd::Crashed(format!("engine rebuild failed: {e}")),
+            };
+        }
+    };
+
+    let mut config = serving_settings.to_serving_config();
+    config.checkpoint_dir = supervisor.checkpoint_dir.clone();
+    config.checkpoint_every_rounds = supervisor.checkpoint_every_rounds;
+    config.fault_plan = supervisor.fault_plan.clone();
+    let mut serving = ServingEngine::new(&engine, config);
+
+    if let Some(dir) = &supervisor.checkpoint_dir {
+        let report = serving.recover(dir);
+        if !report.restored.is_empty() || !report.failed.is_empty() {
+            eprintln!(
+                "shard {index}: recovered {} checkpointed session(s), rejected {}",
+                report.restored.len(),
+                report.failed.len()
+            );
+        }
+        shared
+            .recovered
+            .lock()
+            .expect("recovered lock")
+            .extend(report.restored);
+    }
+
+    // Fresh channel for this incarnation, installed before the shard is
+    // announced live so no submission can race into a sealed sender.
+    let (tx, rx) = mpsc::channel();
+    *shared.tx.lock().expect("shard sender lock") = tx;
+    shared
+        .state
+        .store(ShardState::Live.as_u8(), Ordering::SeqCst);
+    if let Some(tx) = ready.take() {
+        let _ = tx.send(Ok(()));
+    }
+
+    shard_loop(
+        index,
+        serving,
+        rx,
+        gauges,
+        supervisor.fault_plan.as_deref(),
+        &shared.stopping,
+    );
+    IncarnationEnd::Exit
+}
+
+/// Best-effort extraction of the panic payload for the restart log line.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic".to_string()
+    }
+}
+
 fn shard_loop(
     index: usize,
     mut serving: ServingEngine<'_>,
     rx: Receiver<ShardCommand>,
     gauges: &ShardGauges,
+    fault: Option<&FaultPlan>,
+    stopping: &AtomicBool,
 ) {
     let mut paused = false;
     loop {
+        // A shutdown issued while the supervisor was mid-restart never
+        // reached a command channel; honor the flag directly.
+        if stopping.load(Ordering::SeqCst) {
+            publish(&serving, gauges);
+            return;
+        }
         // Drain every queued command first so submissions and control
         // never wait behind decode work.
         loop {
@@ -349,6 +713,12 @@ fn shard_loop(
         }
 
         if !paused && !serving.is_idle() {
+            if let Some(plan) = fault {
+                let next_round = serving.rounds() + 1;
+                if plan.should_panic(index, next_round) {
+                    panic!("injected fault: shard {index} panics before round {next_round}");
+                }
+            }
             serving.serve_round();
         } else {
             // Nothing to decode (or paused): block briefly on the channel
@@ -456,6 +826,7 @@ fn snapshot(index: usize, serving: &ServingEngine<'_>, gauges: &ShardGauges) -> 
 mod tests {
     use super::*;
     use million::{GenerationOptions, TokenWait};
+    use std::time::Instant;
 
     fn tiny() -> (EngineSettings, ServingSettings) {
         (
@@ -469,12 +840,7 @@ mod tests {
         )
     }
 
-    #[test]
-    fn shard_serves_a_request_end_to_end() {
-        let (es, ss) = tiny();
-        let shard = spawn_shard(0, es, ss).unwrap();
-        let request = Request::new(vec![3, 9, 27, 81], GenerationOptions::max_tokens(6));
-        let handle = shard.submit(request).unwrap();
+    fn drain_handle(handle: &RequestHandle) -> Vec<u32> {
         let mut tokens = Vec::new();
         loop {
             match handle.recv_token(Duration::from_millis(200)) {
@@ -483,18 +849,30 @@ mod tests {
                 TokenWait::Closed => break,
             }
         }
+        tokens
+    }
+
+    #[test]
+    fn shard_serves_a_request_end_to_end() {
+        let (es, ss) = tiny();
+        let shard = spawn_shard(0, es, ss, SupervisorSettings::default()).unwrap();
+        let request = Request::new(vec![3, 9, 27, 81], GenerationOptions::max_tokens(6));
+        let handle = shard.submit(request).unwrap();
+        let tokens = drain_handle(&handle);
         assert_eq!(tokens.len(), 6);
         let report = handle.report().expect("report published");
         assert_eq!(report.tokens, tokens);
         let snap = shard.snapshot().unwrap();
         assert_eq!(snap.stats.completed, 1);
+        assert_eq!(shard.state(), ShardState::Live);
+        assert_eq!(shard.restarts(), 0);
         shard.shutdown();
     }
 
     #[test]
     fn paused_shard_queues_submissions_until_stepped() {
         let (es, ss) = tiny();
-        let shard = spawn_shard(0, es, ss).unwrap();
+        let shard = spawn_shard(0, es, ss, SupervisorSettings::default()).unwrap();
         shard.pause(true);
         // Give the pause command time to land before submitting.
         let handle = shard
@@ -524,6 +902,116 @@ mod tests {
     fn spawn_reports_build_errors_synchronously() {
         let (mut es, ss) = tiny();
         es.model = "no-such-model".into();
-        assert!(spawn_shard(0, es, ss).is_err());
+        assert!(spawn_shard(0, es, ss, SupervisorSettings::default()).is_err());
+    }
+
+    /// The supervision tentpole, in miniature: an injected panic kills the
+    /// incarnation mid-stream, the supervisor restarts it, and the
+    /// checkpointed session continues bit-identically to an uninterrupted
+    /// run on a fresh shard.
+    #[test]
+    fn injected_panic_restarts_the_shard_and_resumes_from_checkpoint() {
+        let (es, ss) = tiny();
+        let dir = std::env::temp_dir().join(format!(
+            "serverd-supervise-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Reference: the same request on an unsupervised shard.
+        let baseline_shard =
+            spawn_shard(0, es.clone(), ss.clone(), SupervisorSettings::default()).unwrap();
+        let request = || Request::new(vec![3, 9, 27, 81, 11], GenerationOptions::max_tokens(8));
+        let baseline = drain_handle(&baseline_shard.submit(request()).unwrap());
+        assert_eq!(baseline.len(), 8);
+        baseline_shard.shutdown();
+
+        let plan = Arc::new(FaultPlan::parse("panic@shard=0,round=4", 7).unwrap());
+        let supervisor = SupervisorSettings {
+            backoff_ms: 10,
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every_rounds: 1,
+            fault_plan: Some(plan),
+            ..SupervisorSettings::default()
+        };
+        let shard = spawn_shard(0, es, ss, supervisor).unwrap();
+        let handle = shard.submit(request()).unwrap();
+        let id = handle.id();
+
+        // Round 1 admits, rounds 2-3 decode, the panic fires before round
+        // 4: the stream dies after two tokens with no report.
+        let streamed = drain_handle(&handle);
+        assert_eq!(streamed, baseline[..streamed.len()], "prefix matches");
+        assert!(handle.report().is_none(), "crash, not completion");
+
+        // The supervisor restarts the shard and re-admits the checkpoint.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while shard.state() != ShardState::Live || shard.restarts() == 0 {
+            assert!(
+                Instant::now() < deadline,
+                "shard restarts: {:?}",
+                shard.state()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(shard.restarts(), 1);
+        let recovered = shard
+            .claim_recovered(id)
+            .expect("checkpointed session re-admitted");
+        assert!(
+            recovered.recovered_tokens() <= streamed.len(),
+            "checkpoint can only trail the stream"
+        );
+
+        // The recovered stream replays nothing the checkpoint already
+        // held; skipping the overlap with what we streamed reconstructs
+        // the uninterrupted run bit for bit.
+        let continued = drain_handle(&recovered);
+        let overlap = streamed.len() - recovered.recovered_tokens();
+        let mut full = streamed.clone();
+        full.extend(&continued[overlap..]);
+        assert_eq!(full, baseline, "recovery is bit-identical");
+        let report = recovered.report().expect("recovered session completes");
+        assert_eq!(report.tokens, baseline);
+
+        shard.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A crash beyond the restart budget leaves the shard permanently
+    /// failed: submissions report `Down` and the health surface says so.
+    #[test]
+    fn restart_budget_exhaustion_marks_the_shard_failed() {
+        let (es, ss) = tiny();
+        let plan = Arc::new(FaultPlan::parse("panic@shard=0,round=2", 0).unwrap());
+        let supervisor = SupervisorSettings {
+            max_restarts: 0,
+            backoff_ms: 1,
+            fault_plan: Some(plan),
+            ..SupervisorSettings::default()
+        };
+        let shard = spawn_shard(0, es, ss, supervisor).unwrap();
+        let handle = shard
+            .submit(Request::new(
+                vec![5, 10, 20],
+                GenerationOptions::max_tokens(4),
+            ))
+            .unwrap();
+        let _ = drain_handle(&handle); // dies at the injected panic
+
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while shard.state() != ShardState::Failed {
+            assert!(Instant::now() < deadline, "shard fails permanently");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let err = shard
+            .submit(Request::new(vec![1, 2], GenerationOptions::max_tokens(1)))
+            .unwrap_err();
+        assert!(matches!(err, ShardSubmitError::Down), "{err:?}");
+        let health = shard.health();
+        assert_eq!(health.state, ShardState::Failed);
+        assert_eq!(health.restarts, 1);
+        shard.shutdown();
     }
 }

@@ -1,0 +1,498 @@
+//! Seeded chaos tests: a real `serverd` on loopback with a deterministic
+//! [`FaultPlan`] injected through the same `fault.plan` / `fault.seed`
+//! configuration keys the `SERVERD_FAULT_PLAN` / `SERVERD_FAULT_SEED`
+//! environment knobs drive in production.
+//!
+//! Three fault shapes, matching the CI chaos matrix:
+//!
+//! 1. **Shard panic mid-stream** — the affected client gets a typed SSE
+//!    `error` frame, the supervisor restarts the shard (visible as
+//!    `million_shard_restarts_total` = 1), the checkpointed session is
+//!    re-admitted and its remaining tokens are bit-identical to an
+//!    uninterrupted run, and requests on the other shard are unaffected.
+//!    The whole scenario is run twice with the same seed and the two
+//!    transcripts must be equal.
+//! 2. **Snapshot I/O error** — an injected failure on the Kth checkpoint
+//!    write is non-fatal: the stream completes bit-identically and
+//!    exactly one durable write is missing relative to a fault-free run.
+//! 3. **Dead-shard spill storm** — a shard that exhausts its restart
+//!    budget goes permanently `failed`; traffic homed to it spills to the
+//!    survivor and completes, and the failed state stays visible on both
+//!    metrics surfaces.
+//!
+//! Re-seed the suite without code changes via `SERVERD_FAULT_SEED=<n>`.
+//!
+//! [`FaultPlan`]: million::FaultPlan
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use million::{GenerationOptions, RequestHandle, RequestId, TokenWait};
+use million_serverd::{build_engine, AppConfig, EngineSettings, Server, ServerControl};
+
+fn tiny_engine_settings() -> EngineSettings {
+    EngineSettings {
+        model: "tiny-test".into(),
+        calibration_tokens: 96,
+        async_quant: false,
+        ..EngineSettings::default()
+    }
+}
+
+/// The chaos seed: `SERVERD_FAULT_SEED` when set (the CI matrix knob),
+/// otherwise a fixed default.
+fn fault_seed() -> u64 {
+    std::env::var("SERVERD_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(11)
+}
+
+fn checkpoint_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("serverd_chaos_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start_server(mut config: AppConfig) -> (ServerControl, std::thread::JoinHandle<()>) {
+    config.server.listen = "127.0.0.1:0".into();
+    let server = Server::bind(config).expect("server binds");
+    let control = server.control();
+    let join = std::thread::spawn(move || server.run().expect("accept loop"));
+    (control, join)
+}
+
+/// Greedy tokens from a fresh, identically-configured engine run directly
+/// — the reference any (possibly interrupted) HTTP run must reconstruct.
+fn expected_tokens(settings: &EngineSettings, prompt: &[u32], max_tokens: usize) -> Vec<u32> {
+    let engine = build_engine(settings).expect("reference engine");
+    let mut session = engine.session();
+    session.prefill(prompt);
+    session
+        .generate(&GenerationOptions::max_tokens(max_tokens))
+        .tokens
+}
+
+/// First prompt of the candidate family `base` that the router homes on
+/// `shard` — placement is pure hashing, so this is deterministic.
+fn prompt_homed_on(control: &ServerControl, shard: usize, base: u32) -> Vec<u32> {
+    for salt in 0..256u32 {
+        let x = (base + salt * 13) % 120 + 1;
+        let prompt = vec![x, (x + 7) % 128, (x + 19) % 128, (x + 41) % 128];
+        if control.router().place(&prompt) == shard {
+            return prompt;
+        }
+    }
+    panic!("no candidate prompt homes on shard {shard}");
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(
+            format!(
+                "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("write request");
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("read response");
+    let (head, body) = text.split_once("\r\n\r\n").expect("response head");
+    let status: u16 = head
+        .split("\r\n")
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    (status, body.to_string())
+}
+
+fn get(addr: SocketAddr, path: &str, accept: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\nAccept: {accept}\r\n\r\n").as_bytes())
+        .expect("write request");
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("read response");
+    let (_, body) = text.split_once("\r\n\r\n").expect("response head");
+    (200, body.to_string())
+}
+
+fn generate_body(prompt: &[u32], max_tokens: usize, stream: bool) -> String {
+    let items: Vec<String> = prompt.iter().map(|t| t.to_string()).collect();
+    format!(
+        "{{\"prompt\": [{}], \"max_new_tokens\": {max_tokens}, \"stream\": {stream}}}",
+        items.join(", ")
+    )
+}
+
+/// A parsed SSE transcript that — unlike the smoke suite's parser — also
+/// understands the terminal `error` frame a crashed shard produces.
+#[derive(Debug, PartialEq)]
+struct SseTranscript {
+    tokens: Vec<u32>,
+    request: u64,
+    shard: usize,
+    done: bool,
+    error_code: Option<String>,
+}
+
+fn sse_generate(addr: SocketAddr, body: &str) -> SseTranscript {
+    let (status, transcript) = post(addr, "/v1/generate", body);
+    assert_eq!(status, 200, "SSE stream starts: {transcript}");
+    let mut out = SseTranscript {
+        tokens: Vec::new(),
+        request: u64::MAX,
+        shard: usize::MAX,
+        done: false,
+        error_code: None,
+    };
+    let mut event = "";
+    for line in transcript.lines() {
+        if let Some(name) = line.strip_prefix("event: ") {
+            event = match name {
+                "token" => "token",
+                "done" => "done",
+                "error" => "error",
+                _ => "",
+            };
+        } else if let Some(data) = line.strip_prefix("data: ") {
+            let value: serde_json::Value = serde_json::from_str(data).expect("frame is JSON");
+            let field = |k: &str| value.get(k).and_then(|v| v.as_f64());
+            match event {
+                "token" => {
+                    let token = value
+                        .get("step")
+                        .and_then(|s| s.get("token"))
+                        .and_then(|t| t.as_f64())
+                        .expect("token frame has step.token");
+                    out.tokens.push(token as u32);
+                    out.request = field("request").expect("request id") as u64;
+                    out.shard = field("shard").expect("shard") as usize;
+                }
+                "done" => {
+                    out.done = true;
+                    out.shard = field("shard").expect("shard") as usize;
+                }
+                "error" => {
+                    out.request = field("request").expect("request id") as u64;
+                    out.shard = field("shard").expect("shard") as usize;
+                    out.error_code = value
+                        .get("error")
+                        .and_then(|e| e.get("code"))
+                        .and_then(|c| c.as_str())
+                        .map(str::to_string);
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Drains a [`RequestHandle`] to completion.
+fn drain_handle(handle: &RequestHandle) -> Vec<u32> {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut tokens = Vec::new();
+    loop {
+        match handle.recv_token(Duration::from_millis(20)) {
+            TokenWait::Token(step) => tokens.push(step.token),
+            TokenWait::Idle => assert!(Instant::now() < deadline, "stream stalls"),
+            TokenWait::Closed => return tokens,
+        }
+    }
+}
+
+/// Polls the JSON `/metrics` document until `check` passes.
+fn wait_for_metrics(
+    addr: SocketAddr,
+    timeout: Duration,
+    check: impl Fn(&serde_json::Value) -> bool,
+) -> (bool, serde_json::Value) {
+    let start = Instant::now();
+    loop {
+        let (_, body) = get(addr, "/metrics", "application/json");
+        let doc = serde_json::from_str(&body).expect("metrics JSON");
+        if check(&doc) {
+            return (true, doc);
+        }
+        if start.elapsed() > timeout {
+            return (false, doc);
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn health_state(doc: &serde_json::Value, shard: usize) -> String {
+    doc.get("health")
+        .and_then(|h| h.as_array())
+        .and_then(|h| h.get(shard))
+        .and_then(|h| h.get("state"))
+        .and_then(|s| s.as_str())
+        .unwrap_or("")
+        .to_string()
+}
+
+fn health_restarts(doc: &serde_json::Value, shard: usize) -> f64 {
+    doc.get("health")
+        .and_then(|h| h.as_array())
+        .and_then(|h| h.get(shard))
+        .and_then(|h| h.get("restarts"))
+        .and_then(|r| r.as_f64())
+        .unwrap_or(-1.0)
+}
+
+fn shard_stat(doc: &serde_json::Value, shard: usize, key: &str) -> f64 {
+    doc.get("shards")
+        .and_then(|s| s.as_array())
+        .into_iter()
+        .flatten()
+        .find(|s| s.get("shard").and_then(|v| v.as_f64()) == Some(shard as f64))
+        .and_then(|s| s.get("stats"))
+        .and_then(|s| s.get(key))
+        .and_then(|v| v.as_f64())
+        .unwrap_or(-1.0)
+}
+
+/// Everything observable about one panic-recovery scenario; two runs of
+/// the same seed must produce equal values.
+#[derive(Debug, PartialEq)]
+struct PanicOutcome {
+    streamed: Vec<u32>,
+    error_code: Option<String>,
+    restarts: u64,
+    recovered_tokens: usize,
+    full: Vec<u32>,
+    bystander: Vec<u32>,
+    bystander_shard: usize,
+}
+
+fn run_panic_scenario(seed: u64, tag: &str) -> PanicOutcome {
+    let dir = checkpoint_dir(tag);
+    let mut config = AppConfig {
+        engine: tiny_engine_settings(),
+        ..AppConfig::default()
+    };
+    config.fault.plan = "panic@shard=0,round=4".into();
+    config.fault.seed = seed;
+    config.server.checkpoint_dir = dir.to_string_lossy().into_owned();
+    config.server.restart_backoff_ms = 10;
+    config.serving.checkpoint_every_rounds = 1;
+    let engine_settings = config.engine.clone();
+    let (control, join) = start_server(config);
+    let addr = control.addr();
+
+    let victim_prompt = prompt_homed_on(&control, 0, 3);
+    let baseline = expected_tokens(&engine_settings, &victim_prompt, 8);
+    assert_eq!(baseline.len(), 8);
+
+    // (a) The victim's stream dies after two decode rounds with a typed
+    // SSE error frame, never a bogus done frame.
+    let victim = sse_generate(addr, &generate_body(&victim_prompt, 8, true));
+    assert_eq!(victim.shard, 0, "victim homed on the faulted shard");
+    assert!(!victim.done, "no done frame from a crashed shard");
+    assert_eq!(victim.error_code.as_deref(), Some("shard_failed"));
+    assert_eq!(
+        victim.tokens,
+        baseline[..victim.tokens.len()],
+        "pre-crash stream is a prefix of the uninterrupted run"
+    );
+
+    // (b) The supervisor restarts the shard: restarts hits 1 and the
+    // state returns to live on both metrics surfaces.
+    let (ok, doc) = wait_for_metrics(addr, Duration::from_secs(10), |doc| {
+        health_state(doc, 0) == "live" && health_restarts(doc, 0) == 1.0
+    });
+    assert!(ok, "shard 0 restarts and comes back live: {doc:?}");
+    let (_, prom) = get(addr, "/metrics", "text/plain");
+    assert!(
+        prom.contains("million_shard_restarts_total{shard=\"0\"} 1"),
+        "restart counter exported: {prom}"
+    );
+    assert!(
+        prom.contains("million_shard_state{shard=\"0\"} 0"),
+        "state gauge back to live: {prom}"
+    );
+
+    // (c) The checkpointed session was re-admitted on the reborn shard;
+    // its remaining tokens reconstruct the uninterrupted run bit for bit.
+    let recovered = control
+        .router()
+        .shard(0)
+        .claim_recovered(RequestId::from_u64(victim.request))
+        .expect("checkpointed session re-admitted after restart");
+    let continued = drain_handle(&recovered);
+    let overlap = victim.tokens.len() - recovered.recovered_tokens();
+    let mut full = victim.tokens.clone();
+    full.extend(&continued[overlap..]);
+    assert_eq!(full, baseline, "recovery is bit-identical");
+    let report = recovered.report().expect("recovered session completes");
+    assert_eq!(report.tokens, baseline);
+
+    // (d) The other shard is untouched by the crash: zero restarts, and a
+    // request homed there completes normally.
+    let bystander_prompt = prompt_homed_on(&control, 1, 5);
+    let bystander_baseline = expected_tokens(&engine_settings, &bystander_prompt, 6);
+    let bystander = sse_generate(addr, &generate_body(&bystander_prompt, 6, true));
+    assert_eq!(bystander.shard, 1);
+    assert!(bystander.done, "bystander stream completes");
+    assert_eq!(bystander.error_code, None);
+    assert_eq!(bystander.tokens, bystander_baseline);
+    let (_, doc) = wait_for_metrics(addr, Duration::from_secs(1), |_| true);
+    assert_eq!(health_restarts(&doc, 1), 0.0);
+
+    control.shutdown();
+    join.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    PanicOutcome {
+        streamed: victim.tokens,
+        error_code: victim.error_code,
+        restarts: 1,
+        recovered_tokens: recovered.recovered_tokens(),
+        full,
+        bystander: bystander.tokens,
+        bystander_shard: bystander.shard,
+    }
+}
+
+#[test]
+fn seeded_shard_panic_recovers_bit_identically_and_deterministically() {
+    let seed = fault_seed();
+    let first = run_panic_scenario(seed, "panic_a");
+    let second = run_panic_scenario(seed, "panic_b");
+    assert_eq!(
+        first, second,
+        "two runs of the same seeded FaultPlan must be indistinguishable"
+    );
+}
+
+/// One checkpoint write fails with an injected I/O error; the stream is
+/// oblivious and exactly one durable write goes missing relative to a
+/// fault-free run of the same request.
+#[test]
+fn injected_snapshot_io_error_is_nonfatal_and_counted() {
+    let run = |plan: &str, tag: &str| -> (Vec<u32>, f64) {
+        let dir = checkpoint_dir(tag);
+        let mut config = AppConfig {
+            engine: tiny_engine_settings(),
+            ..AppConfig::default()
+        };
+        config.server.shards = 1;
+        config.fault.plan = plan.into();
+        config.fault.seed = fault_seed();
+        config.server.checkpoint_dir = dir.to_string_lossy().into_owned();
+        config.serving.checkpoint_every_rounds = 1;
+        let engine_settings = config.engine.clone();
+        let (control, join) = start_server(config);
+        let addr = control.addr();
+
+        let prompt = vec![5u32, 10, 20, 40];
+        let baseline = expected_tokens(&engine_settings, &prompt, 6);
+        let outcome = sse_generate(addr, &generate_body(&prompt, 6, true));
+        assert!(outcome.done, "stream completes despite the fault");
+        assert_eq!(outcome.tokens, baseline, "tokens are unaffected");
+
+        let (ok, doc) = wait_for_metrics(addr, Duration::from_secs(5), |doc| {
+            shard_stat(doc, 0, "completed") == 1.0
+        });
+        assert!(ok, "request retires: {doc:?}");
+        let writes = shard_stat(&doc, 0, "snapshot_writes");
+        control.shutdown();
+        join.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        (outcome.tokens, writes)
+    };
+
+    let (clean_tokens, clean_writes) = run("", "io_clean");
+    let (faulted_tokens, faulted_writes) = run("snapshot_io@write=2", "io_fault");
+    assert_eq!(faulted_tokens, clean_tokens);
+    assert!(clean_writes >= 1.0, "checkpointing ran: {clean_writes}");
+    assert_eq!(
+        faulted_writes,
+        clean_writes - 1.0,
+        "exactly the injected write is missing"
+    );
+
+    // The Prometheus surface carries the same counter.
+    let dir = checkpoint_dir("io_prom");
+    let mut config = AppConfig {
+        engine: tiny_engine_settings(),
+        ..AppConfig::default()
+    };
+    config.server.shards = 1;
+    config.server.checkpoint_dir = dir.to_string_lossy().into_owned();
+    config.serving.checkpoint_every_rounds = 1;
+    let (control, join) = start_server(config);
+    let addr = control.addr();
+    let outcome = sse_generate(addr, &generate_body(&[5, 10, 20, 40], 6, true));
+    assert!(outcome.done);
+    let (_, prom) = get(addr, "/metrics", "text/plain");
+    assert!(
+        prom.contains("# TYPE million_snapshot_writes_total counter"),
+        "snapshot write counter exported: {prom}"
+    );
+    control.shutdown();
+    join.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A shard that exhausts its restart budget goes permanently failed; the
+/// storm of traffic homed to it spills to the survivor and completes.
+#[test]
+fn dead_shard_spill_storm_lands_on_the_survivor() {
+    let mut config = AppConfig {
+        engine: tiny_engine_settings(),
+        ..AppConfig::default()
+    };
+    config.fault.plan = "panic@shard=0,round=2".into();
+    config.fault.seed = fault_seed();
+    config.server.max_shard_restarts = 0;
+    config.server.restart_backoff_ms = 1;
+    let engine_settings = config.engine.clone();
+    let (control, join) = start_server(config);
+    let addr = control.addr();
+
+    // The trigger request crashes shard 0 on its first decode round and
+    // gets the typed error frame.
+    let victim_prompt = prompt_homed_on(&control, 0, 3);
+    let victim = sse_generate(addr, &generate_body(&victim_prompt, 4, true));
+    assert_eq!(victim.shard, 0);
+    assert_eq!(victim.error_code.as_deref(), Some("shard_failed"));
+
+    // Budget 0: the shard never comes back.
+    let (ok, doc) = wait_for_metrics(addr, Duration::from_secs(10), |doc| {
+        health_state(doc, 0) == "failed"
+    });
+    assert!(ok, "shard 0 permanently failed: {doc:?}");
+
+    // The storm: every request homed on the dead shard spills to the
+    // survivor and decodes the same tokens a healthy fleet would.
+    for salt in 0..4u32 {
+        let prompt = prompt_homed_on(&control, 0, 20 + salt * 7);
+        let baseline = expected_tokens(&engine_settings, &prompt, 4);
+        let outcome = sse_generate(addr, &generate_body(&prompt, 4, true));
+        assert!(outcome.done, "spilled request completes");
+        assert_eq!(outcome.shard, 1, "landed on the survivor");
+        assert_eq!(outcome.tokens, baseline);
+    }
+
+    // The dead shard stays visible on both metrics surfaces.
+    let (_, prom) = get(addr, "/metrics", "text/plain");
+    assert!(
+        prom.contains("million_shard_state{shard=\"0\"} 2"),
+        "failed state exported: {prom}"
+    );
+    assert!(
+        prom.contains("million_shard_restarts_total{shard=\"0\"} 1"),
+        "the crash was counted: {prom}"
+    );
+    let (_, doc) = wait_for_metrics(addr, Duration::from_secs(1), |_| true);
+    assert_eq!(health_state(&doc, 1), "live");
+
+    control.shutdown();
+    join.join().unwrap();
+}

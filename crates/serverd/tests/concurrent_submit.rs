@@ -14,7 +14,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use million::{GenerationOptions, Request, TokenWait};
-use million_serverd::{build_engine, spawn_shard, EngineSettings, ServingSettings};
+use million_serverd::{
+    build_engine, spawn_shard, EngineSettings, ServingSettings, SupervisorSettings,
+};
 
 fn tiny_settings() -> EngineSettings {
     EngineSettings {
@@ -41,7 +43,15 @@ fn concurrent_submitters_are_bit_identical_to_serial_and_lose_nothing() {
     const PER_THREAD: usize = 6;
     const MAX_TOKENS: usize = 5;
 
-    let shard = Arc::new(spawn_shard(0, tiny_settings(), ServingSettings::default()).unwrap());
+    let shard = Arc::new(
+        spawn_shard(
+            0,
+            tiny_settings(),
+            ServingSettings::default(),
+            SupervisorSettings::default(),
+        )
+        .unwrap(),
+    );
 
     let workers: Vec<_> = (0..THREADS)
         .map(|t| {

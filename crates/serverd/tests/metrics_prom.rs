@@ -305,6 +305,36 @@ fn prometheus_scrape_reconciles_with_session_reports() {
         0.0
     );
 
+    // Supervision series: a healthy fleet reads live (0) on the state
+    // gauge with zero restarts, and without a checkpoint directory no
+    // snapshot write (or CRC failure) can have happened.
+    for shard in ["0", "1"] {
+        assert_eq!(
+            sample(body, &format!("million_shard_state{{shard=\"{shard}\"}}")),
+            0.0,
+            "shard {shard} is live"
+        );
+        assert_eq!(
+            sample(
+                body,
+                &format!("million_shard_restarts_total{{shard=\"{shard}\"}}")
+            ),
+            0.0
+        );
+    }
+    assert_eq!(
+        sample(body, "million_shard_restarts_total{shard=\"fleet\"}"),
+        0.0
+    );
+    assert_eq!(
+        sample(body, "million_snapshot_writes_total{shard=\"fleet\"}"),
+        0.0
+    );
+    assert_eq!(
+        sample(body, "million_snapshot_crc_failures_total{shard=\"fleet\"}"),
+        0.0
+    );
+
     // One TTFT, queue-wait, and end-to-end observation per retired
     // request — histogram totals reconcile with the report count.
     for hist in [
@@ -394,6 +424,22 @@ fn prometheus_scrape_reconciles_with_session_reports() {
         fleet_ttft.get("sum_ns").and_then(|v| v.as_f64()),
         Some(ttft_ns as f64)
     );
+
+    // The JSON document's health rows reconcile with the Prometheus
+    // supervision series: one row per shard, live, zero restarts.
+    let health = doc
+        .get("health")
+        .and_then(|h| h.as_array())
+        .expect("health rows in JSON metrics");
+    assert_eq!(health.len(), 2);
+    for (shard, row) in health.iter().enumerate() {
+        assert_eq!(
+            row.get("shard").and_then(|v| v.as_f64()),
+            Some(shard as f64)
+        );
+        assert_eq!(row.get("state").and_then(|v| v.as_str()), Some("live"));
+        assert_eq!(row.get("restarts").and_then(|v| v.as_f64()), Some(0.0));
+    }
 
     control.shutdown();
     join.join().unwrap();

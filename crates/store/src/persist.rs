@@ -4,6 +4,16 @@
 //! packed `nbits`-wide codes — so persistence is pure framing: lengths,
 //! geometry for validation, and the raw packed bytes. (The vendored `serde`
 //! is serialize-only, so this module carries its own reader.)
+//!
+//! Two crash-safety primitives live here too: [`atomic_write`] (temp file +
+//! fsync + rename, so a crash mid-write never leaves a torn file at the
+//! destination path) and CRC32-framed sections ([`put_section`] /
+//! [`Reader::get_section`]) so a flipped byte anywhere in a section is
+//! detected as [`PersistError::Checksum`] rather than decoded as garbage.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
 
 use million_quant::pq::{PqCodes, PqConfig};
 
@@ -16,6 +26,13 @@ pub enum PersistError {
     Truncated,
     /// A structural or geometric invariant failed.
     Corrupt(String),
+    /// A CRC-framed section's checksum did not match its payload.
+    Checksum {
+        /// The checksum recorded in the section header.
+        expected: u32,
+        /// The checksum of the bytes actually read.
+        actual: u32,
+    },
 }
 
 impl std::fmt::Display for PersistError {
@@ -23,11 +40,81 @@ impl std::fmt::Display for PersistError {
         match self {
             PersistError::Truncated => write!(f, "persisted state truncated"),
             PersistError::Corrupt(msg) => write!(f, "persisted state corrupt: {msg}"),
+            PersistError::Checksum { expected, actual } => write!(
+                f,
+                "persisted state checksum mismatch: header says {expected:#010x}, payload hashes to {actual:#010x}"
+            ),
         }
     }
 }
 
 impl std::error::Error for PersistError {}
+
+/// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *entry = c;
+        }
+        table
+    });
+    let mut c = !0u32;
+    for &b in bytes {
+        c = table[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// The temporary sibling `atomic_write` stages into before renaming.
+fn staging_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Writes `bytes` to `path` crash-safely: the data lands in a temporary
+/// sibling first, is fsynced, and is then atomically renamed over the
+/// destination. A crash at any point leaves either the old file or the new
+/// one at `path` — never a torn mixture. The rename itself is made durable
+/// by fsyncing the parent directory (best effort: not all platforms allow
+/// opening a directory for sync).
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = staging_path(path);
+    let mut file = std::fs::File::create(&tmp)?;
+    if let Err(e) = file.write_all(bytes).and_then(|()| file.sync_all()) {
+        drop(file);
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    drop(file);
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Appends one CRC-framed section: `[payload len u64][crc32 u32][payload]`.
+pub fn put_section(out: &mut Vec<u8>, body: &[u8]) {
+    put_u64(out, body.len() as u64);
+    put_u32(out, crc32(body));
+    out.extend_from_slice(body);
+}
 
 /// Appends a `u32` (little endian).
 pub fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -152,6 +239,19 @@ impl<'a> Reader<'a> {
             .map_err(|e| PersistError::Corrupt(format!("bad packed codes: {e}")))
     }
 
+    /// Reads one CRC-framed section written by [`put_section`], verifying
+    /// its checksum before handing back the payload.
+    pub fn get_section(&mut self) -> Result<&'a [u8], PersistError> {
+        let len = self.get_len()?;
+        let expected = self.get_u32()?;
+        let body = self.take(len)?;
+        let actual = crc32(body);
+        if actual != expected {
+            return Err(PersistError::Checksum { expected, actual });
+        }
+        Ok(body)
+    }
+
     /// Reads one sealed block written by [`put_block`].
     pub fn get_block(&mut self) -> Result<Block, PersistError> {
         let n_layers = self.get_u32()? as usize;
@@ -247,5 +347,58 @@ mod tests {
             let mut r = Reader::new(&buf[..cut]);
             assert!(r.get_codes().is_err(), "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The canonical CRC-32/ISO-HDLC check vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn sections_roundtrip_and_detect_every_single_byte_flip() {
+        let payload: Vec<u8> = (0..97u8).collect();
+        let mut buf = Vec::new();
+        put_section(&mut buf, &payload);
+        put_section(&mut buf, b"");
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.get_section().unwrap(), payload.as_slice());
+        assert_eq!(r.get_section().unwrap(), b"");
+        assert!(r.is_exhausted());
+
+        // Any flipped bit in the payload or its frame must surface as a
+        // typed error, never a silent misread.
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x40;
+            let mut r = Reader::new(&bad);
+            let outcome = r.get_section().and_then(|_| r.get_section());
+            assert!(outcome.is_err(), "flip at byte {i} went undetected");
+        }
+        // Any truncation point too.
+        for cut in 0..buf.len() {
+            let mut r = Reader::new(&buf[..cut]);
+            let outcome = r.get_section().and_then(|_| r.get_section());
+            assert!(outcome.is_err(), "cut at {cut} went undetected");
+        }
+    }
+
+    #[test]
+    fn atomic_write_replaces_the_destination_and_leaves_no_staging_file() {
+        let dir = std::env::temp_dir().join(format!("million_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.bin");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second, longer payload").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer payload");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name() != "snapshot.bin")
+            .collect();
+        assert!(leftovers.is_empty(), "staging files left behind");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
