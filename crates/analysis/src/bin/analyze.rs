@@ -1,0 +1,112 @@
+//! `analyze` — run the invariant lint engine over the workspace.
+//!
+//! ```text
+//! analyze [--root DIR] [--policy FILE] [--deny] [--summary FILE] [--quiet]
+//! ```
+//!
+//! - `--root DIR`      workspace root (default: current directory)
+//! - `--policy FILE`   policy path (default: `<root>/analysis.toml`)
+//! - `--deny`          exit 1 when any finding survives suppression
+//! - `--summary FILE`  also write a markdown job summary (for CI)
+//! - `--quiet`         print only the summary line
+//!
+//! Exit codes: 0 clean (or warn-only without `--deny`), 1 findings under
+//! `--deny`, 2 usage/policy/IO error — a broken policy must fail CI, not
+//! lint nothing.
+
+use million_analysis::policy::Policy;
+use million_analysis::{analyze_sources, collect_workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    policy: Option<PathBuf>,
+    deny: bool,
+    summary: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        policy: None,
+        deny: false,
+        summary: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => args.root = next_path(&mut it, "--root")?,
+            "--policy" => args.policy = Some(next_path(&mut it, "--policy")?),
+            "--summary" => args.summary = Some(next_path(&mut it, "--summary")?),
+            "--deny" => args.deny = true,
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                return Err("usage: analyze [--root DIR] [--policy FILE] [--deny] \
+                     [--summary FILE] [--quiet]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn next_path(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<PathBuf, String> {
+    it.next()
+        .map(PathBuf::from)
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("analyze: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let policy_path = args
+        .policy
+        .clone()
+        .unwrap_or_else(|| args.root.join("analysis.toml"));
+    let policy_text = match std::fs::read_to_string(&policy_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("analyze: cannot read {}: {e}", policy_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let policy = match Policy::parse(&policy_text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let files = match collect_workspace(&args.root, &policy) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("analyze: workspace walk failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = analyze_sources(files, &policy);
+    if args.quiet {
+        println!("{}", report.summary_line());
+    } else {
+        print!("{}", report.render());
+    }
+    if let Some(summary) = &args.summary {
+        if let Err(e) = std::fs::write(summary, report.render_markdown()) {
+            eprintln!("analyze: cannot write {}: {e}", summary.display());
+            return ExitCode::from(2);
+        }
+    }
+    if args.deny && !report.findings.is_empty() {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

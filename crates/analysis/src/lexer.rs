@@ -1,0 +1,614 @@
+//! A hand-rolled Rust lexer: line/column-tracked tokens plus a parallel
+//! comment stream.
+//!
+//! The build environment cannot reach crates.io, so `syn`/`proc-macro2`
+//! are off the table; this lexer implements exactly the token distinctions
+//! the rule engine needs and nothing more:
+//!
+//! - **Comments** (line and *nested* block) are lexed into their own
+//!   stream, because `// analyze: ...` annotations and suppressions live
+//!   there.
+//! - **Strings** — plain, byte, and raw (`r"…"`, `r#"…"#`, any hash
+//!   depth) — are opaque single tokens, so a `"unwrap()"` inside a log
+//!   message can never trip a rule.
+//! - **Char literals vs lifetimes**: `'a'` is a literal, `'a` is a
+//!   lifetime; getting this wrong would desynchronize every downstream
+//!   brace count inside generic code.
+//! - **Raw identifiers** (`r#type`) lex as identifiers with the `r#`
+//!   stripped.
+//!
+//! Everything else (numbers, identifiers, single-character punctuation) is
+//! deliberately simple: the rule engine works on identifier/punctuation
+//! patterns, never on full expression structure.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (leading quote included).
+    Lifetime,
+    /// A character or byte literal, quotes included.
+    CharLit,
+    /// Any string literal (plain, byte, raw), quotes/hashes included.
+    Str,
+    /// A numeric literal, suffix included (`0x1f`, `1_000u64`, `1.5e-3`).
+    Num,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// True when this token is exactly the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+}
+
+/// One comment, kept out of the token stream so rules never scan it.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without the `//` / `/* */` framing, trimmed.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// True when code precedes the comment on its own line (a trailing
+    /// comment), false for a comment alone on its line.
+    pub trailing: bool,
+}
+
+/// The output of [`lex`]: tokens and comments, each in source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens.
+    pub tokens: Vec<Token>,
+    /// All comments (doc comments included).
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`. Never fails: unterminated constructs are closed at end of
+/// input — a lint must degrade gracefully on code mid-edit, not abort.
+pub fn lex(src: &str) -> Lexed {
+    Lexer::new(src).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+    /// Whether a token has been produced on the current line (marks
+    /// subsequent comments on the line as trailing).
+    code_on_line: bool,
+}
+
+impl Lexer {
+    fn new(src: &str) -> Lexer {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Lexed::default(),
+            code_on_line: false,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one character, tracking line/column.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+            self.code_on_line = false;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push_token(&mut self, kind: TokenKind, text: String, line: u32, col: u32) {
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+        self.code_on_line = true;
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line, col),
+                '\'' => self.char_or_lifetime(line, col),
+                'r' | 'b' if self.raw_or_byte_prefix() => self.prefixed_literal(line, col),
+                c if is_ident_start(c) => self.ident(line, col),
+                c if c.is_ascii_digit() => self.number(line, col),
+                _ => {
+                    let c = self.bump().unwrap_or(' ');
+                    self.push_token(TokenKind::Punct, c.to_string(), line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let trailing = self.code_on_line;
+        self.bump();
+        self.bump();
+        // Strip doc-comment markers: `///` and `//!` carry no directives.
+        while self.peek(0) == Some('/') || self.peek(0) == Some('!') {
+            self.bump();
+        }
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            text: text.trim().to_string(),
+            line,
+            trailing,
+        });
+    }
+
+    /// Block comments nest, per the Rust grammar: `/* /* */ */` is one
+    /// comment.
+    fn block_comment(&mut self, line: u32) {
+        let trailing = self.code_on_line;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                    text.push_str("/*");
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                }
+                (Some(_), _) => {
+                    if let Some(c) = self.bump() {
+                        text.push(c);
+                    }
+                }
+                (None, _) => break, // unterminated: close at EOF
+            }
+        }
+        self.out.comments.push(Comment {
+            text: text.trim().to_string(),
+            line,
+            trailing,
+        });
+    }
+
+    /// A plain (escaped) string body, after the opening quote was seen at
+    /// `self.pos`. Consumes through the closing quote.
+    fn string(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        text.push(self.bump().unwrap_or('"')); // opening quote
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                text.push(self.bump().unwrap_or('\\'));
+                if let Some(esc) = self.bump() {
+                    text.push(esc);
+                }
+                continue;
+            }
+            text.push(c);
+            self.bump();
+            if c == '"' {
+                break;
+            }
+        }
+        self.push_token(TokenKind::Str, text, line, col);
+    }
+
+    /// Distinguishes `'a'` (char literal) from `'a` (lifetime): a literal
+    /// is one character (or one escape) followed by a closing quote; a
+    /// lifetime is a quote followed by identifier characters with no
+    /// closing quote.
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        if self.peek(1) == Some('\\') {
+            // Escaped char literal: '\n', '\'', '\u{1F600}'.
+            let mut text = String::new();
+            text.push(self.bump().unwrap_or('\'')); // '
+            text.push(self.bump().unwrap_or('\\')); // backslash
+            while let Some(c) = self.bump() {
+                text.push(c);
+                if c == '\'' {
+                    break;
+                }
+            }
+            self.push_token(TokenKind::CharLit, text, line, col);
+            return;
+        }
+        if self.peek(2) == Some('\'') && self.peek(1) != Some('\'') {
+            // One character between quotes: a char literal ('a', '日').
+            let mut text = String::new();
+            for _ in 0..3 {
+                if let Some(c) = self.bump() {
+                    text.push(c);
+                }
+            }
+            self.push_token(TokenKind::CharLit, text, line, col);
+            return;
+        }
+        // Lifetime: consume the quote and the identifier.
+        let mut text = String::new();
+        text.push(self.bump().unwrap_or('\''));
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push_token(TokenKind::Lifetime, text, line, col);
+    }
+
+    /// True when the `r`/`b` at the cursor starts a raw/byte literal
+    /// rather than an ordinary identifier.
+    fn raw_or_byte_prefix(&self) -> bool {
+        match (self.peek(0), self.peek(1)) {
+            (Some('r'), Some('"')) => true,
+            (Some('r'), Some('#')) => {
+                // r#"…"# raw string vs r#ident raw identifier: a raw
+                // string has only hashes between `r` and the quote.
+                let mut i = 1;
+                while self.peek(i) == Some('#') {
+                    i += 1;
+                }
+                self.peek(i) == Some('"')
+            }
+            (Some('b'), Some('"')) | (Some('b'), Some('\'')) => true,
+            (Some('b'), Some('r')) => {
+                matches!(self.peek(2), Some('"') | Some('#'))
+            }
+            _ => false,
+        }
+    }
+
+    /// Lexes `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, and `b'…'`.
+    fn prefixed_literal(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        let mut raw = false;
+        // Consume the prefix letters.
+        while let Some(c) = self.peek(0) {
+            if c == 'r' {
+                raw = true;
+            }
+            if c == 'r' || c == 'b' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if !raw && self.peek(0) == Some('\'') {
+            // Byte char literal b'x' / b'\n'.
+            let mut rest = String::new();
+            rest.push(self.bump().unwrap_or('\''));
+            if self.peek(0) == Some('\\') {
+                rest.push(self.bump().unwrap_or('\\'));
+                if let Some(esc) = self.bump() {
+                    rest.push(esc);
+                }
+            } else if let Some(c) = self.bump() {
+                rest.push(c);
+            }
+            if self.peek(0) == Some('\'') {
+                rest.push(self.bump().unwrap_or('\''));
+            }
+            text.push_str(&rest);
+            self.push_token(TokenKind::CharLit, text, line, col);
+            return;
+        }
+        if !raw {
+            // b"…": ordinary escape rules.
+            let start = self.out.tokens.len();
+            self.string(line, col);
+            // Merge the prefix into the string token just produced.
+            if let Some(tok) = self.out.tokens.get_mut(start) {
+                tok.text = format!("{text}{}", tok.text);
+            }
+            return;
+        }
+        // Raw string: count hashes, then scan for `"` followed by that
+        // many hashes. No escapes apply.
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            text.push('#');
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) == Some('"') {
+            text.push('"');
+            self.bump();
+        }
+        'body: while let Some(c) = self.peek(0) {
+            if c == '"' {
+                let mut all = true;
+                for i in 0..hashes {
+                    if self.peek(1 + i) != Some('#') {
+                        all = false;
+                        break;
+                    }
+                }
+                if all {
+                    text.push('"');
+                    self.bump();
+                    for _ in 0..hashes {
+                        text.push('#');
+                        self.bump();
+                    }
+                    break 'body;
+                }
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push_token(TokenKind::Str, text, line, col);
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        // Raw identifier prefix r#type: strip the r# so rules compare
+        // against the bare name.
+        if self.peek(0) == Some('r') && self.peek(1) == Some('#') {
+            self.bump();
+            self.bump();
+        }
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push_token(TokenKind::Ident, text, line, col);
+    }
+
+    /// Numbers, suffixes included. Stops before `..` so ranges like
+    /// `0..n` keep their punctuation, and consumes `e+3`/`e-3` exponents
+    /// in decimal literals only.
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        let radix_prefix = self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x') | Some('X') | Some('b') | Some('o'));
+        if radix_prefix {
+            text.push(self.bump().unwrap_or('0'));
+            if let Some(c) = self.bump() {
+                text.push(c);
+            }
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push_token(TokenKind::Num, text, line, col);
+            return;
+        }
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_digit() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '.' {
+                // `1..n` is a range; `1.max(2)` is a method call; only
+                // `1.5` continues the literal.
+                match self.peek(1) {
+                    Some(d) if d.is_ascii_digit() => {
+                        text.push(c);
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            } else if c == 'e' || c == 'E' {
+                // Exponent: `1e9`, `1.5e-3`. Only followed by a digit or
+                // a signed digit; otherwise it's a suffix/ident boundary.
+                match (self.peek(1), self.peek(2)) {
+                    (Some(d), _) if d.is_ascii_digit() => {
+                        text.push(c);
+                        self.bump();
+                    }
+                    (Some('+'), Some(d)) | (Some('-'), Some(d)) if d.is_ascii_digit() => {
+                        text.push(c);
+                        self.bump();
+                        if let Some(s) = self.bump() {
+                            text.push(s);
+                        }
+                    }
+                    _ => break,
+                }
+            } else if c.is_ascii_alphabetic() {
+                // Type suffix: u32, f64, usize.
+                while let Some(c) = self.peek(0) {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                break;
+            } else {
+                break;
+            }
+        }
+        self.push_token(TokenKind::Num, text, line, col);
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn tracks_lines_and_columns() {
+        let lexed = lex("fn main() {\n    let x = 1;\n}\n");
+        let f = &lexed.tokens[0];
+        assert_eq!((f.text.as_str(), f.line, f.col), ("fn", 1, 1));
+        let x = lexed.tokens.iter().find(|t| t.is_ident("x")).unwrap();
+        assert_eq!((x.line, x.col), (2, 9));
+    }
+
+    #[test]
+    fn raw_strings_are_opaque() {
+        // The banned name inside a raw string must not surface as a token.
+        let lexed = lex(r##"let s = r#"calls unwrap() and panic!"#;"##);
+        assert!(!idents(r##"let s = r#"calls unwrap() and panic!"#;"##).contains(&"unwrap".into()));
+        let s = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Str)
+            .unwrap();
+        assert!(s.text.starts_with("r#\""));
+        assert!(s.text.ends_with("\"#"));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let lexed = lex("/* outer /* inner */ still outer */ fn x() {}");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("inner"));
+        assert_eq!(lexed.tokens[0].text, "fn");
+    }
+
+    #[test]
+    fn char_literals_are_not_lifetimes() {
+        let lexed = lex("let c = 'a'; fn f<'a>(x: &'a str) -> char { '\\n' }");
+        let chars: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::CharLit)
+            .collect();
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(chars.len(), 2, "{chars:?}");
+        assert_eq!(chars[0].text, "'a'");
+        assert_eq!(chars[1].text, "'\\n'");
+        assert_eq!(lifetimes.len(), 2, "{lifetimes:?}");
+        assert!(lifetimes.iter().all(|t| t.text == "'a"));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_bare_names() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_literals() {
+        let lexed = lex(r##"let a = b"bytes"; let b = br#"raw"#; let c = b'\n';"##);
+        let strs: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(strs, vec!["b\"bytes\"", "br#\"raw\"#"]);
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::CharLit && t.text == "b'\\n'"));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let lexed = lex("for i in 0..10 { let x = 1.5e-3; let y = 0xff_u32; 1.max(2); }");
+        let nums: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5e-3", "0xff_u32", "1", "2"]);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("max")));
+    }
+
+    #[test]
+    fn trailing_comments_are_marked() {
+        let lexed = lex("let x = 1; // trailing\n// standalone\n");
+        assert!(lexed.comments[0].trailing);
+        assert!(!lexed.comments[1].trailing);
+        assert_eq!(lexed.comments[0].text, "trailing");
+    }
+
+    #[test]
+    fn strings_with_escapes_stay_single_tokens() {
+        let lexed = lex(r#"let s = "quote \" and \\ backslash"; next"#);
+        let s = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Str)
+            .unwrap();
+        assert!(s.text.contains("backslash"));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("next")));
+    }
+}

@@ -1,0 +1,298 @@
+//! The `analysis.toml` policy file: which modules and files each rule
+//! family covers.
+//!
+//! The analyzer is dependency-free, so this module carries its own parser
+//! for the small TOML subset the policy needs: `[section]` headers,
+//! `key = "string"`, `key = true/false`, `key = 123`, and
+//! `key = ["a", "b"]` arrays (single- or multi-line). Anything outside
+//! that subset is a hard error — a policy file that cannot be read must
+//! fail the build, not silently lint nothing.
+
+use std::fmt;
+
+/// Parsed policy: one section per rule family plus the scan roots.
+#[derive(Debug, Clone)]
+pub struct Policy {
+    /// Directories (relative to the workspace root) to scan for crates.
+    pub scan: Vec<String>,
+    /// Path prefixes to skip entirely (fixture corpora, generated code).
+    pub exclude: Vec<String>,
+    /// Whether `.clone()` is banned inside no-alloc regions.
+    pub no_alloc_ban_clone: bool,
+    /// Modules (e.g. `serverd::shard`) whose non-test code may not
+    /// panic. A policy entry covers the module and all its submodules.
+    pub no_panic_modules: Vec<String>,
+    /// The subset of [`Policy::no_panic_modules`] where slice/array
+    /// indexing is banned too.
+    pub no_panic_index_modules: Vec<String>,
+    /// Path prefixes (files or directories) pinned deterministic.
+    pub determinism_paths: Vec<String>,
+    /// Path prefixes where the lock-discipline rule applies.
+    pub lock_paths: Vec<String>,
+    /// Method names whose call produces a live lock guard (`lock` by
+    /// default; wrappers like a crate-private `fn lock()` match too).
+    pub lock_guard_methods: Vec<String>,
+    /// Extra banned callee names while a guard is live, on top of the
+    /// built-in channel/file/lock set.
+    pub lock_extra_banned: Vec<String>,
+}
+
+impl Default for Policy {
+    fn default() -> Self {
+        Policy {
+            scan: vec!["crates".to_string()],
+            exclude: Vec::new(),
+            no_alloc_ban_clone: true,
+            no_panic_modules: Vec::new(),
+            no_panic_index_modules: Vec::new(),
+            determinism_paths: Vec::new(),
+            lock_paths: Vec::new(),
+            lock_guard_methods: vec!["lock".to_string()],
+            lock_extra_banned: Vec::new(),
+        }
+    }
+}
+
+/// Why a policy file failed to parse.
+#[derive(Debug)]
+pub struct PolicyError {
+    /// 1-based line of the offending entry.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "analysis.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+impl Policy {
+    /// Parses the policy from TOML text.
+    pub fn parse(text: &str) -> Result<Policy, PolicyError> {
+        let mut policy = Policy::default();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let line_no = idx + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| PolicyError {
+                line: line_no,
+                message: format!("expected `key = value`, got `{line}`"),
+            })?;
+            let key = key.trim();
+            let mut value = value.trim().to_string();
+            // Multi-line arrays: keep consuming lines until brackets
+            // balance.
+            while value.starts_with('[') && !value.ends_with(']') {
+                let (_, next) = lines.next().ok_or_else(|| PolicyError {
+                    line: line_no,
+                    message: format!("unterminated array for `{key}`"),
+                })?;
+                value.push_str(strip_comment(next).trim());
+            }
+            let err = |message: String| PolicyError {
+                line: line_no,
+                message,
+            };
+            match (section.as_str(), key) {
+                ("", "version") => {} // accepted for forward evolution
+                ("", "scan") => policy.scan = parse_array(&value).map_err(err)?,
+                ("", "exclude") => policy.exclude = parse_array(&value).map_err(err)?,
+                ("no_alloc", "ban_clone") => {
+                    policy.no_alloc_ban_clone = parse_bool(&value).map_err(err)?
+                }
+                ("no_panic", "modules") => {
+                    policy.no_panic_modules = parse_array(&value).map_err(err)?
+                }
+                ("no_panic", "index_modules") => {
+                    policy.no_panic_index_modules = parse_array(&value).map_err(err)?
+                }
+                ("determinism", "paths") => {
+                    policy.determinism_paths = parse_array(&value).map_err(err)?
+                }
+                ("lock_discipline", "paths") => {
+                    policy.lock_paths = parse_array(&value).map_err(err)?
+                }
+                ("lock_discipline", "guard_methods") => {
+                    policy.lock_guard_methods = parse_array(&value).map_err(err)?
+                }
+                ("lock_discipline", "extra_banned") => {
+                    policy.lock_extra_banned = parse_array(&value).map_err(err)?
+                }
+                _ => {
+                    return Err(err(format!(
+                        "unknown key `{key}` in section `[{section}]` — \
+                         the analyzer rejects unrecognized policy so typos cannot silently \
+                         disable a rule"
+                    )));
+                }
+            }
+        }
+        Ok(policy)
+    }
+
+    /// True when `module` is covered by an entry in `list` (exact match
+    /// or submodule: `serverd::shard` covers `serverd::shard::inner`).
+    pub fn module_covered(list: &[String], module: &str) -> bool {
+        list.iter().any(|m| {
+            module == m
+                || (module.len() > m.len()
+                    && module.starts_with(m.as_str())
+                    && module[m.len()..].starts_with("::"))
+        })
+    }
+
+    /// True when `path` (workspace-relative, `/`-separated) falls under a
+    /// prefix in `list`.
+    pub fn path_covered(list: &[String], path: &str) -> bool {
+        list.iter().any(|p| {
+            path == p
+                || (path.len() > p.len()
+                    && path.starts_with(p.as_str())
+                    && path[p.len()..].starts_with('/'))
+        })
+    }
+}
+
+/// Removes a `#` comment, respecting `"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_bool(value: &str) -> Result<bool, String> {
+    match value {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(format!("expected true/false, got `{other}`")),
+    }
+}
+
+fn parse_array(value: &str) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| format!("expected an array, got `{value}`"))?;
+    let mut out = Vec::new();
+    for part in split_top_level(inner) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let s = part
+            .strip_prefix('"')
+            .and_then(|p| p.strip_suffix('"'))
+            .ok_or_else(|| format!("array elements must be quoted strings, got `{part}`"))?;
+        out.push(s.to_string());
+    }
+    Ok(out)
+}
+
+/// Splits on commas outside of quotes.
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_policy_shape() {
+        let policy = Policy::parse(
+            r#"
+version = 1
+scan = ["crates"]
+exclude = ["crates/analysis/tests/fixtures"]  # fixture corpus
+
+[no_alloc]
+ban_clone = true
+
+[no_panic]
+modules = [
+    "serverd::shard",  # supervision loop
+    "million::persist",
+]
+index_modules = ["million::persist"]
+
+[determinism]
+paths = ["crates/quant/src", "crates/tensor/src/ops.rs"]
+
+[lock_discipline]
+paths = ["crates/store/src/store.rs"]
+guard_methods = ["lock"]
+extra_banned = ["atomic_write"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(policy.scan, vec!["crates"]);
+        assert_eq!(
+            policy.no_panic_modules,
+            vec!["serverd::shard", "million::persist"]
+        );
+        assert_eq!(policy.no_panic_index_modules, vec!["million::persist"]);
+        assert_eq!(policy.determinism_paths.len(), 2);
+        assert_eq!(policy.lock_extra_banned, vec!["atomic_write"]);
+        assert!(policy.no_alloc_ban_clone);
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let err = Policy::parse("[no_panic]\nmodlues = [\"x\"]\n").unwrap_err();
+        assert!(err.message.contains("modlues"), "{err}");
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn module_coverage_is_exact_or_submodule() {
+        let list = vec!["serverd::shard".to_string()];
+        assert!(Policy::module_covered(&list, "serverd::shard"));
+        assert!(Policy::module_covered(&list, "serverd::shard::inner"));
+        assert!(!Policy::module_covered(&list, "serverd::shard_pool"));
+        assert!(!Policy::module_covered(&list, "serverd"));
+    }
+
+    #[test]
+    fn path_coverage_is_prefix_by_component() {
+        let list = vec!["crates/quant/src".to_string()];
+        assert!(Policy::path_covered(&list, "crates/quant/src/pq.rs"));
+        assert!(!Policy::path_covered(&list, "crates/quant/src2/pq.rs"));
+        assert!(Policy::path_covered(&list, "crates/quant/src"));
+    }
+}

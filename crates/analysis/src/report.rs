@@ -1,0 +1,313 @@
+//! Findings, suppressions, and rendering.
+//!
+//! Every finding carries `file:line:col`, the rule that fired, a message,
+//! and the rendered source line with a caret — the analyzer's output must
+//! be actionable from the terminal without opening the file. Inline
+//! `// analyze: allow(<rule>) — <reason>` comments suppress a finding on
+//! their own line or the line below, and every suppression that fires is
+//! *reported*, not hidden: waivers stay visible so they can be reviewed
+//! away.
+
+use std::fmt;
+
+/// The four rule families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Annotated regions may not allocate.
+    NoAlloc,
+    /// Policy modules may not panic.
+    NoPanic,
+    /// Pinned kernel files may not read wall clocks or iterate hashed
+    /// collections.
+    Determinism,
+    /// No channel/file/lock operations while a store guard is live.
+    LockDiscipline,
+}
+
+impl Rule {
+    /// The rule's stable name — what annotations and suppressions use.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoAlloc => "no-alloc",
+            Rule::NoPanic => "no-panic",
+            Rule::Determinism => "determinism",
+            Rule::LockDiscipline => "lock-discipline",
+        }
+    }
+
+    /// Parses a rule name as written in a suppression.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        match name {
+            "no-alloc" => Some(Rule::NoAlloc),
+            "no-panic" => Some(Rule::NoPanic),
+            "determinism" => Some(Rule::Determinism),
+            "lock-discipline" => Some(Rule::LockDiscipline),
+            _ => None,
+        }
+    }
+
+    /// Every rule family.
+    pub const ALL: [Rule; 4] = [
+        Rule::NoAlloc,
+        Rule::NoPanic,
+        Rule::Determinism,
+        Rule::LockDiscipline,
+    ];
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One rule violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What went wrong, e.g. "`Vec::new` allocates in a no-alloc region".
+    pub message: String,
+    /// The source line the finding points at (for the snippet).
+    pub snippet: String,
+}
+
+impl Finding {
+    /// Renders the finding as a compiler-style block.
+    pub fn render(&self) -> String {
+        let line_no = self.line.to_string();
+        let pad = " ".repeat(line_no.len());
+        let caret_pad: String = self
+            .snippet
+            .chars()
+            .take(self.col.saturating_sub(1) as usize)
+            .map(|c| if c == '\t' { '\t' } else { ' ' })
+            .collect();
+        format!(
+            "error[{rule}]: {msg}\n {pad}--> {file}:{line}:{col}\n \
+             {pad} |\n {line_no} | {snippet}\n {pad} | {caret_pad}^\n",
+            rule = self.rule,
+            msg = self.message,
+            file = self.file,
+            line = self.line,
+            col = self.col,
+            snippet = self.snippet,
+        )
+    }
+}
+
+/// A finding that an inline `allow` waived, with the waiver's reason.
+#[derive(Debug, Clone)]
+pub struct Suppressed {
+    /// The finding that would have fired.
+    pub finding: Finding,
+    /// The reason text from the `allow` comment.
+    pub reason: String,
+}
+
+/// An `allow` comment parsed from a file (fired or not).
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// The rule it waives.
+    pub rule: Rule,
+    /// Workspace-relative path of the file holding the comment.
+    pub file: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// The stated reason (empty string when none was given).
+    pub reason: String,
+}
+
+/// Parses `allow(<rule>) — <reason>` from the text after `analyze:`.
+/// Accepts `—`, `--`, `-`, or `:` before the reason.
+pub fn parse_allow(text: &str) -> Option<(Rule, String)> {
+    let rest = text.strip_prefix("analyze:")?.trim();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rule = Rule::from_name(rest[..close].trim())?;
+    let reason = rest[close + 1..]
+        .trim_start()
+        .trim_start_matches(['—', '-', ':'])
+        .trim()
+        .to_string();
+    Some((rule, reason))
+}
+
+/// The full analysis outcome for a workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed findings, sorted by (file, line, col).
+    pub findings: Vec<Finding>,
+    /// Findings waived by inline `allow` comments.
+    pub suppressed: Vec<Suppressed>,
+    /// `allow` comments that waived nothing — stale waivers are findings
+    /// in their own right (reported, but do not fail `--deny`).
+    pub stale_allows: Vec<AllowDirective>,
+    /// Files scanned.
+    pub files: usize,
+    /// Functions and regions annotated `no-alloc`.
+    pub no_alloc_regions: usize,
+}
+
+impl Report {
+    /// Sorts findings and suppressions into a stable order.
+    pub fn finalize(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+        self.suppressed.sort_by(|a, b| {
+            (&a.finding.file, a.finding.line).cmp(&(&b.finding.file, b.finding.line))
+        });
+    }
+
+    /// Count of findings for one rule.
+    pub fn count(&self, rule: Rule) -> usize {
+        self.findings.iter().filter(|f| f.rule == rule).count()
+    }
+
+    /// Renders the human-readable report (findings, then the suppression
+    /// table, then a summary line).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for finding in &self.findings {
+            out.push_str(&finding.render());
+            out.push('\n');
+        }
+        if !self.suppressed.is_empty() {
+            out.push_str("active suppressions (review these — waivers are not free):\n");
+            for s in &self.suppressed {
+                out.push_str(&format!(
+                    "  {}:{} allow({}) — {}\n",
+                    s.finding.file,
+                    s.finding.line,
+                    s.finding.rule,
+                    if s.reason.is_empty() {
+                        "(no reason given)"
+                    } else {
+                        &s.reason
+                    },
+                ));
+            }
+            out.push('\n');
+        }
+        if !self.stale_allows.is_empty() {
+            out.push_str("stale allows (waiving nothing — delete them):\n");
+            for a in &self.stale_allows {
+                out.push_str(&format!(
+                    "  {}:{} allow({})\n",
+                    a.file,
+                    a.line,
+                    a.rule.name()
+                ));
+            }
+            out.push('\n');
+        }
+        out.push_str(&self.summary_line());
+        out.push('\n');
+        out
+    }
+
+    /// One-line machine-grepable summary.
+    pub fn summary_line(&self) -> String {
+        let per_rule: Vec<String> = Rule::ALL
+            .iter()
+            .map(|r| format!("{}={}", r.name(), self.count(*r)))
+            .collect();
+        format!(
+            "analyze: {} finding(s) [{}], {} suppressed, {} stale allow(s), \
+             {} file(s), {} no-alloc region(s)",
+            self.findings.len(),
+            per_rule.join(" "),
+            self.suppressed.len(),
+            self.stale_allows.len(),
+            self.files,
+            self.no_alloc_regions,
+        )
+    }
+
+    /// Renders a GitHub-flavored markdown job summary: the verdict plus
+    /// the live suppression table, so waiver creep is visible in every CI
+    /// run.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("## `million-analyze` invariant report\n\n");
+        out.push_str(&format!("`{}`\n\n", self.summary_line()));
+        if !self.findings.is_empty() {
+            out.push_str("### Findings\n\n| rule | location | message |\n|---|---|---|\n");
+            for f in &self.findings {
+                out.push_str(&format!(
+                    "| `{}` | `{}:{}` | {} |\n",
+                    f.rule, f.file, f.line, f.message
+                ));
+            }
+            out.push('\n');
+        }
+        out.push_str("### Active suppressions\n\n");
+        if self.suppressed.is_empty() {
+            out.push_str("None.\n");
+        } else {
+            out.push_str("| rule | location | reason |\n|---|---|---|\n");
+            for s in &self.suppressed {
+                out.push_str(&format!(
+                    "| `{}` | `{}:{}` | {} |\n",
+                    s.finding.rule,
+                    s.finding.file,
+                    s.finding.line,
+                    if s.reason.is_empty() {
+                        "(no reason given)"
+                    } else {
+                        &s.reason
+                    },
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_parsing_accepts_the_documented_grammar() {
+        let (rule, reason) =
+            parse_allow("analyze: allow(no-panic) — injected chaos fault").unwrap();
+        assert_eq!(rule, Rule::NoPanic);
+        assert_eq!(reason, "injected chaos fault");
+        let (rule, reason) = parse_allow("analyze: allow(determinism): partition only").unwrap();
+        assert_eq!(rule, Rule::Determinism);
+        assert_eq!(reason, "partition only");
+        let (_, reason) = parse_allow("analyze: allow(no-alloc)").unwrap();
+        assert_eq!(reason, "");
+        assert!(parse_allow("analyze: allow(not-a-rule) — x").is_none());
+        assert!(parse_allow("allow(no-panic)").is_none(), "needs analyze:");
+    }
+
+    #[test]
+    fn render_points_a_caret_at_the_column() {
+        let f = Finding {
+            rule: Rule::NoPanic,
+            file: "crates/x/src/lib.rs".into(),
+            line: 3,
+            col: 9,
+            message: "`.unwrap()` in panic-safe module".into(),
+            snippet: "    foo.unwrap();".into(),
+        };
+        let rendered = f.render();
+        assert!(rendered.contains("error[no-panic]"));
+        assert!(rendered.contains("crates/x/src/lib.rs:3:9"));
+        let caret_line = rendered.lines().last().unwrap();
+        let snippet_line = rendered.lines().find(|l| l.contains("foo.unwrap")).unwrap();
+        // The caret sits under column 9 of the snippet: both lines share
+        // the same gutter, so '^' aligns with the snippet's 9th column.
+        let gutter = snippet_line.find("    foo").unwrap();
+        assert_eq!(caret_line.find('^'), Some(gutter + 8), "{rendered}");
+    }
+}

@@ -1,0 +1,58 @@
+//! Rule `determinism`: pinned kernel files must be bit-reproducible.
+//!
+//! The serving engine's equivalence suites pin kernels to produce
+//! bit-identical output across worker counts and across runs. This rule
+//! bans the constructs that historically break that pin, in every file
+//! under a `[determinism] paths` prefix:
+//!
+//! - `HashMap` / `HashSet` (any appearance): iteration order is
+//!   randomized per process, so even a "read-only" map invites
+//!   order-dependent accumulation. Pinned files use `BTreeMap`/`Vec`.
+//! - `Instant::now` / `SystemTime::now`: wall-clock reads make control
+//!   flow time-dependent.
+//! - `thread::current`: thread identity must not leak into kernel math.
+//! - `current_num_threads`: pool-width-dependent branches change float
+//!   accumulation order between machines.
+
+use crate::lexer::TokenKind;
+use crate::policy::Policy;
+use crate::report::{Finding, Rule};
+use crate::rules::{finding, is_path_pair};
+use crate::Unit;
+
+/// Runs the rule over one unit.
+pub fn check(unit: &Unit, policy: &Policy, out: &mut Vec<Finding>) {
+    if !Policy::path_covered(&policy.determinism_paths, &unit.file.path) {
+        return;
+    }
+    let tokens = &unit.lexed.tokens;
+    for (i, tok) in tokens.iter().enumerate() {
+        if unit.tree.in_test_code(i) || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let message = match tok.text.as_str() {
+            "HashMap" | "HashSet" => Some(format!(
+                "`{}` in pinned-deterministic file — iteration order is randomized; \
+                 use `BTreeMap`/`BTreeSet` or a `Vec`",
+                tok.text
+            )),
+            "Instant" | "SystemTime" if is_path_pair(tokens, i, &tok.text, "now") => Some(format!(
+                "`{}::now()` reads the wall clock in a pinned-deterministic file",
+                tok.text
+            )),
+            "thread" if is_path_pair(tokens, i, "thread", "current") => Some(
+                "`thread::current()` leaks thread identity into a pinned-deterministic file"
+                    .to_string(),
+            ),
+            "current_num_threads" => Some(
+                "`current_num_threads()` makes behavior depend on pool width — float \
+                 accumulation order must not vary with worker count"
+                    .to_string(),
+            ),
+            _ => None,
+        };
+        if let Some(message) = message {
+            out.push(finding(unit, Rule::Determinism, tok, message));
+        }
+    }
+}

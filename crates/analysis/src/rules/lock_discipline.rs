@@ -1,0 +1,197 @@
+//! Rule `lock-discipline`: no blocking or re-entrant operations while a
+//! store mutex guard is live.
+//!
+//! The block store serializes all allocation under one mutex; every PR
+//! that held that guard across a channel send, a file write, or a second
+//! `lock()` call has produced either a deadlock or a tail-latency cliff.
+//! This rule makes the discipline mechanical for every file under a
+//! `[lock_discipline] paths` prefix:
+//!
+//! A **critical section** opens at `let [mut] NAME = …guard_method(…)…;`
+//! (where `guard_method` comes from the policy, `lock` by default) and
+//! closes at the end of the enclosing block or at an explicit
+//! `drop(NAME)`. Inside it, the rule bans:
+//!
+//! - channel operations: `.send(…)`, `.recv(…)`, `.recv_timeout(…)`,
+//!   `.try_recv(…)`, `.try_send(…)`;
+//! - taking another guard: `.lock(…)`, `.try_lock(…)`, plus every
+//!   configured `guard_method`;
+//! - file I/O: `File::…`, `OpenOptions::…`, `fs::…`;
+//! - anything in `extra_banned` called as a function or method.
+
+use crate::lexer::{Token, TokenKind};
+use crate::policy::Policy;
+use crate::report::{Finding, Rule};
+use crate::rules::finding;
+use crate::Unit;
+
+/// Built-in banned method names inside a critical section.
+const BANNED_METHODS: &[&str] = &[
+    "send",
+    "recv",
+    "recv_timeout",
+    "try_recv",
+    "try_send",
+    "lock",
+    "try_lock",
+];
+
+/// Built-in banned path heads (`Head::…`) inside a critical section.
+const BANNED_PATH_HEADS: &[&str] = &["File", "OpenOptions", "fs"];
+
+/// Runs the rule over one unit.
+pub fn check(unit: &Unit, policy: &Policy, out: &mut Vec<Finding>) {
+    if !Policy::path_covered(&policy.lock_paths, &unit.file.path) {
+        return;
+    }
+    let tokens = &unit.lexed.tokens;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if unit.tree.in_test_code(i) || !tokens[i].is_ident("let") {
+            i += 1;
+            continue;
+        }
+        if let Some(section) = guard_binding(unit, policy, i) {
+            scan_section(unit, policy, &section, out);
+        }
+        i += 1;
+    }
+}
+
+/// A detected critical section.
+struct Section {
+    /// The guard variable's name.
+    name: String,
+    /// Line of the `let` that created the guard.
+    line: u32,
+    /// Token range of the live window (after the binding's `;`, up to the
+    /// end of the enclosing block).
+    window: (usize, usize),
+}
+
+/// If the `let` at token `i` binds a guard (`let [mut] NAME = …guard(…)`),
+/// returns its critical section.
+fn guard_binding(unit: &Unit, policy: &Policy, i: usize) -> Option<Section> {
+    let tokens = &unit.lexed.tokens;
+    let mut j = i + 1;
+    if tokens.get(j).is_some_and(|t| t.is_ident("mut")) {
+        j += 1;
+    }
+    let name_tok = tokens.get(j)?;
+    if name_tok.kind != TokenKind::Ident {
+        return None;
+    }
+    if !tokens.get(j + 1).is_some_and(|t| t.is_punct('=')) {
+        return None;
+    }
+    // Scan the initializer for a guard-producing call, stopping at the
+    // `;` that ends the statement. Depth tracking matters twice over: a
+    // `;` inside a nested block belongs to that block, and a `.lock()`
+    // inside nested braces/parens produces a guard that dies *there*
+    // (`let free = { let g = self.lock(); g.free };` binds a plain
+    // usize, not a guard).
+    let mut k = j + 2;
+    let mut produces_guard = false;
+    let mut depth = 0usize;
+    while let Some(tok) = tokens.get(k) {
+        match tok.text.as_str() {
+            "{" | "(" | "[" if tok.kind == TokenKind::Punct => depth += 1,
+            "}" | ")" | "]" if tok.kind == TokenKind::Punct => depth = depth.saturating_sub(1),
+            ";" if tok.kind == TokenKind::Punct && depth == 0 => break,
+            _ => {}
+        }
+        if depth == 0
+            && tok.kind == TokenKind::Ident
+            && policy.lock_guard_methods.iter().any(|m| m == &tok.text)
+            && k > 0
+            && tokens[k - 1].is_punct('.')
+            && tokens.get(k + 1).is_some_and(|t| t.is_punct('('))
+        {
+            produces_guard = true;
+        }
+        k += 1;
+    }
+    if !produces_guard {
+        return None;
+    }
+    // Window: from past the `;` to the end of the enclosing block.
+    let block_end = unit
+        .tree
+        .at(i)
+        .map(|s| unit.tree.scopes[s].end)
+        .unwrap_or(tokens.len());
+    Some(Section {
+        name: name_tok.text.clone(),
+        line: tokens[i].line,
+        window: (k + 1, block_end),
+    })
+}
+
+/// Emits findings for banned operations inside `section`.
+fn scan_section(unit: &Unit, policy: &Policy, section: &Section, out: &mut Vec<Finding>) {
+    let tokens = &unit.lexed.tokens;
+    let (start, end) = section.window;
+    let mut i = start;
+    while i < end.min(tokens.len()) {
+        let tok = &tokens[i];
+        if tok.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        // `drop(NAME)` ends the critical section early.
+        if tok.is_ident("drop")
+            && matches!(tokens.get(i + 1), Some(t) if t.is_punct('('))
+            && matches!(tokens.get(i + 2), Some(t) if t.is_ident(&section.name))
+            && matches!(tokens.get(i + 3), Some(t) if t.is_punct(')'))
+        {
+            return;
+        }
+        if let Some(message) = banned(unit, policy, i) {
+            out.push(finding(
+                unit,
+                Rule::LockDiscipline,
+                tok,
+                format!(
+                    "{message} while guard `{}` (taken at line {}) is live — move it \
+                     outside the critical section or `drop({})` first",
+                    section.name, section.line, section.name
+                ),
+            ));
+        }
+        i += 1;
+    }
+}
+
+/// Describes the banned operation at token `i`, if any.
+fn banned(unit: &Unit, policy: &Policy, i: usize) -> Option<String> {
+    let tokens = &unit.lexed.tokens;
+    let tok: &Token = &tokens[i];
+    let name = tok.text.as_str();
+    let is_method =
+        i > 0 && tokens[i - 1].is_punct('.') && tokens.get(i + 1).is_some_and(|t| t.is_punct('('));
+    if is_method
+        && (BANNED_METHODS.contains(&name)
+            || policy.lock_guard_methods.iter().any(|m| m == name)
+            || policy.lock_extra_banned.iter().any(|m| m == name))
+    {
+        let kind = match name {
+            "send" | "try_send" => "channel send",
+            "recv" | "recv_timeout" | "try_recv" => "channel receive",
+            "lock" | "try_lock" => "second lock acquisition",
+            _ => "banned call",
+        };
+        return Some(format!("{kind} `.{name}()`"));
+    }
+    if BANNED_PATH_HEADS.contains(&name)
+        && matches!(tokens.get(i + 1), Some(t) if t.is_punct(':'))
+        && matches!(tokens.get(i + 2), Some(t) if t.is_punct(':'))
+    {
+        return Some(format!("file I/O `{name}::…`"));
+    }
+    if policy.lock_extra_banned.iter().any(|m| m == name)
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+    {
+        return Some(format!("banned call `{name}(…)`"));
+    }
+    None
+}

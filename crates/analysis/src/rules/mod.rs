@@ -1,0 +1,76 @@
+//! The four rule families.
+//!
+//! Each rule walks the token stream of one file (or, for the transitive
+//! no-alloc rule, every file of one crate) and appends [`Finding`]s. Rules
+//! never see comments — suppressions are applied centrally by the engine
+//! after all rules have run, so a waiver can never make a rule skip work
+//! and silently widen its blind spot.
+
+pub mod determinism;
+pub mod lock_discipline;
+pub mod no_alloc;
+pub mod no_panic;
+
+use crate::lexer::Token;
+use crate::report::{Finding, Rule};
+use crate::Unit;
+
+/// Keywords that can legitimately precede `[` without it being an index
+/// expression, and that never name a callable.
+pub(crate) const KEYWORDS: &[&str] = &[
+    "as", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where", "while",
+];
+
+/// Builds a finding pointing at `tok` inside `unit`.
+pub(crate) fn finding(unit: &Unit, rule: Rule, tok: &Token, message: String) -> Finding {
+    Finding {
+        rule,
+        file: unit.file.path.clone(),
+        line: tok.line,
+        col: tok.col,
+        message,
+        snippet: unit
+            .lines
+            .get(tok.line as usize - 1)
+            .cloned()
+            .unwrap_or_default(),
+    }
+}
+
+/// True when token `i` is an identifier called as a method: `.name(` or
+/// `.name::<…>(`.
+pub(crate) fn is_method_call(tokens: &[Token], i: usize, name: &str) -> bool {
+    tokens[i].is_ident(name)
+        && i > 0
+        && tokens[i - 1].is_punct('.')
+        && matches!(tokens.get(i + 1), Some(t) if t.is_punct('(') || t.is_punct(':'))
+}
+
+/// True when tokens at `i` spell `Type::method` with `Type == ty` and
+/// `method ∈ methods`, followed by `(`.
+pub(crate) fn is_assoc_call(tokens: &[Token], i: usize, ty: &str, methods: &[&str]) -> bool {
+    tokens[i].is_ident(ty)
+        && matches!(tokens.get(i + 1), Some(t) if t.is_punct(':'))
+        && matches!(tokens.get(i + 2), Some(t) if t.is_punct(':'))
+        && matches!(
+            tokens.get(i + 3),
+            Some(t) if t.kind == crate::lexer::TokenKind::Ident
+                && methods.contains(&t.text.as_str())
+        )
+        && matches!(tokens.get(i + 4), Some(t) if t.is_punct('(') || t.is_punct(':') || t.is_punct('<'))
+}
+
+/// True when tokens at `i` spell `name!` (a macro invocation).
+pub(crate) fn is_macro_call(tokens: &[Token], i: usize, name: &str) -> bool {
+    tokens[i].is_ident(name) && matches!(tokens.get(i + 1), Some(t) if t.is_punct('!'))
+}
+
+/// True when tokens at `i` spell `a::b` with `a == first`, `b == second`.
+pub(crate) fn is_path_pair(tokens: &[Token], i: usize, first: &str, second: &str) -> bool {
+    tokens[i].is_ident(first)
+        && matches!(tokens.get(i + 1), Some(t) if t.is_punct(':'))
+        && matches!(tokens.get(i + 2), Some(t) if t.is_punct(':'))
+        && matches!(tokens.get(i + 3), Some(t) if t.is_ident(second))
+}

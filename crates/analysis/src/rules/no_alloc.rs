@@ -1,0 +1,261 @@
+//! Rule `no-alloc`: annotated functions and regions may not allocate.
+//!
+//! Coverage comes from two annotation forms:
+//!
+//! - `// analyze: no-alloc` immediately before a `fn` covers that
+//!   function's body;
+//! - `// analyze: no-alloc(begin)` … `// analyze: no-alloc(end)` cover
+//!   the lines between the markers (for a hot section inside a larger
+//!   function, e.g. the per-token decode loop).
+//!
+//! Inside covered code the rule bans the allocating constructors, macros,
+//! and adapter methods below, and it follows *same-crate* function calls
+//! transitively: a covered region that calls `helper()` is held to the
+//! same standard inside `helper`. Traversal stops at crate boundaries —
+//! cross-crate kernels carry their own annotations — and only follows
+//! call targets whose name maps to exactly one function in the crate
+//! (ambiguous names such as a ubiquitous `new` would otherwise smear
+//! findings from unrelated impls into the region).
+
+use crate::lexer::TokenKind;
+use crate::policy::Policy;
+use crate::report::{Finding, Rule};
+use crate::rules::{finding, is_assoc_call, is_macro_call, is_method_call, KEYWORDS};
+use crate::Unit;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Types whose allocating constructors are banned.
+const ALLOC_TYPES: &[&str] = &[
+    "Vec",
+    "String",
+    "Box",
+    "Rc",
+    "Arc",
+    "VecDeque",
+    "HashMap",
+    "HashSet",
+    "BTreeMap",
+    "BTreeSet",
+    "CString",
+    "PathBuf",
+    "BinaryHeap",
+];
+
+/// The banned constructor names on those types.
+const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "from", "from_iter", "from_vec"];
+
+/// Macros that allocate.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Methods that allocate on (practically) any receiver.
+const ALLOC_METHODS: &[&str] = &[
+    "to_vec",
+    "to_string",
+    "to_owned",
+    "collect",
+    "into_vec",
+    "into_boxed_slice",
+    "to_ascii_lowercase",
+    "to_ascii_uppercase",
+];
+
+/// A covered region inside one unit: a token range plus how it was
+/// declared (for messages).
+struct Region {
+    unit: usize,
+    /// Token index range, inclusive start, exclusive end.
+    tokens: (usize, usize),
+    /// Human description, e.g. "fn `attend`" or "region at line 120".
+    label: String,
+}
+
+/// Runs the rule over one crate's units. `crate_units` indexes into
+/// `units`. Returns the number of covered regions seen.
+pub fn check(
+    units: &[Unit],
+    crate_units: &[usize],
+    policy: &Policy,
+    out: &mut Vec<Finding>,
+) -> usize {
+    // Map fn name -> unique (unit, scope) definition for the crate.
+    let mut defs: BTreeMap<&str, Option<(usize, usize)>> = BTreeMap::new();
+    for &u in crate_units {
+        for (scope_idx, name) in units[u].tree.functions() {
+            if units[u].tree.scopes[scope_idx].is_test {
+                continue;
+            }
+            defs.entry(name)
+                .and_modify(|slot| *slot = None) // ambiguous: never traversed
+                .or_insert(Some((u, scope_idx)));
+        }
+    }
+
+    let regions = collect_regions(units, crate_units);
+    let count = regions.len();
+    for region in &regions {
+        let mut visited: BTreeSet<(usize, usize)> = BTreeSet::new();
+        scan(
+            units,
+            region.unit,
+            region.tokens,
+            &region.label,
+            &[],
+            policy,
+            &defs,
+            &mut visited,
+            out,
+        );
+    }
+    count
+}
+
+/// Collects annotated-fn bodies and begin/end marker line ranges.
+fn collect_regions(units: &[Unit], crate_units: &[usize]) -> Vec<Region> {
+    let mut regions = Vec::new();
+    for &u in crate_units {
+        let unit = &units[u];
+        for (idx, scope) in unit.tree.scopes.iter().enumerate() {
+            if scope.is_test || !scope.annotations.iter().any(|a| a == "no-alloc") {
+                continue;
+            }
+            let name = match &scope.kind {
+                crate::scope::ScopeKind::Fn { name } => name.clone(),
+                _ => continue,
+            };
+            let _ = idx;
+            regions.push(Region {
+                unit: u,
+                tokens: (scope.start + 1, scope.end),
+                label: format!("fn `{name}`"),
+            });
+        }
+        // Marker pairs: begin opens a line range, the next end closes it.
+        let mut begin: Option<u32> = None;
+        for c in &unit.lexed.comments {
+            let Some(marker) = parse_marker(&c.text) else {
+                continue;
+            };
+            match (marker, begin) {
+                (Marker::Begin, None) => begin = Some(c.line),
+                (Marker::End, Some(start)) => {
+                    regions.push(line_region(unit, u, start, c.line));
+                    begin = None;
+                }
+                // A second begin restarts; a stray end is ignored — the
+                // fixture corpus pins this behavior.
+                (Marker::Begin, Some(_)) => begin = Some(c.line),
+                (Marker::End, None) => {}
+            }
+        }
+        if let Some(start) = begin {
+            regions.push(line_region(unit, u, start, u32::MAX));
+        }
+    }
+    regions
+}
+
+enum Marker {
+    Begin,
+    End,
+}
+
+fn parse_marker(text: &str) -> Option<Marker> {
+    let rest = text.strip_prefix("analyze:")?.trim();
+    let rest = rest.strip_prefix("no-alloc")?.trim_start();
+    match rest.strip_prefix('(') {
+        Some(r) if r.trim_start().starts_with("begin") => Some(Marker::Begin),
+        Some(r) if r.trim_start().starts_with("end") => Some(Marker::End),
+        _ => None,
+    }
+}
+
+/// Converts a line span into a token-range region.
+fn line_region(unit: &Unit, u: usize, start_line: u32, end_line: u32) -> Region {
+    let tokens = &unit.lexed.tokens;
+    let first = tokens.partition_point(|t| t.line < start_line);
+    let last = tokens.partition_point(|t| t.line <= end_line);
+    Region {
+        unit: u,
+        tokens: (first, last),
+        label: format!("region at line {start_line}"),
+    }
+}
+
+/// Scans one token range for allocations and traverses same-crate calls.
+/// `chain` is the call path from the original region (empty at the root).
+#[allow(clippy::too_many_arguments)]
+fn scan(
+    units: &[Unit],
+    u: usize,
+    (start, end): (usize, usize),
+    label: &str,
+    chain: &[String],
+    policy: &Policy,
+    defs: &BTreeMap<&str, Option<(usize, usize)>>,
+    visited: &mut BTreeSet<(usize, usize)>,
+    out: &mut Vec<Finding>,
+) {
+    let unit = &units[u];
+    let tokens = &unit.lexed.tokens;
+    let via = if chain.is_empty() {
+        String::new()
+    } else {
+        format!(" (reached via {})", chain.join(" -> "))
+    };
+    let mut i = start;
+    while i < end.min(tokens.len()) {
+        let tok = &tokens[i];
+        if unit.tree.in_test_code(i) || tok.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        let mut hit: Option<String> = None;
+        if ALLOC_MACROS.contains(&tok.text.as_str()) && is_macro_call(tokens, i, &tok.text) {
+            hit = Some(format!("`{}!` allocates", tok.text));
+        } else if ALLOC_TYPES.contains(&tok.text.as_str())
+            && is_assoc_call(tokens, i, &tok.text, ALLOC_CTORS)
+        {
+            hit = Some(format!("`{}::{}` allocates", tok.text, tokens[i + 3].text));
+        } else if ALLOC_METHODS.contains(&tok.text.as_str()) && is_method_call(tokens, i, &tok.text)
+        {
+            hit = Some(format!("`.{}()` allocates", tok.text));
+        } else if policy.no_alloc_ban_clone && is_method_call(tokens, i, "clone") {
+            hit = Some("`.clone()` may allocate (heap-owning receiver)".to_string());
+        }
+        if let Some(what) = hit {
+            out.push(finding(
+                unit,
+                Rule::NoAlloc,
+                tok,
+                format!("{what} in no-alloc {label}{via}"),
+            ));
+            i += 1;
+            continue;
+        }
+        // Same-crate call traversal: `name(`, `.name(`, `Type::name(`.
+        if matches!(tokens.get(i + 1), Some(t) if t.is_punct('('))
+            && !KEYWORDS.contains(&tok.text.as_str())
+            && !matches!(tokens.get(i.wrapping_sub(1)), Some(t) if t.is_ident("fn"))
+        {
+            if let Some(Some((du, ds))) = defs.get(tok.text.as_str()) {
+                if visited.insert((*du, *ds)) {
+                    let scope = &units[*du].tree.scopes[*ds];
+                    let mut next_chain = chain.to_vec();
+                    next_chain.push(tok.text.clone());
+                    scan(
+                        units,
+                        *du,
+                        (scope.start + 1, scope.end),
+                        label,
+                        &next_chain,
+                        policy,
+                        defs,
+                        visited,
+                        out,
+                    );
+                }
+            }
+        }
+        i += 1;
+    }
+}

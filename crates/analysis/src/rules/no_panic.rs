@@ -1,0 +1,134 @@
+//! Rule `no-panic`: modules declared panic-safe may not contain code that
+//! can panic by construction.
+//!
+//! Coverage: every module listed in `[no_panic] modules` in
+//! `analysis.toml` (including submodules), plus any function annotated
+//! `// analyze: no-panic`. Test code is exempt — `#[test]` functions,
+//! `#[cfg(test)]` modules, and files under `tests/` may unwrap freely.
+//!
+//! Banned in covered non-test code:
+//!
+//! - `.unwrap()` / `.expect(…)` — note `unwrap_or`, `unwrap_or_else`,
+//!   `unwrap_or_default`, and `expect_err`-style names are *not* banned;
+//!   matching is exact-identifier, which is precisely what makes the
+//!   poison-tolerant `lock().unwrap_or_else(|p| p.into_inner())` pattern
+//!   the sanctioned replacement.
+//! - `panic!`, `unreachable!`, `todo!`, `unimplemented!`, `assert!`,
+//!   `assert_eq!`, `assert_ne!`.
+//! - Slice/array indexing (`x[i]`, `x[a..b]`), only for modules also
+//!   listed in `index_modules`; the full-range reborrow `[..]` cannot
+//!   panic and is exempt.
+
+use crate::lexer::TokenKind;
+use crate::policy::Policy;
+use crate::report::{Finding, Rule};
+use crate::rules::{finding, KEYWORDS};
+use crate::Unit;
+
+/// Macros that abort the thread.
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Method names that panic on the unhappy path.
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Runs the rule over one unit.
+pub fn check(unit: &Unit, policy: &Policy, out: &mut Vec<Finding>) {
+    let module_covered = Policy::module_covered(&policy.no_panic_modules, &unit.file.module);
+    let index_covered = Policy::module_covered(&policy.no_panic_index_modules, &unit.file.module);
+    let tokens = &unit.lexed.tokens;
+    for (i, tok) in tokens.iter().enumerate() {
+        if unit.tree.in_test_code(i) {
+            continue;
+        }
+        let covered = module_covered || fn_annotated(unit, i);
+        if !covered {
+            continue;
+        }
+        match tok.kind {
+            TokenKind::Ident => {
+                if PANIC_METHODS.contains(&tok.text.as_str())
+                    && i > 0
+                    && tokens[i - 1].is_punct('.')
+                    && matches!(tokens.get(i + 1), Some(t) if t.is_punct('('))
+                {
+                    out.push(finding(
+                        unit,
+                        Rule::NoPanic,
+                        tok,
+                        format!(
+                            "`.{}()` can panic in panic-safe module `{}` — return a typed \
+                             error or use a `*_or_else` fallback",
+                            tok.text, unit.file.module
+                        ),
+                    ));
+                } else if PANIC_MACROS.contains(&tok.text.as_str())
+                    && matches!(tokens.get(i + 1), Some(t) if t.is_punct('!'))
+                {
+                    out.push(finding(
+                        unit,
+                        Rule::NoPanic,
+                        tok,
+                        format!(
+                            "`{}!` aborts the thread in panic-safe module `{}`",
+                            tok.text, unit.file.module
+                        ),
+                    ));
+                }
+            }
+            TokenKind::Punct if tok.is_punct('[') && index_covered && is_index_expr(unit, i) => {
+                out.push(finding(
+                    unit,
+                    Rule::NoPanic,
+                    tok,
+                    format!(
+                        "slice indexing can panic in panic-safe module `{}` — use `.get()` \
+                         or bounds-checked splits",
+                        unit.file.module
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// True when the function enclosing token `i` carries an explicit
+/// `// analyze: no-panic` annotation.
+fn fn_annotated(unit: &Unit, i: usize) -> bool {
+    unit.tree.enclosing_fn(i).is_some_and(|s| {
+        unit.tree.scopes[s]
+            .annotations
+            .iter()
+            .any(|a| a == "no-panic")
+    })
+}
+
+/// True when the `[` at token `i` begins an index expression rather than
+/// an array literal, attribute, pattern, or type.
+fn is_index_expr(unit: &Unit, i: usize) -> bool {
+    let tokens = &unit.lexed.tokens;
+    let Some(prev) = i.checked_sub(1).and_then(|p| tokens.get(p)) else {
+        return false;
+    };
+    let indexable = match prev.kind {
+        TokenKind::Ident => !KEYWORDS.contains(&prev.text.as_str()),
+        TokenKind::Punct => prev.is_punct(')') || prev.is_punct(']'),
+        _ => false,
+    };
+    if !indexable {
+        return false;
+    }
+    // `buf[..]` reborrows the whole slice; it cannot be out of bounds.
+    matches!(
+        (tokens.get(i + 1), tokens.get(i + 2), tokens.get(i + 3)),
+        (Some(a), Some(b), Some(c)) if !(a.is_punct('.') && b.is_punct('.') && c.is_punct(']'))
+    ) || tokens.get(i + 1).is_none()
+}

@@ -1,0 +1,452 @@
+//! Brace-matched scope tree over the token stream.
+//!
+//! The tree records exactly what the rules need: where every `fn` and
+//! `mod` body begins and ends (token indices of the braces), which scopes
+//! are test code (`#[test]` functions, `#[cfg(test)]` modules, and
+//! everything nested inside them), and which `// analyze: <rule>`
+//! annotations precede each function. All other braces — `impl` bodies,
+//! `match` arms, closures, plain blocks — become anonymous scopes that
+//! exist only so brace matching and test inheritance stay correct.
+//!
+//! This is not a parser. It is a bracket matcher with just enough item
+//! recognition to answer three questions per token: *which function am I
+//! in*, *am I test code*, and *is this function annotated*.
+
+use crate::lexer::{Lexed, Token, TokenKind};
+
+/// What opened a scope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScopeKind {
+    /// A function body; `name` is the identifier after `fn`.
+    Fn {
+        /// The function's name.
+        name: String,
+    },
+    /// An inline module body; `name` is the identifier after `mod`.
+    Mod {
+        /// The module's name.
+        name: String,
+    },
+    /// Any other braced region (impl, struct, match, closure, block…).
+    Block,
+}
+
+/// One braced scope.
+#[derive(Debug, Clone)]
+pub struct Scope {
+    /// What opened this scope.
+    pub kind: ScopeKind,
+    /// True when this scope is (or is nested inside) test code.
+    pub is_test: bool,
+    /// Token index of the opening `{`.
+    pub start: usize,
+    /// Token index of the matching `}` (or one past the last token when
+    /// the brace never closed).
+    pub end: usize,
+    /// Index of the enclosing scope, if any.
+    pub parent: Option<usize>,
+    /// `analyze:` annotations attached to this function (empty for
+    /// non-`fn` scopes), e.g. `"no-alloc"`.
+    pub annotations: Vec<String>,
+    /// Line of the item header (the `fn`/`mod` keyword), for reporting.
+    pub header_line: u32,
+}
+
+/// The scope tree plus a per-token innermost-scope index.
+#[derive(Debug, Default)]
+pub struct ScopeTree {
+    /// All scopes in opening order.
+    pub scopes: Vec<Scope>,
+    /// For each token index, the innermost scope containing it (`None`
+    /// at file top level).
+    scope_of: Vec<Option<usize>>,
+}
+
+impl ScopeTree {
+    /// Innermost scope containing token `i`.
+    pub fn at(&self, i: usize) -> Option<usize> {
+        self.scope_of.get(i).copied().flatten()
+    }
+
+    /// True when token `i` sits inside test code.
+    pub fn in_test_code(&self, i: usize) -> bool {
+        self.at(i).map(|s| self.scopes[s].is_test).unwrap_or(false)
+    }
+
+    /// The innermost *function* scope containing token `i`.
+    pub fn enclosing_fn(&self, i: usize) -> Option<usize> {
+        let mut cur = self.at(i);
+        while let Some(s) = cur {
+            if matches!(self.scopes[s].kind, ScopeKind::Fn { .. }) {
+                return Some(s);
+            }
+            cur = self.scopes[s].parent;
+        }
+        None
+    }
+
+    /// All function scopes, with their names.
+    pub fn functions(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.scopes.iter().enumerate().filter_map(|(i, s)| {
+            if let ScopeKind::Fn { name } = &s.kind {
+                Some((i, name.as_str()))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Builds the tree. `file_is_test` pre-marks every scope as test code
+    /// (used for files under a `tests/` directory).
+    pub fn build(lexed: &Lexed, file_is_test: bool) -> ScopeTree {
+        Builder::new(lexed, file_is_test).run()
+    }
+}
+
+/// A pending `fn`/`mod` item seen but not yet opened with `{`.
+struct Pending {
+    is_fn: bool,
+    name: Option<String>,
+    is_test: bool,
+    annotations: Vec<String>,
+    header_line: u32,
+}
+
+struct Builder<'a> {
+    tokens: &'a [Token],
+    lexed: &'a Lexed,
+    file_is_test: bool,
+    /// Next comment to merge into the token walk.
+    comment_cursor: usize,
+    /// Attribute texts seen since the last item/statement boundary.
+    pending_attrs: Vec<String>,
+    /// `analyze:` rule annotations seen since the last boundary.
+    pending_annos: Vec<String>,
+    pending_item: Option<Pending>,
+    /// Nesting depth of `(` and `[` — a `;` or `,` only ends an item at
+    /// depth 0 (so `fn f(a: u32, b: [u8; 4])` keeps its pending item).
+    depth: usize,
+    stack: Vec<usize>,
+    tree: ScopeTree,
+}
+
+impl<'a> Builder<'a> {
+    fn new(lexed: &'a Lexed, file_is_test: bool) -> Builder<'a> {
+        Builder {
+            tokens: &lexed.tokens,
+            lexed,
+            file_is_test,
+            comment_cursor: 0,
+            pending_attrs: Vec::new(),
+            pending_annos: Vec::new(),
+            pending_item: None,
+            depth: 0,
+            stack: Vec::new(),
+            tree: ScopeTree {
+                scopes: Vec::new(),
+                scope_of: vec![None; lexed.tokens.len()],
+            },
+        }
+    }
+
+    /// Absorbs annotation comments that appear before line `line`: a
+    /// standalone `// analyze: no-alloc` comment attaches to the next
+    /// function the same way an attribute would.
+    fn absorb_comments_before(&mut self, line: u32) {
+        while let Some(c) = self.lexed.comments.get(self.comment_cursor) {
+            if c.line > line {
+                break;
+            }
+            if !c.trailing {
+                if let Some(rule) = parse_fn_annotation(&c.text) {
+                    self.pending_annos.push(rule);
+                }
+            }
+            self.comment_cursor += 1;
+        }
+    }
+
+    fn run(mut self) -> ScopeTree {
+        let mut i = 0usize;
+        while i < self.tokens.len() {
+            let tok = &self.tokens[i];
+            self.absorb_comments_before(tok.line);
+            // Record the innermost scope for this token before any
+            // open/close below, so braces belong to the *outer* scope.
+            self.tree.scope_of[i] = self.stack.last().copied();
+
+            if tok.is_punct('#')
+                && matches!(self.tokens.get(i + 1), Some(t) if t.is_punct('[') || t.is_punct('!'))
+            {
+                i = self.attribute(i);
+                continue;
+            }
+            match tok.kind {
+                TokenKind::Ident if tok.text == "fn" => {
+                    self.pending_item = Some(Pending {
+                        is_fn: true,
+                        name: None,
+                        is_test: attrs_mark_test(&self.pending_attrs),
+                        annotations: std::mem::take(&mut self.pending_annos),
+                        header_line: tok.line,
+                    });
+                    self.pending_attrs.clear();
+                }
+                TokenKind::Ident if tok.text == "mod" => {
+                    self.pending_item = Some(Pending {
+                        is_fn: false,
+                        name: None,
+                        is_test: attrs_mark_test(&self.pending_attrs),
+                        annotations: Vec::new(),
+                        header_line: tok.line,
+                    });
+                    self.pending_attrs.clear();
+                }
+                TokenKind::Ident => {
+                    if let Some(p) = &mut self.pending_item {
+                        if p.name.is_none() {
+                            p.name = Some(tok.text.clone());
+                        }
+                    }
+                }
+                TokenKind::Punct => match tok.text.as_str() {
+                    "{" => self.open(i, tok.line),
+                    "}" => self.close(i),
+                    "(" => {
+                        // `fn(u32) -> u32` in type position: `(` arrives
+                        // before any name, so this is a fn-pointer type,
+                        // not an item header.
+                        if matches!(&self.pending_item, Some(p) if p.is_fn && p.name.is_none()) {
+                            self.pending_item = None;
+                        }
+                        self.depth += 1;
+                    }
+                    "[" => self.depth += 1,
+                    ")" | "]" => self.depth = self.depth.saturating_sub(1),
+                    // `fn f();` (trait decl) and `mod m;` (file module)
+                    // never open a body: the pending item is stale. Only
+                    // a top-level `;` ends an item — one inside `(…)` or
+                    // `[…]` belongs to a parameter's type.
+                    ";" if self.depth == 0 => {
+                        self.pending_item = None;
+                        self.pending_attrs.clear();
+                        self.pending_annos.clear();
+                    }
+                    "," if self.depth == 0 => {
+                        self.pending_attrs.clear();
+                        self.pending_annos.clear();
+                    }
+                    _ => {}
+                },
+                _ => {}
+            }
+            i += 1;
+        }
+        // Close unterminated scopes at EOF.
+        while let Some(s) = self.stack.pop() {
+            self.tree.scopes[s].end = self.tokens.len();
+        }
+        self.tree
+    }
+
+    /// Skips over `#[...]` / `#![...]`, collecting the bracketed text of
+    /// outer attributes. Returns the index after the closing bracket.
+    fn attribute(&mut self, hash: usize) -> usize {
+        let mut i = hash + 1;
+        let inner = self.tokens.get(i).is_some_and(|t| t.is_punct('!'));
+        if inner {
+            i += 1;
+        }
+        if !self.tokens.get(i).is_some_and(|t| t.is_punct('[')) {
+            return hash + 1;
+        }
+        let mut depth = 0usize;
+        let mut text = String::new();
+        while let Some(tok) = self.tokens.get(i) {
+            self.tree.scope_of[i] = self.stack.last().copied();
+            if tok.is_punct('[') {
+                depth += 1;
+            } else if tok.is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            } else {
+                text.push_str(&tok.text);
+                text.push(' ');
+            }
+            i += 1;
+        }
+        if !inner {
+            self.pending_attrs.push(text);
+        }
+        i
+    }
+
+    fn open(&mut self, i: usize, _line: u32) {
+        let parent = self.stack.last().copied();
+        let parent_test = parent.map(|p| self.tree.scopes[p].is_test).unwrap_or(false);
+        let (kind, own_test, annotations, header_line) = match self.pending_item.take() {
+            Some(p) => {
+                let name = p.name.unwrap_or_default();
+                let kind = if p.is_fn {
+                    ScopeKind::Fn { name }
+                } else {
+                    ScopeKind::Mod { name }
+                };
+                (kind, p.is_test, p.annotations, p.header_line)
+            }
+            None => (ScopeKind::Block, false, Vec::new(), self.tokens[i].line),
+        };
+        self.pending_attrs.clear();
+        self.pending_annos.clear();
+        let idx = self.tree.scopes.len();
+        self.tree.scopes.push(Scope {
+            kind,
+            is_test: self.file_is_test || parent_test || own_test,
+            start: i,
+            end: self.tokens.len(),
+            parent,
+            annotations,
+            header_line,
+        });
+        self.stack.push(idx);
+    }
+
+    fn close(&mut self, i: usize) {
+        if let Some(s) = self.stack.pop() {
+            self.tree.scopes[s].end = i;
+        }
+    }
+}
+
+/// True when an attribute list marks the item as test-only: `#[test]`,
+/// `#[cfg(test)]`, `#[cfg(all(test, …))]`, `#[tokio::test]`-style.
+fn attrs_mark_test(attrs: &[String]) -> bool {
+    attrs.iter().any(|a| {
+        let mut words = a.split_whitespace();
+        words.any(|w| w == "test")
+    })
+}
+
+/// Parses a standalone `analyze: <rule>` comment that annotates the next
+/// function (e.g. `analyze: no-alloc` or `analyze: no-alloc — reason`).
+/// Region markers (`no-alloc(begin)`) and suppressions (`allow(...)`) are
+/// handled by the rule engine, not here.
+fn parse_fn_annotation(text: &str) -> Option<String> {
+    let rest = text.strip_prefix("analyze:")?.trim();
+    let rule: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_')
+        .collect();
+    if rule.is_empty() || rest[rule.len()..].trim_start().starts_with('(') {
+        return None; // region marker or malformed
+    }
+    if rule == "allow" {
+        return None; // suppression, not an annotation
+    }
+    Some(rule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn tree(src: &str) -> ScopeTree {
+        ScopeTree::build(&lex(src), false)
+    }
+
+    #[test]
+    fn matches_fn_and_mod_scopes() {
+        let t = tree("mod m { pub fn f(x: u32) -> u32 { x + 1 } fn g() {} }");
+        let kinds: Vec<_> = t.scopes.iter().map(|s| s.kind.clone()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ScopeKind::Mod { name: "m".into() },
+                ScopeKind::Fn { name: "f".into() },
+                ScopeKind::Fn { name: "g".into() },
+            ]
+        );
+        assert_eq!(t.scopes[1].parent, Some(0));
+        assert_eq!(t.scopes[2].parent, Some(0));
+    }
+
+    #[test]
+    fn cfg_test_marks_nested_scopes() {
+        let t = tree(
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn check() { helper(); }\n    fn helper() {}\n}\n",
+        );
+        assert!(!t.scopes[0].is_test, "live fn is not test code");
+        assert!(t.scopes[1].is_test, "tests mod is test code");
+        assert!(t.scopes[2].is_test, "#[test] fn");
+        assert!(t.scopes[3].is_test, "helper inherits from the mod");
+    }
+
+    #[test]
+    fn annotations_attach_to_the_next_fn() {
+        let t =
+            tree("// analyze: no-alloc — hot kernel\npub fn kernel() { work(); }\nfn other() {}\n");
+        assert_eq!(t.scopes[0].annotations, vec!["no-alloc"]);
+        assert!(t.scopes[1].annotations.is_empty());
+    }
+
+    #[test]
+    fn annotations_survive_doc_comments_and_attributes() {
+        let t =
+            tree("// analyze: no-alloc\n/// Docs for the kernel.\n#[inline]\npub fn kernel() {}\n");
+        assert_eq!(t.scopes[0].annotations, vec!["no-alloc"]);
+    }
+
+    #[test]
+    fn trait_decls_and_fn_pointer_fields_do_not_open_fn_scopes() {
+        let t = tree(
+            "trait T { fn decl(&self); }\nstruct S { callback: fn(u32) -> u32 }\nfn real() {}\n",
+        );
+        let fns: Vec<_> = t.functions().map(|(_, n)| n.to_string()).collect();
+        assert_eq!(fns, vec!["real"]);
+    }
+
+    #[test]
+    fn multi_argument_signatures_keep_their_pending_item() {
+        // Commas and `;` inside the parameter list (or `where` clauses)
+        // must not cancel the item: this is the shape of every real
+        // annotated kernel (`fn attend(&self, params: …, out: &mut …)`).
+        let t = tree(
+            "// analyze: no-alloc\nfn attend(&self, x: [u8; 4], out: &mut [f32]) -> u32 where Self: Sized, u32: Copy { 0 }\n",
+        );
+        let fns: Vec<_> = t.functions().map(|(i, n)| (i, n.to_string())).collect();
+        assert_eq!(fns.len(), 1, "{:?}", t.scopes);
+        assert_eq!(fns[0].1, "attend");
+        assert_eq!(t.scopes[fns[0].0].annotations, vec!["no-alloc"]);
+    }
+
+    #[test]
+    fn enclosing_fn_resolves_through_inner_blocks() {
+        let src = "fn outer() { if true { let x = 1; } }";
+        let t = tree(src);
+        let lexed = lex(src);
+        let x = lexed
+            .tokens
+            .iter()
+            .position(|tok| tok.is_ident("x"))
+            .unwrap();
+        let f = t.enclosing_fn(x).unwrap();
+        assert_eq!(
+            t.scopes[f].kind,
+            ScopeKind::Fn {
+                name: "outer".into()
+            }
+        );
+    }
+
+    #[test]
+    fn match_arms_and_closures_stay_anonymous() {
+        let t = tree("fn f(x: u32) { match x { 0 => {} _ => {} } let c = |y: u32| { y }; }");
+        let fn_count = t.functions().count();
+        assert_eq!(fn_count, 1);
+        assert!(t.scopes.len() >= 4, "anonymous scopes recorded");
+    }
+}

@@ -1,0 +1,27 @@
+//! Seeded `determinism` violations (file pinned by the twin test's
+//! policy). Exactly 6.
+
+use std::collections::HashMap; // 1: HashMap (even the import counts)
+
+pub fn scores(keys: &[u32]) -> f32 {
+    let mut map = HashMap::new(); // 2: HashMap
+    for k in keys {
+        map.insert(*k, 1.0f32);
+    }
+    let mut set = std::collections::HashSet::new(); // 3: HashSet
+    set.insert(1u32);
+    let started = std::time::Instant::now(); // 4: Instant::now
+    let name = std::thread::current(); // 5: thread::current
+    let workers = rayon::current_num_threads(); // 6: current_num_threads
+    drop((started, name));
+    map.values().sum::<f32>() + workers as f32
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let t = std::time::Instant::now();
+        let _ = t.elapsed();
+    }
+}

@@ -1,0 +1,30 @@
+//! The deterministic twin of `determinism_bad.rs`: ordered collections,
+//! no clocks, no thread identity. Pinned at exactly 0 findings.
+
+use std::collections::BTreeMap;
+
+pub fn scores(keys: &[u32]) -> f32 {
+    // BTreeMap iterates in key order — bit-stable accumulation.
+    let mut map = BTreeMap::new();
+    for k in keys {
+        map.insert(*k, 1.0f32);
+    }
+    // `Instant` in a doc string or comment is opaque: "Instant::now".
+    let _note = "never call Instant::now here";
+    map.values().sum::<f32>()
+}
+
+pub fn fixed_partitions(n: usize, workers: usize) -> usize {
+    // Worker count arrives as an explicit parameter pinned by the
+    // caller's config — never read from the live pool.
+    n.div_ceil(workers.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wall_clock_in_tests_is_fine() {
+        let t = std::time::Instant::now();
+        let _ = t.elapsed();
+    }
+}

@@ -1,0 +1,45 @@
+//! Seeded `lock-discipline` violations (file pinned by the twin test's
+//! policy). Exactly 5.
+
+pub struct Store {
+    inner: std::sync::Mutex<Inner>,
+    aux: std::sync::Mutex<u32>,
+}
+
+pub struct Inner {
+    free: usize,
+}
+
+impl Store {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    pub fn send_under_lock(&self, tx: &std::sync::mpsc::Sender<usize>) {
+        let inner = self.lock();
+        let _ = tx.send(inner.free); // 1: channel send under guard
+    }
+
+    pub fn recv_under_lock(&self, rx: &std::sync::mpsc::Receiver<usize>) -> usize {
+        let mut inner = self.lock();
+        let extra = rx.recv().unwrap_or(0); // 2: channel receive under guard
+        inner.free += extra;
+        inner.free
+    }
+
+    pub fn double_lock(&self) -> usize {
+        let inner = self.lock();
+        let aux = self.aux.lock().unwrap_or_else(|p| p.into_inner()); // 3: second lock under guard
+        inner.free + *aux as usize
+    }
+
+    pub fn file_io_under_lock(&self, path: &str) {
+        let inner = self.lock();
+        let _ = std::fs::write(path, format!("{}", inner.free)); // 4: file I/O under guard
+    }
+
+    pub fn try_send_under_lock(&self, tx: &std::sync::mpsc::SyncSender<usize>) {
+        let inner = self.lock();
+        let _ = tx.try_send(inner.free); // 5: try_send under guard
+    }
+}

@@ -1,0 +1,51 @@
+//! The disciplined twin of `lock_bad.rs`: copy out under the guard,
+//! communicate after it. Pinned at exactly 0 findings.
+
+pub struct Store {
+    inner: std::sync::Mutex<Inner>,
+    aux: std::sync::Mutex<u32>,
+}
+
+pub struct Inner {
+    free: usize,
+}
+
+impl Store {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    pub fn send_after_drop(&self, tx: &std::sync::mpsc::Sender<usize>) {
+        let inner = self.lock();
+        let free = inner.free;
+        drop(inner);
+        // The guard is dead: channel traffic is fine here.
+        let _ = tx.send(free);
+    }
+
+    pub fn send_after_block(&self, tx: &std::sync::mpsc::Sender<usize>) {
+        let free = {
+            let inner = self.lock();
+            inner.free
+        };
+        let _ = tx.send(free);
+    }
+
+    pub fn locks_in_sequence(&self) -> usize {
+        let free = {
+            let inner = self.lock();
+            inner.free
+        };
+        let aux = {
+            let g = self.aux.lock().unwrap_or_else(|p| p.into_inner());
+            *g
+        };
+        free + aux as usize
+    }
+
+    pub fn io_before_lock(&self, path: &str) {
+        let payload = std::fs::read(path).unwrap_or_default();
+        let mut inner = self.lock();
+        inner.free += payload.len();
+    }
+}

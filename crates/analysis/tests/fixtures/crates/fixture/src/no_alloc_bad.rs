@@ -1,0 +1,35 @@
+//! Seeded `no-alloc` violations. Every banned construct below must be
+//! caught — the twin test pins the exact count (9) and locations.
+//!
+//! NOTE: this file is a lint fixture, not compiled code; it is excluded
+//! from the workspace analyzer run by `analysis.toml` and only ever read
+//! by the engine's integration tests.
+
+// analyze: no-alloc
+pub fn kernel(scores: &[f32], out: &mut [f32]) -> usize {
+    let v: Vec<f32> = Vec::new(); // 1: Vec::new
+    let w = Vec::with_capacity(scores.len()); // 2: Vec::with_capacity
+    let label = format!("{}", scores.len()); // 3: format!
+    let owned = label.to_string(); // 4: .to_string()
+    let b = Box::new(scores.len()); // 5: Box::new
+    let lits = vec![1u32, 2, 3]; // 6: vec!
+    let copy = scores.to_vec(); // 7: .to_vec()
+    let doubled: Vec<f32> = scores.iter().map(|s| s * 2.0).collect(); // 8: .collect()
+    out[0] = copy[0] + doubled[0];
+    v.len() + w.len() + owned.len() + *b + lits.len()
+}
+
+// analyze: no-alloc
+pub fn kernel_with_helper(x: &[f32]) -> f32 {
+    helper_allocates(x)
+}
+
+fn helper_allocates(x: &[f32]) -> f32 {
+    let copy = x.to_vec(); // 9: transitive, reached via helper_allocates
+    copy[0]
+}
+
+pub fn unannotated_allocates_freely(x: &[f32]) -> Vec<f32> {
+    // Not annotated: nothing here may be flagged.
+    x.to_vec()
+}

@@ -1,0 +1,54 @@
+//! The allocation-free twin of `no_alloc_bad.rs`: same shape, zero
+//! findings. Pinned at exactly 0 so any false positive fails the suite.
+
+// analyze: no-alloc
+pub fn kernel(scores: &[f32], out: &mut [f32]) -> usize {
+    // In-place accumulation into caller-provided buffers only.
+    let mut acc = 0.0f32;
+    for (o, s) in out.iter_mut().zip(scores) {
+        acc += *s;
+        *o = *s * 2.0;
+    }
+    // Identifier *containing* a banned name must not trip the rule.
+    let to_vec_count = scores.len();
+    // A banned name inside a string or comment is opaque: "call to_vec()".
+    let _doc = "never call to_vec() or format! here";
+    acc as usize + to_vec_count
+}
+
+// analyze: no-alloc
+pub fn kernel_with_helper(x: &[f32], out: &mut [f32]) -> f32 {
+    helper_in_place(x, out)
+}
+
+fn helper_in_place(x: &[f32], out: &mut [f32]) -> f32 {
+    let mut acc = 0.0;
+    for (o, v) in out.iter_mut().zip(x) {
+        *o = *v;
+        acc += *v;
+    }
+    acc
+}
+
+// analyze: no-alloc(begin)
+pub fn hot_region_clean(x: &[f32]) -> f32 {
+    x.iter().sum()
+}
+// analyze: no-alloc(end)
+
+pub fn cold_path(x: &[f32]) -> Vec<f32> {
+    // Outside every region: allocation is fine.
+    let mut v = x.to_vec();
+    v.push(0.0);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_allocate() {
+        // Even inside an annotated crate, test code is exempt.
+        let v = vec![1.0f32, 2.0];
+        assert_eq!(super::kernel(&v, &mut [0.0, 0.0]), 3);
+    }
+}

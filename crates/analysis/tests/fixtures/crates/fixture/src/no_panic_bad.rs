@@ -1,0 +1,40 @@
+//! Seeded `no-panic` violations for module `fixture::no_panic_bad`
+//! (covered by the twin test's policy, indexing included). Exactly 8.
+
+pub fn parse(input: &[u8], table: &[u32]) -> u32 {
+    let first = input.first().unwrap(); // 1: .unwrap()
+    let second = input.get(1).expect("second byte"); // 2: .expect()
+    if *first == 0 {
+        panic!("zero first byte"); // 3: panic!
+    }
+    match second {
+        0 => unreachable!("filtered above"), // 4: unreachable!
+        1 => todo!("protocol v2"), // 5: todo!
+        _ => {}
+    }
+    assert!(input.len() > 2, "need three bytes"); // 6: assert!
+    let a = input[2]; // 7: slice indexing
+    let b = table[a as usize]; // 8: slice indexing
+    b
+}
+
+pub fn full_range_reborrow(buf: &mut [u8]) -> &mut [u8] {
+    // `[..]` cannot be out of bounds: not a finding.
+    &mut buf[..]
+}
+
+pub fn fallbacks_are_fine(x: Option<u32>, r: Result<u32, u32>) -> u32 {
+    // Exact-identifier matching: none of these may be flagged.
+    x.unwrap_or(0) + x.unwrap_or_default() + r.unwrap_or_else(|e| e)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        super::parse(&[1, 2, 3], &[0; 256]);
+        Some(1).unwrap();
+        let v = [1, 2];
+        assert_eq!(v[0], 1);
+    }
+}

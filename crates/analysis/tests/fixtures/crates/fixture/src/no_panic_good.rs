@@ -1,0 +1,45 @@
+//! The panic-free twin of `no_panic_bad.rs`: typed errors and checked
+//! access only. Pinned at exactly 0 findings.
+
+/// Why parsing failed.
+pub enum ParseFail {
+    /// Input shorter than the header.
+    Short,
+    /// First byte must be non-zero.
+    ZeroByte,
+    /// Code point outside the table.
+    BadCode,
+}
+
+pub fn parse(input: &[u8], table: &[u32]) -> Result<u32, ParseFail> {
+    let first = input.first().ok_or(ParseFail::Short)?;
+    let second = input.get(1).ok_or(ParseFail::Short)?;
+    if *first == 0 {
+        return Err(ParseFail::ZeroByte);
+    }
+    if *second == 0 || *second == 1 {
+        return Err(ParseFail::BadCode);
+    }
+    let a = input.get(2).ok_or(ParseFail::Short)?;
+    table.get(*a as usize).copied().ok_or(ParseFail::BadCode)
+}
+
+pub fn poison_tolerant(m: &std::sync::Mutex<u32>) -> u32 {
+    // The sanctioned lock pattern: recover the data from a poisoned
+    // mutex instead of unwrapping.
+    *m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+pub fn full_range_reborrow(buf: &mut [u8]) -> &mut [u8] {
+    &mut buf[..]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_still_panic() {
+        assert!(super::parse(&[2, 9, 4], &[0; 256]).is_err() || true);
+        let v = [1, 2];
+        let _ = v[1];
+    }
+}

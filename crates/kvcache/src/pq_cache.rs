@@ -466,6 +466,7 @@ impl PqKvCache {
     /// Attends the dense recent window and the current token into
     /// `scratch.softmax` (which the quantized segment has already been
     /// merged into) and writes the normalised result.
+    // analyze: no-alloc
     fn attend_dense_tail(
         &self,
         params: &AttendParams<'_>,
@@ -510,6 +511,7 @@ impl PqKvCache {
     /// # Panics
     ///
     /// Same contract as [`KvCache::attend`].
+    // analyze: no-alloc
     pub fn attend_two_pass(
         &self,
         params: &AttendParams<'_>,
@@ -609,6 +611,7 @@ impl KvCache for PqKvCache {
         }
     }
 
+    // analyze: no-alloc
     fn attend(&self, params: &AttendParams<'_>, scratch: &mut AttendScratch, out: &mut [f32]) {
         let d = self.layout.head_dim;
         assert_eq!(params.query.len(), d, "query length mismatch");

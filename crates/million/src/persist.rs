@@ -93,8 +93,20 @@ impl InferenceSession<'_> {
     fn encode(&self) -> Vec<u8> {
         let engine = self.engine();
         let layout = engine.model().cache_layout();
-        let key_config = engine.codebooks().key[0].config();
-        let value_config = engine.codebooks().value[0].config();
+        // A built engine always has per-layer codebooks; the zeroed
+        // fallback keeps the encoder panic-free and produces a header the
+        // decoder rejects as a configuration mismatch.
+        let fallback = PqConfig { m: 0, nbits: 0 };
+        let key_config = engine
+            .codebooks()
+            .key
+            .first()
+            .map_or(fallback, |c| c.config());
+        let value_config = engine
+            .codebooks()
+            .value
+            .first()
+            .map_or(fallback, |c| c.config());
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
 
@@ -259,9 +271,9 @@ impl MillionEngine {
         };
         let key_config = read_config(&mut h)?;
         let value_config = read_config(&mut h)?;
-        if key_config != self.codebooks().key[0].config()
-            || value_config != self.codebooks().value[0].config()
-        {
+        let own_key = self.codebooks().key.first().map(|c| c.config());
+        let own_value = self.codebooks().value.first().map(|c| c.config());
+        if own_key != Some(key_config) || own_value != Some(value_config) {
             return Err(corrupt("PQ configuration mismatch"));
         }
         done(&h, "header")?;
@@ -307,7 +319,8 @@ impl MillionEngine {
             for _ in 0..n_kv_heads {
                 values.push(s.get_codes()?);
             }
-            let len = *private_len.get_or_insert(keys[0].len());
+            let first_len = keys.first().map_or(0, |c| c.len());
+            let len = *private_len.get_or_insert(first_len);
             let keys_ok = keys
                 .iter()
                 .all(|c| c.config() == key_config && c.len() == len);
@@ -333,7 +346,8 @@ impl MillionEngine {
             for _ in 0..n_kv_heads {
                 values.push(s.get_f32_slice()?);
             }
-            let len = *dense_len.get_or_insert(keys[0].len());
+            let first_len = keys.first().map_or(0, |row| row.len());
+            let len = *dense_len.get_or_insert(first_len);
             if !len.is_multiple_of(head_dim)
                 || keys.iter().chain(values.iter()).any(|row| row.len() != len)
             {
@@ -378,16 +392,17 @@ impl MillionEngine {
             && blocks.iter().all(|b| b.len() == snapshot_bt);
         let mut folded_blocks: Vec<Block> = Vec::new();
         if via_store {
-            let chain = session.chain.as_mut().expect("store implies chain");
+            let Some(chain) = session.chain.as_mut() else {
+                return Err(corrupt("store-backed snapshot without a block chain"));
+            };
             let store = chain.store().clone();
             let mut pos = 0usize;
             let mut iter = blocks.into_iter();
             for block in iter.by_ref() {
                 let len = block.len();
-                if pos + len > history.len() {
-                    return Err(corrupt("history shorter than sealed chain"));
-                }
-                let tokens = &history[pos..pos + len];
+                let tokens = history
+                    .get(pos..pos + len)
+                    .ok_or_else(|| corrupt("history shorter than sealed chain"))?;
                 let (id, arc) = match store.lookup_child(chain.last_id(), tokens) {
                     Some((id, resident)) => {
                         if !blocks_equal(&resident, &block) {

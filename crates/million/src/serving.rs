@@ -1733,6 +1733,7 @@ impl<'e> ServingEngine<'e> {
                 Self::sync_worker_nonblocking(&mut self.worker, &mut self.resident);
                 let slot = &mut self.resident[idx];
                 slot.deficit -= quantum;
+                // analyze: no-alloc(begin)
                 let mut step = slot.session.step_with(&mut slot.sampler);
                 slot.tokens.push(step.token);
                 self.stats.tokens_by_class[slot.class.index()] += 1;
@@ -1768,7 +1769,10 @@ impl<'e> ServingEngine<'e> {
                     slot.deficit = 0;
                 }
                 // The handle may be gone; serving continues regardless.
-                let _ = slot.tx.send(step.clone());
+                // `StepResult` is `Copy`, so handing it to the channel
+                // costs a memcpy, not a clone.
+                let _ = slot.tx.send(step);
+                // analyze: no-alloc(end)
                 let requests = slot.session.take_encode_requests();
                 let id = slot.id;
                 if let Some(worker) = &mut self.worker {

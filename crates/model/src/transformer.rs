@@ -87,6 +87,7 @@ pub struct DecodeScratch {
 impl DecodeScratch {
     /// Creates a pool with one scratch per rayon worker.
     pub fn new() -> Self {
+        // analyze: allow(determinism) — sizes the scratch pool only; per-head accumulation order is fixed and the equivalence suite pins bit-identity across worker counts
         Self::with_workers(rayon::current_num_threads())
     }
 
@@ -245,6 +246,7 @@ pub struct PrefillScratch {
 impl PrefillScratch {
     /// Creates a scratch with one tile state per rayon worker.
     pub fn new() -> Self {
+        // analyze: allow(determinism) — sizes the tile-state pool only; tile partitioning does not change float accumulation order (pinned by the prefill equivalence tests)
         Self::with_workers(rayon::current_num_threads())
     }
 

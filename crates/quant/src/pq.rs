@@ -690,6 +690,7 @@ impl ScoreLut {
     ///
     /// Panics if the key/value chunks hold different token counts or
     /// `key_codes` does not match this table's subspace count.
+    // analyze: no-alloc
     pub fn fused_attend_chunk(
         &self,
         key_codes: &PqCodes,

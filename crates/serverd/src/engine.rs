@@ -19,6 +19,8 @@ pub enum BuildError {
     Config(ConfigError),
     /// Codebook calibration or engine assembly failed.
     Engine(MillionError),
+    /// The OS refused to spawn the shard's supervisor thread.
+    Spawn(std::io::Error),
 }
 
 impl std::fmt::Display for BuildError {
@@ -26,6 +28,7 @@ impl std::fmt::Display for BuildError {
         match self {
             BuildError::Config(e) => write!(f, "engine settings: {e}"),
             BuildError::Engine(e) => write!(f, "engine build: {e}"),
+            BuildError::Spawn(e) => write!(f, "shard thread spawn: {e}"),
         }
     }
 }

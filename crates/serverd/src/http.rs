@@ -99,10 +99,10 @@ pub fn read_request(
         if n == 0 {
             return Err(ParseError::Malformed("connection closed mid-head".into()));
         }
-        buf.extend_from_slice(&chunk[..n]);
+        buf.extend_from_slice(chunk.get(..n).unwrap_or_default());
     };
 
-    let head = std::str::from_utf8(&buf[..head_end])
+    let head = std::str::from_utf8(buf.get(..head_end).unwrap_or_default())
         .map_err(|_| ParseError::Malformed("head is not UTF-8".into()))?;
     let mut lines = head.split("\r\n");
     let request_line = lines
@@ -164,13 +164,13 @@ pub fn read_request(
     }
 
     // Body bytes already read past the head, then the remainder.
-    let mut body = buf[head_end + 4..].to_vec();
+    let mut body = buf.get(head_end + 4..).unwrap_or_default().to_vec();
     while body.len() < declared {
         let n = stream.read(&mut chunk)?;
         if n == 0 {
             return Err(ParseError::Malformed("connection closed mid-body".into()));
         }
-        body.extend_from_slice(&chunk[..n]);
+        body.extend_from_slice(chunk.get(..n).unwrap_or_default());
     }
     body.truncate(declared);
 

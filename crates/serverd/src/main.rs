@@ -26,6 +26,9 @@ fn main() {
         return;
     }
 
+    // The one sanctioned env read: main.rs hands the raw lookup to the
+    // config layering, which owns precedence (flag > env > default).
+    #[allow(clippy::disallowed_methods)]
     let config = match AppConfig::layered(&args, |var| std::env::var(var).ok()) {
         Ok(config) => config,
         Err(e) => {

@@ -234,7 +234,9 @@ impl ShardShared {
     /// incarnation.
     fn seal(&self) {
         let (dead, _) = mpsc::channel();
-        *self.tx.lock().expect("shard sender lock") = dead;
+        // Poison-tolerant: sealing must succeed even when the thread that
+        // last held the sender lock died — that is exactly when it runs.
+        *self.tx.lock().unwrap_or_else(|p| p.into_inner()) = dead;
     }
 }
 
@@ -365,7 +367,11 @@ impl ShardHandle {
     /// post-checkpoint tokens; [`RequestHandle::recovered_tokens`] says how
     /// many tokens the checkpoint already contained.
     pub fn claim_recovered(&self, id: RequestId) -> Option<RequestHandle> {
-        let mut recovered = self.shared.recovered.lock().expect("recovered lock");
+        let mut recovered = self
+            .shared
+            .recovered
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
         let index = recovered.iter().position(|h| h.id() == id)?;
         Some(recovered.swap_remove(index))
     }
@@ -374,7 +380,7 @@ impl ShardHandle {
         self.shared
             .tx
             .lock()
-            .expect("shard sender lock")
+            .unwrap_or_else(|p| p.into_inner())
             .send(cmd)
             .map_err(|_| ShardSubmitError::Down)
     }
@@ -441,7 +447,7 @@ impl ShardHandle {
     pub fn shutdown(&self) {
         self.shared.stopping.store(true, Ordering::SeqCst);
         let _ = self.send(ShardCommand::Shutdown);
-        if let Some(handle) = self.join.lock().expect("shard join lock").take() {
+        if let Some(handle) = self.join.lock().unwrap_or_else(|p| p.into_inner()).take() {
             let _ = handle.join();
         }
     }
@@ -490,7 +496,7 @@ pub fn spawn_shard(
                 ready_tx,
             );
         })
-        .expect("spawn shard thread");
+        .map_err(BuildError::Spawn)?;
 
     match ready_rx.recv() {
         Ok(Ok(())) => Ok(ShardHandle {
@@ -641,14 +647,14 @@ fn run_incarnation(
         shared
             .recovered
             .lock()
-            .expect("recovered lock")
+            .unwrap_or_else(|p| p.into_inner())
             .extend(report.restored);
     }
 
     // Fresh channel for this incarnation, installed before the shard is
     // announced live so no submission can race into a sealed sender.
     let (tx, rx) = mpsc::channel();
-    *shared.tx.lock().expect("shard sender lock") = tx;
+    *shared.tx.lock().unwrap_or_else(|p| p.into_inner()) = tx;
     shared
         .state
         .store(ShardState::Live.as_u8(), Ordering::SeqCst);
@@ -716,6 +722,7 @@ fn shard_loop(
             if let Some(plan) = fault {
                 let next_round = serving.rounds() + 1;
                 if plan.should_panic(index, next_round) {
+                    // analyze: allow(no-panic) — seeded fault injection: this panic IS the chaos test's payload
                     panic!("injected fault: shard {index} panics before round {next_round}");
                 }
             }

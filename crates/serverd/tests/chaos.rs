@@ -44,6 +44,9 @@ fn tiny_engine_settings() -> EngineSettings {
 /// The chaos seed: `SERVERD_FAULT_SEED` when set (the CI matrix knob),
 /// otherwise a fixed default.
 fn fault_seed() -> u64 {
+    // Test-matrix knob, not runtime configuration: reading it directly
+    // here is deliberate.
+    #[allow(clippy::disallowed_methods)]
     std::env::var("SERVERD_FAULT_SEED")
         .ok()
         .and_then(|s| s.parse().ok())

@@ -126,7 +126,7 @@ mod tests {
         let mut rng = seeded_rng(11);
         let chans = sample_outlier_channels(&mut rng, 64, 8, 4.0, 20.0);
         assert_eq!(chans.len(), 8);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for (c, s) in chans {
             assert!(c < 64);
             assert!((4.0..=20.0).contains(&s));

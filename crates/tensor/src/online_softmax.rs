@@ -90,6 +90,7 @@ impl OnlineSoftmax {
     /// # Panics
     ///
     /// Panics if `value.len() != self.dim()`.
+    // analyze: no-alloc
     pub fn push(&mut self, score: f32, value: &[f32]) {
         assert_eq!(value.len(), self.acc.len(), "value dimension mismatch");
         if score == f32::NEG_INFINITY {
@@ -133,6 +134,7 @@ impl OnlineSoftmax {
     /// Panics if `values.len() != scores.len() * self.dim()` (when any score
     /// is finite).
     #[inline]
+    // analyze: no-alloc
     pub fn push_tile(&mut self, scores: &mut [f32], values: &[f32]) {
         // Lane-parallel maximum: `max` is associative and commutative, so
         // folding four independent lanes gives the exact same result as a
